@@ -1,0 +1,199 @@
+//! Offload-threshold extraction from raw CSV data — the Rust equivalent of
+//! the artifact's `calculateOffloadThreshold.py`.
+//!
+//! LUMI's builds collect CPU and GPU data in separate runs (incompatible
+//! compilers), so the artifact derives thresholds *post hoc* by pairing the
+//! CPU CSV with the GPU CSV of the same problem type. This module does the
+//! same for any CSV produced by `blob_core::csv`: group rows into
+//! (system, routine, problem, iterations) series, align CPU and GPU rows by
+//! problem size, and run the §III-D detector.
+
+use blob_core::csv::CsvRow;
+use blob_core::threshold::{offload_threshold_index, ThresholdPoint};
+use blob_sim::{Kernel, Offload};
+use std::collections::BTreeMap;
+
+/// Key identifying one threshold series.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SeriesKey {
+    pub system: String,
+    pub routine: String,
+    pub problem: String,
+    pub iterations: u32,
+    pub offload: Offload,
+}
+
+/// An extracted threshold: the concrete dimensions, or `None`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExtractedThreshold {
+    pub key: SeriesKey,
+    pub threshold: Option<Kernel>,
+}
+
+/// Extracts every threshold present in a set of CSV rows.
+///
+/// CPU and GPU rows may come from different files (the LUMI workflow —
+/// concatenate both CSVs before calling, as the artifact's instructions
+/// describe). Sizes present on only one device are ignored; sizes are
+/// ordered by their dimension tuple, which matches sweep order for every
+/// problem type.
+pub fn extract_thresholds(rows: &[CsvRow]) -> Vec<ExtractedThreshold> {
+    // (system, routine, problem, iters) -> size -> (cpu_s, offload -> gpu_s)
+    type SizeMap = BTreeMap<(usize, usize, usize), (Option<f64>, BTreeMap<Offload, f64>)>;
+    let mut groups: BTreeMap<(String, String, String, u32), SizeMap> = BTreeMap::new();
+    for row in rows {
+        let g = groups
+            .entry((
+                row.system.clone(),
+                row.routine.clone(),
+                row.problem.clone(),
+                row.iterations,
+            ))
+            .or_default();
+        let entry = g.entry((row.m, row.n, row.k)).or_insert((None, BTreeMap::new()));
+        match row.offload {
+            None => entry.0 = Some(row.seconds),
+            Some(o) => {
+                entry.1.insert(o, row.seconds);
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    for ((system, routine, problem, iterations), sizes) in groups {
+        // which offloads appear anywhere in this group
+        let mut offloads: Vec<Offload> = Vec::new();
+        for (_, (_c, g)) in sizes.iter() {
+            for o in g.keys() {
+                if !offloads.contains(o) {
+                    offloads.push(*o);
+                }
+            }
+        }
+        offloads.sort();
+        for offload in offloads {
+            let mut points = Vec::new();
+            let mut kernels = Vec::new();
+            for (&(m, n, k), (cpu, gpu)) in sizes.iter() {
+                if let (Some(c), Some(&g)) = (cpu, gpu.get(&offload)) {
+                    points.push(ThresholdPoint {
+                        cpu_seconds: *c,
+                        gpu_seconds: g,
+                    });
+                    kernels.push(if routine.ends_with("gemv") {
+                        Kernel::Gemv { m, n }
+                    } else {
+                        Kernel::Gemm { m, n, k }
+                    });
+                }
+            }
+            let threshold = offload_threshold_index(&points).map(|i| kernels[i]);
+            out.push(ExtractedThreshold {
+                key: SeriesKey {
+                    system: system.clone(),
+                    routine: routine.clone(),
+                    problem: problem.clone(),
+                    iterations,
+                    offload,
+                },
+                threshold,
+            });
+        }
+    }
+    out
+}
+
+/// A GFLOP/s series extracted for plotting: `(size-label, gflops)` pairs in
+/// sweep order for one device/offload.
+pub fn gflops_series(rows: &[CsvRow], device: &str, offload: Option<Offload>) -> Vec<(usize, f64)> {
+    let mut pts: Vec<((usize, usize, usize), f64)> = rows
+        .iter()
+        .filter(|r| r.device == device && r.offload == offload)
+        .map(|r| ((r.m, r.n, r.k), r.gflops))
+        .collect();
+    pts.sort_by_key(|&(dims, _)| dims);
+    pts.into_iter()
+        // x-axis label: the dominant dimension of each size
+        .map(|((m, n, k), g)| (m.max(n).max(k), g))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blob_core::csv::{parse_csv, to_csv_string};
+    use blob_core::problem::{GemmProblem, Problem};
+    use blob_core::runner::{run_sweep, SweepConfig};
+    use blob_sim::{presets, Precision};
+
+    #[test]
+    fn extraction_matches_sweep_thresholds() {
+        // Thresholds computed directly from the sweep must equal those
+        // recovered from its CSV serialisation.
+        let sweep = run_sweep(
+            &presets::isambard_ai(),
+            Problem::Gemm(GemmProblem::Square),
+            Precision::F32,
+            &SweepConfig::new(1, 200, 8),
+        );
+        let rows = parse_csv(&to_csv_string(&sweep)).unwrap();
+        let extracted = extract_thresholds(&rows);
+        assert_eq!(extracted.len(), 3, "one per offload");
+        for e in &extracted {
+            let direct = sweep.threshold(e.key.offload);
+            assert_eq!(e.threshold, direct, "offload {:?}", e.key.offload);
+        }
+    }
+
+    #[test]
+    fn split_cpu_gpu_files_concatenated_like_lumi() {
+        // Simulate the LUMI workflow: CPU rows and GPU rows from separate
+        // "files", concatenated before extraction.
+        let sweep = run_sweep(
+            &presets::lumi(),
+            Problem::Gemm(GemmProblem::Square),
+            Precision::F64,
+            &SweepConfig::new(1, 128, 32),
+        );
+        let all = parse_csv(&to_csv_string(&sweep)).unwrap();
+        let cpu_rows: Vec<CsvRow> = all.iter().filter(|r| r.device == "cpu").cloned().collect();
+        let gpu_rows: Vec<CsvRow> = all.iter().filter(|r| r.device == "gpu").cloned().collect();
+        let mut concat = cpu_rows;
+        concat.extend(gpu_rows);
+        let ex = extract_thresholds(&concat);
+        let direct = sweep.threshold(Offload::TransferOnce);
+        let found = ex
+            .iter()
+            .find(|e| e.key.offload == Offload::TransferOnce)
+            .unwrap();
+        assert_eq!(found.threshold, direct);
+    }
+
+    #[test]
+    fn missing_device_rows_yield_no_thresholds() {
+        let sweep = run_sweep(
+            &presets::isambard_ai_armpl(), // CPU-only
+            Problem::Gemm(GemmProblem::Square),
+            Precision::F32,
+            &SweepConfig::new(1, 32, 1),
+        );
+        let rows = parse_csv(&to_csv_string(&sweep)).unwrap();
+        assert!(extract_thresholds(&rows).is_empty());
+    }
+
+    #[test]
+    fn series_extraction_sorted_by_size() {
+        let sweep = run_sweep(
+            &presets::dawn(),
+            Problem::Gemm(GemmProblem::Square),
+            Precision::F32,
+            &SweepConfig::new(1, 50, 1),
+        );
+        let rows = parse_csv(&to_csv_string(&sweep)).unwrap();
+        let cpu = gflops_series(&rows, "cpu", None);
+        assert_eq!(cpu.len(), 50);
+        assert!(cpu.windows(2).all(|w| w[0].0 <= w[1].0));
+        let gpu = gflops_series(&rows, "gpu", Some(Offload::Unified));
+        assert_eq!(gpu.len(), 50);
+    }
+}

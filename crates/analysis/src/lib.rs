@@ -1,0 +1,37 @@
+//! # blob-analysis — result post-processing for GPU-BLOB
+//!
+//! The Rust counterparts of the artifact's analysis scripts:
+//!
+//! - [`extract`] — offload-threshold extraction from raw CSV rows
+//!   (`calculateOffloadThreshold.py`), including the LUMI workflow of
+//!   pairing separately-collected CPU and GPU files;
+//! - [`plot`] — GFLOP/s-vs-size charts as ASCII (terminal) and SVG
+//!   (`createGflopsGraphs.py`);
+//! - [`table`] — the paper-style stdout tables, including the `S:D`
+//!   threshold-pair convention of Tables III–VI;
+//! - [`roofline`], [`timeline`], [`stats`], [`report`] — roofline plots,
+//!   trace Gantt charts, measurement statistics and markdown reports.
+//!
+//! ```
+//! use blob_analysis::{ascii_chart, Series};
+//!
+//! let series = [Series::from_usize("cpu", &[(1, 10.0), (2, 40.0), (3, 90.0)])];
+//! let chart = ascii_chart("GFLOP/s", &series, 40, 8);
+//! assert!(chart.contains("cpu"));
+//! ```
+
+pub mod extract;
+pub mod plot;
+pub mod report;
+pub mod roofline;
+pub mod stats;
+pub mod table;
+pub mod timeline;
+
+pub use extract::{extract_thresholds, gflops_series, ExtractedThreshold, SeriesKey};
+pub use plot::{ascii_chart, svg_chart, write_svg, Series};
+pub use report::markdown_report;
+pub use roofline::{roofline_svg, KernelPoint, Roofline};
+pub use stats::{summarize, Summary, ThresholdStability};
+pub use timeline::timeline_svg;
+pub use table::{sd_pair_cell, threshold_cell, Table};

@@ -1,0 +1,154 @@
+//! Roofline analysis: the visual form of the paper's *Arithmetic
+//! Intensity* argument (§IV-C reasons about offload behaviour via
+//! FLOPs/byte; a roofline makes the same argument quantitative).
+//!
+//! For a device with peak compute `P` (GFLOP/s) and stream bandwidth `B`
+//! (GB/s), a kernel of arithmetic intensity `I` (FLOPs/byte) can at best
+//! achieve `min(P, I·B)`. The *machine balance* `P/B` is the intensity
+//! where the two rooflines meet — kernels below it are bandwidth-bound
+//! (GEMV at I ≈ 0.25, SpMV lower still), kernels above it compute-bound
+//! (large GEMM).
+
+use crate::plot::{svg_chart, Series};
+
+/// A device's roofline parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Roofline {
+    /// Peak compute in GFLOP/s.
+    pub peak_gflops: f64,
+    /// Stream bandwidth in GB/s.
+    pub bandwidth_gbs: f64,
+}
+
+impl Roofline {
+    /// Attainable GFLOP/s at arithmetic intensity `i` (FLOPs/byte).
+    pub fn attainable(&self, i: f64) -> f64 {
+        (i * self.bandwidth_gbs).min(self.peak_gflops)
+    }
+
+    /// The machine balance: the intensity where bandwidth stops binding.
+    pub fn balance(&self) -> f64 {
+        self.peak_gflops / self.bandwidth_gbs
+    }
+
+    /// True when a kernel of intensity `i` is bandwidth-bound here.
+    pub fn bandwidth_bound(&self, i: f64) -> bool {
+        i < self.balance()
+    }
+}
+
+/// A kernel pinned onto the roofline plot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelPoint {
+    pub name: String,
+    /// Arithmetic intensity in FLOPs/byte.
+    pub intensity: f64,
+}
+
+/// Renders a log-log-ish roofline SVG: one roofline polyline per device
+/// plus a vertical marker series per kernel (drawn as a two-point spike).
+pub fn roofline_svg(title: &str, devices: &[(String, Roofline)], kernels: &[KernelPoint]) -> String {
+    // sample intensities log-spaced over a range that covers everything
+    let max_balance = devices
+        .iter()
+        .map(|(_, r)| r.balance())
+        .fold(1.0f64, f64::max);
+    let i_max = (max_balance * 8.0).max(64.0);
+    let n = 64;
+    let xs: Vec<f64> = (0..=n)
+        .map(|k| 0.01 * (i_max / 0.01f64).powf(k as f64 / n as f64))
+        .collect();
+    let mut series: Vec<Series> = devices
+        .iter()
+        .map(|(name, r)| Series {
+            name: name.clone(),
+            points: xs.iter().map(|&i| (i.log10(), r.attainable(i).log10())).collect(),
+        })
+        .collect();
+    let y_top = devices
+        .iter()
+        .map(|(_, r)| r.peak_gflops)
+        .fold(1.0f64, f64::max)
+        .log10();
+    for k in kernels {
+        let x = k.intensity.log10();
+        series.push(Series {
+            name: format!("{} (AI {:.2})", k.name, k.intensity),
+            points: vec![(x, -1.0), (x, y_top)],
+        });
+    }
+    svg_chart(
+        title,
+        "log10 arithmetic intensity (FLOPs/byte)",
+        "log10 attainable GFLOP/s",
+        &series,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attainable_is_min_of_rooflines() {
+        let r = Roofline {
+            peak_gflops: 1000.0,
+            bandwidth_gbs: 100.0,
+        };
+        assert_eq!(r.balance(), 10.0);
+        assert_eq!(r.attainable(1.0), 100.0); // bandwidth roof
+        assert_eq!(r.attainable(10.0), 1000.0); // the ridge
+        assert_eq!(r.attainable(100.0), 1000.0); // compute roof
+        assert!(r.bandwidth_bound(0.25));
+        assert!(!r.bandwidth_bound(50.0));
+    }
+
+    #[test]
+    fn gemv_is_bandwidth_bound_everywhere_gemm_is_not() {
+        // realistic device balances straddle GEMV's ~0.25 flops/byte and
+        // large GEMM's hundreds
+        for (p, b) in [(3000.0, 250.0), (21_000.0, 1300.0), (60_000.0, 3300.0)] {
+            let r = Roofline {
+                peak_gflops: p,
+                bandwidth_gbs: b,
+            };
+            assert!(r.bandwidth_bound(0.25), "GEMV bound at balance {}", r.balance());
+            assert!(!r.bandwidth_bound(500.0), "large GEMM unbound");
+        }
+    }
+
+    #[test]
+    fn svg_contains_all_series() {
+        let devices = vec![
+            (
+                "CPU".to_string(),
+                Roofline {
+                    peak_gflops: 3000.0,
+                    bandwidth_gbs: 250.0,
+                },
+            ),
+            (
+                "GPU".to_string(),
+                Roofline {
+                    peak_gflops: 40_000.0,
+                    bandwidth_gbs: 1200.0,
+                },
+            ),
+        ];
+        let kernels = vec![
+            KernelPoint {
+                name: "SGEMV".into(),
+                intensity: 0.25,
+            },
+            KernelPoint {
+                name: "SGEMM 4096".into(),
+                intensity: 680.0,
+            },
+        ];
+        let svg = roofline_svg("rooflines", &devices, &kernels);
+        assert!(svg.contains("CPU"));
+        assert!(svg.contains("GPU"));
+        assert!(svg.contains("SGEMV"));
+        assert_eq!(svg.matches("<polyline").count(), 4);
+    }
+}

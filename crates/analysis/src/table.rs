@@ -1,0 +1,157 @@
+//! Fixed-width text tables in the paper's style.
+//!
+//! The benchmark prints offload thresholds "in a table to stdout" (AD
+//! appendix); these helpers render the same structures: a generic aligned
+//! table plus the paper's `S:D` threshold-pair cell convention, where a
+//! missing threshold prints as `—`.
+
+use blob_sim::Kernel;
+
+/// A simple fixed-width table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    pub title: String,
+    pub headers: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (must match the header count).
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match header width"
+        );
+        self.rows.push(cells);
+    }
+
+    /// Renders the table as aligned text.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            out.push_str(&self.title);
+            out.push('\n');
+        }
+        let sep: String = widths
+            .iter()
+            .map(|w| "-".repeat(w + 2))
+            .collect::<Vec<_>>()
+            .join("+");
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for (i, width) in widths.iter().enumerate().take(cols) {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                let pad = width - cell.chars().count();
+                line.push(' ');
+                line.push_str(cell);
+                line.push_str(&" ".repeat(pad + 1));
+                if i + 1 < cols {
+                    line.push('|');
+                }
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        out.push_str(&sep);
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats one threshold as the paper writes it: `{m, n, k}` for GEMM,
+/// `{m, n}` for GEMV, `—` for none.
+pub fn threshold_cell(t: Option<Kernel>) -> String {
+    match t {
+        None => "—".to_string(),
+        Some(Kernel::Gemm { m, n, k }) => format!("{{{m}, {n}, {k}}}"),
+        Some(Kernel::Gemv { m, n }) => format!("{{{m}, {n}}}"),
+    }
+}
+
+/// Formats an `S:D` threshold pair using the dominant dimension only, the
+/// compact form of Tables III/IV (e.g. `629 : 582`, `— : —`). For square
+/// problems the dominant dimension is the (equal) size parameter; for
+/// non-square entries the varying dimension is reported.
+pub fn sd_pair_cell(s: Option<usize>, d: Option<usize>) -> String {
+    let f = |v: Option<usize>| match v {
+        Some(x) => x.to_string(),
+        None => "—".to_string(),
+    };
+    format!("{} : {}", f(s), f(d))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("Demo", &["Sys", "Value"]);
+        t.push_row(vec!["DAWN".into(), "1".into()]);
+        t.push_row(vec!["Isambard-AI".into(), "12345".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], "Demo");
+        // all data lines have the same width
+        assert_eq!(lines[1].chars().count(), lines[3].chars().count());
+        assert!(lines[3].contains("DAWN"));
+        assert!(lines[4].contains("Isambard-AI"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.push_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn threshold_cells() {
+        assert_eq!(threshold_cell(None), "—");
+        assert_eq!(
+            threshold_cell(Some(Kernel::Gemm { m: 26, n: 26, k: 26 })),
+            "{26, 26, 26}"
+        );
+        assert_eq!(
+            threshold_cell(Some(Kernel::Gemv { m: 256, n: 256 })),
+            "{256, 256}"
+        );
+    }
+
+    #[test]
+    fn sd_pairs() {
+        assert_eq!(sd_pair_cell(Some(629), Some(582)), "629 : 582");
+        assert_eq!(sd_pair_cell(None, None), "— : —");
+        assert_eq!(sd_pair_cell(Some(2), None), "2 : —");
+    }
+
+    #[test]
+    fn empty_table_renders_headers_only() {
+        let t = Table::new("", &["h1", "h2"]);
+        let s = t.render();
+        assert!(s.contains("h1"));
+        assert_eq!(s.lines().count(), 2); // header + separator
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based tests for the analysis crate: table rendering geometry,
+//! extractor invariance to row order, and chart robustness.
+
+use blob_analysis::{ascii_chart, extract_thresholds, svg_chart, Series, Table};
+use blob_core::csv::{parse_csv, to_csv_string};
+use blob_core::problem::{GemmProblem, Problem};
+use blob_core::runner::{run_sweep, SweepConfig};
+use blob_sim::{presets, Precision};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every rendered table line has identical display width, whatever the
+    /// cell contents (including the em-dash and braces the paper uses).
+    #[test]
+    fn table_lines_equal_width(
+        rows in proptest::collection::vec(
+            proptest::collection::vec("[a-z0-9{}—:, ]{0,18}", 3),
+            1..8,
+        ),
+    ) {
+        let mut t = Table::new("T", &["col one", "c2", "a-much-longer-header"]);
+        for r in &rows {
+            t.push_row(r.clone());
+        }
+        let rendered = t.render();
+        let widths: Vec<usize> = rendered
+            .lines()
+            .skip(1) // title
+            .map(|l| l.chars().count())
+            .collect();
+        prop_assert!(!widths.is_empty());
+        let first = widths[0];
+        for (i, w) in widths.iter().enumerate() {
+            prop_assert_eq!(*w, first, "line {} width {} vs {}", i, w, first);
+        }
+        // every cell appears somewhere
+        for r in &rows {
+            for cell in r {
+                if !cell.is_empty() {
+                    prop_assert!(rendered.contains(cell.as_str()));
+                }
+            }
+        }
+    }
+
+    /// The extractor's verdicts do not depend on CSV row order.
+    #[test]
+    fn extractor_order_invariant(shuffle_seed in any::<u64>()) {
+        let sweep = run_sweep(
+            &presets::lumi(),
+            Problem::Gemm(GemmProblem::Square),
+            Precision::F32,
+            &SweepConfig::new(1, 64, 32),
+        );
+        let mut rows = parse_csv(&to_csv_string(&sweep)).unwrap();
+        let baseline = extract_thresholds(&rows);
+        // deterministic shuffle
+        let mut state = shuffle_seed | 1;
+        for i in (1..rows.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let j = (state >> 33) as usize % (i + 1);
+            rows.swap(i, j);
+        }
+        let shuffled = extract_thresholds(&rows);
+        prop_assert_eq!(baseline, shuffled);
+    }
+
+    /// Charts never panic and always embed every series name, for any
+    /// finite data.
+    #[test]
+    fn charts_robust_to_arbitrary_series(
+        data in proptest::collection::vec(
+            proptest::collection::vec((0.0f64..1e6, -1e6f64..1e6), 0..50),
+            1..5,
+        ),
+    ) {
+        let series: Vec<Series> = data
+            .iter()
+            .enumerate()
+            .map(|(i, pts)| Series {
+                name: format!("series-{i}"),
+                points: pts.clone(),
+            })
+            .collect();
+        let txt = ascii_chart("t", &series, 60, 12);
+        let svg = svg_chart("t", "x", "y", &series);
+        let any_data = series.iter().any(|q| !q.points.is_empty());
+        if any_data {
+            for s in &series {
+                prop_assert!(txt.contains(&s.name));
+                prop_assert!(svg.contains(&s.name));
+            }
+        } else {
+            // all-empty input renders the documented placeholder
+            prop_assert!(txt.contains("no data"));
+        }
+        prop_assert!(svg.starts_with("<svg") && svg.ends_with("</svg>"));
+    }
+}

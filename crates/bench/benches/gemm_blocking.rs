@@ -1,0 +1,58 @@
+//! Blocking-parameter ablation for the Goto GEMM — the design-choice study
+//! DESIGN.md calls out: how much do the cache-block sizes (MC, KC, NC)
+//! matter, and are the shipped defaults sensible on this host?
+//!
+//! ```text
+//! cargo bench -p blob-bench --bench gemm_blocking
+//! ```
+
+use blob_blas::{gemm_blocked_with, BlockConfig};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn filled(len: usize, seed: u64) -> Vec<f64> {
+    (0..len)
+        .map(|i| {
+            let h = seed
+                .wrapping_mul(0x9e3779b97f4a7c15)
+                .wrapping_add(i as u64)
+                .wrapping_mul(0xbf58476d1ce4e5b9);
+            ((h >> 33) as f64 / (1u64 << 31) as f64) - 0.5
+        })
+        .collect()
+}
+
+fn bench_blocking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm_blocking");
+    let s = 384;
+    let a = filled(s * s, 1);
+    let b = filled(s * s, 2);
+    let mut out = vec![0.0f64; s * s];
+    group.throughput(Throughput::Elements((2 * s * s * s) as u64));
+    let configs = [
+        ("default_128_256_2048", BlockConfig::default()),
+        ("tiny_32_64_512", BlockConfig::new(32, 64, 512)),
+        ("tall_256_128_2048", BlockConfig::new(256, 128, 2048)),
+        ("deep_64_512_2048", BlockConfig::new(64, 512, 2048)),
+        ("huge_512_512_4096", BlockConfig::new(512, 512, 4096)),
+        ("degenerate_8_8_8", BlockConfig::new(8, 8, 8)),
+    ];
+    for (name, cfg) in configs {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |bench, &cfg| {
+            bench.iter(|| {
+                gemm_blocked_with(cfg, s, s, s, 1.0, &a, s, &b, s, 0.0, &mut out, s);
+                black_box(&out);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_blocking
+}
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! **Extension experiment** (related work §II, MAGMA): when does splitting
+//! one GEMM across CPU *and* GPU beat the better single device — and what
+//! do next-generation unified-memory APUs (MI300A, from the paper's
+//! introduction) do to the whole offload question?
+//!
+//! ```text
+//! cargo run -p blob-bench --release --bin ext_hybrid
+//! ```
+
+use blob_analysis::Table;
+use blob_sim::{best_split, presets, BlasCall, Offload, Precision};
+
+fn main() {
+    // --- MAGMA-style hybrid splits ------------------------------------------
+    let mut table = Table::new(
+        "Best CPU+GPU split for square SGEMM (Transfer-Once, 32 iterations)",
+        &["Size", "System", "GPU share", "CPU-only", "GPU-only", "Hybrid", "vs best single"],
+    );
+    for sys in [
+        presets::dawn(),
+        presets::lumi(),
+        presets::isambard_ai(),
+        presets::a100_workstation(),
+    ] {
+        for s in [512usize, 1024, 4096] {
+            let call = BlasCall::gemm(Precision::F32, s, s, s);
+            let plan = best_split(&sys, &call, 32, Offload::TransferOnce, 64).unwrap();
+            table.push_row(vec![
+                s.to_string(),
+                sys.name.to_string(),
+                format!("{:.0}%", plan.gpu_fraction * 100.0),
+                format!("{:.2} ms", plan.cpu_seconds * 1e3),
+                format!("{:.2} ms", plan.gpu_seconds * 1e3),
+                format!("{:.2} ms", plan.hybrid_seconds * 1e3),
+                format!("{:.2}x", plan.speedup_vs_best_single),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    println!("MAGMA's claim reproduced in-model: hybrid execution pays most where the");
+    println!("devices are balanced (near the offload threshold) and fades to ~1x where");
+    println!("one device dominates.\n");
+
+    // --- The MI300A limit -----------------------------------------------------
+    println!("Unified-memory APU (MI300A-class) square thresholds vs the paper's systems:");
+    let mut t2 = Table::new(
+        "Square SGEMM / SGEMV Transfer-Once thresholds at 1 and 8 iterations",
+        &["System", "GEMM i=1", "GEMM i=8", "GEMV i=1", "GEMV i=8"],
+    );
+    for sys in [
+        presets::a100_workstation(),
+        presets::dawn(),
+        presets::isambard_ai(),
+        presets::mi300a(),
+    ] {
+        let thr = |gemv: bool, iters: u32| -> String {
+            let mut last = None;
+            let mut prev = false;
+            let max = 4096usize;
+            for s in 1..=max {
+                let call = if gemv {
+                    BlasCall::gemv(Precision::F32, s, s)
+                } else {
+                    BlasCall::gemm(Precision::F32, s, s, s)
+                };
+                let w = sys.cpu_seconds(&call, iters)
+                    < sys.gpu_seconds(&call, iters, Offload::TransferOnce).unwrap();
+                if w && (prev || s == 1) {
+                    last = Some(s);
+                }
+                prev = w;
+            }
+            match last {
+                None => "1".into(),
+                Some(s) if s < max => (s + 1).to_string(),
+                Some(_) => "—".into(),
+            }
+        };
+        t2.push_row(vec![
+            sys.name.to_string(),
+            thr(false, 1),
+            thr(false, 8),
+            thr(true, 1),
+            thr(true, 8),
+        ]);
+    }
+    println!("{}", t2.render());
+    println!("Reading, down the rows: the weaker the link, the bigger the thresholds;");
+    println!("the GH200 shrinks them to tens; a unified-memory APU erases the offload");
+    println!("question almost entirely — the endpoint of the SoC trend the paper's");
+    println!("conclusion predicts.");
+}

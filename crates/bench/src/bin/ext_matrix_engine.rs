@@ -1,0 +1,62 @@
+//! **Extension experiment** (paper future work §V, CPU matrix engines):
+//! how much do AMX/SME/MMA-class engines raise the GPU offload threshold?
+//!
+//! "Building on this work, we aim to analyse the impact of CPU matrix
+//! engines on the offload threshold." — this binary answers the question
+//! in-model by re-deriving the square-GEMM Transfer-Once thresholds with
+//! each engine class grafted onto each system's CPU.
+//!
+//! ```text
+//! cargo run -p blob-bench --release --bin ext_matrix_engine
+//! ```
+
+use blob_analysis::Table;
+use blob_bench::{sweep, threshold_param};
+use blob_core::problem::{GemmProblem, Problem};
+use blob_sim::{presets, with_matrix_engine, MatrixEngine, Offload, Precision, SystemModel};
+
+fn threshold(sys: &SystemModel, precision: Precision, iters: u32) -> String {
+    let s = sweep(sys, Problem::Gemm(GemmProblem::Square), precision, iters);
+    threshold_param(Problem::Gemm(GemmProblem::Square), s.threshold(Offload::TransferOnce))
+        .map(|v| v.to_string())
+        .unwrap_or_else(|| "—".into())
+}
+
+fn main() {
+    let engines: [(&str, Option<MatrixEngine>); 4] = [
+        ("baseline (SIMD only)", None),
+        ("MMA-class (2x/2x)", Some(MatrixEngine::mma_class())),
+        ("SME-class (4x/2x)", Some(MatrixEngine::sme_class())),
+        ("AMX-class (8x/1x)", Some(MatrixEngine::amx_class())),
+    ];
+
+    for iters in [8u32, 128] {
+        let mut table = Table::new(
+            format!("Square GEMM Transfer-Once offload threshold (S : D), {iters} iterations"),
+            &["CPU engine", "DAWN", "LUMI", "Isambard-AI"],
+        );
+        for (name, engine) in &engines {
+            let mut row = vec![name.to_string()];
+            for base in [presets::dawn(), presets::lumi(), presets::isambard_ai()] {
+                let sys = match engine {
+                    Some(e) => with_matrix_engine(base, *e),
+                    None => base,
+                };
+                row.push(format!(
+                    "{} : {}",
+                    threshold(&sys, Precision::F32, iters),
+                    threshold(&sys, Precision::F64, iters)
+                ));
+            }
+            table.push_row(row);
+        }
+        println!("{}", table.render());
+    }
+
+    println!("Expected shape: every engine raises the SGEMM threshold (the CPU");
+    println!("holds on to larger problems); AMX-class leaves DGEMM thresholds");
+    println!("unchanged (no FP64 tiles), while SME/MMA-class raise both. On the");
+    println!("GH200 the GPU's margin is so large that even a 4x CPU only nudges");
+    println!("the threshold — the SoC conclusion of the paper survives matrix");
+    println!("engines.");
+}

@@ -1,0 +1,47 @@
+//! Regenerates **Fig 2**: square SGEMM performance (1 iteration) on DAWN —
+//! the oneMKL CPU performance cliff at {629, 629, 629} and the GPU curves
+//! that cross it.
+//!
+//! Writes `results/fig2_dawn_sgemm_1iter.svg` and prints an ASCII preview.
+//!
+//! ```text
+//! cargo run -p blob-bench --release --bin fig2
+//! ```
+
+use blob_analysis::{ascii_chart, write_svg, Series};
+use blob_bench::{results_dir, sweep};
+use blob_core::problem::{GemmProblem, Problem};
+use blob_sim::{presets, Offload, Precision};
+
+fn main() {
+    let sys = presets::dawn();
+    let s = sweep(&sys, Problem::Gemm(GemmProblem::Square), Precision::F32, 1);
+    let series = vec![
+        Series::from_usize("CPU (oneMKL, 48T)", &s.cpu_series()),
+        Series::from_usize("GPU Transfer-Once", &s.gpu_series(Offload::TransferOnce)),
+        Series::from_usize("GPU Transfer-Always", &s.gpu_series(Offload::TransferAlways)),
+        Series::from_usize("GPU USM", &s.gpu_series(Offload::Unified)),
+    ];
+    let title = "Fig 2 — Square SGEMM performance (1 iteration) on DAWN";
+    println!("{}", ascii_chart(title, &series, 100, 24));
+
+    // Quantify the cliff the paper highlights.
+    let g = |p: usize| {
+        s.records
+            .iter()
+            .find(|r| r.param == p)
+            .map(|r| r.cpu_gflops)
+            .unwrap_or(0.0)
+    };
+    println!("CPU GFLOP/s at 628: {:.0}", g(628));
+    println!("CPU GFLOP/s at 629: {:.0}  (the oneMKL heuristic cliff)", g(629));
+    println!("CPU GFLOP/s at 3500: {:.0} (recovered)", g(3500));
+    println!(
+        "Threshold (Transfer-Once): {:?}",
+        s.threshold(Offload::TransferOnce)
+    );
+
+    let path = results_dir().join("fig2_dawn_sgemm_1iter.svg");
+    write_svg(&path, title, "M = N = K", "GFLOP/s", &series).expect("write SVG");
+    println!("wrote {}", path.display());
+}

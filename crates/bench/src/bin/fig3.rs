@@ -1,0 +1,75 @@
+//! Regenerates **Fig 3**: square SGEMM performance on Isambard-AI for
+//! different CPU libraries and configurations — NVPL with 72 threads vs
+//! ArmPL vs single-threaded NVPL over the first 192 problem sizes, at 1 and
+//! 8 iterations.
+//!
+//! The paper's point: NVPL wakes all 72 threads at every size, so ArmPL
+//! (adaptive threading) and single-threaded NVPL win at small sizes —
+//! library heuristics are one cause of Isambard-AI's tiny offload
+//! thresholds.
+//!
+//! ```text
+//! cargo run -p blob-bench --release --bin fig3
+//! ```
+
+use blob_analysis::{ascii_chart, write_svg, Series};
+use blob_bench::results_dir;
+use blob_core::problem::{GemmProblem, Problem};
+use blob_core::runner::{run_sweep, SweepConfig};
+use blob_sim::{presets, Precision};
+
+fn main() {
+    let configs = [
+        presets::isambard_ai(),         // NVPL, 72 threads
+        presets::isambard_ai_armpl(),   // ArmPL 24.04
+        presets::isambard_ai_nvpl_1t(), // NVPL, 1 thread
+    ];
+    for iters in [1u32, 8] {
+        let cfg = SweepConfig::new(1, 192, iters);
+        let series: Vec<Series> = configs
+            .iter()
+            .map(|sys| {
+                let s = run_sweep(
+                    sys,
+                    Problem::Gemm(GemmProblem::Square),
+                    Precision::F32,
+                    &cfg,
+                );
+                Series::from_usize(sys.cpu_lib.name, &s.cpu_series())
+            })
+            .collect();
+        let title = format!(
+            "Fig 3 — Square SGEMM on Isambard-AI CPU, first 192 sizes ({iters} iteration{})",
+            if iters == 1 { "" } else { "s" }
+        );
+        println!("{}", ascii_chart(&title, &series, 100, 20));
+
+        // the paper's observation, quantified at a small size
+        let at = |s: &Series, x: f64| {
+            s.points
+                .iter()
+                .find(|p| p.0 >= x)
+                .map(|p| p.1)
+                .unwrap_or(0.0)
+        };
+        let small = 48.0;
+        println!(
+            "GFLOP/s at size {small}: NVPL-72T {:.1} | ArmPL {:.1} | NVPL-1T {:.1}",
+            at(&series[0], small),
+            at(&series[1], small),
+            at(&series[2], small),
+        );
+        assert!(
+            at(&series[1], small) > at(&series[0], small),
+            "ArmPL must beat NVPL-72T at small sizes (Fig 3)"
+        );
+        assert!(
+            at(&series[2], small) > at(&series[0], small),
+            "NVPL-1T must beat NVPL-72T at small sizes (Fig 3)"
+        );
+
+        let path = results_dir().join(format!("fig3_isambard_cpu_libs_i{iters}.svg"));
+        write_svg(&path, &title, "M = N = K", "GFLOP/s", &series).expect("write SVG");
+        println!("wrote {}\n", path.display());
+    }
+}

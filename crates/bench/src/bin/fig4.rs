@@ -1,0 +1,54 @@
+//! Regenerates **Fig 4**: square DGEMV performance (1 iteration) on all
+//! three systems.
+//!
+//! The paper's observations at one iteration:
+//! - on DAWN and Isambard-AI there is a *considerable interior range* where
+//!   the GPU outperforms the CPU (caused by CPU performance drops), yet no
+//!   offload threshold is produced;
+//! - on LUMI the CPU always outperforms the GPU, by a narrowing margin.
+//!
+//! ```text
+//! cargo run -p blob-bench --release --bin fig4
+//! ```
+
+use blob_analysis::{ascii_chart, write_svg, Series};
+use blob_bench::{results_dir, sweep};
+use blob_core::problem::{GemvProblem, Problem};
+use blob_sim::{presets, Offload, Precision};
+
+fn main() {
+    for sys in [presets::dawn(), presets::lumi(), presets::isambard_ai()] {
+        let s = sweep(&sys, Problem::Gemv(GemvProblem::Square), Precision::F64, 1);
+        let series = vec![
+            Series::from_usize("CPU", &s.cpu_series()),
+            Series::from_usize("GPU Transfer-Once", &s.gpu_series(Offload::TransferOnce)),
+            Series::from_usize("GPU USM", &s.gpu_series(Offload::Unified)),
+        ];
+        let title = format!("Fig 4 — Square DGEMV performance (1 iteration) on {}", sys.name);
+        println!("{}", ascii_chart(&title, &series, 100, 18));
+        println!(
+            "Offload threshold (Once): {:?} — expected None at 1 iteration",
+            s.threshold(Offload::TransferOnce)
+        );
+        // count sizes where the GPU wins despite the absent threshold
+        let gpu_wins = s
+            .records
+            .iter()
+            .filter(|r| {
+                r.gpu_sample(Offload::TransferOnce)
+                    .map(|g| g.seconds < r.cpu_seconds)
+                    .unwrap_or(false)
+            })
+            .count();
+        println!(
+            "sizes where the GPU outperforms the CPU anyway: {gpu_wins} of {}\n",
+            s.records.len()
+        );
+        let path = results_dir().join(format!(
+            "fig4_dgemv_1iter_{}.svg",
+            sys.name.to_lowercase().replace([' ', '-'], "_")
+        ));
+        write_svg(&path, &title, "M = N", "GFLOP/s", &series).expect("write SVG");
+        println!("wrote {}\n", path.display());
+    }
+}

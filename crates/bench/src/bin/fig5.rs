@@ -1,0 +1,45 @@
+//! Regenerates **Fig 5**: square SGEMV performance (128 iterations) on
+//! Isambard-AI and DAWN.
+//!
+//! The paper's observations: Isambard-AI's Transfer-Once/USM curves are
+//! steep from small sizes (NVLink-C2C feeds the H100's HBM), with a CPU
+//! drop at ~{256, 256}; DAWN's GPU curves are shallow and slowly rising
+//! (PCIe-bound), so its thresholds sit near the top of the sweep.
+//!
+//! ```text
+//! cargo run -p blob-bench --release --bin fig5
+//! ```
+
+use blob_analysis::{ascii_chart, write_svg, Series};
+use blob_bench::{results_dir, sweep};
+use blob_core::problem::{GemvProblem, Problem};
+use blob_sim::{presets, Offload, Precision};
+
+fn main() {
+    for sys in [presets::isambard_ai(), presets::dawn()] {
+        let s = sweep(&sys, Problem::Gemv(GemvProblem::Square), Precision::F32, 128);
+        let series = vec![
+            Series::from_usize("CPU", &s.cpu_series()),
+            Series::from_usize("GPU Transfer-Once", &s.gpu_series(Offload::TransferOnce)),
+            Series::from_usize("GPU Transfer-Always", &s.gpu_series(Offload::TransferAlways)),
+            Series::from_usize("GPU USM", &s.gpu_series(Offload::Unified)),
+        ];
+        let title = format!(
+            "Fig 5 — Square SGEMV performance (128 iterations) on {}",
+            sys.name
+        );
+        println!("{}", ascii_chart(&title, &series, 100, 18));
+        println!(
+            "thresholds: Once {:?} | Always {:?} | USM {:?}\n",
+            s.threshold(Offload::TransferOnce),
+            s.threshold(Offload::TransferAlways),
+            s.threshold(Offload::Unified),
+        );
+        let path = results_dir().join(format!(
+            "fig5_sgemv_128iter_{}.svg",
+            sys.name.to_lowercase().replace([' ', '-'], "_")
+        ));
+        write_svg(&path, &title, "M = N", "GFLOP/s", &series).expect("write SVG");
+        println!("wrote {}\n", path.display());
+    }
+}

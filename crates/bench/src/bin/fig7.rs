@@ -1,0 +1,75 @@
+//! Regenerates **Fig 7** (Appendix A): DAWN GPU square SGEMM performance
+//! (32 iterations) using implicit vs explicit hardware scaling of the Intel
+//! Max 1550's two tiles.
+//!
+//! The paper's finding: implicit scaling (driver spreads work across both
+//! tiles) yields much lower and less-consistent performance than explicit
+//! scaling to one tile, despite twice the compute — cross-tile
+//! communication dominates.
+//!
+//! ```text
+//! cargo run -p blob-bench --release --bin fig7
+//! ```
+
+use blob_analysis::{ascii_chart, write_svg, Series};
+use blob_bench::{results_dir, sweep};
+use blob_core::problem::{GemmProblem, Problem};
+use blob_sim::{presets, Offload, Precision};
+
+fn main() {
+    let explicit = sweep(
+        &presets::dawn(),
+        Problem::Gemm(GemmProblem::Square),
+        Precision::F32,
+        32,
+    );
+    let implicit = sweep(
+        &presets::dawn_implicit_scaling(),
+        Problem::Gemm(GemmProblem::Square),
+        Precision::F32,
+        32,
+    );
+    let series = vec![
+        Series::from_usize(
+            "Explicit scaling (one tile)",
+            &explicit.gpu_series(Offload::TransferOnce),
+        ),
+        Series::from_usize(
+            "Implicit scaling (both tiles)",
+            &implicit.gpu_series(Offload::TransferOnce),
+        ),
+    ];
+    let title = "Fig 7 — DAWN GPU SGEMM (32 iterations): implicit vs explicit scaling";
+    println!("{}", ascii_chart(title, &series, 100, 20));
+
+    let at = |s: &Series, x: f64| s.points.iter().find(|p| p.0 >= x).map(|p| p.1).unwrap_or(0.0);
+    for size in [1024.0, 2048.0, 4096.0] {
+        let e = at(&series[0], size);
+        let i = at(&series[1], size);
+        println!(
+            "size {size:>5}: explicit {e:>8.0} GFLOP/s | implicit {i:>8.0} GFLOP/s ({:.2}x)",
+            e / i
+        );
+    }
+    // quantify the "less consistent" part: relative point-to-point jitter
+    let jitter = |s: &Series| {
+        let mut acc = 0.0;
+        let mut n = 0;
+        for w in s.points.windows(2) {
+            if w[0].1 > 0.0 && w[0].0 > 1000.0 {
+                acc += ((w[1].1 - w[0].1) / w[0].1).abs();
+                n += 1;
+            }
+        }
+        acc / n.max(1) as f64
+    };
+    println!(
+        "mean point-to-point variation (sizes > 1000): explicit {:.3} | implicit {:.3}",
+        jitter(&series[0]),
+        jitter(&series[1])
+    );
+
+    let path = results_dir().join("fig7_dawn_implicit_vs_explicit.svg");
+    write_svg(&path, title, "M = N = K", "GFLOP/s", &series).expect("write SVG");
+    println!("wrote {}", path.display());
+}

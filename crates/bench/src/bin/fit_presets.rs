@@ -1,0 +1,182 @@
+//! **Calibration methodology**: automatic refinement of the preset models
+//! against the paper's Table III targets.
+//!
+//! The presets in `blob-sim` were calibrated manually (hardware numbers
+//! from public specs, library envelopes tuned until Tables III–VI match
+//! the paper's structure — see DESIGN.md §5). This binary makes that step
+//! reproducible: starting from the shipped presets, it runs coordinate
+//! descent on five per-system knobs (CPU/GPU ramp half-works, CPU
+//! overhead, GPU launch, cache-warmth boost) to minimise the log-distance
+//! between modelled and published square-GEMM thresholds, and reports the
+//! residual per table cell.
+//!
+//! It does *not* overwrite the presets — it prints what the optimiser
+//! found so a maintainer can audit the trade-offs before adopting them.
+//!
+//! ```text
+//! cargo run -p blob-bench --release --bin fit_presets
+//! ```
+
+use blob_bench::{threshold_grid, ThresholdRow};
+use blob_core::problem::{GemmProblem, Problem};
+use blob_sim::{presets, SystemModel};
+
+/// Paper Table III, square GEMM thresholds as (S, D) options per
+/// (iteration row, offload column), per system. `None` = `—`.
+type Cell = (Option<usize>, Option<usize>);
+
+fn paper_targets(system: &str) -> Vec<[Cell; 3]> {
+    // rows: iterations 1, 8, 32, 64, 128; columns: Once, Always, USM
+    match system {
+        "DAWN" => vec![
+            [(Some(629), Some(582)), (Some(629), Some(582)), (Some(657), Some(626))],
+            [(Some(572), Some(485)), (Some(629), Some(603)), (Some(596), Some(529))],
+            [(Some(514), Some(377)), (Some(1018), Some(833)), (Some(509), Some(389))],
+            [(Some(514), Some(361)), (Some(1153), Some(1153)), (Some(465), Some(436))],
+            [(Some(514), Some(361)), (Some(1265), Some(1153)), (Some(412), Some(377))],
+        ],
+        "LUMI" => vec![
+            [(Some(502), Some(237)), (Some(441), Some(234)), (None, None)],
+            [(Some(153), Some(125)), (Some(512), Some(256)), (Some(606), Some(539))],
+            [(Some(2), Some(2)), (Some(512), Some(461)), (Some(442), Some(256))],
+            [(Some(2), Some(2)), (Some(589), Some(961)), (Some(381), Some(239))],
+            [(Some(2), Some(2)), (Some(512), Some(1009)), (Some(189), Some(153))],
+        ],
+        _ => vec![
+            [(Some(26), Some(26)), (Some(26), Some(26)), (Some(196), Some(411))],
+            [(Some(26), Some(26)), (Some(26), Some(26)), (Some(26), Some(26))],
+            [(Some(26), Some(26)), (Some(26), Some(26)), (Some(26), Some(26))],
+            [(Some(26), Some(26)), (Some(26), Some(26)), (Some(26), Some(26))],
+            [(Some(26), Some(26)), (Some(26), Some(26)), (Some(26), Some(26))],
+        ],
+    }
+}
+
+/// Log-space distance between a modelled and a target threshold; presence
+/// mismatches cost a flat penalty comparable to a large size error.
+fn cell_loss(model: Option<usize>, target: Option<usize>) -> f64 {
+    match (model, target) {
+        (Some(m), Some(t)) => {
+            let (m, t) = (m.max(1) as f64, t.max(1) as f64);
+            (m.ln() - t.ln()).abs()
+        }
+        (None, None) => 0.0,
+        _ => 3.0, // ~e^3 = 20x size error
+    }
+}
+
+fn grid_loss(grid: &[ThresholdRow], targets: &[[Cell; 3]]) -> f64 {
+    let mut loss = 0.0;
+    for (row, trow) in grid.iter().zip(targets.iter()) {
+        for (cell, tcell) in row.cells.iter().zip(trow.iter()) {
+            loss += cell_loss(cell.0, tcell.0);
+            loss += cell_loss(cell.1, tcell.1);
+        }
+    }
+    loss
+}
+
+/// The tunable knobs, as multipliers applied to a base system.
+#[derive(Debug, Clone, Copy)]
+struct Knobs {
+    cpu_half_work: f64,
+    gpu_half_work: f64,
+    cpu_overhead: f64,
+    gpu_launch: f64,
+    warm_boost: f64,
+}
+
+impl Knobs {
+    fn unit() -> Self {
+        Self {
+            cpu_half_work: 1.0,
+            gpu_half_work: 1.0,
+            cpu_overhead: 1.0,
+            gpu_launch: 1.0,
+            warm_boost: 1.0,
+        }
+    }
+    fn get(&self, i: usize) -> f64 {
+        [self.cpu_half_work, self.gpu_half_work, self.cpu_overhead, self.gpu_launch, self.warm_boost][i]
+    }
+    fn set(&mut self, i: usize, v: f64) {
+        match i {
+            0 => self.cpu_half_work = v,
+            1 => self.gpu_half_work = v,
+            2 => self.cpu_overhead = v,
+            3 => self.gpu_launch = v,
+            _ => self.warm_boost = v,
+        }
+    }
+    const NAMES: [&'static str; 5] = [
+        "cpu_half_work",
+        "gpu_half_work",
+        "cpu_overhead",
+        "gpu_launch",
+        "warm_boost",
+    ];
+}
+
+fn apply(base: &SystemModel, k: &Knobs) -> SystemModel {
+    let mut sys = base.clone();
+    sys.cpu_lib.gemm_half_work *= k.cpu_half_work;
+    sys.cpu_lib.call_overhead_us *= k.cpu_overhead;
+    // boost multiplier scales the warm *gain* (boost - 1)
+    sys.cpu_lib.warm_rate_boost = 1.0 + (sys.cpu_lib.warm_rate_boost - 1.0) * k.warm_boost;
+    if let Some(lib) = sys.gpu_lib.as_mut() {
+        lib.gemm_half_work *= k.gpu_half_work;
+        lib.launch_us *= k.gpu_launch;
+    }
+    sys
+}
+
+fn evaluate(base: &SystemModel, k: &Knobs, targets: &[[Cell; 3]]) -> f64 {
+    let sys = apply(base, k);
+    let grid = threshold_grid(&sys, Problem::Gemm(GemmProblem::Square));
+    grid_loss(&grid, targets)
+}
+
+fn main() {
+    for base in [presets::dawn(), presets::lumi(), presets::isambard_ai()] {
+        let targets = paper_targets(base.name);
+        let mut knobs = Knobs::unit();
+        let mut best = evaluate(&base, &knobs, &targets);
+        let initial = best;
+        println!("{}: initial Table III loss {:.3}", base.name, initial);
+
+        // coordinate descent with multiplicative probes, two rounds
+        for round in 0..2 {
+            for i in 0..5 {
+                for &step in &[0.7, 0.85, 1.2, 1.4] {
+                    let mut probe = knobs;
+                    probe.set(i, (knobs.get(i) * step).clamp(0.25, 4.0));
+                    let loss = evaluate(&base, &probe, &targets);
+                    if loss + 1e-9 < best {
+                        best = loss;
+                        knobs = probe;
+                    }
+                }
+            }
+            println!("  after round {}: loss {:.3}", round + 1, best);
+        }
+
+        println!(
+            "  improvement: {:.1}% (loss {:.3} -> {:.3})",
+            (1.0 - best / initial.max(1e-9)) * 100.0,
+            initial,
+            best
+        );
+        for i in 0..5 {
+            if (knobs.get(i) - 1.0).abs() > 1e-9 {
+                println!("    {:<14} x{:.3}", Knobs::NAMES[i], knobs.get(i));
+            }
+        }
+        if (0..5).all(|i| (knobs.get(i) - 1.0).abs() < 1e-9) {
+            println!("    (shipped preset already at a local optimum)");
+        }
+        println!();
+    }
+    println!("Note: the optimiser only sees Table III; a maintainer must check the");
+    println!("other tables and figures before adopting any knob (the shipped presets");
+    println!("balance all of them — see EXPERIMENTS.md).");
+}

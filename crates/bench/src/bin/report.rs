@@ -1,0 +1,47 @@
+//! Generates per-system markdown reports (`results/report_<system>_*.md`)
+//! for the square GEMM and GEMV problem types — the human-readable summary
+//! of what `all_experiments` measures.
+//!
+//! ```text
+//! cargo run -p blob-bench --release --bin report
+//! ```
+
+use blob_analysis::markdown_report;
+use blob_bench::results_dir;
+use blob_core::problem::{GemmProblem, GemvProblem, Problem};
+use blob_core::runner::{run_sweep, Sweep, SweepConfig};
+use blob_sim::{presets, Precision};
+
+fn main() {
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    for sys in presets::evaluation_systems() {
+        for (tag, problem) in [
+            ("gemm", Problem::Gemm(GemmProblem::Square)),
+            ("gemv", Problem::Gemv(GemvProblem::Square)),
+        ] {
+            let mut sweeps: Vec<Sweep> = Vec::new();
+            for iters in SweepConfig::PAPER_ITERATIONS {
+                for precision in Precision::ALL {
+                    sweeps.push(run_sweep(
+                        &sys,
+                        problem,
+                        precision,
+                        &SweepConfig::paper(iters).with_step(2),
+                    ));
+                }
+            }
+            let md = markdown_report(
+                &format!("{} — square {} offload profile", sys.name, tag.to_uppercase()),
+                &sweeps,
+            );
+            let path = dir.join(format!(
+                "report_{}_{}.md",
+                sys.name.to_lowercase().replace([' ', '-'], "_"),
+                tag
+            ));
+            std::fs::write(&path, md).expect("write report");
+            println!("wrote {}", path.display());
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Roofline plots for the three modelled systems — the visual form of the
+//! paper's Arithmetic Intensity analysis (§IV-C): each system's CPU and
+//! GPU rooflines with the benchmark's kernels pinned at their intensities.
+//!
+//! ```text
+//! cargo run -p blob-bench --release --bin roofline
+//! ```
+
+use blob_analysis::roofline::{roofline_svg, KernelPoint, Roofline};
+use blob_bench::results_dir;
+use blob_sim::{presets, BlasCall, Precision};
+
+fn main() {
+    let kernels = vec![
+        KernelPoint {
+            name: "SGEMV 4096".into(),
+            intensity: BlasCall::gemv(Precision::F32, 4096, 4096).arithmetic_intensity(),
+        },
+        KernelPoint {
+            name: "SGEMM 128".into(),
+            intensity: BlasCall::gemm(Precision::F32, 128, 128, 128).arithmetic_intensity(),
+        },
+        KernelPoint {
+            name: "SGEMM 4096".into(),
+            intensity: BlasCall::gemm(Precision::F32, 4096, 4096, 4096).arithmetic_intensity(),
+        },
+        KernelPoint {
+            name: "SGEMM {32,32,4096}".into(),
+            intensity: BlasCall::gemm(Precision::F32, 32, 32, 4096).arithmetic_intensity(),
+        },
+    ];
+
+    for sys in presets::evaluation_systems() {
+        let cpu = Roofline {
+            peak_gflops: sys.cpu.peak_gflops(Precision::F32, sys.cpu_lib.threads),
+            bandwidth_gbs: sys.cpu.dram_gbs,
+        };
+        let gpu_model = sys.gpu.as_ref().expect("evaluation systems model a GPU");
+        let gpu = Roofline {
+            peak_gflops: gpu_model.peak_gflops(Precision::F32),
+            bandwidth_gbs: gpu_model.hbm_gbs,
+        };
+        // the "effective" GPU roofline seen from the host at 1 iteration:
+        // bandwidth limited by the interconnect instead of HBM
+        let link = sys.link.as_ref().expect("link");
+        let gpu_via_link = Roofline {
+            peak_gflops: gpu.peak_gflops,
+            bandwidth_gbs: link.h2d_gbs,
+        };
+
+        println!("{}:", sys.name);
+        println!(
+            "  CPU balance {:>6.1} flops/byte | GPU balance {:>6.1} | GPU-behind-link balance {:>7.1}",
+            cpu.balance(),
+            gpu.balance(),
+            gpu_via_link.balance()
+        );
+        for k in &kernels {
+            println!(
+                "  {:<20} AI {:>7.2} -> CPU {:>8.0} GF | GPU {:>8.0} GF | via link {:>8.0} GF",
+                k.name,
+                k.intensity,
+                cpu.attainable(k.intensity),
+                gpu.attainable(k.intensity),
+                gpu_via_link.attainable(k.intensity),
+            );
+        }
+        println!();
+
+        let svg = roofline_svg(
+            &format!("Rooflines — {}", sys.name),
+            &[
+                (format!("{} CPU", sys.name), cpu),
+                (format!("{} GPU (resident)", sys.name), gpu),
+                (format!("{} GPU via {}", sys.name, link.name), gpu_via_link),
+            ],
+            &kernels,
+        );
+        let path = results_dir().join(format!(
+            "roofline_{}.svg",
+            sys.name.to_lowercase().replace([' ', '-'], "_")
+        ));
+        if let Some(p) = path.parent() {
+            std::fs::create_dir_all(p).ok();
+        }
+        std::fs::write(&path, svg).expect("write roofline SVG");
+        println!("wrote {}\n", path.display());
+    }
+
+    println!("Reading: GEMV's ~0.25 flops/byte sits under every roofline's ridge —");
+    println!("bandwidth always binds, so the winner is whoever streams faster, which");
+    println!("is why the GH200's 3.3 TB/s HBM + 360 GB/s C2C flips the GEMV mantra");
+    println!("while PCIe systems cannot (their link-limited roofline at AI 0.25 is");
+    println!("a tenth of the CPU's).");
+}

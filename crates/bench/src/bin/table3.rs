@@ -1,0 +1,25 @@
+//! Regenerates **Table III**: square SGEMM:DGEMM (M=N=K) GPU offload
+//! thresholds for each data transfer type and HPC system.
+//!
+//! ```text
+//! cargo run -p blob-bench --release --bin table3
+//! ```
+
+use blob_bench::threshold_table;
+use blob_core::problem::{GemmProblem, Problem};
+use blob_sim::presets;
+
+fn main() {
+    let systems = [presets::dawn(), presets::lumi(), presets::isambard_ai()];
+    let refs: Vec<&_> = systems.iter().collect();
+    let table = threshold_table(
+        "Table III — Square SGEMM:DGEMM (M=N=K) GPU offload thresholds",
+        &refs,
+        Problem::Gemm(GemmProblem::Square),
+    );
+    println!("{}", table.render());
+    println!("Paper reference (SGEMM:DGEMM):");
+    println!("  DAWN        Once 629:582 -> 514:361 | Always 629:582 -> 1265:1153 | USM 657:626 -> 412:377");
+    println!("  LUMI        Once 502:237 -> 2:2     | Always 441:234 -> 512:1009  | USM —:— -> 189:153");
+    println!("  Isambard-AI Once 26:26 (static)     | Always 26:26 (static)       | USM 196:411 -> 26:26");
+}

@@ -1,0 +1,39 @@
+//! Regenerates **Table V**: the iteration count at which each non-square
+//! SGEMM:DGEMM problem type first yields a Transfer-Once offload threshold.
+//!
+//! ```text
+//! cargo run -p blob-bench --release --bin table5
+//! ```
+
+use blob_analysis::Table;
+use blob_bench::{first_iteration_cell, first_threshold_iteration};
+use blob_core::problem::{GemmProblem, Problem};
+use blob_sim::{presets, Precision};
+
+fn main() {
+    let systems = [presets::dawn(), presets::lumi(), presets::isambard_ai()];
+    let mut table = Table::new(
+        "Table V — Iteration count at which each non-square SGEMM:DGEMM problem type first yields an offload threshold",
+        &["Problem type", "DAWN", "LUMI", "Isambard-AI"],
+    );
+    for &g in &GemmProblem::NON_SQUARE {
+        let problem = Problem::Gemm(g);
+        let mut row = vec![problem.label().to_string()];
+        for sys in &systems {
+            let s = first_threshold_iteration(sys, problem, Precision::F32);
+            let d = first_threshold_iteration(sys, problem, Precision::F64);
+            row.push(first_iteration_cell(s, d));
+        }
+        table.push_row(row);
+    }
+    println!("{}", table.render());
+    println!("Paper reference (SGEMM:DGEMM first-threshold iteration count):");
+    println!("  M=N, K=16M    | 1:1  | 1:1   | 1:1");
+    println!("  M=N=32, K>=1  | —:—  | 8:—   | 1:1");
+    println!("  K=N, M=16K    | 1:1  | 8:8   | 1:1");
+    println!("  K=N=32, M>=1  | —:—  | 32:8  | 1:1");
+    println!("  M=K, N=16K    | 1:1  | 1:8   | 1:1");
+    println!("  M=K=32, N>=1  | —:—  | 32:32 | 1:1");
+    println!("  M=N, K=32     | 8:8  | 32:32 | 8:8");
+    println!("  M=N, M=16K    | 1:1  | 8:8   | 1:1");
+}

@@ -1,0 +1,35 @@
+//! Regenerates **Table VI**: the iteration count at which each non-square
+//! SGEMV:DGEMV problem type first yields a Transfer-Once offload threshold.
+//!
+//! ```text
+//! cargo run -p blob-bench --release --bin table6
+//! ```
+
+use blob_analysis::Table;
+use blob_bench::{first_iteration_cell, first_threshold_iteration};
+use blob_core::problem::{GemvProblem, Problem};
+use blob_sim::{presets, Precision};
+
+fn main() {
+    let systems = [presets::dawn(), presets::lumi(), presets::isambard_ai()];
+    let mut table = Table::new(
+        "Table VI — Iteration count at which each non-square SGEMV:DGEMV problem type first yields an offload threshold",
+        &["Problem type", "DAWN", "LUMI", "Isambard-AI"],
+    );
+    for &v in &GemvProblem::NON_SQUARE {
+        let problem = Problem::Gemv(v);
+        let mut row = vec![problem.label().to_string()];
+        for sys in &systems {
+            let s = first_threshold_iteration(sys, problem, Precision::F32);
+            let d = first_threshold_iteration(sys, problem, Precision::F64);
+            row.push(first_iteration_cell(s, d));
+        }
+        table.push_row(row);
+    }
+    println!("{}", table.render());
+    println!("Paper reference (SGEMV:DGEMV first-threshold iteration count):");
+    println!("  M=16N         | —:— | 8:8   | 1:1");
+    println!("  N=32, M>=1    | —:— | 64:32 | 1:1");
+    println!("  N=16M         | —:— | —:—   | 1:1");
+    println!("  M=32, N>=1    | —:— | —:—   | 1:1");
+}

@@ -1,0 +1,195 @@
+//! # blob-bench — experiment drivers for every table and figure
+//!
+//! One binary per paper element regenerates it from the calibrated system
+//! models (see `DESIGN.md` §4 for the index):
+//!
+//! | Binary            | Paper element |
+//! |-------------------|---------------|
+//! | `table1`          | Table I — α/β runtime study |
+//! | `table3`          | Table III — square GEMM offload thresholds |
+//! | `table4`          | Table IV — square GEMV offload thresholds |
+//! | `table5`          | Table V — non-square GEMM first-threshold iterations |
+//! | `table6`          | Table VI — non-square GEMV first-threshold iterations |
+//! | `fig2`            | Fig 2 — DAWN square SGEMM curves (oneMKL 629 cliff) |
+//! | `fig3`            | Fig 3 — Isambard-AI CPU library comparison |
+//! | `fig4`            | Fig 4 — square DGEMV curves on all systems |
+//! | `fig5`            | Fig 5 — square SGEMV at 128 iterations |
+//! | `fig6`            | Fig 6 — AOCL vs OpenBLAS DGEMV on LUMI |
+//! | `fig7`            | Fig 7 — DAWN implicit vs explicit scaling |
+//! | `fig_timeline`    | supplementary: offload-strategy Gantt timelines |
+//! | `roofline`        | supplementary: per-system rooflines (§IV-C's AI argument) |
+//! | `ext_batched`     | future work §V: batched-BLAS thresholds |
+//! | `ext_matrix_engine` | future work §V: AMX/SME/MMA-class engines |
+//! | `ext_spmv`        | future work §V: sparse SpMV thresholds |
+//! | `ext_trsm`        | related work: Li et al.'s TRSM crossover + transfer critique |
+//! | `ext_hybrid`      | related work: MAGMA-style CPU+GPU splits; MI300A limit |
+//! | `ext_energy`      | related work: energy offload thresholds |
+//! | `ablation_quirks` | counterfactuals: presets with individual quirks removed |
+//! | `fit_presets`     | calibration methodology: coordinate-descent refinement |
+//! | `report`          | per-system markdown reports |
+//! | `all_experiments` | everything above, written to `results/` |
+//!
+//! This library holds the shared sweep/table plumbing; `benches/` holds
+//! Criterion benchmarks of the *real* host BLAS kernels.
+
+use blob_analysis::{sd_pair_cell, Table};
+use blob_core::problem::Problem;
+use blob_core::runner::{run_sweep, Sweep, SweepConfig};
+use blob_sim::{Kernel, Offload, Precision, SystemModel};
+use std::path::PathBuf;
+
+/// Where experiment outputs (CSV, SVG, tables) are written.
+pub fn results_dir() -> PathBuf {
+    std::env::var_os("BLOB_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+/// The paper's sweep: `-s 1 -d 4096`, every size.
+pub fn paper_sweep(iterations: u32) -> SweepConfig {
+    SweepConfig::paper(iterations)
+}
+
+/// Runs the sweep for one (system, problem, precision, iterations).
+pub fn sweep(sys: &SystemModel, problem: Problem, precision: Precision, iters: u32) -> Sweep {
+    run_sweep(sys, problem, precision, &paper_sweep(iters))
+}
+
+/// The dominant (reported) dimension of a threshold for the compact `S:D`
+/// table cells: the size parameter that generated the dims.
+pub fn threshold_param(problem: Problem, t: Option<Kernel>) -> Option<usize> {
+    let dims = t?.dims();
+    let (m, n, k) = dims;
+    use blob_core::problem::{GemmProblem as G, GemvProblem as V};
+    Some(match problem {
+        Problem::Gemm(G::Square) | Problem::Gemm(G::TallK) | Problem::Gemm(G::SquareK32) => m,
+        Problem::Gemm(G::SixteenthK) => m,
+        Problem::Gemm(G::FixedMn32) => k,
+        Problem::Gemm(G::TallM) => k,
+        Problem::Gemm(G::FixedKn32) => m,
+        Problem::Gemm(G::WideN) => k,
+        Problem::Gemm(G::FixedMk32) => n,
+        Problem::Gemv(V::Square) => m,
+        Problem::Gemv(V::TallM) => n,
+        Problem::Gemv(V::FixedN32) => m,
+        Problem::Gemv(V::WideN) => m,
+        Problem::Gemv(V::FixedM32) => n,
+    })
+}
+
+/// One row of a Table III/IV-style threshold grid.
+#[derive(Debug, Clone)]
+pub struct ThresholdRow {
+    pub iterations: u32,
+    /// Per offload (paper column order): `(SGEMM/SGEMV, DGEMM/DGEMV)`
+    /// threshold size parameters, `None` = no threshold.
+    pub cells: Vec<(Option<usize>, Option<usize>)>,
+}
+
+/// Computes the Table III/IV threshold grid for one system and problem.
+pub fn threshold_grid(sys: &SystemModel, problem: Problem) -> Vec<ThresholdRow> {
+    SweepConfig::PAPER_ITERATIONS
+        .iter()
+        .map(|&iters| {
+            let s32 = sweep(sys, problem, Precision::F32, iters);
+            let s64 = sweep(sys, problem, Precision::F64, iters);
+            let cells = Offload::ALL
+                .iter()
+                .map(|&o| {
+                    (
+                        threshold_param(problem, s32.threshold(o)),
+                        threshold_param(problem, s64.threshold(o)),
+                    )
+                })
+                .collect();
+            ThresholdRow {
+                iterations: iters,
+                cells,
+            }
+        })
+        .collect()
+}
+
+/// Renders a Table III/IV-style table for several systems side by side.
+pub fn threshold_table(title: &str, systems: &[&SystemModel], problem: Problem) -> Table {
+    let mut headers: Vec<String> = vec!["Iterations".into()];
+    for sys in systems {
+        for o in Offload::ALL {
+            headers.push(format!("{} {}", sys.name, o.label()));
+        }
+    }
+    let mut table = Table::new(
+        title,
+        &headers.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
+    let grids: Vec<Vec<ThresholdRow>> = systems
+        .iter()
+        .map(|sys| threshold_grid(sys, problem))
+        .collect();
+    for (i, &iters) in SweepConfig::PAPER_ITERATIONS.iter().enumerate() {
+        let mut row = vec![iters.to_string()];
+        for grid in &grids {
+            for &(s, d) in &grid[i].cells {
+                row.push(sd_pair_cell(s, d));
+            }
+        }
+        table.push_row(row);
+    }
+    table
+}
+
+/// First iteration count (of the paper's five) at which a problem type
+/// yields a Transfer-Once threshold, or `None` — the cell format of
+/// Tables V and VI.
+pub fn first_threshold_iteration(
+    sys: &SystemModel,
+    problem: Problem,
+    precision: Precision,
+) -> Option<u32> {
+    SweepConfig::PAPER_ITERATIONS
+        .iter()
+        .copied()
+        .find(|&iters| {
+            sweep(sys, problem, precision, iters)
+                .threshold(Offload::TransferOnce)
+                .is_some()
+        })
+}
+
+/// Formats a Table V/VI cell, e.g. `1:1`, `8:—`.
+pub fn first_iteration_cell(s: Option<u32>, d: Option<u32>) -> String {
+    let f = |v: Option<u32>| v.map(|x| x.to_string()).unwrap_or_else(|| "—".into());
+    format!("{}:{}", f(s), f(d))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blob_core::problem::{GemmProblem, GemvProblem};
+    use blob_sim::presets;
+
+    #[test]
+    fn threshold_param_inverts_dims() {
+        let p = Problem::Gemm(GemmProblem::TallM); // (16k, k, k)
+        let t = Some(p.dims(10));
+        assert_eq!(threshold_param(p, t), Some(10));
+        let v = Problem::Gemv(GemvProblem::WideN); // (m, 16m)
+        assert_eq!(threshold_param(v, Some(v.dims(7))), Some(7));
+        assert_eq!(threshold_param(v, None), None);
+    }
+
+    #[test]
+    fn grid_has_five_rows_three_offloads() {
+        let sys = presets::isambard_ai();
+        let grid = threshold_grid(&sys, Problem::Gemm(GemmProblem::Square));
+        assert_eq!(grid.len(), 5);
+        assert!(grid.iter().all(|r| r.cells.len() == 3));
+    }
+
+    #[test]
+    fn first_iteration_cells() {
+        assert_eq!(first_iteration_cell(Some(1), Some(1)), "1:1");
+        assert_eq!(first_iteration_cell(None, Some(8)), "—:8");
+        assert_eq!(first_iteration_cell(None, None), "—:—");
+    }
+}

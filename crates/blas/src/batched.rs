@@ -1,0 +1,338 @@
+//! Batched BLAS: many small GEMMs/GEMVs issued as one call — the extension
+//! the paper names first in its future work (§V), citing that "batched
+//! kernels can greatly improve GEMM performance for small problem sizes
+//! *if* many can be computed concurrently".
+//!
+//! Strided-batch layout (the cuBLAS `gemmStridedBatched` convention): all
+//! `batch` operand sets live in one buffer per matrix, instance `b` at
+//! offset `b * stride`. Strides must be at least one full matrix so
+//! instances never alias; output strides must make outputs disjoint.
+//!
+//! The parallel variants split the *batch* dimension across threads — each
+//! instance is small by assumption, so inter-instance parallelism is the
+//! only parallelism worth having (the same reasoning as the batched-BLAS
+//! papers the paper cites).
+
+use crate::gemm::gemm;
+use crate::gemv::gemv_ref;
+use crate::scalar::Scalar;
+
+/// Arguments shared by every instance of a strided batched GEMM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchedGemmDesc {
+    pub m: usize,
+    pub n: usize,
+    pub k: usize,
+    pub lda: usize,
+    pub ldb: usize,
+    pub ldc: usize,
+    /// Elements between consecutive A instances (≥ `lda * k`).
+    pub stride_a: usize,
+    /// Elements between consecutive B instances (≥ `ldb * n`).
+    pub stride_b: usize,
+    /// Elements between consecutive C instances (≥ `ldc * n`).
+    pub stride_c: usize,
+}
+
+impl BatchedGemmDesc {
+    /// A tight-layout descriptor for `batch` instances of `m×n×k`.
+    pub fn tight(m: usize, n: usize, k: usize) -> Self {
+        Self {
+            m,
+            n,
+            k,
+            lda: m.max(1),
+            ldb: k.max(1),
+            ldc: m.max(1),
+            stride_a: m.max(1) * k,
+            stride_b: k.max(1) * n,
+            stride_c: m.max(1) * n,
+        }
+    }
+
+    fn check<T>(&self, batch: usize, a: &[T], b: &[T], c: &[T]) {
+        assert!(self.lda >= self.m.max(1), "lda too small");
+        assert!(self.ldb >= self.k.max(1), "ldb too small");
+        assert!(self.ldc >= self.m.max(1), "ldc too small");
+        assert!(
+            self.stride_a >= self.lda * self.k,
+            "stride_a would alias instances"
+        );
+        assert!(
+            self.stride_b >= self.ldb * self.n,
+            "stride_b would alias instances"
+        );
+        assert!(
+            self.stride_c >= self.ldc * self.n,
+            "stride_c would alias instances"
+        );
+        if batch == 0 {
+            return;
+        }
+        let need = |stride: usize, last: usize| (batch - 1) * stride + last;
+        assert!(
+            a.len() >= need(self.stride_a, self.lda * self.k),
+            "A buffer too short for batch"
+        );
+        assert!(
+            b.len() >= need(self.stride_b, self.ldb * self.n),
+            "B buffer too short for batch"
+        );
+        assert!(
+            c.len() >= need(self.stride_c, self.ldc * self.n),
+            "C buffer too short for batch"
+        );
+    }
+}
+
+/// Serial strided-batch GEMM: `C[i] ← α·A[i]·B[i] + β·C[i]` for each of
+/// `batch` instances.
+pub fn gemm_batched<T: Scalar>(
+    desc: &BatchedGemmDesc,
+    batch: usize,
+    alpha: T,
+    a: &[T],
+    b: &[T],
+    beta: T,
+    c: &mut [T],
+) {
+    desc.check(batch, a, b, c);
+    for i in 0..batch {
+        gemm(
+            desc.m,
+            desc.n,
+            desc.k,
+            alpha,
+            &a[i * desc.stride_a..],
+            desc.lda,
+            &b[i * desc.stride_b..],
+            desc.ldb,
+            beta,
+            &mut c[i * desc.stride_c..],
+            desc.ldc,
+        );
+    }
+}
+
+/// Parallel strided-batch GEMM: instances are distributed over `threads`
+/// scoped threads (each instance runs the serial kernel — batch-level
+/// parallelism is the point of batching).
+pub fn gemm_batched_parallel<T: Scalar>(
+    threads: usize,
+    desc: &BatchedGemmDesc,
+    batch: usize,
+    alpha: T,
+    a: &[T],
+    b: &[T],
+    beta: T,
+    c: &mut [T],
+) {
+    desc.check(batch, a, b, c);
+    if batch == 0 {
+        return;
+    }
+    // Split C at instance boundaries (instances are stride_c apart) so
+    // each thread exclusively owns a contiguous run of output instances.
+    let stride_c = desc.stride_c.max(1);
+    let mut chunks: Vec<&mut [T]> = c.chunks_mut(stride_c).take(batch).collect();
+    assert!(chunks.len() == batch, "C buffer too short for batch");
+    let runs = threads.clamp(1, batch);
+    let per = batch.div_ceil(runs);
+    std::thread::scope(|s| {
+        let mut i0 = 0usize;
+        while !chunks.is_empty() {
+            let take = per.min(chunks.len());
+            let mine: Vec<&mut [T]> = chunks.drain(..take).collect();
+            let base = i0;
+            s.spawn(move || {
+                for (j, ci) in mine.into_iter().enumerate() {
+                    let i = base + j;
+                    gemm(
+                        desc.m,
+                        desc.n,
+                        desc.k,
+                        alpha,
+                        &a[i * desc.stride_a..],
+                        desc.lda,
+                        &b[i * desc.stride_b..],
+                        desc.ldb,
+                        beta,
+                        ci,
+                        desc.ldc,
+                    );
+                }
+            });
+            i0 += take;
+        }
+    });
+}
+
+/// Serial strided-batch GEMV: `y[i] ← α·A[i]·x[i] + β·y[i]`.
+#[allow(clippy::too_many_arguments)]
+pub fn gemv_batched<T: Scalar>(
+    m: usize,
+    n: usize,
+    batch: usize,
+    alpha: T,
+    a: &[T],
+    lda: usize,
+    stride_a: usize,
+    x: &[T],
+    stride_x: usize,
+    beta: T,
+    y: &mut [T],
+    stride_y: usize,
+) {
+    assert!(stride_a >= lda * n, "stride_a would alias instances");
+    assert!(stride_x >= n, "stride_x would alias instances");
+    assert!(stride_y >= m, "stride_y would alias instances");
+    if batch > 0 {
+        assert!(a.len() >= (batch - 1) * stride_a + lda * n, "A too short");
+        assert!(x.len() >= (batch - 1) * stride_x + n, "x too short");
+        assert!(y.len() >= (batch - 1) * stride_y + m, "y too short");
+    }
+    for i in 0..batch {
+        gemv_ref(
+            m,
+            n,
+            alpha,
+            &a[i * stride_a..],
+            lda,
+            &x[i * stride_x..],
+            1,
+            beta,
+            &mut y[i * stride_y..],
+            1,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::gemm_ref;
+
+    fn filled(len: usize, seed: u64) -> Vec<f64> {
+        (0..len)
+            .map(|i| {
+                let h = seed
+                    .wrapping_mul(0x9e3779b97f4a7c15)
+                    .wrapping_add(i as u64)
+                    .wrapping_mul(0xbf58476d1ce4e5b9);
+                ((h >> 33) as f64 / (1u64 << 31) as f64) - 0.5
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batched_matches_instancewise_reference() {
+        let desc = BatchedGemmDesc::tight(7, 5, 9);
+        let batch = 6;
+        let a = filled(desc.stride_a * batch, 1);
+        let b = filled(desc.stride_b * batch, 2);
+        let c0 = filled(desc.stride_c * batch, 3);
+
+        let mut c_batched = c0.clone();
+        gemm_batched(&desc, batch, 1.5, &a, &b, 0.5, &mut c_batched);
+
+        for i in 0..batch {
+            let mut expect = c0[i * desc.stride_c..(i + 1) * desc.stride_c].to_vec();
+            gemm_ref(
+                desc.m,
+                desc.n,
+                desc.k,
+                1.5,
+                &a[i * desc.stride_a..],
+                desc.lda,
+                &b[i * desc.stride_b..],
+                desc.ldb,
+                0.5,
+                &mut expect,
+                desc.ldc,
+            );
+            for (got, want) in c_batched[i * desc.stride_c..(i + 1) * desc.stride_c]
+                .iter()
+                .zip(expect.iter())
+            {
+                assert!((got - want).abs() < 1e-12, "instance {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_batched() {
+        let desc = BatchedGemmDesc::tight(16, 16, 16);
+        for batch in [1usize, 2, 7, 32] {
+            let a = filled(desc.stride_a * batch, 4);
+            let b = filled(desc.stride_b * batch, 5);
+            let mut c1 = vec![0.0; desc.stride_c * batch];
+            let mut c2 = vec![0.0; desc.stride_c * batch];
+            gemm_batched(&desc, batch, 1.0, &a, &b, 0.0, &mut c1);
+            for threads in [1usize, 3, 8] {
+                c2.fill(0.0);
+                gemm_batched_parallel(threads, &desc, batch, 1.0, &a, &b, 0.0, &mut c2);
+                assert_eq!(c1, c2, "batch {batch} threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn padded_strides_leave_gaps_untouched() {
+        let mut desc = BatchedGemmDesc::tight(4, 4, 4);
+        desc.stride_c = 4 * 4 + 10; // 10-element gap between outputs
+        let batch = 3;
+        let a = filled(desc.stride_a * batch, 6);
+        let b = filled(desc.stride_b * batch, 7);
+        let mut c = vec![9.0; (batch - 1) * desc.stride_c + 16];
+        gemm_batched(&desc, batch, 1.0, &a, &b, 0.0, &mut c);
+        // gap elements retain their sentinel value
+        for i in 0..batch - 1 {
+            for g in 16..desc.stride_c {
+                assert_eq!(c[i * desc.stride_c + g], 9.0, "gap touched at {i},{g}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_zero_is_noop() {
+        let desc = BatchedGemmDesc::tight(4, 4, 4);
+        let mut c: Vec<f64> = vec![];
+        gemm_batched(&desc, 0, 1.0, &[], &[], 0.0, &mut c);
+        gemm_batched_parallel(2, &desc, 0, 1.0, &[], &[], 0.0, &mut c);
+    }
+
+    #[test]
+    #[should_panic(expected = "alias")]
+    fn aliasing_stride_rejected() {
+        let mut desc = BatchedGemmDesc::tight(4, 4, 4);
+        desc.stride_c = 8; // < ldc * n
+        let a = vec![0.0; desc.stride_a * 2];
+        let b = vec![0.0; desc.stride_b * 2];
+        let mut c = vec![0.0; 64];
+        gemm_batched(&desc, 2, 1.0, &a, &b, 0.0, &mut c);
+    }
+
+    #[test]
+    #[should_panic(expected = "A buffer too short")]
+    fn short_batch_buffer_rejected() {
+        let desc = BatchedGemmDesc::tight(4, 4, 4);
+        let a = vec![0.0; desc.stride_a]; // room for 1, batch of 2
+        let b = vec![0.0; desc.stride_b * 2];
+        let mut c = vec![0.0; desc.stride_c * 2];
+        gemm_batched(&desc, 2, 1.0, &a, &b, 0.0, &mut c);
+    }
+
+    #[test]
+    fn gemv_batched_matches_reference() {
+        let (m, n, batch) = (9, 6, 5);
+        let a = filled(m * n * batch, 8);
+        let x = filled(n * batch, 9);
+        let mut y = vec![0.0; m * batch];
+        gemv_batched(m, n, batch, 2.0, &a, m, m * n, &x, n, 0.0, &mut y, m);
+        for i in 0..batch {
+            let mut expect = vec![0.0; m];
+            gemv_ref(m, n, 2.0, &a[i * m * n..], m, &x[i * n..], 1, 0.0, &mut expect, 1);
+            assert_eq!(&y[i * m..(i + 1) * m], expect.as_slice(), "instance {i}");
+        }
+    }
+}

@@ -1,0 +1,563 @@
+//! GEMM: `C ← α·A·B + β·C` for column-major matrices, no transposition —
+//! exactly the configuration GPU-BLOB benchmarks (`lda = M`, `ldb = K`,
+//! `ldc = M`, §III-A of the paper).
+//!
+//! Three implementations, from simplest to fastest:
+//! - [`gemm_ref`] — textbook triple loop in cache-friendly `j-l-i` order;
+//!   the validation oracle.
+//! - [`gemm_blocked`] — Goto/BLIS five-loop blocking around the packed
+//!   micro-kernel; single-threaded.
+//! - [`gemm_parallel`] — splits the `N` dimension across scoped threads,
+//!   each running the blocked kernel on a disjoint column block of `C`
+//!   (the standard outer-loop parallelisation production BLAS use).
+//!
+//! All paths implement the `β = 0` short-circuit (C is written, never read)
+//! whose presence in production libraries the paper verifies in Table I, and
+//! the `α = 0` short-circuit (`C ← β·C`, A/B never touched).
+
+use crate::microkernel::{store_tile, ukernel, MR, NR};
+use crate::pack::{pack_a, pack_b};
+use crate::scalar::Scalar;
+
+/// Cache-block height of an `A` block (rows per packed block).
+pub const MC: usize = 128;
+/// Cache-block depth (the shared dimension per packed panel).
+pub const KC: usize = 256;
+/// Cache-block width of a `B` panel (columns per packed panel).
+pub const NC: usize = 2048;
+
+/// Cache-blocking parameters for the Goto algorithm — exposed so the
+/// blocking ablation (`bench gemm_blocking`) can sweep them. The defaults
+/// target an L2 of a few hundred KiB holding the packed A block
+/// (`MC × KC` elements) and an L3 panel of `KC × NC`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockConfig {
+    pub mc: usize,
+    pub kc: usize,
+    pub nc: usize,
+}
+
+impl Default for BlockConfig {
+    fn default() -> Self {
+        Self { mc: MC, kc: KC, nc: NC }
+    }
+}
+
+impl BlockConfig {
+    /// A configuration with every block dimension validated to be ≥ 1.
+    pub fn new(mc: usize, kc: usize, nc: usize) -> Self {
+        assert!(mc >= 1 && kc >= 1 && nc >= 1, "block sizes must be positive");
+        Self { mc, kc, nc }
+    }
+}
+
+#[inline]
+fn check_args<T: Scalar>(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[T],
+    lda: usize,
+    b: &[T],
+    ldb: usize,
+    c: &[T],
+    ldc: usize,
+) {
+    assert!(lda >= m.max(1), "lda {lda} < m {m}");
+    assert!(ldb >= k.max(1), "ldb {ldb} < k {k}");
+    assert!(ldc >= m.max(1), "ldc {ldc} < m {m}");
+    if m > 0 && k > 0 {
+        assert!(a.len() >= (k - 1) * lda + m, "A buffer too short");
+    }
+    if k > 0 && n > 0 {
+        assert!(b.len() >= (n - 1) * ldb + k, "B buffer too short");
+    }
+    if m > 0 && n > 0 {
+        assert!(c.len() >= (n - 1) * ldc + m, "C buffer too short");
+    }
+}
+
+/// Applies `C ← β·C` to an `m × n` region, honouring the β=0 write-only rule.
+fn scale_c<T: Scalar>(m: usize, n: usize, beta: T, c: &mut [T], ldc: usize) {
+    if beta == T::ONE {
+        return;
+    }
+    for j in 0..n {
+        let col = &mut c[j * ldc..j * ldc + m];
+        if beta == T::ZERO {
+            col.fill(T::ZERO);
+        } else {
+            for v in col {
+                *v *= beta;
+            }
+        }
+    }
+}
+
+/// Reference GEMM: the validation oracle.
+///
+/// Triple loop in `j → l → i` order so the innermost loop walks a column of
+/// both `A` and `C` with unit stride (an axpy per `(j, l)` pair).
+pub fn gemm_ref<T: Scalar>(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: T,
+    a: &[T],
+    lda: usize,
+    b: &[T],
+    ldb: usize,
+    beta: T,
+    c: &mut [T],
+    ldc: usize,
+) {
+    check_args(m, n, k, a, lda, b, ldb, c, ldc);
+    if m == 0 || n == 0 {
+        return;
+    }
+    scale_c(m, n, beta, c, ldc);
+    if alpha == T::ZERO || k == 0 {
+        return;
+    }
+    for j in 0..n {
+        let cj = &mut c[j * ldc..j * ldc + m];
+        for l in 0..k {
+            let w = alpha * b[j * ldb + l];
+            if w == T::ZERO {
+                continue;
+            }
+            let al = &a[l * lda..l * lda + m];
+            for i in 0..m {
+                cj[i] = al[i].mul_add(w, cj[i]);
+            }
+        }
+    }
+}
+
+/// The macro-kernel: multiplies a packed `mc × kc` A block by a packed
+/// `kc × nc` B panel into the corresponding `C` block.
+fn macro_kernel<T: Scalar>(
+    mc: usize,
+    nc: usize,
+    kc: usize,
+    packed_a: &[T],
+    packed_b: &[T],
+    beta: T,
+    c: &mut [T],
+    ldc: usize,
+) {
+    let m_slivers = mc.div_ceil(MR);
+    let n_slivers = nc.div_ceil(NR);
+    for js in 0..n_slivers {
+        let j0 = js * NR;
+        let nr_eff = NR.min(nc - j0);
+        let b_sl = &packed_b[js * kc * NR..(js + 1) * kc * NR];
+        for is in 0..m_slivers {
+            let i0 = is * MR;
+            let mr_eff = MR.min(mc - i0);
+            let a_sl = &packed_a[is * kc * MR..(is + 1) * kc * MR];
+            let mut acc = [T::ZERO; MR * NR];
+            ukernel(kc, a_sl, b_sl, &mut acc);
+            store_tile(
+                &acc,
+                &mut c[i0 + j0 * ldc..],
+                ldc,
+                mr_eff,
+                nr_eff,
+                beta,
+            );
+        }
+    }
+}
+
+/// Cache-blocked, packed GEMM (single-threaded Goto algorithm) with the
+/// default blocking.
+pub fn gemm_blocked<T: Scalar>(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: T,
+    a: &[T],
+    lda: usize,
+    b: &[T],
+    ldb: usize,
+    beta: T,
+    c: &mut [T],
+    ldc: usize,
+) {
+    gemm_blocked_with(BlockConfig::default(), m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
+}
+
+/// Cache-blocked, packed GEMM with explicit blocking parameters.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_blocked_with<T: Scalar>(
+    cfg: BlockConfig,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: T,
+    a: &[T],
+    lda: usize,
+    b: &[T],
+    ldb: usize,
+    beta: T,
+    c: &mut [T],
+    ldc: usize,
+) {
+    check_args(m, n, k, a, lda, b, ldb, c, ldc);
+    if m == 0 || n == 0 {
+        return;
+    }
+    if alpha == T::ZERO || k == 0 {
+        scale_c(m, n, beta, c, ldc);
+        return;
+    }
+    let mut packed_a: Vec<T> = Vec::new();
+    let mut packed_b: Vec<T> = Vec::new();
+    for jc in (0..n).step_by(cfg.nc.max(1)) {
+        let nc = cfg.nc.min(n - jc);
+        for pc in (0..k).step_by(cfg.kc.max(1)) {
+            let kc = cfg.kc.min(k - pc);
+            // β applies to C exactly once: on the first k-panel. Later
+            // panels accumulate (β' = 1).
+            let beta_eff = if pc == 0 { beta } else { T::ONE };
+            pack_b(kc, nc, &b[jc * ldb + pc..], ldb, &mut packed_b);
+            for ic in (0..m).step_by(cfg.mc.max(1)) {
+                let mc = cfg.mc.min(m - ic);
+                // α folds into the packed copy of A
+                pack_a(mc, kc, &a[pc * lda + ic..], lda, alpha, &mut packed_a);
+                macro_kernel(
+                    mc,
+                    nc,
+                    kc,
+                    &packed_a,
+                    &packed_b,
+                    beta_eff,
+                    &mut c[ic + jc * ldc..],
+                    ldc,
+                );
+            }
+        }
+    }
+}
+
+/// Multi-threaded GEMM: the `N` dimension is split into contiguous column
+/// blocks, one scoped thread per block, each running [`gemm_blocked`] on a
+/// disjoint region of `C` (and the matching columns of `B`).
+///
+/// Column blocks are rounded to multiples of [`NR`] so no micro-tile spans a
+/// thread boundary. Problems too small to split run single-threaded.
+pub fn gemm_parallel<T: Scalar>(
+    threads: usize,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: T,
+    a: &[T],
+    lda: usize,
+    b: &[T],
+    ldb: usize,
+    beta: T,
+    c: &mut [T],
+    ldc: usize,
+) {
+    check_args(m, n, k, a, lda, b, ldb, c, ldc);
+    if m == 0 || n == 0 {
+        return;
+    }
+    // A thread should own at least a few micro-panels of real work.
+    let min_cols = NR * 4;
+    let chunks = threads.max(1).min(n.div_ceil(min_cols)).max(1);
+    if chunks == 1 {
+        gemm_blocked(m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+        return;
+    }
+    // Columns per chunk, rounded up to a multiple of NR.
+    let per = n.div_ceil(chunks).div_ceil(NR) * NR;
+    std::thread::scope(|s| {
+        let mut rest: &mut [T] = c;
+        let mut j0 = 0usize;
+        while j0 < n {
+            let jn = per.min(n - j0);
+            let is_last = j0 + jn >= n;
+            let take = if is_last { rest.len() } else { jn * ldc };
+            let (mine, r) = rest.split_at_mut(take);
+            rest = r;
+            let b_block = &b[j0 * ldb..];
+            s.spawn(move || {
+                gemm_blocked(m, jn, k, alpha, a, lda, b_block, ldb, beta, mine, ldc);
+            });
+            j0 += jn;
+        }
+    });
+}
+
+/// Convenience entry point: picks the reference kernel for tiny problems
+/// (where packing overhead dominates) and the blocked kernel otherwise.
+pub fn gemm<T: Scalar>(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: T,
+    a: &[T],
+    lda: usize,
+    b: &[T],
+    ldb: usize,
+    beta: T,
+    c: &mut [T],
+    ldc: usize,
+) {
+    // Below roughly a micro-tile's worth of work, packing costs more than
+    // it saves.
+    if m * n * k <= MR * NR * KC {
+        gemm_ref(m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+    } else {
+        gemm_blocked(m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+
+    /// Deterministic pseudo-random fill, distinct per (seed, i, j).
+    fn filled(rows: usize, cols: usize, seed: u64) -> Matrix<f64> {
+        Matrix::from_fn(rows, cols, |i, j| {
+            let h = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add((i * 131071 + j * 524287) as u64);
+            ((h >> 33) as f64 / (1u64 << 31) as f64) - 0.5
+        })
+    }
+
+    fn run_all_and_compare(m: usize, n: usize, k: usize, alpha: f64, beta: f64) {
+        let a = filled(m, k, 1);
+        let b = filled(k, n, 2);
+        let c0 = filled(m, n, 3);
+
+        let mut c_ref = c0.clone();
+        gemm_ref(
+            m, n, k, alpha,
+            a.as_slice(), a.ld(),
+            b.as_slice(), b.ld(),
+            beta,
+            c_ref.as_mut_slice(), c0.ld(),
+        );
+
+        let mut c_blk = c0.clone();
+        gemm_blocked(
+            m, n, k, alpha,
+            a.as_slice(), a.ld(),
+            b.as_slice(), b.ld(),
+            beta,
+            c_blk.as_mut_slice(), c0.ld(),
+        );
+        assert!(
+            c_ref.approx_eq(&c_blk, 1e-10),
+            "blocked mismatch at m={m} n={n} k={k} alpha={alpha} beta={beta}: {}",
+            c_ref.max_abs_diff(&c_blk)
+        );
+
+        let mut c_par = c0.clone();
+        gemm_parallel(
+            4, m, n, k, alpha,
+            a.as_slice(), a.ld(),
+            b.as_slice(), b.ld(),
+            beta,
+            c_par.as_mut_slice(), c0.ld(),
+        );
+        assert!(
+            c_ref.approx_eq(&c_par, 1e-10),
+            "parallel mismatch at m={m} n={n} k={k}"
+        );
+    }
+
+    #[test]
+    fn square_sizes_match_reference() {
+        for s in [1, 2, 3, 7, 8, 9, 16, 31, 33, 64, 65] {
+            run_all_and_compare(s, s, s, 1.0, 0.0);
+        }
+    }
+
+    #[test]
+    fn nonsquare_shapes_match_reference() {
+        // the paper's non-square problem archetypes in miniature
+        run_all_and_compare(8, 8, 128, 1.0, 0.0); // M=N, K=16M
+        run_all_and_compare(32, 32, 200, 1.0, 0.0); // M=N=32, K large
+        run_all_and_compare(128, 8, 8, 1.0, 0.0); // K=N, M=16K
+        run_all_and_compare(200, 32, 32, 1.0, 0.0); // K=N=32
+        run_all_and_compare(8, 128, 8, 1.0, 0.0); // M=K, N=16K
+        run_all_and_compare(32, 200, 32, 1.0, 0.0); // M=K=32
+        run_all_and_compare(100, 100, 32, 1.0, 0.0); // M=N, K=32
+    }
+
+    #[test]
+    fn alpha_beta_combinations() {
+        for (alpha, beta) in [(1.0, 0.0), (4.0, 0.0), (1.0, 2.0), (-0.5, 1.0), (2.0, -1.0)] {
+            run_all_and_compare(37, 29, 41, alpha, beta);
+        }
+    }
+
+    #[test]
+    fn beta_zero_ignores_garbage_c() {
+        let m = 17;
+        let a = filled(m, m, 1);
+        let b = filled(m, m, 2);
+        let mut c = Matrix::<f64>::zeros(m, m);
+        c.fill(f64::NAN);
+        gemm_blocked(
+            m, m, m, 1.0,
+            a.as_slice(), m,
+            b.as_slice(), m,
+            0.0,
+            c.as_mut_slice(), m,
+        );
+        assert!(c.as_slice().iter().all(|v| v.is_finite()), "NaN leaked through beta=0");
+    }
+
+    #[test]
+    fn alpha_zero_only_scales_c() {
+        let m = 9;
+        let a = filled(m, m, 1);
+        let b = filled(m, m, 2);
+        let c0 = filled(m, m, 3);
+        let mut c = c0.clone();
+        gemm_blocked(
+            m, m, m, 0.0,
+            a.as_slice(), m,
+            b.as_slice(), m,
+            2.0,
+            c.as_mut_slice(), m,
+        );
+        for j in 0..m {
+            for i in 0..m {
+                assert!((c[(i, j)] - 2.0 * c0[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn k_zero_behaves_like_scale() {
+        let m = 5;
+        let c0 = filled(m, m, 3);
+        let mut c = c0.clone();
+        gemm_ref::<f64>(m, m, 0, 1.0, &[], m, &[], 1, 0.5, c.as_mut_slice(), m);
+        for j in 0..m {
+            for i in 0..m {
+                assert!((c[(i, j)] - 0.5 * c0[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn padded_leading_dimensions() {
+        let (m, n, k) = (13, 11, 17);
+        let a = {
+            let tight = filled(m, k, 1);
+            let mut p = Matrix::<f64>::zeros_ld(m, k, m + 3);
+            for j in 0..k {
+                p.col_mut(j).copy_from_slice(tight.col(j));
+            }
+            p
+        };
+        let b = {
+            let tight = filled(k, n, 2);
+            let mut p = Matrix::<f64>::zeros_ld(k, n, k + 5);
+            for j in 0..n {
+                p.col_mut(j).copy_from_slice(tight.col(j));
+            }
+            p
+        };
+        let mut c_pad = Matrix::<f64>::zeros_ld(m, n, m + 2);
+        let mut c_ref = Matrix::<f64>::zeros(m, n);
+        gemm_blocked(
+            m, n, k, 1.0,
+            a.as_slice(), a.ld(),
+            b.as_slice(), b.ld(),
+            0.0,
+            c_pad.as_mut_slice(), m + 2,
+        );
+        gemm_ref(
+            m, n, k, 1.0,
+            a.as_slice(), a.ld(),
+            b.as_slice(), b.ld(),
+            0.0,
+            c_ref.as_mut_slice(), m,
+        );
+        for j in 0..n {
+            for i in 0..m {
+                assert!((c_pad[(i, j)] - c_ref[(i, j)]).abs() < 1e-10);
+            }
+        }
+        // ld padding rows of C untouched
+        for j in 0..n {
+            assert_eq!(c_pad.as_slice()[j * c_pad.ld() + m], 0.0);
+            assert_eq!(c_pad.as_slice()[j * c_pad.ld() + m + 1], 0.0);
+        }
+    }
+
+    #[test]
+    fn f32_precision_path() {
+        let m = 24;
+        let a = Matrix::<f32>::from_fn(m, m, |i, j| ((i + 2 * j) % 5) as f32 - 2.0);
+        let b = Matrix::<f32>::from_fn(m, m, |i, j| ((3 * i + j) % 7) as f32 - 3.0);
+        let mut c1 = Matrix::<f32>::zeros(m, m);
+        let mut c2 = Matrix::<f32>::zeros(m, m);
+        gemm_ref(m, m, m, 1.0f32, a.as_slice(), m, b.as_slice(), m, 0.0, c1.as_mut_slice(), m);
+        gemm_blocked(m, m, m, 1.0f32, a.as_slice(), m, b.as_slice(), m, 0.0, c2.as_mut_slice(), m);
+        assert!(c1.approx_eq(&c2, 1e-4));
+    }
+
+    #[test]
+    fn parallel_thread_counts_agree() {
+        let (m, n, k) = (40, 100, 30);
+        let a = filled(m, k, 5);
+        let b = filled(k, n, 6);
+        let mut expect = Matrix::<f64>::zeros(m, n);
+        gemm_ref(m, n, k, 1.5, a.as_slice(), m, b.as_slice(), k, 0.0, expect.as_mut_slice(), m);
+        for threads in [1, 2, 3, 8, 64] {
+            let mut c = Matrix::<f64>::zeros(m, n);
+            gemm_parallel(
+                threads, m, n, k, 1.5,
+                a.as_slice(), m,
+                b.as_slice(), k,
+                0.0,
+                c.as_mut_slice(), m,
+            );
+            assert!(expect.approx_eq(&c, 1e-10), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn dispatcher_handles_both_regimes() {
+        // tiny -> reference path; larger -> blocked path; results identical
+        for s in [4, 96] {
+            let a = filled(s, s, 7);
+            let b = filled(s, s, 8);
+            let mut c1 = Matrix::<f64>::zeros(s, s);
+            let mut c2 = Matrix::<f64>::zeros(s, s);
+            gemm(s, s, s, 1.0, a.as_slice(), s, b.as_slice(), s, 0.0, c1.as_mut_slice(), s);
+            gemm_ref(s, s, s, 1.0, a.as_slice(), s, b.as_slice(), s, 0.0, c2.as_mut_slice(), s);
+            assert!(c1.approx_eq(&c2, 1e-10));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "lda")]
+    fn bad_lda_rejected() {
+        let a = [0.0f64; 4];
+        let b = [0.0f64; 4];
+        let mut c = [0.0f64; 4];
+        gemm_ref(2, 2, 2, 1.0, &a, 1, &b, 2, 0.0, &mut c, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "A buffer too short")]
+    fn short_a_rejected() {
+        let a = [0.0f64; 3];
+        let b = [0.0f64; 4];
+        let mut c = [0.0f64; 4];
+        gemm_ref(2, 2, 2, 1.0, &a, 2, &b, 2, 0.0, &mut c, 2);
+    }
+}

@@ -1,0 +1,349 @@
+//! GEMV: `y ← α·A·x + β·y` for a column-major `m × n` matrix `A`, no
+//! transposition, with explicit vector increments (`incx = incy = 1` in the
+//! paper's configuration, but general strides are supported and tested).
+//!
+//! - [`gemv_ref`] — column-sweep (axpy-based) kernel: unit-stride access to
+//!   both `A` and `y`; the validation oracle and the serial fast path.
+//! - [`gemv_parallel`] — row-block parallel kernel: each thread owns a
+//!   contiguous block of `y` and sweeps all columns of its row band. This
+//!   is the multithreading AOCL famously *lacks* for GEMV — the cause of
+//!   LUMI's surprisingly low GEMV offload thresholds in the paper (§IV-B).
+//! - [`gemv`] — serial convenience wrapper over [`gemv_ref`].
+
+use crate::scalar::Scalar;
+
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn check_args<T: Scalar>(
+    m: usize,
+    n: usize,
+    a: &[T],
+    lda: usize,
+    x: &[T],
+    incx: usize,
+    y: &[T],
+    incy: usize,
+) {
+    assert!(lda >= m.max(1), "lda {lda} < m {m}");
+    assert!(incx > 0 && incy > 0, "increments must be positive");
+    if m > 0 && n > 0 {
+        assert!(a.len() >= (n - 1) * lda + m, "A buffer too short");
+    }
+    if n > 0 {
+        assert!(x.len() > (n - 1) * incx, "x too short");
+    }
+    if m > 0 {
+        assert!(y.len() > (m - 1) * incy, "y too short");
+    }
+}
+
+/// Applies `y ← β·y` honouring the β=0 write-only rule.
+fn scale_y<T: Scalar>(m: usize, beta: T, y: &mut [T], incy: usize) {
+    if beta == T::ONE {
+        return;
+    }
+    if beta == T::ZERO {
+        for i in 0..m {
+            y[i * incy] = T::ZERO;
+        }
+    } else {
+        for i in 0..m {
+            y[i * incy] *= beta;
+        }
+    }
+}
+
+/// Reference column-sweep GEMV.
+#[allow(clippy::too_many_arguments)]
+pub fn gemv_ref<T: Scalar>(
+    m: usize,
+    n: usize,
+    alpha: T,
+    a: &[T],
+    lda: usize,
+    x: &[T],
+    incx: usize,
+    beta: T,
+    y: &mut [T],
+    incy: usize,
+) {
+    check_args(m, n, a, lda, x, incx, y, incy);
+    if m == 0 {
+        return;
+    }
+    scale_y(m, beta, y, incy);
+    if alpha == T::ZERO || n == 0 {
+        return;
+    }
+    if incy == 1 {
+        for j in 0..n {
+            let w = alpha * x[j * incx];
+            if w == T::ZERO {
+                continue;
+            }
+            let col = &a[j * lda..j * lda + m];
+            for i in 0..m {
+                y[i] = col[i].mul_add(w, y[i]);
+            }
+        }
+    } else {
+        for j in 0..n {
+            let w = alpha * x[j * incx];
+            if w == T::ZERO {
+                continue;
+            }
+            let col = &a[j * lda..j * lda + m];
+            for i in 0..m {
+                y[i * incy] = col[i].mul_add(w, y[i * incy]);
+            }
+        }
+    }
+}
+
+/// Serial GEMV (alias of the reference kernel — the column sweep *is* the
+/// efficient serial algorithm for column-major, non-transposed `A`).
+#[allow(clippy::too_many_arguments)]
+pub fn gemv<T: Scalar>(
+    m: usize,
+    n: usize,
+    alpha: T,
+    a: &[T],
+    lda: usize,
+    x: &[T],
+    incx: usize,
+    beta: T,
+    y: &mut [T],
+    incy: usize,
+) {
+    gemv_ref(m, n, alpha, a, lda, x, incx, beta, y, incy);
+}
+
+/// Row-block parallel GEMV.
+///
+/// `y` is split into contiguous row blocks, one scoped thread per block;
+/// each thread reads the matching row band of every column of `A`. Blocks
+/// below `MIN_ROWS` rows are not worth a thread and fall back to serial.
+#[allow(clippy::too_many_arguments)]
+pub fn gemv_parallel<T: Scalar>(
+    threads: usize,
+    m: usize,
+    n: usize,
+    alpha: T,
+    a: &[T],
+    lda: usize,
+    x: &[T],
+    incx: usize,
+    beta: T,
+    y: &mut [T],
+    incy: usize,
+) {
+    check_args(m, n, a, lda, x, incx, y, incy);
+    if m == 0 {
+        return;
+    }
+    /// Minimum rows per thread before parallelism pays for itself.
+    const MIN_ROWS: usize = 256;
+    let chunks = threads.max(1).min(m.div_ceil(MIN_ROWS));
+    if chunks <= 1 || incy != 1 {
+        // Strided y makes clean row-splitting of the slice awkward for no
+        // benchmark benefit (the artifact always uses incy = 1).
+        gemv_ref(m, n, alpha, a, lda, x, incx, beta, y, incy);
+        return;
+    }
+    let per = m.div_ceil(chunks);
+    std::thread::scope(|s| {
+        // Only the first m elements of y participate when incy == 1.
+        let mut rest: &mut [T] = &mut y[..m];
+        let mut i0 = 0usize;
+        while i0 < m {
+            let rows = per.min(m - i0);
+            let (mine, r) = rest.split_at_mut(rows);
+            rest = r;
+            let row0 = i0;
+            s.spawn(move || {
+                scale_y(rows, beta, mine, 1);
+                if alpha == T::ZERO || n == 0 {
+                    return;
+                }
+                for j in 0..n {
+                    let w = alpha * x[j * incx];
+                    if w == T::ZERO {
+                        continue;
+                    }
+                    let band = &a[j * lda + row0..j * lda + row0 + rows];
+                    for i in 0..rows {
+                        mine[i] = band[i].mul_add(w, mine[i]);
+                    }
+                }
+            });
+            i0 += rows;
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+
+    fn filled(rows: usize, cols: usize, seed: u64) -> Matrix<f64> {
+        Matrix::from_fn(rows, cols, |i, j| {
+            let h = seed
+                .wrapping_mul(2862933555777941757)
+                .wrapping_add((i * 92821 + j * 68917) as u64);
+            ((h >> 33) as f64 / (1u64 << 31) as f64) - 0.5
+        })
+    }
+
+    fn naive(m: usize, n: usize, alpha: f64, a: &Matrix<f64>, x: &[f64], beta: f64, y0: &[f64]) -> Vec<f64> {
+        (0..m)
+            .map(|i| {
+                let dot: f64 = (0..n).map(|j| a[(i, j)] * x[j]).sum();
+                alpha * dot + beta * y0[i]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_naive_various_shapes() {
+        for (m, n) in [(1, 1), (5, 3), (3, 5), (64, 64), (100, 7), (7, 100), (257, 33)] {
+            let a = filled(m, n, 11);
+            let x: Vec<f64> = (0..n).map(|j| (j as f64 * 0.3).sin()).collect();
+            let y0: Vec<f64> = (0..m).map(|i| (i as f64 * 0.7).cos()).collect();
+            for (alpha, beta) in [(1.0, 0.0), (2.0, 0.0), (1.0, 2.0), (-1.0, 0.5)] {
+                let expect = naive(m, n, alpha, &a, &x, beta, &y0);
+                let mut y = y0.clone();
+                gemv_ref(m, n, alpha, a.as_slice(), a.ld(), &x, 1, beta, &mut y, 1);
+                for i in 0..m {
+                    assert!((y[i] - expect[i]).abs() < 1e-10, "ref ({m},{n}) i={i}");
+                }
+                let mut yp = y0.clone();
+                gemv_parallel(4, m, n, alpha, a.as_slice(), a.ld(), &x, 1, beta, &mut yp, 1);
+                for i in 0..m {
+                    assert!((yp[i] - expect[i]).abs() < 1e-10, "par ({m},{n}) i={i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn beta_zero_ignores_garbage_y() {
+        let (m, n) = (33, 17);
+        let a = filled(m, n, 2);
+        let x = vec![1.0; n];
+        let mut y = vec![f64::NAN; m];
+        gemv_ref(m, n, 1.0, a.as_slice(), m, &x, 1, 0.0, &mut y, 1);
+        assert!(y.iter().all(|v| v.is_finite()));
+        let mut yp = vec![f64::NAN; m];
+        gemv_parallel(8, m, n, 1.0, a.as_slice(), m, &x, 1, 0.0, &mut yp, 1);
+        assert!(yp.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn strided_vectors() {
+        let (m, n) = (4, 3);
+        let a = filled(m, n, 3);
+        // logical x = [1, 2, 3] at stride 2
+        let x = [1.0, 0.0, 2.0, 0.0, 3.0];
+        let y0 = [1.0, 1.0, 1.0, 1.0];
+        let expect = naive(m, n, 1.0, &a, &[1.0, 2.0, 3.0], 1.0, &y0);
+        // y at stride 3
+        let mut y = vec![0.0; (m - 1) * 3 + 1];
+        for i in 0..m {
+            y[i * 3] = 1.0;
+        }
+        gemv_ref(m, n, 1.0, a.as_slice(), m, &x, 2, 1.0, &mut y, 3);
+        for i in 0..m {
+            assert!((y[i * 3] - expect[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn padded_lda() {
+        let (m, n) = (10, 6);
+        let tight = filled(m, n, 4);
+        let mut a = Matrix::<f64>::zeros_ld(m, n, m + 7);
+        for j in 0..n {
+            a.col_mut(j).copy_from_slice(tight.col(j));
+        }
+        let x = vec![0.5; n];
+        let mut y1 = vec![0.0; m];
+        let mut y2 = vec![0.0; m];
+        gemv_ref(m, n, 1.0, tight.as_slice(), tight.ld(), &x, 1, 0.0, &mut y1, 1);
+        gemv_ref(m, n, 1.0, a.as_slice(), a.ld(), &x, 1, 0.0, &mut y2, 1);
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn alpha_zero_scales_only() {
+        let (m, n) = (8, 8);
+        let a = filled(m, n, 5);
+        let x = vec![1.0; n];
+        let mut y = vec![2.0; m];
+        gemv_ref(m, n, 0.0, a.as_slice(), m, &x, 1, 3.0, &mut y, 1);
+        assert!(y.iter().all(|&v| v == 6.0));
+    }
+
+    #[test]
+    fn n_zero_scales_only() {
+        let m = 4;
+        let mut y = vec![2.0; m];
+        gemv_ref::<f64>(m, 0, 1.0, &[], m, &[], 1, 0.5, &mut y, 1);
+        assert!(y.iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn m_zero_is_noop() {
+        let mut y: Vec<f64> = vec![];
+        gemv_ref::<f64>(0, 3, 1.0, &[], 1, &[1.0, 2.0, 3.0], 1, 0.0, &mut y, 1);
+    }
+
+    #[test]
+    fn parallel_many_threads_small_m_falls_back() {
+        let (m, n) = (10, 10);
+        let a = filled(m, n, 6);
+        let x = vec![1.0; n];
+        let mut y1 = vec![0.0; m];
+        let mut y2 = vec![0.0; m];
+        gemv_ref(m, n, 1.0, a.as_slice(), m, &x, 1, 0.0, &mut y1, 1);
+        gemv_parallel(128, m, n, 1.0, a.as_slice(), m, &x, 1, 0.0, &mut y2, 1);
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn parallel_large_m_splits_correctly() {
+        let (m, n) = (2048, 16);
+        let a = filled(m, n, 7);
+        let x: Vec<f64> = (0..n).map(|j| j as f64 - 8.0).collect();
+        let mut y1 = vec![1.0; m];
+        let mut y2 = vec![1.0; m];
+        gemv_ref(m, n, 2.0, a.as_slice(), m, &x, 1, -1.0, &mut y1, 1);
+        gemv_parallel(4, m, n, 2.0, a.as_slice(), m, &x, 1, -1.0, &mut y2, 1);
+        for i in 0..m {
+            assert!((y1[i] - y2[i]).abs() < 1e-12, "i={i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "A buffer too short")]
+    fn short_a_rejected() {
+        let a = [0.0f64; 3];
+        let x = [1.0f64; 2];
+        let mut y = [0.0f64; 2];
+        gemv_ref(2, 2, 1.0, &a, 2, &x, 1, 0.0, &mut y, 1);
+    }
+
+    #[test]
+    fn f32_path() {
+        let (m, n) = (19, 23);
+        let a = Matrix::<f32>::from_fn(m, n, |i, j| ((i * 3 + j) % 11) as f32 - 5.0);
+        let x: Vec<f32> = (0..n).map(|j| (j % 3) as f32).collect();
+        let mut y1 = vec![0.0f32; m];
+        let mut y2 = vec![0.0f32; m];
+        gemv_ref(m, n, 1.0f32, a.as_slice(), m, &x, 1, 0.0, &mut y1, 1);
+        gemv_parallel(3, m, n, 1.0f32, a.as_slice(), m, &x, 1, 0.0, &mut y2, 1);
+        for i in 0..m {
+            assert!((y1[i] - y2[i]).abs() < 1e-3);
+        }
+    }
+}

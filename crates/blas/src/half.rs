@@ -1,0 +1,256 @@
+//! Software BF16 — the half-precision support the paper lists as future
+//! work (§V): "given their prevalence in AI and mixed-precision
+//! computations, we are also looking to support half-precision kernels;
+//! FP16 and Bfloat16".
+//!
+//! The paper notes the practical blocker in C: oneMKL's `MKL_F16` is an
+//! opaque `unsigned short` with no conversion helpers. This module removes
+//! that blocker for the Rust kernels: [`Bf16`] is a bfloat16 (1 sign, 8
+//! exponent, 7 mantissa bits — f32's upper half) with round-to-nearest-even
+//! conversions, arithmetic evaluated in f32 and rounded back per operation
+//! (the semantics of scalar BF16 units), and a full [`Scalar`]
+//! implementation — so every kernel in this crate (`gemm`, `gemv`,
+//! `level1`, `batched`, `sparse`) works at half precision unchanged.
+
+use crate::scalar::Scalar;
+
+/// A bfloat16 value: the upper 16 bits of an IEEE-754 `f32`.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Bf16(u16);
+
+impl Bf16 {
+    /// Positive zero.
+    pub const ZERO: Bf16 = Bf16(0);
+    /// One.
+    pub const ONE: Bf16 = Bf16(0x3F80);
+    /// Machine epsilon: 2⁻⁷ (7 mantissa bits).
+    pub const EPSILON: Bf16 = Bf16(0x3C00);
+
+    /// Converts from `f32` with round-to-nearest-even.
+    pub fn from_f32(v: f32) -> Self {
+        let bits = v.to_bits();
+        if v.is_nan() {
+            // quiet NaN, preserve sign
+            return Bf16(((bits >> 16) | 0x0040) as u16);
+        }
+        // round to nearest even on the truncated 16 bits
+        let round_bit = 0x0000_8000u32;
+        let lsb = (bits >> 16) & 1;
+        let rounded = bits.wrapping_add(0x0000_7FFF + lsb);
+        let _ = round_bit;
+        Bf16((rounded >> 16) as u16)
+    }
+
+    /// Widens to `f32` exactly (every bf16 is representable).
+    pub fn to_f32(self) -> f32 {
+        f32::from_bits((self.0 as u32) << 16)
+    }
+
+    /// The raw bit pattern.
+    pub fn to_bits(self) -> u16 {
+        self.0
+    }
+
+    /// Constructs from a raw bit pattern.
+    pub fn from_bits(bits: u16) -> Self {
+        Bf16(bits)
+    }
+}
+
+impl std::fmt::Display for Bf16 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.to_f32())
+    }
+}
+
+impl PartialOrd for Bf16 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        self.to_f32().partial_cmp(&other.to_f32())
+    }
+}
+
+macro_rules! bf16_binop {
+    ($trait:ident, $method:ident, $op:tt) => {
+        impl std::ops::$trait for Bf16 {
+            type Output = Bf16;
+            fn $method(self, rhs: Bf16) -> Bf16 {
+                Bf16::from_f32(self.to_f32() $op rhs.to_f32())
+            }
+        }
+    };
+}
+bf16_binop!(Add, add, +);
+bf16_binop!(Sub, sub, -);
+bf16_binop!(Mul, mul, *);
+bf16_binop!(Div, div, /);
+
+macro_rules! bf16_assign {
+    ($trait:ident, $method:ident, $op:tt) => {
+        impl std::ops::$trait for Bf16 {
+            fn $method(&mut self, rhs: Bf16) {
+                *self = Bf16::from_f32(self.to_f32() $op rhs.to_f32());
+            }
+        }
+    };
+}
+bf16_assign!(AddAssign, add_assign, +);
+bf16_assign!(SubAssign, sub_assign, -);
+bf16_assign!(MulAssign, mul_assign, *);
+bf16_assign!(DivAssign, div_assign, /);
+
+impl std::ops::Neg for Bf16 {
+    type Output = Bf16;
+    fn neg(self) -> Bf16 {
+        Bf16(self.0 ^ 0x8000)
+    }
+}
+
+impl std::iter::Sum for Bf16 {
+    fn sum<I: Iterator<Item = Bf16>>(iter: I) -> Bf16 {
+        // accumulate in f32 (what real BF16 hardware's FMA units do)
+        Bf16::from_f32(iter.map(Bf16::to_f32).sum())
+    }
+}
+
+impl Scalar for Bf16 {
+    const ZERO: Self = Bf16::ZERO;
+    const ONE: Self = Bf16::ONE;
+    const EPSILON: Self = Bf16::EPSILON;
+    const PREFIX: char = 'b';
+    const BYTES: usize = 2;
+
+    #[inline]
+    fn mul_add(self, a: Self, b: Self) -> Self {
+        // fused in f32, rounded once — matrix-engine BF16 semantics
+        Bf16::from_f32(self.to_f32().mul_add(a.to_f32(), b.to_f32()))
+    }
+    #[inline]
+    fn abs(self) -> Self {
+        Bf16(self.0 & 0x7FFF)
+    }
+    #[inline]
+    fn sqrt(self) -> Self {
+        Bf16::from_f32(self.to_f32().sqrt())
+    }
+    #[inline]
+    fn from_f64(v: f64) -> Self {
+        Bf16::from_f32(v as f32)
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self.to_f32() as f64
+    }
+    #[inline]
+    fn is_finite(self) -> bool {
+        self.to_f32().is_finite()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{gemm_blocked, gemm_ref, gemv_ref};
+
+    #[test]
+    fn exact_small_integers_round_trip() {
+        for v in [0.0f32, 1.0, -1.0, 2.0, 0.5, -0.25, 128.0, 256.0] {
+            assert_eq!(Bf16::from_f32(v).to_f32(), v, "{v}");
+        }
+    }
+
+    #[test]
+    fn constants() {
+        assert_eq!(Bf16::ZERO.to_f32(), 0.0);
+        assert_eq!(Bf16::ONE.to_f32(), 1.0);
+        assert_eq!(Bf16::EPSILON.to_f32(), 0.0078125); // 2^-7
+        assert_eq!(<Bf16 as Scalar>::BYTES, 2);
+        assert_eq!(<Bf16 as Scalar>::PREFIX, 'b');
+    }
+
+    #[test]
+    fn rounding_is_nearest_even() {
+        // 1 + 2^-8 is exactly halfway between 1.0 and 1.0078125 in bf16:
+        // rounds to even mantissa -> 1.0
+        let halfway = 1.0 + 0.00390625;
+        assert_eq!(Bf16::from_f32(halfway).to_f32(), 1.0);
+        // slightly above halfway rounds up
+        assert_eq!(Bf16::from_f32(halfway + 1e-4).to_f32(), 1.0078125);
+    }
+
+    #[test]
+    fn rel_error_bounded_by_epsilon() {
+        let mut x = 0.9991f32;
+        for _ in 0..200 {
+            let b = Bf16::from_f32(x).to_f32();
+            assert!(((b - x) / x).abs() <= 0.00390625 + 1e-7, "{x} -> {b}");
+            x *= 1.0371;
+        }
+    }
+
+    #[test]
+    fn arithmetic_and_neg() {
+        let a = Bf16::from_f32(3.0);
+        let b = Bf16::from_f32(2.0);
+        assert_eq!((a + b).to_f32(), 5.0);
+        assert_eq!((a - b).to_f32(), 1.0);
+        assert_eq!((a * b).to_f32(), 6.0);
+        assert_eq!((a / b).to_f32(), 1.5);
+        assert_eq!((-a).to_f32(), -3.0);
+        assert_eq!(Scalar::mul_add(a, b, b).to_f32(), 8.0);
+        assert_eq!(Scalar::abs(Bf16::from_f32(-7.5)).to_f32(), 7.5);
+        assert_eq!(Scalar::sqrt(Bf16::from_f32(4.0)).to_f32(), 2.0);
+    }
+
+    #[test]
+    fn nan_and_infinity() {
+        assert!(!Scalar::is_finite(Bf16::from_f32(f32::NAN)));
+        assert!(!Scalar::is_finite(Bf16::from_f32(f32::INFINITY)));
+        assert!(Scalar::is_finite(Bf16::from_f32(1.0)));
+        // NaN conversion must not produce infinity
+        assert!(Bf16::from_f32(f32::NAN).to_f32().is_nan());
+    }
+
+    #[test]
+    fn bgemm_matches_f64_reference_coarsely() {
+        // the whole point: the generic kernels run at bf16 unchanged
+        let (m, n, k) = (24, 20, 16);
+        let af: Vec<f64> = (0..m * k).map(|i| ((i % 13) as f64 - 6.0) / 8.0).collect();
+        let bf: Vec<f64> = (0..k * n).map(|i| ((i % 7) as f64 - 3.0) / 4.0).collect();
+        let ab: Vec<Bf16> = af.iter().map(|&v| Bf16::from_f64(v)).collect();
+        let bb: Vec<Bf16> = bf.iter().map(|&v| Bf16::from_f64(v)).collect();
+        let mut c64 = vec![0.0f64; m * n];
+        gemm_ref(m, n, k, 1.0, &af, m, &bf, k, 0.0, &mut c64, m);
+        let mut cb = vec![Bf16::ZERO; m * n];
+        gemm_blocked(m, n, k, Bf16::ONE, &ab, m, &bb, k, Bf16::ZERO, &mut cb, m);
+        for i in 0..m * n {
+            let got = cb[i].to_f64();
+            let want = c64[i];
+            // k=16 accumulation at 2^-7 precision: generous tolerance
+            assert!(
+                (got - want).abs() <= 0.06 * want.abs().max(1.0),
+                "i={i}: {got} vs {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn bgemv_runs_generically() {
+        let (m, n) = (16, 12);
+        let a: Vec<Bf16> = (0..m * n).map(|i| Bf16::from_f64(((i % 5) as f64 - 2.0) / 4.0)).collect();
+        let x: Vec<Bf16> = (0..n).map(|i| Bf16::from_f64((i % 3) as f64 / 2.0)).collect();
+        let mut y = vec![Bf16::ZERO; m];
+        gemv_ref(m, n, Bf16::ONE, &a, m, &x, 1, Bf16::ZERO, &mut y, 1);
+        assert!(y.iter().all(|v| Scalar::is_finite(*v)));
+        // at least one non-zero output for non-trivial inputs
+        assert!(y.iter().any(|v| v.to_f32() != 0.0));
+    }
+
+    #[test]
+    fn sum_accumulates_in_f32() {
+        // 256 * 0.0078125 = 2.0 exactly; naive bf16 accumulation would
+        // stall once the running sum dwarfs the addend
+        let parts = vec![Bf16::from_f32(0.0078125); 256];
+        let s: Bf16 = parts.into_iter().sum();
+        assert_eq!(s.to_f32(), 2.0);
+    }
+}

@@ -1,0 +1,272 @@
+//! BLAS Level 1: vector-vector kernels.
+//!
+//! GPU-BLOB focuses its study on GEMM and GEMV, but those kernels — and many
+//! others — are built out of the Level 1 set, so a complete substrate
+//! provides it. All routines take an explicit element count `n` and strides
+//! (`inc`), following the original 1979 interface semantics: element `i` of a
+//! vector with increment `inc` lives at index `i * inc`.
+//!
+//! Negative increments (the full BLAS generality) are intentionally not
+//! supported — the artifact only ever uses `incx = incy = 1` — and strides of
+//! zero are rejected for the destination.
+
+use crate::scalar::Scalar;
+
+#[inline]
+fn check_stride(n: usize, len: usize, inc: usize, what: &str) {
+    assert!(inc > 0, "{what}: increment must be positive");
+    if n > 0 {
+        assert!(
+            (n - 1) * inc < len,
+            "{what}: vector of length {len} too short for n={n}, inc={inc}"
+        );
+    }
+}
+
+/// `dot`: returns `Σ x[i] * y[i]` over `n` logical elements.
+pub fn dot<T: Scalar>(n: usize, x: &[T], incx: usize, y: &[T], incy: usize) -> T {
+    check_stride(n, x.len(), incx, "dot x");
+    check_stride(n, y.len(), incy, "dot y");
+    let mut acc = T::ZERO;
+    if incx == 1 && incy == 1 {
+        for i in 0..n {
+            acc = x[i].mul_add(y[i], acc);
+        }
+    } else {
+        for i in 0..n {
+            acc = x[i * incx].mul_add(y[i * incy], acc);
+        }
+    }
+    acc
+}
+
+/// `axpy`: `y ← α x + y`.
+pub fn axpy<T: Scalar>(n: usize, alpha: T, x: &[T], incx: usize, y: &mut [T], incy: usize) {
+    check_stride(n, x.len(), incx, "axpy x");
+    check_stride(n, y.len(), incy, "axpy y");
+    if alpha == T::ZERO {
+        return;
+    }
+    if incx == 1 && incy == 1 {
+        for i in 0..n {
+            y[i] = x[i].mul_add(alpha, y[i]);
+        }
+    } else {
+        for i in 0..n {
+            y[i * incy] = x[i * incx].mul_add(alpha, y[i * incy]);
+        }
+    }
+}
+
+/// `scal`: `x ← α x`.
+pub fn scal<T: Scalar>(n: usize, alpha: T, x: &mut [T], incx: usize) {
+    check_stride(n, x.len(), incx, "scal x");
+    for i in 0..n {
+        x[i * incx] *= alpha;
+    }
+}
+
+/// `nrm2`: Euclidean norm `‖x‖₂`, computed with scaling to avoid overflow
+/// and underflow for extreme inputs (the classic LAPACK `dnrm2` approach).
+pub fn nrm2<T: Scalar>(n: usize, x: &[T], incx: usize) -> T {
+    check_stride(n, x.len(), incx, "nrm2 x");
+    let mut scale = T::ZERO;
+    let mut ssq = T::ONE;
+    for i in 0..n {
+        let v = x[i * incx].abs();
+        if v == T::ZERO {
+            continue;
+        }
+        if scale < v {
+            let r = scale / v;
+            ssq = ssq * r * r + T::ONE;
+            scale = v;
+        } else {
+            let r = v / scale;
+            ssq = r.mul_add(r, ssq);
+        }
+    }
+    if scale == T::ZERO {
+        T::ZERO
+    } else {
+        scale * ssq.sqrt()
+    }
+}
+
+/// `asum`: sum of absolute values `Σ |x[i]|`.
+pub fn asum<T: Scalar>(n: usize, x: &[T], incx: usize) -> T {
+    check_stride(n, x.len(), incx, "asum x");
+    let mut acc = T::ZERO;
+    for i in 0..n {
+        acc += x[i * incx].abs();
+    }
+    acc
+}
+
+/// `iamax`: index (into the logical vector) of the first element with the
+/// largest absolute value. Returns `None` for `n == 0`.
+pub fn iamax<T: Scalar>(n: usize, x: &[T], incx: usize) -> Option<usize> {
+    check_stride(n, x.len(), incx, "iamax x");
+    if n == 0 {
+        return None;
+    }
+    let mut best = 0usize;
+    let mut best_val = x[0].abs();
+    for i in 1..n {
+        let v = x[i * incx].abs();
+        if v > best_val {
+            best_val = v;
+            best = i;
+        }
+    }
+    Some(best)
+}
+
+/// `copy`: `y ← x`.
+pub fn copy<T: Scalar>(n: usize, x: &[T], incx: usize, y: &mut [T], incy: usize) {
+    check_stride(n, x.len(), incx, "copy x");
+    check_stride(n, y.len(), incy, "copy y");
+    if incx == 1 && incy == 1 {
+        y[..n].copy_from_slice(&x[..n]);
+    } else {
+        for i in 0..n {
+            y[i * incy] = x[i * incx];
+        }
+    }
+}
+
+/// `swap`: exchanges the logical contents of `x` and `y`.
+pub fn swap<T: Scalar>(n: usize, x: &mut [T], incx: usize, y: &mut [T], incy: usize) {
+    check_stride(n, x.len(), incx, "swap x");
+    check_stride(n, y.len(), incy, "swap y");
+    for i in 0..n {
+        std::mem::swap(&mut x[i * incx], &mut y[i * incy]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_basic() {
+        let x = [1.0f64, 2.0, 3.0];
+        let y = [4.0f64, 5.0, 6.0];
+        assert_eq!(dot(3, &x, 1, &y, 1), 32.0);
+        assert_eq!(dot(0, &x, 1, &y, 1), 0.0);
+    }
+
+    #[test]
+    fn dot_strided() {
+        // logical x = [1, 3], logical y = [4, 6]
+        let x = [1.0f64, 99.0, 3.0];
+        let y = [4.0f64, 99.0, 6.0];
+        assert_eq!(dot(2, &x, 2, &y, 2), 1.0 * 4.0 + 3.0 * 6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "too short")]
+    fn dot_rejects_short_vector() {
+        let x = [1.0f64; 3];
+        let y = [1.0f64; 2];
+        let _ = dot(3, &x, 1, &y, 1);
+    }
+
+    #[test]
+    fn axpy_basic_and_alpha_zero() {
+        let x = [1.0f32, 2.0, 3.0];
+        let mut y = [10.0f32, 20.0, 30.0];
+        axpy(3, 2.0, &x, 1, &mut y, 1);
+        assert_eq!(y, [12.0, 24.0, 36.0]);
+        // alpha == 0 is a no-op and must not touch y
+        axpy(3, 0.0, &x, 1, &mut y, 1);
+        assert_eq!(y, [12.0, 24.0, 36.0]);
+    }
+
+    #[test]
+    fn axpy_strided() {
+        let x = [1.0f64, 0.0, 2.0];
+        let mut y = [0.0f64, 9.0, 0.0, 9.0, 0.0];
+        axpy(2, 3.0, &x, 2, &mut y, 2);
+        assert_eq!(y, [3.0, 9.0, 6.0, 9.0, 0.0]);
+    }
+
+    #[test]
+    fn scal_scales_in_place() {
+        let mut x = [1.0f64, 2.0, 3.0];
+        scal(3, 0.5, &mut x, 1);
+        assert_eq!(x, [0.5, 1.0, 1.5]);
+        scal(2, 0.0, &mut x, 2);
+        assert_eq!(x, [0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn nrm2_matches_naive() {
+        let x = [3.0f64, 4.0];
+        assert!((nrm2(2, &x, 1) - 5.0).abs() < 1e-12);
+        assert_eq!(nrm2::<f64>(0, &[], 1), 0.0);
+        let z = [0.0f64; 4];
+        assert_eq!(nrm2(4, &z, 1), 0.0);
+    }
+
+    #[test]
+    fn nrm2_avoids_overflow() {
+        // naive sum of squares would overflow f64 here
+        let x = [1e200f64, 1e200];
+        let n = nrm2(2, &x, 1);
+        assert!(n.is_finite());
+        assert!((n - 1e200 * 2.0f64.sqrt()).abs() / n < 1e-12);
+    }
+
+    #[test]
+    fn nrm2_avoids_underflow() {
+        let x = [1e-200f64, 1e-200];
+        let n = nrm2(2, &x, 1);
+        assert!(n > 0.0);
+        assert!((n - 1e-200 * 2.0f64.sqrt()).abs() / n < 1e-12);
+    }
+
+    #[test]
+    fn asum_absolute_values() {
+        let x = [-1.0f32, 2.0, -3.0];
+        assert_eq!(asum(3, &x, 1), 6.0);
+    }
+
+    #[test]
+    fn iamax_finds_first_max() {
+        let x = [1.0f64, -5.0, 5.0, 2.0];
+        assert_eq!(iamax(4, &x, 1), Some(1)); // first of the tied |5.0|s
+        assert_eq!(iamax::<f64>(0, &[], 1), None);
+        // strided: logical vector [1.0, 5.0]
+        assert_eq!(iamax(2, &x, 2), Some(1));
+    }
+
+    #[test]
+    fn copy_and_swap() {
+        let x = [1.0f64, 2.0, 3.0];
+        let mut y = [0.0f64; 3];
+        copy(3, &x, 1, &mut y, 1);
+        assert_eq!(y, x);
+
+        let mut a = [1.0f64, 2.0];
+        let mut b = [3.0f64, 4.0];
+        swap(2, &mut a, 1, &mut b, 1);
+        assert_eq!(a, [3.0, 4.0]);
+        assert_eq!(b, [1.0, 2.0]);
+    }
+
+    #[test]
+    fn copy_strided() {
+        let x = [1.0f32, 9.0, 2.0, 9.0, 3.0];
+        let mut y = [0.0f32; 3];
+        copy(3, &x, 2, &mut y, 1);
+        assert_eq!(y, [1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "increment must be positive")]
+    fn zero_increment_rejected() {
+        let x = [1.0f64; 3];
+        let _ = asum(3, &x, 0);
+    }
+}

@@ -1,0 +1,541 @@
+//! Additional Level 2/3 kernels: GER, SYRK and TRSV.
+//!
+//! GEMM and GEMV "form the basis of many other BLAS kernels" (paper §I);
+//! the related work the paper builds on benchmarks DOT, GEMV, GEMM *and
+//! TRSV/TRSM* (Li et al.). These kernels round out the substrate so the
+//! benchmark's call surface matches what a real BLAS client uses:
+//!
+//! - [`ger`] — rank-1 update `A ← α·x·yᵀ + A` (the GEMM building block);
+//! - [`syrk`] — symmetric rank-k update `C ← α·A·Aᵀ + β·C` (normal
+//!   equations, covariance);
+//! - [`trsv`] — triangular solve `T·x = b` (the TRSV of Li et al.'s
+//!   comparison; the kernel whose CPU/GPU picture the paper calls
+//!   "more complex").
+//!
+//! All column-major, no transposition flags (matching the artifact's
+//! conventions); triangular kernels take an [`UpLo`] selector.
+
+use crate::scalar::Scalar;
+
+/// Which triangle of a matrix a triangular kernel reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpLo {
+    /// The lower triangle (including the diagonal).
+    Lower,
+    /// The upper triangle (including the diagonal).
+    Upper,
+}
+
+/// GER: `A ← α·x·yᵀ + A` for an `m × n` column-major `A`.
+pub fn ger<T: Scalar>(
+    m: usize,
+    n: usize,
+    alpha: T,
+    x: &[T],
+    incx: usize,
+    y: &[T],
+    incy: usize,
+    a: &mut [T],
+    lda: usize,
+) {
+    assert!(lda >= m.max(1), "lda {lda} < m {m}");
+    assert!(incx > 0 && incy > 0, "increments must be positive");
+    if m > 0 {
+        assert!(x.len() > (m - 1) * incx, "x too short");
+    }
+    if n > 0 {
+        assert!(y.len() > (n - 1) * incy, "y too short");
+        if m > 0 {
+            assert!(a.len() >= (n - 1) * lda + m, "A too short");
+        }
+    }
+    if alpha == T::ZERO {
+        return;
+    }
+    for j in 0..n {
+        let w = alpha * y[j * incy];
+        if w == T::ZERO {
+            continue;
+        }
+        let col = &mut a[j * lda..j * lda + m];
+        for i in 0..m {
+            col[i] = x[i * incx].mul_add(w, col[i]);
+        }
+    }
+}
+
+/// SYRK: `C ← α·A·Aᵀ + β·C`, updating only the `uplo` triangle of the
+/// `n × n` matrix `C`; `A` is `n × k`.
+#[allow(clippy::too_many_arguments)]
+pub fn syrk<T: Scalar>(
+    uplo: UpLo,
+    n: usize,
+    k: usize,
+    alpha: T,
+    a: &[T],
+    lda: usize,
+    beta: T,
+    c: &mut [T],
+    ldc: usize,
+) {
+    assert!(lda >= n.max(1), "lda {lda} < n {n}");
+    assert!(ldc >= n.max(1), "ldc {ldc} < n {n}");
+    if n > 0 && k > 0 {
+        assert!(a.len() >= (k - 1) * lda + n, "A too short");
+    }
+    if n > 0 {
+        assert!(c.len() >= (n - 1) * ldc + n, "C too short");
+    }
+    for j in 0..n {
+        let (lo, hi) = match uplo {
+            UpLo::Lower => (j, n),
+            UpLo::Upper => (0, j + 1),
+        };
+        // β pass over the stored triangle of column j
+        for i in lo..hi {
+            let idx = i + j * ldc;
+            c[idx] = if beta == T::ZERO { T::ZERO } else { c[idx] * beta };
+        }
+        if alpha == T::ZERO {
+            continue;
+        }
+        for l in 0..k {
+            let w = alpha * a[j + l * lda];
+            if w == T::ZERO {
+                continue;
+            }
+            for i in lo..hi {
+                let idx = i + j * ldc;
+                c[idx] = a[i + l * lda].mul_add(w, c[idx]);
+            }
+        }
+    }
+}
+
+/// TRSV: solves `T·x = b` in place (`x` enters holding `b`), where `T` is
+/// the `uplo` triangle of the `n × n` column-major matrix `a`.
+///
+/// # Panics
+/// On a zero diagonal element (singular triangle), or size mismatches.
+pub fn trsv<T: Scalar>(uplo: UpLo, n: usize, a: &[T], lda: usize, x: &mut [T], incx: usize) {
+    assert!(lda >= n.max(1), "lda {lda} < n {n}");
+    assert!(incx > 0, "incx must be positive");
+    if n == 0 {
+        return;
+    }
+    assert!(a.len() >= (n - 1) * lda + n, "A too short");
+    assert!(x.len() > (n - 1) * incx, "x too short");
+    match uplo {
+        UpLo::Lower => {
+            // forward substitution, column-oriented: after computing x[j],
+            // eliminate it from all later rows
+            for j in 0..n {
+                let d = a[j + j * lda];
+                assert!(d != T::ZERO, "singular triangle at {j}");
+                let xj = x[j * incx] / d;
+                x[j * incx] = xj;
+                if xj != T::ZERO {
+                    for i in j + 1..n {
+                        let aij = a[i + j * lda];
+                        x[i * incx] -= aij * xj;
+                    }
+                }
+            }
+        }
+        UpLo::Upper => {
+            // backward substitution
+            for j in (0..n).rev() {
+                let d = a[j + j * lda];
+                assert!(d != T::ZERO, "singular triangle at {j}");
+                let xj = x[j * incx] / d;
+                x[j * incx] = xj;
+                if xj != T::ZERO {
+                    for i in 0..j {
+                        let aij = a[i + j * lda];
+                        x[i * incx] -= aij * xj;
+                    }
+                }
+            }
+        }
+    }
+}
+
+
+/// TRSM (left side): solves `T·X = α·B` in place (`b` enters holding `B`,
+/// leaves holding `X`), where `T` is the `uplo` triangle of the `m × m`
+/// column-major matrix `a` and `B` is `m × n`.
+///
+/// Column-wise: each of `B`'s columns is an independent [`trsv`]-shaped
+/// solve — which is also why TRSM parallelises so much better than TRSV
+/// (the Li et al. comparison in the paper's related work).
+#[allow(clippy::too_many_arguments)]
+pub fn trsm<T: Scalar>(
+    uplo: UpLo,
+    m: usize,
+    n: usize,
+    alpha: T,
+    a: &[T],
+    lda: usize,
+    b: &mut [T],
+    ldb: usize,
+) {
+    assert!(lda >= m.max(1), "lda {lda} < m {m}");
+    assert!(ldb >= m.max(1), "ldb {ldb} < m {m}");
+    if m == 0 || n == 0 {
+        return;
+    }
+    assert!(a.len() >= (m - 1) * lda + m, "A too short");
+    assert!(b.len() >= (n - 1) * ldb + m, "B too short");
+    for j in 0..n {
+        let col = &mut b[j * ldb..j * ldb + m];
+        if alpha != T::ONE {
+            for v in col.iter_mut() {
+                *v *= alpha;
+            }
+        }
+        trsv(uplo, m, a, lda, col, 1);
+    }
+}
+
+/// Parallel TRSM: `B`'s columns split over scoped threads (column solves
+/// are independent).
+#[allow(clippy::too_many_arguments)]
+pub fn trsm_parallel<T: Scalar>(
+    threads: usize,
+    uplo: UpLo,
+    m: usize,
+    n: usize,
+    alpha: T,
+    a: &[T],
+    lda: usize,
+    b: &mut [T],
+    ldb: usize,
+) {
+    assert!(lda >= m.max(1), "lda {lda} < m {m}");
+    assert!(ldb >= m.max(1), "ldb {ldb} < m {m}");
+    if m == 0 || n == 0 {
+        return;
+    }
+    assert!(a.len() >= (m - 1) * lda + m, "A too short");
+    assert!(b.len() >= (n - 1) * ldb + m, "B too short");
+    let chunks = threads.clamp(1, n);
+    if chunks <= 1 {
+        trsm(uplo, m, n, alpha, a, lda, b, ldb);
+        return;
+    }
+    let per = n.div_ceil(chunks);
+    std::thread::scope(|s| {
+        let mut rest: &mut [T] = b;
+        let mut j0 = 0usize;
+        while j0 < n {
+            let cols = per.min(n - j0);
+            let take = if j0 + cols >= n { rest.len() } else { cols * ldb };
+            let (mine, r) = rest.split_at_mut(take);
+            rest = r;
+            s.spawn(move || {
+                for j in 0..cols {
+                    let col = &mut mine[j * ldb..j * ldb + m];
+                    if alpha != T::ONE {
+                        for v in col.iter_mut() {
+                            *v *= alpha;
+                        }
+                    }
+                    trsv(uplo, m, a, lda, col, 1);
+                }
+            });
+            j0 += cols;
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm_ref;
+    use crate::matrix::Matrix;
+
+    fn filled(rows: usize, cols: usize, seed: u64) -> Matrix<f64> {
+        Matrix::from_fn(rows, cols, |i, j| {
+            let h = seed
+                .wrapping_mul(0x2545F4914F6CDD1D)
+                .wrapping_add((i * 7919 + j * 104729) as u64);
+            ((h >> 33) as f64 / (1u64 << 31) as f64) - 0.5
+        })
+    }
+
+    #[test]
+    fn ger_matches_naive() {
+        let (m, n) = (7, 5);
+        let x: Vec<f64> = (0..m).map(|i| i as f64 + 1.0).collect();
+        let y: Vec<f64> = (0..n).map(|j| (j as f64) * 0.5 - 1.0).collect();
+        let a0 = filled(m, n, 1);
+        let mut a = a0.clone();
+        ger(m, n, 2.0, &x, 1, &y, 1, a.as_mut_slice(), m);
+        for j in 0..n {
+            for i in 0..m {
+                let want = a0[(i, j)] + 2.0 * x[i] * y[j];
+                assert!((a[(i, j)] - want).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn ger_alpha_zero_untouched() {
+        let (m, n) = (4, 4);
+        let a0 = filled(m, n, 2);
+        let mut a = a0.clone();
+        ger(m, n, 0.0, &vec![1.0; m], 1, &vec![1.0; n], 1, a.as_mut_slice(), m);
+        assert_eq!(a, a0);
+    }
+
+    #[test]
+    fn ger_strided_vectors() {
+        let (m, n) = (3, 2);
+        let x = [1.0, 9.0, 2.0, 9.0, 3.0]; // stride 2 -> [1, 2, 3]
+        let y = [4.0, 9.0, 9.0, 5.0]; // stride 3 -> [4, 5]
+        let mut a = Matrix::<f64>::zeros(m, n);
+        ger(m, n, 1.0, &x, 2, &y, 3, a.as_mut_slice(), m);
+        assert_eq!(a[(2, 1)], 15.0);
+        assert_eq!(a[(0, 0)], 4.0);
+    }
+
+    #[test]
+    fn gemm_as_k_rank1_updates() {
+        // definitional: C = A·B equals k GER updates with A's columns and
+        // B's rows — ties GER to GEMM
+        let (m, n, k) = (6, 5, 4);
+        let a = filled(m, k, 3);
+        let b = filled(k, n, 4);
+        let mut via_gemm = Matrix::<f64>::zeros(m, n);
+        gemm_ref(m, n, k, 1.0, a.as_slice(), m, b.as_slice(), k, 0.0, via_gemm.as_mut_slice(), m);
+        let mut via_ger = Matrix::<f64>::zeros(m, n);
+        for l in 0..k {
+            let col: Vec<f64> = (0..m).map(|i| a[(i, l)]).collect();
+            let row: Vec<f64> = (0..n).map(|j| b[(l, j)]).collect();
+            ger(m, n, 1.0, &col, 1, &row, 1, via_ger.as_mut_slice(), m);
+        }
+        assert!(via_gemm.approx_eq(&via_ger, 1e-12));
+    }
+
+    #[test]
+    fn syrk_matches_gemm_with_transpose() {
+        let (n, k) = (6, 9);
+        let a = filled(n, k, 5);
+        // reference: full C = A * A^T via gemm with explicit A^T
+        let at = Matrix::<f64>::from_fn(k, n, |i, j| a[(j, i)]);
+        let mut full = Matrix::<f64>::zeros(n, n);
+        gemm_ref(n, n, k, 1.0, a.as_slice(), n, at.as_slice(), k, 0.0, full.as_mut_slice(), n);
+
+        for uplo in [UpLo::Lower, UpLo::Upper] {
+            let mut c = Matrix::<f64>::zeros(n, n);
+            syrk(uplo, n, k, 1.0, a.as_slice(), n, 0.0, c.as_mut_slice(), n);
+            for j in 0..n {
+                for i in 0..n {
+                    let stored = match uplo {
+                        UpLo::Lower => i >= j,
+                        UpLo::Upper => i <= j,
+                    };
+                    if stored {
+                        assert!((c[(i, j)] - full[(i, j)]).abs() < 1e-12, "{uplo:?} {i},{j}");
+                    } else {
+                        assert_eq!(c[(i, j)], 0.0, "untouched triangle {i},{j}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn syrk_beta_semantics() {
+        let (n, k) = (4, 3);
+        let a = filled(n, k, 6);
+        let mut c = Matrix::<f64>::zeros(n, n);
+        c.fill(f64::NAN);
+        // beta = 0 overwrites the stored triangle even over NaN
+        syrk(UpLo::Lower, n, k, 1.0, a.as_slice(), n, 0.0, c.as_mut_slice(), n);
+        for j in 0..n {
+            for i in j..n {
+                assert!(c[(i, j)].is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn trsv_lower_and_upper_solve() {
+        let n = 8;
+        // well-conditioned triangles: dominant diagonal
+        let l = Matrix::<f64>::from_fn(n, n, |i, j| {
+            if i == j {
+                4.0 + i as f64
+            } else if i > j {
+                ((i * 3 + j) % 5) as f64 * 0.2 - 0.4
+            } else {
+                77.0 // garbage in the unused triangle must be ignored
+            }
+        });
+        let xs: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin() + 1.5).collect();
+        // b = L * x
+        let mut b = vec![0.0; n];
+        for j in 0..n {
+            for i in j..n {
+                b[i] += l[(i, j)] * xs[j];
+            }
+        }
+        let mut x = b.clone();
+        trsv(UpLo::Lower, n, l.as_slice(), n, &mut x, 1);
+        for i in 0..n {
+            assert!((x[i] - xs[i]).abs() < 1e-10, "lower i={i}");
+        }
+
+        let u = Matrix::<f64>::from_fn(n, n, |i, j| {
+            if i == j {
+                3.0 + j as f64
+            } else if i < j {
+                ((i + 2 * j) % 7) as f64 * 0.15 - 0.3
+            } else {
+                -55.0
+            }
+        });
+        let mut b = vec![0.0; n];
+        for j in 0..n {
+            for i in 0..=j {
+                b[i] += u[(i, j)] * xs[j];
+            }
+        }
+        let mut x = b.clone();
+        trsv(UpLo::Upper, n, u.as_slice(), n, &mut x, 1);
+        for i in 0..n {
+            assert!((x[i] - xs[i]).abs() < 1e-10, "upper i={i}");
+        }
+    }
+
+    #[test]
+    fn trsv_identity_is_noop() {
+        let n = 5;
+        let i_mat = Matrix::<f64>::from_fn(n, n, |i, j| if i == j { 1.0 } else { 0.0 });
+        let mut x: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let expect = x.clone();
+        trsv(UpLo::Lower, n, i_mat.as_slice(), n, &mut x, 1);
+        assert_eq!(x, expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "singular")]
+    fn trsv_rejects_zero_diagonal() {
+        let n = 3;
+        let mut t = Matrix::<f64>::zeros(n, n);
+        t[(0, 0)] = 1.0;
+        t[(2, 2)] = 1.0; // t[(1,1)] stays 0
+        let mut x = vec![1.0; n];
+        trsv(UpLo::Lower, n, t.as_slice(), n, &mut x, 1);
+    }
+
+    #[test]
+    fn trsv_strided_x() {
+        let n = 4;
+        let l = Matrix::<f64>::from_fn(n, n, |i, j| {
+            if i == j {
+                2.0
+            } else if i > j {
+                0.5
+            } else {
+                0.0
+            }
+        });
+        let xs = [1.0, -1.0, 2.0, 0.5];
+        let mut b = vec![0.0; n];
+        for j in 0..n {
+            for i in j..n {
+                b[i] += l[(i, j)] * xs[j];
+            }
+        }
+        // embed b at stride 2
+        let mut x = vec![0.0; 2 * n];
+        for i in 0..n {
+            x[2 * i] = b[i];
+        }
+        trsv(UpLo::Lower, n, l.as_slice(), n, &mut x, 2);
+        for i in 0..n {
+            assert!((x[2 * i] - xs[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn trsm_reconstructs_b() {
+        let (m, n) = (10, 7);
+        let l = Matrix::<f64>::from_fn(m, m, |i, j| {
+            if i == j {
+                3.0 + i as f64 * 0.5
+            } else if i > j {
+                ((i + j) % 5) as f64 * 0.1 - 0.2
+            } else {
+                99.0 // ignored triangle
+            }
+        });
+        let x_true = filled(m, n, 21);
+        // B = L * X (using only the lower triangle)
+        let mut b = Matrix::<f64>::zeros(m, n);
+        for jc in 0..n {
+            for j in 0..m {
+                for i in j..m {
+                    b[(i, jc)] += l[(i, j)] * x_true[(j, jc)];
+                }
+            }
+        }
+        let mut x = b.clone();
+        trsm(UpLo::Lower, m, n, 1.0, l.as_slice(), m, x.as_mut_slice(), m);
+        assert!(x.approx_eq(&x_true, 1e-9), "max diff {}", x.max_abs_diff(&x_true));
+    }
+
+    #[test]
+    fn trsm_alpha_scales_rhs() {
+        let m = 4;
+        let i_mat = Matrix::<f64>::from_fn(m, m, |i, j| if i == j { 1.0 } else { 0.0 });
+        let mut b = Matrix::<f64>::from_fn(m, 3, |i, j| (i + j) as f64);
+        let expect = Matrix::<f64>::from_fn(m, 3, |i, j| 2.0 * (i + j) as f64);
+        trsm(UpLo::Upper, m, 3, 2.0, i_mat.as_slice(), m, b.as_mut_slice(), m);
+        assert!(b.approx_eq(&expect, 1e-12));
+    }
+
+    #[test]
+    fn trsm_parallel_matches_serial() {
+        let (m, n) = (32, 50);
+        let u = Matrix::<f64>::from_fn(m, m, |i, j| {
+            if i == j {
+                5.0 + (j % 3) as f64
+            } else if i < j {
+                ((2 * i + j) % 7) as f64 * 0.1
+            } else {
+                -1.0
+            }
+        });
+        let b0 = filled(m, n, 22);
+        let mut serial = b0.clone();
+        trsm(UpLo::Upper, m, n, 1.5, u.as_slice(), m, serial.as_mut_slice(), m);
+        for threads in [1usize, 3, 8] {
+            let mut par = b0.clone();
+            trsm_parallel(threads, UpLo::Upper, m, n, 1.5, u.as_slice(), m, par.as_mut_slice(), m);
+            assert!(serial.approx_eq(&par, 1e-12), "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn trsm_single_column_equals_trsv() {
+        let m = 9;
+        let l = Matrix::<f64>::from_fn(m, m, |i, j| {
+            if i == j {
+                2.0
+            } else if i > j {
+                0.3
+            } else {
+                0.0
+            }
+        });
+        let b: Vec<f64> = (0..m).map(|i| i as f64 + 1.0).collect();
+        let mut via_trsm = b.clone();
+        trsm(UpLo::Lower, m, 1, 1.0, l.as_slice(), m, &mut via_trsm, m);
+        let mut via_trsv = b.clone();
+        trsv(UpLo::Lower, m, l.as_slice(), m, &mut via_trsv, 1);
+        assert_eq!(via_trsm, via_trsv);
+    }
+}

@@ -1,0 +1,267 @@
+//! Thread-parallel execution substrate.
+//!
+//! Two facilities:
+//!
+//! 1. [`ThreadPool`] — a persistent worker pool for `'static` jobs, built on
+//!    a crossbeam MPMC channel and a completion count guarded by a
+//!    `parking_lot` mutex + condvar. Higher layers (the benchmark runner)
+//!    use it for independent tasks like concurrent problem-type sweeps.
+//! 2. [`parallel_for`] — scoped data-parallelism over an index range using
+//!    `std::thread::scope`, used by the parallel GEMM/GEMV kernels where the
+//!    closures borrow matrix slices and therefore cannot be `'static`.
+//!
+//! The worker count defaults to the host's available parallelism, mirroring
+//! how the paper pins one full CPU socket (`OMP_NUM_THREADS`, §IV).
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::{Condvar, Mutex};
+use std::ops::Range;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Tracks outstanding jobs so callers can block until a batch drains.
+struct Pending {
+    count: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl Pending {
+    fn incr(&self) {
+        *self.count.lock() += 1;
+    }
+    fn decr(&self) {
+        let mut c = self.count.lock();
+        *c -= 1;
+        if *c == 0 {
+            self.cv.notify_all();
+        }
+    }
+    fn wait_zero(&self) {
+        let mut c = self.count.lock();
+        while *c != 0 {
+            self.cv.wait(&mut c);
+        }
+    }
+}
+
+/// A fixed-size pool of persistent worker threads.
+///
+/// Jobs submitted with [`execute`](Self::execute) run on an arbitrary
+/// worker; [`join`](Self::join) blocks until every submitted job has
+/// finished. Dropping the pool joins all workers.
+pub struct ThreadPool {
+    sender: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    pending: Arc<Pending>,
+}
+
+impl ThreadPool {
+    /// Creates a pool with `threads` workers (at least 1).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let (sender, receiver): (Sender<Job>, Receiver<Job>) = unbounded();
+        let pending = Arc::new(Pending {
+            count: Mutex::new(0),
+            cv: Condvar::new(),
+        });
+        let workers = (0..threads)
+            .map(|idx| {
+                let rx = receiver.clone();
+                let pending = Arc::clone(&pending);
+                std::thread::Builder::new()
+                    .name(format!("blob-worker-{idx}"))
+                    .spawn(move || {
+                        // Channel disconnect (all senders dropped) ends the worker.
+                        while let Ok(job) = rx.recv() {
+                            job();
+                            pending.decr();
+                        }
+                    })
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        Self {
+            sender: Some(sender),
+            workers,
+            pending,
+        }
+    }
+
+    /// A pool sized to the host's available parallelism.
+    pub fn with_default_parallelism() -> Self {
+        Self::new(available_threads())
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Submits a job for asynchronous execution.
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        self.pending.incr();
+        self.sender
+            .as_ref()
+            .expect("pool already shut down")
+            .send(Box::new(job))
+            .expect("pool workers exited prematurely");
+    }
+
+    /// Blocks until every job submitted so far has completed.
+    pub fn join(&self) {
+        self.pending.wait_zero();
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        // Disconnect the channel so workers drain remaining jobs and exit.
+        self.sender.take();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// The host's available hardware parallelism (>= 1).
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Splits `range` into at most `threads` contiguous chunks and runs `f` on
+/// each chunk from a scoped thread. Chunks smaller than `min_chunk` are
+/// merged so tiny problems do not pay spawn overhead for no useful work.
+///
+/// `f` receives the sub-range it owns. The final chunk absorbs the
+/// remainder, so every index is covered exactly once.
+pub fn parallel_for<F>(threads: usize, range: Range<usize>, min_chunk: usize, f: F)
+where
+    F: Fn(Range<usize>) + Sync,
+{
+    let len = range.end.saturating_sub(range.start);
+    if len == 0 {
+        return;
+    }
+    let min_chunk = min_chunk.max(1);
+    let max_chunks = len.div_ceil(min_chunk);
+    let chunks = threads.max(1).min(max_chunks);
+    if chunks <= 1 {
+        f(range);
+        return;
+    }
+    let chunk = len / chunks;
+    let rem = len % chunks;
+    std::thread::scope(|s| {
+        let f = &f;
+        let mut start = range.start;
+        for c in 0..chunks {
+            // distribute the remainder one element at a time over leading chunks
+            let this = chunk + usize::from(c < rem);
+            let sub = start..start + this;
+            start += this;
+            s.spawn(move || f(sub));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn pool_runs_all_jobs() {
+        let pool = ThreadPool::new(4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..100 {
+            let c = Arc::clone(&counter);
+            pool.execute(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.join();
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn pool_join_on_empty_is_immediate() {
+        let pool = ThreadPool::new(2);
+        pool.join(); // must not deadlock
+    }
+
+    #[test]
+    fn pool_reusable_across_batches() {
+        let pool = ThreadPool::new(3);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for batch in 1..=3 {
+            for _ in 0..10 {
+                let c = Arc::clone(&counter);
+                pool.execute(move || {
+                    c.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            pool.join();
+            assert_eq!(counter.load(Ordering::Relaxed), batch * 10);
+        }
+    }
+
+    #[test]
+    fn pool_at_least_one_thread() {
+        let pool = ThreadPool::new(0);
+        assert_eq!(pool.threads(), 1);
+        let done = Arc::new(AtomicUsize::new(0));
+        let d = Arc::clone(&done);
+        pool.execute(move || {
+            d.store(1, Ordering::Relaxed);
+        });
+        pool.join();
+        assert_eq!(done.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn parallel_for_covers_every_index_once() {
+        let n = 1013;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        parallel_for(7, 0..n, 1, |r| {
+            for i in r {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn parallel_for_respects_min_chunk() {
+        // 10 elements with min_chunk 8 => at most 2 chunks
+        let chunks = AtomicUsize::new(0);
+        parallel_for(16, 0..10, 8, |_r| {
+            chunks.fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(chunks.load(Ordering::Relaxed) <= 2);
+    }
+
+    #[test]
+    fn parallel_for_empty_range() {
+        parallel_for(4, 5..5, 1, |_r| panic!("must not be called"));
+    }
+
+    #[test]
+    fn parallel_for_offset_range() {
+        let sum = AtomicUsize::new(0);
+        parallel_for(3, 10..20, 1, |r| {
+            for i in r {
+                sum.fetch_add(i, Ordering::Relaxed);
+            }
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), (10..20).sum::<usize>());
+    }
+
+    #[test]
+    fn available_threads_is_positive() {
+        assert!(available_threads() >= 1);
+    }
+}

@@ -1,0 +1,205 @@
+//! The [`Scalar`] abstraction over the two floating-point precisions the
+//! benchmark evaluates (`f32` ⇒ SGEMM/SGEMV, `f64` ⇒ DGEMM/DGEMV).
+//!
+//! Keeping the kernel code generic over `Scalar` lets every kernel exist
+//! exactly once while the harness sweeps both precisions, mirroring how the
+//! C++ artifact templates its kernels over `float`/`double`.
+
+use std::fmt::{Debug, Display};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A real scalar type usable in the BLAS kernels.
+///
+/// Implemented for `f32` and `f64`. The bound set is intentionally minimal:
+/// arithmetic, comparison, a fused multiply-add, and conversions used by the
+/// FLOPs/GFLOP-per-second accounting.
+pub trait Scalar:
+    Copy
+    + Clone
+    + Debug
+    + Display
+    + Default
+    + PartialEq
+    + PartialOrd
+    + Send
+    + Sync
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+    + Sum
+    + 'static
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// Machine epsilon for this precision.
+    const EPSILON: Self;
+    /// Short BLAS prefix: `"s"` for `f32`, `"d"` for `f64`.
+    const PREFIX: char;
+    /// Size of one element in bytes.
+    const BYTES: usize;
+
+    /// Fused multiply-add: `self * a + b` evaluated with a single rounding.
+    fn mul_add(self, a: Self, b: Self) -> Self;
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// Square root.
+    fn sqrt(self) -> Self;
+    /// Lossy conversion from `f64` (used for tolerances and test data).
+    fn from_f64(v: f64) -> Self;
+    /// Lossless widening to `f64` (used for checksums and error metrics).
+    fn to_f64(self) -> f64;
+    /// Exact conversion from a small integer index (test data generation).
+    fn from_usize(v: usize) -> Self {
+        Self::from_f64(v as f64)
+    }
+    /// True if the value is finite (not NaN/inf).
+    fn is_finite(self) -> bool;
+}
+
+macro_rules! impl_scalar {
+    ($t:ty, $prefix:expr) => {
+        impl Scalar for $t {
+            const ZERO: Self = 0.0;
+            const ONE: Self = 1.0;
+            const EPSILON: Self = <$t>::EPSILON;
+            const PREFIX: char = $prefix;
+            const BYTES: usize = std::mem::size_of::<$t>();
+
+            #[inline(always)]
+            fn mul_add(self, a: Self, b: Self) -> Self {
+                <$t>::mul_add(self, a, b)
+            }
+            #[inline(always)]
+            fn abs(self) -> Self {
+                <$t>::abs(self)
+            }
+            #[inline(always)]
+            fn sqrt(self) -> Self {
+                <$t>::sqrt(self)
+            }
+            #[inline(always)]
+            fn from_f64(v: f64) -> Self {
+                v as $t
+            }
+            #[inline(always)]
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+            #[inline(always)]
+            fn is_finite(self) -> bool {
+                <$t>::is_finite(self)
+            }
+        }
+    };
+}
+
+impl_scalar!(f32, 's');
+impl_scalar!(f64, 'd');
+
+/// The two precisions the benchmark sweeps, as a runtime value.
+///
+/// Tables III–VI in the paper report `S:D` pairs; this enum labels which half
+/// of the pair a measurement belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Precision {
+    /// 32-bit IEEE-754 (`float`): SGEMM / SGEMV.
+    F32,
+    /// 64-bit IEEE-754 (`double`): DGEMM / DGEMV.
+    F64,
+}
+
+impl Precision {
+    /// Element size in bytes.
+    pub const fn bytes(self) -> usize {
+        match self {
+            Precision::F32 => 4,
+            Precision::F64 => 8,
+        }
+    }
+
+    /// The BLAS routine prefix letter, upper-case (`S` or `D`).
+    pub const fn prefix(self) -> char {
+        match self {
+            Precision::F32 => 'S',
+            Precision::F64 => 'D',
+        }
+    }
+
+    /// All supported precisions, in the order the paper's tables list them.
+    pub const ALL: [Precision; 2] = [Precision::F32, Precision::F64];
+}
+
+impl std::fmt::Display for Precision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Precision::F32 => write!(f, "fp32"),
+            Precision::F64 => write!(f, "fp64"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_match_std() {
+        assert_eq!(f32::ZERO, 0.0f32);
+        assert_eq!(f64::ONE, 1.0f64);
+        assert_eq!(<f32 as Scalar>::EPSILON, f32::EPSILON);
+        assert_eq!(<f64 as Scalar>::EPSILON, f64::EPSILON);
+    }
+
+    #[test]
+    fn prefixes_and_sizes() {
+        assert_eq!(<f32 as Scalar>::PREFIX, 's');
+        assert_eq!(<f64 as Scalar>::PREFIX, 'd');
+        assert_eq!(<f32 as Scalar>::BYTES, 4);
+        assert_eq!(<f64 as Scalar>::BYTES, 8);
+        assert_eq!(Precision::F32.bytes(), 4);
+        assert_eq!(Precision::F64.bytes(), 8);
+        assert_eq!(Precision::F32.prefix(), 'S');
+        assert_eq!(Precision::F64.prefix(), 'D');
+    }
+
+    #[test]
+    fn mul_add_is_fused_semantics() {
+        // mul_add must agree with a*b+c on exactly representable values.
+        let a = 3.0f64;
+        assert_eq!(a.mul_add(2.0, 1.0), 7.0);
+        let b = 3.0f32;
+        assert_eq!(Scalar::mul_add(b, 2.0, 1.0), 7.0);
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        for v in [0.0, 1.0, -2.5, 1e-8, 1e8] {
+            assert_eq!(f64::from_f64(v), v);
+            assert_eq!(f64::to_f64(v), v);
+        }
+        assert_eq!(f32::from_usize(7), 7.0f32);
+        assert_eq!(f64::from_usize(1 << 20), (1u64 << 20) as f64);
+    }
+
+    #[test]
+    fn finiteness() {
+        assert!(1.0f64.is_finite());
+        assert!(!Scalar::is_finite(f64::NAN));
+        assert!(!Scalar::is_finite(f32::INFINITY));
+    }
+
+    #[test]
+    fn precision_display() {
+        assert_eq!(Precision::F32.to_string(), "fp32");
+        assert_eq!(Precision::F64.to_string(), "fp64");
+    }
+}

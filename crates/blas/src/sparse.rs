@@ -1,0 +1,341 @@
+//! Sparse BLAS: CSR storage and SpMV — the paper's final future-work item
+//! (§V): "we are currently working to support sparse BLAS computations in
+//! GPU-BLOB".
+//!
+//! Compressed Sparse Row is the representative format the sparse-BLAS
+//! literature converges on for SpMV. [`CsrMatrix`] validates its structure
+//! on construction, so the kernels can index without per-element checks.
+
+use crate::scalar::Scalar;
+
+/// A sparse matrix in Compressed Sparse Row format.
+///
+/// Row `i`'s entries live at positions `row_ptr[i] .. row_ptr[i+1]` of
+/// `col_idx`/`values`, with column indices strictly increasing within a
+/// row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix<T: Scalar> {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<T>,
+}
+
+impl<T: Scalar> CsrMatrix<T> {
+    /// Builds a CSR matrix from raw arrays, validating the invariants.
+    ///
+    /// # Panics
+    /// If `row_ptr` has the wrong length, is non-monotone, disagrees with
+    /// the value count, or any column index is out of range / unsorted
+    /// within its row.
+    pub fn new(
+        rows: usize,
+        cols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<usize>,
+        values: Vec<T>,
+    ) -> Self {
+        assert_eq!(row_ptr.len(), rows + 1, "row_ptr must have rows+1 entries");
+        assert_eq!(row_ptr[0], 0, "row_ptr must start at 0");
+        assert_eq!(
+            *row_ptr.last().unwrap(),
+            values.len(),
+            "row_ptr must end at nnz"
+        );
+        assert_eq!(col_idx.len(), values.len(), "col_idx/values length mismatch");
+        for i in 0..rows {
+            assert!(row_ptr[i] <= row_ptr[i + 1], "row_ptr must be monotone");
+            let row = &col_idx[row_ptr[i]..row_ptr[i + 1]];
+            for w in row.windows(2) {
+                assert!(w[0] < w[1], "column indices must be strictly increasing");
+            }
+            if let Some(&last) = row.last() {
+                assert!(last < cols, "column index {last} out of range");
+            }
+        }
+        Self {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Builds from `(row, col, value)` triplets; duplicates are summed.
+    pub fn from_triplets(rows: usize, cols: usize, mut t: Vec<(usize, usize, T)>) -> Self {
+        for &(r, c, _) in &t {
+            assert!(r < rows && c < cols, "triplet ({r},{c}) out of range");
+        }
+        t.sort_by_key(|&(r, c, _)| (r, c));
+        let mut row_ptr = vec![0usize; rows + 1];
+        let mut col_idx = Vec::with_capacity(t.len());
+        let mut values: Vec<T> = Vec::with_capacity(t.len());
+        let mut prev: Option<(usize, usize)> = None;
+        for (r, c, v) in t {
+            if prev == Some((r, c)) {
+                *values.last_mut().expect("duplicate follows an entry") += v;
+            } else {
+                col_idx.push(c);
+                values.push(v);
+                row_ptr[r + 1] += 1;
+                prev = Some((r, c));
+            }
+        }
+        for i in 0..rows {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        Self::new(rows, cols, row_ptr, col_idx, values)
+    }
+
+    /// Densifies a column-major buffer into CSR, keeping entries with
+    /// `|v| > tol`.
+    pub fn from_dense(rows: usize, cols: usize, dense: &[T], ld: usize, tol: f64) -> Self {
+        assert!(ld >= rows.max(1));
+        let mut row_ptr = vec![0usize; rows + 1];
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        for i in 0..rows {
+            for j in 0..cols {
+                let v = dense[i + j * ld];
+                if v.abs().to_f64() > tol {
+                    col_idx.push(j);
+                    values.push(v);
+                }
+            }
+            row_ptr[i + 1] = values.len();
+        }
+        Self::new(rows, cols, row_ptr, col_idx, values)
+    }
+
+    /// The `n × n` identity.
+    pub fn identity(n: usize) -> Self {
+        Self::new(
+            n,
+            n,
+            (0..=n).collect(),
+            (0..n).collect(),
+            vec![T::ONE; n],
+        )
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+    /// Stored non-zero count.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+    /// nnz / (rows·cols).
+    pub fn density(&self) -> f64 {
+        if self.rows == 0 || self.cols == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / (self.rows as f64 * self.cols as f64)
+        }
+    }
+
+    /// Converts to a dense column-major buffer with `ld = rows`.
+    pub fn to_dense(&self) -> Vec<T> {
+        let mut out = vec![T::ZERO; self.rows.max(1) * self.cols];
+        for i in 0..self.rows {
+            for p in self.row_ptr[i]..self.row_ptr[i + 1] {
+                out[i + self.col_idx[p] * self.rows] = self.values[p];
+            }
+        }
+        out
+    }
+
+    /// Sparse matrix-vector multiply: `y ← α·A·x + β·y`.
+    pub fn spmv(&self, alpha: T, x: &[T], beta: T, y: &mut [T]) {
+        assert!(x.len() >= self.cols, "x too short");
+        assert!(y.len() >= self.rows, "y too short");
+        for (i, yi) in y.iter_mut().enumerate().take(self.rows) {
+            let mut acc = T::ZERO;
+            for p in self.row_ptr[i]..self.row_ptr[i + 1] {
+                acc = self.values[p].mul_add(x[self.col_idx[p]], acc);
+            }
+            *yi = if beta == T::ZERO {
+                alpha * acc
+            } else {
+                acc.mul_add(alpha, beta * *yi)
+            };
+        }
+    }
+
+    /// Row-parallel SpMV over scoped threads.
+    pub fn spmv_parallel(&self, threads: usize, alpha: T, x: &[T], beta: T, y: &mut [T]) {
+        assert!(x.len() >= self.cols, "x too short");
+        assert!(y.len() >= self.rows, "y too short");
+        let chunks = threads.clamp(1, self.rows.max(1));
+        if chunks <= 1 {
+            self.spmv(alpha, x, beta, y);
+            return;
+        }
+        let per = self.rows.div_ceil(chunks);
+        std::thread::scope(|s| {
+            let mut rest: &mut [T] = &mut y[..self.rows];
+            let mut i0 = 0usize;
+            while i0 < self.rows {
+                let n = per.min(self.rows - i0);
+                let (mine, r) = rest.split_at_mut(n);
+                rest = r;
+                let base = i0;
+                s.spawn(move || {
+                    for (di, yi) in mine.iter_mut().enumerate() {
+                        let i = base + di;
+                        let mut acc = T::ZERO;
+                        for p in self.row_ptr[i]..self.row_ptr[i + 1] {
+                            acc = self.values[p].mul_add(x[self.col_idx[p]], acc);
+                        }
+                        *yi = if beta == T::ZERO {
+                            alpha * acc
+                        } else {
+                            acc.mul_add(alpha, beta * *yi)
+                        };
+                    }
+                });
+                i0 += n;
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemv_ref;
+
+    fn example() -> CsrMatrix<f64> {
+        // [1 0 2]
+        // [0 0 3]
+        // [4 5 0]
+        CsrMatrix::from_triplets(
+            3,
+            3,
+            vec![
+                (0, 0, 1.0),
+                (0, 2, 2.0),
+                (1, 2, 3.0),
+                (2, 0, 4.0),
+                (2, 1, 5.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let m = example();
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m.nnz(), 5);
+        assert!((m.density() - 5.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spmv_matches_dense_gemv() {
+        let m = example();
+        let dense = m.to_dense();
+        let x = [1.0, 2.0, 3.0];
+        let mut y_sparse = [0.5, 0.5, 0.5];
+        let mut y_dense = [0.5, 0.5, 0.5];
+        m.spmv(2.0, &x, 0.5, &mut y_sparse);
+        gemv_ref(3, 3, 2.0, &dense, 3, &x, 1, 0.5, &mut y_dense, 1);
+        for i in 0..3 {
+            assert!((y_sparse[i] - y_dense[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn beta_zero_ignores_garbage() {
+        let m = example();
+        let x = [1.0, 1.0, 1.0];
+        let mut y = [f64::NAN; 3];
+        m.spmv(1.0, &x, 0.0, &mut y);
+        assert!(y.iter().all(|v| v.is_finite()));
+        assert_eq!(y, [3.0, 3.0, 9.0]);
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let m = CsrMatrix::from_triplets(2, 2, vec![(0, 0, 1.0), (0, 0, 2.5), (1, 1, 1.0)]);
+        assert_eq!(m.nnz(), 2);
+        assert_eq!(m.to_dense(), vec![3.5, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn identity_round_trip() {
+        let i = CsrMatrix::<f32>::identity(4);
+        let x = [1.0f32, 2.0, 3.0, 4.0];
+        let mut y = [0.0f32; 4];
+        i.spmv(1.0, &x, 0.0, &mut y);
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn from_dense_thresholds_small_entries() {
+        let dense = [1.0f64, 0.0, 1e-12, 2.0]; // 2x2 col-major
+        let m = CsrMatrix::from_dense(2, 2, &dense, 2, 1e-9);
+        assert_eq!(m.nnz(), 2);
+        assert_eq!(m.to_dense(), vec![1.0, 0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        // banded 500x500 with ~5 entries per row
+        let n = 500;
+        let mut trip = Vec::new();
+        for i in 0..n {
+            for d in -2i64..=2 {
+                let j = i as i64 + d;
+                if (0..n as i64).contains(&j) {
+                    trip.push((i, j as usize, (i + j as usize) as f64 * 0.01 - 1.0));
+                }
+            }
+        }
+        let m = CsrMatrix::from_triplets(n, n, trip);
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.1).sin()).collect();
+        let mut y1 = vec![0.25; n];
+        let mut y2 = vec![0.25; n];
+        m.spmv(1.5, &x, -0.5, &mut y1);
+        for threads in [1, 3, 8] {
+            let mut y = y2.clone();
+            m.spmv_parallel(threads, 1.5, &x, -0.5, &mut y);
+            for i in 0..n {
+                assert!((y[i] - y1[i]).abs() < 1e-12, "threads {threads} row {i}");
+            }
+        }
+        let _ = &mut y2;
+    }
+
+    #[test]
+    fn empty_rows_are_fine() {
+        let m = CsrMatrix::<f64>::from_triplets(3, 3, vec![(2, 0, 7.0)]);
+        let x = [1.0, 1.0, 1.0];
+        let mut y = [9.0; 3];
+        m.spmv(1.0, &x, 0.0, &mut y);
+        assert_eq!(y, [0.0, 0.0, 7.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_columns_rejected() {
+        let _ = CsrMatrix::<f64>::new(1, 3, vec![0, 2], vec![2, 1], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_column_rejected() {
+        let _ = CsrMatrix::<f64>::new(1, 2, vec![0, 1], vec![5], vec![1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row_ptr must end at nnz")]
+    fn inconsistent_row_ptr_rejected() {
+        let _ = CsrMatrix::<f64>::new(1, 2, vec![0, 2], vec![0], vec![1.0]);
+    }
+}

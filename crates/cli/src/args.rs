@@ -1,0 +1,267 @@
+//! Hand-rolled argument parsing for the `gpu-blob` binary, mirroring the
+//! artifact's interface (`-i <iters> -s <min> -d <max>`) with additions for
+//! the modelled systems and output control.
+
+use blob_core::problem::Problem;
+use blob_sim::Precision;
+
+/// Which backend times the calls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SystemChoice {
+    Dawn,
+    Lumi,
+    IsambardAi,
+    /// Real wall-clock measurement of this repo's kernels on the host CPU.
+    Host,
+}
+
+impl SystemChoice {
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "dawn" => Ok(SystemChoice::Dawn),
+            "lumi" => Ok(SystemChoice::Lumi),
+            "isambard-ai" | "isambard" | "isambardai" => Ok(SystemChoice::IsambardAi),
+            "host" => Ok(SystemChoice::Host),
+            other => Err(format!(
+                "unknown system '{other}' (expected dawn, lumi, isambard-ai or host)"
+            )),
+        }
+    }
+}
+
+/// Parsed command line.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// Iteration counts to run (`-i`, repeatable/comma-separated).
+    pub iterations: Vec<u32>,
+    /// Minimum dimension (`-s`).
+    pub min_dim: usize,
+    /// Maximum dimension (`-d`).
+    pub max_dim: usize,
+    /// Sweep stride over the size parameter.
+    pub step: usize,
+    pub system: SystemChoice,
+    /// Problems to run (`--problem <id>`, repeatable); empty = all 14.
+    pub problems: Vec<Problem>,
+    /// Custom problem families (`--custom <spec>`, repeatable).
+    pub customs: Vec<blob_core::CustomProblem>,
+    /// Precisions to run; empty = both.
+    pub precisions: Vec<Precision>,
+    /// Directory for CSV output; `None` = no CSVs.
+    pub output: Option<std::path::PathBuf>,
+    /// Run checksum validation at a sample size per problem type.
+    pub validate: bool,
+    /// Print an ASCII performance chart per sweep.
+    pub plot: bool,
+    /// Host threads (host backend only).
+    pub threads: Option<usize>,
+    pub help: bool,
+    pub list_problems: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Self {
+            iterations: vec![1],
+            min_dim: 1,
+            max_dim: 1024,
+            step: 1,
+            system: SystemChoice::IsambardAi,
+            problems: vec![],
+            customs: vec![],
+            precisions: vec![],
+            output: None,
+            validate: false,
+            plot: false,
+            threads: None,
+            help: false,
+            list_problems: false,
+        }
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+gpu-blob — the GPU BLAS Offload Benchmark (Rust reproduction)
+
+USAGE:
+    gpu-blob [OPTIONS]
+
+OPTIONS:
+    -i <N[,N...]>        iteration counts (default: 1; paper: 1,8,32,64,128)
+    -s <N>               minimum dimension (default: 1)
+    -d <N>               maximum dimension (default: 1024; paper: 4096)
+    --step <N>           sweep stride over the size parameter (default: 1)
+    --system <NAME>      dawn | lumi | isambard-ai | host (default: isambard-ai)
+                         the three names select calibrated models of the
+                         paper's systems; 'host' measures this machine's CPU
+    --problem <ID>       run one problem type (repeatable; default: all 14)
+    --custom <SPEC>      run a custom family, e.g. gemm:p,p,16p or gemv:32,p
+                         (dims: <f>p scaled, p/<d> ratio, <n> fixed)
+    --precision <P>      f32 | f64 (repeatable; default: both)
+    --output <DIR>       write per-problem-type CSVs (artifact layout)
+    --threads <N>        host backend thread count
+    --validate           checksum-validate CPU vs GPU kernel paths
+    --plot               print an ASCII GFLOP/s chart per sweep
+    --list-problems      list problem-type ids and definitions
+    -h, --help           this help
+";
+
+fn parse_list<T: std::str::FromStr>(v: &str, what: &str) -> Result<Vec<T>, String> {
+    v.split(',')
+        .map(|p| p.trim().parse::<T>().map_err(|_| format!("bad {what}: {p}")))
+        .collect()
+}
+
+/// Parses a problem-type id (as printed by `--list-problems`).
+pub fn parse_problem(id: &str) -> Result<Problem, String> {
+    Problem::all()
+        .into_iter()
+        .find(|p| p.id() == id)
+        .ok_or_else(|| format!("unknown problem id '{id}' (see --list-problems)"))
+}
+
+/// Parses the full argument vector (without argv[0]).
+pub fn parse(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = argv.iter().peekable();
+    let next_value = |flag: &str, it: &mut std::iter::Peekable<std::slice::Iter<String>>| {
+        it.next()
+            .cloned()
+            .ok_or_else(|| format!("{flag} requires a value"))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "-i" => args.iterations = parse_list(&next_value("-i", &mut it)?, "iteration count")?,
+            "-s" => {
+                args.min_dim = next_value("-s", &mut it)?
+                    .parse()
+                    .map_err(|_| "bad -s value".to_string())?
+            }
+            "-d" => {
+                args.max_dim = next_value("-d", &mut it)?
+                    .parse()
+                    .map_err(|_| "bad -d value".to_string())?
+            }
+            "--step" => {
+                args.step = next_value("--step", &mut it)?
+                    .parse()
+                    .map_err(|_| "bad --step value".to_string())?
+            }
+            "--system" => args.system = SystemChoice::parse(&next_value("--system", &mut it)?)?,
+            "--problem" => args.problems.push(parse_problem(&next_value("--problem", &mut it)?)?),
+            "--custom" => args
+                .customs
+                .push(blob_core::CustomProblem::parse(&next_value("--custom", &mut it)?)?),
+            "--precision" => {
+                let v = next_value("--precision", &mut it)?;
+                match v.to_ascii_lowercase().as_str() {
+                    "f32" | "s" | "single" => args.precisions.push(Precision::F32),
+                    "f64" | "d" | "double" => args.precisions.push(Precision::F64),
+                    other => return Err(format!("unknown precision '{other}'")),
+                }
+            }
+            "--output" => args.output = Some(next_value("--output", &mut it)?.into()),
+            "--threads" => {
+                args.threads = Some(
+                    next_value("--threads", &mut it)?
+                        .parse()
+                        .map_err(|_| "bad --threads value".to_string())?,
+                )
+            }
+            "--validate" => args.validate = true,
+            "--plot" => args.plot = true,
+            "--list-problems" => args.list_problems = true,
+            "-h" | "--help" => args.help = true,
+            other => return Err(format!("unknown argument '{other}' (try --help)")),
+        }
+    }
+    if args.min_dim == 0 {
+        return Err("-s must be at least 1".into());
+    }
+    if args.max_dim < args.min_dim {
+        return Err("-d must be >= -s".into());
+    }
+    if args.iterations.is_empty() || args.iterations.contains(&0) {
+        return Err("-i requires positive iteration counts".into());
+    }
+    Ok(args)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn paper_invocation() {
+        // OMP_NUM_THREADS=48 ... ./gpu-blob -i 8 -s 1 -d 4096
+        let a = parse(&sv(&["-i", "8", "-s", "1", "-d", "4096"])).unwrap();
+        assert_eq!(a.iterations, vec![8]);
+        assert_eq!(a.min_dim, 1);
+        assert_eq!(a.max_dim, 4096);
+    }
+
+    #[test]
+    fn iteration_lists() {
+        let a = parse(&sv(&["-i", "1,8,32,64,128"])).unwrap();
+        assert_eq!(a.iterations, vec![1, 8, 32, 64, 128]);
+    }
+
+    #[test]
+    fn system_choices() {
+        for (s, want) in [
+            ("dawn", SystemChoice::Dawn),
+            ("LUMI", SystemChoice::Lumi),
+            ("isambard-ai", SystemChoice::IsambardAi),
+            ("host", SystemChoice::Host),
+        ] {
+            assert_eq!(parse(&sv(&["--system", s])).unwrap().system, want);
+        }
+        assert!(parse(&sv(&["--system", "frontier"])).is_err());
+    }
+
+    #[test]
+    fn problems_and_precisions() {
+        let a = parse(&sv(&[
+            "--problem",
+            "gemm_square",
+            "--problem",
+            "gemv_tall_m",
+            "--precision",
+            "f32",
+        ]))
+        .unwrap();
+        assert_eq!(a.problems.len(), 2);
+        assert_eq!(a.precisions, vec![Precision::F32]);
+        assert!(parse(&sv(&["--problem", "nope"])).is_err());
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert!(parse(&sv(&["-s", "0"])).is_err());
+        assert!(parse(&sv(&["-s", "10", "-d", "5"])).is_err());
+        assert!(parse(&sv(&["-i", "0"])).is_err());
+        assert!(parse(&sv(&["--frobnicate"])).is_err());
+        assert!(parse(&sv(&["-i"])).is_err());
+    }
+
+    #[test]
+    fn custom_specs() {
+        let a = parse(&sv(&["--custom", "gemm:p,p,16p", "--custom", "gemv:32,p"])).unwrap();
+        assert_eq!(a.customs.len(), 2);
+        assert!(parse(&sv(&["--custom", "gemm:bogus"])).is_err());
+    }
+
+    #[test]
+    fn flags() {
+        let a = parse(&sv(&["--validate", "--plot", "--output", "/tmp/x", "--threads", "4"]))
+            .unwrap();
+        assert!(a.validate && a.plot);
+        assert_eq!(a.output.as_deref(), Some(std::path::Path::new("/tmp/x")));
+        assert_eq!(a.threads, Some(4));
+    }
+}

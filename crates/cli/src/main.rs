@@ -1,0 +1,231 @@
+//! `gpu-blob` — command-line driver for the GPU BLAS Offload Benchmark.
+//!
+//! Sweeps the selected problem types over `[s, d]` on the selected backend
+//! (a calibrated model of DAWN / LUMI / Isambard-AI, or real measurement of
+//! this repo's kernels on the host CPU), prints the offload-threshold table
+//! to stdout like the artifact does, and optionally writes the raw
+//! per-problem-type CSVs.
+//!
+//! ```text
+//! gpu-blob --system isambard-ai -i 1,8,32,64,128 -s 1 -d 4096 --step 4
+//! gpu-blob --system host --problem gemm_square -d 256 --plot
+//! ```
+
+mod args;
+
+use args::{parse, Args, SystemChoice, USAGE};
+use blob_analysis::{ascii_chart, sd_pair_cell, Series, Table};
+use blob_core::backend::{Backend, HostCpu};
+use blob_core::csv::write_to_dir;
+use blob_core::problem::Problem;
+use blob_core::custom_runner::run_custom_sweep;
+use blob_core::runner::{run_sweep, SweepConfig};
+use blob_core::validate_call;
+use blob_sim::{presets, Offload, Precision};
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse(&argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    if args.help {
+        println!("{USAGE}");
+        return;
+    }
+    if args.list_problems {
+        println!("{:<20} definition", "id");
+        for p in Problem::all() {
+            println!("{:<20} {}", p.id(), p.label());
+        }
+        return;
+    }
+    run(&args);
+}
+
+fn run(args: &Args) {
+    let host;
+    let dawn;
+    let lumi;
+    let isam;
+    let backend: &dyn Backend = match args.system {
+        SystemChoice::Host => {
+            host = match args.threads {
+                Some(t) => HostCpu::with_threads(t),
+                None => HostCpu::default(),
+            };
+            &host
+        }
+        SystemChoice::Dawn => {
+            dawn = presets::dawn();
+            &dawn
+        }
+        SystemChoice::Lumi => {
+            lumi = presets::lumi();
+            &lumi
+        }
+        SystemChoice::IsambardAi => {
+            isam = presets::isambard_ai();
+            &isam
+        }
+    };
+
+    // --custom alone runs only the custom families; otherwise default to
+    // the artifact's full 14 problem types
+    let problems = if args.problems.is_empty() && args.customs.is_empty() {
+        Problem::all()
+    } else {
+        args.problems.clone()
+    };
+    let precisions: Vec<Precision> = if args.precisions.is_empty() {
+        Precision::ALL.to_vec()
+    } else {
+        args.precisions.clone()
+    };
+
+    println!("GPU-BLOB | system: {}", backend.name());
+    println!(
+        "dims [{}, {}] step {} | iterations {:?} | {} problem type(s)\n",
+        args.min_dim,
+        args.max_dim,
+        args.step,
+        args.iterations,
+        problems.len()
+    );
+
+    let offloads = backend.offloads();
+    for problem in &problems {
+        let headers: Vec<String> = std::iter::once("Iterations".to_string())
+            .chain(offloads.iter().map(|o| o.label().to_string()))
+            .collect();
+        let mut table = Table::new(
+            format!("{} — offload thresholds (S : D)", problem.label()),
+            &headers.iter().map(String::as_str).collect::<Vec<_>>(),
+        );
+        for &iters in &args.iterations {
+            let cfg = SweepConfig::new(args.min_dim, args.max_dim, iters).with_step(args.step);
+            let mut sweeps = Vec::new();
+            for &precision in &precisions {
+                sweeps.push(run_sweep(backend, *problem, precision, &cfg));
+            }
+            let mut row = vec![iters.to_string()];
+            for &o in &offloads {
+                let get = |prec: Precision| {
+                    sweeps
+                        .iter()
+                        .find(|s| s.precision == prec)
+                        .and_then(|s| threshold_param_of(s, o))
+                };
+                row.push(sd_pair_cell(get(Precision::F32), get(Precision::F64)));
+            }
+            if !offloads.is_empty() {
+                table.push_row(row);
+            }
+
+            if args.plot {
+                for sweep in &sweeps {
+                    let mut series = vec![Series::from_usize("CPU", &sweep.cpu_series())];
+                    for &o in &offloads {
+                        series.push(Series::from_usize(
+                            format!("GPU {}", o.label()),
+                            &sweep.gpu_series(o),
+                        ));
+                    }
+                    let title = format!(
+                        "{} {} ({} iterations) on {}",
+                        sweep.precision,
+                        problem.label(),
+                        iters,
+                        backend.name()
+                    );
+                    println!("{}", ascii_chart(&title, &series, 90, 16));
+                }
+            }
+            if let Some(dir) = &args.output {
+                for sweep in &sweeps {
+                    let path = write_to_dir(dir, sweep).expect("write CSV");
+                    eprintln!("wrote {}", path.display());
+                }
+            }
+        }
+        if offloads.is_empty() {
+            println!(
+                "{} — CPU-only backend: no offload thresholds (CSV/plots still available)\n",
+                problem.label()
+            );
+        } else {
+            println!("{}", table.render());
+        }
+
+        if args.validate {
+            let p = problem.max_param(args.max_dim.min(128)).max(1);
+            for &precision in &precisions {
+                let call = blob_core::runner::call_for(
+                    *problem,
+                    precision,
+                    p,
+                    &SweepConfig::new(args.min_dim, args.max_dim, 1),
+                );
+                let rep = validate_call(&call, 0xB10B);
+                println!(
+                    "validate {} {:?}: rel err {:.2e} -> {}",
+                    call.routine(),
+                    call.kernel.dims(),
+                    rep.rel_err,
+                    if rep.ok { "OK" } else { "FAIL" }
+                );
+            }
+            println!();
+        }
+    }
+
+    // user-defined problem families
+    for custom in &args.customs {
+        let headers: Vec<String> = std::iter::once("Iterations".to_string())
+            .chain(offloads.iter().map(|o| o.label().to_string()))
+            .collect();
+        let mut table = Table::new(
+            format!("{} — offload thresholds (S : D)", custom.name),
+            &headers.iter().map(String::as_str).collect::<Vec<_>>(),
+        );
+        for &iters in &args.iterations {
+            let cfg = SweepConfig::new(args.min_dim, args.max_dim, iters).with_step(args.step);
+            let sweeps: Vec<_> = precisions
+                .iter()
+                .map(|&precision| run_custom_sweep(backend, custom, precision, &cfg))
+                .collect();
+            let mut row = vec![iters.to_string()];
+            for &o in &offloads {
+                let get = |prec: Precision| {
+                    sweeps.iter().find(|s| s.precision == prec).and_then(|s| {
+                        let t = s.threshold(o)?;
+                        s.records.iter().find(|r| r.kernel == t).map(|r| r.param)
+                    })
+                };
+                row.push(sd_pair_cell(get(Precision::F32), get(Precision::F64)));
+            }
+            if !offloads.is_empty() {
+                table.push_row(row);
+            }
+        }
+        if offloads.is_empty() {
+            println!("{} — CPU-only backend: no offload thresholds\n", custom.name);
+        } else {
+            println!("{}", table.render());
+        }
+    }
+}
+
+/// Maps a sweep's threshold back to its size parameter for compact cells.
+fn threshold_param_of(sweep: &blob_core::runner::Sweep, offload: Offload) -> Option<usize> {
+    let t = sweep.threshold(offload)?;
+    sweep
+        .records
+        .iter()
+        .find(|r| r.kernel == t)
+        .map(|r| r.param)
+}

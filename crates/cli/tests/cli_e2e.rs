@@ -1,0 +1,182 @@
+//! End-to-end tests of the `gpu-blob` binary: spawn the real executable,
+//! parse its stdout, and check the artifact workflows work from the shell.
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_gpu-blob"))
+        .args(args)
+        .output()
+        .expect("spawn gpu-blob");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn help_prints_usage() {
+    let (stdout, _, ok) = run(&["--help"]);
+    assert!(ok);
+    assert!(stdout.contains("GPU BLAS Offload Benchmark"));
+    assert!(stdout.contains("-i <N[,N...]>"));
+    assert!(stdout.contains("--system"));
+}
+
+#[test]
+fn list_problems_names_all_fourteen() {
+    let (stdout, _, ok) = run(&["--list-problems"]);
+    assert!(ok);
+    for id in [
+        "gemm_square",
+        "gemm_tall_k",
+        "gemm_fixed_mn32",
+        "gemm_tall_m",
+        "gemm_fixed_kn32",
+        "gemm_wide_n",
+        "gemm_fixed_mk32",
+        "gemm_square_k32",
+        "gemm_sixteenth_k",
+        "gemv_square",
+        "gemv_tall_m",
+        "gemv_fixed_n32",
+        "gemv_wide_n",
+        "gemv_fixed_m32",
+    ] {
+        assert!(stdout.contains(id), "missing {id}");
+    }
+}
+
+#[test]
+fn unknown_flag_fails_with_usage() {
+    let (_, stderr, ok) = run(&["--frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown argument"));
+    assert!(stderr.contains("USAGE"));
+}
+
+#[test]
+fn bad_range_rejected() {
+    let (_, stderr, ok) = run(&["-s", "100", "-d", "10"]);
+    assert!(!ok);
+    assert!(stderr.contains("-d must be >= -s"));
+}
+
+#[test]
+fn modelled_sweep_prints_threshold_table() {
+    let (stdout, _, ok) = run(&[
+        "--system",
+        "isambard-ai",
+        "--problem",
+        "gemm_square",
+        "-i",
+        "8",
+        "-d",
+        "256",
+    ]);
+    assert!(ok, "sweep should succeed");
+    assert!(stdout.contains("Isambard-AI"));
+    assert!(stdout.contains("offload thresholds"));
+    assert!(stdout.contains("Once"));
+    assert!(stdout.contains("USM"));
+    // the GH200 square-GEMM threshold is small two-digit; the table row
+    // for 8 iterations must contain some numeric cell
+    let row = stdout
+        .lines()
+        .find(|l| l.trim_start().starts_with("8 "))
+        .expect("iteration row");
+    assert!(row.split('|').count() >= 3, "row: {row}");
+}
+
+#[test]
+fn csv_output_lands_on_disk() {
+    let dir = std::env::temp_dir().join(format!("blob_cli_e2e_{}", std::process::id()));
+    let (_, _, ok) = run(&[
+        "--system",
+        "lumi",
+        "--problem",
+        "gemv_square",
+        "-i",
+        "32",
+        "-d",
+        "64",
+        "--output",
+        dir.to_str().unwrap(),
+    ]);
+    assert!(ok);
+    let files: Vec<_> = std::fs::read_dir(&dir)
+        .expect("output dir exists")
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .collect();
+    assert!(files.contains(&"sgemv_gemv_square_i32.csv".to_string()), "{files:?}");
+    assert!(files.contains(&"dgemv_gemv_square_i32.csv".to_string()));
+    // the CSV parses with the library parser
+    let text = std::fs::read_to_string(dir.join("sgemv_gemv_square_i32.csv")).unwrap();
+    let rows = blob_core::csv::parse_csv(&text).unwrap();
+    assert_eq!(rows.len(), 64 * 4); // cpu + 3 offloads per size
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn validate_flag_reports_ok() {
+    let (stdout, _, ok) = run(&[
+        "--system",
+        "dawn",
+        "--problem",
+        "gemm_square",
+        "-i",
+        "1",
+        "-d",
+        "64",
+        "--validate",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("validate SGEMM"));
+    assert!(stdout.contains("OK"));
+    assert!(!stdout.contains("FAIL"));
+}
+
+#[test]
+fn host_backend_runs_without_gpu_tables() {
+    let (stdout, _, ok) = run(&[
+        "--system",
+        "host",
+        "--problem",
+        "gemv_square",
+        "-i",
+        "1",
+        "-d",
+        "32",
+        "--threads",
+        "1",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("CPU-only backend"));
+}
+
+#[test]
+fn custom_family_runs_standalone() {
+    let (stdout, _, ok) = run(&[
+        "--system",
+        "isambard-ai",
+        "--custom",
+        "gemm:4p,p,p",
+        "-i",
+        "8",
+        "-d",
+        "256",
+    ]);
+    assert!(ok);
+    // customs-only mode skips the 14 built-ins
+    assert!(stdout.contains("0 problem type(s)"));
+    assert!(stdout.contains("gemm:4p,p,p"));
+    assert!(stdout.contains("offload thresholds"));
+}
+
+#[test]
+fn bad_custom_spec_rejected() {
+    let (_, stderr, ok) = run(&["--custom", "gemm:p,p"]);
+    assert!(!ok);
+    assert!(stderr.contains("gemm spec needs 3 dimensions"));
+}

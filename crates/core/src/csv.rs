@@ -1,0 +1,204 @@
+//! CSV emission matching the artifact's output layout: one file per
+//! (routine, problem type) holding the raw per-size performance rows for
+//! every device and transfer type — 28 files per full run (9 SGEMM, 9
+//! DGEMM, 5 SGEMV, 5 DGEMV).
+
+use crate::runner::Sweep;
+use blob_sim::Offload;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// The CSV header row.
+pub const HEADER: &str = "system,routine,problem,device,offload,m,n,k,iterations,seconds,gflops";
+
+/// Serialises one sweep's rows (without header) to `w`.
+pub fn write_rows<W: Write>(w: &mut W, sweep: &Sweep) -> io::Result<()> {
+    let routine = match sweep.precision {
+        blob_sim::Precision::F32 => match sweep.problem.kind() {
+            blob_sim::KernelKind::Gemm => "sgemm",
+            blob_sim::KernelKind::Gemv => "sgemv",
+        },
+        blob_sim::Precision::F64 => match sweep.problem.kind() {
+            blob_sim::KernelKind::Gemm => "dgemm",
+            blob_sim::KernelKind::Gemv => "dgemv",
+        },
+    };
+    for r in &sweep.records {
+        let (m, n, k) = r.kernel.dims();
+        writeln!(
+            w,
+            "{},{},{},cpu,none,{},{},{},{},{:.9e},{:.6}",
+            sweep.system,
+            routine,
+            sweep.problem.id(),
+            m,
+            n,
+            k,
+            sweep.iterations,
+            r.cpu_seconds,
+            r.cpu_gflops
+        )?;
+        for g in &r.gpu {
+            writeln!(
+                w,
+                "{},{},{},gpu,{},{},{},{},{},{:.9e},{:.6}",
+                sweep.system,
+                routine,
+                sweep.problem.id(),
+                g.offload.label().to_ascii_lowercase(),
+                m,
+                n,
+                k,
+                sweep.iterations,
+                g.seconds,
+                g.gflops
+            )?;
+        }
+    }
+    Ok(())
+}
+
+/// Serialises a sweep with header to a string.
+pub fn to_csv_string(sweep: &Sweep) -> String {
+    let mut buf = Vec::new();
+    writeln!(&mut buf, "{HEADER}").unwrap();
+    write_rows(&mut buf, sweep).unwrap();
+    String::from_utf8(buf).expect("CSV output is always UTF-8")
+}
+
+/// The artifact's file-name convention for a sweep, e.g.
+/// `sgemm_gemm_square_i8.csv`.
+pub fn file_name(sweep: &Sweep) -> String {
+    let prefix = match (sweep.precision, sweep.problem.kind()) {
+        (blob_sim::Precision::F32, blob_sim::KernelKind::Gemm) => "sgemm",
+        (blob_sim::Precision::F32, blob_sim::KernelKind::Gemv) => "sgemv",
+        (blob_sim::Precision::F64, blob_sim::KernelKind::Gemm) => "dgemm",
+        (blob_sim::Precision::F64, blob_sim::KernelKind::Gemv) => "dgemv",
+    };
+    format!("{}_{}_i{}.csv", prefix, sweep.problem.id(), sweep.iterations)
+}
+
+/// Writes a sweep to `dir/<file_name>`; creates the directory if needed.
+pub fn write_to_dir(dir: &Path, sweep: &Sweep) -> io::Result<std::path::PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(file_name(sweep));
+    std::fs::write(&path, to_csv_string(sweep))?;
+    Ok(path)
+}
+
+/// A parsed CSV row (the analysis crate's input).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsvRow {
+    pub system: String,
+    pub routine: String,
+    pub problem: String,
+    pub device: String,
+    /// `None` for CPU rows, the offload strategy for GPU rows.
+    pub offload: Option<Offload>,
+    pub m: usize,
+    pub n: usize,
+    pub k: usize,
+    pub iterations: u32,
+    pub seconds: f64,
+    pub gflops: f64,
+}
+
+/// Parses CSV text produced by [`to_csv_string`] (header optional).
+pub fn parse_csv(text: &str) -> Result<Vec<CsvRow>, String> {
+    let mut rows = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line == HEADER {
+            continue;
+        }
+        let f: Vec<&str> = line.split(',').collect();
+        if f.len() != 11 {
+            return Err(format!("line {}: expected 11 fields, got {}", lineno + 1, f.len()));
+        }
+        let err = |what: &str| format!("line {}: bad {what}: {line}", lineno + 1);
+        rows.push(CsvRow {
+            system: f[0].to_string(),
+            routine: f[1].to_string(),
+            problem: f[2].to_string(),
+            device: f[3].to_string(),
+            offload: if f[4] == "none" {
+                None
+            } else {
+                Some(f[4].parse().map_err(|_| err("offload"))?)
+            },
+            m: f[5].parse().map_err(|_| err("m"))?,
+            n: f[6].parse().map_err(|_| err("n"))?,
+            k: f[7].parse().map_err(|_| err("k"))?,
+            iterations: f[8].parse().map_err(|_| err("iterations"))?,
+            seconds: f[9].parse().map_err(|_| err("seconds"))?,
+            gflops: f[10].parse().map_err(|_| err("gflops"))?,
+        });
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{GemmProblem, Problem};
+    use crate::runner::{run_sweep, SweepConfig};
+    use blob_sim::{presets, Precision};
+
+    fn small_sweep() -> Sweep {
+        run_sweep(
+            &presets::dawn(),
+            Problem::Gemm(GemmProblem::Square),
+            Precision::F32,
+            &SweepConfig::new(1, 8, 2),
+        )
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let sweep = small_sweep();
+        let text = to_csv_string(&sweep);
+        let rows = parse_csv(&text).unwrap();
+        // 8 sizes x (1 cpu + 3 gpu) rows
+        assert_eq!(rows.len(), 8 * 4);
+        let cpu_rows: Vec<_> = rows.iter().filter(|r| r.device == "cpu").collect();
+        assert_eq!(cpu_rows.len(), 8);
+        assert!(cpu_rows.iter().all(|r| r.offload.is_none()));
+        let gpu_once: Vec<_> = rows
+            .iter()
+            .filter(|r| r.offload == Some(Offload::TransferOnce))
+            .collect();
+        assert_eq!(gpu_once.len(), 8);
+        // values survive the round trip
+        let first = rows.iter().find(|r| r.device == "cpu" && r.m == 1).unwrap();
+        assert!((first.seconds - sweep.records[0].cpu_seconds).abs() / first.seconds < 1e-6);
+        assert_eq!(first.iterations, 2);
+        assert_eq!(first.routine, "sgemm");
+        assert_eq!(first.system, "DAWN");
+    }
+
+    #[test]
+    fn file_name_convention() {
+        let sweep = small_sweep();
+        assert_eq!(file_name(&sweep), "sgemm_gemm_square_i2.csv");
+    }
+
+    #[test]
+    fn write_to_dir_creates_file() {
+        let sweep = small_sweep();
+        let dir = std::env::temp_dir().join("blob_csv_test");
+        let path = write_to_dir(&dir, &sweep).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with(HEADER));
+        assert_eq!(parse_csv(&text).unwrap().len(), 32);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(parse_csv("a,b,c").is_err());
+        assert!(parse_csv("s,r,p,cpu,none,1,2,3,four,0.5,1.0").is_err());
+        // header-only and empty inputs are fine
+        assert_eq!(parse_csv(HEADER).unwrap().len(), 0);
+        assert_eq!(parse_csv("").unwrap().len(), 0);
+    }
+}

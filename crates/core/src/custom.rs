@@ -1,0 +1,297 @@
+//! User-defined problem types: arbitrary fixed relationships between
+//! kernel dimensions, beyond the paper's fourteen built-ins.
+//!
+//! The paper defines a problem type as "the fixed relationship between
+//! each of a BLAS kernel's specific dimensions" (§III-C). [`DimRule`]
+//! expresses one dimension as either a multiple of the size parameter or a
+//! constant, which covers every shape in Fig 1 *and* whatever a user's
+//! application actually does (e.g. a transformer FFN's `M=4N`):
+//!
+//! ```
+//! use blob_core::custom::{CustomProblem, DimRule};
+//! use blob_sim::Kernel;
+//!
+//! // M = 4N, K = N: a wide-projection GEMM family
+//! let p = CustomProblem::gemm("ffn_proj", DimRule::scaled(4), DimRule::scaled(1), DimRule::scaled(1));
+//! assert_eq!(p.dims(10), Kernel::Gemm { m: 40, n: 10, k: 10 });
+//! ```
+
+use blob_sim::{Kernel, KernelKind};
+
+/// How one dimension relates to the size parameter `p`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DimRule {
+    /// `dim = factor · p` (factor ≥ 1).
+    Scaled(usize),
+    /// `dim = factor · p / divisor`, floored, clamped to ≥ 1.
+    Ratio(usize, usize),
+    /// `dim = value`, independent of `p`.
+    Fixed(usize),
+}
+
+impl DimRule {
+    /// `dim = factor · p`.
+    pub fn scaled(factor: usize) -> Self {
+        assert!(factor >= 1, "scale factor must be at least 1");
+        DimRule::Scaled(factor)
+    }
+
+    /// `dim = value` regardless of `p`.
+    pub fn fixed(value: usize) -> Self {
+        assert!(value >= 1, "fixed dimension must be at least 1");
+        DimRule::Fixed(value)
+    }
+
+    /// `dim = factor·p/divisor` (floored, min 1) — e.g. `Ratio(1, 16)` is
+    /// the paper's `M = 16K` written from K's point of view.
+    pub fn ratio(factor: usize, divisor: usize) -> Self {
+        assert!(factor >= 1 && divisor >= 1, "ratio parts must be at least 1");
+        DimRule::Ratio(factor, divisor)
+    }
+
+    /// The dimension for size parameter `p`.
+    pub fn apply(&self, p: usize) -> usize {
+        match *self {
+            DimRule::Scaled(f) => f * p,
+            DimRule::Ratio(f, d) => (f * p / d).max(1),
+            DimRule::Fixed(v) => v,
+        }
+    }
+
+    /// Largest `p` keeping this dimension within `max_dim` (`None` = any).
+    fn max_param(&self, max_dim: usize) -> Option<usize> {
+        match *self {
+            DimRule::Scaled(f) => Some(max_dim / f),
+            DimRule::Ratio(f, d) => Some(max_dim * d / f),
+            DimRule::Fixed(v) => {
+                if v <= max_dim {
+                    None
+                } else {
+                    Some(0)
+                }
+            }
+        }
+    }
+}
+
+/// A user-defined problem type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CustomProblem {
+    pub name: String,
+    pub kind: KernelKind,
+    pub m: DimRule,
+    pub n: DimRule,
+    /// Ignored for GEMV.
+    pub k: DimRule,
+}
+
+impl CustomProblem {
+    /// A custom GEMM family.
+    pub fn gemm(name: impl Into<String>, m: DimRule, n: DimRule, k: DimRule) -> Self {
+        Self {
+            name: name.into(),
+            kind: KernelKind::Gemm,
+            m,
+            n,
+            k,
+        }
+    }
+
+    /// A custom GEMV family.
+    pub fn gemv(name: impl Into<String>, m: DimRule, n: DimRule) -> Self {
+        Self {
+            name: name.into(),
+            kind: KernelKind::Gemv,
+            m,
+            n,
+            k: DimRule::Fixed(1),
+        }
+    }
+
+    /// Concrete dimensions for size parameter `p` (≥ 1).
+    pub fn dims(&self, p: usize) -> Kernel {
+        let p = p.max(1);
+        match self.kind {
+            KernelKind::Gemm => Kernel::Gemm {
+                m: self.m.apply(p),
+                n: self.n.apply(p),
+                k: self.k.apply(p),
+            },
+            KernelKind::Gemv => Kernel::Gemv {
+                m: self.m.apply(p),
+                n: self.n.apply(p),
+            },
+        }
+    }
+
+    /// The largest size parameter whose dimensions all fit in `max_dim`
+    /// (0 when a fixed dimension already exceeds the range).
+    pub fn max_param(&self, max_dim: usize) -> usize {
+        let rules: &[&DimRule] = match self.kind {
+            KernelKind::Gemm => &[&self.m, &self.n, &self.k],
+            KernelKind::Gemv => &[&self.m, &self.n],
+        };
+        rules
+            .iter()
+            .filter_map(|r| r.max_param(max_dim))
+            .min()
+            .unwrap_or(max_dim)
+            .min(max_dim)
+    }
+
+    /// Size parameters to sweep for `[s, d]` with `step`.
+    pub fn params(&self, s: usize, d: usize, step: usize) -> Vec<usize> {
+        let lo = s.max(1);
+        let hi = self.max_param(d);
+        if hi < lo {
+            return vec![];
+        }
+        let step = step.max(1);
+        let mut out: Vec<usize> = (lo..=hi).step_by(step).collect();
+        if *out.last().unwrap() != hi {
+            out.push(hi);
+        }
+        out
+    }
+
+    /// Parses a compact spec: `gemm:M,N,K` or `gemv:M,N` where each
+    /// dimension is `<f>p` (scaled), `p/<d>` (ratio), or a number (fixed).
+    /// Examples: `gemm:p,p,16p` (the paper's M=N, K=16M), `gemm:p,p,p/16`,
+    /// `gemv:32,p`.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let (kind_s, dims_s) = spec
+            .split_once(':')
+            .ok_or_else(|| format!("spec '{spec}' needs the form kind:dims"))?;
+        let rules: Vec<DimRule> = dims_s
+            .split(',')
+            .map(|d| parse_rule(d.trim()))
+            .collect::<Result<_, _>>()?;
+        match kind_s.to_ascii_lowercase().as_str() {
+            "gemm" => {
+                if rules.len() != 3 {
+                    return Err("gemm spec needs 3 dimensions (M,N,K)".into());
+                }
+                Ok(CustomProblem::gemm(spec, rules[0], rules[1], rules[2]))
+            }
+            "gemv" => {
+                if rules.len() != 2 {
+                    return Err("gemv spec needs 2 dimensions (M,N)".into());
+                }
+                Ok(CustomProblem::gemv(spec, rules[0], rules[1]))
+            }
+            other => Err(format!("unknown kernel '{other}' (gemm or gemv)")),
+        }
+    }
+}
+
+fn parse_rule(s: &str) -> Result<DimRule, String> {
+    if let Some(d) = s.strip_prefix("p/") {
+        let d: usize = d.parse().map_err(|_| format!("bad ratio divisor '{s}'"))?;
+        if d == 0 {
+            return Err("ratio divisor must be positive".into());
+        }
+        return Ok(DimRule::ratio(1, d));
+    }
+    if let Some(f) = s.strip_suffix('p') {
+        if f.is_empty() {
+            return Ok(DimRule::scaled(1));
+        }
+        let f: usize = f.parse().map_err(|_| format!("bad scale factor '{s}'"))?;
+        if f == 0 {
+            return Err("scale factor must be positive".into());
+        }
+        return Ok(DimRule::scaled(f));
+    }
+    let v: usize = s.parse().map_err(|_| format!("bad dimension '{s}'"))?;
+    if v == 0 {
+        return Err("fixed dimension must be positive".into());
+    }
+    Ok(DimRule::fixed(v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rules_apply() {
+        assert_eq!(DimRule::scaled(3).apply(7), 21);
+        assert_eq!(DimRule::fixed(32).apply(7), 32);
+        assert_eq!(DimRule::ratio(1, 16).apply(100), 6);
+        assert_eq!(DimRule::ratio(1, 16).apply(5), 1); // clamped
+    }
+
+    #[test]
+    fn paper_problems_expressible() {
+        // the paper's M=N, K=16M
+        let p = CustomProblem::gemm("tall_k", DimRule::scaled(1), DimRule::scaled(1), DimRule::scaled(16));
+        assert_eq!(p.dims(10), Kernel::Gemm { m: 10, n: 10, k: 160 });
+        assert_eq!(p.max_param(4096), 256);
+        // M=N=32, K >= 1
+        let f = CustomProblem::gemm("fixed32", DimRule::fixed(32), DimRule::fixed(32), DimRule::scaled(1));
+        assert_eq!(f.dims(99), Kernel::Gemm { m: 32, n: 32, k: 99 });
+        assert_eq!(f.max_param(4096), 4096);
+        // M=N, M=16K (K = M/16)
+        let s = CustomProblem::gemm("sixteenth", DimRule::scaled(1), DimRule::scaled(1), DimRule::ratio(1, 16));
+        assert_eq!(s.dims(160), Kernel::Gemm { m: 160, n: 160, k: 10 });
+    }
+
+    #[test]
+    fn fixed_dim_larger_than_range_yields_no_params() {
+        let p = CustomProblem::gemv("too_big", DimRule::fixed(100), DimRule::scaled(1));
+        assert_eq!(p.max_param(64), 0);
+        assert!(p.params(1, 64, 1).is_empty());
+    }
+
+    #[test]
+    fn params_cover_range_with_endpoint() {
+        let p = CustomProblem::gemm("sq", DimRule::scaled(1), DimRule::scaled(1), DimRule::scaled(1));
+        let ps = p.params(1, 100, 7);
+        assert_eq!(*ps.first().unwrap(), 1);
+        assert_eq!(*ps.last().unwrap(), 100);
+    }
+
+    #[test]
+    fn parse_specs() {
+        let p = CustomProblem::parse("gemm:p,p,16p").unwrap();
+        assert_eq!(p.dims(4), Kernel::Gemm { m: 4, n: 4, k: 64 });
+        let q = CustomProblem::parse("gemm:4p,p,p/2").unwrap();
+        assert_eq!(q.dims(8), Kernel::Gemm { m: 32, n: 8, k: 4 });
+        let v = CustomProblem::parse("gemv:32,p").unwrap();
+        assert_eq!(v.dims(9), Kernel::Gemv { m: 32, n: 9 });
+        assert_eq!(CustomProblem::parse("gemv:p,p").unwrap().dims(3), Kernel::Gemv { m: 3, n: 3 });
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!(CustomProblem::parse("gemm").is_err());
+        assert!(CustomProblem::parse("gemm:p,p").is_err());
+        assert!(CustomProblem::parse("gemv:p,p,p").is_err());
+        assert!(CustomProblem::parse("trsm:p,p").is_err());
+        assert!(CustomProblem::parse("gemm:0p,p,p").is_err());
+        assert!(CustomProblem::parse("gemm:p,q,p").is_err());
+        assert!(CustomProblem::parse("gemm:p,p,p/0").is_err());
+    }
+
+    #[test]
+    fn sweepable_with_the_runner() {
+        use crate::backend::Backend;
+        use blob_sim::{presets, BlasCall, Offload, Precision};
+        // run a custom family through the timing backend directly
+        let p = CustomProblem::parse("gemm:4p,p,p").unwrap();
+        let sys = presets::isambard_ai();
+        let mut prev = 0.0;
+        for param in [8usize, 16, 32, 64] {
+            let call = BlasCall {
+                kernel: p.dims(param),
+                precision: Precision::F32,
+                alpha: 1.0,
+                beta: 0.0,
+            };
+            let t = Backend::cpu_seconds(&sys, &call, 1);
+            assert!(t > prev, "time grows with the family parameter");
+            prev = t;
+            assert!(Backend::gpu_seconds(&sys, &call, 1, Offload::TransferOnce).is_some());
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Sweeping user-defined problem families ([`CustomProblem`]) through the
+//! same measurement loop and threshold detection as the built-ins.
+
+use crate::backend::Backend;
+use crate::custom::CustomProblem;
+use crate::runner::{GpuSample, SizeRecord, SweepConfig};
+use crate::threshold::{offload_threshold_index, ThresholdPoint};
+use blob_sim::{BlasCall, Kernel, Offload, Precision};
+
+/// A completed sweep of a custom problem family.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CustomSweep {
+    pub system: String,
+    pub problem: CustomProblem,
+    pub precision: Precision,
+    pub iterations: u32,
+    pub records: Vec<SizeRecord>,
+}
+
+impl CustomSweep {
+    /// The offload threshold for `offload` (same §III-D semantics as the
+    /// built-in problems).
+    pub fn threshold(&self, offload: Offload) -> Option<Kernel> {
+        let points: Option<Vec<ThresholdPoint>> = self
+            .records
+            .iter()
+            .map(|r| {
+                r.gpu_sample(offload).map(|g| ThresholdPoint {
+                    cpu_seconds: r.cpu_seconds,
+                    gpu_seconds: g.seconds,
+                })
+            })
+            .collect();
+        offload_threshold_index(&points?).map(|i| self.records[i].kernel)
+    }
+}
+
+/// Runs a sweep of a [`CustomProblem`] on a backend.
+pub fn run_custom_sweep(
+    backend: &dyn Backend,
+    problem: &CustomProblem,
+    precision: Precision,
+    cfg: &SweepConfig,
+) -> CustomSweep {
+    let offloads = backend.offloads();
+    let iters = cfg.iterations.max(1);
+    let records = problem
+        .params(cfg.min_dim, cfg.max_dim, cfg.step)
+        .into_iter()
+        .map(|p| {
+            let call = BlasCall {
+                kernel: problem.dims(p),
+                precision,
+                alpha: cfg.alpha,
+                beta: cfg.beta,
+            };
+            let cpu_seconds = backend.cpu_seconds(&call, iters);
+            let total_flops = iters as f64 * call.paper_flops();
+            let gpu = offloads
+                .iter()
+                .filter_map(|&o| {
+                    backend.gpu_seconds(&call, iters, o).map(|s| GpuSample {
+                        offload: o,
+                        seconds: s,
+                        gflops: total_flops / s / 1e9,
+                    })
+                })
+                .collect();
+            SizeRecord {
+                param: p,
+                kernel: call.kernel,
+                cpu_seconds,
+                cpu_gflops: total_flops / cpu_seconds / 1e9,
+                gpu,
+            }
+        })
+        .collect();
+    CustomSweep {
+        system: backend.name(),
+        problem: problem.clone(),
+        precision,
+        iterations: iters,
+        records,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::custom::DimRule;
+    use blob_sim::presets;
+
+    #[test]
+    fn custom_square_matches_builtin_square() {
+        use crate::problem::{GemmProblem, Problem};
+        use crate::runner::run_sweep;
+        let sys = presets::lumi();
+        let cfg = SweepConfig::new(1, 128, 8);
+        let custom = CustomProblem::parse("gemm:p,p,p").unwrap();
+        let cs = run_custom_sweep(&sys, &custom, Precision::F32, &cfg);
+        let bs = run_sweep(&sys, Problem::Gemm(GemmProblem::Square), Precision::F32, &cfg);
+        assert_eq!(cs.records.len(), bs.records.len());
+        for (c, b) in cs.records.iter().zip(bs.records.iter()) {
+            assert_eq!(c.kernel, b.kernel);
+            assert_eq!(c.cpu_seconds, b.cpu_seconds);
+            assert_eq!(c.gpu, b.gpu);
+        }
+        assert_eq!(cs.threshold(Offload::TransferOnce), bs.threshold(Offload::TransferOnce));
+    }
+
+    #[test]
+    fn transformer_family_thresholds() {
+        // M = 4N, K = N: the FFN projection family from the module docs
+        let sys = presets::isambard_ai();
+        let p = CustomProblem::gemm(
+            "ffn",
+            DimRule::scaled(4),
+            DimRule::scaled(1),
+            DimRule::scaled(1),
+        );
+        let cfg = SweepConfig::new(1, 1024, 8);
+        let sweep = run_custom_sweep(&sys, &p, Precision::F32, &cfg);
+        // all dims within range: max param = 1024/4 = 256
+        assert_eq!(sweep.records.last().unwrap().param, 256);
+        assert!(sweep.threshold(Offload::TransferOnce).is_some());
+    }
+
+    #[test]
+    fn custom_gemv_family() {
+        let sys = presets::dawn();
+        let p = CustomProblem::parse("gemv:2p,p").unwrap();
+        let cfg = SweepConfig::new(1, 200, 32);
+        let sweep = run_custom_sweep(&sys, &p, Precision::F64, &cfg);
+        assert!(!sweep.records.is_empty());
+        assert!(sweep.records.iter().all(|r| {
+            let (m, n, _) = r.kernel.dims();
+            m == 2 * n
+        }));
+    }
+}

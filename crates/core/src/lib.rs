@@ -1,0 +1,50 @@
+//! # blob-core — the GPU BLAS Offload Benchmark harness
+//!
+//! The paper's primary contribution, as a library:
+//!
+//! - [`problem`] — the 14 problem types (square + non-square GEMM/GEMV)
+//!   the benchmark sweeps (§III-C, Fig 1)
+//! - [`backend`] — timing sources: calibrated system models (`blob-sim`)
+//!   or real wall-clock measurement of this repo's own kernels
+//! - [`runner`] — the size sweep: CPU then each GPU transfer type per
+//!   size, interleaved, with the paper's GFLOP/s accounting (§III-A)
+//! - [`threshold`] — GPU offload-threshold detection (§III-D)
+//! - [`validate`] — constant-seed data init + 0.1 % checksum comparison
+//!   between independent kernel code paths (§III-B)
+//! - [`csv`] — the artifact's per-problem-type CSV output and its parser
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use blob_core::problem::{GemmProblem, Problem};
+//! use blob_core::runner::{run_sweep, SweepConfig};
+//! use blob_sim::{presets, Offload, Precision};
+//!
+//! let system = presets::isambard_ai();
+//! let cfg = SweepConfig::new(1, 256, 8);
+//! let sweep = run_sweep(&system, Problem::Gemm(GemmProblem::Square), Precision::F32, &cfg);
+//! let threshold = sweep.threshold(Offload::TransferOnce);
+//! assert!(threshold.is_some(), "square GEMM offloads readily on a GH200");
+//! ```
+
+pub mod advisor;
+pub mod backend;
+pub mod csv;
+pub mod custom;
+pub mod custom_runner;
+pub mod problem;
+pub mod runner;
+pub mod threshold;
+pub mod validate;
+
+pub use advisor::{advise, advise_across, Advice, Verdict};
+pub use backend::{Backend, HostCpu};
+pub use custom::{CustomProblem, DimRule};
+pub use custom_runner::{run_custom_sweep, CustomSweep};
+pub use problem::{GemmProblem, GemvProblem, Problem};
+pub use runner::{run_sweep, GpuSample, SizeRecord, Sweep, SweepConfig};
+pub use threshold::{offload_threshold_from_times, offload_threshold_index, ThresholdPoint};
+pub use validate::{validate_call, ValidationReport, CHECKSUM_TOLERANCE};
+
+// Re-export the model vocabulary so harness users need one import path.
+pub use blob_sim::{BlasCall, Kernel, KernelKind, Offload, Precision};

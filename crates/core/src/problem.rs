@@ -1,0 +1,366 @@
+//! Problem types: the fixed relationships between a BLAS kernel's
+//! dimensions that GPU-BLOB sweeps (paper §III-C, Fig 1).
+//!
+//! A problem type maps a single *size parameter* `p` to concrete
+//! dimensions; the benchmark then executes every `p` whose dimensions all
+//! lie within the user's `[s, d]` range. Alongside the square problems the
+//! paper defines eight non-square GEMM types and four non-square GEMV
+//! types, chosen so at least one input matrix is rectangular — the shapes
+//! real applications (k-means, LU, neural networks) actually use.
+
+use blob_sim::{Kernel, KernelKind};
+
+/// GEMM problem types (square + the eight non-square types of Table V).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GemmProblem {
+    /// M = N = K.
+    Square,
+    /// M = N, K = 16M — deep inner dimension.
+    TallK,
+    /// M = N = 32, K ≥ 1 — tiny output, growing inner dimension.
+    FixedMn32,
+    /// K = N, M = 16K — tall output panel.
+    TallM,
+    /// K = N = 32, M ≥ 1 — tall skinny A, tiny B.
+    FixedKn32,
+    /// M = K, N = 16K — wide output panel.
+    WideN,
+    /// M = K = 32, N ≥ 1 — tiny A, wide B.
+    FixedMk32,
+    /// M = N, K = 32 — square output, shallow inner dimension.
+    SquareK32,
+    /// M = N, M = 16K — square output, inner dimension a sixteenth of M.
+    SixteenthK,
+}
+
+impl GemmProblem {
+    /// All GEMM problem types in the paper's presentation order.
+    pub const ALL: [GemmProblem; 9] = [
+        GemmProblem::Square,
+        GemmProblem::TallK,
+        GemmProblem::FixedMn32,
+        GemmProblem::TallM,
+        GemmProblem::FixedKn32,
+        GemmProblem::WideN,
+        GemmProblem::FixedMk32,
+        GemmProblem::SquareK32,
+        GemmProblem::SixteenthK,
+    ];
+
+    /// The non-square types, in Table V's row order.
+    pub const NON_SQUARE: [GemmProblem; 8] = [
+        GemmProblem::TallK,
+        GemmProblem::FixedMn32,
+        GemmProblem::TallM,
+        GemmProblem::FixedKn32,
+        GemmProblem::WideN,
+        GemmProblem::FixedMk32,
+        GemmProblem::SquareK32,
+        GemmProblem::SixteenthK,
+    ];
+}
+
+/// GEMV problem types (square + the four non-square types of Table VI).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GemvProblem {
+    /// M = N.
+    Square,
+    /// M = 16N — tall matrix.
+    TallM,
+    /// N = 32, M ≥ 1 — tall skinny matrix.
+    FixedN32,
+    /// N = 16M — wide matrix.
+    WideN,
+    /// M = 32, N ≥ 1 — short wide matrix.
+    FixedM32,
+}
+
+impl GemvProblem {
+    /// All GEMV problem types in the paper's presentation order.
+    pub const ALL: [GemvProblem; 5] = [
+        GemvProblem::Square,
+        GemvProblem::TallM,
+        GemvProblem::FixedN32,
+        GemvProblem::WideN,
+        GemvProblem::FixedM32,
+    ];
+
+    /// The non-square types, in Table VI's row order.
+    pub const NON_SQUARE: [GemvProblem; 4] = [
+        GemvProblem::TallM,
+        GemvProblem::FixedN32,
+        GemvProblem::WideN,
+        GemvProblem::FixedM32,
+    ];
+}
+
+/// Any problem type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Problem {
+    Gemm(GemmProblem),
+    Gemv(GemvProblem),
+}
+
+impl Problem {
+    /// All 14 problem types (9 GEMM + 5 GEMV) — one output CSV each per
+    /// precision, matching the artifact's 28 files per run.
+    pub fn all() -> Vec<Problem> {
+        GemmProblem::ALL
+            .iter()
+            .map(|&g| Problem::Gemm(g))
+            .chain(GemvProblem::ALL.iter().map(|&v| Problem::Gemv(v)))
+            .collect()
+    }
+
+    /// The kernel family this problem type drives.
+    pub fn kind(&self) -> KernelKind {
+        match self {
+            Problem::Gemm(_) => KernelKind::Gemm,
+            Problem::Gemv(_) => KernelKind::Gemv,
+        }
+    }
+
+    /// Human-readable definition as the paper writes it, e.g. `"M=N, K=16M"`.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Problem::Gemm(GemmProblem::Square) => "M=N=K",
+            Problem::Gemm(GemmProblem::TallK) => "M=N, K=16M",
+            Problem::Gemm(GemmProblem::FixedMn32) => "M=N=32, K>=1",
+            Problem::Gemm(GemmProblem::TallM) => "K=N, M=16K",
+            Problem::Gemm(GemmProblem::FixedKn32) => "K=N=32, M>=1",
+            Problem::Gemm(GemmProblem::WideN) => "M=K, N=16K",
+            Problem::Gemm(GemmProblem::FixedMk32) => "M=K=32, N>=1",
+            Problem::Gemm(GemmProblem::SquareK32) => "M=N, K=32",
+            Problem::Gemm(GemmProblem::SixteenthK) => "M=N, M=16K",
+            Problem::Gemv(GemvProblem::Square) => "M=N",
+            Problem::Gemv(GemvProblem::TallM) => "M=16N",
+            Problem::Gemv(GemvProblem::FixedN32) => "N=32, M>=1",
+            Problem::Gemv(GemvProblem::WideN) => "N=16M",
+            Problem::Gemv(GemvProblem::FixedM32) => "M=32, N>=1",
+        }
+    }
+
+    /// Filesystem-safe identifier used for CSV file names.
+    pub fn id(&self) -> &'static str {
+        match self {
+            Problem::Gemm(GemmProblem::Square) => "gemm_square",
+            Problem::Gemm(GemmProblem::TallK) => "gemm_tall_k",
+            Problem::Gemm(GemmProblem::FixedMn32) => "gemm_fixed_mn32",
+            Problem::Gemm(GemmProblem::TallM) => "gemm_tall_m",
+            Problem::Gemm(GemmProblem::FixedKn32) => "gemm_fixed_kn32",
+            Problem::Gemm(GemmProblem::WideN) => "gemm_wide_n",
+            Problem::Gemm(GemmProblem::FixedMk32) => "gemm_fixed_mk32",
+            Problem::Gemm(GemmProblem::SquareK32) => "gemm_square_k32",
+            Problem::Gemm(GemmProblem::SixteenthK) => "gemm_sixteenth_k",
+            Problem::Gemv(GemvProblem::Square) => "gemv_square",
+            Problem::Gemv(GemvProblem::TallM) => "gemv_tall_m",
+            Problem::Gemv(GemvProblem::FixedN32) => "gemv_fixed_n32",
+            Problem::Gemv(GemvProblem::WideN) => "gemv_wide_n",
+            Problem::Gemv(GemvProblem::FixedM32) => "gemv_fixed_m32",
+        }
+    }
+
+    /// Concrete dimensions for size parameter `p >= 1`.
+    pub fn dims(&self, p: usize) -> Kernel {
+        let p = p.max(1);
+        match self {
+            Problem::Gemm(g) => {
+                let (m, n, k) = match g {
+                    GemmProblem::Square => (p, p, p),
+                    GemmProblem::TallK => (p, p, 16 * p),
+                    GemmProblem::FixedMn32 => (32, 32, p),
+                    GemmProblem::TallM => (16 * p, p, p),
+                    GemmProblem::FixedKn32 => (p, 32, 32),
+                    GemmProblem::WideN => (p, 16 * p, p),
+                    GemmProblem::FixedMk32 => (32, p, 32),
+                    GemmProblem::SquareK32 => (p, p, 32),
+                    GemmProblem::SixteenthK => (p, p, (p / 16).max(1)),
+                };
+                Kernel::Gemm { m, n, k }
+            }
+            Problem::Gemv(v) => {
+                let (m, n) = match v {
+                    GemvProblem::Square => (p, p),
+                    GemvProblem::TallM => (16 * p, p),
+                    GemvProblem::FixedN32 => (p, 32),
+                    GemvProblem::WideN => (p, 16 * p),
+                    GemvProblem::FixedM32 => (32, p),
+                };
+                Kernel::Gemv { m, n }
+            }
+        }
+    }
+
+    /// The largest size parameter whose dimensions all fit within `max_dim`
+    /// (the benchmark's `d` argument).
+    pub fn max_param(&self, max_dim: usize) -> usize {
+        let scaled_cap = max_dim / 16; // types with a 16x dimension
+        match self {
+            Problem::Gemm(GemmProblem::TallK)
+            | Problem::Gemm(GemmProblem::TallM)
+            | Problem::Gemm(GemmProblem::WideN)
+            | Problem::Gemv(GemvProblem::TallM)
+            | Problem::Gemv(GemvProblem::WideN) => scaled_cap,
+            _ => max_dim,
+        }
+    }
+
+    /// The size parameters to sweep for user range `[s, d]` and `step`.
+    ///
+    /// Sweeps `p = s, s+step, …` up to [`max_param`](Self::max_param)`(d)`,
+    /// always including the top size so thresholds at the range edge are
+    /// observable. Problem types with a fixed dimension of 32 additionally
+    /// require `d >= 32` (otherwise they yield no sizes).
+    pub fn params(&self, s: usize, d: usize, step: usize) -> Vec<usize> {
+        let needs_32 = matches!(
+            self,
+            Problem::Gemm(GemmProblem::FixedMn32)
+                | Problem::Gemm(GemmProblem::FixedKn32)
+                | Problem::Gemm(GemmProblem::FixedMk32)
+                | Problem::Gemm(GemmProblem::SquareK32)
+                | Problem::Gemv(GemvProblem::FixedN32)
+                | Problem::Gemv(GemvProblem::FixedM32)
+        );
+        if needs_32 && d < 32 {
+            return vec![];
+        }
+        let lo = s.max(1);
+        let hi = self.max_param(d);
+        if hi < lo {
+            return vec![];
+        }
+        let step = step.max(1);
+        let mut out: Vec<usize> = (lo..=hi).step_by(step).collect();
+        if *out.last().unwrap() != hi {
+            out.push(hi);
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for Problem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fourteen_problem_types() {
+        let all = Problem::all();
+        assert_eq!(all.len(), 14);
+        assert_eq!(all.iter().filter(|p| p.kind() == KernelKind::Gemm).count(), 9);
+        assert_eq!(all.iter().filter(|p| p.kind() == KernelKind::Gemv).count(), 5);
+    }
+
+    #[test]
+    fn dims_satisfy_their_definitions() {
+        for p in [1usize, 7, 32, 100, 255] {
+            match Problem::Gemm(GemmProblem::Square).dims(p) {
+                Kernel::Gemm { m, n, k } => assert!(m == p && n == p && k == p),
+                _ => panic!(),
+            }
+            match Problem::Gemm(GemmProblem::TallK).dims(p) {
+                Kernel::Gemm { m, n, k } => assert!(m == n && k == 16 * m && m == p),
+                _ => panic!(),
+            }
+            match Problem::Gemm(GemmProblem::FixedMn32).dims(p) {
+                Kernel::Gemm { m, n, k } => assert!(m == 32 && n == 32 && k == p),
+                _ => panic!(),
+            }
+            match Problem::Gemm(GemmProblem::TallM).dims(p) {
+                Kernel::Gemm { m, n, k } => assert!(k == n && m == 16 * k && k == p),
+                _ => panic!(),
+            }
+            match Problem::Gemm(GemmProblem::WideN).dims(p) {
+                Kernel::Gemm { m, n, k } => assert!(m == k && n == 16 * k && k == p),
+                _ => panic!(),
+            }
+            match Problem::Gemm(GemmProblem::SquareK32).dims(p) {
+                Kernel::Gemm { m, n, k } => assert!(m == n && k == 32 && m == p),
+                _ => panic!(),
+            }
+            match Problem::Gemv(GemvProblem::TallM).dims(p) {
+                Kernel::Gemv { m, n } => assert!(m == 16 * n && n == p),
+                _ => panic!(),
+            }
+            match Problem::Gemv(GemvProblem::FixedM32).dims(p) {
+                Kernel::Gemv { m, n } => assert!(m == 32 && n == p),
+                _ => panic!(),
+            }
+        }
+    }
+
+    #[test]
+    fn sixteenth_k_floors_at_one() {
+        match Problem::Gemm(GemmProblem::SixteenthK).dims(5) {
+            Kernel::Gemm { m, n, k } => {
+                assert_eq!((m, n), (5, 5));
+                assert_eq!(k, 1); // 5/16 floors to 0, clamped to 1
+            }
+            _ => panic!(),
+        }
+        match Problem::Gemm(GemmProblem::SixteenthK).dims(160) {
+            Kernel::Gemm { k, .. } => assert_eq!(k, 10),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn max_param_respects_scaled_dimensions() {
+        let d = 4096;
+        assert_eq!(Problem::Gemm(GemmProblem::Square).max_param(d), 4096);
+        assert_eq!(Problem::Gemm(GemmProblem::TallK).max_param(d), 256); // 16*256 = 4096
+        assert_eq!(Problem::Gemv(GemvProblem::WideN).max_param(d), 256);
+        assert_eq!(Problem::Gemm(GemmProblem::FixedMn32).max_param(d), 4096);
+    }
+
+    #[test]
+    fn all_swept_dims_stay_in_range() {
+        let (s, d) = (1, 512);
+        for prob in Problem::all() {
+            for p in prob.params(s, d, 7) {
+                let (m, n, k) = prob.dims(p).dims();
+                assert!(m <= d && n <= d && k <= d, "{prob:?} p={p} -> {m},{n},{k}");
+                assert!(m >= 1 && n >= 1 && k >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn params_includes_endpoint() {
+        let prob = Problem::Gemm(GemmProblem::Square);
+        let ps = prob.params(1, 100, 7);
+        assert_eq!(*ps.first().unwrap(), 1);
+        assert_eq!(*ps.last().unwrap(), 100);
+        // strictly increasing
+        assert!(ps.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn fixed32_types_need_d_at_least_32() {
+        let prob = Problem::Gemm(GemmProblem::FixedMn32);
+        assert!(prob.params(1, 31, 1).is_empty());
+        assert!(!prob.params(1, 32, 1).is_empty());
+    }
+
+    #[test]
+    fn ids_unique_and_labels_nonempty() {
+        let all = Problem::all();
+        let mut ids: Vec<&str> = all.iter().map(|p| p.id()).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), 14, "duplicate CSV ids");
+        assert!(all.iter().all(|p| !p.label().is_empty()));
+    }
+
+    #[test]
+    fn step_one_sweeps_every_size() {
+        let prob = Problem::Gemv(GemvProblem::Square);
+        let ps = prob.params(1, 64, 1);
+        assert_eq!(ps, (1..=64).collect::<Vec<_>>());
+    }
+}

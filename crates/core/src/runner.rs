@@ -1,0 +1,273 @@
+//! The benchmark runner: sweeps every problem size of a problem type on a
+//! backend and records CPU and GPU performance, exactly the measurement
+//! loop the paper's artifact performs (CPU then GPU per size, interleaved,
+//! §III).
+
+use crate::backend::Backend;
+use crate::problem::Problem;
+use crate::threshold::{offload_threshold_index, ThresholdPoint};
+use blob_sim::{BlasCall, Kernel, Offload, Precision};
+
+/// Sweep configuration: the artifact's `-s`, `-d`, `-i` arguments plus a
+/// stride for coarse sweeps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepConfig {
+    /// Minimum dimension (`-s`), default 1.
+    pub min_dim: usize,
+    /// Maximum dimension (`-d`), default 4096.
+    pub max_dim: usize,
+    /// Iteration count (`-i`).
+    pub iterations: u32,
+    /// Stride over the size parameter; 1 sweeps every size like the paper.
+    pub step: usize,
+    /// α for every call (default 1).
+    pub alpha: f64,
+    /// β for every call (default 0, the artifact's configuration).
+    pub beta: f64,
+}
+
+impl SweepConfig {
+    /// The paper's configuration: `-s 1 -d 4096`, α=1, β=0.
+    pub fn paper(iterations: u32) -> Self {
+        Self {
+            min_dim: 1,
+            max_dim: 4096,
+            iterations,
+            step: 1,
+            alpha: 1.0,
+            beta: 0.0,
+        }
+    }
+
+    /// A configuration with a custom dimension range.
+    pub fn new(min_dim: usize, max_dim: usize, iterations: u32) -> Self {
+        Self {
+            min_dim,
+            max_dim,
+            iterations,
+            step: 1,
+            alpha: 1.0,
+            beta: 0.0,
+        }
+    }
+
+    /// Sets the sweep stride (coarser = faster).
+    pub fn with_step(mut self, step: usize) -> Self {
+        self.step = step.max(1);
+        self
+    }
+
+    /// The iteration counts the paper evaluates.
+    pub const PAPER_ITERATIONS: [u32; 5] = [1, 8, 32, 64, 128];
+}
+
+/// One GPU timing at one problem size.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuSample {
+    pub offload: Offload,
+    pub seconds: f64,
+    pub gflops: f64,
+}
+
+/// Everything measured at one problem size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SizeRecord {
+    /// The size parameter `p` that generated these dimensions.
+    pub param: usize,
+    /// Concrete kernel dimensions.
+    pub kernel: Kernel,
+    /// Total CPU seconds for the configured iterations.
+    pub cpu_seconds: f64,
+    /// Achieved CPU GFLOP/s (paper FLOPs formula).
+    pub cpu_gflops: f64,
+    /// GPU samples, one per offload strategy (empty on CPU-only backends).
+    pub gpu: Vec<GpuSample>,
+}
+
+impl SizeRecord {
+    /// The GPU sample for a given offload strategy, if measured.
+    pub fn gpu_sample(&self, offload: Offload) -> Option<&GpuSample> {
+        self.gpu.iter().find(|g| g.offload == offload)
+    }
+}
+
+/// A completed sweep of one (problem type, precision, iteration count).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sweep {
+    /// Backend name (system).
+    pub system: String,
+    pub problem: Problem,
+    pub precision: Precision,
+    pub iterations: u32,
+    pub records: Vec<SizeRecord>,
+}
+
+impl Sweep {
+    /// The offload threshold for `offload`: concrete dimensions of the
+    /// first size from which the GPU durably wins, or `None` (the paper's
+    /// `—`). Also `None` when the backend measured no GPU.
+    pub fn threshold(&self, offload: Offload) -> Option<Kernel> {
+        let points: Option<Vec<ThresholdPoint>> = self
+            .records
+            .iter()
+            .map(|r| {
+                r.gpu_sample(offload).map(|g| ThresholdPoint {
+                    cpu_seconds: r.cpu_seconds,
+                    gpu_seconds: g.seconds,
+                })
+            })
+            .collect();
+        let points = points?;
+        offload_threshold_index(&points).map(|i| self.records[i].kernel)
+    }
+
+    /// CPU GFLOP/s series (for plotting).
+    pub fn cpu_series(&self) -> Vec<(usize, f64)> {
+        self.records.iter().map(|r| (r.param, r.cpu_gflops)).collect()
+    }
+
+    /// GPU GFLOP/s series for one offload strategy.
+    pub fn gpu_series(&self, offload: Offload) -> Vec<(usize, f64)> {
+        self.records
+            .iter()
+            .filter_map(|r| r.gpu_sample(offload).map(|g| (r.param, g.gflops)))
+            .collect()
+    }
+}
+
+/// Builds the call for one problem size under a sweep configuration.
+pub fn call_for(problem: Problem, precision: Precision, p: usize, cfg: &SweepConfig) -> BlasCall {
+    let kernel = problem.dims(p);
+    BlasCall {
+        kernel,
+        precision,
+        alpha: cfg.alpha,
+        beta: cfg.beta,
+    }
+}
+
+/// Runs a full sweep of `problem` at `precision` on `backend`.
+///
+/// For every size parameter in range, the CPU is timed and then each
+/// available offload strategy is timed on the GPU — the artifact's
+/// interleaved collection order.
+pub fn run_sweep(
+    backend: &dyn Backend,
+    problem: Problem,
+    precision: Precision,
+    cfg: &SweepConfig,
+) -> Sweep {
+    let offloads = backend.offloads();
+    let iters = cfg.iterations.max(1);
+    let records = problem
+        .params(cfg.min_dim, cfg.max_dim, cfg.step)
+        .into_iter()
+        .map(|p| {
+            let call = call_for(problem, precision, p, cfg);
+            let cpu_seconds = backend.cpu_seconds(&call, iters);
+            let total_flops = iters as f64 * call.paper_flops();
+            let cpu_gflops = total_flops / cpu_seconds / 1e9;
+            let gpu = offloads
+                .iter()
+                .filter_map(|&o| {
+                    backend.gpu_seconds(&call, iters, o).map(|s| GpuSample {
+                        offload: o,
+                        seconds: s,
+                        gflops: total_flops / s / 1e9,
+                    })
+                })
+                .collect();
+            SizeRecord {
+                param: p,
+                kernel: call.kernel,
+                cpu_seconds,
+                cpu_gflops,
+                gpu,
+            }
+        })
+        .collect();
+    Sweep {
+        system: backend.name(),
+        problem,
+        precision,
+        iterations: iters,
+        records,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{GemmProblem, GemvProblem};
+    use blob_sim::presets;
+
+    #[test]
+    fn sweep_covers_requested_sizes() {
+        let sys = presets::dawn();
+        let cfg = SweepConfig::new(1, 64, 1);
+        let sweep = run_sweep(&sys, Problem::Gemm(GemmProblem::Square), Precision::F32, &cfg);
+        assert_eq!(sweep.records.len(), 64);
+        assert_eq!(sweep.records[0].param, 1);
+        assert_eq!(sweep.records.last().unwrap().param, 64);
+        for r in &sweep.records {
+            assert!(r.cpu_seconds > 0.0);
+            assert_eq!(r.gpu.len(), 3, "three offload strategies per size");
+            assert!(r.cpu_gflops > 0.0);
+        }
+    }
+
+    #[test]
+    fn cpu_only_backend_yields_no_gpu_samples_or_thresholds() {
+        let sys = presets::isambard_ai_armpl();
+        let cfg = SweepConfig::new(1, 32, 1);
+        let sweep = run_sweep(&sys, Problem::Gemv(GemvProblem::Square), Precision::F64, &cfg);
+        assert!(sweep.records.iter().all(|r| r.gpu.is_empty()));
+        assert_eq!(sweep.threshold(Offload::TransferOnce), None);
+    }
+
+    #[test]
+    fn gflops_respects_paper_formula() {
+        let sys = presets::lumi();
+        let cfg = SweepConfig::new(10, 10, 4);
+        let sweep = run_sweep(&sys, Problem::Gemm(GemmProblem::Square), Precision::F64, &cfg);
+        let r = &sweep.records[0];
+        let call = BlasCall::gemm(Precision::F64, 10, 10, 10);
+        let expect = 4.0 * call.paper_flops() / r.cpu_seconds / 1e9;
+        assert!((r.cpu_gflops - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn thresholds_map_to_kernel_dims() {
+        // Isambard square GEMM has a small stable threshold; whatever the
+        // exact value, the returned dims must be square and in range.
+        let sys = presets::isambard_ai();
+        let cfg = SweepConfig::new(1, 256, 8);
+        let sweep = run_sweep(&sys, Problem::Gemm(GemmProblem::Square), Precision::F32, &cfg);
+        if let Some(Kernel::Gemm { m, n, k }) = sweep.threshold(Offload::TransferOnce) {
+            assert_eq!(m, n);
+            assert_eq!(n, k);
+            assert!((1..=256).contains(&m));
+        } else {
+            panic!("expected a square-GEMM threshold on Isambard-AI");
+        }
+    }
+
+    #[test]
+    fn series_extraction() {
+        let sys = presets::dawn();
+        let cfg = SweepConfig::new(1, 16, 1);
+        let sweep = run_sweep(&sys, Problem::Gemm(GemmProblem::Square), Precision::F32, &cfg);
+        assert_eq!(sweep.cpu_series().len(), 16);
+        assert_eq!(sweep.gpu_series(Offload::Unified).len(), 16);
+        assert!(sweep.gpu_series(Offload::TransferOnce).iter().all(|&(_, g)| g > 0.0));
+    }
+
+    #[test]
+    fn step_reduces_sample_count_but_keeps_endpoint() {
+        let sys = presets::dawn();
+        let cfg = SweepConfig::new(1, 100, 1).with_step(9);
+        let sweep = run_sweep(&sys, Problem::Gemv(GemvProblem::Square), Precision::F32, &cfg);
+        assert!(sweep.records.len() < 100);
+        assert_eq!(sweep.records.last().unwrap().param, 100);
+    }
+}

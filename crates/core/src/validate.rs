@@ -1,0 +1,139 @@
+//! Cross-library result validation (paper §III-B).
+//!
+//! The artifact seeds `srand` with a constant so the CPU and GPU input
+//! buffers of equal dimensions always hold identical contents, then
+//! compares output checksums with a 0.1 % margin for floating-point
+//! rounding. We do the same: inputs come from a seeded RNG, the "CPU
+//! library" result is computed with the parallel kernels and the "GPU
+//! library" result with the blocked single-thread kernels (a genuinely
+//! different code path — different blocking, different summation order),
+//! and the checksums must agree within [`CHECKSUM_TOLERANCE`].
+
+use blob_blas::scalar::Scalar;
+use blob_blas::{gemm_blocked, gemm_parallel, gemv_parallel, gemv_ref};
+use blob_sim::{BlasCall, Kernel, Precision};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The paper's checksum margin of error: 0.1 %.
+pub const CHECKSUM_TOLERANCE: f64 = 1e-3;
+
+/// Outcome of validating one call.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ValidationReport {
+    /// Output checksum from the CPU-library code path.
+    pub cpu_checksum: f64,
+    /// Output checksum from the GPU-library code path.
+    pub gpu_checksum: f64,
+    /// Relative disagreement between the two.
+    pub rel_err: f64,
+    /// Whether the disagreement is within the 0.1 % margin.
+    pub ok: bool,
+}
+
+/// Fills a buffer from a constant-seeded RNG (the artifact's `srand`-then-
+/// `rand` initialisation): same seed + same length ⇒ same contents.
+pub fn seeded_data<T: Scalar>(seed: u64, len: usize) -> Vec<T> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len).map(|_| T::from_f64(rng.gen_range(-1.0..1.0))).collect()
+}
+
+fn validate_typed<T: Scalar>(call: &BlasCall, seed: u64) -> ValidationReport {
+    let alpha = T::from_f64(call.alpha);
+    let beta = T::from_f64(call.beta);
+    let (cpu_out, gpu_out): (Vec<T>, Vec<T>) = match call.kernel {
+        Kernel::Gemm { m, n, k } => {
+            let a = seeded_data::<T>(seed, m * k);
+            let b = seeded_data::<T>(seed ^ 0xB, k * n);
+            // output initialised to zero throughout (paper §III-B)
+            let mut c_cpu = vec![T::ZERO; m * n];
+            let mut c_gpu = vec![T::ZERO; m * n];
+            gemm_parallel(4, m, n, k, alpha, &a, m, &b, k, beta, &mut c_cpu, m);
+            gemm_blocked(m, n, k, alpha, &a, m, &b, k, beta, &mut c_gpu, m);
+            (c_cpu, c_gpu)
+        }
+        Kernel::Gemv { m, n } => {
+            let a = seeded_data::<T>(seed, m * n);
+            let x = seeded_data::<T>(seed ^ 0xB, n);
+            let mut y_cpu = vec![T::ZERO; m];
+            let mut y_gpu = vec![T::ZERO; m];
+            gemv_parallel(4, m, n, alpha, &a, m, &x, 1, beta, &mut y_cpu, 1);
+            gemv_ref(m, n, alpha, &a, m, &x, 1, beta, &mut y_gpu, 1);
+            (y_cpu, y_gpu)
+        }
+    };
+    let cpu_checksum: f64 = cpu_out.iter().map(|v| v.to_f64()).sum();
+    let gpu_checksum: f64 = gpu_out.iter().map(|v| v.to_f64()).sum();
+    let scale = cpu_checksum.abs().max(gpu_checksum.abs()).max(1e-30);
+    let rel_err = (cpu_checksum - gpu_checksum).abs() / scale;
+    ValidationReport {
+        cpu_checksum,
+        gpu_checksum,
+        rel_err,
+        ok: rel_err <= CHECKSUM_TOLERANCE,
+    }
+}
+
+/// Validates that the two kernel code paths agree on `call`, dispatching on
+/// the call's precision.
+pub fn validate_call(call: &BlasCall, seed: u64) -> ValidationReport {
+    match call.precision {
+        Precision::F32 => validate_typed::<f32>(call, seed),
+        Precision::F64 => validate_typed::<f64>(call, seed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_data_is_reproducible() {
+        let a: Vec<f64> = seeded_data(7, 100);
+        let b: Vec<f64> = seeded_data(7, 100);
+        assert_eq!(a, b);
+        let c: Vec<f64> = seeded_data(8, 100);
+        assert_ne!(a, c);
+        assert!(a.iter().all(|v| (-1.0..1.0).contains(v)));
+    }
+
+    #[test]
+    fn gemm_paths_agree_within_margin() {
+        for (m, n, k) in [(17, 23, 31), (64, 64, 64), (100, 10, 300)] {
+            for prec in Precision::ALL {
+                let call = match prec {
+                    Precision::F32 => BlasCall::gemm(prec, m, n, k),
+                    Precision::F64 => BlasCall::gemm(prec, m, n, k),
+                };
+                let rep = validate_call(&call, 42);
+                assert!(rep.ok, "{call:?}: rel_err {}", rep.rel_err);
+            }
+        }
+    }
+
+    #[test]
+    fn gemv_paths_agree_within_margin() {
+        for (m, n) in [(33, 77), (512, 16), (16, 512)] {
+            for prec in Precision::ALL {
+                let call = BlasCall::gemv(prec, m, n);
+                let rep = validate_call(&call, 1);
+                assert!(rep.ok, "{call:?}: rel_err {}", rep.rel_err);
+            }
+        }
+    }
+
+    #[test]
+    fn alpha_beta_variants_validate() {
+        let call = BlasCall::gemm(Precision::F64, 48, 48, 48).with_scalars(4.0, 0.0);
+        assert!(validate_call(&call, 3).ok);
+        // beta != 0 reads the zero-initialised output: still consistent
+        let call2 = BlasCall::gemm(Precision::F64, 48, 48, 48).with_scalars(1.0, 2.0);
+        assert!(validate_call(&call2, 3).ok);
+    }
+
+    #[test]
+    fn checksums_are_nonzero_for_nontrivial_input() {
+        let rep = validate_call(&BlasCall::gemm(Precision::F64, 32, 32, 32), 9);
+        assert!(rep.cpu_checksum.abs() > 0.0);
+    }
+}

@@ -1,0 +1,250 @@
+//! Batched-BLAS pricing — the paper's first future-work item (§V): "we
+//! wish to quantify the effect that [batched kernels] have on the offload
+//! threshold".
+//!
+//! A batched call executes `batch` independent instances of the same small
+//! kernel as one library call. The performance physics the batched-BLAS
+//! literature (Dongarra et al., Abdelfattah et al. — both cited by the
+//! paper) establishes, and which this model encodes:
+//!
+//! - **one** launch / dispatch overhead for the whole batch, not per
+//!   instance — the dominant saving for small problems;
+//! - device occupancy (the efficiency ramp) is driven by the *total* work
+//!   `batch × w`, not the per-instance work: many small GEMMs fill a GPU
+//!   that one of them cannot;
+//! - data volume still scales with the batch: transfers move every
+//!   instance's operands.
+
+use crate::call::{BlasCall, Kernel};
+use crate::cpu::{CpuLibrary, CpuModel};
+use crate::gpu::{GpuLibrary, GpuModel};
+use crate::offload::Offload;
+use crate::quirk::apply_quirks;
+use crate::system::SystemModel;
+
+/// Seconds for one batched CPU call (`batch` instances, one fork/join).
+pub fn cpu_batched_seconds(
+    model: &CpuModel,
+    lib: &CpuLibrary,
+    call: &BlasCall,
+    batch: usize,
+    iters: u32,
+) -> f64 {
+    let batch = batch.max(1) as f64;
+    let work = call.library_flops(lib.beta0_opt) * batch;
+    let bytes = call.bytes_streamed_lib(lib.beta0_opt) * batch;
+    let per_iter = match call.kernel {
+        Kernel::Gemm { .. } => {
+            let peak = model.peak_gflops(call.precision, lib.threads) * 1e9;
+            // the efficiency ramp sees the batch's total work: instances
+            // run concurrently across cores
+            let eff = lib.gemm_eff_max * work / (work + lib.half_work_for(call.precision));
+            let floor = model.peak_gflops(call.precision, 1) * 1e9 * 0.6;
+            let rate = (peak * eff).max(floor).max(1.0);
+            (work / rate).max(bytes / (model.dram_gbs * 1e9))
+        }
+        Kernel::Gemv { .. } => {
+            let stream = if lib.gemv_parallel {
+                model.dram_gbs
+            } else {
+                model.single_core_gbs
+            };
+            bytes / (stream * lib.gemv_bw_eff * 1e9)
+        }
+    };
+    let oh = lib.call_overhead_us * 1e-6; // once per *batched* call
+    let t = apply_quirks(&lib.quirks, call, per_iter + oh);
+    t * iters as f64
+}
+
+/// Seconds for one batched GPU kernel (`batch` instances, one launch).
+pub fn gpu_batched_kernel_seconds(
+    model: &GpuModel,
+    lib: &GpuLibrary,
+    call: &BlasCall,
+    batch: usize,
+) -> f64 {
+    let batch = batch.max(1) as f64;
+    let work = call.library_flops(lib.beta0_opt) * batch;
+    let bytes = call.bytes_streamed_lib(lib.beta0_opt) * batch;
+    let peak = model.peak_gflops(call.precision) * 1e9;
+    let core = match call.kernel {
+        Kernel::Gemm { .. } => {
+            // occupancy comes from the whole batch: this is the entire
+            // point of batched GEMM on GPUs
+            let eff = lib.gemm_eff_max * work / (work + lib.gemm_half_work);
+            let floor = peak * 5e-3;
+            let rate = (peak * eff).max(floor).max(1.0);
+            (work / rate).max(bytes / (model.hbm_gbs * 1e9))
+        }
+        Kernel::Gemv { .. } => {
+            // a batch of GEMVs has batch×m effective rows: occupancy heals
+            let (m, _, _) = call.kernel.dims();
+            let rows = m as f64 * batch;
+            let occ = if lib.gemv_m_half > 0.0 {
+                rows / (rows + lib.gemv_m_half)
+            } else {
+                1.0
+            };
+            bytes / (model.hbm_gbs * lib.gemv_bw_eff * occ * 1e9)
+        }
+    };
+    apply_quirks(&lib.quirks, call, core + lib.launch_us * 1e-6)
+}
+
+impl SystemModel {
+    /// Total CPU seconds for `iters` batched calls of `batch` instances.
+    pub fn cpu_batched_seconds(&self, call: &BlasCall, batch: usize, iters: u32) -> f64 {
+        cpu_batched_seconds(&self.cpu, &self.cpu_lib, call, batch, iters)
+    }
+
+    /// Total GPU seconds for `iters` batched calls of `batch` instances
+    /// under `offload` (transfers move all `batch` operand sets).
+    pub fn gpu_batched_seconds(
+        &self,
+        call: &BlasCall,
+        batch: usize,
+        iters: u32,
+        offload: Offload,
+    ) -> Option<f64> {
+        let gpu = self.gpu.as_ref()?;
+        let lib = self.gpu_lib.as_ref()?;
+        let link = self.link.as_ref()?;
+        let kernel = gpu_batched_kernel_seconds(gpu, lib, call, batch);
+        let bytes_in = call.bytes_to_device() * batch.max(1) as f64;
+        let bytes_out = call.bytes_from_device() * batch.max(1) as f64;
+        Some(match offload {
+            Offload::TransferOnce => {
+                link.to_device_seconds(bytes_in)
+                    + iters as f64 * kernel
+                    + link.from_device_seconds(bytes_out)
+            }
+            Offload::TransferAlways => {
+                iters as f64 * (link.round_trip_seconds(bytes_in, bytes_out) + kernel)
+            }
+            Offload::Unified => {
+                let usm = self.usm.as_ref()?;
+                usm.total_seconds(bytes_in, bytes_out, kernel, iters)
+            }
+        })
+    }
+
+    /// The batched offload threshold: smallest per-instance square size at
+    /// which the GPU durably beats the CPU for this batch count (scanning
+    /// sizes `1..=max_size`), or `None`.
+    pub fn batched_gemm_threshold(
+        &self,
+        precision: crate::Precision,
+        batch: usize,
+        iters: u32,
+        offload: Offload,
+        max_size: usize,
+    ) -> Option<usize> {
+        use crate::call::BlasCall;
+        let mut points = Vec::with_capacity(max_size);
+        for s in 1..=max_size {
+            let call = BlasCall::gemm(precision, s, s, s);
+            let cpu = self.cpu_batched_seconds(&call, batch, iters);
+            let gpu = self.gpu_batched_seconds(&call, batch, iters, offload)?;
+            points.push((cpu, gpu));
+        }
+        // the same detector semantics as blob-core (two consecutive CPU
+        // wins are real; isolated dips are noise), re-derived locally to
+        // keep the dependency direction sim <- core
+        let cpu_wins = |i: usize| points[i].0 < points[i].1;
+        let real = |i: usize| cpu_wins(i) && (i == 0 || cpu_wins(i - 1));
+        let last = (0..points.len()).rev().find(|&i| real(i));
+        match last {
+            None => Some(1),
+            Some(i) if i + 1 < points.len() => {
+                if cpu_wins(i + 1) {
+                    if i + 2 < points.len() {
+                        Some(i + 3)
+                    } else {
+                        None
+                    }
+                } else {
+                    Some(i + 2)
+                }
+            }
+            Some(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+    use crate::Precision;
+
+    #[test]
+    fn batch_one_close_to_unbatched() {
+        // a batch of 1 must price like a plain call (same formulas minus
+        // the cache-warmth model, which batching forgoes)
+        let sys = presets::lumi();
+        let call = BlasCall::gemm(Precision::F32, 64, 64, 64);
+        let batched = sys.cpu_batched_seconds(&call, 1, 1);
+        let plain = sys.cpu_seconds(&call, 1);
+        assert!((batched / plain - 1.0).abs() < 0.25, "{batched} vs {plain}");
+    }
+
+    #[test]
+    fn batching_amortises_gpu_launch() {
+        // total GPU time for N small GEMMs: one batched call beats N
+        // separate calls by roughly the saved launches
+        let sys = presets::dawn();
+        let gpu = sys.gpu.as_ref().unwrap();
+        let lib = sys.gpu_lib.as_ref().unwrap();
+        let call = BlasCall::gemm(Precision::F32, 32, 32, 32);
+        let one = gpu_batched_kernel_seconds(gpu, lib, &call, 1);
+        let batch256 = gpu_batched_kernel_seconds(gpu, lib, &call, 256);
+        assert!(
+            batch256 < 0.2 * 256.0 * one,
+            "batched {batch256} vs 256 separate {}",
+            256.0 * one
+        );
+    }
+
+    #[test]
+    fn batching_lowers_the_offload_threshold() {
+        // the paper's future-work hypothesis, quantified: more instances
+        // per call -> the GPU pays off at smaller per-instance sizes
+        let sys = presets::dawn();
+        let t1 = sys
+            .batched_gemm_threshold(Precision::F32, 1, 8, Offload::TransferOnce, 1024)
+            .unwrap_or(1025);
+        let t64 = sys
+            .batched_gemm_threshold(Precision::F32, 64, 8, Offload::TransferOnce, 1024)
+            .unwrap_or(1025);
+        assert!(
+            t64 < t1,
+            "batch 64 threshold {t64} must undercut batch 1 threshold {t1}"
+        );
+    }
+
+    #[test]
+    fn batched_gemv_occupancy_heals_with_batch() {
+        let sys = presets::lumi();
+        let gpu = sys.gpu.as_ref().unwrap();
+        let lib = sys.gpu_lib.as_ref().unwrap();
+        let call = BlasCall::gemv(Precision::F32, 128, 128);
+        let per_instance_1 = gpu_batched_kernel_seconds(gpu, lib, &call, 1);
+        let per_instance_256 = gpu_batched_kernel_seconds(gpu, lib, &call, 256) / 256.0;
+        assert!(per_instance_256 < 0.1 * per_instance_1);
+    }
+
+    #[test]
+    fn transfer_volume_still_scales_with_batch() {
+        let sys = presets::dawn();
+        let call = BlasCall::gemm(Precision::F64, 64, 64, 64);
+        let t32 = sys
+            .gpu_batched_seconds(&call, 32, 1, Offload::TransferAlways)
+            .unwrap();
+        let t256 = sys
+            .gpu_batched_seconds(&call, 256, 1, Offload::TransferAlways)
+            .unwrap();
+        // 8x the data cannot be less than ~4x the time on a PCIe system
+        assert!(t256 > 4.0 * t32, "{t256} vs {t32}");
+    }
+}

@@ -1,0 +1,224 @@
+//! Envelope fitting: build a performance model from *measured* samples.
+//!
+//! The paper positions GPU-BLOB against analytical selectors (Chikin et
+//! al.) precisely because an empirical benchmark "can more easily measure
+//! the performance of new architectures". This module closes the loop in
+//! the other direction: take measurements (e.g. from the
+//! [`HostCpu`](../../blob_core/backend/struct.HostCpu.html) backend) and
+//! fit the roofline-envelope parameters, so a user can calibrate a
+//! [`SystemModel`](crate::SystemModel) of *their own machine* and then ask
+//! it offload-threshold questions about hardware they are considering.
+//!
+//! The envelope `t(w) = w/R + c` (sustained rate `R`, fixed per-call cost
+//! `c`) is affine in the work `w`, so the fit is ordinary least squares —
+//! deterministic, closed-form, and exact on noise-free data.
+
+/// One measured kernel execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sample {
+    /// FLOPs the call executed.
+    pub work: f64,
+    /// Measured seconds for one execution.
+    pub seconds: f64,
+}
+
+/// A fitted execution envelope: `t(w) = w / rate + fixed_cost`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Envelope {
+    /// Sustained rate in FLOP/s.
+    pub rate: f64,
+    /// Fixed per-call cost in seconds (dispatch, fork/join, ramp).
+    pub fixed_cost: f64,
+    /// Coefficient of determination of the fit (1 = perfect).
+    pub r_squared: f64,
+}
+
+impl Envelope {
+    /// Predicted seconds for a call of `work` FLOPs.
+    pub fn predict(&self, work: f64) -> f64 {
+        work / self.rate + self.fixed_cost
+    }
+
+    /// Achieved fraction of a theoretical peak (GFLOP/s).
+    pub fn efficiency_vs(&self, peak_gflops: f64) -> f64 {
+        self.rate / (peak_gflops * 1e9)
+    }
+}
+
+/// Fits `t(w) = w/rate + fixed_cost` by least squares.
+///
+/// Returns `None` for fewer than 2 samples, a degenerate spread of `work`
+/// values, or a fit with non-positive rate (meaningless measurements).
+/// A negative fitted intercept (possible with noise) is clamped to 0.
+pub fn fit_envelope(samples: &[Sample]) -> Option<Envelope> {
+    let n = samples.len();
+    if n < 2 {
+        return None;
+    }
+    let nf = n as f64;
+    let sum_w: f64 = samples.iter().map(|s| s.work).sum();
+    let sum_t: f64 = samples.iter().map(|s| s.seconds).sum();
+    let mean_w = sum_w / nf;
+    let mean_t = sum_t / nf;
+    let sxx: f64 = samples.iter().map(|s| (s.work - mean_w).powi(2)).sum();
+    if sxx <= 0.0 {
+        return None;
+    }
+    let sxy: f64 = samples
+        .iter()
+        .map(|s| (s.work - mean_w) * (s.seconds - mean_t))
+        .sum();
+    let slope = sxy / sxx;
+    if slope <= 0.0 {
+        return None;
+    }
+    let intercept = (mean_t - slope * mean_w).max(0.0);
+    let rate = 1.0 / slope;
+    // r^2 against the (possibly clamped) model
+    let ss_tot: f64 = samples.iter().map(|s| (s.seconds - mean_t).powi(2)).sum();
+    let ss_res: f64 = samples
+        .iter()
+        .map(|s| {
+            let pred = s.work * slope + intercept;
+            (s.seconds - pred).powi(2)
+        })
+        .sum();
+    let r_squared = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
+    Some(Envelope {
+        rate,
+        fixed_cost: intercept,
+        r_squared,
+    })
+}
+
+/// Builds a [`CpuLibrary`](crate::CpuLibrary) whose GEMM pricing reproduces
+/// a fitted envelope on a given CPU: `eff_max` set so the saturated rate
+/// matches, `call_overhead` from the fixed cost, a small half-work (the
+/// ramp is already folded into the measured envelope).
+pub fn library_from_envelope(
+    name: &'static str,
+    envelope: &Envelope,
+    cpu: &crate::CpuModel,
+    precision: crate::Precision,
+) -> crate::CpuLibrary {
+    let peak = cpu.peak_gflops(precision, cpu.cores) * 1e9;
+    crate::CpuLibrary {
+        name,
+        threads: cpu.cores,
+        gemm_eff_max: (envelope.rate / peak).clamp(0.01, 0.98),
+        gemm_half_work: 1e6, // envelope already absorbs the ramp
+        gemm_half_work_f64: None,
+        gemv_parallel: true,
+        gemv_bw_eff: 0.8,
+        call_overhead_us: envelope.fixed_cost * 1e6,
+        adaptive_threading: false,
+        beta0_opt: true,
+        warm_rate_boost: 1.0,
+        shape_penalty: 0.0,
+        quirks: vec![],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synth(rate: f64, fixed: f64, works: &[f64]) -> Vec<Sample> {
+        works
+            .iter()
+            .map(|&w| Sample {
+                work: w,
+                seconds: w / rate + fixed,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn exact_fit_on_noise_free_data() {
+        let samples = synth(2.5e12, 8e-6, &[1e6, 1e7, 1e8, 1e9, 5e9]);
+        let e = fit_envelope(&samples).unwrap();
+        assert!((e.rate / 2.5e12 - 1.0).abs() < 1e-9);
+        assert!((e.fixed_cost - 8e-6).abs() < 1e-12);
+        assert!(e.r_squared > 0.999999);
+    }
+
+    #[test]
+    fn prediction_round_trip() {
+        let samples = synth(1e12, 5e-6, &[1e7, 1e8, 1e9]);
+        let e = fit_envelope(&samples).unwrap();
+        for s in &samples {
+            assert!((e.predict(s.work) - s.seconds).abs() / s.seconds < 1e-9);
+        }
+        assert!((e.efficiency_vs(2000.0) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tolerates_measurement_noise() {
+        // deterministic +-5% "noise"
+        let mut samples = synth(3e12, 10e-6, &[1e7, 5e7, 1e8, 5e8, 1e9, 5e9, 1e10]);
+        for (i, s) in samples.iter_mut().enumerate() {
+            let jitter = 1.0 + 0.05 * if i % 2 == 0 { 1.0 } else { -1.0 };
+            s.seconds *= jitter;
+        }
+        let e = fit_envelope(&samples).unwrap();
+        assert!((e.rate / 3e12 - 1.0).abs() < 0.1, "rate {}", e.rate);
+        assert!(e.r_squared > 0.98);
+    }
+
+    #[test]
+    fn degenerate_inputs_rejected() {
+        assert!(fit_envelope(&[]).is_none());
+        assert!(fit_envelope(&[Sample { work: 1e6, seconds: 1e-3 }]).is_none());
+        // all-identical work: no slope identifiable
+        let flat = vec![Sample { work: 1e6, seconds: 1e-3 }; 5];
+        assert!(fit_envelope(&flat).is_none());
+        // decreasing time with work: nonsense measurements
+        let nonsense = vec![
+            Sample { work: 1e6, seconds: 2.0 },
+            Sample { work: 1e9, seconds: 1.0 },
+        ];
+        assert!(fit_envelope(&nonsense).is_none());
+    }
+
+    #[test]
+    fn negative_intercept_clamped() {
+        // two points implying a tiny negative intercept after noise
+        let samples = vec![
+            Sample { work: 1e9, seconds: 1.0e-3 },
+            Sample { work: 2e9, seconds: 2.1e-3 },
+        ];
+        let e = fit_envelope(&samples).unwrap();
+        assert!(e.fixed_cost >= 0.0);
+    }
+
+    #[test]
+    fn fitted_library_prices_like_the_envelope() {
+        use crate::{BlasCall, Precision};
+        let cpu = crate::CpuModel {
+            name: "fit-target",
+            cores: 16,
+            freq_ghz: 3.0,
+            fp64_flops_per_cycle_core: 16.0,
+            fp32_ratio: 2.0,
+            dram_gbs: 100.0,
+            single_core_gbs: 20.0,
+            llc_bytes: 32e6,
+            llc_gbs: 800.0,
+        };
+        // envelope: 60% of f64 peak, 4us fixed
+        let peak = cpu.peak_gflops(Precision::F64, 16) * 1e9;
+        let env = Envelope {
+            rate: 0.6 * peak,
+            fixed_cost: 4e-6,
+            r_squared: 1.0,
+        };
+        let lib = library_from_envelope("fitted", &env, &cpu, Precision::F64);
+        let call = BlasCall::gemm(Precision::F64, 800, 800, 800);
+        let modelled = crate::cpu::cpu_seconds(&cpu, &lib, &call, 1);
+        let predicted = env.predict(call.paper_flops());
+        assert!(
+            (modelled / predicted - 1.0).abs() < 0.1,
+            "{modelled} vs {predicted}"
+        );
+    }
+}

@@ -1,0 +1,273 @@
+//! A device-neutral description of one BLAS invocation — the unit every
+//! performance model in this crate prices.
+//!
+//! Carries the kernel kind and dimensions, the precision, and the α/β
+//! scalars (whose values change the work actually executed, per the paper's
+//! Table I study: production libraries skip the `β·C` and `AB + C` work when
+//! `β = 0`).
+
+use blob_blas::scalar::Precision;
+
+/// Which BLAS kernel a call invokes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Kernel {
+    /// `C ← α·A·B + β·C` with `A: m×k`, `B: k×n`, `C: m×n`.
+    Gemm { m: usize, n: usize, k: usize },
+    /// `y ← α·A·x + β·y` with `A: m×n`, `x: n`, `y: m`.
+    Gemv { m: usize, n: usize },
+}
+
+/// Coarse kernel family, used by quirk filters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelKind {
+    Gemm,
+    Gemv,
+}
+
+impl Kernel {
+    /// The kernel family.
+    pub fn kind(&self) -> KernelKind {
+        match self {
+            Kernel::Gemm { .. } => KernelKind::Gemm,
+            Kernel::Gemv { .. } => KernelKind::Gemv,
+        }
+    }
+
+    /// `(m, n, k)` with `k = 1` for GEMV.
+    pub fn dims(&self) -> (usize, usize, usize) {
+        match *self {
+            Kernel::Gemm { m, n, k } => (m, n, k),
+            Kernel::Gemv { m, n } => (m, n, 1),
+        }
+    }
+}
+
+/// One priced BLAS call.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlasCall {
+    pub kernel: Kernel,
+    pub precision: Precision,
+    pub alpha: f64,
+    pub beta: f64,
+}
+
+impl BlasCall {
+    /// A GEMM call with the benchmark's default `α = 1, β = 0`.
+    pub fn gemm(precision: Precision, m: usize, n: usize, k: usize) -> Self {
+        Self {
+            kernel: Kernel::Gemm { m, n, k },
+            precision,
+            alpha: 1.0,
+            beta: 0.0,
+        }
+    }
+
+    /// A GEMV call with the benchmark's default `α = 1, β = 0`.
+    pub fn gemv(precision: Precision, m: usize, n: usize) -> Self {
+        Self {
+            kernel: Kernel::Gemv { m, n },
+            precision,
+            alpha: 1.0,
+            beta: 0.0,
+        }
+    }
+
+    /// Override α and β.
+    pub fn with_scalars(mut self, alpha: f64, beta: f64) -> Self {
+        self.alpha = alpha;
+        self.beta = beta;
+        self
+    }
+
+    /// Element size in bytes.
+    pub fn elem_bytes(&self) -> usize {
+        self.precision.bytes()
+    }
+
+    /// The FLOP count GPU-BLOB reports (paper §III-A):
+    /// GEMM `2MNK + MN + qMN`, GEMV `2MN + M + qM`, with `q = 0` when
+    /// `β = 0` and `q = 2` otherwise — because Table I established that the
+    /// β-work is skipped by real libraries when `β = 0`.
+    pub fn paper_flops(&self) -> f64 {
+        let q = if self.beta == 0.0 { 0.0 } else { 2.0 };
+        match self.kernel {
+            Kernel::Gemm { m, n, k } => {
+                let (m, n, k) = (m as f64, n as f64, k as f64);
+                2.0 * m * n * k + m * n + q * m * n
+            }
+            Kernel::Gemv { m, n } => {
+                let (m, n) = (m as f64, n as f64);
+                2.0 * m * n + m + q * m
+            }
+        }
+    }
+
+    /// The FLOPs a concrete library actually executes. Libraries with the
+    /// β=0 short-circuit (`beta0_opt`) skip `β·C` and `AB + C` when β=0;
+    /// libraries without it always execute the full `2MNK + 3MN` (GEMV:
+    /// `2MN + 3M`). The α=1 multiply is never skipped (Table I found no
+    /// library optimises on α).
+    pub fn library_flops(&self, beta0_opt: bool) -> f64 {
+        let q = if beta0_opt && self.beta == 0.0 { 0.0 } else { 2.0 };
+        match self.kernel {
+            Kernel::Gemm { m, n, k } => {
+                let (m, n, k) = (m as f64, n as f64, k as f64);
+                2.0 * m * n * k + m * n + q * m * n
+            }
+            Kernel::Gemv { m, n } => {
+                let (m, n) = (m as f64, n as f64);
+                2.0 * m * n + m + q * m
+            }
+        }
+    }
+
+    /// Bytes shipped host → device before compute can start (matrices A, B
+    /// and C for GEMM; matrix A and vectors x, y for GEMV — the paper's
+    /// Transfer-Once set, §III-B2).
+    pub fn bytes_to_device(&self) -> f64 {
+        let es = self.elem_bytes() as f64;
+        match self.kernel {
+            Kernel::Gemm { m, n, k } => es * ((m * k + k * n + m * n) as f64),
+            Kernel::Gemv { m, n } => es * ((m * n + n + m) as f64),
+        }
+    }
+
+    /// Bytes shipped device → host after compute (C; y).
+    pub fn bytes_from_device(&self) -> f64 {
+        let es = self.elem_bytes() as f64;
+        match self.kernel {
+            Kernel::Gemm { m, n, .. } => es * ((m * n) as f64),
+            Kernel::Gemv { m, .. } => es * (m as f64),
+        }
+    }
+
+    /// Bytes a compute device must stream per execution of the kernel
+    /// (read A, B/x and — unless β=0 — C/y; write C/y).
+    pub fn bytes_streamed(&self) -> f64 {
+        self.bytes_streamed_lib(true)
+    }
+
+    /// Bytes streamed by a concrete library: one *without* the β=0
+    /// short-circuit always reads C/y, even at β=0.
+    pub fn bytes_streamed_lib(&self, beta0_opt: bool) -> f64 {
+        let es = self.elem_bytes() as f64;
+        let read_c = if beta0_opt && self.beta == 0.0 { 0.0 } else { 1.0 };
+        match self.kernel {
+            Kernel::Gemm { m, n, k } => {
+                es * ((m * k + k * n) as f64 + (1.0 + read_c) * (m * n) as f64)
+            }
+            Kernel::Gemv { m, n } => {
+                es * ((m * n + n) as f64 + (1.0 + read_c) * m as f64)
+            }
+        }
+    }
+
+    /// Resident working-set size in bytes (everything touched).
+    pub fn working_set(&self) -> f64 {
+        let es = self.elem_bytes() as f64;
+        match self.kernel {
+            Kernel::Gemm { m, n, k } => es * ((m * k + k * n + m * n) as f64),
+            Kernel::Gemv { m, n } => es * ((m * n + n + m) as f64),
+        }
+    }
+
+    /// Arithmetic intensity in FLOPs/byte — the quantity the paper uses to
+    /// reason about which problem shapes ever deserve a GPU (§IV-C).
+    pub fn arithmetic_intensity(&self) -> f64 {
+        self.paper_flops() / self.working_set()
+    }
+
+    /// Routine name as the paper spells it, e.g. `SGEMM`, `DGEMV`.
+    pub fn routine(&self) -> String {
+        let base = match self.kernel.kind() {
+            KernelKind::Gemm => "GEMM",
+            KernelKind::Gemv => "GEMV",
+        };
+        format!("{}{}", self.precision.prefix(), base)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_flops_gemm_beta_zero() {
+        // 2MNK + MN with q = 0
+        let c = BlasCall::gemm(Precision::F32, 10, 20, 30);
+        assert_eq!(c.paper_flops(), 2.0 * 10.0 * 20.0 * 30.0 + 200.0);
+    }
+
+    #[test]
+    fn paper_flops_gemm_beta_nonzero() {
+        // q = 2 adds 2MN
+        let c = BlasCall::gemm(Precision::F32, 10, 20, 30).with_scalars(1.0, 2.0);
+        assert_eq!(c.paper_flops(), 2.0 * 6000.0 + 200.0 + 2.0 * 200.0);
+    }
+
+    #[test]
+    fn paper_flops_gemv() {
+        let c = BlasCall::gemv(Precision::F64, 100, 50);
+        assert_eq!(c.paper_flops(), 2.0 * 5000.0 + 100.0);
+        let cb = c.with_scalars(1.0, 1.0);
+        assert_eq!(cb.paper_flops(), 2.0 * 5000.0 + 100.0 + 200.0);
+    }
+
+    #[test]
+    fn library_flops_depends_on_beta0_opt() {
+        let c = BlasCall::gemm(Precision::F64, 8, 8, 8);
+        // with the optimisation: q = 0 at beta = 0
+        assert_eq!(c.library_flops(true), c.paper_flops());
+        // without it: the full 2MNK + 3MN is executed even at beta = 0
+        assert_eq!(c.library_flops(false), 2.0 * 512.0 + 3.0 * 64.0);
+        // at beta != 0 both agree
+        let cb = c.with_scalars(1.0, 2.0);
+        assert_eq!(cb.library_flops(true), cb.library_flops(false));
+    }
+
+    #[test]
+    fn transfer_byte_counts() {
+        let c = BlasCall::gemm(Precision::F32, 2, 3, 4);
+        // A: 2x4, B: 4x3, C: 2x3, f32
+        assert_eq!(c.bytes_to_device(), 4.0 * (8 + 12 + 6) as f64);
+        assert_eq!(c.bytes_from_device(), 4.0 * 6.0);
+        let v = BlasCall::gemv(Precision::F64, 5, 7);
+        assert_eq!(v.bytes_to_device(), 8.0 * (35 + 7 + 5) as f64);
+        assert_eq!(v.bytes_from_device(), 8.0 * 5.0);
+    }
+
+    #[test]
+    fn streamed_bytes_respects_beta() {
+        let c0 = BlasCall::gemm(Precision::F64, 4, 4, 4);
+        let c1 = c0.with_scalars(1.0, 1.0);
+        // beta != 0 additionally reads C: + m*n elements
+        assert_eq!(c1.bytes_streamed() - c0.bytes_streamed(), 8.0 * 16.0);
+    }
+
+    #[test]
+    fn arithmetic_intensity_ordering() {
+        // GEMM AI grows with size; GEMV AI is bounded (~2/es)
+        let small = BlasCall::gemm(Precision::F32, 16, 16, 16);
+        let large = BlasCall::gemm(Precision::F32, 1024, 1024, 1024);
+        assert!(large.arithmetic_intensity() > small.arithmetic_intensity());
+        let v = BlasCall::gemv(Precision::F32, 4096, 4096);
+        assert!(v.arithmetic_intensity() < 1.0); // ~0.5 flops/byte
+        assert!(large.arithmetic_intensity() > 100.0);
+    }
+
+    #[test]
+    fn routine_names() {
+        assert_eq!(BlasCall::gemm(Precision::F32, 1, 1, 1).routine(), "SGEMM");
+        assert_eq!(BlasCall::gemv(Precision::F64, 1, 1).routine(), "DGEMV");
+    }
+
+    #[test]
+    fn kernel_dims_and_kind() {
+        let g = Kernel::Gemm { m: 1, n: 2, k: 3 };
+        assert_eq!(g.dims(), (1, 2, 3));
+        assert_eq!(g.kind(), KernelKind::Gemm);
+        let v = Kernel::Gemv { m: 9, n: 8 };
+        assert_eq!(v.dims(), (9, 8, 1));
+        assert_eq!(v.kind(), KernelKind::Gemv);
+    }
+}

@@ -1,0 +1,216 @@
+//! Energy pricing and the *energy* offload threshold.
+//!
+//! Two of the studies the paper builds on compare devices by energy, not
+//! just time: Favaro et al. found FPGAs winning on energy even when losing
+//! on runtime, and Torres et al. measured energy for MKL/cuBLAS/SYCL GEMMs.
+//! This module extends the offload-threshold idea to joules: a whole-node
+//! view where the *idle* power of the device you are not using still burns
+//! while the other computes — the term that decides most CPU-vs-GPU energy
+//! races.
+
+use crate::call::BlasCall;
+use crate::offload::Offload;
+use crate::system::SystemModel;
+
+/// Node power draw for one system, in watts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerModel {
+    /// CPU socket at full BLAS tilt.
+    pub cpu_active_w: f64,
+    /// CPU socket idling (while the GPU computes).
+    pub cpu_idle_w: f64,
+    /// GPU device at full tilt (one tile/GCD/H100, the benchmark's unit).
+    pub gpu_active_w: f64,
+    /// GPU device idling (while the CPU computes).
+    pub gpu_idle_w: f64,
+}
+
+impl PowerModel {
+    /// DAWN: Xeon 8468 (350 W TDP) + one Max 1550 tile (600 W / 2).
+    pub fn dawn() -> Self {
+        Self {
+            cpu_active_w: 350.0,
+            cpu_idle_w: 100.0,
+            gpu_active_w: 300.0,
+            gpu_idle_w: 90.0,
+        }
+    }
+
+    /// LUMI: EPYC 7A53 (280 W) + one MI250X GCD (560 W / 2).
+    pub fn lumi() -> Self {
+        Self {
+            cpu_active_w: 280.0,
+            cpu_idle_w: 85.0,
+            gpu_active_w: 280.0,
+            gpu_idle_w: 85.0,
+        }
+    }
+
+    /// Isambard-AI: a GH200 module (~700 W), split Grace ~200 / H100 ~500.
+    pub fn isambard_ai() -> Self {
+        Self {
+            cpu_active_w: 200.0,
+            cpu_idle_w: 60.0,
+            gpu_active_w: 500.0,
+            gpu_idle_w: 120.0,
+        }
+    }
+
+    /// The power model matching a preset system by name.
+    pub fn for_system(sys: &SystemModel) -> Self {
+        if sys.name.contains("LUMI") {
+            Self::lumi()
+        } else if sys.name.contains("Isambard") {
+            Self::isambard_ai()
+        } else {
+            Self::dawn()
+        }
+    }
+}
+
+/// Whole-node joules for running `iters` iterations on the **CPU**
+/// (the GPU sits idle for the duration).
+pub fn cpu_energy_joules(
+    sys: &SystemModel,
+    power: &PowerModel,
+    call: &BlasCall,
+    iters: u32,
+) -> f64 {
+    let t = sys.cpu_seconds(call, iters);
+    t * (power.cpu_active_w + power.gpu_idle_w)
+}
+
+/// Whole-node joules for running `iters` iterations on the **GPU**
+/// (the CPU idles, the GPU is active; transfer time is charged at active
+/// power on both sides — both participate in DMA).
+pub fn gpu_energy_joules(
+    sys: &SystemModel,
+    power: &PowerModel,
+    call: &BlasCall,
+    iters: u32,
+    offload: Offload,
+) -> Option<f64> {
+    let t = sys.gpu_seconds(call, iters, offload)?;
+    Some(t * (power.gpu_active_w + power.cpu_idle_w))
+}
+
+/// The *energy* offload threshold for square GEMM: the smallest size from
+/// which the GPU durably uses fewer joules, scanning `1..=max_size`.
+pub fn energy_gemm_threshold(
+    sys: &SystemModel,
+    power: &PowerModel,
+    precision: crate::Precision,
+    iters: u32,
+    offload: Offload,
+    max_size: usize,
+) -> Option<usize> {
+    let mut last_cpu_win: Option<usize> = None;
+    let mut prev_cpu_won = false;
+    for s in 1..=max_size {
+        let call = BlasCall::gemm(precision, s, s, s);
+        let e_cpu = cpu_energy_joules(sys, power, &call, iters);
+        let e_gpu = gpu_energy_joules(sys, power, &call, iters, offload)?;
+        let cpu_wins = e_cpu < e_gpu;
+        if cpu_wins && (prev_cpu_won || s == 1) {
+            last_cpu_win = Some(s);
+        }
+        prev_cpu_won = cpu_wins;
+    }
+    match last_cpu_win {
+        None => Some(1),
+        Some(s) if s < max_size => Some(s + 1),
+        Some(_) => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+    use crate::Precision;
+
+    #[test]
+    fn energy_scales_with_time() {
+        let sys = presets::dawn();
+        let p = PowerModel::dawn();
+        let call = BlasCall::gemm(Precision::F64, 512, 512, 512);
+        let e1 = cpu_energy_joules(&sys, &p, &call, 1);
+        let e4 = cpu_energy_joules(&sys, &p, &call, 4);
+        // warm iterations are cheaper than the cold one, so 4 iterations
+        // cost between 2x and 4.5x one iteration
+        assert!(e4 > 2.0 * e1 && e4 < 4.5 * e1, "{e4} vs {e1}");
+        assert!(e1 > 0.0);
+    }
+
+    #[test]
+    fn whole_node_accounting_includes_the_idle_device() {
+        let sys = presets::dawn();
+        let p = PowerModel::dawn();
+        let call = BlasCall::gemm(Precision::F32, 1024, 1024, 1024);
+        let t_cpu = sys.cpu_seconds(&call, 1);
+        let e_cpu = cpu_energy_joules(&sys, &p, &call, 1);
+        // more than the CPU alone would burn: the GPU idles alongside
+        assert!(e_cpu > t_cpu * p.cpu_active_w);
+        assert!((e_cpu - t_cpu * (p.cpu_active_w + p.gpu_idle_w)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_threshold_exists_and_relates_to_time_threshold() {
+        // Favaro et al.'s observation, transplanted: a device can win on
+        // energy at a different size than on time. On DAWN the GPU *node*
+        // (one 300 W tile + an idle 100 W CPU) draws less than the CPU
+        // node (350 W socket + an idle 90 W tile), so joules flip at or
+        // before the time crossover: energy threshold <= time threshold.
+        let sys = presets::dawn();
+        let p = PowerModel::dawn();
+        let e = energy_gemm_threshold(&sys, &p, Precision::F32, 32, Offload::TransferOnce, 2048)
+            .expect("energy threshold");
+        // time threshold for comparison
+        let mut t_time = None;
+        let mut prev = false;
+        let mut last = None;
+        for s in 1..=2048usize {
+            let call = BlasCall::gemm(Precision::F32, s, s, s);
+            let w = sys.cpu_seconds(&call, 32)
+                < sys.gpu_seconds(&call, 32, Offload::TransferOnce).unwrap();
+            if w && (prev || s == 1) {
+                last = Some(s);
+            }
+            prev = w;
+        }
+        if let Some(s) = last {
+            if s < 2048 {
+                t_time = Some(s + 1);
+            }
+        }
+        let t = t_time.expect("time threshold");
+        assert!(
+            e <= t,
+            "with a lower GPU-node wattage the energy threshold {e} must not exceed the time threshold {t}"
+        );
+        // and they stay in the same regime (within ~15%)
+        assert!((t - e) as f64 / (t as f64) < 0.15, "{e} vs {t}");
+    }
+
+    #[test]
+    fn gh200_wins_energy_where_it_wins_time() {
+        // on the SoC the GPU's time advantage is so large that it wins
+        // joules too despite its higher wattage
+        let sys = presets::isambard_ai();
+        let p = PowerModel::isambard_ai();
+        let call = BlasCall::gemm(Precision::F32, 2048, 2048, 2048);
+        let e_cpu = cpu_energy_joules(&sys, &p, &call, 32);
+        let e_gpu = gpu_energy_joules(&sys, &p, &call, 32, Offload::TransferOnce).unwrap();
+        assert!(e_gpu < e_cpu, "{e_gpu} vs {e_cpu}");
+    }
+
+    #[test]
+    fn power_model_lookup() {
+        assert_eq!(PowerModel::for_system(&presets::lumi()), PowerModel::lumi());
+        assert_eq!(
+            PowerModel::for_system(&presets::isambard_ai()),
+            PowerModel::isambard_ai()
+        );
+        assert_eq!(PowerModel::for_system(&presets::dawn()), PowerModel::dawn());
+    }
+}

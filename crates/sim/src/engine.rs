@@ -1,0 +1,157 @@
+//! CPU matrix-engine modelling — the paper's second future-work item (§V):
+//! "we aim to analyse the impact of CPU matrix engines on the offload
+//! threshold", naming Intel AMX, IBM MMA, Apple AMX and Arm SME.
+//!
+//! A matrix engine multiplies the socket's GEMM throughput (dramatically at
+//! low precision, moderately at FP64 — SME and MMA have FP64 tiles, AMX
+//! does not) at the cost of a larger saturation size: tile engines need
+//! big, well-shaped operands before they beat the plain SIMD pipes, so the
+//! efficiency ramp's half-work grows.
+//!
+//! [`with_matrix_engine`] upgrades any [`SystemModel`]'s CPU; the
+//! `ext_matrix_engine` experiment binary quantifies the threshold shift.
+
+use crate::system::SystemModel;
+
+/// A CPU matrix engine's effect on GEMM throughput.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MatrixEngine {
+    /// Name, e.g. `"Arm SME (hypothetical Grace successor)"`.
+    pub name: &'static str,
+    /// Multiplier on FP32 GEMM peak.
+    pub f32_mult: f64,
+    /// Multiplier on FP64 GEMM peak (1.0 = engine has no FP64 tiles).
+    pub f64_mult: f64,
+    /// Multiplier on the library's GEMM half-work: engines need larger
+    /// problems to saturate.
+    pub half_work_mult: f64,
+}
+
+impl MatrixEngine {
+    /// An SME-class engine: 4× FP32, 2× FP64, saturating twice as late.
+    pub fn sme_class() -> Self {
+        Self {
+            name: "Arm SME-class engine",
+            f32_mult: 4.0,
+            f64_mult: 2.0,
+            half_work_mult: 2.0,
+        }
+    }
+
+    /// An AMX-class engine: 8× FP32 (via tile BF16/INT8-style throughput
+    /// applied to single precision workloads), no FP64 tiles.
+    pub fn amx_class() -> Self {
+        Self {
+            name: "Intel AMX-class engine",
+            f32_mult: 8.0,
+            f64_mult: 1.0,
+            half_work_mult: 3.0,
+        }
+    }
+
+    /// An MMA-class engine: modest, precision-symmetric gain.
+    pub fn mma_class() -> Self {
+        Self {
+            name: "IBM MMA-class engine",
+            f32_mult: 2.0,
+            f64_mult: 2.0,
+            half_work_mult: 1.5,
+        }
+    }
+}
+
+/// Returns a copy of `sys` whose CPU carries the matrix engine.
+///
+/// FP64 throughput scales by `f64_mult`; the FP32:FP64 ratio scales by
+/// `f32_mult / f64_mult` so FP32 lands at `f32_mult` overall; the library's
+/// GEMM ramp slows by `half_work_mult`. GEMV is untouched — matrix engines
+/// do not feed a bandwidth-bound kernel any faster (the paper's framing:
+/// the engines target GEMM).
+pub fn with_matrix_engine(mut sys: SystemModel, engine: MatrixEngine) -> SystemModel {
+    sys.cpu.fp64_flops_per_cycle_core *= engine.f64_mult;
+    sys.cpu.fp32_ratio *= engine.f32_mult / engine.f64_mult;
+    // The slower saturation only affects precisions the engine executes;
+    // FP64 keeps the SIMD ramp when the engine has no FP64 tiles.
+    let f64_half = sys.cpu_lib.half_work_for(crate::Precision::F64);
+    sys.cpu_lib.gemm_half_work_f64 = Some(if engine.f64_mult > 1.0 {
+        f64_half * engine.half_work_mult
+    } else {
+        f64_half
+    });
+    sys.cpu_lib.gemm_half_work *= engine.half_work_mult;
+    sys
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::call::BlasCall;
+    use crate::presets;
+    use crate::{Offload, Precision};
+
+    #[test]
+    fn engine_multiplies_gemm_peak() {
+        let base = presets::isambard_ai();
+        let boosted = with_matrix_engine(base.clone(), MatrixEngine::sme_class());
+        assert_eq!(
+            boosted.cpu.peak_gflops(Precision::F64, 72),
+            2.0 * base.cpu.peak_gflops(Precision::F64, 72)
+        );
+        assert_eq!(
+            boosted.cpu.peak_gflops(Precision::F32, 72),
+            4.0 * base.cpu.peak_gflops(Precision::F32, 72) / 2.0 * 2.0
+        );
+    }
+
+    #[test]
+    fn amx_class_leaves_fp64_alone() {
+        let base = presets::dawn();
+        let boosted = with_matrix_engine(base.clone(), MatrixEngine::amx_class());
+        assert_eq!(
+            boosted.cpu.peak_gflops(Precision::F64, 48),
+            base.cpu.peak_gflops(Precision::F64, 48)
+        );
+        assert_eq!(
+            boosted.cpu.peak_gflops(Precision::F32, 48),
+            8.0 * base.cpu.peak_gflops(Precision::F32, 48)
+        );
+    }
+
+    #[test]
+    fn engine_speeds_up_large_gemm_not_gemv() {
+        let base = presets::isambard_ai();
+        let boosted = with_matrix_engine(base.clone(), MatrixEngine::sme_class());
+        let big = BlasCall::gemm(Precision::F32, 3000, 3000, 3000);
+        assert!(boosted.cpu_seconds(&big, 1) < 0.45 * base.cpu_seconds(&big, 1));
+        let v = BlasCall::gemv(Precision::F32, 3000, 3000);
+        assert_eq!(boosted.cpu_seconds(&v, 1), base.cpu_seconds(&v, 1));
+    }
+
+    #[test]
+    fn engine_raises_the_offload_threshold() {
+        // the future-work question, answered in-model: a stronger CPU
+        // pushes the GPU crossover to larger sizes
+        let base = presets::isambard_ai();
+        let boosted = with_matrix_engine(base.clone(), MatrixEngine::sme_class());
+        let threshold = |sys: &crate::SystemModel| {
+            (1..=1024)
+                .map(|s| {
+                    let c = BlasCall::gemm(Precision::F32, s, s, s);
+                    (
+                        sys.cpu_seconds(&c, 8),
+                        sys.gpu_seconds(&c, 8, Offload::TransferOnce).unwrap(),
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        let first_durable = |pts: &[(f64, f64)]| {
+            (0..pts.len()).find(|&i| pts[i..].iter().all(|&(c, g)| g <= c))
+        };
+        let t_base = first_durable(&threshold(&base)).expect("base threshold");
+        let t_boost = first_durable(&threshold(&boosted)).expect("boosted threshold");
+        assert!(
+            t_boost > t_base,
+            "engine must raise the threshold: {t_base} -> {t_boost}"
+        );
+    }
+}

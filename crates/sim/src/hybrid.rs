@@ -1,0 +1,167 @@
+//! Hybrid CPU+GPU execution — the MAGMA idea from the paper's related work
+//! (§II): "combine the strength of the multi-core CPU and GPU architectures
+//! ... to outperform libraries for the individual components taken
+//! separately".
+//!
+//! The model splits one GEMM along the `N` dimension: a fraction `f` of the
+//! columns runs on the GPU (with its transfers) while `1 − f` runs on the
+//! CPU, concurrently; the call completes when both finish. [`best_split`]
+//! searches `f` and reports whether the hybrid beats the better single
+//! device — and by how much — which quantifies when MAGMA-style execution
+//! is worth its considerable complexity.
+
+use crate::call::{BlasCall, Kernel};
+use crate::offload::Offload;
+use crate::system::SystemModel;
+
+/// Outcome of a hybrid-split search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HybridPlan {
+    /// Fraction of N columns sent to the GPU (0 = all CPU, 1 = all GPU).
+    pub gpu_fraction: f64,
+    /// Seconds with the hybrid split.
+    pub hybrid_seconds: f64,
+    /// Seconds on the CPU alone.
+    pub cpu_seconds: f64,
+    /// Seconds on the GPU alone.
+    pub gpu_seconds: f64,
+    /// Hybrid speedup over the better single device (≥ 1 means it pays).
+    pub speedup_vs_best_single: f64,
+}
+
+/// Splits `call` at column fraction `f` and prices both halves running
+/// concurrently (the slower half decides).
+pub fn hybrid_seconds(
+    sys: &SystemModel,
+    call: &BlasCall,
+    iters: u32,
+    offload: Offload,
+    f: f64,
+) -> Option<f64> {
+    let Kernel::Gemm { m, n, k } = call.kernel else {
+        return None; // hybrid splitting is modelled for GEMM only
+    };
+    let f = f.clamp(0.0, 1.0);
+    let n_gpu = ((n as f64) * f).round() as usize;
+    let n_cpu = n - n_gpu.min(n);
+    let gpu_part = if n_gpu > 0 {
+        let c = BlasCall {
+            kernel: Kernel::Gemm { m, n: n_gpu, k },
+            ..*call
+        };
+        sys.gpu_seconds(&c, iters, offload)?
+    } else {
+        0.0
+    };
+    let cpu_part = if n_cpu > 0 {
+        let c = BlasCall {
+            kernel: Kernel::Gemm { m, n: n_cpu, k },
+            ..*call
+        };
+        sys.cpu_seconds(&c, iters)
+    } else {
+        0.0
+    };
+    Some(gpu_part.max(cpu_part))
+}
+
+/// Searches the split fraction on a uniform grid and returns the best plan.
+pub fn best_split(
+    sys: &SystemModel,
+    call: &BlasCall,
+    iters: u32,
+    offload: Offload,
+    grid: usize,
+) -> Option<HybridPlan> {
+    let cpu_seconds = sys.cpu_seconds(call, iters);
+    let gpu_seconds = sys.gpu_seconds(call, iters, offload)?;
+    let grid = grid.max(2);
+    let mut best_f = 0.0;
+    let mut best_t = cpu_seconds;
+    for i in 0..=grid {
+        let f = i as f64 / grid as f64;
+        let t = hybrid_seconds(sys, call, iters, offload, f)?;
+        if t < best_t {
+            best_t = t;
+            best_f = f;
+        }
+    }
+    let best_single = cpu_seconds.min(gpu_seconds);
+    Some(HybridPlan {
+        gpu_fraction: best_f,
+        hybrid_seconds: best_t,
+        cpu_seconds,
+        gpu_seconds,
+        speedup_vs_best_single: best_single / best_t,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+    use crate::Precision;
+
+    #[test]
+    fn endpoints_match_single_device() {
+        let sys = presets::dawn();
+        let call = BlasCall::gemm(Precision::F32, 1024, 1024, 1024);
+        let all_cpu = hybrid_seconds(&sys, &call, 8, Offload::TransferOnce, 0.0).unwrap();
+        assert!((all_cpu - sys.cpu_seconds(&call, 8)).abs() / all_cpu < 1e-12);
+        let all_gpu = hybrid_seconds(&sys, &call, 8, Offload::TransferOnce, 1.0).unwrap();
+        assert!(
+            (all_gpu - sys.gpu_seconds(&call, 8, Offload::TransferOnce).unwrap()).abs() / all_gpu
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn best_split_never_loses_to_either_device() {
+        for sys in presets::evaluation_systems() {
+            for s in [128usize, 512, 2048] {
+                let call = BlasCall::gemm(Precision::F64, s, s, s);
+                let plan = best_split(&sys, &call, 8, Offload::TransferOnce, 32).unwrap();
+                assert!(
+                    plan.hybrid_seconds <= plan.cpu_seconds * (1.0 + 1e-12),
+                    "{} s={s}", sys.name
+                );
+                assert!(plan.hybrid_seconds <= plan.gpu_seconds * (1.0 + 1e-12));
+                assert!(plan.speedup_vs_best_single >= 1.0 - 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn hybrid_pays_most_where_devices_are_balanced() {
+        // near the offload threshold CPU and GPU are comparable — exactly
+        // where splitting the work helps; far above it the GPU dominates
+        // and the hybrid's gain shrinks toward 1x
+        let sys = presets::dawn();
+        let near = BlasCall::gemm(Precision::F32, 640, 640, 640); // ~ threshold
+        let far = BlasCall::gemm(Precision::F32, 4096, 4096, 4096);
+        let p_near = best_split(&sys, &near, 32, Offload::TransferOnce, 64).unwrap();
+        let p_far = best_split(&sys, &far, 32, Offload::TransferOnce, 64).unwrap();
+        assert!(
+            p_near.speedup_vs_best_single > p_far.speedup_vs_best_single,
+            "near {} vs far {}",
+            p_near.speedup_vs_best_single,
+            p_far.speedup_vs_best_single
+        );
+        assert!(p_near.speedup_vs_best_single > 1.1, "MAGMA-style split pays near the threshold");
+    }
+
+    #[test]
+    fn gemv_not_supported() {
+        let sys = presets::lumi();
+        let call = BlasCall::gemv(Precision::F64, 512, 512);
+        assert!(hybrid_seconds(&sys, &call, 1, Offload::TransferOnce, 0.5).is_none());
+        assert!(best_split(&sys, &call, 1, Offload::TransferOnce, 8).is_none());
+    }
+
+    #[test]
+    fn cpu_only_systems_cannot_split() {
+        let sys = presets::isambard_ai_armpl();
+        let call = BlasCall::gemm(Precision::F32, 256, 256, 256);
+        assert!(best_split(&sys, &call, 1, Offload::TransferOnce, 8).is_none());
+    }
+}

@@ -1,0 +1,68 @@
+//! # blob-sim — heterogeneous HPC system performance models
+//!
+//! The GPU-BLOB paper measures three production systems (DAWN, LUMI,
+//! Isambard-AI) that are not reproducible without the hardware. This crate
+//! substitutes **calibrated analytical models**: each system is priced as a
+//! composition of
+//!
+//! - a CPU socket roofline with an efficiency ramp, per-call library
+//!   overheads and a cache-warmth model ([`cpu`]),
+//! - a GPU device roofline with an occupancy ramp and launch latency
+//!   ([`gpu`]),
+//! - an interconnect (latency + bandwidth, pinned transfers) ([`link`]),
+//! - a vendor USM/page-migration behaviour ([`usm`]), and
+//! - the *library heuristic quirks* the paper identifies as decisive
+//!   (oneMKL's 629 cliff, AOCL's serial GEMV, NVPL's thread heuristics,
+//!   rocBLAS's shape-dependent jumps) ([`quirk`]).
+//!
+//! [`presets`] provides the calibrated models of the paper's systems plus
+//! the ablation variants used in Figs 3, 6 and 7 and Table I. All models
+//! are deterministic pure functions (optional seeded noise), so the
+//! benchmark harness in `blob-core` regenerates the paper's tables
+//! bit-identically.
+//!
+//! ```
+//! use blob_sim::{presets, BlasCall, Offload, Precision};
+//!
+//! let gh200 = presets::isambard_ai();
+//! let call = BlasCall::gemm(Precision::F32, 2048, 2048, 2048);
+//! let cpu = gh200.cpu_seconds(&call, 8);
+//! let gpu = gh200.gpu_seconds(&call, 8, Offload::TransferOnce).unwrap();
+//! assert!(gpu < cpu, "large GEMM with re-use belongs on the H100");
+//! ```
+
+pub mod batch;
+pub mod calibrate;
+pub mod call;
+pub mod energy;
+pub mod engine;
+pub mod cpu;
+pub mod gpu;
+pub mod hybrid;
+pub mod link;
+pub mod offload;
+pub mod presets;
+pub mod quirk;
+pub mod spmv;
+pub mod system;
+pub mod trace;
+pub mod trsm;
+pub mod usm;
+
+pub use calibrate::{fit_envelope, library_from_envelope, Envelope, Sample};
+pub use call::{BlasCall, Kernel, KernelKind};
+pub use cpu::{CpuLibrary, CpuModel};
+pub use energy::{cpu_energy_joules, energy_gemm_threshold, gpu_energy_joules, PowerModel};
+pub use engine::{with_matrix_engine, MatrixEngine};
+pub use gpu::{GpuLibrary, GpuModel};
+pub use hybrid::{best_split, hybrid_seconds, HybridPlan};
+pub use link::LinkModel;
+pub use offload::Offload;
+pub use spmv::SpmvCall;
+pub use system::{Noise, SystemModel};
+pub use trace::{gpu_trace, phase_totals, Phase, TraceEvent};
+pub use trsm::TrsmCall;
+pub use usm::UsmModel;
+
+/// Re-export of the precision enum shared with the BLAS crate.
+pub use blob_blas::scalar::Precision;

@@ -1,0 +1,106 @@
+//! Host↔device interconnect model.
+//!
+//! Prices explicit (pinned-memory DMA) transfers: a fixed per-transfer
+//! latency plus bytes over sustained bandwidth. The paper's three systems
+//! span the interesting range: PCIe gen5 on DAWN, Infinity Fabric on LUMI,
+//! and NVLink-C2C on the GH200 — whose order-of-magnitude bandwidth and
+//! latency advantage is what "almost entirely amortises the data transfer
+//! overhead" on Isambard-AI (§IV-A).
+
+/// One CPU↔GPU interconnect.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkModel {
+    /// Name, e.g. `"NVLink-C2C"`.
+    pub name: &'static str,
+    /// Per-transfer setup latency in microseconds (driver + DMA engine).
+    pub latency_us: f64,
+    /// Sustained host→device bandwidth, GB/s (pinned memory).
+    pub h2d_gbs: f64,
+    /// Sustained device→host bandwidth, GB/s (pinned memory).
+    pub d2h_gbs: f64,
+}
+
+impl LinkModel {
+    /// Seconds to move `bytes` host → device.
+    pub fn to_device_seconds(&self, bytes: f64) -> f64 {
+        if bytes <= 0.0 {
+            return 0.0;
+        }
+        self.latency_us * 1e-6 + bytes / (self.h2d_gbs * 1e9)
+    }
+
+    /// Seconds to move `bytes` device → host.
+    pub fn from_device_seconds(&self, bytes: f64) -> f64 {
+        if bytes <= 0.0 {
+            return 0.0;
+        }
+        self.latency_us * 1e-6 + bytes / (self.d2h_gbs * 1e9)
+    }
+
+    /// Round-trip seconds for an input/output byte pair (one transfer each
+    /// way, as Transfer-Always pays every iteration).
+    pub fn round_trip_seconds(&self, bytes_in: f64, bytes_out: f64) -> f64 {
+        self.to_device_seconds(bytes_in) + self.from_device_seconds(bytes_out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn link() -> LinkModel {
+        LinkModel {
+            name: "test-link",
+            latency_us: 10.0,
+            h2d_gbs: 50.0,
+            d2h_gbs: 40.0,
+        }
+    }
+
+    #[test]
+    fn latency_floor() {
+        let l = link();
+        let t = l.to_device_seconds(1.0);
+        assert!(t >= 10e-6);
+        assert!(t < 10.1e-6);
+    }
+
+    #[test]
+    fn zero_bytes_is_free() {
+        let l = link();
+        assert_eq!(l.to_device_seconds(0.0), 0.0);
+        assert_eq!(l.from_device_seconds(0.0), 0.0);
+    }
+
+    #[test]
+    fn bandwidth_term() {
+        let l = link();
+        // 50 GB over a 50 GB/s link ~= 1 s + latency
+        let t = l.to_device_seconds(50e9);
+        assert!((t - 1.0).abs() < 1e-3);
+        // asymmetric d2h
+        let t2 = l.from_device_seconds(40e9);
+        assert!((t2 - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn round_trip_sums_both_directions() {
+        let l = link();
+        let rt = l.round_trip_seconds(1e9, 1e9);
+        let manual = l.to_device_seconds(1e9) + l.from_device_seconds(1e9);
+        assert_eq!(rt, manual);
+    }
+
+    #[test]
+    fn faster_link_is_faster() {
+        let slow = link();
+        let fast = LinkModel {
+            name: "c2c",
+            latency_us: 1.5,
+            h2d_gbs: 370.0,
+            d2h_gbs: 370.0,
+        };
+        let b = 100e6;
+        assert!(fast.to_device_seconds(b) < slow.to_device_seconds(b) / 5.0);
+    }
+}

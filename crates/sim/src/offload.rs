@@ -1,0 +1,82 @@
+//! The three data-movement strategies GPU-BLOB evaluates (paper §III-B2).
+
+/// How data moves between host and device across the `i` iterations of a
+/// benchmarked BLAS call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Offload {
+    /// Inputs copied to the device once before all iterations, outputs
+    /// copied back once after — models high data re-use.
+    TransferOnce,
+    /// Inputs and outputs copied before/after *every* iteration — models
+    /// accelerated BLAS interleaved with host compute phases.
+    TransferAlways,
+    /// Unified Shared Memory: no explicit copies; pages migrate on demand
+    /// under the vendor driver's heuristics.
+    Unified,
+}
+
+impl Offload {
+    /// All strategies, in the column order of the paper's tables
+    /// (Once, Always, USM).
+    pub const ALL: [Offload; 3] = [
+        Offload::TransferOnce,
+        Offload::TransferAlways,
+        Offload::Unified,
+    ];
+
+    /// Column header used in the paper's tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Offload::TransferOnce => "Once",
+            Offload::TransferAlways => "Always",
+            Offload::Unified => "USM",
+        }
+    }
+}
+
+impl std::fmt::Display for Offload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl std::str::FromStr for Offload {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "once" | "transfer-once" | "transferonce" => Ok(Offload::TransferOnce),
+            "always" | "transfer-always" | "transferalways" => Ok(Offload::TransferAlways),
+            "usm" | "unified" => Ok(Offload::Unified),
+            other => Err(format!("unknown offload type: {other}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper_columns() {
+        assert_eq!(Offload::TransferOnce.label(), "Once");
+        assert_eq!(Offload::TransferAlways.label(), "Always");
+        assert_eq!(Offload::Unified.label(), "USM");
+    }
+
+    #[test]
+    fn parse_round_trip() {
+        for o in Offload::ALL {
+            let parsed: Offload = o.label().parse().unwrap();
+            assert_eq!(parsed, o);
+        }
+        assert!("pigeon".parse::<Offload>().is_err());
+    }
+
+    #[test]
+    fn table_column_order() {
+        assert_eq!(
+            Offload::ALL,
+            [Offload::TransferOnce, Offload::TransferAlways, Offload::Unified]
+        );
+    }
+}

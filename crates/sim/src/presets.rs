@@ -1,0 +1,984 @@
+//! Calibrated models of the paper's evaluation systems (Table II):
+//!
+//! | System      | CPU                        | GPU                     |
+//! |-------------|----------------------------|-------------------------|
+//! | DAWN        | 2× Xeon Platinum 8468      | 4× Intel Max 1550       |
+//! | LUMI        | 1× AMD EPYC 7A53           | 4× AMD MI250X           |
+//! | Isambard-AI | 4× GH200 Superchip         | (Hopper H100 on-package)|
+//!
+//! Matching the paper's methodology, each preset models what the benchmark
+//! actually drives: **one CPU socket** with the system's CPU library and
+//! **one GPU device** (one Max 1550 *tile*, one MI250X *GCD*, one H100).
+//!
+//! Hardware numbers come from the public figures the paper cites (socket
+//! FLOPs/cycle: DAWN 1536, LUMI 896, Isambard-AI 1152; interconnects: PCIe
+//! gen5, Infinity Fabric, 900 GB/s bidirectional NVLink-C2C). Library
+//! efficiency envelopes, overheads and quirks are calibrated so the offload
+//! thresholds GPU-BLOB derives reproduce the qualitative structure of
+//! Tables III–VI — see EXPERIMENTS.md for the paper-vs-model comparison.
+//! Absolute GFLOP/s are deliberately *not* the target (the substitution
+//! rule in DESIGN.md §1).
+
+use crate::call::KernelKind;
+use crate::cpu::{CpuLibrary, CpuModel};
+use crate::gpu::{GpuLibrary, GpuModel};
+use crate::link::LinkModel;
+use crate::quirk::{DimSel, Quirk, QuirkShape};
+use crate::system::SystemModel;
+use crate::usm::UsmModel;
+use blob_blas::scalar::Precision;
+
+// ---------------------------------------------------------------------------
+// CPU sockets
+// ---------------------------------------------------------------------------
+
+/// Intel Xeon Platinum 8468 (Sapphire Rapids): 48 cores, dual 512-bit FMA
+/// pipes → 1536 FP64 FLOPs/cycle per socket — the paper's strongest CPU.
+fn xeon_8468() -> CpuModel {
+    CpuModel {
+        name: "Intel Xeon Platinum 8468",
+        cores: 48,
+        freq_ghz: 2.0, // sustained all-core AVX-512
+        fp64_flops_per_cycle_core: 32.0,
+        fp32_ratio: 2.0,
+        dram_gbs: 250.0,       // 8ch DDR5-4800, sustained
+        single_core_gbs: 20.0,
+        llc_bytes: 66e6, // usable share of the 105 MB LLC
+        llc_gbs: 1000.0,
+    }
+}
+
+/// AMD EPYC 7A53 "Trento" (LUMI): 56 usable cores, 896 FP64 FLOPs/cycle.
+fn epyc_7a53() -> CpuModel {
+    CpuModel {
+        name: "AMD EPYC 7A53",
+        cores: 56,
+        freq_ghz: 2.0,
+        fp64_flops_per_cycle_core: 16.0,
+        fp32_ratio: 2.0,
+        dram_gbs: 160.0, // 8ch DDR4-3200, sustained
+        single_core_gbs: 40.0,
+        llc_bytes: 180e6, // usable share of the 256 MB of L3
+        llc_gbs: 1400.0,
+    }
+}
+
+/// NVIDIA Grace (one GH200 superchip): 72 Neoverse V2 cores, 1152 FP64
+/// FLOPs/cycle, LPDDR5X on package.
+fn grace() -> CpuModel {
+    CpuModel {
+        name: "NVIDIA Grace (GH200)",
+        cores: 72,
+        freq_ghz: 3.3,
+        fp64_flops_per_cycle_core: 16.0,
+        fp32_ratio: 2.0,
+        dram_gbs: 430.0, // LPDDR5X sustained
+        single_core_gbs: 50.0,
+        llc_bytes: 70e6, // usable share of the 114 MB L3
+        llc_gbs: 1800.0,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// GPU devices (one tile / GCD / H100 — the paper's single-device rule)
+// ---------------------------------------------------------------------------
+
+/// One tile of an Intel Data Center GPU Max 1550 (explicit scaling).
+fn max1550_tile() -> GpuModel {
+    GpuModel {
+        name: "Intel Max 1550 (one tile)",
+        fp32_tflops: 40.0,
+        fp64_tflops: 20.0,
+        hbm_gbs: 1200.0,
+    }
+}
+
+/// One GCD of an AMD MI250X. CDNA2 vector FP32 and FP64 rates are equal.
+fn mi250x_gcd() -> GpuModel {
+    GpuModel {
+        name: "AMD MI250X (one GCD)",
+        fp32_tflops: 21.0,
+        fp64_tflops: 21.0,
+        hbm_gbs: 1300.0,
+    }
+}
+
+/// The Hopper H100 of a GH200 superchip (96 GB HBM3).
+fn h100_gh200() -> GpuModel {
+    GpuModel {
+        name: "NVIDIA H100 (GH200)",
+        fp32_tflops: 55.0,
+        fp64_tflops: 30.0,
+        hbm_gbs: 3300.0,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Library quirks observed in the paper
+// ---------------------------------------------------------------------------
+
+/// oneMKL's CPU GEMM cliff at {629, 629, 629} "that is gradually recovered
+/// from as the problem size increases" (Fig 2; also present for DGEMM).
+fn quirk_mkl_629_drop() -> Quirk {
+    Quirk {
+        name: "oneMKL CPU GEMM drop at 629 (Fig 2)",
+        kernel: Some(KernelKind::Gemm),
+        precision: None,
+        dims_filter: None,
+        dim: DimSel::Min,
+        shape: QuirkShape::DropRecover {
+            start: 629,
+            penalty: 2.2,
+            span: 2800,
+        },
+    }
+}
+
+/// Grace CPU GEMV drop at ~{256, 256}, "consistent for all iteration
+/// counts" (§IV-B). Keyed on the smaller dimension so skinny problems are
+/// governed by the dedicated skinny-GEMV quirk instead.
+fn quirk_grace_gemv_256() -> Quirk {
+    Quirk {
+        name: "Grace CPU GEMV drop at {256,256} (Fig 5)",
+        kernel: Some(KernelKind::Gemv),
+        precision: None,
+        dims_filter: Some(|m, n, _| m.min(n) >= 64),
+        dim: DimSel::Min,
+        // the cliff recovers with size: at one iteration the GPU wins only
+        // an interior window (Fig 4) and no threshold is produced
+        shape: QuirkShape::DropRecover {
+            start: 256,
+            penalty: 2.5,
+            span: 3000,
+        },
+    }
+}
+
+/// NVPL CPU drop for skinny GEMV at {2048, 32} / {32, 2048} (§IV-D).
+fn quirk_nvpl_skinny_gemv() -> Quirk {
+    Quirk {
+        name: "NVPL skinny-GEMV drop at {2048,32} (§IV-D)",
+        kernel: Some(KernelKind::Gemv),
+        precision: None,
+        dims_filter: Some(|m, n, _| m.min(n) <= 32),
+        dim: DimSel::Max,
+        shape: QuirkShape::DropPersist {
+            start: 2048,
+            penalty: 3.0,
+        },
+    }
+}
+
+/// rocBLAS SGEMM Transfer-side performance jump at {32, 32, 2560}
+/// (§IV-C): the library switches to a far better kernel at K ≥ 2560.
+fn quirk_rocblas_sgemm_k_jump() -> Quirk {
+    Quirk {
+        name: "rocBLAS SGEMM jump at {32,32,2560} (§IV-C)",
+        kernel: Some(KernelKind::Gemm),
+        precision: Some(Precision::F32),
+        dims_filter: Some(|m, n, _| m == 32 && n == 32),
+        dim: DimSel::K,
+        shape: QuirkShape::StepFactor {
+            start: 2560,
+            factor: 0.25,
+        },
+    }
+}
+
+/// rocBLAS DGEMM flat-line for {32, 32, K}: "the GPU performance flat-lines
+/// at a low GFLOP/s value very early on" (§IV-C).
+fn quirk_rocblas_dgemm_flatline() -> Quirk {
+    Quirk {
+        name: "rocBLAS DGEMM {32,32,K} flat-line (§IV-C)",
+        kernel: Some(KernelKind::Gemm),
+        precision: Some(Precision::F64),
+        dims_filter: Some(|m, n, _| m == 32 && n == 32),
+        dim: DimSel::K,
+        // time grows ∝ K, so achieved GFLOP/s stays pinned at a low value
+        shape: QuirkShape::DecayAfter {
+            start: 64,
+            slope: 12.0,
+        },
+    }
+}
+
+/// OpenBLAS's poorer small-size GEMV performance relative to AOCL (Fig 6).
+fn quirk_openblas_small_gemv() -> Quirk {
+    Quirk {
+        name: "OpenBLAS small-GEMV penalty (Fig 6)",
+        kernel: Some(KernelKind::Gemv),
+        precision: None,
+        dims_filter: None,
+        dim: DimSel::Max,
+        shape: QuirkShape::SmallSizePenalty {
+            end: 700,
+            penalty: 5.0,
+        },
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CPU libraries
+// ---------------------------------------------------------------------------
+
+fn onemkl_cpu() -> CpuLibrary {
+    CpuLibrary {
+        name: "oneMKL 2024.1",
+        threads: 48,
+        gemm_eff_max: 0.90,
+        gemm_half_work: 2.5e8,
+        gemm_half_work_f64: None,
+        gemv_parallel: true,
+        gemv_bw_eff: 0.85,
+        call_overhead_us: 6.0,
+        adaptive_threading: false,
+        beta0_opt: true,
+        warm_rate_boost: 2.0,
+        shape_penalty: 0.9,
+        quirks: vec![quirk_mkl_629_drop()],
+    }
+}
+
+fn aocl() -> CpuLibrary {
+    CpuLibrary {
+        name: "AOCL 4.1",
+        threads: 56,
+        gemm_eff_max: 0.82,
+        gemm_half_work: 3e7,
+        gemm_half_work_f64: None,
+        // the paper's perf-stat finding: SGEMV at 2048 uses 0.89 CPUs
+        gemv_parallel: false,
+        gemv_bw_eff: 0.95,
+        call_overhead_us: 8.0,
+        adaptive_threading: false,
+        beta0_opt: true,
+        warm_rate_boost: 1.3,
+        shape_penalty: 0.7,
+        quirks: vec![],
+    }
+}
+
+fn openblas_lumi() -> CpuLibrary {
+    CpuLibrary {
+        name: "OpenBLAS 0.3.24",
+        threads: 56,
+        gemm_eff_max: 0.78,
+        gemm_half_work: 8e7,
+        gemm_half_work_f64: None,
+        gemv_parallel: true, // the fix for AOCL's serial GEMV (Fig 6)
+        gemv_bw_eff: 0.70,
+        call_overhead_us: 12.0,
+        adaptive_threading: false,
+        beta0_opt: true,
+        warm_rate_boost: 1.25,
+        shape_penalty: 0.7,
+        quirks: vec![quirk_openblas_small_gemv()],
+    }
+}
+
+fn nvpl() -> CpuLibrary {
+    CpuLibrary {
+        name: "NVPL 24.7",
+        threads: 72,
+        gemm_eff_max: 0.88,
+        gemm_half_work: 4e7,
+        gemm_half_work_f64: None,
+        gemv_parallel: true,
+        gemv_bw_eff: 0.85,
+        // NVPL "seemingly attempts to use all available threads for every
+        // problem size" (Fig 3): the full fork/join cost at every size.
+        call_overhead_us: 3.2,
+        adaptive_threading: false,
+        beta0_opt: true,
+        warm_rate_boost: 1.3,
+        shape_penalty: 0.6,
+        quirks: vec![quirk_grace_gemv_256(), quirk_nvpl_skinny_gemv()],
+    }
+}
+
+fn armpl() -> CpuLibrary {
+    CpuLibrary {
+        name: "ArmPL 24.04",
+        threads: 72,
+        gemm_eff_max: 0.86,
+        gemm_half_work: 3e7,
+        gemm_half_work_f64: None,
+        gemv_parallel: true,
+        gemv_bw_eff: 0.80,
+        call_overhead_us: 25.0,
+        // ArmPL "scales the thread count with the problem size" (Fig 3)
+        adaptive_threading: true,
+        beta0_opt: true,
+        warm_rate_boost: 1.3,
+        shape_penalty: 0.6,
+        quirks: vec![],
+    }
+}
+
+fn nvpl_single_thread() -> CpuLibrary {
+    CpuLibrary {
+        name: "NVPL 24.7 (1 thread)",
+        threads: 1,
+        gemm_eff_max: 0.92,
+        gemm_half_work: 8e5,
+        gemm_half_work_f64: None,
+        gemv_parallel: false,
+        gemv_bw_eff: 0.90,
+        call_overhead_us: 1.0,
+        adaptive_threading: false,
+        beta0_opt: true,
+        warm_rate_boost: 1.4,
+        shape_penalty: 0.3,
+        quirks: vec![],
+    }
+}
+
+// ---------------------------------------------------------------------------
+// GPU libraries
+// ---------------------------------------------------------------------------
+
+fn onemkl_gpu() -> GpuLibrary {
+    GpuLibrary {
+        name: "oneMKL 2024.1 (Level Zero)",
+        launch_us: 15.0,
+        gemm_eff_max: 0.75,
+        gemm_half_work: 1.2e9,
+        gemv_bw_eff: 0.85,
+        gemv_m_half: 900.0,
+        beta0_opt: true,
+        quirks: vec![],
+    }
+}
+
+fn rocblas() -> GpuLibrary {
+    GpuLibrary {
+        name: "rocBLAS 5.2.3",
+        launch_us: 7.0,
+        gemm_eff_max: 0.78,
+        gemm_half_work: 8e7,
+        gemv_bw_eff: 0.70,
+        gemv_m_half: 6000.0,
+        beta0_opt: true,
+        quirks: vec![quirk_rocblas_sgemm_k_jump(), quirk_rocblas_dgemm_flatline()],
+    }
+}
+
+fn cublas() -> GpuLibrary {
+    GpuLibrary {
+        name: "cuBLAS 24.5",
+        launch_us: 3.5,
+        gemm_eff_max: 0.80,
+        gemm_half_work: 6e7,
+        gemv_bw_eff: 0.80,
+        gemv_m_half: 700.0,
+        beta0_opt: true,
+        quirks: vec![],
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Interconnects & USM behaviours
+// ---------------------------------------------------------------------------
+
+fn pcie5() -> LinkModel {
+    LinkModel {
+        name: "PCIe gen5 x16",
+        latency_us: 8.0,
+        h2d_gbs: 52.0,
+        d2h_gbs: 48.0,
+    }
+}
+
+fn infinity_fabric() -> LinkModel {
+    LinkModel {
+        name: "Infinity Fabric (GPU-bind closest)",
+        latency_us: 10.0,
+        h2d_gbs: 36.0,
+        d2h_gbs: 36.0,
+    }
+}
+
+fn nvlink_c2c() -> LinkModel {
+    LinkModel {
+        name: "NVLink-C2C",
+        latency_us: 1.0,
+        h2d_gbs: 360.0,
+        d2h_gbs: 360.0,
+    }
+}
+
+fn usm_level_zero() -> UsmModel {
+    // DAWN: "USM is on-par with Transfer-Once for all iteration counts"
+    UsmModel {
+        setup_us: 25.0,
+        migration_gbs: 45.0,
+        writeback_gbs: 42.0,
+        per_iter_penalty: 0.02,
+    }
+}
+
+fn usm_rocm() -> UsmModel {
+    // LUMI: "USM consistently has much higher offload thresholds ... a
+    // result of the vendor's page migration heuristics" (HSA_XNACK faults)
+    UsmModel {
+        setup_us: 100.0,
+        migration_gbs: 6.5,
+        writeback_gbs: 6.5,
+        per_iter_penalty: 0.5,
+    }
+}
+
+fn usm_cuda_c2c() -> UsmModel {
+    // Isambard-AI: USM lags Transfer-Once at 1 iteration, catches up fast
+    UsmModel {
+        setup_us: 6.0,
+        migration_gbs: 350.0,
+        writeback_gbs: 350.0,
+        per_iter_penalty: 0.01,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// System presets
+// ---------------------------------------------------------------------------
+
+/// DAWN: Xeon 8468 + Intel Max 1550 (one tile, explicit scaling), oneMKL
+/// on both sides, PCIe gen5 between them.
+pub fn dawn() -> SystemModel {
+    SystemModel {
+        name: "DAWN",
+        description: "Intel Xeon Platinum 8468 + Intel Max 1550 (one tile), oneMKL 2024.1, PCIe gen5",
+        cpu: xeon_8468(),
+        cpu_lib: onemkl_cpu(),
+        gpu: Some(max1550_tile()),
+        gpu_lib: Some(onemkl_gpu()),
+        link: Some(pcie5()),
+        usm: Some(usm_level_zero()),
+        noise: None,
+    }
+}
+
+/// DAWN with *implicit* scaling: the driver spreads work over both tiles,
+/// paying cross-tile communication — "much lower and less-consistent
+/// performance ... despite having twice the compute resources" (Fig 7).
+pub fn dawn_implicit_scaling() -> SystemModel {
+    let mut sys = dawn();
+    if let Some(lib) = sys.gpu_lib.as_mut() {
+        lib.name = "oneMKL 2024.1 (implicit scaling)";
+        lib.gemm_eff_max = 0.42;
+        lib.gemm_half_work = 4e9;
+        lib.launch_us = 25.0;
+    }
+    sys.name = "DAWN (implicit scaling)";
+    // the less-consistent part: visible run-to-run jitter
+    sys.with_noise(0x1550, 0.35)
+}
+
+/// LUMI: EPYC 7A53 + MI250X (one GCD), AOCL on the CPU (g++ build),
+/// rocBLAS on the GPU, Infinity Fabric with gpu-bind=closest, HSA_XNACK=1.
+pub fn lumi() -> SystemModel {
+    SystemModel {
+        name: "LUMI",
+        description: "AMD EPYC 7A53 + AMD MI250X (one GCD), AOCL 4.1 / rocBLAS 5.2.3, Infinity Fabric",
+        cpu: epyc_7a53(),
+        cpu_lib: aocl(),
+        gpu: Some(mi250x_gcd()),
+        gpu_lib: Some(rocblas()),
+        link: Some(infinity_fabric()),
+        usm: Some(usm_rocm()),
+        noise: None,
+    }
+}
+
+/// LUMI with OpenBLAS 0.3.24 instead of AOCL — the Fig 6 ablation that
+/// restores multithreaded GEMV and removes every GEMV offload threshold.
+pub fn lumi_openblas() -> SystemModel {
+    let mut sys = lumi();
+    sys.name = "LUMI (OpenBLAS)";
+    sys.cpu_lib = openblas_lumi();
+    sys
+}
+
+/// Isambard-AI: one GH200 superchip — Grace + H100 joined by NVLink-C2C,
+/// NVPL on the CPU, cuBLAS on the GPU.
+pub fn isambard_ai() -> SystemModel {
+    SystemModel {
+        name: "Isambard-AI",
+        description: "NVIDIA GH200 Superchip (Grace 72c + H100), NVPL 24.7 / cuBLAS 24.5, NVLink-C2C",
+        cpu: grace(),
+        cpu_lib: nvpl(),
+        gpu: Some(h100_gh200()),
+        gpu_lib: Some(cublas()),
+        link: Some(nvlink_c2c()),
+        usm: Some(usm_cuda_c2c()),
+        noise: None,
+    }
+}
+
+/// Isambard-AI CPU with ArmPL 24.04 (Fig 3 comparison; CPU-only).
+pub fn isambard_ai_armpl() -> SystemModel {
+    SystemModel {
+        name: "Isambard-AI (ArmPL)",
+        description: "NVIDIA Grace with ArmPL 24.04 (CPU only)",
+        cpu: grace(),
+        cpu_lib: armpl(),
+        gpu: None,
+        gpu_lib: None,
+        link: None,
+        usm: None,
+        noise: None,
+    }
+}
+
+/// Isambard-AI CPU with single-threaded NVPL (Fig 3 comparison; CPU-only).
+pub fn isambard_ai_nvpl_1t() -> SystemModel {
+    SystemModel {
+        name: "Isambard-AI (NVPL 1T)",
+        description: "NVIDIA Grace with NVPL 24.7 pinned to one thread (CPU only)",
+        cpu: grace(),
+        cpu_lib: nvpl_single_thread(),
+        gpu: None,
+        gpu_lib: None,
+        link: None,
+        usm: None,
+        noise: None,
+    }
+}
+
+
+/// AMD MI300A — the APU the paper's introduction motivates: CPU and GPU
+/// share one 5.3 TB/s unified HBM3 pool, so there is *no* host↔device copy
+/// at all. Modelled with a cache-coherent-fabric "link" of negligible
+/// latency and near-HBM bandwidth and a zero-cost USM (the hardware is
+/// USM): the limiting case the GH200 approaches.
+pub fn mi300a() -> SystemModel {
+    SystemModel {
+        name: "MI300A",
+        description: "AMD MI300A APU: 24 Zen4 cores + CDNA3, unified 5.3 TB/s HBM3",
+        cpu: CpuModel {
+            name: "MI300A CPU (24x Zen 4)",
+            cores: 24,
+            freq_ghz: 3.7,
+            fp64_flops_per_cycle_core: 16.0,
+            fp32_ratio: 2.0,
+            dram_gbs: 1200.0, // the CPU's share of the unified HBM
+            single_core_gbs: 60.0,
+            llc_bytes: 24e6,
+            llc_gbs: 1500.0,
+        },
+        cpu_lib: CpuLibrary {
+            name: "AOCL 4.2 (MI300A)",
+            threads: 24,
+            gemm_eff_max: 0.85,
+            gemm_half_work: 3e7,
+            gemm_half_work_f64: None,
+            gemv_parallel: true,
+            gemv_bw_eff: 0.8,
+            call_overhead_us: 5.0,
+            adaptive_threading: false,
+            beta0_opt: true,
+            warm_rate_boost: 1.2,
+            shape_penalty: 0.6,
+            quirks: vec![],
+        },
+        gpu: Some(GpuModel {
+            name: "MI300A GPU (CDNA3)",
+            fp32_tflops: 61.0,
+            fp64_tflops: 61.0,
+            hbm_gbs: 4000.0, // sustained share of the 5.3 TB/s pool
+        }),
+        gpu_lib: Some(GpuLibrary {
+            name: "rocBLAS 6.x (MI300A)",
+            launch_us: 5.0,
+            gemm_eff_max: 0.8,
+            gemm_half_work: 2e8,
+            gemv_bw_eff: 0.8,
+            gemv_m_half: 2000.0,
+            beta0_opt: true,
+            quirks: vec![],
+        }),
+        // zero-copy: the "transfer" is cache-coherent access
+        link: Some(LinkModel {
+            name: "Infinity Fabric (unified memory, zero-copy)",
+            latency_us: 0.5,
+            h2d_gbs: 2500.0,
+            d2h_gbs: 2500.0,
+        }),
+        usm: Some(UsmModel {
+            setup_us: 2.0,
+            migration_gbs: 3000.0, // pages are already resident
+            writeback_gbs: 3000.0,
+            per_iter_penalty: 0.0,
+        }),
+        noise: None,
+    }
+}
+
+/// A commodity A100-PCIe workstation: a mid-range host CPU feeding an A100
+/// over PCIe gen4 x16 — the configuration most users actually own, with a
+/// *weaker* link than any of the paper's systems. Useful as the
+/// pessimistic contrast in offload what-ifs.
+pub fn a100_workstation() -> SystemModel {
+    SystemModel {
+        name: "A100-workstation",
+        description: "16-core workstation + NVIDIA A100 PCIe, PCIe gen4 x16",
+        cpu: CpuModel {
+            name: "16-core workstation CPU",
+            cores: 16,
+            freq_ghz: 3.0,
+            fp64_flops_per_cycle_core: 16.0,
+            fp32_ratio: 2.0,
+            dram_gbs: 70.0,
+            single_core_gbs: 25.0,
+            llc_bytes: 24e6,
+            llc_gbs: 600.0,
+        },
+        cpu_lib: CpuLibrary {
+            name: "OpenBLAS 0.3.x",
+            threads: 16,
+            gemm_eff_max: 0.8,
+            gemm_half_work: 2e7,
+            gemm_half_work_f64: None,
+            gemv_parallel: true,
+            gemv_bw_eff: 0.75,
+            call_overhead_us: 6.0,
+            adaptive_threading: false,
+            beta0_opt: true,
+            warm_rate_boost: 1.5,
+            shape_penalty: 0.6,
+            quirks: vec![],
+        },
+        gpu: Some(GpuModel {
+            name: "NVIDIA A100 PCIe 80GB",
+            fp32_tflops: 19.5,
+            fp64_tflops: 9.7,
+            hbm_gbs: 1700.0,
+        }),
+        gpu_lib: Some(GpuLibrary {
+            name: "cuBLAS 12.x",
+            launch_us: 4.0,
+            gemm_eff_max: 0.85,
+            gemm_half_work: 3e8,
+            gemv_bw_eff: 0.8,
+            gemv_m_half: 900.0,
+            beta0_opt: true,
+            quirks: vec![],
+        }),
+        link: Some(LinkModel {
+            name: "PCIe gen4 x16",
+            latency_us: 10.0,
+            h2d_gbs: 25.0,
+            d2h_gbs: 24.0,
+        }),
+        usm: Some(UsmModel {
+            setup_us: 30.0,
+            migration_gbs: 20.0,
+            writeback_gbs: 20.0,
+            per_iter_penalty: 0.03,
+        }),
+        noise: None,
+    }
+}
+
+/// The three production systems of the evaluation, in the paper's order.
+pub fn evaluation_systems() -> Vec<SystemModel> {
+    vec![dawn(), lumi(), isambard_ai()]
+}
+
+// ---------------------------------------------------------------------------
+// Table I device/library pairs (α/β optimisation study)
+// ---------------------------------------------------------------------------
+
+/// NVIDIA A100 40GB SXM with cuBLAS (Table I row 1). GPU-only system; the
+/// Table I timing is kernel time for device-resident data.
+pub fn a100_cublas() -> SystemModel {
+    SystemModel {
+        name: "A100-cuBLAS",
+        description: "NVIDIA A100 40GB SXM, cuBLAS 24.3",
+        cpu: xeon_8468(), // host irrelevant for the GPU-only measurement
+        cpu_lib: onemkl_cpu(),
+        gpu: Some(GpuModel {
+            name: "NVIDIA A100 40GB SXM",
+            fp32_tflops: 19.5,
+            fp64_tflops: 9.7,
+            hbm_gbs: 680.0, // effective streamed bandwidth for skinny GEMM
+        }),
+        gpu_lib: Some(GpuLibrary {
+            name: "cuBLAS 24.3",
+            launch_us: 5.0,
+            gemm_eff_max: 0.85,
+            gemm_half_work: 1e9,
+            gemv_bw_eff: 0.8,
+            gemv_m_half: 800.0,
+        beta0_opt: true,
+            quirks: vec![],
+        }),
+        link: Some(pcie5()),
+        usm: None,
+        noise: None,
+    }
+}
+
+/// AMD MI250X with rocBLAS (Table I row 2) — strikingly slow for the
+/// skinny K = 4 SGEMM (188 ms vs the A100's 39 ms in the paper).
+pub fn mi250x_rocblas_table1() -> SystemModel {
+    SystemModel {
+        name: "MI250X-rocBLAS",
+        description: "AMD MI250X, rocBLAS 5.2.3",
+        cpu: epyc_7a53(),
+        cpu_lib: aocl(),
+        gpu: Some(GpuModel {
+            name: "AMD MI250X",
+            fp32_tflops: 21.0,
+            fp64_tflops: 21.0,
+            hbm_gbs: 143.0, // rocBLAS's poor skinny-GEMM streaming rate
+        }),
+        gpu_lib: Some(rocblas()),
+        link: Some(infinity_fabric()),
+        usm: None,
+        noise: None,
+    }
+}
+
+/// Intel Max 1550 with oneMKL (Table I row 3).
+pub fn max1550_onemkl_table1() -> SystemModel {
+    SystemModel {
+        name: "Max1550-oneMKL",
+        description: "Intel Data Center GPU Max 1550, oneMKL 2024.1",
+        cpu: xeon_8468(),
+        cpu_lib: onemkl_cpu(),
+        gpu: Some(GpuModel {
+            name: "Intel Data Center GPU Max 1550",
+            fp32_tflops: 40.0,
+            fp64_tflops: 20.0,
+            hbm_gbs: 810.0,
+        }),
+        gpu_lib: Some(onemkl_gpu()),
+        link: Some(pcie5()),
+        usm: None,
+        noise: None,
+    }
+}
+
+/// Xeon 8468 running oneMKL on a single thread (Table I row 4).
+pub fn xeon8468_onemkl_1t() -> SystemModel {
+    let mut lib = onemkl_cpu();
+    lib.threads = 1;
+    lib.call_overhead_us = 1.0;
+    lib.quirks.clear();
+    SystemModel {
+        name: "Xeon8468-oneMKL-1T",
+        description: "Intel Xeon Platinum 8468, oneMKL 2024.1, single thread",
+        cpu: xeon_8468(),
+        cpu_lib: lib,
+        gpu: None,
+        gpu_lib: None,
+        link: None,
+        usm: None,
+        noise: None,
+    }
+}
+
+/// AMD EPYC 7543P running AOCL on a single thread (Table I row 5).
+pub fn epyc7543_aocl_1t() -> SystemModel {
+    let mut lib = aocl();
+    lib.threads = 1;
+    lib.call_overhead_us = 1.0;
+    // AOCL 4.2 in Table I does NOT show the β=0 saving as strongly; the
+    // paper's numbers still show the 1.34x β effect, so keep the opt.
+    SystemModel {
+        name: "EPYC7543-AOCL-1T",
+        description: "AMD EPYC 7543P, AOCL 4.2, single thread",
+        cpu: CpuModel {
+            name: "AMD EPYC 7543P",
+            cores: 32,
+            freq_ghz: 2.8,
+            fp64_flops_per_cycle_core: 16.0,
+            fp32_ratio: 2.0,
+            dram_gbs: 170.0,
+            single_core_gbs: 6.7, // Zen3 under AOCL's skinny-GEMM path
+            llc_bytes: 180e6,
+            llc_gbs: 1400.0,
+        },
+        cpu_lib: lib,
+        gpu: None,
+        gpu_lib: None,
+        link: None,
+        usm: None,
+        noise: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::call::BlasCall;
+    use crate::offload::Offload;
+
+    #[test]
+    fn socket_flops_per_cycle_match_paper() {
+        // §IV-A quotes 1536 (DAWN), 896 (LUMI), 1152 (Isambard-AI)
+        assert_eq!(xeon_8468().socket_flops_per_cycle(), 1536.0);
+        assert_eq!(epyc_7a53().socket_flops_per_cycle(), 896.0);
+        assert_eq!(grace().socket_flops_per_cycle(), 1152.0);
+    }
+
+    #[test]
+    fn all_evaluation_systems_have_gpus() {
+        for sys in evaluation_systems() {
+            assert!(sys.has_gpu(), "{} must model a GPU", sys.name);
+            assert!(sys.usm.is_some(), "{} must model USM", sys.name);
+        }
+    }
+
+    #[test]
+    fn socket_width_ordering_matches_paper() {
+        // the paper compares sockets by FLOPs/cycle: 1536 > 1152 > 896
+        let d = dawn().cpu.socket_flops_per_cycle();
+        let i = isambard_ai().cpu.socket_flops_per_cycle();
+        let l = lumi().cpu.socket_flops_per_cycle();
+        assert!(d > i && i > l, "{d} > {i} > {l} violated");
+        // and LUMI has by far the weakest absolute peak
+        let lp = lumi().cpu.peak_gflops(Precision::F64, 56);
+        assert!(lp < dawn().cpu.peak_gflops(Precision::F64, 48));
+        assert!(lp < isambard_ai().cpu.peak_gflops(Precision::F64, 72));
+    }
+
+    #[test]
+    fn c2c_transfers_are_an_order_faster_than_pcie() {
+        let bytes = 64e6;
+        let c2c = nvlink_c2c().to_device_seconds(bytes);
+        let pcie = pcie5().to_device_seconds(bytes);
+        assert!(pcie / c2c > 5.0);
+    }
+
+    #[test]
+    fn mkl_drop_visible_on_dawn_cpu_curve() {
+        let sys = dawn();
+        let g = |s: usize| sys.cpu_gflops(&BlasCall::gemm(Precision::F32, s, s, s), 1);
+        // the cliff: 629 achieves far less than 628 (Fig 2)
+        assert!(g(629) < 0.6 * g(628), "628: {}, 629: {}", g(628), g(629));
+        // recovery: well past the cliff the curve is healthy again
+        assert!(g(3500) > g(628));
+    }
+
+    #[test]
+    fn lumi_serial_gemv_vs_openblas() {
+        // Fig 6: OpenBLAS DGEMV far outperforms AOCL at large sizes,
+        // underperforms at small sizes.
+        let aocl_sys = lumi();
+        let ob_sys = lumi_openblas();
+        let big = BlasCall::gemv(Precision::F64, 3000, 3000);
+        assert!(ob_sys.cpu_gflops(&big, 128) > 3.0 * aocl_sys.cpu_gflops(&big, 128));
+        let small = BlasCall::gemv(Precision::F64, 150, 150);
+        assert!(ob_sys.cpu_gflops(&small, 128) < aocl_sys.cpu_gflops(&small, 128));
+    }
+
+    #[test]
+    fn isambard_gpu_floor_is_tiny() {
+        // GH200's C2C makes the smallest GPU round trips ~10 us; on DAWN
+        // the same round trip costs several times more.
+        let c = BlasCall::gemm(Precision::F32, 8, 8, 8);
+        let isam = isambard_ai().gpu_seconds(&c, 1, Offload::TransferOnce).unwrap();
+        let dawn_t = dawn().gpu_seconds(&c, 1, Offload::TransferOnce).unwrap();
+        assert!(isam < 20e-6, "{isam}");
+        assert!(dawn_t > 2.0 * isam);
+    }
+
+    #[test]
+    fn rocblas_k_jump_only_for_sgemm_32() {
+        let sys = lumi();
+        let g32 = |k: usize| {
+            sys.gpu_gflops(&BlasCall::gemm(Precision::F32, 32, 32, k), 8, Offload::TransferOnce)
+                .unwrap()
+        };
+        // the jump: K = 2560 runs disproportionately faster
+        assert!(g32(2560) > 2.0 * g32(2304));
+        // DGEMM flat-lines instead
+        let d = |k: usize| {
+            sys.gpu_gflops(&BlasCall::gemm(Precision::F64, 32, 32, k), 8, Offload::TransferOnce)
+                .unwrap()
+        };
+        assert!(d(2560) < 1.5 * d(512), "DGEMM must not jump: {} vs {}", d(2560), d(512));
+    }
+
+    #[test]
+    fn implicit_scaling_underperforms_explicit() {
+        // Fig 7: implicit scaling is slower despite 2x the hardware
+        let exp = dawn();
+        let imp = dawn_implicit_scaling();
+        let c = BlasCall::gemm(Precision::F32, 2048, 2048, 2048);
+        let ge = exp.gpu_gflops(&c, 32, Offload::TransferOnce).unwrap();
+        let gi = imp.gpu_gflops(&c, 32, Offload::TransferOnce).unwrap();
+        assert!(gi < 0.8 * ge, "implicit {gi} vs explicit {ge}");
+    }
+
+
+    #[test]
+    fn mi300a_erases_the_offload_question() {
+        // unified memory: even 1-iteration GEMM offloads at tiny sizes,
+        // and GEMV offloads at 1 iteration — which no discrete system does
+        let apu = mi300a();
+        let small = BlasCall::gemm(Precision::F32, 64, 64, 64);
+        assert!(
+            apu.gpu_seconds(&small, 1, Offload::TransferOnce).unwrap()
+                < apu.cpu_seconds(&small, 1)
+        );
+        let big_gemv = BlasCall::gemv(Precision::F32, 4000, 4000);
+        assert!(
+            apu.gpu_seconds(&big_gemv, 1, Offload::TransferOnce).unwrap()
+                < apu.cpu_seconds(&big_gemv, 1),
+            "zero-copy makes one-shot GEMV pay on the APU"
+        );
+        // and "Transfer-Always" is nearly free: it prices within 25% of Once
+        let c = BlasCall::gemm(Precision::F32, 1024, 1024, 1024);
+        let once = apu.gpu_seconds(&c, 32, Offload::TransferOnce).unwrap();
+        let always = apu.gpu_seconds(&c, 32, Offload::TransferAlways).unwrap();
+        assert!(always / once < 1.25, "{}", always / once);
+    }
+
+    #[test]
+    fn a100_workstation_is_the_pessimistic_contrast() {
+        // the gen4 link is weaker than every paper system: its square-GEMM
+        // 1-iteration crossover sits hundreds of sizes up, and one-shot
+        // GEMV is hopeless
+        let ws = a100_workstation();
+        let c = BlasCall::gemm(Precision::F32, 200, 200, 200);
+        assert!(ws.gpu_seconds(&c, 1, Offload::TransferOnce).unwrap() > ws.cpu_seconds(&c, 1));
+        let v = BlasCall::gemv(Precision::F64, 4096, 4096);
+        assert!(
+            ws.gpu_seconds(&v, 1, Offload::TransferOnce).unwrap() > 2.0 * ws.cpu_seconds(&v, 1)
+        );
+    }
+
+    #[test]
+    fn table1_beta_effect_band() {
+        // Table I: β=0 → 1.2x–1.7x speedup vs β=2; α makes ~no difference.
+        for sys in [
+            a100_cublas(),
+            mi250x_rocblas_table1(),
+            max1550_onemkl_table1(),
+        ] {
+            let base = BlasCall::gemm(Precision::F32, 8192, 8192, 4);
+            let t10 = sys.gpu_seconds(&base, 100, Offload::TransferOnce).unwrap();
+            let t40 = sys
+                .gpu_seconds(&base.with_scalars(4.0, 0.0), 100, Offload::TransferOnce)
+                .unwrap();
+            let t12 = sys
+                .gpu_seconds(&base.with_scalars(1.0, 2.0), 100, Offload::TransferOnce)
+                .unwrap();
+            let speedup = t12 / t10;
+            // the paper's observed band is 1.2x–1.7x; a pure-bandwidth
+            // device in the model tops out at 2x (one extra read of C)
+            assert!(speedup > 1.05 && speedup < 2.05, "{}: {speedup}", sys.name);
+            assert!((t40 / t10 - 1.0).abs() < 0.02, "{}: alpha effect", sys.name);
+        }
+        for sys in [xeon8468_onemkl_1t(), epyc7543_aocl_1t()] {
+            let base = BlasCall::gemm(Precision::F32, 8192, 8192, 4);
+            let t10 = sys.cpu_seconds(&base, 100);
+            let t12 = sys.cpu_seconds(&base.with_scalars(1.0, 2.0), 100);
+            let speedup = t12 / t10;
+            assert!(speedup > 1.1 && speedup < 1.8, "{}: {speedup}", sys.name);
+        }
+    }
+}

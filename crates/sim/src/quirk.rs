@@ -1,0 +1,320 @@
+//! Library heuristic quirks.
+//!
+//! The paper's central empirical finding is that offload thresholds are
+//! shaped as much by *BLAS library heuristics* as by hardware: oneMKL's CPU
+//! performance cliff at `{629, 629, 629}` (Fig 2), NVPL spinning up all 72
+//! threads for every problem size (Fig 3), AOCL never parallelising GEMV
+//! (Fig 6), rocBLAS's SGEMM performance jump at `{32, 32, 2560}` (§IV-C),
+//! the Grace CPU GEMV drop at `{256, 256}` (§IV-B), and more.
+//!
+//! Each observed heuristic is modelled as a [`Quirk`]: a filtered,
+//! deterministic multiplier on the base execution time. Quirks compose —
+//! a library carries a list and the system model applies them in order.
+
+use crate::call::{BlasCall, Kernel, KernelKind};
+use blob_blas::scalar::Precision;
+
+/// Which dimension of the call a quirk keys on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DimSel {
+    /// Smallest of the call's dimensions.
+    Min,
+    /// Largest of the call's dimensions.
+    Max,
+    /// Row dimension M.
+    M,
+    /// Column dimension N.
+    N,
+    /// Inner dimension K (GEMV: 1).
+    K,
+}
+
+impl DimSel {
+    /// Extracts the selected dimension from a call.
+    pub fn of(self, call: &BlasCall) -> usize {
+        let (m, n, k) = call.kernel.dims();
+        match (self, call.kernel) {
+            (DimSel::M, _) => m,
+            (DimSel::N, _) => n,
+            (DimSel::K, _) => k,
+            // GEMV min/max consider only m and n (k is a dummy 1)
+            (DimSel::Min, Kernel::Gemv { .. }) => m.min(n),
+            (DimSel::Max, Kernel::Gemv { .. }) => m.max(n),
+            (DimSel::Min, Kernel::Gemm { .. }) => m.min(n).min(k),
+            (DimSel::Max, Kernel::Gemm { .. }) => m.max(n).max(k),
+        }
+    }
+}
+
+/// The shape of a quirk's time multiplier as a function of the selected
+/// dimension `s`. A factor > 1 slows the library down; < 1 speeds it up.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QuirkShape {
+    /// Performance cliff with linear recovery: time × `penalty` at
+    /// `s == start`, relaxing linearly back to ×1 at `start + span`.
+    /// Models the oneMKL CPU drop at 629 that "is gradually recovered from
+    /// as the problem size increases".
+    DropRecover {
+        start: usize,
+        penalty: f64,
+        span: usize,
+    },
+    /// Persistent cliff: time × `penalty` for every `s >= start`.
+    /// Models the Grace CPU GEMV drop at {256, 256}.
+    DropPersist { start: usize, penalty: f64 },
+    /// Small-problem penalty fading linearly: time × `penalty` at `s = 0`
+    /// down to ×1 at `s >= end`. Models NVPL waking all 72 threads for
+    /// every problem size.
+    SmallSizePenalty { end: usize, penalty: f64 },
+    /// Step change for every `s >= start`: time × `factor`.
+    /// With `factor < 1`, models the rocBLAS SGEMM jump at K = 2560.
+    StepFactor { start: usize, factor: f64 },
+    /// Gradual decay: time × `(1 + slope · (s - start) / 1000)` for
+    /// `s > start`. Models the DAWN CPU DGEMV decline past ~3000 (paper
+    /// footnote 6).
+    DecayAfter { start: usize, slope: f64 },
+}
+
+impl QuirkShape {
+    /// The time multiplier at selected dimension `s`.
+    pub fn factor(&self, s: usize) -> f64 {
+        match *self {
+            QuirkShape::DropRecover {
+                start,
+                penalty,
+                span,
+            } => {
+                if s < start {
+                    1.0
+                } else {
+                    let progress = ((s - start) as f64 / span.max(1) as f64).min(1.0);
+                    penalty + (1.0 - penalty) * progress
+                }
+            }
+            QuirkShape::DropPersist { start, penalty } => {
+                if s >= start {
+                    penalty
+                } else {
+                    1.0
+                }
+            }
+            QuirkShape::SmallSizePenalty { end, penalty } => {
+                if s >= end {
+                    1.0
+                } else {
+                    let progress = s as f64 / end.max(1) as f64;
+                    penalty + (1.0 - penalty) * progress
+                }
+            }
+            QuirkShape::StepFactor { start, factor } => {
+                if s >= start {
+                    factor
+                } else {
+                    1.0
+                }
+            }
+            QuirkShape::DecayAfter { start, slope } => {
+                if s <= start {
+                    1.0
+                } else {
+                    1.0 + slope * (s - start) as f64 / 1000.0
+                }
+            }
+        }
+    }
+}
+
+/// One library heuristic: a filter plus a time-multiplier shape.
+#[derive(Debug, Clone)]
+pub struct Quirk {
+    /// Human-readable provenance (which paper observation this models).
+    pub name: &'static str,
+    /// Restrict to a kernel family (`None` = both).
+    pub kernel: Option<KernelKind>,
+    /// Restrict to one precision (`None` = both).
+    pub precision: Option<Precision>,
+    /// Extra structural predicate on (m, n, k); `None` = no constraint.
+    /// Used for shape-conditional heuristics such as rocBLAS's jump that
+    /// only manifests when M = N = 32.
+    pub dims_filter: Option<fn(usize, usize, usize) -> bool>,
+    /// Which dimension drives the shape function.
+    pub dim: DimSel,
+    /// The multiplier curve.
+    pub shape: QuirkShape,
+}
+
+impl Quirk {
+    /// The time multiplier this quirk contributes for `call` (1.0 when the
+    /// filter does not match).
+    pub fn time_factor(&self, call: &BlasCall) -> f64 {
+        if let Some(kind) = self.kernel {
+            if call.kernel.kind() != kind {
+                return 1.0;
+            }
+        }
+        if let Some(p) = self.precision {
+            if call.precision != p {
+                return 1.0;
+            }
+        }
+        if let Some(f) = self.dims_filter {
+            let (m, n, k) = call.kernel.dims();
+            if !f(m, n, k) {
+                return 1.0;
+            }
+        }
+        self.shape.factor(self.dim.of(call))
+    }
+}
+
+/// Applies a quirk list to a base time.
+pub fn apply_quirks(quirks: &[Quirk], call: &BlasCall, seconds: f64) -> f64 {
+    quirks
+        .iter()
+        .fold(seconds, |t, q| t * q.time_factor(call))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sgemm(m: usize, n: usize, k: usize) -> BlasCall {
+        BlasCall::gemm(Precision::F32, m, n, k)
+    }
+
+    #[test]
+    fn dim_selectors() {
+        let c = sgemm(10, 20, 30);
+        assert_eq!(DimSel::M.of(&c), 10);
+        assert_eq!(DimSel::N.of(&c), 20);
+        assert_eq!(DimSel::K.of(&c), 30);
+        assert_eq!(DimSel::Min.of(&c), 10);
+        assert_eq!(DimSel::Max.of(&c), 30);
+        let v = BlasCall::gemv(Precision::F64, 100, 4);
+        assert_eq!(DimSel::Min.of(&v), 4); // ignores the dummy k = 1
+        assert_eq!(DimSel::Max.of(&v), 100);
+    }
+
+    #[test]
+    fn drop_recover_shape() {
+        let s = QuirkShape::DropRecover {
+            start: 629,
+            penalty: 2.0,
+            span: 1000,
+        };
+        assert_eq!(s.factor(628), 1.0);
+        assert_eq!(s.factor(629), 2.0);
+        let mid = s.factor(1129); // halfway through recovery
+        assert!((mid - 1.5).abs() < 1e-9);
+        assert_eq!(s.factor(1629), 1.0);
+        assert_eq!(s.factor(4000), 1.0);
+    }
+
+    #[test]
+    fn drop_persist_shape() {
+        let s = QuirkShape::DropPersist {
+            start: 256,
+            penalty: 3.0,
+        };
+        assert_eq!(s.factor(255), 1.0);
+        assert_eq!(s.factor(256), 3.0);
+        assert_eq!(s.factor(4096), 3.0);
+    }
+
+    #[test]
+    fn small_size_penalty_shape() {
+        let s = QuirkShape::SmallSizePenalty {
+            end: 100,
+            penalty: 10.0,
+        };
+        assert_eq!(s.factor(0), 10.0);
+        assert!((s.factor(50) - 5.5).abs() < 1e-9);
+        assert_eq!(s.factor(100), 1.0);
+        assert_eq!(s.factor(1000), 1.0);
+    }
+
+    #[test]
+    fn step_factor_speedup() {
+        let s = QuirkShape::StepFactor {
+            start: 2560,
+            factor: 0.25,
+        };
+        assert_eq!(s.factor(2559), 1.0);
+        assert_eq!(s.factor(2560), 0.25);
+    }
+
+    #[test]
+    fn decay_after_shape() {
+        let s = QuirkShape::DecayAfter {
+            start: 3000,
+            slope: 0.5,
+        };
+        assert_eq!(s.factor(3000), 1.0);
+        assert!((s.factor(4000) - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quirk_filters_kernel_and_precision() {
+        let q = Quirk {
+            name: "test",
+            kernel: Some(KernelKind::Gemm),
+            precision: Some(Precision::F32),
+            dims_filter: None,
+            dim: DimSel::Min,
+            shape: QuirkShape::DropPersist {
+                start: 0,
+                penalty: 2.0,
+            },
+        };
+        assert_eq!(q.time_factor(&sgemm(8, 8, 8)), 2.0);
+        assert_eq!(q.time_factor(&BlasCall::gemm(Precision::F64, 8, 8, 8)), 1.0);
+        assert_eq!(q.time_factor(&BlasCall::gemv(Precision::F32, 8, 8)), 1.0);
+    }
+
+    #[test]
+    fn quirk_dims_filter() {
+        // rocBLAS-style: only when m == 32 && n == 32
+        let q = Quirk {
+            name: "lumi-sgemm-k-jump",
+            kernel: Some(KernelKind::Gemm),
+            precision: Some(Precision::F32),
+            dims_filter: Some(|m, n, _k| m == 32 && n == 32),
+            dim: DimSel::K,
+            shape: QuirkShape::StepFactor {
+                start: 2560,
+                factor: 0.2,
+            },
+        };
+        assert_eq!(q.time_factor(&sgemm(32, 32, 3000)), 0.2);
+        assert_eq!(q.time_factor(&sgemm(32, 32, 2000)), 1.0);
+        assert_eq!(q.time_factor(&sgemm(64, 32, 3000)), 1.0);
+    }
+
+    #[test]
+    fn quirks_compose_multiplicatively() {
+        let q1 = Quirk {
+            name: "a",
+            kernel: None,
+            precision: None,
+            dims_filter: None,
+            dim: DimSel::Min,
+            shape: QuirkShape::DropPersist {
+                start: 0,
+                penalty: 2.0,
+            },
+        };
+        let q2 = Quirk {
+            name: "b",
+            kernel: None,
+            precision: None,
+            dims_filter: None,
+            dim: DimSel::Min,
+            shape: QuirkShape::DropPersist {
+                start: 0,
+                penalty: 3.0,
+            },
+        };
+        let t = apply_quirks(&[q1, q2], &sgemm(4, 4, 4), 1.0);
+        assert_eq!(t, 6.0);
+    }
+}

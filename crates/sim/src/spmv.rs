@@ -1,0 +1,244 @@
+//! Sparse matrix-vector (SpMV) offload pricing — the sparse-BLAS direction
+//! the paper closes with (§V): "this would broaden the scope of
+//! applications we can evaluate".
+//!
+//! SpMV is bandwidth-bound like GEMV but with two extra effects:
+//! - the CSR index structure is extra traffic (4-byte column index per
+//!   non-zero plus the row pointer array);
+//! - the gather of `x[col_idx[p]]` is irregular — effective bandwidth
+//!   degrades with poor column locality, captured by a per-matrix
+//!   `locality` factor (1 = banded/sequential, →0 = random scatter).
+
+use crate::offload::Offload;
+use crate::system::SystemModel;
+use crate::Precision;
+
+/// One SpMV invocation's shape, as the model prices it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpmvCall {
+    pub rows: usize,
+    pub cols: usize,
+    /// Stored non-zeros.
+    pub nnz: usize,
+    pub precision: Precision,
+    /// Column-access locality in (0, 1]: 1 = perfectly banded,
+    /// 0.1 = near-random gather.
+    pub locality: f64,
+}
+
+impl SpmvCall {
+    /// A banded matrix: `band` non-zeros per row, near-perfect locality.
+    pub fn banded(n: usize, band: usize, precision: Precision) -> Self {
+        Self {
+            rows: n,
+            cols: n,
+            nnz: n * band.min(n),
+            precision,
+            locality: 0.95,
+        }
+    }
+
+    /// A uniformly random sparse matrix at the given density.
+    pub fn random(n: usize, density: f64, precision: Precision) -> Self {
+        Self {
+            rows: n,
+            cols: n,
+            nnz: ((n as f64 * n as f64 * density) as usize).max(1),
+            precision,
+            locality: 0.25,
+        }
+    }
+
+    /// FLOPs per execution (one FMA per stored non-zero).
+    pub fn flops(&self) -> f64 {
+        2.0 * self.nnz as f64
+    }
+
+    /// Bytes of CSR structure + vectors streamed per execution.
+    pub fn bytes_streamed(&self) -> f64 {
+        self.bytes_sequential() + self.bytes_gathered()
+    }
+
+    /// The sequentially-streamed part: values, column indices, row
+    /// pointers and the output vector. Runs at full stream bandwidth
+    /// regardless of sparsity pattern.
+    pub fn bytes_sequential(&self) -> f64 {
+        let es = self.precision.bytes() as f64;
+        let idx = 4.0; // u32 column indices, the common library layout
+        self.nnz as f64 * (es + idx)              // values + col_idx
+            + (self.rows as f64 + 1.0) * 8.0      // row_ptr
+            + self.rows as f64 * es               // y (written)
+    }
+
+    /// The gathered part: one `x[col_idx[p]]` access per non-zero. This is
+    /// the traffic the sparsity pattern's locality scales.
+    pub fn bytes_gathered(&self) -> f64 {
+        self.nnz as f64 * self.precision.bytes() as f64
+    }
+
+    /// Bytes shipped host→device before compute (the CSR arrays + x).
+    pub fn bytes_to_device(&self) -> f64 {
+        let es = self.precision.bytes() as f64;
+        self.nnz as f64 * (es + 4.0) + (self.rows as f64 + 1.0) * 8.0 + self.cols as f64 * es
+    }
+
+    /// Bytes shipped device→host after compute (y).
+    pub fn bytes_from_device(&self) -> f64 {
+        self.rows as f64 * self.precision.bytes() as f64
+    }
+}
+
+impl SystemModel {
+    /// Total CPU seconds for `iters` SpMV executions.
+    pub fn cpu_spmv_seconds(&self, call: &SpmvCall, iters: u32) -> f64 {
+        // SpMV inherits the library's GEMV threading behaviour: AOCL-style
+        // serial GEMV implies serial SpMV too.
+        let stream = if self.cpu_lib.gemv_parallel {
+            self.cpu.dram_gbs
+        } else {
+            self.cpu.single_core_gbs
+        };
+        let bw = stream * self.cpu_lib.gemv_bw_eff * 1e9;
+        // only the x-gather pays the locality penalty; the CSR arrays and
+        // the output stream sequentially
+        let t = call.bytes_sequential() / bw
+            + call.bytes_gathered() / (bw * call.locality.clamp(0.05, 1.0))
+            + self.cpu_lib.call_overhead_us * 1e-6;
+        t * iters as f64
+    }
+
+    /// Total GPU seconds for `iters` SpMV executions under `offload`.
+    pub fn gpu_spmv_seconds(&self, call: &SpmvCall, iters: u32, offload: Offload) -> Option<f64> {
+        let gpu = self.gpu.as_ref()?;
+        let lib = self.gpu_lib.as_ref()?;
+        let link = self.link.as_ref()?;
+        // GPUs tolerate irregular gathers better (latency hiding), so the
+        // locality penalty is softened.
+        let locality = call.locality.clamp(0.05, 1.0).sqrt();
+        let rows = call.rows as f64;
+        let occ = if lib.gemv_m_half > 0.0 {
+            rows / (rows + lib.gemv_m_half)
+        } else {
+            1.0
+        };
+        let bw = gpu.hbm_gbs * lib.gemv_bw_eff * occ * 1e9;
+        let kernel = call.bytes_sequential() / bw
+            + call.bytes_gathered() / (bw * locality)
+            + lib.launch_us * 1e-6;
+        let bytes_in = call.bytes_to_device();
+        let bytes_out = call.bytes_from_device();
+        Some(match offload {
+            Offload::TransferOnce => {
+                link.to_device_seconds(bytes_in)
+                    + iters as f64 * kernel
+                    + link.from_device_seconds(bytes_out)
+            }
+            Offload::TransferAlways => {
+                iters as f64 * (link.round_trip_seconds(bytes_in, bytes_out) + kernel)
+            }
+            Offload::Unified => {
+                let usm = self.usm.as_ref()?;
+                usm.total_seconds(bytes_in, bytes_out, kernel, iters)
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn flops_and_bytes_accounting() {
+        let c = SpmvCall::banded(1000, 5, Precision::F64);
+        assert_eq!(c.nnz, 5000);
+        assert_eq!(c.flops(), 10_000.0);
+        // sequential: values 5000*8 + idx 5000*4 + row_ptr 1001*8 + y 8000
+        assert_eq!(c.bytes_sequential(), 5000.0 * 12.0 + 1001.0 * 8.0 + 8000.0);
+        // gathered: one x element per non-zero
+        assert_eq!(c.bytes_gathered(), 5000.0 * 8.0);
+        let expect = c.bytes_sequential() + c.bytes_gathered();
+        assert_eq!(c.bytes_streamed(), expect);
+        assert!(c.bytes_to_device() < c.bytes_streamed());
+        assert_eq!(c.bytes_from_device(), 8000.0);
+    }
+
+    #[test]
+    fn random_scatter_slower_than_banded() {
+        let sys = presets::dawn();
+        let banded = SpmvCall::banded(10_000, 16, Precision::F64);
+        let mut random = banded;
+        random.locality = 0.25;
+        assert!(sys.cpu_spmv_seconds(&random, 1) > 1.5 * sys.cpu_spmv_seconds(&banded, 1));
+    }
+
+    #[test]
+    fn spmv_needs_reuse_on_pcie_systems_but_not_on_the_soc() {
+        // At 1 iteration, shipping the whole CSR structure over PCIe
+        // cannot pay when the CPU streams at socket bandwidth (DAWN). On
+        // the GH200 the link runs at near-DRAM speed and the H100's HBM
+        // finishes the kernel far faster — the SoC conclusion of the paper
+        // extends to sparse kernels.
+        let c = SpmvCall::banded(100_000, 64, Precision::F64);
+        let dawn = presets::dawn();
+        assert!(
+            dawn.gpu_spmv_seconds(&c, 1, Offload::TransferOnce).unwrap()
+                > dawn.cpu_spmv_seconds(&c, 1) * 0.9,
+            "DAWN: 1-iteration SpMV should not clearly pay"
+        );
+        let isam = presets::isambard_ai();
+        assert!(
+            isam.gpu_spmv_seconds(&c, 1, Offload::TransferOnce).unwrap()
+                < isam.cpu_spmv_seconds(&c, 1),
+            "GH200: even one-shot SpMV pays on the SoC"
+        );
+    }
+
+    #[test]
+    fn lumi_serial_cpu_makes_even_one_shot_spmv_competitive() {
+        // Model prediction in the spirit of Fig 6: if AOCL runs sparse
+        // kernels serially like its GEMV, one core's ~32 GB/s loses to the
+        // 36 GB/s Infinity Fabric DMA — the GPU pays off almost
+        // immediately, data transfer included.
+        let sys = presets::lumi();
+        let c = SpmvCall::banded(100_000, 64, Precision::F64);
+        let cpu = sys.cpu_spmv_seconds(&c, 1);
+        let gpu = sys.gpu_spmv_seconds(&c, 1, Offload::TransferOnce).unwrap();
+        assert!(gpu < cpu * 1.2, "serial CPU should not be clearly ahead: {gpu} vs {cpu}");
+    }
+
+    #[test]
+    fn gh200_offloads_spmv_with_reuse_lumi_serial_cpu_loses() {
+        // with heavy re-use, the HBM-bandwidth advantage dominates on the
+        // SoC; and LUMI's serial CPU SpMV (AOCL-style) loses like Fig 6
+        let c = SpmvCall::banded(200_000, 32, Precision::F64);
+        let isam = presets::isambard_ai();
+        assert!(
+            isam.gpu_spmv_seconds(&c, 128, Offload::TransferOnce).unwrap()
+                < isam.cpu_spmv_seconds(&c, 128)
+        );
+        let lumi = presets::lumi();
+        assert!(
+            lumi.gpu_spmv_seconds(&c, 128, Offload::TransferOnce).unwrap()
+                < lumi.cpu_spmv_seconds(&c, 128)
+        );
+    }
+
+    #[test]
+    fn transfer_always_spmv_never_pays_over_pcie_class_links() {
+        // the square-GEMV consistency (Table IV) carries over to SpMV on
+        // systems where the CPU streams at socket bandwidth AND the link
+        // is PCIe-class; the GH200's C2C breaks the rule (see above)
+        for sys in [presets::dawn(), presets::lumi_openblas()] {
+            let c = SpmvCall::banded(50_000, 16, Precision::F32);
+            for iters in [1u32, 32, 128] {
+                let cpu = sys.cpu_spmv_seconds(&c, iters);
+                let gpu = sys
+                    .gpu_spmv_seconds(&c, iters, Offload::TransferAlways)
+                    .unwrap();
+                assert!(gpu > cpu, "{}: Transfer-Always SpMV paid at {iters} iters", sys.name);
+            }
+        }
+    }
+}

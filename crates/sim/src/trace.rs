@@ -1,0 +1,238 @@
+//! Execution traces: the per-phase timeline behind a GPU timing.
+//!
+//! [`SystemModel::gpu_seconds`] returns one number; [`gpu_trace`] returns
+//! *where it went* — transfer-in, kernel, transfer-out, USM migration —
+//! as a list of timestamped events whose total matches the scalar timing
+//! exactly. The timeline makes the paper's §III-B2 offload strategies
+//! visually obvious: Transfer-Once's long head and tail around a dense
+//! kernel train, Transfer-Always's per-iteration sandwich, USM's
+//! front-loaded migration.
+
+use crate::call::BlasCall;
+use crate::gpu::gpu_kernel_seconds;
+use crate::offload::Offload;
+use crate::system::SystemModel;
+
+/// What a trace interval was spent on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Explicit host→device copy.
+    HostToDevice,
+    /// Kernel execution on the device.
+    Kernel,
+    /// Explicit device→host copy.
+    DeviceToHost,
+    /// USM allocation/mapping setup.
+    UsmSetup,
+    /// USM on-demand page migration to the device.
+    UsmMigration,
+    /// USM write-back of output pages to the host.
+    UsmWriteback,
+}
+
+impl Phase {
+    /// Short label for plots.
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::HostToDevice => "H2D",
+            Phase::Kernel => "kernel",
+            Phase::DeviceToHost => "D2H",
+            Phase::UsmSetup => "setup",
+            Phase::UsmMigration => "migrate",
+            Phase::UsmWriteback => "writeback",
+        }
+    }
+}
+
+/// One timeline interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEvent {
+    pub phase: Phase,
+    /// Seconds from the start of the operation.
+    pub start: f64,
+    pub end: f64,
+    /// Which iteration this belongs to (kernel / per-iteration transfers).
+    pub iteration: Option<u32>,
+}
+
+impl TraceEvent {
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
+/// Builds the phase timeline for `iters` iterations of `call` under
+/// `offload` on `sys`. Returns `None` for CPU-only systems. The last
+/// event's `end` equals [`SystemModel::gpu_seconds`] for noise-free
+/// systems (the trace is defined on the un-jittered model).
+pub fn gpu_trace(
+    sys: &SystemModel,
+    call: &BlasCall,
+    iters: u32,
+    offload: Offload,
+) -> Option<Vec<TraceEvent>> {
+    let gpu = sys.gpu.as_ref()?;
+    let lib = sys.gpu_lib.as_ref()?;
+    let link = sys.link.as_ref()?;
+    let kernel = gpu_kernel_seconds(gpu, lib, call);
+    let bytes_in = call.bytes_to_device();
+    let bytes_out = call.bytes_from_device();
+    let t_in = link.to_device_seconds(bytes_in);
+    let t_out = link.from_device_seconds(bytes_out);
+
+    let mut events = Vec::new();
+    let mut t = 0.0f64;
+    let mut push = |phase: Phase, dur: f64, iteration: Option<u32>, t: &mut f64| {
+        if dur > 0.0 {
+            events.push(TraceEvent {
+                phase,
+                start: *t,
+                end: *t + dur,
+                iteration,
+            });
+            *t += dur;
+        }
+    };
+
+    match offload {
+        Offload::TransferOnce => {
+            push(Phase::HostToDevice, t_in, None, &mut t);
+            for i in 0..iters {
+                push(Phase::Kernel, kernel, Some(i), &mut t);
+            }
+            push(Phase::DeviceToHost, t_out, None, &mut t);
+        }
+        Offload::TransferAlways => {
+            for i in 0..iters {
+                push(Phase::HostToDevice, t_in, Some(i), &mut t);
+                push(Phase::Kernel, kernel, Some(i), &mut t);
+                push(Phase::DeviceToHost, t_out, Some(i), &mut t);
+            }
+        }
+        Offload::Unified => {
+            let usm = sys.usm.as_ref()?;
+            push(Phase::UsmSetup, usm.setup_us * 1e-6, None, &mut t);
+            push(
+                Phase::UsmMigration,
+                bytes_in / (usm.migration_gbs * 1e9),
+                None,
+                &mut t,
+            );
+            for i in 0..iters {
+                push(
+                    Phase::Kernel,
+                    kernel * (1.0 + usm.per_iter_penalty),
+                    Some(i),
+                    &mut t,
+                );
+            }
+            push(
+                Phase::UsmWriteback,
+                bytes_out / (usm.writeback_gbs * 1e9),
+                None,
+                &mut t,
+            );
+        }
+    }
+    Some(events)
+}
+
+/// Sums trace time per phase, in event order of first appearance.
+pub fn phase_totals(events: &[TraceEvent]) -> Vec<(Phase, f64)> {
+    let mut order: Vec<Phase> = Vec::new();
+    let mut totals: Vec<f64> = Vec::new();
+    for e in events {
+        match order.iter().position(|&p| p == e.phase) {
+            Some(i) => totals[i] += e.duration(),
+            None => {
+                order.push(e.phase);
+                totals.push(e.duration());
+            }
+        }
+    }
+    order.into_iter().zip(totals).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+    use crate::Precision;
+
+    fn call() -> BlasCall {
+        BlasCall::gemm(Precision::F32, 512, 512, 512)
+    }
+
+    #[test]
+    fn trace_total_matches_scalar_timing() {
+        for sys in presets::evaluation_systems() {
+            for offload in Offload::ALL {
+                for iters in [1u32, 8, 32] {
+                    let trace = gpu_trace(&sys, &call(), iters, offload).unwrap();
+                    let total = trace.last().unwrap().end;
+                    let scalar = sys.gpu_seconds(&call(), iters, offload).unwrap();
+                    assert!(
+                        (total - scalar).abs() / scalar < 1e-9,
+                        "{} {offload} x{iters}: {total} vs {scalar}",
+                        sys.name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn events_are_contiguous_and_ordered() {
+        let trace = gpu_trace(&presets::dawn(), &call(), 8, Offload::TransferAlways).unwrap();
+        assert!(!trace.is_empty());
+        assert_eq!(trace[0].start, 0.0);
+        for w in trace.windows(2) {
+            assert!((w[0].end - w[1].start).abs() < 1e-15, "gap in timeline");
+            assert!(w[0].duration() > 0.0);
+        }
+    }
+
+    #[test]
+    fn transfer_once_has_one_sandwich_always_has_iters() {
+        let once = gpu_trace(&presets::dawn(), &call(), 8, Offload::TransferOnce).unwrap();
+        assert_eq!(
+            once.iter().filter(|e| e.phase == Phase::HostToDevice).count(),
+            1
+        );
+        assert_eq!(once.iter().filter(|e| e.phase == Phase::Kernel).count(), 8);
+        let always = gpu_trace(&presets::dawn(), &call(), 8, Offload::TransferAlways).unwrap();
+        assert_eq!(
+            always.iter().filter(|e| e.phase == Phase::HostToDevice).count(),
+            8
+        );
+    }
+
+    #[test]
+    fn usm_trace_has_migration_phases() {
+        let usm = gpu_trace(&presets::lumi(), &call(), 4, Offload::Unified).unwrap();
+        assert!(usm.iter().any(|e| e.phase == Phase::UsmSetup));
+        assert!(usm.iter().any(|e| e.phase == Phase::UsmMigration));
+        assert!(usm.iter().any(|e| e.phase == Phase::UsmWriteback));
+        assert!(usm.iter().all(|e| e.phase != Phase::HostToDevice));
+    }
+
+    #[test]
+    fn phase_totals_sum_to_trace_end() {
+        let trace = gpu_trace(&presets::isambard_ai(), &call(), 16, Offload::Unified).unwrap();
+        let totals = phase_totals(&trace);
+        let sum: f64 = totals.iter().map(|&(_, t)| t).sum();
+        assert!((sum - trace.last().unwrap().end).abs() < 1e-12);
+        // kernel dominates on the SoC with re-use
+        let kernel_share = totals
+            .iter()
+            .find(|(p, _)| *p == Phase::Kernel)
+            .map(|&(_, t)| t / sum)
+            .unwrap();
+        assert!(kernel_share > 0.5, "kernel share {kernel_share}");
+    }
+
+    #[test]
+    fn cpu_only_systems_have_no_trace() {
+        assert!(gpu_trace(&presets::isambard_ai_armpl(), &call(), 1, Offload::TransferOnce).is_none());
+    }
+}

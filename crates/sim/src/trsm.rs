@@ -1,0 +1,199 @@
+//! TRSM offload pricing — the kernel whose CPU-vs-GPU picture the paper's
+//! related work (Li et al.) calls "more complex": for small right-hand-side
+//! counts the CPU wins, for large ones the GPU does. The paper also
+//! criticises that comparison for excluding transfer time; this model can
+//! price TRSM both ways and reproduce the difference.
+//!
+//! A left-side TRSM (`T·X = α·B`, `T: m×m`, `B: m×n`) does `m²·n` FLOPs.
+//! Its `n` column solves are independent, but *within* a column the solve
+//! is a dependency chain — so device efficiency ramps with `n` (the
+//! parallel width), not with total work. That is exactly what produces the
+//! Li-et-al. crossover: a GPU with thousands of lanes starves at small `n`
+//! no matter how large `m` is.
+
+use crate::offload::Offload;
+use crate::system::SystemModel;
+use crate::Precision;
+
+/// One TRSM invocation (left side, `T: m×m`, `B/X: m×n`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrsmCall {
+    pub m: usize,
+    pub n: usize,
+    pub precision: Precision,
+}
+
+impl TrsmCall {
+    pub fn new(m: usize, n: usize, precision: Precision) -> Self {
+        Self { m, n, precision }
+    }
+
+    /// FLOPs per execution (`m²·n`: one FMA per triangle element per RHS).
+    pub fn flops(&self) -> f64 {
+        self.m as f64 * self.m as f64 * self.n as f64
+    }
+
+    /// Bytes shipped host→device (the triangle + B).
+    pub fn bytes_to_device(&self) -> f64 {
+        let es = self.precision.bytes() as f64;
+        // the stored triangle is m(m+1)/2 but libraries ship the full array
+        (self.m * self.m + self.m * self.n) as f64 * es
+    }
+
+    /// Bytes shipped device→host (X overwrites B).
+    pub fn bytes_from_device(&self) -> f64 {
+        (self.m * self.n) as f64 * self.precision.bytes() as f64
+    }
+}
+
+impl SystemModel {
+    /// Total CPU seconds for `iters` TRSM executions: GEMM-class rate,
+    /// parallel width capped by `n` columns (one core per column solve).
+    pub fn cpu_trsm_seconds(&self, call: &TrsmCall, iters: u32) -> f64 {
+        let work = call.flops();
+        let usable_threads = (self.cpu_lib.threads as usize).min(call.n.max(1)) as u32;
+        let peak = self.cpu.peak_gflops(call.precision, usable_threads) * 1e9;
+        let eff = self.cpu_lib.gemm_eff_max * work / (work + self.cpu_lib.gemm_half_work);
+        // dependency chains keep TRSM below GEMM efficiency
+        let rate = (peak * eff * 0.6)
+            .max(self.cpu.peak_gflops(call.precision, 1) * 1e9 * 0.3)
+            .max(1.0);
+        let t = work / rate + self.cpu_lib.call_overhead_us * 1e-6;
+        t * iters as f64
+    }
+
+    /// Total GPU seconds for `iters` TRSM executions under `offload`, or
+    /// `None` for CPU-only systems. The kernel's efficiency ramps with the
+    /// parallel width `n`, not total work.
+    pub fn gpu_trsm_seconds(&self, call: &TrsmCall, iters: u32, offload: Offload) -> Option<f64> {
+        let gpu = self.gpu.as_ref()?;
+        let lib = self.gpu_lib.as_ref()?;
+        let link = self.link.as_ref()?;
+        let work = call.flops();
+        let peak = gpu.peak_gflops(call.precision) * 1e9;
+        // width occupancy: n independent column chains; ~4k lanes to fill
+        let occ = call.n as f64 / (call.n as f64 + 2000.0);
+        let ramp = work / (work + lib.gemm_half_work);
+        let rate = (peak * lib.gemm_eff_max * 0.5 * occ * ramp)
+            .max(peak * 1e-4)
+            .max(1.0);
+        let kernel = work / rate + lib.launch_us * 1e-6;
+        let bytes_in = call.bytes_to_device();
+        let bytes_out = call.bytes_from_device();
+        Some(match offload {
+            Offload::TransferOnce => {
+                link.to_device_seconds(bytes_in)
+                    + iters as f64 * kernel
+                    + link.from_device_seconds(bytes_out)
+            }
+            Offload::TransferAlways => {
+                iters as f64 * (link.round_trip_seconds(bytes_in, bytes_out) + kernel)
+            }
+            Offload::Unified => {
+                let usm = self.usm.as_ref()?;
+                usm.total_seconds(bytes_in, bytes_out, kernel, iters)
+            }
+        })
+    }
+
+    /// GPU kernel seconds with data already resident — the (flawed)
+    /// transfer-free comparison Li et al. made, kept so the model can
+    /// reproduce their numbers *and* the paper's critique of them.
+    pub fn gpu_trsm_resident_seconds(&self, call: &TrsmCall, iters: u32) -> Option<f64> {
+        // Transfer-Once minus the two transfers
+        let with = self.gpu_trsm_seconds(call, iters, Offload::TransferOnce)?;
+        let link = self.link.as_ref()?;
+        Some(
+            with - link.to_device_seconds(call.bytes_to_device())
+                - link.from_device_seconds(call.bytes_from_device()),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn flops_and_bytes() {
+        let c = TrsmCall::new(100, 10, Precision::F64);
+        assert_eq!(c.flops(), 100_000.0);
+        assert_eq!(c.bytes_to_device(), (10_000 + 1000) as f64 * 8.0);
+        assert_eq!(c.bytes_from_device(), 8000.0);
+    }
+
+    #[test]
+    fn li_et_al_crossover_small_n_cpu_large_n_gpu() {
+        // resident-data comparison (their methodology): big triangle,
+        // varying RHS count
+        let sys = presets::dawn();
+        let m = 2048;
+        let small = TrsmCall::new(m, 4, Precision::F64);
+        let large = TrsmCall::new(m, 2048, Precision::F64);
+        let cpu_small = sys.cpu_trsm_seconds(&small, 1);
+        let gpu_small = sys.gpu_trsm_resident_seconds(&small, 1).unwrap();
+        assert!(cpu_small < gpu_small, "few RHS: CPU wins ({cpu_small} vs {gpu_small})");
+        let cpu_large = sys.cpu_trsm_seconds(&large, 1);
+        let gpu_large = sys.gpu_trsm_resident_seconds(&large, 1).unwrap();
+        assert!(gpu_large < cpu_large, "many RHS: GPU wins ({gpu_large} vs {cpu_large})");
+    }
+
+    #[test]
+    fn transfer_time_moves_the_crossover_up() {
+        // the paper's critique: including transfers makes the GPU pay off
+        // later than Li et al. report
+        let sys = presets::dawn();
+        let m = 1024;
+        let crossover = |with_transfers: bool| -> usize {
+            for n in (16..=4096).step_by(16) {
+                let c = TrsmCall::new(m, n, Precision::F64);
+                let gpu = if with_transfers {
+                    sys.gpu_trsm_seconds(&c, 1, Offload::TransferOnce).unwrap()
+                } else {
+                    sys.gpu_trsm_resident_seconds(&c, 1).unwrap()
+                };
+                if gpu < sys.cpu_trsm_seconds(&c, 1) {
+                    return n;
+                }
+            }
+            usize::MAX
+        };
+        let resident = crossover(false);
+        let with = crossover(true);
+        assert!(with >= resident, "transfers can only delay the crossover: {with} vs {resident}");
+        assert!(with > resident, "and on PCIe they measurably do");
+    }
+
+    #[test]
+    fn gh200_trsm_crossover_is_much_earlier() {
+        let m = 1024;
+        let cross = |sys: &crate::SystemModel| -> usize {
+            for n in 1..=4096usize {
+                let c = TrsmCall::new(m, n, Precision::F64);
+                if sys.gpu_trsm_seconds(&c, 1, Offload::TransferOnce).unwrap()
+                    < sys.cpu_trsm_seconds(&c, 1)
+                {
+                    return n;
+                }
+            }
+            usize::MAX
+        };
+        let dawn = cross(&presets::dawn());
+        let isam = cross(&presets::isambard_ai());
+        assert!(isam < dawn, "SoC crossover {isam} below PCIe crossover {dawn}");
+    }
+
+    #[test]
+    fn times_positive_and_iter_scaled() {
+        let sys = presets::lumi();
+        let c = TrsmCall::new(512, 64, Precision::F32);
+        let t1 = sys.cpu_trsm_seconds(&c, 1);
+        let t8 = sys.cpu_trsm_seconds(&c, 8);
+        assert!(t1 > 0.0);
+        assert!((t8 / t1 - 8.0).abs() < 1e-9);
+        for o in Offload::ALL {
+            assert!(sys.gpu_trsm_seconds(&c, 4, o).unwrap() > 0.0);
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Calibrate a performance model of *this machine* from real measurements
+//! — the empirical-benchmark philosophy the paper argues for (§II: unlike
+//! analytical selectors, an empirical tool "can more easily measure the
+//! performance of new architectures").
+//!
+//! Measures this repo's DGEMM at several sizes with the `HostCpu` backend,
+//! fits the `t(w) = w/rate + c` envelope by least squares, builds a
+//! `SystemModel`-compatible CPU library from the fit, and validates the
+//! model's predictions against fresh measurements.
+//!
+//! ```text
+//! cargo run --release --example calibrate_host
+//! ```
+
+use gpu_blob::bench::backend::{Backend, HostCpu};
+use gpu_blob::sim::{fit_envelope, library_from_envelope, BlasCall, CpuModel, Precision, Sample};
+
+fn main() {
+    let host = HostCpu::default();
+    println!("calibrating: {}\n", host.name());
+
+    // measure a spread of sizes (seconds per single call)
+    let sizes = [64usize, 96, 128, 192, 256, 320, 384];
+    let mut samples = Vec::new();
+    println!("{:>6} {:>14} {:>12} {:>10}", "size", "FLOPs", "seconds", "GFLOP/s");
+    for &s in &sizes {
+        let call = BlasCall::gemm(Precision::F64, s, s, s);
+        // median-ish: take the best of 3 to shed scheduler noise
+        let t = (0..3)
+            .map(|_| host.cpu_seconds(&call, 1))
+            .fold(f64::INFINITY, f64::min);
+        let work = call.paper_flops();
+        println!("{s:>6} {work:>14.3e} {t:>12.3e} {:>10.2}", work / t / 1e9);
+        samples.push(Sample { work, seconds: t });
+    }
+
+    let env = fit_envelope(&samples).expect("enough well-spread samples");
+    println!(
+        "\nfitted envelope: rate {:.2} GFLOP/s, fixed cost {:.1} us, r^2 {:.4}",
+        env.rate / 1e9,
+        env.fixed_cost * 1e6,
+        env.r_squared
+    );
+    assert!(env.r_squared > 0.9, "the affine envelope should fit GEMM well");
+
+    // wrap the fit in a SystemModel-compatible CPU description
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) as u32;
+    let cpu = CpuModel {
+        name: "this-host",
+        cores: threads,
+        freq_ghz: 3.0,                    // nominal; the fit overrides the rate
+        fp64_flops_per_cycle_core: 16.0,  // nominal
+        fp32_ratio: 2.0,
+        dram_gbs: 50.0,
+        single_core_gbs: 15.0,
+        llc_bytes: 16e6,
+        llc_gbs: 400.0,
+    };
+    let lib = library_from_envelope("fitted-host-blas", &env, &cpu, Precision::F64);
+    println!(
+        "library envelope: eff_max {:.3}, overhead {:.1} us",
+        lib.gemm_eff_max, lib.call_overhead_us
+    );
+
+    // validate on sizes the fit never saw
+    println!("\nvalidation on held-out sizes:");
+    let mut worst: f64 = 0.0;
+    for &s in &[160usize, 288, 352] {
+        let call = BlasCall::gemm(Precision::F64, s, s, s);
+        let measured = (0..3)
+            .map(|_| host.cpu_seconds(&call, 1))
+            .fold(f64::INFINITY, f64::min);
+        let predicted = env.predict(call.paper_flops());
+        let err = (predicted / measured - 1.0).abs();
+        worst = worst.max(err);
+        println!(
+            "  {s:>4}^3: measured {:>10.3e} s | predicted {:>10.3e} s | err {:>5.1}%",
+            measured,
+            predicted,
+            err * 100.0
+        );
+    }
+    println!(
+        "\nworst held-out error: {:.1}% — {}",
+        worst * 100.0,
+        if worst < 0.5 {
+            "the fitted model generalises; it can now stand in for this machine in offload what-ifs"
+        } else {
+            "noisy machine: rerun on an idle system for a tighter fit"
+        }
+    );
+}

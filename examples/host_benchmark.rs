@@ -1,0 +1,59 @@
+//! Host benchmark: run GPU-BLOB's measurement loop against the *real* BLAS
+//! kernels in this repository on the machine you are sitting at — no
+//! simulation involved. This is the artifact's CPU-only build mode
+//! (GPU-BLOB "can also be built with either a CPU or a GPU library
+//! exclusively", §III).
+//!
+//! Prints the measured GFLOP/s curve for square GEMM/GEMV and validates the
+//! parallel kernels against the reference implementation at a sample size.
+//!
+//! ```text
+//! cargo run --release --example host_benchmark
+//! ```
+
+use gpu_blob::analysis::{ascii_chart, Series};
+use gpu_blob::bench::backend::{Backend, HostCpu};
+use gpu_blob::bench::problem::{GemmProblem, GemvProblem, Problem};
+use gpu_blob::bench::runner::{run_sweep, SweepConfig};
+use gpu_blob::bench::validate_call;
+use gpu_blob::sim::{BlasCall, Precision};
+
+fn main() {
+    let host = HostCpu::default();
+    println!("backend: {}\n", host.name());
+
+    // Square GEMM, modest range so the example runs in seconds.
+    let cfg = SweepConfig::new(16, 384, 3).with_step(16);
+    let gemm = run_sweep(&host, Problem::Gemm(GemmProblem::Square), Precision::F64, &cfg);
+    let series = [Series::from_usize("DGEMM (measured)", &gemm.cpu_series())];
+    println!("{}", ascii_chart("Host DGEMM GFLOP/s vs size", &series, 80, 14));
+    let peak = gemm
+        .records
+        .iter()
+        .map(|r| r.cpu_gflops)
+        .fold(0.0f64, f64::max);
+    println!("best measured DGEMM rate: {peak:.2} GFLOP/s\n");
+
+    let gemv = run_sweep(&host, Problem::Gemv(GemvProblem::Square), Precision::F64, &cfg);
+    let series = [Series::from_usize("DGEMV (measured)", &gemv.cpu_series())];
+    println!("{}", ascii_chart("Host DGEMV GFLOP/s vs size", &series, 80, 14));
+
+    // The artifact's checksum validation, against this machine's results.
+    for call in [
+        BlasCall::gemm(Precision::F64, 192, 192, 192),
+        BlasCall::gemv(Precision::F64, 1024, 1024),
+        BlasCall::gemm(Precision::F32, 100, 200, 50).with_scalars(2.0, 1.0),
+    ] {
+        let rep = validate_call(&call, 2024);
+        println!(
+            "validate {} {:?}: rel err {:.2e} -> {}",
+            call.routine(),
+            call.kernel.dims(),
+            rep.rel_err,
+            if rep.ok { "OK" } else { "FAIL" }
+        );
+        assert!(rep.ok);
+    }
+    println!("\nno GPU on this host: offload thresholds require the modelled systems");
+    println!("(try: cargo run --release --example quickstart)");
+}

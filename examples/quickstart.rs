@@ -1,0 +1,55 @@
+//! Quickstart: find the GPU offload threshold for square SGEMM on each of
+//! the paper's three systems.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use gpu_blob::bench::problem::{GemmProblem, Problem};
+use gpu_blob::bench::runner::{run_sweep, SweepConfig};
+use gpu_blob::sim::{presets, Offload, Precision};
+
+fn main() {
+    // The paper's configuration for one experiment: square SGEMM swept over
+    // every size in [1, 4096], 8 iterations (moderate data re-use).
+    let problem = Problem::Gemm(GemmProblem::Square);
+    let cfg = SweepConfig::new(1, 4096, 8);
+
+    println!("Square SGEMM, 8 iterations, Transfer-Once:\n");
+    for system in presets::evaluation_systems() {
+        let sweep = run_sweep(&system, problem, Precision::F32, &cfg);
+        match sweep.threshold(Offload::TransferOnce) {
+            Some(t) => {
+                let (m, n, k) = t.dims();
+                // how much the GPU wins by at a representative large size
+                let big = sweep.records.last().unwrap();
+                let gpu = big.gpu_sample(Offload::TransferOnce).unwrap();
+                println!(
+                    "{:<12} offload threshold {{{m}, {n}, {k}}}; at 4096^3 the GPU is {:.1}x faster",
+                    system.name,
+                    big.cpu_seconds / gpu.seconds
+                );
+            }
+            None => println!("{:<12} no offload threshold — keep this problem on the CPU", system.name),
+        }
+    }
+
+    println!();
+    println!("Same question for square SGEMV (bandwidth-bound, the \"never offload\" kernel):\n");
+    let gemv = Problem::Gemv(gpu_blob::bench::problem::GemvProblem::Square);
+    for system in presets::evaluation_systems() {
+        for offload in Offload::ALL {
+            let sweep = run_sweep(&system, gemv, Precision::F32, &cfg);
+            let cell = match sweep.threshold(offload) {
+                Some(t) => {
+                    let (m, n, _) = t.dims();
+                    format!("{{{m}, {n}}}")
+                }
+                None => "—".to_string(),
+            };
+            println!("{:<12} {:<8} {}", system.name, offload.label(), cell);
+        }
+    }
+    println!("\n(On a GH200, even GEMV offloads from ~256x256 when data is re-used —");
+    println!(" the paper's headline result. Transfer-Always never pays for GEMV.)");
+}
