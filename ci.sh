@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# The full offline CI gate for gpu-blob. Run from the repository root:
+#
+#   ./ci.sh
+#
+# Toolchain: stable Rust (developed against rustc/cargo 1.95, rustfmt 1.9).
+# No nightly features, no network access, and no dependencies outside the
+# workspace are required — every stage below must pass from a cold clone
+# with `--offline`.
+#
+# Stages:
+#   1. cargo fmt --check        formatting is canonical rustfmt
+#   2. cargo run -p blob-check  the workspace's own static analysis
+#                               (unsafe/unwrap/float-eq/docs/contract-guard)
+#   3. cargo build --release    everything compiles optimised, warnings-free
+#   4. cargo build --benches    the microbench targets stay compilable
+#   5. cargo test -q            the full workspace test suite
+
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> blob-check"
+cargo run -q -p blob-check --offline
+
+echo "==> cargo build --release"
+cargo build --release --workspace --offline
+
+echo "==> cargo build --benches"
+cargo build --benches --workspace --offline
+
+echo "==> cargo test"
+cargo test -q --workspace --offline
+
+echo "ci: all stages passed"

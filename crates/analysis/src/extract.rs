@@ -16,17 +16,24 @@ use std::collections::BTreeMap;
 /// Key identifying one threshold series.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub struct SeriesKey {
+    /// System name from the CSV rows.
     pub system: String,
+    /// BLAS routine label (`sgemm`, `dgemv`, …).
     pub routine: String,
+    /// Problem-type identifier.
     pub problem: String,
+    /// Iteration count of the timed loop.
     pub iterations: u32,
+    /// Offload strategy of the GPU rows in the pair.
     pub offload: Offload,
 }
 
 /// An extracted threshold: the concrete dimensions, or `None`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ExtractedThreshold {
+    /// The series this threshold belongs to.
     pub key: SeriesKey,
+    /// Dimensions of the first durably GPU-favoured size, or `None`.
     pub threshold: Option<Kernel>,
 }
 
@@ -50,7 +57,9 @@ pub fn extract_thresholds(rows: &[CsvRow]) -> Vec<ExtractedThreshold> {
                 row.iterations,
             ))
             .or_default();
-        let entry = g.entry((row.m, row.n, row.k)).or_insert((None, BTreeMap::new()));
+        let entry = g
+            .entry((row.m, row.n, row.k))
+            .or_insert((None, BTreeMap::new()));
         match row.offload {
             None => entry.0 = Some(row.seconds),
             Some(o) => {

@@ -33,5 +33,5 @@ pub use plot::{ascii_chart, svg_chart, write_svg, Series};
 pub use report::markdown_report;
 pub use roofline::{roofline_svg, KernelPoint, Roofline};
 pub use stats::{summarize, Summary, ThresholdStability};
-pub use timeline::timeline_svg;
 pub use table::{sd_pair_cell, threshold_cell, Table};
+pub use timeline::timeline_svg;

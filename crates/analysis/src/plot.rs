@@ -10,7 +10,9 @@
 /// One named data series: `(x, y)` points in ascending `x`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Series {
+    /// Legend label.
     pub name: String,
+    /// `(x, y)` samples in ascending `x`.
     pub points: Vec<(f64, f64)>,
 }
 
@@ -76,7 +78,11 @@ pub fn ascii_chart(title: &str, series: &[Series], width: usize, height: usize) 
     out.push_str(&format!("{y0:>10.1} └"));
     out.push_str(&"─".repeat(width));
     out.push('\n');
-    out.push_str(&format!("            {x0:<10.0}{:>w$.0}\n", x1, w = width - 10));
+    out.push_str(&format!(
+        "            {x0:<10.0}{:>w$.0}\n",
+        x1,
+        w = width - 10
+    ));
     for (si, s) in series.iter().enumerate() {
         out.push_str(&format!("  {} {}\n", GLYPHS[si % GLYPHS.len()], s.name));
     }

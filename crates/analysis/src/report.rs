@@ -15,7 +15,11 @@ fn find(sweeps: &[Sweep], precision: Precision, iters: u32) -> Option<&Sweep> {
 
 fn threshold_param(sweep: &Sweep, offload: Offload) -> Option<usize> {
     let t = sweep.threshold(offload)?;
-    sweep.records.iter().find(|r| r.kernel == t).map(|r| r.param)
+    sweep
+        .records
+        .iter()
+        .find(|r| r.kernel == t)
+        .map(|r| r.param)
 }
 
 /// Builds a markdown report for one problem type on one system from

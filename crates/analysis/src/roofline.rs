@@ -40,6 +40,7 @@ impl Roofline {
 /// A kernel pinned onto the roofline plot.
 #[derive(Debug, Clone, PartialEq)]
 pub struct KernelPoint {
+    /// Marker label.
     pub name: String,
     /// Arithmetic intensity in FLOPs/byte.
     pub intensity: f64,
@@ -47,7 +48,11 @@ pub struct KernelPoint {
 
 /// Renders a log-log-ish roofline SVG: one roofline polyline per device
 /// plus a vertical marker series per kernel (drawn as a two-point spike).
-pub fn roofline_svg(title: &str, devices: &[(String, Roofline)], kernels: &[KernelPoint]) -> String {
+pub fn roofline_svg(
+    title: &str,
+    devices: &[(String, Roofline)],
+    kernels: &[KernelPoint],
+) -> String {
     // sample intensities log-spaced over a range that covers everything
     let max_balance = devices
         .iter()
@@ -62,7 +67,10 @@ pub fn roofline_svg(title: &str, devices: &[(String, Roofline)], kernels: &[Kern
         .iter()
         .map(|(name, r)| Series {
             name: name.clone(),
-            points: xs.iter().map(|&i| (i.log10(), r.attainable(i).log10())).collect(),
+            points: xs
+                .iter()
+                .map(|&i| (i.log10(), r.attainable(i).log10()))
+                .collect(),
         })
         .collect();
     let y_top = devices
@@ -112,7 +120,11 @@ mod tests {
                 peak_gflops: p,
                 bandwidth_gbs: b,
             };
-            assert!(r.bandwidth_bound(0.25), "GEMV bound at balance {}", r.balance());
+            assert!(
+                r.bandwidth_bound(0.25),
+                "GEMV bound at balance {}",
+                r.balance()
+            );
             assert!(!r.bandwidth_bound(500.0), "large GEMM unbound");
         }
     }

@@ -8,10 +8,15 @@
 /// Summary of a sample of measurements.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Summary {
+    /// Sample count.
     pub n: usize,
+    /// Arithmetic mean.
     pub mean: f64,
+    /// Median (midpoint of the two central values for even `n`).
     pub median: f64,
+    /// Smallest sample.
     pub min: f64,
+    /// Largest sample.
     pub max: f64,
     /// Sample standard deviation (n−1 denominator); 0 for n < 2.
     pub stddev: f64,
@@ -37,7 +42,7 @@ pub fn summarize(values: &[f64]) -> Option<Summary> {
     let n = values.len();
     let mean = values.iter().sum::<f64>() / n as f64;
     let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let median = if n % 2 == 1 {
         sorted[n / 2]
     } else {

@@ -10,8 +10,11 @@ use blob_sim::Kernel;
 /// A simple fixed-width table.
 #[derive(Debug, Clone, Default)]
 pub struct Table {
+    /// Title printed above the table.
     pub title: String,
+    /// Column headers.
     pub headers: Vec<String>,
+    /// Data rows; each must have one cell per header.
     pub rows: Vec<Vec<String>>,
 }
 
@@ -131,7 +134,11 @@ mod tests {
     fn threshold_cells() {
         assert_eq!(threshold_cell(None), "—");
         assert_eq!(
-            threshold_cell(Some(Kernel::Gemm { m: 26, n: 26, k: 26 })),
+            threshold_cell(Some(Kernel::Gemm {
+                m: 26,
+                n: 26,
+                k: 26
+            })),
             "{26, 26, 26}"
         );
         assert_eq!(

@@ -16,7 +16,9 @@ fn phase_colour(p: Phase) -> &'static str {
 }
 
 fn xml_escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 /// Renders labelled trace lanes as an SVG Gantt chart. Lanes share one time

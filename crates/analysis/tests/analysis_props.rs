@@ -1,25 +1,35 @@
 //! Property-based tests for the analysis crate: table rendering geometry,
 //! extractor invariance to row order, and chart robustness.
+//!
+//! Driven by `blob_core::testkit`; a failing case prints its seed for
+//! replay with `testkit::run_case`.
 
 use blob_analysis::{ascii_chart, extract_thresholds, svg_chart, Series, Table};
 use blob_core::csv::{parse_csv, to_csv_string};
 use blob_core::problem::{GemmProblem, Problem};
 use blob_core::runner::{run_sweep, SweepConfig};
+use blob_core::testkit::{forall, Config, Gen};
 use blob_sim::{presets, Precision};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+/// A random cell string over the charset the paper's tables actually use
+/// (including the em-dash and braces).
+fn cell(g: &mut Gen) -> String {
+    const CHARSET: [char; 17] = [
+        'a', 'b', 'c', 'x', 'y', 'z', '0', '1', '9', '{', '}', '—', ':', ',', ' ', 'q', '7',
+    ];
+    let len = g.usize_in(0, 18);
+    (0..len).map(|_| *g.choose(&CHARSET)).collect()
+}
 
-    /// Every rendered table line has identical display width, whatever the
-    /// cell contents (including the em-dash and braces the paper uses).
-    #[test]
-    fn table_lines_equal_width(
-        rows in proptest::collection::vec(
-            proptest::collection::vec("[a-z0-9{}—:, ]{0,18}", 3),
-            1..8,
-        ),
-    ) {
+/// Every rendered table line has identical display width, whatever the
+/// cell contents.
+#[test]
+fn table_lines_equal_width() {
+    forall(Config::default().cases(32), |g| {
+        let nrows = g.usize_in(1, 7);
+        let rows: Vec<Vec<String>> = (0..nrows)
+            .map(|_| (0..3).map(|_| cell(g)).collect())
+            .collect();
         let mut t = Table::new("T", &["col one", "c2", "a-much-longer-header"]);
         for r in &rows {
             t.push_row(r.clone());
@@ -30,24 +40,27 @@ proptest! {
             .skip(1) // title
             .map(|l| l.chars().count())
             .collect();
-        prop_assert!(!widths.is_empty());
+        assert!(!widths.is_empty());
         let first = widths[0];
         for (i, w) in widths.iter().enumerate() {
-            prop_assert_eq!(*w, first, "line {} width {} vs {}", i, w, first);
+            assert_eq!(*w, first, "line {i} width {w} vs {first}");
         }
         // every cell appears somewhere
         for r in &rows {
             for cell in r {
                 if !cell.is_empty() {
-                    prop_assert!(rendered.contains(cell.as_str()));
+                    assert!(rendered.contains(cell.as_str()));
                 }
             }
         }
-    }
+    });
+}
 
-    /// The extractor's verdicts do not depend on CSV row order.
-    #[test]
-    fn extractor_order_invariant(shuffle_seed in any::<u64>()) {
+/// The extractor's verdicts do not depend on CSV row order.
+#[test]
+fn extractor_order_invariant() {
+    forall(Config::default().cases(32), |g| {
+        let shuffle_seed = g.u64();
         let sweep = run_sweep(
             &presets::lumi(),
             Problem::Gemm(GemmProblem::Square),
@@ -64,38 +77,56 @@ proptest! {
             rows.swap(i, j);
         }
         let shuffled = extract_thresholds(&rows);
-        prop_assert_eq!(baseline, shuffled);
-    }
+        assert_eq!(baseline, shuffled);
+    });
+}
 
-    /// Charts never panic and always embed every series name, for any
-    /// finite data.
-    #[test]
-    fn charts_robust_to_arbitrary_series(
-        data in proptest::collection::vec(
-            proptest::collection::vec((0.0f64..1e6, -1e6f64..1e6), 0..50),
-            1..5,
-        ),
-    ) {
-        let series: Vec<Series> = data
-            .iter()
-            .enumerate()
-            .map(|(i, pts)| Series {
-                name: format!("series-{i}"),
-                points: pts.clone(),
+/// Charts never panic and always embed every series name, for any
+/// finite data.
+#[test]
+fn charts_robust_to_arbitrary_series() {
+    forall(Config::default().cases(32), |g| {
+        let nseries = g.usize_in(1, 4);
+        let data: Vec<Vec<(f64, f64)>> = (0..nseries)
+            .map(|_| {
+                let npts = g.usize_in(0, 49);
+                (0..npts)
+                    .map(|_| (g.f64_in(0.0, 1e6), g.f64_in(-1e6, 1e6)))
+                    .collect()
             })
             .collect();
-        let txt = ascii_chart("t", &series, 60, 12);
-        let svg = svg_chart("t", "x", "y", &series);
-        let any_data = series.iter().any(|q| !q.points.is_empty());
-        if any_data {
-            for s in &series {
-                prop_assert!(txt.contains(&s.name));
-                prop_assert!(svg.contains(&s.name));
-            }
-        } else {
-            // all-empty input renders the documented placeholder
-            prop_assert!(txt.contains("no data"));
+        check_charts(&data);
+    });
+}
+
+/// Regression case preserved from the proptest-regressions corpus:
+/// a single empty series must render the documented "no data" placeholder
+/// rather than panicking on an empty extent.
+#[test]
+fn charts_single_empty_series_regression() {
+    check_charts(&[vec![]]);
+}
+
+fn check_charts(data: &[Vec<(f64, f64)>]) {
+    let series: Vec<Series> = data
+        .iter()
+        .enumerate()
+        .map(|(i, pts)| Series {
+            name: format!("series-{i}"),
+            points: pts.clone(),
+        })
+        .collect();
+    let txt = ascii_chart("t", &series, 60, 12);
+    let svg = svg_chart("t", "x", "y", &series);
+    let any_data = series.iter().any(|q| !q.points.is_empty());
+    if any_data {
+        for s in &series {
+            assert!(txt.contains(&s.name));
+            assert!(svg.contains(&s.name));
         }
-        prop_assert!(svg.starts_with("<svg") && svg.ends_with("</svg>"));
+    } else {
+        // all-empty input renders the documented placeholder
+        assert!(txt.contains("no data"), "got: {txt}");
     }
+    assert!(svg.starts_with("<svg") && svg.ends_with("</svg>"));
 }

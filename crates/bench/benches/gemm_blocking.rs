@@ -6,8 +6,8 @@
 //! cargo bench -p blob-bench --bench gemm_blocking
 //! ```
 
+use blob_bench::microbench::{black_box, Bench};
 use blob_blas::{gemm_blocked_with, BlockConfig};
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 fn filled(len: usize, seed: u64) -> Vec<f64> {
     (0..len)
@@ -21,13 +21,14 @@ fn filled(len: usize, seed: u64) -> Vec<f64> {
         .collect()
 }
 
-fn bench_blocking(c: &mut Criterion) {
-    let mut group = c.benchmark_group("gemm_blocking");
+fn main() {
+    let mut bench = Bench::from_args("gemm_blocking");
+    let mut group = bench.group("gemm_blocking");
     let s = 384;
     let a = filled(s * s, 1);
     let b = filled(s * s, 2);
     let mut out = vec![0.0f64; s * s];
-    group.throughput(Throughput::Elements((2 * s * s * s) as u64));
+    group.throughput_elements((2 * s * s * s) as u64);
     let configs = [
         ("default_128_256_2048", BlockConfig::default()),
         ("tiny_32_64_512", BlockConfig::new(32, 64, 512)),
@@ -37,22 +38,9 @@ fn bench_blocking(c: &mut Criterion) {
         ("degenerate_8_8_8", BlockConfig::new(8, 8, 8)),
     ];
     for (name, cfg) in configs {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |bench, &cfg| {
-            bench.iter(|| {
-                gemm_blocked_with(cfg, s, s, s, 1.0, &a, s, &b, s, 0.0, &mut out, s);
-                black_box(&out);
-            })
+        group.bench(name, || {
+            gemm_blocked_with(cfg, s, s, s, 1.0, &a, s, &b, s, 0.0, &mut out, s).unwrap();
+            black_box(&out);
         });
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
-        .sample_size(10)
-        .measurement_time(std::time::Duration::from_secs(2))
-        .warm_up_time(std::time::Duration::from_millis(300));
-    targets = bench_blocking
-}
-criterion_main!(benches);

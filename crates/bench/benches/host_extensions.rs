@@ -1,16 +1,16 @@
-//! Criterion benchmarks of the extension kernels: batched GEMM vs a loop
-//! of plain GEMMs, CSR SpMV serial vs parallel and vs dense GEMV, BF16 vs
+//! Microbenchmarks of the extension kernels: batched GEMM vs a loop of
+//! plain GEMMs, CSR SpMV serial vs parallel and vs dense GEMV, BF16 vs
 //! f32, and the Level-2/3 additions (GER, SYRK, TRSV).
 //!
 //! ```text
 //! cargo bench -p blob-bench --bench host_extensions
 //! ```
 
+use blob_bench::microbench::{black_box, Bench};
 use blob_blas::{
-    gemm_batched, gemm_batched_parallel, gemm_blocked, gemv_ref, ger, syrk, trsv,
-    BatchedGemmDesc, Bf16, CsrMatrix, UpLo,
+    gemm_batched, gemm_batched_parallel, gemm_blocked, gemv_ref, ger, syrk, trsv, BatchedGemmDesc,
+    Bf16, CsrMatrix, UpLo,
 };
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 fn filled(len: usize, seed: u64) -> Vec<f64> {
     (0..len)
@@ -24,44 +24,44 @@ fn filled(len: usize, seed: u64) -> Vec<f64> {
         .collect()
 }
 
-fn bench_batched_vs_looped(c: &mut Criterion) {
-    let mut group = c.benchmark_group("batched_gemm");
+fn bench_batched_vs_looped(bench: &mut Bench) {
+    let mut group = bench.group("batched_gemm");
     let desc = BatchedGemmDesc::tight(32, 32, 32);
     let batch = 64;
     let a = filled(desc.stride_a * batch, 1);
     let b = filled(desc.stride_b * batch, 2);
     let mut out = vec![0.0f64; desc.stride_c * batch];
-    group.bench_function("looped_64x32cubed", |bench| {
-        bench.iter(|| {
-            for i in 0..batch {
-                gemm_blocked(
-                    32, 32, 32, 1.0,
-                    &a[i * desc.stride_a..], 32,
-                    &b[i * desc.stride_b..], 32,
-                    0.0,
-                    &mut out[i * desc.stride_c..i * desc.stride_c + 1024], 32,
-                );
-            }
-            black_box(&out);
-        })
+    group.bench("looped_64x32cubed", || {
+        for i in 0..batch {
+            gemm_blocked(
+                32,
+                32,
+                32,
+                1.0,
+                &a[i * desc.stride_a..],
+                32,
+                &b[i * desc.stride_b..],
+                32,
+                0.0,
+                &mut out[i * desc.stride_c..i * desc.stride_c + 1024],
+                32,
+            )
+            .unwrap();
+        }
+        black_box(&out);
     });
-    group.bench_function("batched_64x32cubed", |bench| {
-        bench.iter(|| {
-            gemm_batched(&desc, batch, 1.0, &a, &b, 0.0, &mut out);
-            black_box(&out);
-        })
+    group.bench("batched_64x32cubed", || {
+        gemm_batched(&desc, batch, 1.0, &a, &b, 0.0, &mut out).unwrap();
+        black_box(&out);
     });
-    group.bench_function("batched_parallel_64x32cubed", |bench| {
-        bench.iter(|| {
-            gemm_batched_parallel(4, &desc, batch, 1.0, &a, &b, 0.0, &mut out);
-            black_box(&out);
-        })
+    group.bench("batched_parallel_64x32cubed", || {
+        gemm_batched_parallel(4, &desc, batch, 1.0, &a, &b, 0.0, &mut out).unwrap();
+        black_box(&out);
     });
-    group.finish();
 }
 
-fn bench_spmv(c: &mut Criterion) {
-    let mut group = c.benchmark_group("spmv");
+fn bench_spmv(bench: &mut Bench) {
+    let mut group = bench.group("spmv");
     let n = 20_000;
     let mut trip = Vec::new();
     for i in 0..n {
@@ -75,34 +75,27 @@ fn bench_spmv(c: &mut Criterion) {
     let m = CsrMatrix::from_triplets(n, n, trip);
     let x = filled(n, 3);
     let mut y = vec![0.0f64; n];
-    group.bench_function("csr_serial", |bench| {
-        bench.iter(|| {
-            m.spmv(1.0, &x, 0.0, &mut y);
-            black_box(&y);
-        })
+    group.bench("csr_serial", || {
+        m.spmv(1.0, &x, 0.0, &mut y);
+        black_box(&y);
     });
-    group.bench_function("csr_parallel", |bench| {
-        bench.iter(|| {
-            m.spmv_parallel(4, 1.0, &x, 0.0, &mut y);
-            black_box(&y);
-        })
+    group.bench("csr_parallel", || {
+        m.spmv_parallel(4, 1.0, &x, 0.0, &mut y);
+        black_box(&y);
     });
     // dense GEMV on the same logical matrix at a smaller size for contrast
     let nd = 2000;
     let dense = filled(nd * nd, 4);
     let xd = filled(nd, 5);
     let mut yd = vec![0.0f64; nd];
-    group.bench_function("dense_gemv_2000", |bench| {
-        bench.iter(|| {
-            gemv_ref(nd, nd, 1.0, &dense, nd, &xd, 1, 0.0, &mut yd, 1);
-            black_box(&yd);
-        })
+    group.bench("dense_gemv_2000", || {
+        gemv_ref(nd, nd, 1.0, &dense, nd, &xd, 1, 0.0, &mut yd, 1).unwrap();
+        black_box(&yd);
     });
-    group.finish();
 }
 
-fn bench_bf16(c: &mut Criterion) {
-    let mut group = c.benchmark_group("bf16_gemm");
+fn bench_bf16(bench: &mut Bench) {
+    let mut group = bench.group("bf16_gemm");
     let s = 96;
     let a32: Vec<f32> = filled(s * s, 6).iter().map(|&v| v as f32).collect();
     let b32: Vec<f32> = filled(s * s, 7).iter().map(|&v| v as f32).collect();
@@ -110,41 +103,32 @@ fn bench_bf16(c: &mut Criterion) {
     let bb: Vec<Bf16> = b32.iter().map(|&v| Bf16::from_f32(v)).collect();
     let mut c32 = vec![0.0f32; s * s];
     let mut cb = vec![Bf16::ZERO; s * s];
-    group.bench_function("f32_96", |bench| {
-        bench.iter(|| {
-            gemm_blocked(s, s, s, 1.0f32, &a32, s, &b32, s, 0.0, &mut c32, s);
-            black_box(&c32);
-        })
+    group.bench("f32_96", || {
+        gemm_blocked(s, s, s, 1.0f32, &a32, s, &b32, s, 0.0, &mut c32, s).unwrap();
+        black_box(&c32);
     });
-    group.bench_function("bf16_96_software", |bench| {
-        bench.iter(|| {
-            gemm_blocked(s, s, s, Bf16::ONE, &ab, s, &bb, s, Bf16::ZERO, &mut cb, s);
-            black_box(&cb);
-        })
+    group.bench("bf16_96_software", || {
+        gemm_blocked(s, s, s, Bf16::ONE, &ab, s, &bb, s, Bf16::ZERO, &mut cb, s).unwrap();
+        black_box(&cb);
     });
-    group.finish();
 }
 
-fn bench_level23(c: &mut Criterion) {
-    let mut group = c.benchmark_group("level23");
+fn bench_level23(bench: &mut Bench) {
+    let mut group = bench.group("level23");
     let n = 512;
     let x = filled(n, 8);
     let y = filled(n, 9);
     let mut a = filled(n * n, 10);
-    group.bench_function("ger_512", |bench| {
-        bench.iter(|| {
-            ger(n, n, 1.0, &x, 1, &y, 1, &mut a, n);
-            black_box(&a);
-        })
+    group.bench("ger_512", || {
+        ger(n, n, 1.0, &x, 1, &y, 1, &mut a, n).unwrap();
+        black_box(&a);
     });
     let k = 64;
     let asrc = filled(n * k, 11);
     let mut cm = vec![0.0f64; n * n];
-    group.bench_function("syrk_512x64", |bench| {
-        bench.iter(|| {
-            syrk(UpLo::Lower, n, k, 1.0, &asrc, n, 0.0, &mut cm, n);
-            black_box(&cm);
-        })
+    group.bench("syrk_512x64", || {
+        syrk(UpLo::Lower, n, k, 1.0, &asrc, n, 0.0, &mut cm, n).unwrap();
+        black_box(&cm);
     });
     // well-conditioned lower triangle
     let mut tl = filled(n * n, 12);
@@ -152,22 +136,17 @@ fn bench_level23(c: &mut Criterion) {
         tl[i + i * n] = 4.0 + (i % 7) as f64;
     }
     let b = filled(n, 13);
-    group.bench_function("trsv_512", |bench| {
-        bench.iter(|| {
-            let mut xs = b.clone();
-            trsv(UpLo::Lower, n, &tl, n, &mut xs, 1);
-            black_box(&xs);
-        })
+    group.bench("trsv_512", || {
+        let mut xs = b.clone();
+        trsv(UpLo::Lower, n, &tl, n, &mut xs, 1).unwrap();
+        black_box(&xs);
     });
-    group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
-        .sample_size(10)
-        .measurement_time(std::time::Duration::from_secs(2))
-        .warm_up_time(std::time::Duration::from_millis(300));
-    targets = bench_batched_vs_looped, bench_spmv, bench_bf16, bench_level23
+fn main() {
+    let mut b = Bench::from_args("host_extensions");
+    bench_batched_vs_looped(&mut b);
+    bench_spmv(&mut b);
+    bench_bf16(&mut b);
+    bench_level23(&mut b);
 }
-criterion_main!(benches);

@@ -1,13 +1,13 @@
-//! Criterion benchmarks of the repository's *real* GEMM kernels on the
-//! host CPU: reference vs blocked vs parallel across sizes, precision
+//! Microbenchmarks of the repository's *real* GEMM kernels on the host
+//! CPU: reference vs blocked vs parallel across sizes, precision
 //! comparison, the β=0 short-circuit, and the paper's non-square shapes.
 //!
 //! ```text
 //! cargo bench -p blob-bench --bench host_gemm
 //! ```
 
+use blob_bench::microbench::{black_box, Bench};
 use blob_blas::{gemm_blocked, gemm_parallel, gemm_ref};
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 fn filled(len: usize, seed: u64) -> Vec<f64> {
     (0..len)
@@ -21,37 +21,30 @@ fn filled(len: usize, seed: u64) -> Vec<f64> {
         .collect()
 }
 
-fn bench_square_kernels(c: &mut Criterion) {
-    let mut group = c.benchmark_group("gemm_square");
+fn bench_square_kernels(b: &mut Bench) {
+    let mut group = b.group("gemm_square");
     for &s in &[32usize, 64, 128, 256] {
         let a = filled(s * s, 1);
-        let b = filled(s * s, 2);
+        let bm = filled(s * s, 2);
         let mut out = vec![0.0f64; s * s];
-        group.throughput(Throughput::Elements((2 * s * s * s) as u64));
-        group.bench_with_input(BenchmarkId::new("reference", s), &s, |bench, &s| {
-            bench.iter(|| {
-                gemm_ref(s, s, s, 1.0, &a, s, &b, s, 0.0, &mut out, s);
-                black_box(&out);
-            })
+        group.throughput_elements((2 * s * s * s) as u64);
+        group.bench(&format!("reference/{s}"), || {
+            gemm_ref(s, s, s, 1.0, &a, s, &bm, s, 0.0, &mut out, s).unwrap();
+            black_box(&out);
         });
-        group.bench_with_input(BenchmarkId::new("blocked", s), &s, |bench, &s| {
-            bench.iter(|| {
-                gemm_blocked(s, s, s, 1.0, &a, s, &b, s, 0.0, &mut out, s);
-                black_box(&out);
-            })
+        group.bench(&format!("blocked/{s}"), || {
+            gemm_blocked(s, s, s, 1.0, &a, s, &bm, s, 0.0, &mut out, s).unwrap();
+            black_box(&out);
         });
-        group.bench_with_input(BenchmarkId::new("parallel", s), &s, |bench, &s| {
-            bench.iter(|| {
-                gemm_parallel(4, s, s, s, 1.0, &a, s, &b, s, 0.0, &mut out, s);
-                black_box(&out);
-            })
+        group.bench(&format!("parallel/{s}"), || {
+            gemm_parallel(4, s, s, s, 1.0, &a, s, &bm, s, 0.0, &mut out, s).unwrap();
+            black_box(&out);
         });
     }
-    group.finish();
 }
 
-fn bench_precision(c: &mut Criterion) {
-    let mut group = c.benchmark_group("gemm_precision");
+fn bench_precision(b: &mut Bench) {
+    let mut group = b.group("gemm_precision");
     let s = 192;
     let a64 = filled(s * s, 1);
     let b64 = filled(s * s, 2);
@@ -59,46 +52,36 @@ fn bench_precision(c: &mut Criterion) {
     let a32: Vec<f32> = a64.iter().map(|&v| v as f32).collect();
     let b32: Vec<f32> = b64.iter().map(|&v| v as f32).collect();
     let mut c32 = vec![0.0f32; s * s];
-    group.bench_function("dgemm_192", |bench| {
-        bench.iter(|| {
-            gemm_blocked(s, s, s, 1.0, &a64, s, &b64, s, 0.0, &mut c64, s);
-            black_box(&c64);
-        })
+    group.bench("dgemm_192", || {
+        gemm_blocked(s, s, s, 1.0, &a64, s, &b64, s, 0.0, &mut c64, s).unwrap();
+        black_box(&c64);
     });
-    group.bench_function("sgemm_192", |bench| {
-        bench.iter(|| {
-            gemm_blocked(s, s, s, 1.0f32, &a32, s, &b32, s, 0.0, &mut c32, s);
-            black_box(&c32);
-        })
+    group.bench("sgemm_192", || {
+        gemm_blocked(s, s, s, 1.0f32, &a32, s, &b32, s, 0.0, &mut c32, s).unwrap();
+        black_box(&c32);
     });
-    group.finish();
 }
 
-fn bench_beta_shortcircuit(c: &mut Criterion) {
+fn bench_beta_shortcircuit(b: &mut Bench) {
     // Table I in miniature: K = 4 skinny GEMM with beta = 0 vs beta = 2
-    let mut group = c.benchmark_group("gemm_beta");
+    let mut group = b.group("gemm_beta");
     let (m, n, k) = (512, 512, 4);
     let a = filled(m * k, 1);
-    let b = filled(k * n, 2);
+    let bm = filled(k * n, 2);
     let mut out = vec![0.5f64; m * n];
-    group.bench_function("beta0", |bench| {
-        bench.iter(|| {
-            gemm_blocked(m, n, k, 1.0, &a, m, &b, k, 0.0, &mut out, m);
-            black_box(&out);
-        })
+    group.bench("beta0", || {
+        gemm_blocked(m, n, k, 1.0, &a, m, &bm, k, 0.0, &mut out, m).unwrap();
+        black_box(&out);
     });
-    group.bench_function("beta2", |bench| {
-        bench.iter(|| {
-            gemm_blocked(m, n, k, 1.0, &a, m, &b, k, 2.0, &mut out, m);
-            black_box(&out);
-        })
+    group.bench("beta2", || {
+        gemm_blocked(m, n, k, 1.0, &a, m, &bm, k, 2.0, &mut out, m).unwrap();
+        black_box(&out);
     });
-    group.finish();
 }
 
-fn bench_paper_shapes(c: &mut Criterion) {
+fn bench_paper_shapes(b: &mut Bench) {
     // the paper's non-square archetypes at equal-ish FLOP counts
-    let mut group = c.benchmark_group("gemm_shapes");
+    let mut group = b.group("gemm_shapes");
     let shapes: [(&str, usize, usize, usize); 5] = [
         ("square", 128, 128, 128),
         ("tall_k", 64, 64, 1024),
@@ -108,25 +91,20 @@ fn bench_paper_shapes(c: &mut Criterion) {
     ];
     for (name, m, n, k) in shapes {
         let a = filled(m * k, 1);
-        let b = filled(k * n, 2);
+        let bm = filled(k * n, 2);
         let mut out = vec![0.0f64; m * n];
-        group.throughput(Throughput::Elements((2 * m * n * k) as u64));
-        group.bench_function(name, |bench| {
-            bench.iter(|| {
-                gemm_blocked(m, n, k, 1.0, &a, m, &b, k, 0.0, &mut out, m);
-                black_box(&out);
-            })
+        group.throughput_elements((2 * m * n * k) as u64);
+        group.bench(name, || {
+            gemm_blocked(m, n, k, 1.0, &a, m, &bm, k, 0.0, &mut out, m).unwrap();
+            black_box(&out);
         });
     }
-    group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
-        .sample_size(10)
-        .measurement_time(std::time::Duration::from_secs(2))
-        .warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_square_kernels, bench_precision, bench_beta_shortcircuit, bench_paper_shapes
+fn main() {
+    let mut b = Bench::from_args("host_gemm");
+    bench_square_kernels(&mut b);
+    bench_precision(&mut b);
+    bench_beta_shortcircuit(&mut b);
+    bench_paper_shapes(&mut b);
 }
-criterion_main!(benches);

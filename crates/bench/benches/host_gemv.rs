@@ -1,14 +1,14 @@
-//! Criterion benchmarks of the repository's *real* GEMV kernels on the
-//! host CPU: serial vs parallel across sizes, plus the paper's non-square
-//! GEMV shapes and the serial-GEMV effect behind Fig 6 (a serial kernel is
+//! Microbenchmarks of the repository's *real* GEMV kernels on the host
+//! CPU: serial vs parallel across sizes, plus the paper's non-square GEMV
+//! shapes and the serial-GEMV effect behind Fig 6 (a serial kernel is
 //! capped by one core's bandwidth no matter how wide the socket).
 //!
 //! ```text
 //! cargo bench -p blob-bench --bench host_gemv
 //! ```
 
+use blob_bench::microbench::{black_box, Bench};
 use blob_blas::{gemv_parallel, gemv_ref};
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 fn filled(len: usize, seed: u64) -> Vec<f64> {
     (0..len)
@@ -22,31 +22,26 @@ fn filled(len: usize, seed: u64) -> Vec<f64> {
         .collect()
 }
 
-fn bench_square(c: &mut Criterion) {
-    let mut group = c.benchmark_group("gemv_square");
+fn bench_square(b: &mut Bench) {
+    let mut group = b.group("gemv_square");
     for &s in &[256usize, 1024, 2048] {
         let a = filled(s * s, 1);
         let x = filled(s, 2);
         let mut y = vec![0.0f64; s];
-        group.throughput(Throughput::Elements((2 * s * s) as u64));
-        group.bench_with_input(BenchmarkId::new("serial", s), &s, |bench, &s| {
-            bench.iter(|| {
-                gemv_ref(s, s, 1.0, &a, s, &x, 1, 0.0, &mut y, 1);
-                black_box(&y);
-            })
+        group.throughput_elements((2 * s * s) as u64);
+        group.bench(&format!("serial/{s}"), || {
+            gemv_ref(s, s, 1.0, &a, s, &x, 1, 0.0, &mut y, 1).unwrap();
+            black_box(&y);
         });
-        group.bench_with_input(BenchmarkId::new("parallel", s), &s, |bench, &s| {
-            bench.iter(|| {
-                gemv_parallel(4, s, s, 1.0, &a, s, &x, 1, 0.0, &mut y, 1);
-                black_box(&y);
-            })
+        group.bench(&format!("parallel/{s}"), || {
+            gemv_parallel(4, s, s, 1.0, &a, s, &x, 1, 0.0, &mut y, 1).unwrap();
+            black_box(&y);
         });
     }
-    group.finish();
 }
 
-fn bench_paper_shapes(c: &mut Criterion) {
-    let mut group = c.benchmark_group("gemv_shapes");
+fn bench_paper_shapes(b: &mut Bench) {
+    let mut group = b.group("gemv_shapes");
     let shapes: [(&str, usize, usize); 4] = [
         ("tall_m16n", 4096, 256),
         ("wide_n16m", 256, 4096),
@@ -57,45 +52,34 @@ fn bench_paper_shapes(c: &mut Criterion) {
         let a = filled(m * n, 1);
         let x = filled(n, 2);
         let mut y = vec![0.0f64; m];
-        group.throughput(Throughput::Elements((2 * m * n) as u64));
-        group.bench_function(name, |bench| {
-            bench.iter(|| {
-                gemv_ref(m, n, 1.0, &a, m, &x, 1, 0.0, &mut y, 1);
-                black_box(&y);
-            })
+        group.throughput_elements((2 * m * n) as u64);
+        group.bench(name, || {
+            gemv_ref(m, n, 1.0, &a, m, &x, 1, 0.0, &mut y, 1).unwrap();
+            black_box(&y);
         });
     }
-    group.finish();
 }
 
-fn bench_strided(c: &mut Criterion) {
+fn bench_strided(b: &mut Bench) {
     // strided access patterns (incx = 2) vs unit stride
-    let mut group = c.benchmark_group("gemv_stride");
+    let mut group = b.group("gemv_stride");
     let s = 1024;
     let a = filled(s * s, 1);
     let x2 = filled(2 * s, 2);
     let mut y = vec![0.0f64; s];
-    group.bench_function("incx1", |bench| {
-        bench.iter(|| {
-            gemv_ref(s, s, 1.0, &a, s, &x2[..s], 1, 0.0, &mut y, 1);
-            black_box(&y);
-        })
+    group.bench("incx1", || {
+        gemv_ref(s, s, 1.0, &a, s, &x2[..s], 1, 0.0, &mut y, 1).unwrap();
+        black_box(&y);
     });
-    group.bench_function("incx2", |bench| {
-        bench.iter(|| {
-            gemv_ref(s, s, 1.0, &a, s, &x2, 2, 0.0, &mut y, 1);
-            black_box(&y);
-        })
+    group.bench("incx2", || {
+        gemv_ref(s, s, 1.0, &a, s, &x2, 2, 0.0, &mut y, 1).unwrap();
+        black_box(&y);
     });
-    group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
-        .sample_size(10)
-        .measurement_time(std::time::Duration::from_secs(2))
-        .warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_square, bench_paper_shapes, bench_strided
+fn main() {
+    let mut b = Bench::from_args("host_gemv");
+    bench_square(&mut b);
+    bench_paper_shapes(&mut b);
+    bench_strided(&mut b);
 }
-criterion_main!(benches);

@@ -1,5 +1,5 @@
-//! Criterion benchmarks of the simulator and harness themselves: how fast
-//! a full paper-scale sweep (4096 sizes × 3 offload strategies) and its
+//! Microbenchmarks of the simulator and harness themselves: how fast a
+//! full paper-scale sweep (4096 sizes × 3 offload strategies) and its
 //! threshold detection run. These are the operations `all_experiments`
 //! performs thousands of times, so they gate experiment turnaround.
 //!
@@ -7,50 +7,48 @@
 //! cargo bench -p blob-bench --bench sim_sweep
 //! ```
 
+use blob_bench::microbench::{black_box, Bench};
 use blob_core::problem::{GemmProblem, GemvProblem, Problem};
 use blob_core::runner::{run_sweep, SweepConfig};
 use blob_core::threshold::{offload_threshold_index, ThresholdPoint};
 use blob_sim::{presets, BlasCall, Offload, Precision};
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
-fn bench_single_pricing(c: &mut Criterion) {
+fn bench_single_pricing(b: &mut Bench) {
     let sys = presets::dawn();
     let call = BlasCall::gemm(Precision::F32, 1234, 567, 89);
-    c.bench_function("price_one_cpu_call", |b| {
-        b.iter(|| black_box(sys.cpu_seconds(black_box(&call), 8)))
+    let mut group = b.group("pricing");
+    group.bench("price_one_cpu_call", || {
+        black_box(sys.cpu_seconds(black_box(&call), 8));
     });
-    c.bench_function("price_one_gpu_call", |b| {
-        b.iter(|| black_box(sys.gpu_seconds(black_box(&call), 8, Offload::Unified)))
+    group.bench("price_one_gpu_call", || {
+        black_box(sys.gpu_seconds(black_box(&call), 8, Offload::Unified));
     });
 }
 
-fn bench_full_sweep(c: &mut Criterion) {
+fn bench_full_sweep(b: &mut Bench) {
     let sys = presets::lumi();
-    c.bench_function("sweep_gemm_4096_sizes", |b| {
-        b.iter(|| {
-            let s = run_sweep(
-                &sys,
-                Problem::Gemm(GemmProblem::Square),
-                Precision::F32,
-                &SweepConfig::paper(8),
-            );
-            black_box(s.records.len())
-        })
+    let mut group = b.group("sweep");
+    group.bench("gemm_4096_sizes", || {
+        let s = run_sweep(
+            &sys,
+            Problem::Gemm(GemmProblem::Square),
+            Precision::F32,
+            &SweepConfig::paper(8),
+        );
+        black_box(s.records.len());
     });
-    c.bench_function("sweep_gemv_4096_sizes", |b| {
-        b.iter(|| {
-            let s = run_sweep(
-                &sys,
-                Problem::Gemv(GemvProblem::Square),
-                Precision::F64,
-                &SweepConfig::paper(128),
-            );
-            black_box(s.records.len())
-        })
+    group.bench("gemv_4096_sizes", || {
+        let s = run_sweep(
+            &sys,
+            Problem::Gemv(GemvProblem::Square),
+            Precision::F64,
+            &SweepConfig::paper(128),
+        );
+        black_box(s.records.len());
     });
 }
 
-fn bench_threshold_detection(c: &mut Criterion) {
+fn bench_threshold_detection(b: &mut Bench) {
     // worst-case-ish series: alternating wins to exercise the noise logic
     let points: Vec<ThresholdPoint> = (0..4096)
         .map(|i| ThresholdPoint {
@@ -58,17 +56,15 @@ fn bench_threshold_detection(c: &mut Criterion) {
             gpu_seconds: 1.3 + (i % 5) as f64 * 0.05,
         })
         .collect();
-    c.bench_function("threshold_detect_4096_points", |b| {
-        b.iter(|| black_box(offload_threshold_index(black_box(&points))))
+    let mut group = b.group("threshold");
+    group.bench("detect_4096_points", || {
+        black_box(offload_threshold_index(black_box(&points)));
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
-        .sample_size(10)
-        .measurement_time(std::time::Duration::from_secs(2))
-        .warm_up_time(std::time::Duration::from_millis(300));
-    targets = bench_single_pricing, bench_full_sweep, bench_threshold_detection
+fn main() {
+    let mut b = Bench::from_args("sim_sweep");
+    bench_single_pricing(&mut b);
+    bench_full_sweep(&mut b);
+    bench_threshold_detection(&mut b);
 }
-criterion_main!(benches);

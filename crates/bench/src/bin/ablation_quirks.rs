@@ -20,16 +20,22 @@ use blob_sim::{presets, Offload, Precision, SystemModel};
 
 fn gemm_threshold(sys: &SystemModel, iters: u32) -> String {
     let p = Problem::Gemm(GemmProblem::Square);
-    threshold_param(p, sweep(sys, p, Precision::F32, iters).threshold(Offload::TransferOnce))
-        .map(|v| v.to_string())
-        .unwrap_or_else(|| "—".into())
+    threshold_param(
+        p,
+        sweep(sys, p, Precision::F32, iters).threshold(Offload::TransferOnce),
+    )
+    .map(|v| v.to_string())
+    .unwrap_or_else(|| "—".into())
 }
 
 fn gemv_threshold(sys: &SystemModel, iters: u32) -> String {
     let p = Problem::Gemv(GemvProblem::Square);
-    threshold_param(p, sweep(sys, p, Precision::F32, iters).threshold(Offload::TransferOnce))
-        .map(|v| v.to_string())
-        .unwrap_or_else(|| "—".into())
+    threshold_param(
+        p,
+        sweep(sys, p, Precision::F32, iters).threshold(Offload::TransferOnce),
+    )
+    .map(|v| v.to_string())
+    .unwrap_or_else(|| "—".into())
 }
 
 fn main() {
@@ -74,7 +80,9 @@ fn main() {
     let mut isam_adaptive = presets::isambard_ai();
     isam_adaptive.cpu_lib.adaptive_threading = true;
     isam_adaptive.name = "Isambard-AI (adaptive NVPL)";
-    println!("3. Isambard-AI square SGEMM Transfer-Once threshold, NVPL-as-is vs ArmPL-style scaling:");
+    println!(
+        "3. Isambard-AI square SGEMM Transfer-Once threshold, NVPL-as-is vs ArmPL-style scaling:"
+    );
     for iters in [1u32, 8] {
         println!(
             "   {iters:>3} iterations: all-threads-always {:>6} | adaptive {:>6}",

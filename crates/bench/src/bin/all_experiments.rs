@@ -102,8 +102,23 @@ fn main() {
     // --- Figures & Table I: delegate to the dedicated binaries -------------
     eprintln!("[4/5] Table I, Figures 2-7, extensions and ablations...");
     for bin in [
-        "table1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
-        "ext_batched", "ext_matrix_engine", "ext_spmv", "ext_energy", "ablation_quirks", "roofline", "fig_timeline", "ext_hybrid", "ext_trsm", "report",
+        "table1",
+        "fig2",
+        "fig3",
+        "fig4",
+        "fig5",
+        "fig6",
+        "fig7",
+        "ext_batched",
+        "ext_matrix_engine",
+        "ext_spmv",
+        "ext_energy",
+        "ablation_quirks",
+        "roofline",
+        "fig_timeline",
+        "ext_hybrid",
+        "ext_trsm",
+        "report",
     ] {
         let status = Command::new(std::env::current_exe().unwrap().with_file_name(bin))
             .env("BLOB_RESULTS_DIR", &dir)
@@ -120,12 +135,7 @@ fn main() {
     let mut failures = 0;
     for problem in Problem::all() {
         for precision in Precision::ALL {
-            let call = blob_core::runner::call_for(
-                problem,
-                precision,
-                33,
-                &SweepConfig::paper(1),
-            );
+            let call = blob_core::runner::call_for(problem, precision, 33, &SweepConfig::paper(1));
             let rep = blob_core::validate_call(&call, 0xB10B);
             checked += 1;
             if !rep.ok {

@@ -26,7 +26,8 @@ fn main() {
     for &batch in &batches {
         let mut row = vec![batch.to_string()];
         for sys in &systems {
-            let t = sys.batched_gemm_threshold(Precision::F32, batch, 8, Offload::TransferOnce, 2048);
+            let t =
+                sys.batched_gemm_threshold(Precision::F32, batch, 8, Offload::TransferOnce, 2048);
             row.push(t.map(|v| v.to_string()).unwrap_or_else(|| "—".into()));
         }
         table.push_row(row);

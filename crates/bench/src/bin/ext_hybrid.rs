@@ -14,7 +14,15 @@ fn main() {
     // --- MAGMA-style hybrid splits ------------------------------------------
     let mut table = Table::new(
         "Best CPU+GPU split for square SGEMM (Transfer-Once, 32 iterations)",
-        &["Size", "System", "GPU share", "CPU-only", "GPU-only", "Hybrid", "vs best single"],
+        &[
+            "Size",
+            "System",
+            "GPU share",
+            "CPU-only",
+            "GPU-only",
+            "Hybrid",
+            "vs best single",
+        ],
     );
     for sys in [
         presets::dawn(),
@@ -64,7 +72,9 @@ fn main() {
                     BlasCall::gemm(Precision::F32, s, s, s)
                 };
                 let w = sys.cpu_seconds(&call, iters)
-                    < sys.gpu_seconds(&call, iters, Offload::TransferOnce).unwrap();
+                    < sys
+                        .gpu_seconds(&call, iters, Offload::TransferOnce)
+                        .unwrap();
                 if w && (prev || s == 1) {
                     last = Some(s);
                 }

@@ -17,9 +17,12 @@ use blob_sim::{presets, with_matrix_engine, MatrixEngine, Offload, Precision, Sy
 
 fn threshold(sys: &SystemModel, precision: Precision, iters: u32) -> String {
     let s = sweep(sys, Problem::Gemm(GemmProblem::Square), precision, iters);
-    threshold_param(Problem::Gemm(GemmProblem::Square), s.threshold(Offload::TransferOnce))
-        .map(|v| v.to_string())
-        .unwrap_or_else(|| "—".into())
+    threshold_param(
+        Problem::Gemm(GemmProblem::Square),
+        s.threshold(Offload::TransferOnce),
+    )
+    .map(|v| v.to_string())
+    .unwrap_or_else(|| "—".into())
 }
 
 fn main() {

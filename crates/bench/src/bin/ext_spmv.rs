@@ -56,7 +56,13 @@ fn main() {
     ] {
         let mut table = Table::new(
             format!("DSpMV offload threshold (matrix rows) — {label}"),
-            &["Iterations", "DAWN Once", "LUMI Once", "Isambard Once", "Always (all)"],
+            &[
+                "Iterations",
+                "DAWN Once",
+                "LUMI Once",
+                "Isambard Once",
+                "Always (all)",
+            ],
         );
         for iters in [1u32, 8, 32, 128] {
             let mut row = vec![iters.to_string()];

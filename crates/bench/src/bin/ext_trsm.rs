@@ -58,13 +58,17 @@ fn main() {
     let c = TrsmCall::new(2048, 256, Precision::F64);
     let cpu = sys.cpu_trsm_seconds(&c, 1);
     let resident = sys.gpu_trsm_resident_seconds(&c, 1).unwrap();
-    let with = sys
-        .gpu_trsm_seconds(&c, 1, Offload::TransferOnce)
-        .unwrap();
+    let with = sys.gpu_trsm_seconds(&c, 1, Offload::TransferOnce).unwrap();
     println!("DAWN, DTRSM 2048x256, 1 iteration:");
     println!("  CPU                      {:>9.2} ms", cpu * 1e3);
-    println!("  GPU, data resident       {:>9.2} ms  <- the Li et al. comparison", resident * 1e3);
-    println!("  GPU, transfers included  {:>9.2} ms  <- what an application pays", with * 1e3);
+    println!(
+        "  GPU, data resident       {:>9.2} ms  <- the Li et al. comparison",
+        resident * 1e3
+    );
+    println!(
+        "  GPU, transfers included  {:>9.2} ms  <- what an application pays",
+        with * 1e3
+    );
     println!();
     println!("Reproduced: the small-n CPU / large-n GPU crossover exists on every");
     println!("system for resident data, and pricing the transfers (the paper's");

@@ -19,7 +19,10 @@ fn main() {
     let series = vec![
         Series::from_usize("CPU (oneMKL, 48T)", &s.cpu_series()),
         Series::from_usize("GPU Transfer-Once", &s.gpu_series(Offload::TransferOnce)),
-        Series::from_usize("GPU Transfer-Always", &s.gpu_series(Offload::TransferAlways)),
+        Series::from_usize(
+            "GPU Transfer-Always",
+            &s.gpu_series(Offload::TransferAlways),
+        ),
         Series::from_usize("GPU USM", &s.gpu_series(Offload::Unified)),
     ];
     let title = "Fig 2 — Square SGEMM performance (1 iteration) on DAWN";
@@ -34,7 +37,10 @@ fn main() {
             .unwrap_or(0.0)
     };
     println!("CPU GFLOP/s at 628: {:.0}", g(628));
-    println!("CPU GFLOP/s at 629: {:.0}  (the oneMKL heuristic cliff)", g(629));
+    println!(
+        "CPU GFLOP/s at 629: {:.0}  (the oneMKL heuristic cliff)",
+        g(629)
+    );
     println!("CPU GFLOP/s at 3500: {:.0} (recovered)", g(3500));
     println!(
         "Threshold (Transfer-Once): {:?}",

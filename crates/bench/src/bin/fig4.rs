@@ -24,7 +24,10 @@ fn main() {
             Series::from_usize("GPU Transfer-Once", &s.gpu_series(Offload::TransferOnce)),
             Series::from_usize("GPU USM", &s.gpu_series(Offload::Unified)),
         ];
-        let title = format!("Fig 4 — Square DGEMV performance (1 iteration) on {}", sys.name);
+        let title = format!(
+            "Fig 4 — Square DGEMV performance (1 iteration) on {}",
+            sys.name
+        );
         println!("{}", ascii_chart(&title, &series, 100, 18));
         println!(
             "Offload threshold (Once): {:?} — expected None at 1 iteration",

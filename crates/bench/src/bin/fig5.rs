@@ -17,11 +17,19 @@ use blob_sim::{presets, Offload, Precision};
 
 fn main() {
     for sys in [presets::isambard_ai(), presets::dawn()] {
-        let s = sweep(&sys, Problem::Gemv(GemvProblem::Square), Precision::F32, 128);
+        let s = sweep(
+            &sys,
+            Problem::Gemv(GemvProblem::Square),
+            Precision::F32,
+            128,
+        );
         let series = vec![
             Series::from_usize("CPU", &s.cpu_series()),
             Series::from_usize("GPU Transfer-Once", &s.gpu_series(Offload::TransferOnce)),
-            Series::from_usize("GPU Transfer-Always", &s.gpu_series(Offload::TransferAlways)),
+            Series::from_usize(
+                "GPU Transfer-Always",
+                &s.gpu_series(Offload::TransferAlways),
+            ),
             Series::from_usize("GPU USM", &s.gpu_series(Offload::Unified)),
         ];
         let title = format!(

@@ -36,7 +36,13 @@ fn main() {
     let title = "Fig 6 — AOCL vs OpenBLAS square DGEMV CPU performance (128 iters) on LUMI";
     println!("{}", ascii_chart(title, &series, 100, 20));
 
-    let at = |s: &Series, x: f64| s.points.iter().find(|p| p.0 >= x).map(|p| p.1).unwrap_or(0.0);
+    let at = |s: &Series, x: f64| {
+        s.points
+            .iter()
+            .find(|p| p.0 >= x)
+            .map(|p| p.1)
+            .unwrap_or(0.0)
+    };
     println!(
         "GFLOP/s at 150:  AOCL {:.2} | OpenBLAS {:.2}  (AOCL better at small sizes)",
         at(&series[0], 150.0),

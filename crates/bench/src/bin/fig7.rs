@@ -42,7 +42,13 @@ fn main() {
     let title = "Fig 7 — DAWN GPU SGEMM (32 iterations): implicit vs explicit scaling";
     println!("{}", ascii_chart(title, &series, 100, 20));
 
-    let at = |s: &Series, x: f64| s.points.iter().find(|p| p.0 >= x).map(|p| p.1).unwrap_or(0.0);
+    let at = |s: &Series, x: f64| {
+        s.points
+            .iter()
+            .find(|p| p.0 >= x)
+            .map(|p| p.1)
+            .unwrap_or(0.0)
+    };
     for size in [1024.0, 2048.0, 4096.0] {
         let e = at(&series[0], size);
         let i = at(&series[1], size);

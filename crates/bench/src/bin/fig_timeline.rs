@@ -42,7 +42,10 @@ fn main() {
             );
         }
         let svg = timeline_svg(
-            &format!("Offload timelines — {} (SGEMM 1024^3, {iters} iters)", sys.name),
+            &format!(
+                "Offload timelines — {} (SGEMM 1024^3, {iters} iters)",
+                sys.name
+            ),
             &lanes,
         );
         let path = results_dir().join(format!(

@@ -29,25 +29,81 @@ fn paper_targets(system: &str) -> Vec<[Cell; 3]> {
     // rows: iterations 1, 8, 32, 64, 128; columns: Once, Always, USM
     match system {
         "DAWN" => vec![
-            [(Some(629), Some(582)), (Some(629), Some(582)), (Some(657), Some(626))],
-            [(Some(572), Some(485)), (Some(629), Some(603)), (Some(596), Some(529))],
-            [(Some(514), Some(377)), (Some(1018), Some(833)), (Some(509), Some(389))],
-            [(Some(514), Some(361)), (Some(1153), Some(1153)), (Some(465), Some(436))],
-            [(Some(514), Some(361)), (Some(1265), Some(1153)), (Some(412), Some(377))],
+            [
+                (Some(629), Some(582)),
+                (Some(629), Some(582)),
+                (Some(657), Some(626)),
+            ],
+            [
+                (Some(572), Some(485)),
+                (Some(629), Some(603)),
+                (Some(596), Some(529)),
+            ],
+            [
+                (Some(514), Some(377)),
+                (Some(1018), Some(833)),
+                (Some(509), Some(389)),
+            ],
+            [
+                (Some(514), Some(361)),
+                (Some(1153), Some(1153)),
+                (Some(465), Some(436)),
+            ],
+            [
+                (Some(514), Some(361)),
+                (Some(1265), Some(1153)),
+                (Some(412), Some(377)),
+            ],
         ],
         "LUMI" => vec![
             [(Some(502), Some(237)), (Some(441), Some(234)), (None, None)],
-            [(Some(153), Some(125)), (Some(512), Some(256)), (Some(606), Some(539))],
-            [(Some(2), Some(2)), (Some(512), Some(461)), (Some(442), Some(256))],
-            [(Some(2), Some(2)), (Some(589), Some(961)), (Some(381), Some(239))],
-            [(Some(2), Some(2)), (Some(512), Some(1009)), (Some(189), Some(153))],
+            [
+                (Some(153), Some(125)),
+                (Some(512), Some(256)),
+                (Some(606), Some(539)),
+            ],
+            [
+                (Some(2), Some(2)),
+                (Some(512), Some(461)),
+                (Some(442), Some(256)),
+            ],
+            [
+                (Some(2), Some(2)),
+                (Some(589), Some(961)),
+                (Some(381), Some(239)),
+            ],
+            [
+                (Some(2), Some(2)),
+                (Some(512), Some(1009)),
+                (Some(189), Some(153)),
+            ],
         ],
         _ => vec![
-            [(Some(26), Some(26)), (Some(26), Some(26)), (Some(196), Some(411))],
-            [(Some(26), Some(26)), (Some(26), Some(26)), (Some(26), Some(26))],
-            [(Some(26), Some(26)), (Some(26), Some(26)), (Some(26), Some(26))],
-            [(Some(26), Some(26)), (Some(26), Some(26)), (Some(26), Some(26))],
-            [(Some(26), Some(26)), (Some(26), Some(26)), (Some(26), Some(26))],
+            [
+                (Some(26), Some(26)),
+                (Some(26), Some(26)),
+                (Some(196), Some(411)),
+            ],
+            [
+                (Some(26), Some(26)),
+                (Some(26), Some(26)),
+                (Some(26), Some(26)),
+            ],
+            [
+                (Some(26), Some(26)),
+                (Some(26), Some(26)),
+                (Some(26), Some(26)),
+            ],
+            [
+                (Some(26), Some(26)),
+                (Some(26), Some(26)),
+                (Some(26), Some(26)),
+            ],
+            [
+                (Some(26), Some(26)),
+                (Some(26), Some(26)),
+                (Some(26), Some(26)),
+            ],
         ],
     }
 }
@@ -97,7 +153,13 @@ impl Knobs {
         }
     }
     fn get(&self, i: usize) -> f64 {
-        [self.cpu_half_work, self.gpu_half_work, self.cpu_overhead, self.gpu_launch, self.warm_boost][i]
+        [
+            self.cpu_half_work,
+            self.gpu_half_work,
+            self.cpu_overhead,
+            self.gpu_launch,
+            self.warm_boost,
+        ][i]
     }
     fn set(&mut self, i: usize, v: f64) {
         match i {

@@ -32,7 +32,11 @@ fn main() {
                 }
             }
             let md = markdown_report(
-                &format!("{} — square {} offload profile", sys.name, tag.to_uppercase()),
+                &format!(
+                    "{} — square {} offload profile",
+                    sys.name,
+                    tag.to_uppercase()
+                ),
                 &sweeps,
             );
             let path = dir.join(format!(

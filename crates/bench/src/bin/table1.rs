@@ -40,7 +40,11 @@ fn main() {
             "Intel Data Center GPU Max 1550",
             true,
         ),
-        (presets::xeon8468_onemkl_1t(), "Intel Xeon Platinum 8468", false),
+        (
+            presets::xeon8468_onemkl_1t(),
+            "Intel Xeon Platinum 8468",
+            false,
+        ),
         (presets::epyc7543_aocl_1t(), "AMD EPYC 7543P", false),
     ];
 

@@ -20,6 +20,8 @@ fn main() {
     println!("{}", table.render());
     println!("Paper reference (SGEMM:DGEMM):");
     println!("  DAWN        Once 629:582 -> 514:361 | Always 629:582 -> 1265:1153 | USM 657:626 -> 412:377");
-    println!("  LUMI        Once 502:237 -> 2:2     | Always 441:234 -> 512:1009  | USM —:— -> 189:153");
+    println!(
+        "  LUMI        Once 502:237 -> 2:2     | Always 441:234 -> 512:1009  | USM —:— -> 189:153"
+    );
     println!("  Isambard-AI Once 26:26 (static)     | Always 26:26 (static)       | USM 196:411 -> 26:26");
 }

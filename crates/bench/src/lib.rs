@@ -29,8 +29,11 @@
 //! | `report`          | per-system markdown reports |
 //! | `all_experiments` | everything above, written to `results/` |
 //!
-//! This library holds the shared sweep/table plumbing; `benches/` holds
-//! Criterion benchmarks of the *real* host BLAS kernels.
+//! This library holds the shared sweep/table plumbing plus the
+//! [`microbench`] harness; `benches/` holds microbenchmarks of the *real*
+//! host BLAS kernels built on it.
+
+pub mod microbench;
 
 use blob_analysis::{sd_pair_cell, Table};
 use blob_core::problem::Problem;
@@ -80,6 +83,7 @@ pub fn threshold_param(problem: Problem, t: Option<Kernel>) -> Option<usize> {
 /// One row of a Table III/IV-style threshold grid.
 #[derive(Debug, Clone)]
 pub struct ThresholdRow {
+    /// Iteration count of the row's timed loops.
     pub iterations: u32,
     /// Per offload (paper column order): `(SGEMM/SGEMV, DGEMM/DGEMV)`
     /// threshold size parameters, `None` = no threshold.

@@ -12,7 +12,13 @@
 //! instance is small by assumption, so inter-instance parallelism is the
 //! only parallelism worth having (the same reasoning as the batched-BLAS
 //! papers the paper cites).
+//!
+//! Every entry point validates its arguments through
+//! [`contract`](crate::contract) before touching any buffer; stride layouts
+//! that would alias instances come back as
+//! [`ContractError::OverlappingBatchStride`].
 
+use crate::contract::{self, ContractError};
 use crate::gemm::gemm;
 use crate::gemv::gemv_ref;
 use crate::scalar::Scalar;
@@ -20,11 +26,17 @@ use crate::scalar::Scalar;
 /// Arguments shared by every instance of a strided batched GEMM.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BatchedGemmDesc {
+    /// Rows of each `A`/`C` instance.
     pub m: usize,
+    /// Columns of each `B`/`C` instance.
     pub n: usize,
+    /// Shared dimension of each instance.
     pub k: usize,
+    /// Leading dimension of each `A` instance.
     pub lda: usize,
+    /// Leading dimension of each `B` instance.
     pub ldb: usize,
+    /// Leading dimension of each `C` instance.
     pub ldc: usize,
     /// Elements between consecutive A instances (≥ `lda * k`).
     pub stride_a: usize,
@@ -50,38 +62,34 @@ impl BatchedGemmDesc {
         }
     }
 
-    fn check<T>(&self, batch: usize, a: &[T], b: &[T], c: &[T]) {
-        assert!(self.lda >= self.m.max(1), "lda too small");
-        assert!(self.ldb >= self.k.max(1), "ldb too small");
-        assert!(self.ldc >= self.m.max(1), "ldc too small");
-        assert!(
-            self.stride_a >= self.lda * self.k,
-            "stride_a would alias instances"
-        );
-        assert!(
-            self.stride_b >= self.ldb * self.n,
-            "stride_b would alias instances"
-        );
-        assert!(
-            self.stride_c >= self.ldc * self.n,
-            "stride_c would alias instances"
-        );
-        if batch == 0 {
-            return;
-        }
-        let need = |stride: usize, last: usize| (batch - 1) * stride + last;
-        assert!(
-            a.len() >= need(self.stride_a, self.lda * self.k),
-            "A buffer too short for batch"
-        );
-        assert!(
-            b.len() >= need(self.stride_b, self.ldb * self.n),
-            "B buffer too short for batch"
-        );
-        assert!(
-            c.len() >= need(self.stride_c, self.ldc * self.n),
-            "C buffer too short for batch"
-        );
+    fn check<T>(&self, batch: usize, a: &[T], b: &[T], c: &[T]) -> Result<(), ContractError> {
+        contract::check_batched_operand(
+            "a",
+            a.len(),
+            batch,
+            self.m,
+            self.k,
+            self.lda,
+            self.stride_a,
+        )?;
+        contract::check_batched_operand(
+            "b",
+            b.len(),
+            batch,
+            self.k,
+            self.n,
+            self.ldb,
+            self.stride_b,
+        )?;
+        contract::check_batched_operand(
+            "c",
+            c.len(),
+            batch,
+            self.m,
+            self.n,
+            self.ldc,
+            self.stride_c,
+        )
     }
 }
 
@@ -95,10 +103,12 @@ pub fn gemm_batched<T: Scalar>(
     b: &[T],
     beta: T,
     c: &mut [T],
-) {
-    desc.check(batch, a, b, c);
+) -> Result<(), ContractError> {
+    desc.check(batch, a, b, c)?;
     for i in 0..batch {
-        gemm(
+        // The batch contract covers each instance; per-instance calls on
+        // the validated layout cannot fail.
+        let _ = gemm(
             desc.m,
             desc.n,
             desc.k,
@@ -112,6 +122,7 @@ pub fn gemm_batched<T: Scalar>(
             desc.ldc,
         );
     }
+    Ok(())
 }
 
 /// Parallel strided-batch GEMM: instances are distributed over `threads`
@@ -126,16 +137,26 @@ pub fn gemm_batched_parallel<T: Scalar>(
     b: &[T],
     beta: T,
     c: &mut [T],
-) {
-    desc.check(batch, a, b, c);
+) -> Result<(), ContractError> {
+    desc.check(batch, a, b, c)?;
     if batch == 0 {
-        return;
+        return Ok(());
     }
     // Split C at instance boundaries (instances are stride_c apart) so
     // each thread exclusively owns a contiguous run of output instances.
     let stride_c = desc.stride_c.max(1);
     let mut chunks: Vec<&mut [T]> = c.chunks_mut(stride_c).take(batch).collect();
-    assert!(chunks.len() == batch, "C buffer too short for batch");
+    if chunks.len() < batch {
+        // Tail instance shorter than a full stride: possible when the last
+        // instance's panel is tight. chunks_mut still yields it, so this
+        // only fires for genuinely truncated buffers the contract rejects;
+        // keep it as a defensive error rather than an index panic.
+        return Err(ContractError::BufferTooShort {
+            arg: "c",
+            required: stride_c * batch,
+            actual: chunks.iter().map(|ch| ch.len()).sum(),
+        });
+    }
     let runs = threads.clamp(1, batch);
     let per = batch.div_ceil(runs);
     std::thread::scope(|s| {
@@ -147,7 +168,8 @@ pub fn gemm_batched_parallel<T: Scalar>(
             s.spawn(move || {
                 for (j, ci) in mine.into_iter().enumerate() {
                     let i = base + j;
-                    gemm(
+                    // Validated batch layout: per-instance call cannot fail.
+                    let _ = gemm(
                         desc.m,
                         desc.n,
                         desc.k,
@@ -165,6 +187,7 @@ pub fn gemm_batched_parallel<T: Scalar>(
             i0 += take;
         }
     });
+    Ok(())
 }
 
 /// Serial strided-batch GEMV: `y[i] ← α·A[i]·x[i] + β·y[i]`.
@@ -182,17 +205,14 @@ pub fn gemv_batched<T: Scalar>(
     beta: T,
     y: &mut [T],
     stride_y: usize,
-) {
-    assert!(stride_a >= lda * n, "stride_a would alias instances");
-    assert!(stride_x >= n, "stride_x would alias instances");
-    assert!(stride_y >= m, "stride_y would alias instances");
-    if batch > 0 {
-        assert!(a.len() >= (batch - 1) * stride_a + lda * n, "A too short");
-        assert!(x.len() >= (batch - 1) * stride_x + n, "x too short");
-        assert!(y.len() >= (batch - 1) * stride_y + m, "y too short");
-    }
+) -> Result<(), ContractError> {
+    contract::check_batched_operand("a", a.len(), batch, m, n, lda, stride_a)?;
+    // Vectors are single-column batched operands.
+    contract::check_batched_operand("x", x.len(), batch, n, 1, n.max(1), stride_x)?;
+    contract::check_batched_operand("y", y.len(), batch, m, 1, m.max(1), stride_y)?;
     for i in 0..batch {
-        gemv_ref(
+        // Validated batch layout: per-instance call cannot fail.
+        let _ = gemv_ref(
             m,
             n,
             alpha,
@@ -205,6 +225,7 @@ pub fn gemv_batched<T: Scalar>(
             1,
         );
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -233,7 +254,7 @@ mod tests {
         let c0 = filled(desc.stride_c * batch, 3);
 
         let mut c_batched = c0.clone();
-        gemm_batched(&desc, batch, 1.5, &a, &b, 0.5, &mut c_batched);
+        gemm_batched(&desc, batch, 1.5, &a, &b, 0.5, &mut c_batched).unwrap();
 
         for i in 0..batch {
             let mut expect = c0[i * desc.stride_c..(i + 1) * desc.stride_c].to_vec();
@@ -249,7 +270,8 @@ mod tests {
                 0.5,
                 &mut expect,
                 desc.ldc,
-            );
+            )
+            .unwrap();
             for (got, want) in c_batched[i * desc.stride_c..(i + 1) * desc.stride_c]
                 .iter()
                 .zip(expect.iter())
@@ -267,10 +289,10 @@ mod tests {
             let b = filled(desc.stride_b * batch, 5);
             let mut c1 = vec![0.0; desc.stride_c * batch];
             let mut c2 = vec![0.0; desc.stride_c * batch];
-            gemm_batched(&desc, batch, 1.0, &a, &b, 0.0, &mut c1);
+            gemm_batched(&desc, batch, 1.0, &a, &b, 0.0, &mut c1).unwrap();
             for threads in [1usize, 3, 8] {
                 c2.fill(0.0);
-                gemm_batched_parallel(threads, &desc, batch, 1.0, &a, &b, 0.0, &mut c2);
+                gemm_batched_parallel(threads, &desc, batch, 1.0, &a, &b, 0.0, &mut c2).unwrap();
                 assert_eq!(c1, c2, "batch {batch} threads {threads}");
             }
         }
@@ -284,7 +306,7 @@ mod tests {
         let a = filled(desc.stride_a * batch, 6);
         let b = filled(desc.stride_b * batch, 7);
         let mut c = vec![9.0; (batch - 1) * desc.stride_c + 16];
-        gemm_batched(&desc, batch, 1.0, &a, &b, 0.0, &mut c);
+        gemm_batched(&desc, batch, 1.0, &a, &b, 0.0, &mut c).unwrap();
         // gap elements retain their sentinel value
         for i in 0..batch - 1 {
             for g in 16..desc.stride_c {
@@ -297,29 +319,39 @@ mod tests {
     fn batch_zero_is_noop() {
         let desc = BatchedGemmDesc::tight(4, 4, 4);
         let mut c: Vec<f64> = vec![];
-        gemm_batched(&desc, 0, 1.0, &[], &[], 0.0, &mut c);
-        gemm_batched_parallel(2, &desc, 0, 1.0, &[], &[], 0.0, &mut c);
+        gemm_batched(&desc, 0, 1.0, &[], &[], 0.0, &mut c).unwrap();
+        gemm_batched_parallel(2, &desc, 0, 1.0, &[], &[], 0.0, &mut c).unwrap();
     }
 
     #[test]
-    #[should_panic(expected = "alias")]
     fn aliasing_stride_rejected() {
         let mut desc = BatchedGemmDesc::tight(4, 4, 4);
         desc.stride_c = 8; // < ldc * n
         let a = vec![0.0; desc.stride_a * 2];
         let b = vec![0.0; desc.stride_b * 2];
         let mut c = vec![0.0; 64];
-        gemm_batched(&desc, 2, 1.0, &a, &b, 0.0, &mut c);
+        let err = gemm_batched(&desc, 2, 1.0, &a, &b, 0.0, &mut c).unwrap_err();
+        assert!(matches!(
+            err,
+            ContractError::OverlappingBatchStride {
+                arg: "c",
+                stride: 8,
+                required: 16
+            }
+        ));
     }
 
     #[test]
-    #[should_panic(expected = "A buffer too short")]
     fn short_batch_buffer_rejected() {
         let desc = BatchedGemmDesc::tight(4, 4, 4);
         let a = vec![0.0; desc.stride_a]; // room for 1, batch of 2
         let b = vec![0.0; desc.stride_b * 2];
         let mut c = vec![0.0; desc.stride_c * 2];
-        gemm_batched(&desc, 2, 1.0, &a, &b, 0.0, &mut c);
+        let err = gemm_batched(&desc, 2, 1.0, &a, &b, 0.0, &mut c).unwrap_err();
+        assert!(matches!(
+            err,
+            ContractError::BufferTooShort { arg: "a", .. }
+        ));
     }
 
     #[test]
@@ -328,11 +360,37 @@ mod tests {
         let a = filled(m * n * batch, 8);
         let x = filled(n * batch, 9);
         let mut y = vec![0.0; m * batch];
-        gemv_batched(m, n, batch, 2.0, &a, m, m * n, &x, n, 0.0, &mut y, m);
+        gemv_batched(m, n, batch, 2.0, &a, m, m * n, &x, n, 0.0, &mut y, m).unwrap();
         for i in 0..batch {
             let mut expect = vec![0.0; m];
-            gemv_ref(m, n, 2.0, &a[i * m * n..], m, &x[i * n..], 1, 0.0, &mut expect, 1);
+            gemv_ref(
+                m,
+                n,
+                2.0,
+                &a[i * m * n..],
+                m,
+                &x[i * n..],
+                1,
+                0.0,
+                &mut expect,
+                1,
+            )
+            .unwrap();
             assert_eq!(&y[i * m..(i + 1) * m], expect.as_slice(), "instance {i}");
         }
+    }
+
+    #[test]
+    fn gemv_batched_rejects_aliasing_y() {
+        let (m, n, batch) = (4, 4, 3);
+        let a = filled(m * n * batch, 10);
+        let x = filled(n * batch, 11);
+        let mut y = vec![0.0; m * batch];
+        let err =
+            gemv_batched(m, n, batch, 1.0, &a, m, m * n, &x, n, 0.0, &mut y, m - 1).unwrap_err();
+        assert!(matches!(
+            err,
+            ContractError::OverlappingBatchStride { arg: "y", .. }
+        ));
     }
 }

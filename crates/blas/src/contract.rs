@@ -1,0 +1,432 @@
+//! cblas-style argument-contract validation for every public kernel.
+//!
+//! Reference BLAS responds to a bad argument by calling `XERBLA`, which
+//! prints and aborts.  That is exactly the failure mode a long-running
+//! benchmark harness cannot afford, so every public kernel in this crate
+//! instead routes its arguments through one of the `check_*` functions
+//! below *before touching any slice*, and surfaces problems as a typed
+//! [`ContractError`].  The `blob-check` static-analysis tool's
+//! `contract-guard` rule verifies the "before touching any slice" part
+//! mechanically.
+//!
+//! The contract mirrors the cblas one for column-major storage:
+//!
+//! - dimensions are arbitrary `usize` (zero is legal and means "empty");
+//! - a leading dimension must satisfy `ld >= max(1, rows)`;
+//! - a vector increment must be non-zero (negative walks the vector
+//!   backwards, as in BLAS: element `i` lives at `(n-1-i) * |inc|`);
+//! - every buffer must be long enough for the highest element the kernel
+//!   will address.
+
+use core::fmt;
+
+/// A violated kernel-argument contract.
+///
+/// Each variant carries enough context to identify the offending argument
+/// without the caller having to re-derive it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ContractError {
+    /// A leading dimension is below `max(1, rows)`.
+    LeadingDim {
+        /// Which matrix argument (`"a"`, `"b"`, `"c"`).
+        arg: &'static str,
+        /// The supplied leading dimension.
+        ld: usize,
+        /// The number of rows the matrix claims to have.
+        rows: usize,
+    },
+    /// A vector increment of zero was supplied.
+    ZeroIncrement {
+        /// Which vector argument (`"x"`, `"y"`).
+        arg: &'static str,
+    },
+    /// A buffer is too short for the elements the kernel would address.
+    BufferTooShort {
+        /// Which buffer argument.
+        arg: &'static str,
+        /// Length the contract requires.
+        required: usize,
+        /// Length actually supplied.
+        actual: usize,
+    },
+    /// A strided batch layout would make consecutive problems overlap.
+    OverlappingBatchStride {
+        /// Which batched buffer argument.
+        arg: &'static str,
+        /// The supplied batch stride.
+        stride: usize,
+        /// Minimum stride for non-overlapping problems.
+        required: usize,
+    },
+    /// A triangular solve met a zero on the diagonal.
+    SingularDiagonal {
+        /// Index of the zero diagonal element.
+        index: usize,
+    },
+}
+
+impl fmt::Display for ContractError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::LeadingDim { arg, ld, rows } => write!(
+                f,
+                "leading dimension of `{arg}` is {ld} but must be >= max(1, {rows})"
+            ),
+            Self::ZeroIncrement { arg } => {
+                write!(f, "increment of vector `{arg}` must be non-zero")
+            }
+            Self::BufferTooShort {
+                arg,
+                required,
+                actual,
+            } => write!(
+                f,
+                "buffer `{arg}` holds {actual} elements but the call addresses {required}"
+            ),
+            Self::OverlappingBatchStride {
+                arg,
+                stride,
+                required,
+            } => write!(
+                f,
+                "batch stride of `{arg}` is {stride} but problems need at least {required} to not overlap"
+            ),
+            Self::SingularDiagonal { index } => {
+                write!(f, "triangular matrix is singular: zero diagonal at index {index}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ContractError {}
+
+/// Storage offset of logical vector element `i` under the BLAS increment
+/// convention: for `inc < 0` the vector is traversed backwards, with
+/// logical element `i` of an `n`-element vector at `(n - 1 - i) * |inc|`.
+///
+/// `n` must be non-zero and `i < n`; callers validate via [`check_vector`]
+/// first.
+#[inline]
+pub fn vec_index(i: usize, n: usize, inc: isize) -> usize {
+    debug_assert!(i < n);
+    if inc >= 0 {
+        i * inc as usize
+    } else {
+        (n - 1 - i) * inc.unsigned_abs()
+    }
+}
+
+/// Number of buffer elements an `n`-element vector with increment `inc`
+/// addresses: `1 + (n-1) * |inc|`, or zero when `n == 0`.
+#[inline]
+pub fn vec_span(n: usize, inc: isize) -> usize {
+    if n == 0 {
+        0
+    } else {
+        1 + (n - 1) * inc.unsigned_abs()
+    }
+}
+
+/// Validate one column-major matrix argument: `ld >= max(1, rows)` and the
+/// buffer holds `ld * cols` elements (the last column may be short by
+/// `ld - rows`, but we require the full panel like cblas does — it keeps
+/// blocked kernels free to read whole panels).
+pub fn check_matrix(
+    arg: &'static str,
+    buf_len: usize,
+    rows: usize,
+    cols: usize,
+    ld: usize,
+) -> Result<(), ContractError> {
+    if ld < rows.max(1) {
+        return Err(ContractError::LeadingDim { arg, ld, rows });
+    }
+    // An empty matrix (either dimension zero) addresses no storage.
+    let required = if rows == 0 || cols == 0 {
+        0
+    } else {
+        ld * (cols - 1) + rows
+    };
+    if buf_len < required {
+        return Err(ContractError::BufferTooShort {
+            arg,
+            required,
+            actual: buf_len,
+        });
+    }
+    Ok(())
+}
+
+/// Validate one strided vector argument: `inc != 0` and the buffer covers
+/// `1 + (n-1)*|inc|` elements.
+pub fn check_vector(
+    arg: &'static str,
+    buf_len: usize,
+    n: usize,
+    inc: isize,
+) -> Result<(), ContractError> {
+    if inc == 0 {
+        return Err(ContractError::ZeroIncrement { arg });
+    }
+    let required = vec_span(n, inc);
+    if buf_len < required {
+        return Err(ContractError::BufferTooShort {
+            arg,
+            required,
+            actual: buf_len,
+        });
+    }
+    Ok(())
+}
+
+/// Full GEMM contract: `C(m×n) += A(m×k) · B(k×n)`, all column-major.
+#[allow(clippy::too_many_arguments)]
+pub fn check_gemm(
+    m: usize,
+    n: usize,
+    k: usize,
+    a_len: usize,
+    lda: usize,
+    b_len: usize,
+    ldb: usize,
+    c_len: usize,
+    ldc: usize,
+) -> Result<(), ContractError> {
+    check_matrix("a", a_len, m, k, lda)?;
+    check_matrix("b", b_len, k, n, ldb)?;
+    check_matrix("c", c_len, m, n, ldc)
+}
+
+/// Full GEMV contract: `y(m) += A(m×n) · x(n)`, column-major `A`, strided
+/// `x` and `y`.
+#[allow(clippy::too_many_arguments)]
+pub fn check_gemv(
+    m: usize,
+    n: usize,
+    a_len: usize,
+    lda: usize,
+    x_len: usize,
+    incx: isize,
+    y_len: usize,
+    incy: isize,
+) -> Result<(), ContractError> {
+    check_matrix("a", a_len, m, n, lda)?;
+    check_vector("x", x_len, n, incx)?;
+    check_vector("y", y_len, m, incy)
+}
+
+/// GER contract: `A(m×n) += alpha · x(m) · y(n)ᵀ`.
+#[allow(clippy::too_many_arguments)]
+pub fn check_ger(
+    m: usize,
+    n: usize,
+    x_len: usize,
+    incx: isize,
+    y_len: usize,
+    incy: isize,
+    a_len: usize,
+    lda: usize,
+) -> Result<(), ContractError> {
+    check_vector("x", x_len, m, incx)?;
+    check_vector("y", y_len, n, incy)?;
+    check_matrix("a", a_len, m, n, lda)
+}
+
+/// SYRK contract: `C(n×n) += alpha · A(n×k) · Aᵀ`.
+pub fn check_syrk(
+    n: usize,
+    k: usize,
+    a_len: usize,
+    lda: usize,
+    c_len: usize,
+    ldc: usize,
+) -> Result<(), ContractError> {
+    check_matrix("a", a_len, n, k, lda)?;
+    check_matrix("c", c_len, n, n, ldc)
+}
+
+/// TRSV contract: solve `op(A) · x = b` in place for triangular `A(n×n)`.
+pub fn check_trsv(
+    n: usize,
+    a_len: usize,
+    lda: usize,
+    x_len: usize,
+    incx: isize,
+) -> Result<(), ContractError> {
+    check_matrix("a", a_len, n, n, lda)?;
+    check_vector("x", x_len, n, incx)
+}
+
+/// TRSM contract: solve `A · X = alpha · B` in place for triangular
+/// `A(m×m)` and `B(m×n)`.
+pub fn check_trsm(
+    m: usize,
+    n: usize,
+    a_len: usize,
+    lda: usize,
+    b_len: usize,
+    ldb: usize,
+) -> Result<(), ContractError> {
+    check_matrix("a", a_len, m, m, lda)?;
+    check_matrix("b", b_len, m, n, ldb)
+}
+
+/// One strided-batch operand: per-problem matrix contract plus
+/// non-overlap of consecutive problems in the shared buffer.
+#[allow(clippy::too_many_arguments)]
+pub fn check_batched_operand(
+    arg: &'static str,
+    buf_len: usize,
+    batch: usize,
+    rows: usize,
+    cols: usize,
+    ld: usize,
+    stride: usize,
+) -> Result<(), ContractError> {
+    if ld < rows.max(1) {
+        return Err(ContractError::LeadingDim { arg, ld, rows });
+    }
+    let per_problem = if rows == 0 || cols == 0 {
+        0
+    } else {
+        ld * (cols - 1) + rows
+    };
+    if batch == 0 || per_problem == 0 {
+        return Ok(());
+    }
+    if batch > 1 && stride < per_problem {
+        return Err(ContractError::OverlappingBatchStride {
+            arg,
+            stride,
+            required: per_problem,
+        });
+    }
+    let required = stride * (batch - 1) + per_problem;
+    if buf_len < required {
+        return Err(ContractError::BufferTooShort {
+            arg,
+            required,
+            actual: buf_len,
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_accepts_tight_and_padded_layouts() {
+        assert!(check_matrix("a", 12, 3, 4, 3).is_ok());
+        assert!(check_matrix("a", 5 * 3 + 3, 3, 4, 5).is_ok());
+        // last column may stop at `rows`, not `ld`
+        assert!(check_matrix("a", 5 * 3 + 3, 3, 4, 5).is_ok());
+    }
+
+    #[test]
+    fn matrix_rejects_small_ld() {
+        assert_eq!(
+            check_matrix("a", 100, 4, 4, 3),
+            Err(ContractError::LeadingDim {
+                arg: "a",
+                ld: 3,
+                rows: 4
+            })
+        );
+    }
+
+    #[test]
+    fn matrix_requires_ld_one_when_empty_rows() {
+        // cblas: ld >= max(1, rows) even for 0-row matrices
+        assert!(check_matrix("a", 0, 0, 4, 0).is_err());
+        assert!(check_matrix("a", 3, 0, 4, 1).is_ok());
+    }
+
+    #[test]
+    fn matrix_rejects_short_buffer() {
+        assert_eq!(
+            check_matrix("b", 11, 3, 4, 3),
+            Err(ContractError::BufferTooShort {
+                arg: "b",
+                required: 12,
+                actual: 11
+            })
+        );
+    }
+
+    #[test]
+    fn zero_cols_needs_no_buffer() {
+        assert!(check_matrix("a", 0, 7, 0, 7).is_ok());
+    }
+
+    #[test]
+    fn vector_rejects_zero_increment() {
+        assert_eq!(
+            check_vector("x", 10, 5, 0),
+            Err(ContractError::ZeroIncrement { arg: "x" })
+        );
+    }
+
+    #[test]
+    fn vector_span_and_negative_increments() {
+        assert!(check_vector("x", 9, 5, 2).is_ok()); // needs 1+4*2 = 9
+        assert!(check_vector("x", 8, 5, 2).is_err());
+        assert!(check_vector("x", 9, 5, -2).is_ok()); // same span backwards
+        assert!(check_vector("x", 0, 0, -3).is_ok()); // empty vector: no storage
+    }
+
+    #[test]
+    fn vec_index_walks_backwards_for_negative_inc() {
+        // n = 4, inc = -2: logical 0..4 live at 6, 4, 2, 0
+        let offsets: Vec<usize> = (0..4).map(|i| vec_index(i, 4, -2)).collect();
+        assert_eq!(offsets, vec![6, 4, 2, 0]);
+        let fwd: Vec<usize> = (0..4).map(|i| vec_index(i, 4, 2)).collect();
+        assert_eq!(fwd, vec![0, 2, 4, 6]);
+    }
+
+    #[test]
+    fn gemm_contract_checks_all_three_operands() {
+        assert!(check_gemm(2, 3, 4, 8, 2, 12, 4, 6, 2).is_ok());
+        assert!(matches!(
+            check_gemm(2, 3, 4, 8, 1, 12, 4, 6, 2),
+            Err(ContractError::LeadingDim { arg: "a", .. })
+        ));
+        assert!(matches!(
+            check_gemm(2, 3, 4, 8, 2, 11, 4, 6, 2),
+            Err(ContractError::BufferTooShort { arg: "b", .. })
+        ));
+        assert!(matches!(
+            check_gemm(2, 3, 4, 8, 2, 12, 4, 5, 2),
+            Err(ContractError::BufferTooShort { arg: "c", .. })
+        ));
+    }
+
+    #[test]
+    fn batched_operand_rejects_overlap() {
+        // 2 problems of 3x3 tight (9 elems) with stride 4 overlap
+        assert!(matches!(
+            check_batched_operand("a", 100, 2, 3, 3, 3, 4),
+            Err(ContractError::OverlappingBatchStride {
+                arg: "a",
+                stride: 4,
+                required: 9
+            })
+        ));
+        assert!(check_batched_operand("a", 9 + 9, 2, 3, 3, 3, 9).is_ok());
+        // single problem: stride unused
+        assert!(check_batched_operand("a", 9, 1, 3, 3, 3, 0).is_ok());
+    }
+
+    #[test]
+    fn errors_render_useful_messages() {
+        let e = ContractError::LeadingDim {
+            arg: "a",
+            ld: 2,
+            rows: 5,
+        };
+        assert!(e.to_string().contains("leading dimension"));
+        let e = ContractError::SingularDiagonal { index: 3 };
+        assert!(e.to_string().contains("singular"));
+    }
+}

@@ -14,9 +14,15 @@
 //! All paths implement the `β = 0` short-circuit (C is written, never read)
 //! whose presence in production libraries the paper verifies in Table I, and
 //! the `α = 0` short-circuit (`C ← β·C`, A/B never touched).
+//!
+//! Every entry point validates its arguments through
+//! [`contract`](crate::contract) before touching any buffer and reports
+//! violations as a typed [`ContractError`] instead of panicking.
 
+use crate::contract::{self, ContractError};
 use crate::microkernel::{store_tile, ukernel, MR, NR};
 use crate::pack::{pack_a, pack_b};
+use crate::perturb;
 use crate::scalar::Scalar;
 
 /// Cache-block height of an `A` block (rows per packed block).
@@ -32,48 +38,32 @@ pub const NC: usize = 2048;
 /// (`MC × KC` elements) and an L3 panel of `KC × NC`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BlockConfig {
+    /// Rows of `A` per packed cache block.
     pub mc: usize,
+    /// Shared dimension per packed panel.
     pub kc: usize,
+    /// Columns of `B` per packed panel.
     pub nc: usize,
 }
 
 impl Default for BlockConfig {
     fn default() -> Self {
-        Self { mc: MC, kc: KC, nc: NC }
+        Self {
+            mc: MC,
+            kc: KC,
+            nc: NC,
+        }
     }
 }
 
 impl BlockConfig {
-    /// A configuration with every block dimension validated to be ≥ 1.
+    /// A configuration with every block dimension clamped to be ≥ 1.
     pub fn new(mc: usize, kc: usize, nc: usize) -> Self {
-        assert!(mc >= 1 && kc >= 1 && nc >= 1, "block sizes must be positive");
-        Self { mc, kc, nc }
-    }
-}
-
-#[inline]
-fn check_args<T: Scalar>(
-    m: usize,
-    n: usize,
-    k: usize,
-    a: &[T],
-    lda: usize,
-    b: &[T],
-    ldb: usize,
-    c: &[T],
-    ldc: usize,
-) {
-    assert!(lda >= m.max(1), "lda {lda} < m {m}");
-    assert!(ldb >= k.max(1), "ldb {ldb} < k {k}");
-    assert!(ldc >= m.max(1), "ldc {ldc} < m {m}");
-    if m > 0 && k > 0 {
-        assert!(a.len() >= (k - 1) * lda + m, "A buffer too short");
-    }
-    if k > 0 && n > 0 {
-        assert!(b.len() >= (n - 1) * ldb + k, "B buffer too short");
-    }
-    if m > 0 && n > 0 {
-        assert!(c.len() >= (n - 1) * ldc + m, "C buffer too short");
+        Self {
+            mc: mc.max(1),
+            kc: kc.max(1),
+            nc: nc.max(1),
+        }
     }
 }
 
@@ -110,14 +100,14 @@ pub fn gemm_ref<T: Scalar>(
     beta: T,
     c: &mut [T],
     ldc: usize,
-) {
-    check_args(m, n, k, a, lda, b, ldb, c, ldc);
+) -> Result<(), ContractError> {
+    contract::check_gemm(m, n, k, a.len(), lda, b.len(), ldb, c.len(), ldc)?;
     if m == 0 || n == 0 {
-        return;
+        return Ok(());
     }
     scale_c(m, n, beta, c, ldc);
     if alpha == T::ZERO || k == 0 {
-        return;
+        return Ok(());
     }
     for j in 0..n {
         let cj = &mut c[j * ldc..j * ldc + m];
@@ -132,6 +122,7 @@ pub fn gemm_ref<T: Scalar>(
             }
         }
     }
+    Ok(())
 }
 
 /// The macro-kernel: multiplies a packed `mc × kc` A block by a packed
@@ -158,14 +149,7 @@ fn macro_kernel<T: Scalar>(
             let a_sl = &packed_a[is * kc * MR..(is + 1) * kc * MR];
             let mut acc = [T::ZERO; MR * NR];
             ukernel(kc, a_sl, b_sl, &mut acc);
-            store_tile(
-                &acc,
-                &mut c[i0 + j0 * ldc..],
-                ldc,
-                mr_eff,
-                nr_eff,
-                beta,
-            );
+            store_tile(&acc, &mut c[i0 + j0 * ldc..], ldc, mr_eff, nr_eff, beta);
         }
     }
 }
@@ -184,8 +168,21 @@ pub fn gemm_blocked<T: Scalar>(
     beta: T,
     c: &mut [T],
     ldc: usize,
-) {
-    gemm_blocked_with(BlockConfig::default(), m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
+) -> Result<(), ContractError> {
+    gemm_blocked_with(
+        BlockConfig::default(),
+        m,
+        n,
+        k,
+        alpha,
+        a,
+        lda,
+        b,
+        ldb,
+        beta,
+        c,
+        ldc,
+    )
 }
 
 /// Cache-blocked, packed GEMM with explicit blocking parameters.
@@ -203,14 +200,14 @@ pub fn gemm_blocked_with<T: Scalar>(
     beta: T,
     c: &mut [T],
     ldc: usize,
-) {
-    check_args(m, n, k, a, lda, b, ldb, c, ldc);
+) -> Result<(), ContractError> {
+    contract::check_gemm(m, n, k, a.len(), lda, b.len(), ldb, c.len(), ldc)?;
     if m == 0 || n == 0 {
-        return;
+        return Ok(());
     }
     if alpha == T::ZERO || k == 0 {
         scale_c(m, n, beta, c, ldc);
-        return;
+        return Ok(());
     }
     let mut packed_a: Vec<T> = Vec::new();
     let mut packed_b: Vec<T> = Vec::new();
@@ -239,6 +236,7 @@ pub fn gemm_blocked_with<T: Scalar>(
             }
         }
     }
+    Ok(())
 }
 
 /// Multi-threaded GEMM: the `N` dimension is split into contiguous column
@@ -260,17 +258,16 @@ pub fn gemm_parallel<T: Scalar>(
     beta: T,
     c: &mut [T],
     ldc: usize,
-) {
-    check_args(m, n, k, a, lda, b, ldb, c, ldc);
+) -> Result<(), ContractError> {
+    contract::check_gemm(m, n, k, a.len(), lda, b.len(), ldb, c.len(), ldc)?;
     if m == 0 || n == 0 {
-        return;
+        return Ok(());
     }
     // A thread should own at least a few micro-panels of real work.
     let min_cols = NR * 4;
     let chunks = threads.max(1).min(n.div_ceil(min_cols)).max(1);
     if chunks == 1 {
-        gemm_blocked(m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
-        return;
+        return gemm_blocked(m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
     }
     // Columns per chunk, rounded up to a multiple of NR.
     let per = n.div_ceil(chunks).div_ceil(NR) * NR;
@@ -285,11 +282,15 @@ pub fn gemm_parallel<T: Scalar>(
             rest = r;
             let b_block = &b[j0 * ldb..];
             s.spawn(move || {
-                gemm_blocked(m, jn, k, alpha, a, lda, b_block, ldb, beta, mine, ldc);
+                perturb::point(perturb::tags::GEMM_PANEL);
+                // The full call was validated above and each chunk only
+                // narrows it, so a chunk cannot fail its own contract.
+                let _ = gemm_blocked(m, jn, k, alpha, a, lda, b_block, ldb, beta, mine, ldc);
             });
             j0 += jn;
         }
     });
+    Ok(())
 }
 
 /// Convenience entry point: picks the reference kernel for tiny problems
@@ -306,13 +307,13 @@ pub fn gemm<T: Scalar>(
     beta: T,
     c: &mut [T],
     ldc: usize,
-) {
+) -> Result<(), ContractError> {
     // Below roughly a micro-tile's worth of work, packing costs more than
     // it saves.
     if m * n * k <= MR * NR * KC {
-        gemm_ref(m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+        gemm_ref(m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
     } else {
-        gemm_blocked(m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+        gemm_blocked(m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
     }
 }
 
@@ -338,21 +339,35 @@ mod tests {
 
         let mut c_ref = c0.clone();
         gemm_ref(
-            m, n, k, alpha,
-            a.as_slice(), a.ld(),
-            b.as_slice(), b.ld(),
+            m,
+            n,
+            k,
+            alpha,
+            a.as_slice(),
+            a.ld(),
+            b.as_slice(),
+            b.ld(),
             beta,
-            c_ref.as_mut_slice(), c0.ld(),
-        );
+            c_ref.as_mut_slice(),
+            c0.ld(),
+        )
+        .unwrap();
 
         let mut c_blk = c0.clone();
         gemm_blocked(
-            m, n, k, alpha,
-            a.as_slice(), a.ld(),
-            b.as_slice(), b.ld(),
+            m,
+            n,
+            k,
+            alpha,
+            a.as_slice(),
+            a.ld(),
+            b.as_slice(),
+            b.ld(),
             beta,
-            c_blk.as_mut_slice(), c0.ld(),
-        );
+            c_blk.as_mut_slice(),
+            c0.ld(),
+        )
+        .unwrap();
         assert!(
             c_ref.approx_eq(&c_blk, 1e-10),
             "blocked mismatch at m={m} n={n} k={k} alpha={alpha} beta={beta}: {}",
@@ -361,12 +376,20 @@ mod tests {
 
         let mut c_par = c0.clone();
         gemm_parallel(
-            4, m, n, k, alpha,
-            a.as_slice(), a.ld(),
-            b.as_slice(), b.ld(),
+            4,
+            m,
+            n,
+            k,
+            alpha,
+            a.as_slice(),
+            a.ld(),
+            b.as_slice(),
+            b.ld(),
             beta,
-            c_par.as_mut_slice(), c0.ld(),
-        );
+            c_par.as_mut_slice(),
+            c0.ld(),
+        )
+        .unwrap();
         assert!(
             c_ref.approx_eq(&c_par, 1e-10),
             "parallel mismatch at m={m} n={n} k={k}"
@@ -407,13 +430,23 @@ mod tests {
         let mut c = Matrix::<f64>::zeros(m, m);
         c.fill(f64::NAN);
         gemm_blocked(
-            m, m, m, 1.0,
-            a.as_slice(), m,
-            b.as_slice(), m,
+            m,
+            m,
+            m,
+            1.0,
+            a.as_slice(),
+            m,
+            b.as_slice(),
+            m,
             0.0,
-            c.as_mut_slice(), m,
+            c.as_mut_slice(),
+            m,
+        )
+        .unwrap();
+        assert!(
+            c.as_slice().iter().all(|v| v.is_finite()),
+            "NaN leaked through beta=0"
         );
-        assert!(c.as_slice().iter().all(|v| v.is_finite()), "NaN leaked through beta=0");
     }
 
     #[test]
@@ -424,12 +457,19 @@ mod tests {
         let c0 = filled(m, m, 3);
         let mut c = c0.clone();
         gemm_blocked(
-            m, m, m, 0.0,
-            a.as_slice(), m,
-            b.as_slice(), m,
+            m,
+            m,
+            m,
+            0.0,
+            a.as_slice(),
+            m,
+            b.as_slice(),
+            m,
             2.0,
-            c.as_mut_slice(), m,
-        );
+            c.as_mut_slice(),
+            m,
+        )
+        .unwrap();
         for j in 0..m {
             for i in 0..m {
                 assert!((c[(i, j)] - 2.0 * c0[(i, j)]).abs() < 1e-12);
@@ -442,7 +482,7 @@ mod tests {
         let m = 5;
         let c0 = filled(m, m, 3);
         let mut c = c0.clone();
-        gemm_ref::<f64>(m, m, 0, 1.0, &[], m, &[], 1, 0.5, c.as_mut_slice(), m);
+        gemm_ref::<f64>(m, m, 0, 1.0, &[], m, &[], 1, 0.5, c.as_mut_slice(), m).unwrap();
         for j in 0..m {
             for i in 0..m {
                 assert!((c[(i, j)] - 0.5 * c0[(i, j)]).abs() < 1e-12);
@@ -472,19 +512,33 @@ mod tests {
         let mut c_pad = Matrix::<f64>::zeros_ld(m, n, m + 2);
         let mut c_ref = Matrix::<f64>::zeros(m, n);
         gemm_blocked(
-            m, n, k, 1.0,
-            a.as_slice(), a.ld(),
-            b.as_slice(), b.ld(),
+            m,
+            n,
+            k,
+            1.0,
+            a.as_slice(),
+            a.ld(),
+            b.as_slice(),
+            b.ld(),
             0.0,
-            c_pad.as_mut_slice(), m + 2,
-        );
+            c_pad.as_mut_slice(),
+            m + 2,
+        )
+        .unwrap();
         gemm_ref(
-            m, n, k, 1.0,
-            a.as_slice(), a.ld(),
-            b.as_slice(), b.ld(),
+            m,
+            n,
+            k,
+            1.0,
+            a.as_slice(),
+            a.ld(),
+            b.as_slice(),
+            b.ld(),
             0.0,
-            c_ref.as_mut_slice(), m,
-        );
+            c_ref.as_mut_slice(),
+            m,
+        )
+        .unwrap();
         for j in 0..n {
             for i in 0..m {
                 assert!((c_pad[(i, j)] - c_ref[(i, j)]).abs() < 1e-10);
@@ -504,8 +558,34 @@ mod tests {
         let b = Matrix::<f32>::from_fn(m, m, |i, j| ((3 * i + j) % 7) as f32 - 3.0);
         let mut c1 = Matrix::<f32>::zeros(m, m);
         let mut c2 = Matrix::<f32>::zeros(m, m);
-        gemm_ref(m, m, m, 1.0f32, a.as_slice(), m, b.as_slice(), m, 0.0, c1.as_mut_slice(), m);
-        gemm_blocked(m, m, m, 1.0f32, a.as_slice(), m, b.as_slice(), m, 0.0, c2.as_mut_slice(), m);
+        gemm_ref(
+            m,
+            m,
+            m,
+            1.0f32,
+            a.as_slice(),
+            m,
+            b.as_slice(),
+            m,
+            0.0,
+            c1.as_mut_slice(),
+            m,
+        )
+        .unwrap();
+        gemm_blocked(
+            m,
+            m,
+            m,
+            1.0f32,
+            a.as_slice(),
+            m,
+            b.as_slice(),
+            m,
+            0.0,
+            c2.as_mut_slice(),
+            m,
+        )
+        .unwrap();
         assert!(c1.approx_eq(&c2, 1e-4));
     }
 
@@ -515,16 +595,37 @@ mod tests {
         let a = filled(m, k, 5);
         let b = filled(k, n, 6);
         let mut expect = Matrix::<f64>::zeros(m, n);
-        gemm_ref(m, n, k, 1.5, a.as_slice(), m, b.as_slice(), k, 0.0, expect.as_mut_slice(), m);
+        gemm_ref(
+            m,
+            n,
+            k,
+            1.5,
+            a.as_slice(),
+            m,
+            b.as_slice(),
+            k,
+            0.0,
+            expect.as_mut_slice(),
+            m,
+        )
+        .unwrap();
         for threads in [1, 2, 3, 8, 64] {
             let mut c = Matrix::<f64>::zeros(m, n);
             gemm_parallel(
-                threads, m, n, k, 1.5,
-                a.as_slice(), m,
-                b.as_slice(), k,
+                threads,
+                m,
+                n,
+                k,
+                1.5,
+                a.as_slice(),
+                m,
+                b.as_slice(),
+                k,
                 0.0,
-                c.as_mut_slice(), m,
-            );
+                c.as_mut_slice(),
+                m,
+            )
+            .unwrap();
             assert!(expect.approx_eq(&c, 1e-10), "threads={threads}");
         }
     }
@@ -537,27 +638,78 @@ mod tests {
             let b = filled(s, s, 8);
             let mut c1 = Matrix::<f64>::zeros(s, s);
             let mut c2 = Matrix::<f64>::zeros(s, s);
-            gemm(s, s, s, 1.0, a.as_slice(), s, b.as_slice(), s, 0.0, c1.as_mut_slice(), s);
-            gemm_ref(s, s, s, 1.0, a.as_slice(), s, b.as_slice(), s, 0.0, c2.as_mut_slice(), s);
+            gemm(
+                s,
+                s,
+                s,
+                1.0,
+                a.as_slice(),
+                s,
+                b.as_slice(),
+                s,
+                0.0,
+                c1.as_mut_slice(),
+                s,
+            )
+            .unwrap();
+            gemm_ref(
+                s,
+                s,
+                s,
+                1.0,
+                a.as_slice(),
+                s,
+                b.as_slice(),
+                s,
+                0.0,
+                c2.as_mut_slice(),
+                s,
+            )
+            .unwrap();
             assert!(c1.approx_eq(&c2, 1e-10));
         }
     }
 
     #[test]
-    #[should_panic(expected = "lda")]
     fn bad_lda_rejected() {
         let a = [0.0f64; 4];
         let b = [0.0f64; 4];
         let mut c = [0.0f64; 4];
-        gemm_ref(2, 2, 2, 1.0, &a, 1, &b, 2, 0.0, &mut c, 2);
+        let err = gemm_ref(2, 2, 2, 1.0, &a, 1, &b, 2, 0.0, &mut c, 2).unwrap_err();
+        assert_eq!(
+            err,
+            crate::contract::ContractError::LeadingDim {
+                arg: "a",
+                ld: 1,
+                rows: 2
+            }
+        );
     }
 
     #[test]
-    #[should_panic(expected = "A buffer too short")]
     fn short_a_rejected() {
         let a = [0.0f64; 3];
         let b = [0.0f64; 4];
         let mut c = [0.0f64; 4];
-        gemm_ref(2, 2, 2, 1.0, &a, 2, &b, 2, 0.0, &mut c, 2);
+        let err = gemm_ref(2, 2, 2, 1.0, &a, 2, &b, 2, 0.0, &mut c, 2).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::contract::ContractError::BufferTooShort {
+                arg: "a",
+                required: 4,
+                actual: 3
+            }
+        ));
+    }
+
+    #[test]
+    fn all_entry_points_reject_bad_ldc() {
+        let a = [0.0f64; 4];
+        let b = [0.0f64; 4];
+        let mut c = [0.0f64; 4];
+        assert!(gemm_ref(2, 2, 2, 1.0, &a, 2, &b, 2, 0.0, &mut c, 1).is_err());
+        assert!(gemm_blocked(2, 2, 2, 1.0, &a, 2, &b, 2, 0.0, &mut c, 1).is_err());
+        assert!(gemm_parallel(2, 2, 2, 2, 1.0, &a, 2, &b, 2, 0.0, &mut c, 1).is_err());
+        assert!(gemm(2, 2, 2, 1.0, &a, 2, &b, 2, 0.0, &mut c, 1).is_err());
     }
 }

@@ -1,6 +1,7 @@
 //! GEMV: `y ← α·A·x + β·y` for a column-major `m × n` matrix `A`, no
 //! transposition, with explicit vector increments (`incx = incy = 1` in the
-//! paper's configuration, but general strides are supported and tested).
+//! paper's configuration, but general strides — including the BLAS
+//! negative-increment convention — are supported and tested).
 //!
 //! - [`gemv_ref`] — column-sweep (axpy-based) kernel: unit-stride access to
 //!   both `A` and `y`; the validation oracle and the serial fast path.
@@ -9,46 +10,26 @@
 //!   is the multithreading AOCL famously *lacks* for GEMV — the cause of
 //!   LUMI's surprisingly low GEMV offload thresholds in the paper (§IV-B).
 //! - [`gemv`] — serial convenience wrapper over [`gemv_ref`].
+//!
+//! Every entry point validates its arguments through
+//! [`contract`](crate::contract) before touching any buffer and reports
+//! violations as a typed [`ContractError`] instead of panicking.
 
+use crate::contract::{self, vec_index, ContractError};
+use crate::perturb;
 use crate::scalar::Scalar;
 
-#[inline]
-#[allow(clippy::too_many_arguments)]
-fn check_args<T: Scalar>(
-    m: usize,
-    n: usize,
-    a: &[T],
-    lda: usize,
-    x: &[T],
-    incx: usize,
-    y: &[T],
-    incy: usize,
-) {
-    assert!(lda >= m.max(1), "lda {lda} < m {m}");
-    assert!(incx > 0 && incy > 0, "increments must be positive");
-    if m > 0 && n > 0 {
-        assert!(a.len() >= (n - 1) * lda + m, "A buffer too short");
-    }
-    if n > 0 {
-        assert!(x.len() > (n - 1) * incx, "x too short");
-    }
-    if m > 0 {
-        assert!(y.len() > (m - 1) * incy, "y too short");
-    }
-}
-
 /// Applies `y ← β·y` honouring the β=0 write-only rule.
-fn scale_y<T: Scalar>(m: usize, beta: T, y: &mut [T], incy: usize) {
+fn scale_y<T: Scalar>(m: usize, beta: T, y: &mut [T], incy: isize) {
     if beta == T::ONE {
         return;
     }
-    if beta == T::ZERO {
-        for i in 0..m {
-            y[i * incy] = T::ZERO;
-        }
-    } else {
-        for i in 0..m {
-            y[i * incy] *= beta;
+    for i in 0..m {
+        let at = vec_index(i, m, incy);
+        if beta == T::ZERO {
+            y[at] = T::ZERO;
+        } else {
+            y[at] *= beta;
         }
     }
 }
@@ -62,22 +43,22 @@ pub fn gemv_ref<T: Scalar>(
     a: &[T],
     lda: usize,
     x: &[T],
-    incx: usize,
+    incx: isize,
     beta: T,
     y: &mut [T],
-    incy: usize,
-) {
-    check_args(m, n, a, lda, x, incx, y, incy);
+    incy: isize,
+) -> Result<(), ContractError> {
+    contract::check_gemv(m, n, a.len(), lda, x.len(), incx, y.len(), incy)?;
     if m == 0 {
-        return;
+        return Ok(());
     }
     scale_y(m, beta, y, incy);
     if alpha == T::ZERO || n == 0 {
-        return;
+        return Ok(());
     }
     if incy == 1 {
         for j in 0..n {
-            let w = alpha * x[j * incx];
+            let w = alpha * x[vec_index(j, n, incx)];
             if w == T::ZERO {
                 continue;
             }
@@ -88,16 +69,18 @@ pub fn gemv_ref<T: Scalar>(
         }
     } else {
         for j in 0..n {
-            let w = alpha * x[j * incx];
+            let w = alpha * x[vec_index(j, n, incx)];
             if w == T::ZERO {
                 continue;
             }
             let col = &a[j * lda..j * lda + m];
             for i in 0..m {
-                y[i * incy] = col[i].mul_add(w, y[i * incy]);
+                let at = vec_index(i, m, incy);
+                y[at] = col[i].mul_add(w, y[at]);
             }
         }
     }
+    Ok(())
 }
 
 /// Serial GEMV (alias of the reference kernel — the column sweep *is* the
@@ -110,12 +93,12 @@ pub fn gemv<T: Scalar>(
     a: &[T],
     lda: usize,
     x: &[T],
-    incx: usize,
+    incx: isize,
     beta: T,
     y: &mut [T],
-    incy: usize,
-) {
-    gemv_ref(m, n, alpha, a, lda, x, incx, beta, y, incy);
+    incy: isize,
+) -> Result<(), ContractError> {
+    gemv_ref(m, n, alpha, a, lda, x, incx, beta, y, incy)
 }
 
 /// Row-block parallel GEMV.
@@ -132,14 +115,14 @@ pub fn gemv_parallel<T: Scalar>(
     a: &[T],
     lda: usize,
     x: &[T],
-    incx: usize,
+    incx: isize,
     beta: T,
     y: &mut [T],
-    incy: usize,
-) {
-    check_args(m, n, a, lda, x, incx, y, incy);
+    incy: isize,
+) -> Result<(), ContractError> {
+    contract::check_gemv(m, n, a.len(), lda, x.len(), incx, y.len(), incy)?;
     if m == 0 {
-        return;
+        return Ok(());
     }
     /// Minimum rows per thread before parallelism pays for itself.
     const MIN_ROWS: usize = 256;
@@ -147,8 +130,7 @@ pub fn gemv_parallel<T: Scalar>(
     if chunks <= 1 || incy != 1 {
         // Strided y makes clean row-splitting of the slice awkward for no
         // benchmark benefit (the artifact always uses incy = 1).
-        gemv_ref(m, n, alpha, a, lda, x, incx, beta, y, incy);
-        return;
+        return gemv_ref(m, n, alpha, a, lda, x, incx, beta, y, incy);
     }
     let per = m.div_ceil(chunks);
     std::thread::scope(|s| {
@@ -161,12 +143,13 @@ pub fn gemv_parallel<T: Scalar>(
             rest = r;
             let row0 = i0;
             s.spawn(move || {
+                perturb::point(perturb::tags::GEMV_CHUNK);
                 scale_y(rows, beta, mine, 1);
                 if alpha == T::ZERO || n == 0 {
                     return;
                 }
                 for j in 0..n {
-                    let w = alpha * x[j * incx];
+                    let w = alpha * x[vec_index(j, n, incx)];
                     if w == T::ZERO {
                         continue;
                     }
@@ -179,6 +162,7 @@ pub fn gemv_parallel<T: Scalar>(
             i0 += rows;
         }
     });
+    Ok(())
 }
 
 #[cfg(test)]
@@ -195,7 +179,15 @@ mod tests {
         })
     }
 
-    fn naive(m: usize, n: usize, alpha: f64, a: &Matrix<f64>, x: &[f64], beta: f64, y0: &[f64]) -> Vec<f64> {
+    fn naive(
+        m: usize,
+        n: usize,
+        alpha: f64,
+        a: &Matrix<f64>,
+        x: &[f64],
+        beta: f64,
+        y0: &[f64],
+    ) -> Vec<f64> {
         (0..m)
             .map(|i| {
                 let dot: f64 = (0..n).map(|j| a[(i, j)] * x[j]).sum();
@@ -206,19 +198,40 @@ mod tests {
 
     #[test]
     fn matches_naive_various_shapes() {
-        for (m, n) in [(1, 1), (5, 3), (3, 5), (64, 64), (100, 7), (7, 100), (257, 33)] {
+        for (m, n) in [
+            (1, 1),
+            (5, 3),
+            (3, 5),
+            (64, 64),
+            (100, 7),
+            (7, 100),
+            (257, 33),
+        ] {
             let a = filled(m, n, 11);
             let x: Vec<f64> = (0..n).map(|j| (j as f64 * 0.3).sin()).collect();
             let y0: Vec<f64> = (0..m).map(|i| (i as f64 * 0.7).cos()).collect();
             for (alpha, beta) in [(1.0, 0.0), (2.0, 0.0), (1.0, 2.0), (-1.0, 0.5)] {
                 let expect = naive(m, n, alpha, &a, &x, beta, &y0);
                 let mut y = y0.clone();
-                gemv_ref(m, n, alpha, a.as_slice(), a.ld(), &x, 1, beta, &mut y, 1);
+                gemv_ref(m, n, alpha, a.as_slice(), a.ld(), &x, 1, beta, &mut y, 1).unwrap();
                 for i in 0..m {
                     assert!((y[i] - expect[i]).abs() < 1e-10, "ref ({m},{n}) i={i}");
                 }
                 let mut yp = y0.clone();
-                gemv_parallel(4, m, n, alpha, a.as_slice(), a.ld(), &x, 1, beta, &mut yp, 1);
+                gemv_parallel(
+                    4,
+                    m,
+                    n,
+                    alpha,
+                    a.as_slice(),
+                    a.ld(),
+                    &x,
+                    1,
+                    beta,
+                    &mut yp,
+                    1,
+                )
+                .unwrap();
                 for i in 0..m {
                     assert!((yp[i] - expect[i]).abs() < 1e-10, "par ({m},{n}) i={i}");
                 }
@@ -232,10 +245,10 @@ mod tests {
         let a = filled(m, n, 2);
         let x = vec![1.0; n];
         let mut y = vec![f64::NAN; m];
-        gemv_ref(m, n, 1.0, a.as_slice(), m, &x, 1, 0.0, &mut y, 1);
+        gemv_ref(m, n, 1.0, a.as_slice(), m, &x, 1, 0.0, &mut y, 1).unwrap();
         assert!(y.iter().all(|v| v.is_finite()));
         let mut yp = vec![f64::NAN; m];
-        gemv_parallel(8, m, n, 1.0, a.as_slice(), m, &x, 1, 0.0, &mut yp, 1);
+        gemv_parallel(8, m, n, 1.0, a.as_slice(), m, &x, 1, 0.0, &mut yp, 1).unwrap();
         assert!(yp.iter().all(|v| v.is_finite()));
     }
 
@@ -252,9 +265,46 @@ mod tests {
         for i in 0..m {
             y[i * 3] = 1.0;
         }
-        gemv_ref(m, n, 1.0, a.as_slice(), m, &x, 2, 1.0, &mut y, 3);
+        gemv_ref(m, n, 1.0, a.as_slice(), m, &x, 2, 1.0, &mut y, 3).unwrap();
         for i in 0..m {
             assert!((y[i * 3] - expect[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn negative_increments_reverse_vectors() {
+        let (m, n) = (3, 3);
+        let a = filled(m, n, 13);
+        // incx = -1: stored x is the logical vector reversed
+        let logical_x = [1.0, 2.0, 3.0];
+        let stored_x = [3.0, 2.0, 1.0];
+        let y0 = [0.5, -0.5, 1.5];
+        let expect = naive(m, n, 2.0, &a, &logical_x, 1.0, &y0);
+        let mut y = y0;
+        gemv_ref(m, n, 2.0, a.as_slice(), m, &stored_x, -1, 1.0, &mut y, 1).unwrap();
+        for i in 0..m {
+            assert!((y[i] - expect[i]).abs() < 1e-12, "incx=-1 i={i}");
+        }
+        // incy = -1: result lands reversed in storage
+        let mut y_rev = [y0[2], y0[1], y0[0]];
+        gemv_ref(
+            m,
+            n,
+            2.0,
+            a.as_slice(),
+            m,
+            &stored_x,
+            -1,
+            1.0,
+            &mut y_rev,
+            -1,
+        )
+        .unwrap();
+        for i in 0..m {
+            assert!(
+                (y_rev[m - 1 - i] - expect[i]).abs() < 1e-12,
+                "incy=-1 i={i}"
+            );
         }
     }
 
@@ -269,8 +319,20 @@ mod tests {
         let x = vec![0.5; n];
         let mut y1 = vec![0.0; m];
         let mut y2 = vec![0.0; m];
-        gemv_ref(m, n, 1.0, tight.as_slice(), tight.ld(), &x, 1, 0.0, &mut y1, 1);
-        gemv_ref(m, n, 1.0, a.as_slice(), a.ld(), &x, 1, 0.0, &mut y2, 1);
+        gemv_ref(
+            m,
+            n,
+            1.0,
+            tight.as_slice(),
+            tight.ld(),
+            &x,
+            1,
+            0.0,
+            &mut y1,
+            1,
+        )
+        .unwrap();
+        gemv_ref(m, n, 1.0, a.as_slice(), a.ld(), &x, 1, 0.0, &mut y2, 1).unwrap();
         assert_eq!(y1, y2);
     }
 
@@ -280,7 +342,7 @@ mod tests {
         let a = filled(m, n, 5);
         let x = vec![1.0; n];
         let mut y = vec![2.0; m];
-        gemv_ref(m, n, 0.0, a.as_slice(), m, &x, 1, 3.0, &mut y, 1);
+        gemv_ref(m, n, 0.0, a.as_slice(), m, &x, 1, 3.0, &mut y, 1).unwrap();
         assert!(y.iter().all(|&v| v == 6.0));
     }
 
@@ -288,14 +350,14 @@ mod tests {
     fn n_zero_scales_only() {
         let m = 4;
         let mut y = vec![2.0; m];
-        gemv_ref::<f64>(m, 0, 1.0, &[], m, &[], 1, 0.5, &mut y, 1);
+        gemv_ref::<f64>(m, 0, 1.0, &[], m, &[], 1, 0.5, &mut y, 1).unwrap();
         assert!(y.iter().all(|&v| v == 1.0));
     }
 
     #[test]
     fn m_zero_is_noop() {
         let mut y: Vec<f64> = vec![];
-        gemv_ref::<f64>(0, 3, 1.0, &[], 1, &[1.0, 2.0, 3.0], 1, 0.0, &mut y, 1);
+        gemv_ref::<f64>(0, 3, 1.0, &[], 1, &[1.0, 2.0, 3.0], 1, 0.0, &mut y, 1).unwrap();
     }
 
     #[test]
@@ -305,8 +367,8 @@ mod tests {
         let x = vec![1.0; n];
         let mut y1 = vec![0.0; m];
         let mut y2 = vec![0.0; m];
-        gemv_ref(m, n, 1.0, a.as_slice(), m, &x, 1, 0.0, &mut y1, 1);
-        gemv_parallel(128, m, n, 1.0, a.as_slice(), m, &x, 1, 0.0, &mut y2, 1);
+        gemv_ref(m, n, 1.0, a.as_slice(), m, &x, 1, 0.0, &mut y1, 1).unwrap();
+        gemv_parallel(128, m, n, 1.0, a.as_slice(), m, &x, 1, 0.0, &mut y2, 1).unwrap();
         assert_eq!(y1, y2);
     }
 
@@ -317,20 +379,40 @@ mod tests {
         let x: Vec<f64> = (0..n).map(|j| j as f64 - 8.0).collect();
         let mut y1 = vec![1.0; m];
         let mut y2 = vec![1.0; m];
-        gemv_ref(m, n, 2.0, a.as_slice(), m, &x, 1, -1.0, &mut y1, 1);
-        gemv_parallel(4, m, n, 2.0, a.as_slice(), m, &x, 1, -1.0, &mut y2, 1);
+        gemv_ref(m, n, 2.0, a.as_slice(), m, &x, 1, -1.0, &mut y1, 1).unwrap();
+        gemv_parallel(4, m, n, 2.0, a.as_slice(), m, &x, 1, -1.0, &mut y2, 1).unwrap();
         for i in 0..m {
             assert!((y1[i] - y2[i]).abs() < 1e-12, "i={i}");
         }
     }
 
     #[test]
-    #[should_panic(expected = "A buffer too short")]
     fn short_a_rejected() {
         let a = [0.0f64; 3];
         let x = [1.0f64; 2];
         let mut y = [0.0f64; 2];
-        gemv_ref(2, 2, 1.0, &a, 2, &x, 1, 0.0, &mut y, 1);
+        let err = gemv_ref(2, 2, 1.0, &a, 2, &x, 1, 0.0, &mut y, 1).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::contract::ContractError::BufferTooShort { arg: "a", .. }
+        ));
+    }
+
+    #[test]
+    fn zero_increment_rejected() {
+        let a = [0.0f64; 4];
+        let x = [1.0f64; 2];
+        let mut y = [0.0f64; 2];
+        let err = gemv_ref(2, 2, 1.0, &a, 2, &x, 0, 0.0, &mut y, 1).unwrap_err();
+        assert_eq!(
+            err,
+            crate::contract::ContractError::ZeroIncrement { arg: "x" }
+        );
+        let err = gemv_parallel(2, 2, 2, 1.0, &a, 2, &x, 1, 0.0, &mut y, 0).unwrap_err();
+        assert_eq!(
+            err,
+            crate::contract::ContractError::ZeroIncrement { arg: "y" }
+        );
     }
 
     #[test]
@@ -340,8 +422,8 @@ mod tests {
         let x: Vec<f32> = (0..n).map(|j| (j % 3) as f32).collect();
         let mut y1 = vec![0.0f32; m];
         let mut y2 = vec![0.0f32; m];
-        gemv_ref(m, n, 1.0f32, a.as_slice(), m, &x, 1, 0.0, &mut y1, 1);
-        gemv_parallel(3, m, n, 1.0f32, a.as_slice(), m, &x, 1, 0.0, &mut y2, 1);
+        gemv_ref(m, n, 1.0f32, a.as_slice(), m, &x, 1, 0.0, &mut y1, 1).unwrap();
+        gemv_parallel(3, m, n, 1.0f32, a.as_slice(), m, &x, 1, 0.0, &mut y2, 1).unwrap();
         for i in 0..m {
             assert!((y1[i] - y2[i]).abs() < 1e-3);
         }

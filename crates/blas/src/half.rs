@@ -219,9 +219,9 @@ mod tests {
         let ab: Vec<Bf16> = af.iter().map(|&v| Bf16::from_f64(v)).collect();
         let bb: Vec<Bf16> = bf.iter().map(|&v| Bf16::from_f64(v)).collect();
         let mut c64 = vec![0.0f64; m * n];
-        gemm_ref(m, n, k, 1.0, &af, m, &bf, k, 0.0, &mut c64, m);
+        gemm_ref(m, n, k, 1.0, &af, m, &bf, k, 0.0, &mut c64, m).unwrap();
         let mut cb = vec![Bf16::ZERO; m * n];
-        gemm_blocked(m, n, k, Bf16::ONE, &ab, m, &bb, k, Bf16::ZERO, &mut cb, m);
+        gemm_blocked(m, n, k, Bf16::ONE, &ab, m, &bb, k, Bf16::ZERO, &mut cb, m).unwrap();
         for i in 0..m * n {
             let got = cb[i].to_f64();
             let want = c64[i];
@@ -236,10 +236,14 @@ mod tests {
     #[test]
     fn bgemv_runs_generically() {
         let (m, n) = (16, 12);
-        let a: Vec<Bf16> = (0..m * n).map(|i| Bf16::from_f64(((i % 5) as f64 - 2.0) / 4.0)).collect();
-        let x: Vec<Bf16> = (0..n).map(|i| Bf16::from_f64((i % 3) as f64 / 2.0)).collect();
+        let a: Vec<Bf16> = (0..m * n)
+            .map(|i| Bf16::from_f64(((i % 5) as f64 - 2.0) / 4.0))
+            .collect();
+        let x: Vec<Bf16> = (0..n)
+            .map(|i| Bf16::from_f64((i % 3) as f64 / 2.0))
+            .collect();
         let mut y = vec![Bf16::ZERO; m];
-        gemv_ref(m, n, Bf16::ONE, &a, m, &x, 1, Bf16::ZERO, &mut y, 1);
+        gemv_ref(m, n, Bf16::ONE, &a, m, &x, 1, Bf16::ZERO, &mut y, 1).unwrap();
         assert!(y.iter().all(|v| Scalar::is_finite(*v)));
         // at least one non-zero output for non-trivial inputs
         assert!(y.iter().any(|v| v.to_f32() != 0.0));

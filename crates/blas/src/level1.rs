@@ -3,30 +3,28 @@
 //! GPU-BLOB focuses its study on GEMM and GEMV, but those kernels — and many
 //! others — are built out of the Level 1 set, so a complete substrate
 //! provides it. All routines take an explicit element count `n` and strides
-//! (`inc`), following the original 1979 interface semantics: element `i` of a
-//! vector with increment `inc` lives at index `i * inc`.
+//! (`inc`), following the original 1979 interface semantics, including
+//! negative increments: element `i` of an `n`-element vector with `inc < 0`
+//! lives at `(n - 1 - i) * |inc|` (the vector is walked backwards).
 //!
-//! Negative increments (the full BLAS generality) are intentionally not
-//! supported — the artifact only ever uses `incx = incy = 1` — and strides of
-//! zero are rejected for the destination.
+//! Every routine validates its arguments through
+//! [`contract`](crate::contract) before touching any buffer; a zero
+//! increment or short buffer comes back as a typed
+//! [`ContractError`] rather than a panic.
 
+use crate::contract::{self, vec_index, ContractError};
 use crate::scalar::Scalar;
 
-#[inline]
-fn check_stride(n: usize, len: usize, inc: usize, what: &str) {
-    assert!(inc > 0, "{what}: increment must be positive");
-    if n > 0 {
-        assert!(
-            (n - 1) * inc < len,
-            "{what}: vector of length {len} too short for n={n}, inc={inc}"
-        );
-    }
-}
-
 /// `dot`: returns `Σ x[i] * y[i]` over `n` logical elements.
-pub fn dot<T: Scalar>(n: usize, x: &[T], incx: usize, y: &[T], incy: usize) -> T {
-    check_stride(n, x.len(), incx, "dot x");
-    check_stride(n, y.len(), incy, "dot y");
+pub fn dot<T: Scalar>(
+    n: usize,
+    x: &[T],
+    incx: isize,
+    y: &[T],
+    incy: isize,
+) -> Result<T, ContractError> {
+    contract::check_vector("x", x.len(), n, incx)?;
+    contract::check_vector("y", y.len(), n, incy)?;
     let mut acc = T::ZERO;
     if incx == 1 && incy == 1 {
         for i in 0..n {
@@ -34,18 +32,25 @@ pub fn dot<T: Scalar>(n: usize, x: &[T], incx: usize, y: &[T], incy: usize) -> T
         }
     } else {
         for i in 0..n {
-            acc = x[i * incx].mul_add(y[i * incy], acc);
+            acc = x[vec_index(i, n, incx)].mul_add(y[vec_index(i, n, incy)], acc);
         }
     }
-    acc
+    Ok(acc)
 }
 
 /// `axpy`: `y ← α x + y`.
-pub fn axpy<T: Scalar>(n: usize, alpha: T, x: &[T], incx: usize, y: &mut [T], incy: usize) {
-    check_stride(n, x.len(), incx, "axpy x");
-    check_stride(n, y.len(), incy, "axpy y");
+pub fn axpy<T: Scalar>(
+    n: usize,
+    alpha: T,
+    x: &[T],
+    incx: isize,
+    y: &mut [T],
+    incy: isize,
+) -> Result<(), ContractError> {
+    contract::check_vector("x", x.len(), n, incx)?;
+    contract::check_vector("y", y.len(), n, incy)?;
     if alpha == T::ZERO {
-        return;
+        return Ok(());
     }
     if incx == 1 && incy == 1 {
         for i in 0..n {
@@ -53,27 +58,30 @@ pub fn axpy<T: Scalar>(n: usize, alpha: T, x: &[T], incx: usize, y: &mut [T], in
         }
     } else {
         for i in 0..n {
-            y[i * incy] = x[i * incx].mul_add(alpha, y[i * incy]);
+            let at = vec_index(i, n, incy);
+            y[at] = x[vec_index(i, n, incx)].mul_add(alpha, y[at]);
         }
     }
+    Ok(())
 }
 
 /// `scal`: `x ← α x`.
-pub fn scal<T: Scalar>(n: usize, alpha: T, x: &mut [T], incx: usize) {
-    check_stride(n, x.len(), incx, "scal x");
+pub fn scal<T: Scalar>(n: usize, alpha: T, x: &mut [T], incx: isize) -> Result<(), ContractError> {
+    contract::check_vector("x", x.len(), n, incx)?;
     for i in 0..n {
-        x[i * incx] *= alpha;
+        x[vec_index(i, n, incx)] *= alpha;
     }
+    Ok(())
 }
 
 /// `nrm2`: Euclidean norm `‖x‖₂`, computed with scaling to avoid overflow
 /// and underflow for extreme inputs (the classic LAPACK `dnrm2` approach).
-pub fn nrm2<T: Scalar>(n: usize, x: &[T], incx: usize) -> T {
-    check_stride(n, x.len(), incx, "nrm2 x");
+pub fn nrm2<T: Scalar>(n: usize, x: &[T], incx: isize) -> Result<T, ContractError> {
+    contract::check_vector("x", x.len(), n, incx)?;
     let mut scale = T::ZERO;
     let mut ssq = T::ONE;
     for i in 0..n {
-        let v = x[i * incx].abs();
+        let v = x[vec_index(i, n, incx)].abs();
         if v == T::ZERO {
             continue;
         }
@@ -86,62 +94,76 @@ pub fn nrm2<T: Scalar>(n: usize, x: &[T], incx: usize) -> T {
             ssq = r.mul_add(r, ssq);
         }
     }
-    if scale == T::ZERO {
+    Ok(if scale == T::ZERO {
         T::ZERO
     } else {
         scale * ssq.sqrt()
-    }
+    })
 }
 
 /// `asum`: sum of absolute values `Σ |x[i]|`.
-pub fn asum<T: Scalar>(n: usize, x: &[T], incx: usize) -> T {
-    check_stride(n, x.len(), incx, "asum x");
+pub fn asum<T: Scalar>(n: usize, x: &[T], incx: isize) -> Result<T, ContractError> {
+    contract::check_vector("x", x.len(), n, incx)?;
     let mut acc = T::ZERO;
     for i in 0..n {
-        acc += x[i * incx].abs();
+        acc += x[vec_index(i, n, incx)].abs();
     }
-    acc
+    Ok(acc)
 }
 
 /// `iamax`: index (into the logical vector) of the first element with the
-/// largest absolute value. Returns `None` for `n == 0`.
-pub fn iamax<T: Scalar>(n: usize, x: &[T], incx: usize) -> Option<usize> {
-    check_stride(n, x.len(), incx, "iamax x");
+/// largest absolute value. Returns `Ok(None)` for `n == 0`.
+pub fn iamax<T: Scalar>(n: usize, x: &[T], incx: isize) -> Result<Option<usize>, ContractError> {
+    contract::check_vector("x", x.len(), n, incx)?;
     if n == 0 {
-        return None;
+        return Ok(None);
     }
     let mut best = 0usize;
-    let mut best_val = x[0].abs();
+    let mut best_val = x[vec_index(0, n, incx)].abs();
     for i in 1..n {
-        let v = x[i * incx].abs();
+        let v = x[vec_index(i, n, incx)].abs();
         if v > best_val {
             best_val = v;
             best = i;
         }
     }
-    Some(best)
+    Ok(Some(best))
 }
 
 /// `copy`: `y ← x`.
-pub fn copy<T: Scalar>(n: usize, x: &[T], incx: usize, y: &mut [T], incy: usize) {
-    check_stride(n, x.len(), incx, "copy x");
-    check_stride(n, y.len(), incy, "copy y");
+pub fn copy<T: Scalar>(
+    n: usize,
+    x: &[T],
+    incx: isize,
+    y: &mut [T],
+    incy: isize,
+) -> Result<(), ContractError> {
+    contract::check_vector("x", x.len(), n, incx)?;
+    contract::check_vector("y", y.len(), n, incy)?;
     if incx == 1 && incy == 1 {
         y[..n].copy_from_slice(&x[..n]);
     } else {
         for i in 0..n {
-            y[i * incy] = x[i * incx];
+            y[vec_index(i, n, incy)] = x[vec_index(i, n, incx)];
         }
     }
+    Ok(())
 }
 
 /// `swap`: exchanges the logical contents of `x` and `y`.
-pub fn swap<T: Scalar>(n: usize, x: &mut [T], incx: usize, y: &mut [T], incy: usize) {
-    check_stride(n, x.len(), incx, "swap x");
-    check_stride(n, y.len(), incy, "swap y");
+pub fn swap<T: Scalar>(
+    n: usize,
+    x: &mut [T],
+    incx: isize,
+    y: &mut [T],
+    incy: isize,
+) -> Result<(), ContractError> {
+    contract::check_vector("x", x.len(), n, incx)?;
+    contract::check_vector("y", y.len(), n, incy)?;
     for i in 0..n {
-        std::mem::swap(&mut x[i * incx], &mut y[i * incy]);
+        std::mem::swap(&mut x[vec_index(i, n, incx)], &mut y[vec_index(i, n, incy)]);
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -152,8 +174,8 @@ mod tests {
     fn dot_basic() {
         let x = [1.0f64, 2.0, 3.0];
         let y = [4.0f64, 5.0, 6.0];
-        assert_eq!(dot(3, &x, 1, &y, 1), 32.0);
-        assert_eq!(dot(0, &x, 1, &y, 1), 0.0);
+        assert_eq!(dot(3, &x, 1, &y, 1).unwrap(), 32.0);
+        assert_eq!(dot(0, &x, 1, &y, 1).unwrap(), 0.0);
     }
 
     #[test]
@@ -161,25 +183,36 @@ mod tests {
         // logical x = [1, 3], logical y = [4, 6]
         let x = [1.0f64, 99.0, 3.0];
         let y = [4.0f64, 99.0, 6.0];
-        assert_eq!(dot(2, &x, 2, &y, 2), 1.0 * 4.0 + 3.0 * 6.0);
+        assert_eq!(dot(2, &x, 2, &y, 2).unwrap(), 1.0 * 4.0 + 3.0 * 6.0);
     }
 
     #[test]
-    #[should_panic(expected = "too short")]
+    fn dot_negative_increment_reverses() {
+        // incx = -1 walks x backwards: logical x = [3, 2, 1]
+        let x = [1.0f64, 2.0, 3.0];
+        let y = [1.0f64, 10.0, 100.0];
+        assert_eq!(dot(3, &x, -1, &y, 1).unwrap(), 3.0 + 20.0 + 100.0);
+    }
+
+    #[test]
     fn dot_rejects_short_vector() {
         let x = [1.0f64; 3];
         let y = [1.0f64; 2];
-        let _ = dot(3, &x, 1, &y, 1);
+        let err = dot(3, &x, 1, &y, 1).unwrap_err();
+        assert!(matches!(
+            err,
+            ContractError::BufferTooShort { arg: "y", .. }
+        ));
     }
 
     #[test]
     fn axpy_basic_and_alpha_zero() {
         let x = [1.0f32, 2.0, 3.0];
         let mut y = [10.0f32, 20.0, 30.0];
-        axpy(3, 2.0, &x, 1, &mut y, 1);
+        axpy(3, 2.0, &x, 1, &mut y, 1).unwrap();
         assert_eq!(y, [12.0, 24.0, 36.0]);
         // alpha == 0 is a no-op and must not touch y
-        axpy(3, 0.0, &x, 1, &mut y, 1);
+        axpy(3, 0.0, &x, 1, &mut y, 1).unwrap();
         assert_eq!(y, [12.0, 24.0, 36.0]);
     }
 
@@ -187,33 +220,42 @@ mod tests {
     fn axpy_strided() {
         let x = [1.0f64, 0.0, 2.0];
         let mut y = [0.0f64, 9.0, 0.0, 9.0, 0.0];
-        axpy(2, 3.0, &x, 2, &mut y, 2);
+        axpy(2, 3.0, &x, 2, &mut y, 2).unwrap();
         assert_eq!(y, [3.0, 9.0, 6.0, 9.0, 0.0]);
+    }
+
+    #[test]
+    fn axpy_negative_increment() {
+        // logical x with incx=-1 is [3, 2, 1]
+        let x = [1.0f64, 2.0, 3.0];
+        let mut y = [0.0f64, 0.0, 0.0];
+        axpy(3, 1.0, &x, -1, &mut y, 1).unwrap();
+        assert_eq!(y, [3.0, 2.0, 1.0]);
     }
 
     #[test]
     fn scal_scales_in_place() {
         let mut x = [1.0f64, 2.0, 3.0];
-        scal(3, 0.5, &mut x, 1);
+        scal(3, 0.5, &mut x, 1).unwrap();
         assert_eq!(x, [0.5, 1.0, 1.5]);
-        scal(2, 0.0, &mut x, 2);
+        scal(2, 0.0, &mut x, 2).unwrap();
         assert_eq!(x, [0.0, 1.0, 0.0]);
     }
 
     #[test]
     fn nrm2_matches_naive() {
         let x = [3.0f64, 4.0];
-        assert!((nrm2(2, &x, 1) - 5.0).abs() < 1e-12);
-        assert_eq!(nrm2::<f64>(0, &[], 1), 0.0);
+        assert!((nrm2(2, &x, 1).unwrap() - 5.0).abs() < 1e-12);
+        assert_eq!(nrm2::<f64>(0, &[], 1).unwrap(), 0.0);
         let z = [0.0f64; 4];
-        assert_eq!(nrm2(4, &z, 1), 0.0);
+        assert_eq!(nrm2(4, &z, 1).unwrap(), 0.0);
     }
 
     #[test]
     fn nrm2_avoids_overflow() {
         // naive sum of squares would overflow f64 here
         let x = [1e200f64, 1e200];
-        let n = nrm2(2, &x, 1);
+        let n = nrm2(2, &x, 1).unwrap();
         assert!(n.is_finite());
         assert!((n - 1e200 * 2.0f64.sqrt()).abs() / n < 1e-12);
     }
@@ -221,7 +263,7 @@ mod tests {
     #[test]
     fn nrm2_avoids_underflow() {
         let x = [1e-200f64, 1e-200];
-        let n = nrm2(2, &x, 1);
+        let n = nrm2(2, &x, 1).unwrap();
         assert!(n > 0.0);
         assert!((n - 1e-200 * 2.0f64.sqrt()).abs() / n < 1e-12);
     }
@@ -229,28 +271,28 @@ mod tests {
     #[test]
     fn asum_absolute_values() {
         let x = [-1.0f32, 2.0, -3.0];
-        assert_eq!(asum(3, &x, 1), 6.0);
+        assert_eq!(asum(3, &x, 1).unwrap(), 6.0);
     }
 
     #[test]
     fn iamax_finds_first_max() {
         let x = [1.0f64, -5.0, 5.0, 2.0];
-        assert_eq!(iamax(4, &x, 1), Some(1)); // first of the tied |5.0|s
-        assert_eq!(iamax::<f64>(0, &[], 1), None);
+        assert_eq!(iamax(4, &x, 1).unwrap(), Some(1)); // first of the tied |5.0|s
+        assert_eq!(iamax::<f64>(0, &[], 1).unwrap(), None);
         // strided: logical vector [1.0, 5.0]
-        assert_eq!(iamax(2, &x, 2), Some(1));
+        assert_eq!(iamax(2, &x, 2).unwrap(), Some(1));
     }
 
     #[test]
     fn copy_and_swap() {
         let x = [1.0f64, 2.0, 3.0];
         let mut y = [0.0f64; 3];
-        copy(3, &x, 1, &mut y, 1);
+        copy(3, &x, 1, &mut y, 1).unwrap();
         assert_eq!(y, x);
 
         let mut a = [1.0f64, 2.0];
         let mut b = [3.0f64, 4.0];
-        swap(2, &mut a, 1, &mut b, 1);
+        swap(2, &mut a, 1, &mut b, 1).unwrap();
         assert_eq!(a, [3.0, 4.0]);
         assert_eq!(b, [1.0, 2.0]);
     }
@@ -259,14 +301,22 @@ mod tests {
     fn copy_strided() {
         let x = [1.0f32, 9.0, 2.0, 9.0, 3.0];
         let mut y = [0.0f32; 3];
-        copy(3, &x, 2, &mut y, 1);
+        copy(3, &x, 2, &mut y, 1).unwrap();
         assert_eq!(y, [1.0, 2.0, 3.0]);
     }
 
     #[test]
-    #[should_panic(expected = "increment must be positive")]
+    fn copy_negative_increment_reverses() {
+        let x = [1.0f32, 2.0, 3.0];
+        let mut y = [0.0f32; 3];
+        copy(3, &x, 1, &mut y, -1).unwrap();
+        assert_eq!(y, [3.0, 2.0, 1.0]);
+    }
+
+    #[test]
     fn zero_increment_rejected() {
         let x = [1.0f64; 3];
-        let _ = asum(3, &x, 0);
+        let err = asum(3, &x, 0).unwrap_err();
+        assert_eq!(err, ContractError::ZeroIncrement { arg: "x" });
     }
 }

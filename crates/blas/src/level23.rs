@@ -14,7 +14,13 @@
 //!
 //! All column-major, no transposition flags (matching the artifact's
 //! conventions); triangular kernels take an [`UpLo`] selector.
+//!
+//! Every entry point validates its arguments through
+//! [`contract`](crate::contract) before touching any buffer; singular
+//! triangles surface as [`ContractError::SingularDiagonal`] rather than a
+//! panic.
 
+use crate::contract::{self, vec_index, ContractError};
 use crate::scalar::Scalar;
 
 /// Which triangle of a matrix a triangular kernel reads.
@@ -32,36 +38,27 @@ pub fn ger<T: Scalar>(
     n: usize,
     alpha: T,
     x: &[T],
-    incx: usize,
+    incx: isize,
     y: &[T],
-    incy: usize,
+    incy: isize,
     a: &mut [T],
     lda: usize,
-) {
-    assert!(lda >= m.max(1), "lda {lda} < m {m}");
-    assert!(incx > 0 && incy > 0, "increments must be positive");
-    if m > 0 {
-        assert!(x.len() > (m - 1) * incx, "x too short");
-    }
-    if n > 0 {
-        assert!(y.len() > (n - 1) * incy, "y too short");
-        if m > 0 {
-            assert!(a.len() >= (n - 1) * lda + m, "A too short");
-        }
-    }
+) -> Result<(), ContractError> {
+    contract::check_ger(m, n, x.len(), incx, y.len(), incy, a.len(), lda)?;
     if alpha == T::ZERO {
-        return;
+        return Ok(());
     }
     for j in 0..n {
-        let w = alpha * y[j * incy];
+        let w = alpha * y[vec_index(j, n, incy)];
         if w == T::ZERO {
             continue;
         }
         let col = &mut a[j * lda..j * lda + m];
         for i in 0..m {
-            col[i] = x[i * incx].mul_add(w, col[i]);
+            col[i] = x[vec_index(i, m, incx)].mul_add(w, col[i]);
         }
     }
+    Ok(())
 }
 
 /// SYRK: `C ← α·A·Aᵀ + β·C`, updating only the `uplo` triangle of the
@@ -77,15 +74,8 @@ pub fn syrk<T: Scalar>(
     beta: T,
     c: &mut [T],
     ldc: usize,
-) {
-    assert!(lda >= n.max(1), "lda {lda} < n {n}");
-    assert!(ldc >= n.max(1), "ldc {ldc} < n {n}");
-    if n > 0 && k > 0 {
-        assert!(a.len() >= (k - 1) * lda + n, "A too short");
-    }
-    if n > 0 {
-        assert!(c.len() >= (n - 1) * ldc + n, "C too short");
-    }
+) -> Result<(), ContractError> {
+    contract::check_syrk(n, k, a.len(), lda, c.len(), ldc)?;
     for j in 0..n {
         let (lo, hi) = match uplo {
             UpLo::Lower => (j, n),
@@ -94,7 +84,11 @@ pub fn syrk<T: Scalar>(
         // β pass over the stored triangle of column j
         for i in lo..hi {
             let idx = i + j * ldc;
-            c[idx] = if beta == T::ZERO { T::ZERO } else { c[idx] * beta };
+            c[idx] = if beta == T::ZERO {
+                T::ZERO
+            } else {
+                c[idx] * beta
+            };
         }
         if alpha == T::ZERO {
             continue;
@@ -110,34 +104,44 @@ pub fn syrk<T: Scalar>(
             }
         }
     }
+    Ok(())
 }
 
 /// TRSV: solves `T·x = b` in place (`x` enters holding `b`), where `T` is
 /// the `uplo` triangle of the `n × n` column-major matrix `a`.
 ///
-/// # Panics
-/// On a zero diagonal element (singular triangle), or size mismatches.
-pub fn trsv<T: Scalar>(uplo: UpLo, n: usize, a: &[T], lda: usize, x: &mut [T], incx: usize) {
-    assert!(lda >= n.max(1), "lda {lda} < n {n}");
-    assert!(incx > 0, "incx must be positive");
+/// # Errors
+/// [`ContractError::SingularDiagonal`] on a zero diagonal element, in which
+/// case `x` may be partially updated; argument-contract errors leave `x`
+/// untouched.
+pub fn trsv<T: Scalar>(
+    uplo: UpLo,
+    n: usize,
+    a: &[T],
+    lda: usize,
+    x: &mut [T],
+    incx: isize,
+) -> Result<(), ContractError> {
+    contract::check_trsv(n, a.len(), lda, x.len(), incx)?;
     if n == 0 {
-        return;
+        return Ok(());
     }
-    assert!(a.len() >= (n - 1) * lda + n, "A too short");
-    assert!(x.len() > (n - 1) * incx, "x too short");
     match uplo {
         UpLo::Lower => {
             // forward substitution, column-oriented: after computing x[j],
             // eliminate it from all later rows
             for j in 0..n {
                 let d = a[j + j * lda];
-                assert!(d != T::ZERO, "singular triangle at {j}");
-                let xj = x[j * incx] / d;
-                x[j * incx] = xj;
+                if d == T::ZERO {
+                    return Err(ContractError::SingularDiagonal { index: j });
+                }
+                let at = vec_index(j, n, incx);
+                let xj = x[at] / d;
+                x[at] = xj;
                 if xj != T::ZERO {
                     for i in j + 1..n {
                         let aij = a[i + j * lda];
-                        x[i * incx] -= aij * xj;
+                        x[vec_index(i, n, incx)] -= aij * xj;
                     }
                 }
             }
@@ -146,20 +150,29 @@ pub fn trsv<T: Scalar>(uplo: UpLo, n: usize, a: &[T], lda: usize, x: &mut [T], i
             // backward substitution
             for j in (0..n).rev() {
                 let d = a[j + j * lda];
-                assert!(d != T::ZERO, "singular triangle at {j}");
-                let xj = x[j * incx] / d;
-                x[j * incx] = xj;
+                if d == T::ZERO {
+                    return Err(ContractError::SingularDiagonal { index: j });
+                }
+                let at = vec_index(j, n, incx);
+                let xj = x[at] / d;
+                x[at] = xj;
                 if xj != T::ZERO {
                     for i in 0..j {
                         let aij = a[i + j * lda];
-                        x[i * incx] -= aij * xj;
+                        x[vec_index(i, n, incx)] -= aij * xj;
                     }
                 }
             }
         }
     }
+    Ok(())
 }
 
+/// Scan the diagonal of the `n × n` triangle for zeros, so batch drivers
+/// can reject a singular system before touching any right-hand side.
+fn find_singular_diagonal<T: Scalar>(n: usize, a: &[T], lda: usize) -> Option<usize> {
+    (0..n).find(|&j| a[j + j * lda] == T::ZERO)
+}
 
 /// TRSM (left side): solves `T·X = α·B` in place (`b` enters holding `B`,
 /// leaves holding `X`), where `T` is the `uplo` triangle of the `m × m`
@@ -168,6 +181,11 @@ pub fn trsv<T: Scalar>(uplo: UpLo, n: usize, a: &[T], lda: usize, x: &mut [T], i
 /// Column-wise: each of `B`'s columns is an independent [`trsv`]-shaped
 /// solve — which is also why TRSM parallelises so much better than TRSV
 /// (the Li et al. comparison in the paper's related work).
+///
+/// # Errors
+/// [`ContractError::SingularDiagonal`] if the triangle has a zero diagonal
+/// element; `B` is untouched in that case (the diagonal is scanned before
+/// any solve starts).
 #[allow(clippy::too_many_arguments)]
 pub fn trsm<T: Scalar>(
     uplo: UpLo,
@@ -178,14 +196,14 @@ pub fn trsm<T: Scalar>(
     lda: usize,
     b: &mut [T],
     ldb: usize,
-) {
-    assert!(lda >= m.max(1), "lda {lda} < m {m}");
-    assert!(ldb >= m.max(1), "ldb {ldb} < m {m}");
+) -> Result<(), ContractError> {
+    contract::check_trsm(m, n, a.len(), lda, b.len(), ldb)?;
     if m == 0 || n == 0 {
-        return;
+        return Ok(());
     }
-    assert!(a.len() >= (m - 1) * lda + m, "A too short");
-    assert!(b.len() >= (n - 1) * ldb + m, "B too short");
+    if let Some(index) = find_singular_diagonal(m, a, lda) {
+        return Err(ContractError::SingularDiagonal { index });
+    }
     for j in 0..n {
         let col = &mut b[j * ldb..j * ldb + m];
         if alpha != T::ONE {
@@ -193,12 +211,19 @@ pub fn trsm<T: Scalar>(
                 *v *= alpha;
             }
         }
-        trsv(uplo, m, a, lda, col, 1);
+        // Diagonal pre-scanned above, per-column args derived from the
+        // validated whole: this solve cannot fail.
+        let _ = trsv(uplo, m, a, lda, col, 1);
     }
+    Ok(())
 }
 
 /// Parallel TRSM: `B`'s columns split over scoped threads (column solves
 /// are independent).
+///
+/// # Errors
+/// Same contract as [`trsm`]; the diagonal is scanned before any thread is
+/// spawned, so worker threads can never encounter an error.
 #[allow(clippy::too_many_arguments)]
 pub fn trsm_parallel<T: Scalar>(
     threads: usize,
@@ -210,18 +235,17 @@ pub fn trsm_parallel<T: Scalar>(
     lda: usize,
     b: &mut [T],
     ldb: usize,
-) {
-    assert!(lda >= m.max(1), "lda {lda} < m {m}");
-    assert!(ldb >= m.max(1), "ldb {ldb} < m {m}");
+) -> Result<(), ContractError> {
+    contract::check_trsm(m, n, a.len(), lda, b.len(), ldb)?;
     if m == 0 || n == 0 {
-        return;
+        return Ok(());
     }
-    assert!(a.len() >= (m - 1) * lda + m, "A too short");
-    assert!(b.len() >= (n - 1) * ldb + m, "B too short");
+    if let Some(index) = find_singular_diagonal(m, a, lda) {
+        return Err(ContractError::SingularDiagonal { index });
+    }
     let chunks = threads.clamp(1, n);
     if chunks <= 1 {
-        trsm(uplo, m, n, alpha, a, lda, b, ldb);
-        return;
+        return trsm(uplo, m, n, alpha, a, lda, b, ldb);
     }
     let per = n.div_ceil(chunks);
     std::thread::scope(|s| {
@@ -229,7 +253,11 @@ pub fn trsm_parallel<T: Scalar>(
         let mut j0 = 0usize;
         while j0 < n {
             let cols = per.min(n - j0);
-            let take = if j0 + cols >= n { rest.len() } else { cols * ldb };
+            let take = if j0 + cols >= n {
+                rest.len()
+            } else {
+                cols * ldb
+            };
             let (mine, r) = rest.split_at_mut(take);
             rest = r;
             s.spawn(move || {
@@ -240,12 +268,15 @@ pub fn trsm_parallel<T: Scalar>(
                             *v *= alpha;
                         }
                     }
-                    trsv(uplo, m, a, lda, col, 1);
+                    // Contract validated and diagonal pre-scanned before
+                    // spawning: the per-column solve cannot fail.
+                    let _ = trsv(uplo, m, a, lda, col, 1);
                 }
             });
             j0 += cols;
         }
     });
+    Ok(())
 }
 
 #[cfg(test)]
@@ -270,7 +301,7 @@ mod tests {
         let y: Vec<f64> = (0..n).map(|j| (j as f64) * 0.5 - 1.0).collect();
         let a0 = filled(m, n, 1);
         let mut a = a0.clone();
-        ger(m, n, 2.0, &x, 1, &y, 1, a.as_mut_slice(), m);
+        ger(m, n, 2.0, &x, 1, &y, 1, a.as_mut_slice(), m).unwrap();
         for j in 0..n {
             for i in 0..m {
                 let want = a0[(i, j)] + 2.0 * x[i] * y[j];
@@ -284,7 +315,18 @@ mod tests {
         let (m, n) = (4, 4);
         let a0 = filled(m, n, 2);
         let mut a = a0.clone();
-        ger(m, n, 0.0, &vec![1.0; m], 1, &vec![1.0; n], 1, a.as_mut_slice(), m);
+        ger(
+            m,
+            n,
+            0.0,
+            &vec![1.0; m],
+            1,
+            &vec![1.0; n],
+            1,
+            a.as_mut_slice(),
+            m,
+        )
+        .unwrap();
         assert_eq!(a, a0);
     }
 
@@ -294,9 +336,39 @@ mod tests {
         let x = [1.0, 9.0, 2.0, 9.0, 3.0]; // stride 2 -> [1, 2, 3]
         let y = [4.0, 9.0, 9.0, 5.0]; // stride 3 -> [4, 5]
         let mut a = Matrix::<f64>::zeros(m, n);
-        ger(m, n, 1.0, &x, 2, &y, 3, a.as_mut_slice(), m);
+        ger(m, n, 1.0, &x, 2, &y, 3, a.as_mut_slice(), m).unwrap();
         assert_eq!(a[(2, 1)], 15.0);
         assert_eq!(a[(0, 0)], 4.0);
+    }
+
+    #[test]
+    fn ger_negative_increment() {
+        let (m, n) = (3, 2);
+        // incx = -1: logical x = [3, 2, 1]
+        let x = [1.0, 2.0, 3.0];
+        let y = [1.0, 10.0];
+        let mut a = Matrix::<f64>::zeros(m, n);
+        ger(m, n, 1.0, &x, -1, &y, 1, a.as_mut_slice(), m).unwrap();
+        assert_eq!(a[(0, 0)], 3.0);
+        assert_eq!(a[(2, 1)], 10.0);
+    }
+
+    #[test]
+    fn ger_rejects_zero_increment() {
+        let mut a = Matrix::<f64>::zeros(2, 2);
+        let err = ger(
+            2,
+            2,
+            1.0,
+            &[1.0, 1.0],
+            0,
+            &[1.0, 1.0],
+            1,
+            a.as_mut_slice(),
+            2,
+        )
+        .unwrap_err();
+        assert_eq!(err, ContractError::ZeroIncrement { arg: "x" });
     }
 
     #[test]
@@ -307,12 +379,25 @@ mod tests {
         let a = filled(m, k, 3);
         let b = filled(k, n, 4);
         let mut via_gemm = Matrix::<f64>::zeros(m, n);
-        gemm_ref(m, n, k, 1.0, a.as_slice(), m, b.as_slice(), k, 0.0, via_gemm.as_mut_slice(), m);
+        gemm_ref(
+            m,
+            n,
+            k,
+            1.0,
+            a.as_slice(),
+            m,
+            b.as_slice(),
+            k,
+            0.0,
+            via_gemm.as_mut_slice(),
+            m,
+        )
+        .unwrap();
         let mut via_ger = Matrix::<f64>::zeros(m, n);
         for l in 0..k {
             let col: Vec<f64> = (0..m).map(|i| a[(i, l)]).collect();
             let row: Vec<f64> = (0..n).map(|j| b[(l, j)]).collect();
-            ger(m, n, 1.0, &col, 1, &row, 1, via_ger.as_mut_slice(), m);
+            ger(m, n, 1.0, &col, 1, &row, 1, via_ger.as_mut_slice(), m).unwrap();
         }
         assert!(via_gemm.approx_eq(&via_ger, 1e-12));
     }
@@ -324,11 +409,24 @@ mod tests {
         // reference: full C = A * A^T via gemm with explicit A^T
         let at = Matrix::<f64>::from_fn(k, n, |i, j| a[(j, i)]);
         let mut full = Matrix::<f64>::zeros(n, n);
-        gemm_ref(n, n, k, 1.0, a.as_slice(), n, at.as_slice(), k, 0.0, full.as_mut_slice(), n);
+        gemm_ref(
+            n,
+            n,
+            k,
+            1.0,
+            a.as_slice(),
+            n,
+            at.as_slice(),
+            k,
+            0.0,
+            full.as_mut_slice(),
+            n,
+        )
+        .unwrap();
 
         for uplo in [UpLo::Lower, UpLo::Upper] {
             let mut c = Matrix::<f64>::zeros(n, n);
-            syrk(uplo, n, k, 1.0, a.as_slice(), n, 0.0, c.as_mut_slice(), n);
+            syrk(uplo, n, k, 1.0, a.as_slice(), n, 0.0, c.as_mut_slice(), n).unwrap();
             for j in 0..n {
                 for i in 0..n {
                     let stored = match uplo {
@@ -352,7 +450,18 @@ mod tests {
         let mut c = Matrix::<f64>::zeros(n, n);
         c.fill(f64::NAN);
         // beta = 0 overwrites the stored triangle even over NaN
-        syrk(UpLo::Lower, n, k, 1.0, a.as_slice(), n, 0.0, c.as_mut_slice(), n);
+        syrk(
+            UpLo::Lower,
+            n,
+            k,
+            1.0,
+            a.as_slice(),
+            n,
+            0.0,
+            c.as_mut_slice(),
+            n,
+        )
+        .unwrap();
         for j in 0..n {
             for i in j..n {
                 assert!(c[(i, j)].is_finite());
@@ -382,7 +491,7 @@ mod tests {
             }
         }
         let mut x = b.clone();
-        trsv(UpLo::Lower, n, l.as_slice(), n, &mut x, 1);
+        trsv(UpLo::Lower, n, l.as_slice(), n, &mut x, 1).unwrap();
         for i in 0..n {
             assert!((x[i] - xs[i]).abs() < 1e-10, "lower i={i}");
         }
@@ -403,7 +512,7 @@ mod tests {
             }
         }
         let mut x = b.clone();
-        trsv(UpLo::Upper, n, u.as_slice(), n, &mut x, 1);
+        trsv(UpLo::Upper, n, u.as_slice(), n, &mut x, 1).unwrap();
         for i in 0..n {
             assert!((x[i] - xs[i]).abs() < 1e-10, "upper i={i}");
         }
@@ -415,19 +524,19 @@ mod tests {
         let i_mat = Matrix::<f64>::from_fn(n, n, |i, j| if i == j { 1.0 } else { 0.0 });
         let mut x: Vec<f64> = (0..n).map(|i| i as f64).collect();
         let expect = x.clone();
-        trsv(UpLo::Lower, n, i_mat.as_slice(), n, &mut x, 1);
+        trsv(UpLo::Lower, n, i_mat.as_slice(), n, &mut x, 1).unwrap();
         assert_eq!(x, expect);
     }
 
     #[test]
-    #[should_panic(expected = "singular")]
     fn trsv_rejects_zero_diagonal() {
         let n = 3;
         let mut t = Matrix::<f64>::zeros(n, n);
         t[(0, 0)] = 1.0;
         t[(2, 2)] = 1.0; // t[(1,1)] stays 0
         let mut x = vec![1.0; n];
-        trsv(UpLo::Lower, n, t.as_slice(), n, &mut x, 1);
+        let err = trsv(UpLo::Lower, n, t.as_slice(), n, &mut x, 1).unwrap_err();
+        assert_eq!(err, ContractError::SingularDiagonal { index: 1 });
     }
 
     #[test]
@@ -454,7 +563,7 @@ mod tests {
         for i in 0..n {
             x[2 * i] = b[i];
         }
-        trsv(UpLo::Lower, n, l.as_slice(), n, &mut x, 2);
+        trsv(UpLo::Lower, n, l.as_slice(), n, &mut x, 2).unwrap();
         for i in 0..n {
             assert!((x[2 * i] - xs[i]).abs() < 1e-12);
         }
@@ -483,8 +592,12 @@ mod tests {
             }
         }
         let mut x = b.clone();
-        trsm(UpLo::Lower, m, n, 1.0, l.as_slice(), m, x.as_mut_slice(), m);
-        assert!(x.approx_eq(&x_true, 1e-9), "max diff {}", x.max_abs_diff(&x_true));
+        trsm(UpLo::Lower, m, n, 1.0, l.as_slice(), m, x.as_mut_slice(), m).unwrap();
+        assert!(
+            x.approx_eq(&x_true, 1e-9),
+            "max diff {}",
+            x.max_abs_diff(&x_true)
+        );
     }
 
     #[test]
@@ -493,8 +606,49 @@ mod tests {
         let i_mat = Matrix::<f64>::from_fn(m, m, |i, j| if i == j { 1.0 } else { 0.0 });
         let mut b = Matrix::<f64>::from_fn(m, 3, |i, j| (i + j) as f64);
         let expect = Matrix::<f64>::from_fn(m, 3, |i, j| 2.0 * (i + j) as f64);
-        trsm(UpLo::Upper, m, 3, 2.0, i_mat.as_slice(), m, b.as_mut_slice(), m);
+        trsm(
+            UpLo::Upper,
+            m,
+            3,
+            2.0,
+            i_mat.as_slice(),
+            m,
+            b.as_mut_slice(),
+            m,
+        )
+        .unwrap();
         assert!(b.approx_eq(&expect, 1e-12));
+    }
+
+    #[test]
+    fn trsm_singular_leaves_b_untouched() {
+        let m = 3;
+        let mut t = Matrix::<f64>::zeros(m, m);
+        t[(0, 0)] = 1.0; // t[(1,1)] stays 0
+        t[(2, 2)] = 1.0;
+        let b0 = Matrix::<f64>::from_fn(m, 2, |i, j| (i + j) as f64);
+        let mut b = b0.clone();
+        let err = trsm(UpLo::Lower, m, 2, 1.0, t.as_slice(), m, b.as_mut_slice(), m).unwrap_err();
+        assert_eq!(err, ContractError::SingularDiagonal { index: 1 });
+        assert_eq!(
+            b, b0,
+            "B must be untouched on a pre-scanned singular triangle"
+        );
+        let mut b = b0.clone();
+        let err = trsm_parallel(
+            4,
+            UpLo::Lower,
+            m,
+            2,
+            1.0,
+            t.as_slice(),
+            m,
+            b.as_mut_slice(),
+            m,
+        )
+        .unwrap_err();
+        assert_eq!(err, ContractError::SingularDiagonal { index: 1 });
+        assert_eq!(b, b0);
     }
 
     #[test]
@@ -511,10 +665,31 @@ mod tests {
         });
         let b0 = filled(m, n, 22);
         let mut serial = b0.clone();
-        trsm(UpLo::Upper, m, n, 1.5, u.as_slice(), m, serial.as_mut_slice(), m);
+        trsm(
+            UpLo::Upper,
+            m,
+            n,
+            1.5,
+            u.as_slice(),
+            m,
+            serial.as_mut_slice(),
+            m,
+        )
+        .unwrap();
         for threads in [1usize, 3, 8] {
             let mut par = b0.clone();
-            trsm_parallel(threads, UpLo::Upper, m, n, 1.5, u.as_slice(), m, par.as_mut_slice(), m);
+            trsm_parallel(
+                threads,
+                UpLo::Upper,
+                m,
+                n,
+                1.5,
+                u.as_slice(),
+                m,
+                par.as_mut_slice(),
+                m,
+            )
+            .unwrap();
             assert!(serial.approx_eq(&par, 1e-12), "threads {threads}");
         }
     }
@@ -533,9 +708,9 @@ mod tests {
         });
         let b: Vec<f64> = (0..m).map(|i| i as f64 + 1.0).collect();
         let mut via_trsm = b.clone();
-        trsm(UpLo::Lower, m, 1, 1.0, l.as_slice(), m, &mut via_trsm, m);
+        trsm(UpLo::Lower, m, 1, 1.0, l.as_slice(), m, &mut via_trsm, m).unwrap();
         let mut via_trsv = b.clone();
-        trsv(UpLo::Lower, m, l.as_slice(), m, &mut via_trsv, 1);
+        trsv(UpLo::Lower, m, l.as_slice(), m, &mut via_trsv, 1).unwrap();
         assert_eq!(via_trsm, via_trsv);
     }
 }

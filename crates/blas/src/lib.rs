@@ -26,6 +26,12 @@
 //!   extension kernels (strided-batch, CSR SpMV, software BF16, GER/SYRK/
 //!   TRSV/TRSM, transposed operands)
 //!
+//! Every public kernel entry point validates its full cblas-style argument
+//! contract through the [`contract`] module *before* touching any buffer,
+//! and reports violations as a typed [`ContractError`](contract::ContractError)
+//! instead of panicking — verified mechanically by the workspace's
+//! `blob-check` static-analysis tool (`contract-guard` rule).
+//!
 //! ```
 //! use blob_blas::{gemm, gemm_ref};
 //!
@@ -33,17 +39,20 @@
 //! let a = [1.0f64, 3.0, 2.0, 4.0]; // [[1, 2], [3, 4]]
 //! let b = [5.0f64, 7.0, 6.0, 8.0]; // [[5, 6], [7, 8]]
 //! let mut c = [0.0f64; 4];
-//! gemm(2, 2, 2, 1.0, &a, 2, &b, 2, 0.0, &mut c, 2);
+//! gemm(2, 2, 2, 1.0, &a, 2, &b, 2, 0.0, &mut c, 2).unwrap();
 //! let mut want = [0.0f64; 4];
-//! gemm_ref(2, 2, 2, 1.0, &a, 2, &b, 2, 0.0, &mut want, 2);
+//! gemm_ref(2, 2, 2, 1.0, &a, 2, &b, 2, 0.0, &mut want, 2).unwrap();
 //! assert_eq!(c, want);
 //! assert_eq!(c, [19.0, 43.0, 22.0, 50.0]);
+//! // a bad leading dimension is an error value, not a panic:
+//! assert!(gemm(2, 2, 2, 1.0, &a, 1, &b, 2, 0.0, &mut c, 2).is_err());
 //! ```
 
 // BLAS-convention entry points take the full cblas argument list.
 #![allow(clippy::too_many_arguments)]
 
 pub mod batched;
+pub mod contract;
 pub mod gemm;
 pub mod gemv;
 pub mod half;
@@ -52,18 +61,20 @@ pub mod level23;
 pub mod matrix;
 pub mod microkernel;
 pub mod pack;
+pub mod perturb;
 pub mod pool;
 pub mod scalar;
 pub mod sparse;
 pub mod transpose;
 
 pub use batched::{gemm_batched, gemm_batched_parallel, gemv_batched, BatchedGemmDesc};
+pub use contract::ContractError;
 pub use gemm::{gemm, gemm_blocked, gemm_blocked_with, gemm_parallel, gemm_ref, BlockConfig};
+pub use gemv::{gemv, gemv_parallel, gemv_ref};
 pub use half::Bf16;
 pub use level23::{ger, syrk, trsm, trsm_parallel, trsv, UpLo};
-pub use gemv::{gemv, gemv_parallel, gemv_ref};
 pub use matrix::Matrix;
 pub use pool::ThreadPool;
+pub use scalar::Scalar;
 pub use sparse::CsrMatrix;
 pub use transpose::{gemm_ex, gemv_ex, Trans};
-pub use scalar::Scalar;

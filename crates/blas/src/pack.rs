@@ -30,7 +30,10 @@ pub fn pack_a<T: Scalar>(
     alpha: T,
     buf: &mut Vec<T>,
 ) -> usize {
-    debug_assert!(kc == 0 || mc == 0 || (kc - 1) * lda + mc <= a.len(), "A block out of range");
+    debug_assert!(
+        kc == 0 || mc == 0 || (kc - 1) * lda + mc <= a.len(),
+        "A block out of range"
+    );
     let slivers = mc.div_ceil(MR);
     let needed = slivers * MR * kc;
     buf.clear();
@@ -61,7 +64,10 @@ pub fn pack_a<T: Scalar>(
 ///
 /// Returns the number of elements written (`ceil(nc/NR) * NR * kc`).
 pub fn pack_b<T: Scalar>(kc: usize, nc: usize, b: &[T], ldb: usize, buf: &mut Vec<T>) -> usize {
-    debug_assert!(kc == 0 || nc == 0 || (nc - 1) * ldb + kc <= b.len(), "B panel out of range");
+    debug_assert!(
+        kc == 0 || nc == 0 || (nc - 1) * ldb + kc <= b.len(),
+        "B panel out of range"
+    );
     let slivers = nc.div_ceil(NR);
     let needed = slivers * NR * kc;
     buf.clear();

@@ -2,24 +2,49 @@
 //!
 //! Two facilities:
 //!
-//! 1. [`ThreadPool`] — a persistent worker pool for `'static` jobs, built on
-//!    a crossbeam MPMC channel and a completion count guarded by a
-//!    `parking_lot` mutex + condvar. Higher layers (the benchmark runner)
-//!    use it for independent tasks like concurrent problem-type sweeps.
+//! 1. [`ThreadPool`] — a persistent worker pool for `'static` jobs, built
+//!    entirely on `std`: a `Mutex<VecDeque>` job queue with a `Condvar`,
+//!    and a completion count guarded by a second mutex + condvar. Higher
+//!    layers (the benchmark runner) use it for independent tasks like
+//!    concurrent problem-type sweeps.
 //! 2. [`parallel_for`] — scoped data-parallelism over an index range using
 //!    `std::thread::scope`, used by the parallel GEMM/GEMV kernels where the
 //!    closures borrow matrix slices and therefore cannot be `'static`.
 //!
 //! The worker count defaults to the host's available parallelism, mirroring
 //! how the paper pins one full CPU socket (`OMP_NUM_THREADS`, §IV).
+//!
+//! Interleaving-sensitive spots call [`perturb::point`](crate::perturb),
+//! which the seeded stress tests use to explore schedules.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::{Condvar, Mutex};
+use crate::perturb;
+use std::collections::VecDeque;
 use std::ops::Range;
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Lock a mutex, recovering the guard if a previous holder panicked.
+///
+/// The pool's invariants (queue contents, pending count) are updated under
+/// the lock with non-panicking code, so a poisoned lock still guards
+/// consistent data; recovering keeps one panicking *job* from wedging every
+/// later `join`.
+fn lock_ignore_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Job queue shared between submitters and workers.
+struct Queue {
+    jobs: Mutex<QueueState>,
+    ready: Condvar,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
 
 /// Tracks outstanding jobs so callers can block until a batch drains.
 struct Pending {
@@ -29,19 +54,22 @@ struct Pending {
 
 impl Pending {
     fn incr(&self) {
-        *self.count.lock() += 1;
+        *lock_ignore_poison(&self.count) += 1;
     }
     fn decr(&self) {
-        let mut c = self.count.lock();
+        let mut c = lock_ignore_poison(&self.count);
         *c -= 1;
         if *c == 0 {
             self.cv.notify_all();
         }
     }
     fn wait_zero(&self) {
-        let mut c = self.count.lock();
+        let mut c = lock_ignore_poison(&self.count);
         while *c != 0 {
-            self.cv.wait(&mut c);
+            c = self
+                .cv
+                .wait(c)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
         }
     }
 }
@@ -52,38 +80,43 @@ impl Pending {
 /// worker; [`join`](Self::join) blocks until every submitted job has
 /// finished. Dropping the pool joins all workers.
 pub struct ThreadPool {
-    sender: Option<Sender<Job>>,
+    queue: Arc<Queue>,
     workers: Vec<JoinHandle<()>>,
     pending: Arc<Pending>,
 }
 
 impl ThreadPool {
     /// Creates a pool with `threads` workers (at least 1).
+    ///
+    /// If the OS refuses to spawn any worker thread at all, the pool
+    /// degrades to running jobs inline on the submitting thread rather
+    /// than failing: a benchmark harness should keep producing numbers on
+    /// a resource-starved host, just slowly.
     pub fn new(threads: usize) -> Self {
         let threads = threads.max(1);
-        let (sender, receiver): (Sender<Job>, Receiver<Job>) = unbounded();
+        let queue = Arc::new(Queue {
+            jobs: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            ready: Condvar::new(),
+        });
         let pending = Arc::new(Pending {
             count: Mutex::new(0),
             cv: Condvar::new(),
         });
-        let workers = (0..threads)
-            .map(|idx| {
-                let rx = receiver.clone();
+        let workers: Vec<JoinHandle<()>> = (0..threads)
+            .filter_map(|idx| {
+                let queue = Arc::clone(&queue);
                 let pending = Arc::clone(&pending);
                 std::thread::Builder::new()
                     .name(format!("blob-worker-{idx}"))
-                    .spawn(move || {
-                        // Channel disconnect (all senders dropped) ends the worker.
-                        while let Ok(job) = rx.recv() {
-                            job();
-                            pending.decr();
-                        }
-                    })
-                    .expect("failed to spawn pool worker")
+                    .spawn(move || worker_loop(&queue, &pending))
+                    .ok()
             })
             .collect();
         Self {
-            sender: Some(sender),
+            queue,
             workers,
             pending,
         }
@@ -94,19 +127,27 @@ impl ThreadPool {
         Self::new(available_threads())
     }
 
-    /// Number of worker threads.
+    /// Number of worker threads (0 only if the OS refused every spawn, in
+    /// which case jobs run inline on the submitting thread).
     pub fn threads(&self) -> usize {
         self.workers.len()
     }
 
     /// Submits a job for asynchronous execution.
     pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        if self.workers.is_empty() {
+            // Spawn-degraded mode: run inline, keeping execute/join
+            // semantics (the job is complete before join is reachable).
+            job();
+            return;
+        }
         self.pending.incr();
-        self.sender
-            .as_ref()
-            .expect("pool already shut down")
-            .send(Box::new(job))
-            .expect("pool workers exited prematurely");
+        perturb::point(perturb::tags::POOL_SUBMIT);
+        {
+            let mut state = lock_ignore_poison(&self.queue.jobs);
+            state.jobs.push_back(Box::new(job));
+        }
+        self.queue.ready.notify_one();
     }
 
     /// Blocks until every job submitted so far has completed.
@@ -115,10 +156,39 @@ impl ThreadPool {
     }
 }
 
+fn worker_loop(queue: &Queue, pending: &Pending) {
+    loop {
+        let job = {
+            let mut state = lock_ignore_poison(&queue.jobs);
+            loop {
+                if let Some(job) = state.jobs.pop_front() {
+                    break job;
+                }
+                if state.shutdown {
+                    return;
+                }
+                state = queue
+                    .ready
+                    .wait(state)
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+            }
+        };
+        perturb::point(perturb::tags::POOL_DEQUEUE);
+        job();
+        perturb::point(perturb::tags::POOL_DONE);
+        pending.decr();
+    }
+}
+
 impl Drop for ThreadPool {
     fn drop(&mut self) {
-        // Disconnect the channel so workers drain remaining jobs and exit.
-        self.sender.take();
+        {
+            let mut state = lock_ignore_poison(&self.queue.jobs);
+            state.shutdown = true;
+        }
+        // Workers drain remaining jobs (pop_front wins over shutdown),
+        // then exit once the queue is empty.
+        self.queue.ready.notify_all();
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
@@ -163,7 +233,10 @@ where
             let this = chunk + usize::from(c < rem);
             let sub = start..start + this;
             start += this;
-            s.spawn(move || f(sub));
+            s.spawn(move || {
+                perturb::point(perturb::tags::PARALLEL_FOR_CHUNK);
+                f(sub)
+            });
         }
     });
 }
@@ -213,6 +286,40 @@ mod tests {
     fn pool_at_least_one_thread() {
         let pool = ThreadPool::new(0);
         assert_eq!(pool.threads(), 1);
+        let done = Arc::new(AtomicUsize::new(0));
+        let d = Arc::clone(&done);
+        pool.execute(move || {
+            d.store(1, Ordering::Relaxed);
+        });
+        pool.join();
+        assert_eq!(done.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn pool_drop_drains_outstanding_jobs() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = ThreadPool::new(2);
+            for _ in 0..50 {
+                let c = Arc::clone(&counter);
+                pool.execute(move || {
+                    c.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            // No join: Drop must still run every submitted job.
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 50);
+    }
+
+    #[test]
+    fn pool_survives_panicking_job() {
+        let pool = ThreadPool::new(2);
+        pool.execute(|| {
+            // A panicking job must not wedge the pending count… but a panic
+            // unwinding out of worker_loop would skip decr. Catch it like a
+            // real harness job would.
+            let _ = std::panic::catch_unwind(|| panic!("job failure"));
+        });
         let done = Arc::new(AtomicUsize::new(0));
         let d = Arc::clone(&done);
         pool.execute(move || {

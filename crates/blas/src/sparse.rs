@@ -38,12 +38,12 @@ impl<T: Scalar> CsrMatrix<T> {
     ) -> Self {
         assert_eq!(row_ptr.len(), rows + 1, "row_ptr must have rows+1 entries");
         assert_eq!(row_ptr[0], 0, "row_ptr must start at 0");
+        assert_eq!(row_ptr[rows], values.len(), "row_ptr must end at nnz");
         assert_eq!(
-            *row_ptr.last().unwrap(),
+            col_idx.len(),
             values.len(),
-            "row_ptr must end at nnz"
+            "col_idx/values length mismatch"
         );
-        assert_eq!(col_idx.len(), values.len(), "col_idx/values length mismatch");
         for i in 0..rows {
             assert!(row_ptr[i] <= row_ptr[i + 1], "row_ptr must be monotone");
             let row = &col_idx[row_ptr[i]..row_ptr[i + 1]];
@@ -75,7 +75,11 @@ impl<T: Scalar> CsrMatrix<T> {
         let mut prev: Option<(usize, usize)> = None;
         for (r, c, v) in t {
             if prev == Some((r, c)) {
-                *values.last_mut().expect("duplicate follows an entry") += v;
+                // `prev` is only Some after at least one push, so a last
+                // element is guaranteed to exist here.
+                if let Some(last) = values.last_mut() {
+                    *last += v;
+                }
             } else {
                 col_idx.push(c);
                 values.push(v);
@@ -111,18 +115,14 @@ impl<T: Scalar> CsrMatrix<T> {
 
     /// The `n × n` identity.
     pub fn identity(n: usize) -> Self {
-        Self::new(
-            n,
-            n,
-            (0..=n).collect(),
-            (0..n).collect(),
-            vec![T::ONE; n],
-        )
+        Self::new(n, n, (0..=n).collect(), (0..n).collect(), vec![T::ONE; n])
     }
 
+    /// Row count.
     pub fn rows(&self) -> usize {
         self.rows
     }
+    /// Column count.
     pub fn cols(&self) -> usize {
         self.cols
     }
@@ -244,7 +244,7 @@ mod tests {
         let mut y_sparse = [0.5, 0.5, 0.5];
         let mut y_dense = [0.5, 0.5, 0.5];
         m.spmv(2.0, &x, 0.5, &mut y_sparse);
-        gemv_ref(3, 3, 2.0, &dense, 3, &x, 1, 0.5, &mut y_dense, 1);
+        gemv_ref(3, 3, 2.0, &dense, 3, &x, 1, 0.5, &mut y_dense, 1).unwrap();
         for i in 0..3 {
             assert!((y_sparse[i] - y_dense[i]).abs() < 1e-12);
         }

@@ -5,7 +5,12 @@
 //! `op(X)` is selected by [`Trans`]; the blocked GEMM handles transposition
 //! inside the packing step (the packed panel layout is identical either
 //! way, so the micro-kernel is untouched — the standard BLIS approach).
+//!
+//! Both entry points validate through [`contract`](crate::contract) (on the
+//! *stored* shapes) before touching any buffer and return a typed
+//! [`ContractError`] on violation.
 
+use crate::contract::{self, vec_index, ContractError};
 use crate::microkernel::{MR, NR};
 use crate::pack::{pack_a, pack_b};
 use crate::scalar::Scalar;
@@ -121,24 +126,15 @@ pub fn gemm_ex<T: Scalar>(
     beta: T,
     c: &mut [T],
     ldc: usize,
-) {
+) -> Result<(), ContractError> {
     // stored shapes
     let (a_rows, a_cols) = op_dims(transa, m, k);
     let (b_rows, b_cols) = op_dims(transb, k, n);
-    assert!(lda >= a_rows.max(1), "lda {lda} < stored rows {a_rows}");
-    assert!(ldb >= b_rows.max(1), "ldb {ldb} < stored rows {b_rows}");
-    assert!(ldc >= m.max(1), "ldc {ldc} < m {m}");
-    if a_rows > 0 && a_cols > 0 {
-        assert!(a.len() >= (a_cols - 1) * lda + a_rows, "A buffer too short");
-    }
-    if b_rows > 0 && b_cols > 0 {
-        assert!(b.len() >= (b_cols - 1) * ldb + b_rows, "B buffer too short");
-    }
-    if m > 0 && n > 0 {
-        assert!(c.len() >= (n - 1) * ldc + m, "C buffer too short");
-    }
+    contract::check_matrix("a", a.len(), a_rows, a_cols, lda)?;
+    contract::check_matrix("b", b.len(), b_rows, b_cols, ldb)?;
+    contract::check_matrix("c", c.len(), m, n, ldc)?;
     if m == 0 || n == 0 {
-        return;
+        return Ok(());
     }
     // β / degenerate handling mirrors gemm_blocked
     if alpha == T::ZERO || k == 0 {
@@ -152,7 +148,7 @@ pub fn gemm_ex<T: Scalar>(
                 }
             }
         }
-        return;
+        return Ok(());
     }
 
     use crate::gemm::{KC, MC, NC};
@@ -193,6 +189,7 @@ pub fn gemm_ex<T: Scalar>(
             }
         }
     }
+    Ok(())
 }
 
 /// GEMV with transposition: `y ← α·op(A)·x + β·y`, `A` stored `m × n`
@@ -208,38 +205,31 @@ pub fn gemv_ex<T: Scalar>(
     a: &[T],
     lda: usize,
     x: &[T],
-    incx: usize,
+    incx: isize,
     beta: T,
     y: &mut [T],
-    incy: usize,
-) {
+    incy: isize,
+) -> Result<(), ContractError> {
     match trans {
         Trans::NoTrans => crate::gemv::gemv_ref(m, n, alpha, a, lda, x, incx, beta, y, incy),
         Trans::Trans => {
-            assert!(lda >= m.max(1), "lda {lda} < m {m}");
-            assert!(incx > 0 && incy > 0, "increments must be positive");
-            if m > 0 && n > 0 {
-                assert!(a.len() >= (n - 1) * lda + m, "A buffer too short");
-            }
-            if m > 0 {
-                assert!(x.len() > (m - 1) * incx, "x too short");
-            }
-            if n > 0 {
-                assert!(y.len() > (n - 1) * incy, "y too short");
-            }
+            contract::check_matrix("a", a.len(), m, n, lda)?;
+            contract::check_vector("x", x.len(), m, incx)?;
+            contract::check_vector("y", y.len(), n, incy)?;
             for j in 0..n {
                 let col = &a[j * lda..j * lda + m];
                 let mut dot = T::ZERO;
                 for i in 0..m {
-                    dot = col[i].mul_add(x[i * incx], dot);
+                    dot = col[i].mul_add(x[vec_index(i, m, incx)], dot);
                 }
-                let yj = &mut y[j * incy];
+                let yj = &mut y[vec_index(j, n, incy)];
                 *yj = if beta == T::ZERO {
                     alpha * dot
                 } else {
                     dot.mul_add(alpha, beta * *yj)
                 };
             }
+            Ok(())
         }
     }
 }
@@ -277,12 +267,21 @@ mod tests {
 
         let mut got = c0.clone();
         gemm_ex(
-            transa, transb, m, n, k, 1.5,
-            a.as_slice(), a.ld(),
-            b.as_slice(), b.ld(),
+            transa,
+            transb,
+            m,
+            n,
+            k,
+            1.5,
+            a.as_slice(),
+            a.ld(),
+            b.as_slice(),
+            b.ld(),
             0.5,
-            got.as_mut_slice(), m,
-        );
+            got.as_mut_slice(),
+            m,
+        )
+        .unwrap();
 
         // oracle: materialise op(A), op(B), run the reference kernel
         let a_eff = match transa {
@@ -295,12 +294,19 @@ mod tests {
         };
         let mut want = c0.clone();
         gemm_ref(
-            m, n, k, 1.5,
-            a_eff.as_slice(), a_eff.ld(),
-            b_eff.as_slice(), b_eff.ld(),
+            m,
+            n,
+            k,
+            1.5,
+            a_eff.as_slice(),
+            a_eff.ld(),
+            b_eff.as_slice(),
+            b_eff.ld(),
             0.5,
-            want.as_mut_slice(), m,
-        );
+            want.as_mut_slice(),
+            m,
+        )
+        .unwrap();
         assert!(
             got.approx_eq(&want, 1e-10),
             "{transa:?}/{transb:?} m={m} n={n} k={k}: {}",
@@ -325,8 +331,36 @@ mod tests {
         let b = filled(k, n, 5);
         let mut c1 = Matrix::<f64>::zeros(m, n);
         let mut c2 = Matrix::<f64>::zeros(m, n);
-        gemm_ex(Trans::NoTrans, Trans::NoTrans, m, n, k, 1.0, a.as_slice(), m, b.as_slice(), k, 0.0, c1.as_mut_slice(), m);
-        crate::gemm_blocked(m, n, k, 1.0, a.as_slice(), m, b.as_slice(), k, 0.0, c2.as_mut_slice(), m);
+        gemm_ex(
+            Trans::NoTrans,
+            Trans::NoTrans,
+            m,
+            n,
+            k,
+            1.0,
+            a.as_slice(),
+            m,
+            b.as_slice(),
+            k,
+            0.0,
+            c1.as_mut_slice(),
+            m,
+        )
+        .unwrap();
+        crate::gemm_blocked(
+            m,
+            n,
+            k,
+            1.0,
+            a.as_slice(),
+            m,
+            b.as_slice(),
+            k,
+            0.0,
+            c2.as_mut_slice(),
+            m,
+        )
+        .unwrap();
         assert!(c1.approx_eq(&c2, 1e-12));
     }
 
@@ -334,7 +368,22 @@ mod tests {
     fn gemm_ex_degenerate_cases() {
         // alpha = 0: pure beta scaling, regardless of trans flags
         let mut c = vec![2.0f64; 4];
-        gemm_ex::<f64>(Trans::Trans, Trans::Trans, 2, 2, 0, 1.0, &[], 1, &[], 2, 0.5, &mut c, 2);
+        gemm_ex::<f64>(
+            Trans::Trans,
+            Trans::Trans,
+            2,
+            2,
+            0,
+            1.0,
+            &[],
+            1,
+            &[],
+            2,
+            0.5,
+            &mut c,
+            2,
+        )
+        .unwrap();
         assert_eq!(c, vec![1.0; 4]);
     }
 
@@ -345,7 +394,20 @@ mod tests {
         let x: Vec<f64> = (0..m).map(|i| (i as f64 * 0.3).sin()).collect();
         let y0: Vec<f64> = (0..n).map(|j| j as f64 * 0.1).collect();
         let mut y = y0.clone();
-        gemv_ex(Trans::Trans, m, n, 2.0, a.as_slice(), m, &x, 1, 0.5, &mut y, 1);
+        gemv_ex(
+            Trans::Trans,
+            m,
+            n,
+            2.0,
+            a.as_slice(),
+            m,
+            &x,
+            1,
+            0.5,
+            &mut y,
+            1,
+        )
+        .unwrap();
         for j in 0..n {
             let dot: f64 = (0..m).map(|i| a[(i, j)] * x[i]).sum();
             let want = 2.0 * dot + 0.5 * y0[j];
@@ -359,7 +421,20 @@ mod tests {
         let a = filled(m, n, 7);
         let x = vec![1.0; m];
         let mut y = vec![f64::NAN; n];
-        gemv_ex(Trans::Trans, m, n, 1.0, a.as_slice(), m, &x, 1, 0.0, &mut y, 1);
+        gemv_ex(
+            Trans::Trans,
+            m,
+            n,
+            1.0,
+            a.as_slice(),
+            m,
+            &x,
+            1,
+            0.0,
+            &mut y,
+            1,
+        )
+        .unwrap();
         assert!(y.iter().all(|v| v.is_finite()));
     }
 
@@ -370,18 +445,49 @@ mod tests {
         let x = vec![0.5; n];
         let mut y1 = vec![0.0; m];
         let mut y2 = vec![0.0; m];
-        gemv_ex(Trans::NoTrans, m, n, 1.0, a.as_slice(), m, &x, 1, 0.0, &mut y1, 1);
-        crate::gemv_ref(m, n, 1.0, a.as_slice(), m, &x, 1, 0.0, &mut y2, 1);
+        gemv_ex(
+            Trans::NoTrans,
+            m,
+            n,
+            1.0,
+            a.as_slice(),
+            m,
+            &x,
+            1,
+            0.0,
+            &mut y1,
+            1,
+        )
+        .unwrap();
+        crate::gemv_ref(m, n, 1.0, a.as_slice(), m, &x, 1, 0.0, &mut y2, 1).unwrap();
         assert_eq!(y1, y2);
     }
 
     #[test]
-    #[should_panic(expected = "A buffer too short")]
     fn transposed_bounds_checked() {
         // op(A) is 4x3 but stored A (3x4) buffer is short
         let a = vec![0.0f64; 10];
         let b = vec![0.0f64; 12];
         let mut c = vec![0.0f64; 12];
-        gemm_ex(Trans::Trans, Trans::NoTrans, 4, 4, 3, 1.0, &a, 3, &b, 3, 0.0, &mut c, 4);
+        let err = gemm_ex(
+            Trans::Trans,
+            Trans::NoTrans,
+            4,
+            4,
+            3,
+            1.0,
+            &a,
+            3,
+            &b,
+            3,
+            0.0,
+            &mut c,
+            4,
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            ContractError::BufferTooShort { arg: "a", .. }
+        ));
     }
 }

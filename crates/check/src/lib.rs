@@ -1,0 +1,235 @@
+//! # blob-check — from-scratch static analysis for this workspace
+//!
+//! A dependency-free checker that walks the workspace's own Rust sources
+//! and enforces the project's safety and API-hygiene rules at the token
+//! level (see [`rules`] for the rule catalogue and [`lexer`] for the
+//! hand-rolled lexer underneath — no `syn`, no network, no compiler
+//! plumbing).
+//!
+//! Run it as a normal workspace member:
+//!
+//! ```text
+//! cargo run -p blob-check            # human output, exit 1 on findings
+//! cargo run -p blob-check -- --json  # machine output
+//! ```
+//!
+//! ## Rules
+//!
+//! | rule | scope | fires on |
+//! |------|-------|----------|
+//! | `no-unsafe` | everywhere | any `unsafe` token |
+//! | `no-unwrap-in-lib` | library code, tests excluded | `.unwrap()`, `.expect(…)`, `panic!` |
+//! | `no-float-eq` | `blob-blas`/`blob-sim` libraries | `==`/`!=` against a float literal |
+//! | `pub-item-docs` | `blob-blas`/`blob-sim`/`blob-core` | public item/field without a doc comment |
+//! | `contract-guard` | the five kernel files | `pub fn` indexing a slice before contract validation |
+//!
+//! Violations that are intentional carry an inline suppression **with a
+//! mandatory reason**:
+//!
+//! ```text
+//! // blob-check: allow(no-float-eq): beta is a configured sentinel, not a computed value
+//! ```
+//!
+//! A suppression without a reason (or naming an unknown rule) is itself a
+//! finding. Legacy debt can be parked in a baseline file
+//! (`--write-baseline`/`--baseline`) so new violations still fail while
+//! old ones are burned down deliberately — this repository's baseline is
+//! empty by design.
+
+pub mod lexer;
+pub mod rules;
+
+use rules::{build_context, check_file, Finding};
+use std::path::{Path, PathBuf};
+
+/// Recursively collects every `.rs` file under `root`, skipping
+/// `target/`, `.git/`, and hidden directories. Paths come back
+/// repo-relative with `/` separators, sorted for deterministic output.
+pub fn collect_sources(root: &Path) -> std::io::Result<Vec<(String, String)>> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if path.is_dir() {
+                if name == "target" || name.starts_with('.') {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                let rel = path
+                    .strip_prefix(root)
+                    .unwrap_or(&path)
+                    .components()
+                    .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                    .collect::<Vec<_>>()
+                    .join("/");
+                let text = std::fs::read_to_string(&path)?;
+                files.push((rel, text));
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Checks every source file under `root` and returns `(findings, files)`.
+pub fn check_workspace(root: &Path) -> std::io::Result<(Vec<Finding>, usize)> {
+    let files = collect_sources(root)?;
+    let ctx = build_context(&files);
+    let mut findings = Vec::new();
+    for (path, text) in &files {
+        findings.extend(check_file(path, text, &ctx));
+    }
+    Ok((findings, files.len()))
+}
+
+/// Locates the workspace root by walking up from `start` to the first
+/// directory whose `Cargo.toml` declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// Escapes a string for JSON output.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders findings as a JSON array (stable field order, no dependencies).
+pub fn to_json(findings: &[Finding]) -> String {
+    let mut out = String::from("[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n  {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
+            json_escape(f.rule),
+            json_escape(&f.path),
+            f.line,
+            json_escape(&f.message)
+        ));
+    }
+    if !findings.is_empty() {
+        out.push('\n');
+    }
+    out.push(']');
+    out
+}
+
+/// Parses a baseline produced by [`to_json`] back into `(rule, path,
+/// message)` keys. The parser only needs to read its own output, so it is
+/// a minimal scan for the three known string fields per object.
+pub fn parse_baseline(text: &str) -> Vec<(String, String, String)> {
+    let mut keys = Vec::new();
+    for obj in text.split('{').skip(1) {
+        let field = |name: &str| -> Option<String> {
+            let tag = format!("\"{name}\": \"");
+            let at = obj.find(&tag)? + tag.len();
+            let rest = &obj[at..];
+            let mut out = String::new();
+            let mut chars = rest.chars();
+            while let Some(c) = chars.next() {
+                match c {
+                    '"' => return Some(out),
+                    '\\' => match chars.next() {
+                        Some('n') => out.push('\n'),
+                        Some('t') => out.push('\t'),
+                        Some('r') => out.push('\r'),
+                        Some(other) => out.push(other),
+                        None => return Some(out),
+                    },
+                    c => out.push(c),
+                }
+            }
+            Some(out)
+        };
+        if let (Some(rule), Some(path), Some(message)) =
+            (field("rule"), field("path"), field("message"))
+        {
+            keys.push((rule, path, message));
+        }
+    }
+    keys
+}
+
+/// Drops findings present in the baseline. Matching ignores line numbers
+/// so unrelated edits above a parked violation don't resurface it.
+pub fn apply_baseline(
+    findings: Vec<Finding>,
+    baseline: &[(String, String, String)],
+) -> Vec<Finding> {
+    findings
+        .into_iter()
+        .filter(|f| {
+            !baseline
+                .iter()
+                .any(|(r, p, m)| r == f.rule && p == &f.path && m == &f.message)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, path: &str, line: usize, message: &str) -> Finding {
+        Finding {
+            rule,
+            path: path.to_string(),
+            line,
+            message: message.to_string(),
+        }
+    }
+
+    #[test]
+    fn json_round_trips_through_baseline_parser() {
+        let fs = vec![
+            finding("no-unsafe", "a/b.rs", 3, "msg with \"quotes\" and \\slash"),
+            finding("no-float-eq", "c.rs", 9, "line1\nline2"),
+        ];
+        let json = to_json(&fs);
+        let keys = parse_baseline(&json);
+        assert_eq!(keys.len(), 2);
+        assert_eq!(keys[0].0, "no-unsafe");
+        assert_eq!(keys[0].2, "msg with \"quotes\" and \\slash");
+        assert_eq!(keys[1].2, "line1\nline2");
+        // baseline suppresses exactly those findings, line-insensitively
+        let mut shifted = fs.clone();
+        shifted[0].line = 99;
+        assert!(apply_baseline(shifted, &keys).is_empty());
+        let fresh = vec![finding("no-unsafe", "a/b.rs", 1, "different message")];
+        assert_eq!(apply_baseline(fresh, &keys).len(), 1);
+    }
+
+    #[test]
+    fn empty_findings_serialise_to_empty_array() {
+        assert_eq!(to_json(&[]), "[]");
+        assert!(parse_baseline("[]").is_empty());
+    }
+}

@@ -1,0 +1,130 @@
+//! The `blob-check` binary: run the workspace's static-analysis rules.
+//!
+//! ```text
+//! cargo run -p blob-check                       # check, human output
+//! cargo run -p blob-check -- --json             # machine-readable findings
+//! cargo run -p blob-check -- --write-baseline blob-check-baseline.json
+//! cargo run -p blob-check -- --baseline blob-check-baseline.json
+//! cargo run -p blob-check -- --list-rules
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings, 2 usage/IO error.
+
+use blob_check::{
+    apply_baseline, check_workspace, find_workspace_root, parse_baseline, rules::RULES, to_json,
+};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Options {
+    json: bool,
+    root: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    write_baseline: Option<PathBuf>,
+    list_rules: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        json: false,
+        root: None,
+        baseline: None,
+        write_baseline: None,
+        list_rules: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => opts.json = true,
+            "--list-rules" => opts.list_rules = true,
+            "--root" => {
+                opts.root = Some(PathBuf::from(
+                    args.next().ok_or("--root needs a directory")?,
+                ))
+            }
+            "--baseline" => {
+                opts.baseline = Some(PathBuf::from(args.next().ok_or("--baseline needs a file")?))
+            }
+            "--write-baseline" => {
+                opts.write_baseline = Some(PathBuf::from(
+                    args.next().ok_or("--write-baseline needs a file")?,
+                ))
+            }
+            "--help" | "-h" => {
+                return Err("usage: blob-check [--json] [--root DIR] [--baseline FILE] [--write-baseline FILE] [--list-rules]".to_string())
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    if opts.list_rules {
+        for r in RULES {
+            println!("{r}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let root = match opts.root.or_else(|| find_workspace_root(&cwd)) {
+        Some(r) => r,
+        None => {
+            eprintln!("error: no workspace root found above {}", cwd.display());
+            return ExitCode::from(2);
+        }
+    };
+    let (mut findings, files) = match check_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    findings.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+
+    if let Some(path) = &opts.write_baseline {
+        if let Err(e) = std::fs::write(path, to_json(&findings)) {
+            eprintln!("error: writing baseline: {e}");
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "wrote baseline with {} finding(s) to {}",
+            findings.len(),
+            path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+    if let Some(path) = &opts.baseline {
+        match std::fs::read_to_string(path) {
+            Ok(text) => findings = apply_baseline(findings, &parse_baseline(&text)),
+            Err(e) => {
+                eprintln!("error: reading baseline {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if opts.json {
+        println!("{}", to_json(&findings));
+    } else if findings.is_empty() {
+        println!("blob-check: {files} files clean");
+    } else {
+        for f in &findings {
+            println!("{}:{}: [{}] {}", f.path, f.line, f.rule, f.message);
+        }
+        println!("blob-check: {} finding(s) in {files} files", findings.len());
+    }
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,842 @@
+//! The lint rules and the per-file checking driver.
+//!
+//! Every rule works on the token stream from [`crate::lexer`] plus a
+//! [`FileClass`] derived from the file's repo-relative path. Rules are
+//! deliberately lexical: they trade a little precision for zero
+//! dependencies and total predictability — each rule documents exactly
+//! what pattern it fires on.
+
+use crate::lexer::{lex, Token, TokenKind};
+
+/// A rule violation (or a problem with a suppression comment).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule identifier, e.g. `no-unwrap-in-lib`.
+    pub rule: &'static str,
+    /// Repo-relative path of the offending file.
+    pub path: String,
+    /// 1-based line of the violation.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// All rule identifiers, for `--list-rules` and suppression validation.
+pub const RULES: [&str; 6] = [
+    "no-unsafe",
+    "no-unwrap-in-lib",
+    "no-float-eq",
+    "pub-item-docs",
+    "contract-guard",
+    "suppression",
+];
+
+/// What kind of code a file holds, derived from its repo-relative path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileClass {
+    /// Crate name for `crates/<name>/…` paths (`blob-<name>`), `gpu-blob`
+    /// for the root package, `None` outside any crate.
+    pub crate_name: Option<String>,
+    /// Library code: under a `src/` that is not `src/bin/` or `src/main.rs`.
+    pub is_lib: bool,
+    /// Integration test, example, or bench code.
+    pub is_test_like: bool,
+}
+
+/// Classifies a repo-relative path (`/`-separated).
+pub fn classify(path: &str) -> FileClass {
+    let parts: Vec<&str> = path.split('/').collect();
+    let crate_name = match parts.as_slice() {
+        ["crates", c, ..] => Some(format!("blob-{c}")),
+        ["src", ..] | ["examples", ..] | ["tests", ..] | ["benches", ..] => {
+            Some("gpu-blob".to_string())
+        }
+        _ => None,
+    };
+    let in_src = parts.contains(&"src");
+    let is_bin = parts.contains(&"bin") || parts.last() == Some(&"main.rs");
+    let is_test_like =
+        parts.contains(&"tests") || parts.contains(&"benches") || parts.contains(&"examples");
+    FileClass {
+        crate_name,
+        is_lib: in_src && !is_bin && !is_test_like,
+        is_test_like,
+    }
+}
+
+/// Byte-offset-free region of lines `[start, end]` covered by a
+/// `#[cfg(test)]` item (the brace-matched block following the attribute).
+fn cfg_test_regions(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    let code: Vec<(usize, &Token)> = tokens
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| !is_comment(t))
+        .collect();
+    let mut i = 0;
+    while i + 1 < code.len() {
+        let (_, t) = code[i];
+        if t.text == "#" && code[i + 1].1.text == "[" {
+            // scan the attribute tokens to its closing `]`
+            let mut j = i + 2;
+            let mut depth = 1;
+            let mut is_cfg = false;
+            let mut mentions_test = false;
+            while j < code.len() && depth > 0 {
+                let txt = code[j].1.text.as_str();
+                match txt {
+                    "[" => depth += 1,
+                    "]" => depth -= 1,
+                    "cfg" if j == i + 2 => is_cfg = true,
+                    "test" => mentions_test = true,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if is_cfg && mentions_test {
+                // brace-match the item body that follows
+                while j < code.len() && code[j].1.text != "{" {
+                    // a `;`-terminated item (e.g. `#[cfg(test)] use …;`) has
+                    // no body — bail out of the region search
+                    if code[j].1.text == ";" {
+                        break;
+                    }
+                    j += 1;
+                }
+                if j < code.len() && code[j].1.text == "{" {
+                    let start_line = t.line;
+                    let mut braces = 1;
+                    let mut k = j + 1;
+                    while k < code.len() && braces > 0 {
+                        match code[k].1.text.as_str() {
+                            "{" => braces += 1,
+                            "}" => braces -= 1,
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                    let end_line = code[k.saturating_sub(1).min(code.len() - 1)].1.line;
+                    regions.push((start_line, end_line));
+                    i = k;
+                    continue;
+                }
+            }
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+    regions
+}
+
+fn in_regions(line: usize, regions: &[(usize, usize)]) -> bool {
+    regions.iter().any(|&(a, b)| line >= a && line <= b)
+}
+
+fn is_comment(t: &Token) -> bool {
+    matches!(
+        t.kind,
+        TokenKind::LineComment | TokenKind::BlockComment | TokenKind::DocComment
+    )
+}
+
+/// A parsed suppression comment (see [`suppressions`] for the syntax).
+#[derive(Debug, Clone)]
+struct Suppression {
+    rule: String,
+    line: usize,
+    has_reason: bool,
+    known_rule: bool,
+}
+
+/// Extracts suppressions from comment tokens. Syntax, anywhere in a line
+/// or block comment:
+///
+/// ```text
+/// // blob-check: allow(no-float-eq): beta is a configured sentinel
+/// ```
+///
+/// The reason after the closing `)` and `:` is mandatory; a bare
+/// suppression is itself reported (rule `suppression`).
+fn suppressions(tokens: &[Token]) -> Vec<Suppression> {
+    let mut out = Vec::new();
+    for t in tokens.iter().filter(|t| is_comment(t)) {
+        let Some(at) = t.text.find("blob-check:") else {
+            continue;
+        };
+        let rest = t.text[at + "blob-check:".len()..].trim_start();
+        let Some(args) = rest.strip_prefix("allow(") else {
+            continue;
+        };
+        let Some(close) = args.find(')') else {
+            continue;
+        };
+        let rule = args[..close].trim().to_string();
+        let tail = args[close + 1..]
+            .trim_start()
+            .trim_start_matches(':')
+            .trim();
+        out.push(Suppression {
+            known_rule: RULES.contains(&rule.as_str()),
+            rule,
+            line: t.line,
+            has_reason: !tail.is_empty(),
+        });
+    }
+    out
+}
+
+/// True when `lit` is a floating-point literal token text.
+fn is_float_literal(text: &str) -> bool {
+    if text.starts_with("0x") || text.starts_with("0b") || text.starts_with("0o") {
+        return false;
+    }
+    text.contains('.')
+        || text.ends_with("f32")
+        || text.ends_with("f64")
+        || text.contains('e')
+        || text.contains('E')
+}
+
+/// Shared context computed once per workspace run (for `contract-guard`).
+#[derive(Debug, Default, Clone)]
+pub struct Context {
+    /// Names of functions in the guarded kernel files that are known to
+    /// validate their contract (directly or by delegation) — calling one
+    /// of these counts as guarding.
+    pub guarded_fns: Vec<String>,
+}
+
+/// The files whose public kernels must validate the call contract before
+/// touching any slice.
+pub const GUARDED_FILES: [&str; 5] = [
+    "crates/blas/src/gemm.rs",
+    "crates/blas/src/gemv.rs",
+    "crates/blas/src/level1.rs",
+    "crates/blas/src/level23.rs",
+    "crates/blas/src/batched.rs",
+];
+
+/// One function's lexical summary used by the guard fixpoint.
+#[derive(Debug)]
+struct FnInfo {
+    name: String,
+    line: usize,
+    is_pub: bool,
+    mentions_contract_error: bool,
+    /// Token offsets (within the body slice) of guard-relevant events.
+    direct_check_at: Option<usize>,
+    first_index_at: Option<usize>,
+    /// `(callee name, body offset)` of every call made in the body.
+    calls: Vec<(String, usize)>,
+}
+
+/// Extracts every `fn` in a token stream with the lexical facts the
+/// contract-guard rule needs. `skip_regions` excludes `#[cfg(test)]` code.
+fn collect_fns(tokens: &[Token], skip_regions: &[(usize, usize)]) -> Vec<FnInfo> {
+    const KEYWORDS: [&str; 14] = [
+        "if", "while", "for", "match", "return", "loop", "let", "else", "fn", "move", "in", "as",
+        "break", "continue",
+    ];
+    let code: Vec<&Token> = tokens.iter().filter(|t| !is_comment(t)).collect();
+    let mut fns = Vec::new();
+    let mut i = 0;
+    while i < code.len() {
+        if code[i].text != "fn" || in_regions(code[i].line, skip_regions) {
+            i += 1;
+            continue;
+        }
+        let Some(name_tok) = code.get(i + 1) else {
+            break;
+        };
+        // `pub` possibly with a `pub(crate)` restriction, scanning backwards
+        let is_pub = {
+            let mut j = i;
+            let mut p = false;
+            while j > 0 {
+                j -= 1;
+                match code[j].text.as_str() {
+                    ")" => {
+                        // skip back over a (crate)/(super) restriction
+                        while j > 0 && code[j].text != "(" {
+                            j -= 1;
+                        }
+                        if j == 0 {
+                            break;
+                        }
+                        continue;
+                    }
+                    "pub" => {
+                        // bare `pub` only: a restriction shows up as `(`
+                        // immediately after, which we'd have skipped already
+                        p = code.get(j + 1).map(|t| t.text != "(").unwrap_or(true);
+                        break;
+                    }
+                    "const" | "unsafe" | "async" | "extern" => continue,
+                    _ => break,
+                }
+            }
+            p
+        };
+        // find the body `{`, brace-matching nothing in between (signatures
+        // have no braces in this codebase; `;` means a trait method decl)
+        let mut j = i + 2;
+        let mut mentions_contract_error = false;
+        while j < code.len() && code[j].text != "{" && code[j].text != ";" {
+            if code[j].text == "ContractError" {
+                mentions_contract_error = true;
+            }
+            j += 1;
+        }
+        if j >= code.len() || code[j].text == ";" {
+            i = j;
+            continue;
+        }
+        let body_start = j + 1;
+        let mut depth = 1;
+        let mut k = body_start;
+        let mut direct_check_at = None;
+        let mut first_index_at = None;
+        let mut calls = Vec::new();
+        while k < code.len() && depth > 0 {
+            let txt = code[k].text.as_str();
+            match txt {
+                "{" => depth += 1,
+                "}" => depth -= 1,
+                "contract" => {
+                    if code.get(k + 1).map(|t| t.text == "::").unwrap_or(false)
+                        && direct_check_at.is_none()
+                    {
+                        direct_check_at = Some(k);
+                    }
+                }
+                "[" => {
+                    // expression indexing: `x[`, `)[`, `][` — not `#[`
+                    // attributes, `&[T]` types, or array literals
+                    let prev = code[k - 1];
+                    let is_index = matches!(prev.kind, TokenKind::Ident)
+                        && !KEYWORDS.contains(&prev.text.as_str())
+                        || prev.text == ")"
+                        || prev.text == "]";
+                    if is_index && first_index_at.is_none() {
+                        first_index_at = Some(k);
+                    }
+                }
+                _ => {}
+            }
+            if code[k].kind == TokenKind::Ident
+                && code.get(k + 1).map(|t| t.text == "(").unwrap_or(false)
+                && !KEYWORDS.contains(&txt)
+            {
+                if txt.starts_with("check_") && direct_check_at.is_none() {
+                    direct_check_at = Some(k);
+                }
+                calls.push((txt.to_string(), k));
+            }
+            k += 1;
+        }
+        fns.push(FnInfo {
+            name: name_tok.text.clone(),
+            line: code[i].line,
+            is_pub,
+            mentions_contract_error,
+            direct_check_at,
+            first_index_at,
+            calls,
+        });
+        i = k;
+    }
+    fns
+}
+
+/// Builds the [`Context`] by fixpoint over the guarded kernel files: a
+/// function is *guarding* if it directly calls `contract::…`/`check_…`, or
+/// if every path to its data goes through a call to another guarding
+/// function (approximated as: it calls one before any slice index).
+pub fn build_context(files: &[(String, String)]) -> Context {
+    let mut all: Vec<FnInfo> = Vec::new();
+    for (path, text) in files {
+        if !GUARDED_FILES.contains(&path.as_str()) {
+            continue;
+        }
+        let tokens = lex(text);
+        let regions = cfg_test_regions(&tokens);
+        all.extend(collect_fns(&tokens, &regions));
+    }
+    let mut guarded: Vec<String> = all
+        .iter()
+        .filter(|f| f.direct_check_at.is_some())
+        .map(|f| f.name.clone())
+        .collect();
+    // fixpoint: delegating wrappers become guarded once their callee is
+    loop {
+        let before = guarded.len();
+        for f in &all {
+            if guarded.contains(&f.name) {
+                continue;
+            }
+            let delegates = f.calls.iter().any(|(callee, at)| {
+                guarded.contains(callee) && f.first_index_at.map(|idx| *at < idx).unwrap_or(true)
+            });
+            if delegates {
+                guarded.push(f.name.clone());
+            }
+        }
+        if guarded.len() == before {
+            break;
+        }
+    }
+    Context {
+        guarded_fns: guarded,
+    }
+}
+
+/// Runs every rule over one file and returns unsuppressed findings plus
+/// findings about the suppressions themselves.
+pub fn check_file(path: &str, text: &str, ctx: &Context) -> Vec<Finding> {
+    let tokens = lex(text);
+    let class = classify(path);
+    let test_regions = cfg_test_regions(&tokens);
+    let sups = suppressions(&tokens);
+    let mut findings = Vec::new();
+
+    let code: Vec<&Token> = tokens.iter().filter(|t| !is_comment(t)).collect();
+
+    // --- no-unsafe: applies everywhere, tests included -------------------
+    for t in &code {
+        if t.kind == TokenKind::Ident && t.text == "unsafe" {
+            findings.push(Finding {
+                rule: "no-unsafe",
+                path: path.to_string(),
+                line: t.line,
+                message: "`unsafe` is forbidden in this workspace".to_string(),
+            });
+        }
+    }
+
+    // --- no-unwrap-in-lib: library code outside #[cfg(test)] -------------
+    if class.is_lib {
+        for (i, t) in code.iter().enumerate() {
+            if in_regions(t.line, &test_regions) || t.kind != TokenKind::Ident {
+                continue;
+            }
+            let prev_dot = i > 0 && code[i - 1].text == ".";
+            let next = |o: usize| code.get(i + o).map(|t| t.text.as_str());
+            let hit = match t.text.as_str() {
+                "unwrap" | "expect" if prev_dot && next(1) == Some("(") => Some(format!(
+                    "`.{}()` in library code — return a typed error instead",
+                    t.text
+                )),
+                "panic" if next(1) == Some("!") => {
+                    Some("`panic!` in library code — return a typed error instead".to_string())
+                }
+                _ => None,
+            };
+            if let Some(message) = hit {
+                findings.push(Finding {
+                    rule: "no-unwrap-in-lib",
+                    path: path.to_string(),
+                    line: t.line,
+                    message,
+                });
+            }
+        }
+    }
+
+    // --- no-float-eq: kernel/model code (blas + sim libraries) -----------
+    let float_eq_scope = class.is_lib
+        && matches!(
+            class.crate_name.as_deref(),
+            Some("blob-blas") | Some("blob-sim")
+        );
+    if float_eq_scope {
+        for (i, t) in code.iter().enumerate() {
+            if t.kind != TokenKind::Punct || (t.text != "==" && t.text != "!=") {
+                continue;
+            }
+            if in_regions(t.line, &test_regions) {
+                continue;
+            }
+            let neighbor_float = |o: &Option<&&Token>| {
+                o.map(|t| {
+                    (t.kind == TokenKind::Num && is_float_literal(&t.text))
+                        || t.text == "f32"
+                        || t.text == "f64"
+                })
+                .unwrap_or(false)
+            };
+            let prev = if i > 0 { code.get(i - 1) } else { None };
+            if neighbor_float(&prev) || neighbor_float(&code.get(i + 1)) {
+                findings.push(Finding {
+                    rule: "no-float-eq",
+                    path: path.to_string(),
+                    line: t.line,
+                    message: format!(
+                        "`{}` against a float literal in kernel/model code — compare with a tolerance",
+                        t.text
+                    ),
+                });
+            }
+        }
+    }
+
+    // --- pub-item-docs: numeric core crates need doc comments ------------
+    let docs_scope = class.is_lib
+        && matches!(
+            class.crate_name.as_deref(),
+            Some("blob-blas") | Some("blob-sim") | Some("blob-core")
+        );
+    if docs_scope {
+        const ITEM_KEYWORDS: [&str; 9] = [
+            "fn", "struct", "enum", "trait", "const", "static", "type", "mod", "union",
+        ];
+        // indices into `tokens` (comments kept — we need to see the docs)
+        for (i, t) in tokens.iter().enumerate() {
+            if t.text != "pub" || t.kind != TokenKind::Ident {
+                continue;
+            }
+            if in_regions(t.line, &test_regions) {
+                continue;
+            }
+            // `pub(crate)` and friends are not public API
+            let mut j = i + 1;
+            while j < tokens.len() && is_comment(&tokens[j]) {
+                j += 1;
+            }
+            if tokens.get(j).map(|t| t.text == "(").unwrap_or(true) {
+                continue;
+            }
+            // skip `unsafe`/`const`/`async` qualifiers to the item keyword
+            let mut item = None;
+            let mut probe = j;
+            for _ in 0..3 {
+                match tokens.get(probe).map(|t| t.text.as_str()) {
+                    Some(k) if ITEM_KEYWORDS.contains(&k) => {
+                        item = Some(k.to_string());
+                        break;
+                    }
+                    Some("unsafe") | Some("const") | Some("async") | Some("extern") => probe += 1,
+                    _ => break,
+                }
+            }
+            let described = match item {
+                Some(k) => {
+                    // `pub mod name;` declarations carry their docs as `//!`
+                    // inside the module file (rustc accepts that), which a
+                    // single-file pass cannot see — skip them
+                    if k == "mod"
+                        && tokens
+                            .get(probe + 2)
+                            .map(|t| t.text == ";")
+                            .unwrap_or(false)
+                    {
+                        continue;
+                    }
+                    let name = tokens
+                        .get(probe + 1)
+                        .map(|t| t.text.clone())
+                        .unwrap_or_default();
+                    format!("{k} `{name}`")
+                }
+                // `pub name: Type` struct field (skip `pub use` re-exports
+                // and anything unrecognised)
+                None => {
+                    let is_field = tokens
+                        .get(j)
+                        .map(|t| t.kind == TokenKind::Ident)
+                        .unwrap_or(false)
+                        && tokens.get(j).map(|t| t.text != "use").unwrap_or(false)
+                        && tokens.get(j + 1).map(|t| t.text == ":").unwrap_or(false);
+                    if !is_field {
+                        continue;
+                    }
+                    format!("field `{}`", tokens[j].text)
+                }
+            };
+            // walk backwards over attributes to the nearest doc comment
+            let mut b = i;
+            let mut documented = false;
+            while b > 0 {
+                b -= 1;
+                let bt = &tokens[b];
+                match bt.kind {
+                    TokenKind::DocComment => {
+                        documented = true;
+                        break;
+                    }
+                    TokenKind::LineComment | TokenKind::BlockComment => continue,
+                    _ => {
+                        if bt.text == "]" {
+                            // skip back over one `#[…]` attribute
+                            let mut depth = 1;
+                            while b > 0 && depth > 0 {
+                                b -= 1;
+                                match tokens[b].text.as_str() {
+                                    "]" => depth += 1,
+                                    "[" => depth -= 1,
+                                    _ => {}
+                                }
+                            }
+                            if b > 0 && tokens[b - 1].text == "#" {
+                                b -= 1;
+                                continue;
+                            }
+                        }
+                        break;
+                    }
+                }
+            }
+            if !documented {
+                findings.push(Finding {
+                    rule: "pub-item-docs",
+                    path: path.to_string(),
+                    line: t.line,
+                    message: format!("public {described} has no doc comment"),
+                });
+            }
+        }
+    }
+
+    // --- contract-guard: kernel entry points validate before indexing ----
+    if GUARDED_FILES.contains(&path) {
+        for f in collect_fns(&tokens, &test_regions) {
+            if !f.is_pub {
+                continue;
+            }
+            let first_guard = f
+                .direct_check_at
+                .into_iter()
+                .chain(
+                    f.calls
+                        .iter()
+                        .filter(|(name, _)| ctx.guarded_fns.contains(name))
+                        .map(|&(_, at)| at),
+                )
+                .min();
+            let violation = match (first_guard, f.first_index_at) {
+                // indexes a slice before (or without) any validation
+                (None, Some(_)) => Some("indexes a slice without validating the call contract"),
+                (Some(g), Some(ix)) if g > ix => {
+                    Some("indexes a slice before validating the call contract")
+                }
+                // returns ContractError but never validates anything
+                (None, None) if f.mentions_contract_error => {
+                    Some("returns ContractError but never validates the call contract")
+                }
+                _ => None,
+            };
+            if let Some(why) = violation {
+                findings.push(Finding {
+                    rule: "contract-guard",
+                    path: path.to_string(),
+                    line: f.line,
+                    message: format!("pub fn `{}` {}", f.name, why),
+                });
+            }
+        }
+    }
+
+    // --- suppression handling --------------------------------------------
+    for s in &sups {
+        if !s.known_rule {
+            findings.push(Finding {
+                rule: "suppression",
+                path: path.to_string(),
+                line: s.line,
+                message: format!("suppression names unknown rule `{}`", s.rule),
+            });
+        } else if !s.has_reason {
+            findings.push(Finding {
+                rule: "suppression",
+                path: path.to_string(),
+                line: s.line,
+                message: format!(
+                    "suppression of `{}` must give a reason: `// blob-check: allow({}): <why>`",
+                    s.rule, s.rule
+                ),
+            });
+        }
+    }
+    findings.retain(|f| {
+        f.rule == "suppression"
+            || !sups.iter().any(|s| {
+                s.known_rule
+                    && s.has_reason
+                    && s.rule == f.rule
+                    && (s.line == f.line || s.line + 1 == f.line)
+            })
+    });
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_lib(src: &str) -> Vec<Finding> {
+        check_file("crates/blas/src/demo.rs", src, &Context::default())
+    }
+
+    #[test]
+    fn classify_paths() {
+        assert!(classify("crates/blas/src/gemm.rs").is_lib);
+        assert!(!classify("crates/cli/src/main.rs").is_lib);
+        assert!(!classify("crates/core/src/bin/tool.rs").is_lib);
+        assert!(!classify("crates/blas/tests/edge.rs").is_lib);
+        assert!(classify("src/lib.rs").is_lib);
+        assert_eq!(
+            classify("crates/sim/src/call.rs").crate_name.as_deref(),
+            Some("blob-sim")
+        );
+        assert_eq!(
+            classify("examples/x.rs").crate_name.as_deref(),
+            Some("gpu-blob")
+        );
+    }
+
+    #[test]
+    fn unsafe_is_flagged_everywhere() {
+        let f = check_file(
+            "crates/blas/tests/t.rs",
+            "fn f() { unsafe { } }",
+            &Context::default(),
+        );
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "no-unsafe");
+    }
+
+    #[test]
+    fn unwrap_in_lib_flagged_but_not_in_tests_or_comments() {
+        let src = r#"
+/// Doc mentioning .unwrap() freely.
+fn f(x: Option<u32>) -> u32 { x.unwrap() }
+// comment: .unwrap()
+const S: &str = ".unwrap()";
+#[cfg(test)]
+mod tests {
+    fn g(x: Option<u32>) -> u32 { x.unwrap() }
+}
+"#;
+        let f = check_lib(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "no-unwrap-in-lib");
+        assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn expect_and_panic_flagged_in_lib_only() {
+        let lib = check_lib("fn f() { x.expect(\"boom\"); panic!(\"no\"); }");
+        assert_eq!(lib.len(), 2);
+        let tests = check_file(
+            "crates/blas/tests/t.rs",
+            "fn f() { x.expect(\"fine in tests\"); }",
+            &Context::default(),
+        );
+        assert!(tests.is_empty());
+        // unwrap_or_else is a different identifier — not flagged
+        assert!(check_lib("fn f() { x.unwrap_or_else(|| 3); }").is_empty());
+    }
+
+    #[test]
+    fn float_eq_flagged_in_kernel_code() {
+        let f = check_lib("fn f(x: f64) -> bool { x == 0.0 }");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "no-float-eq");
+        // integer comparison is fine
+        assert!(check_lib("fn f(x: usize) -> bool { x == 0 }").is_empty());
+        // out of scope: core crate is not kernel/model code
+        let core = check_file(
+            "crates/core/src/x.rs",
+            "fn f(x: f64) -> bool { x == 0.0 }",
+            &Context::default(),
+        );
+        assert!(core.iter().all(|f| f.rule != "no-float-eq"));
+    }
+
+    #[test]
+    fn float_eq_suppression_needs_reason() {
+        let with_reason = check_lib(
+            "fn f(b: f64) -> bool {\n    // blob-check: allow(no-float-eq): beta is a sentinel\n    b == 0.0\n}",
+        );
+        assert!(with_reason.is_empty(), "{with_reason:?}");
+        let without = check_lib(
+            "fn f(b: f64) -> bool {\n    // blob-check: allow(no-float-eq)\n    b == 0.0\n}",
+        );
+        // the violation stays AND the bare suppression is reported
+        assert_eq!(without.len(), 2, "{without:?}");
+        assert!(without.iter().any(|f| f.rule == "suppression"));
+        assert!(without.iter().any(|f| f.rule == "no-float-eq"));
+    }
+
+    #[test]
+    fn unknown_rule_suppression_reported() {
+        let f = check_lib("// blob-check: allow(no-such-rule): whatever\nfn f() {}");
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("unknown rule"));
+    }
+
+    #[test]
+    fn pub_docs_required_in_core_crates() {
+        let src = "pub fn undocumented() {}\n/// Documented.\npub fn documented() {}\n";
+        let f = check_lib(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "pub-item-docs");
+        assert!(f[0].message.contains("undocumented"));
+        // attributes between doc and item are fine
+        let attr =
+            "/// Doc.\n#[derive(Debug)]\npub struct S {\n    /// Field doc.\n    pub x: u32,\n}\n";
+        assert!(check_lib(attr).is_empty());
+        // field without doc is flagged; pub(crate) and pub use are not
+        let field =
+            "/// Doc.\npub struct S { pub x: u32 }\npub(crate) fn h() {}\npub use std::mem;\n";
+        let f = check_lib(field);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("field `x`"));
+    }
+
+    fn guard_findings(path: &str, src: &str, ctx: &Context) -> Vec<Finding> {
+        check_file(path, src, ctx)
+            .into_iter()
+            .filter(|f| f.rule == "contract-guard")
+            .collect()
+    }
+
+    #[test]
+    fn contract_guard_detects_unvalidated_indexing() {
+        let path = "crates/blas/src/gemm.rs";
+        let bad = "pub fn kernel(a: &[f64]) -> f64 { a[0] }";
+        let ctx = Context::default();
+        assert_eq!(guard_findings(path, bad, &ctx).len(), 1);
+        let good = "pub fn kernel(a: &[f64]) -> Result<f64, ContractError> {\n    contract::check_vector(\"a\", a.len(), 1, 1)?;\n    Ok(a[0])\n}";
+        assert!(guard_findings(path, good, &ctx).is_empty());
+        let late = "pub fn kernel(a: &[f64]) -> Result<f64, ContractError> {\n    let v = a[0];\n    contract::check_vector(\"a\", a.len(), 1, 1)?;\n    Ok(v)\n}";
+        assert!(guard_findings(path, late, &ctx)
+            .iter()
+            .any(|f| f.message.contains("before validating")));
+        // not a guarded file: same code passes
+        assert!(guard_findings("crates/sim/src/cpu.rs", bad, &ctx).is_empty());
+    }
+
+    #[test]
+    fn contract_guard_accepts_delegation() {
+        let files = vec![(
+            "crates/blas/src/gemm.rs".to_string(),
+            "pub fn inner(a: &[f64]) -> Result<f64, ContractError> {\n    contract::check_vector(\"a\", a.len(), 1, 1)?;\n    Ok(a[0])\n}\npub fn outer(a: &[f64]) -> Result<f64, ContractError> {\n    inner(a)\n}\npub fn outer2(a: &[f64]) -> Result<f64, ContractError> {\n    outer(a)\n}\n"
+                .to_string(),
+        )];
+        let ctx = build_context(&files);
+        assert!(ctx.guarded_fns.contains(&"inner".to_string()));
+        assert!(ctx.guarded_fns.contains(&"outer".to_string()));
+        assert!(ctx.guarded_fns.contains(&"outer2".to_string()));
+        let f = guard_findings(&files[0].0, &files[0].1, &ctx);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn cfg_test_region_spans_the_mod() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() { x.unwrap(); }\n}\nfn c(x: Option<u32>) { x.unwrap(); }\n";
+        let f = check_lib(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 6);
+    }
+}

@@ -5,26 +5,86 @@
 use blob_core::problem::Problem;
 use blob_sim::Precision;
 
+/// A command-line the binary cannot act on: which argument broke, and how.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgsError {
+    /// A flag that needs a value was the last token.
+    MissingValue {
+        /// The flag, e.g. `-i`.
+        flag: &'static str,
+    },
+    /// A flag's value failed to parse.
+    BadValue {
+        /// The flag, e.g. `--step`.
+        flag: &'static str,
+        /// The offending value text.
+        text: String,
+    },
+    /// `--system` named no known system.
+    UnknownSystem(String),
+    /// `--problem` named no known problem-type id.
+    UnknownProblem(String),
+    /// `--precision` was neither f32 nor f64.
+    UnknownPrecision(String),
+    /// A `--custom` spec did not parse.
+    BadCustomSpec {
+        /// The spec text as given.
+        spec: String,
+        /// Parser's explanation.
+        reason: String,
+    },
+    /// An argument matched no known flag.
+    UnknownArgument(String),
+    /// Arguments parsed individually but are inconsistent together.
+    InvalidCombination(&'static str),
+}
+
+impl std::fmt::Display for ArgsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArgsError::MissingValue { flag } => write!(f, "{flag} requires a value"),
+            ArgsError::BadValue { flag, text } => write!(f, "bad {flag} value: {text:?}"),
+            ArgsError::UnknownSystem(s) => write!(
+                f,
+                "unknown system '{s}' (expected dawn, lumi, isambard-ai or host)"
+            ),
+            ArgsError::UnknownProblem(s) => {
+                write!(f, "unknown problem id '{s}' (see --list-problems)")
+            }
+            ArgsError::UnknownPrecision(s) => write!(f, "unknown precision '{s}'"),
+            ArgsError::BadCustomSpec { spec, reason } => {
+                write!(f, "bad --custom spec '{spec}': {reason}")
+            }
+            ArgsError::UnknownArgument(s) => write!(f, "unknown argument '{s}' (try --help)"),
+            ArgsError::InvalidCombination(msg) => f.write_str(msg),
+        }
+    }
+}
+
+impl std::error::Error for ArgsError {}
+
 /// Which backend times the calls.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SystemChoice {
+    /// Calibrated model of the DAWN system (Intel GPUs, oneMKL).
     Dawn,
+    /// Calibrated model of LUMI (AMD GPUs, hipBLAS).
     Lumi,
+    /// Calibrated model of Isambard-AI (Grace-Hopper, cuBLAS).
     IsambardAi,
     /// Real wall-clock measurement of this repo's kernels on the host CPU.
     Host,
 }
 
 impl SystemChoice {
-    pub fn parse(s: &str) -> Result<Self, String> {
+    /// Parses a `--system` value (case-insensitive, with aliases).
+    pub fn parse(s: &str) -> Result<Self, ArgsError> {
         match s.to_ascii_lowercase().as_str() {
             "dawn" => Ok(SystemChoice::Dawn),
             "lumi" => Ok(SystemChoice::Lumi),
             "isambard-ai" | "isambard" | "isambardai" => Ok(SystemChoice::IsambardAi),
             "host" => Ok(SystemChoice::Host),
-            other => Err(format!(
-                "unknown system '{other}' (expected dawn, lumi, isambard-ai or host)"
-            )),
+            other => Err(ArgsError::UnknownSystem(other.to_string())),
         }
     }
 }
@@ -107,83 +167,92 @@ OPTIONS:
     -h, --help           this help
 ";
 
-fn parse_list<T: std::str::FromStr>(v: &str, what: &str) -> Result<Vec<T>, String> {
+fn parse_list<T: std::str::FromStr>(v: &str, flag: &'static str) -> Result<Vec<T>, ArgsError> {
     v.split(',')
-        .map(|p| p.trim().parse::<T>().map_err(|_| format!("bad {what}: {p}")))
+        .map(|p| {
+            p.trim().parse::<T>().map_err(|_| ArgsError::BadValue {
+                flag,
+                text: p.trim().to_string(),
+            })
+        })
         .collect()
 }
 
+fn parse_value<T: std::str::FromStr>(v: &str, flag: &'static str) -> Result<T, ArgsError> {
+    v.parse().map_err(|_| ArgsError::BadValue {
+        flag,
+        text: v.to_string(),
+    })
+}
+
 /// Parses a problem-type id (as printed by `--list-problems`).
-pub fn parse_problem(id: &str) -> Result<Problem, String> {
+pub fn parse_problem(id: &str) -> Result<Problem, ArgsError> {
     Problem::all()
         .into_iter()
         .find(|p| p.id() == id)
-        .ok_or_else(|| format!("unknown problem id '{id}' (see --list-problems)"))
+        .ok_or_else(|| ArgsError::UnknownProblem(id.to_string()))
 }
 
 /// Parses the full argument vector (without argv[0]).
-pub fn parse(argv: &[String]) -> Result<Args, String> {
+pub fn parse(argv: &[String]) -> Result<Args, ArgsError> {
     let mut args = Args::default();
     let mut it = argv.iter().peekable();
-    let next_value = |flag: &str, it: &mut std::iter::Peekable<std::slice::Iter<String>>| {
-        it.next()
-            .cloned()
-            .ok_or_else(|| format!("{flag} requires a value"))
+    let next_value = |flag: &'static str,
+                      it: &mut std::iter::Peekable<std::slice::Iter<String>>| {
+        it.next().cloned().ok_or(ArgsError::MissingValue { flag })
     };
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "-i" => args.iterations = parse_list(&next_value("-i", &mut it)?, "iteration count")?,
-            "-s" => {
-                args.min_dim = next_value("-s", &mut it)?
-                    .parse()
-                    .map_err(|_| "bad -s value".to_string())?
-            }
-            "-d" => {
-                args.max_dim = next_value("-d", &mut it)?
-                    .parse()
-                    .map_err(|_| "bad -d value".to_string())?
-            }
-            "--step" => {
-                args.step = next_value("--step", &mut it)?
-                    .parse()
-                    .map_err(|_| "bad --step value".to_string())?
-            }
+            "-i" => args.iterations = parse_list(&next_value("-i", &mut it)?, "-i")?,
+            "-s" => args.min_dim = parse_value(&next_value("-s", &mut it)?, "-s")?,
+            "-d" => args.max_dim = parse_value(&next_value("-d", &mut it)?, "-d")?,
+            "--step" => args.step = parse_value(&next_value("--step", &mut it)?, "--step")?,
             "--system" => args.system = SystemChoice::parse(&next_value("--system", &mut it)?)?,
-            "--problem" => args.problems.push(parse_problem(&next_value("--problem", &mut it)?)?),
-            "--custom" => args
-                .customs
-                .push(blob_core::CustomProblem::parse(&next_value("--custom", &mut it)?)?),
+            "--problem" => args
+                .problems
+                .push(parse_problem(&next_value("--problem", &mut it)?)?),
+            "--custom" => {
+                let spec = next_value("--custom", &mut it)?;
+                let custom = blob_core::CustomProblem::parse(&spec).map_err(|reason| {
+                    ArgsError::BadCustomSpec {
+                        spec: spec.clone(),
+                        reason,
+                    }
+                })?;
+                args.customs.push(custom);
+            }
             "--precision" => {
                 let v = next_value("--precision", &mut it)?;
                 match v.to_ascii_lowercase().as_str() {
                     "f32" | "s" | "single" => args.precisions.push(Precision::F32),
                     "f64" | "d" | "double" => args.precisions.push(Precision::F64),
-                    other => return Err(format!("unknown precision '{other}'")),
+                    other => return Err(ArgsError::UnknownPrecision(other.to_string())),
                 }
             }
             "--output" => args.output = Some(next_value("--output", &mut it)?.into()),
             "--threads" => {
-                args.threads = Some(
-                    next_value("--threads", &mut it)?
-                        .parse()
-                        .map_err(|_| "bad --threads value".to_string())?,
-                )
+                args.threads = Some(parse_value(
+                    &next_value("--threads", &mut it)?,
+                    "--threads",
+                )?)
             }
             "--validate" => args.validate = true,
             "--plot" => args.plot = true,
             "--list-problems" => args.list_problems = true,
             "-h" | "--help" => args.help = true,
-            other => return Err(format!("unknown argument '{other}' (try --help)")),
+            other => return Err(ArgsError::UnknownArgument(other.to_string())),
         }
     }
     if args.min_dim == 0 {
-        return Err("-s must be at least 1".into());
+        return Err(ArgsError::InvalidCombination("-s must be at least 1"));
     }
     if args.max_dim < args.min_dim {
-        return Err("-d must be >= -s".into());
+        return Err(ArgsError::InvalidCombination("-d must be >= -s"));
     }
     if args.iterations.is_empty() || args.iterations.contains(&0) {
-        return Err("-i requires positive iteration counts".into());
+        return Err(ArgsError::InvalidCombination(
+            "-i requires positive iteration counts",
+        ));
     }
     Ok(args)
 }
@@ -242,11 +311,33 @@ mod tests {
 
     #[test]
     fn validation_errors() {
-        assert!(parse(&sv(&["-s", "0"])).is_err());
-        assert!(parse(&sv(&["-s", "10", "-d", "5"])).is_err());
-        assert!(parse(&sv(&["-i", "0"])).is_err());
-        assert!(parse(&sv(&["--frobnicate"])).is_err());
-        assert!(parse(&sv(&["-i"])).is_err());
+        assert_eq!(
+            parse(&sv(&["-s", "0"])).unwrap_err(),
+            ArgsError::InvalidCombination("-s must be at least 1")
+        );
+        assert_eq!(
+            parse(&sv(&["-s", "10", "-d", "5"])).unwrap_err(),
+            ArgsError::InvalidCombination("-d must be >= -s")
+        );
+        assert!(matches!(
+            parse(&sv(&["-i", "0"])).unwrap_err(),
+            ArgsError::InvalidCombination(_)
+        ));
+        assert_eq!(
+            parse(&sv(&["--frobnicate"])).unwrap_err(),
+            ArgsError::UnknownArgument("--frobnicate".to_string())
+        );
+        assert_eq!(
+            parse(&sv(&["-i"])).unwrap_err(),
+            ArgsError::MissingValue { flag: "-i" }
+        );
+        assert_eq!(
+            parse(&sv(&["-d", "many"])).unwrap_err(),
+            ArgsError::BadValue {
+                flag: "-d",
+                text: "many".to_string()
+            }
+        );
     }
 
     #[test]
@@ -258,8 +349,15 @@ mod tests {
 
     #[test]
     fn flags() {
-        let a = parse(&sv(&["--validate", "--plot", "--output", "/tmp/x", "--threads", "4"]))
-            .unwrap();
+        let a = parse(&sv(&[
+            "--validate",
+            "--plot",
+            "--output",
+            "/tmp/x",
+            "--threads",
+            "4",
+        ]))
+        .unwrap();
         assert!(a.validate && a.plot);
         assert_eq!(a.output.as_deref(), Some(std::path::Path::new("/tmp/x")));
         assert_eq!(a.threads, Some(4));

@@ -17,8 +17,8 @@ use args::{parse, Args, SystemChoice, USAGE};
 use blob_analysis::{ascii_chart, sd_pair_cell, Series, Table};
 use blob_core::backend::{Backend, HostCpu};
 use blob_core::csv::write_to_dir;
-use blob_core::problem::Problem;
 use blob_core::custom_runner::run_custom_sweep;
+use blob_core::problem::Problem;
 use blob_core::runner::{run_sweep, SweepConfig};
 use blob_core::validate_call;
 use blob_sim::{presets, Offload, Precision};
@@ -213,7 +213,10 @@ fn run(args: &Args) {
             }
         }
         if offloads.is_empty() {
-            println!("{} — CPU-only backend: no offload thresholds\n", custom.name);
+            println!(
+                "{} — CPU-only backend: no offload thresholds\n",
+                custom.name
+            );
         } else {
             println!("{}", table.render());
         }

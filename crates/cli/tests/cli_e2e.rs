@@ -109,7 +109,10 @@ fn csv_output_lands_on_disk() {
         .expect("output dir exists")
         .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
         .collect();
-    assert!(files.contains(&"sgemv_gemv_square_i32.csv".to_string()), "{files:?}");
+    assert!(
+        files.contains(&"sgemv_gemv_square_i32.csv".to_string()),
+        "{files:?}"
+    );
     assert!(files.contains(&"dgemv_gemv_square_i32.csv".to_string()));
     // the CSV parses with the library parser
     let text = std::fs::read_to_string(dir.join("sgemv_gemv_square_i32.csv")).unwrap();

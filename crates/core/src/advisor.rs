@@ -31,8 +31,11 @@ pub enum Verdict {
 /// A structured offload recommendation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Advice {
+    /// The application's representative BLAS call.
     pub call: BlasCall,
+    /// Kernel invocations between data movements.
     pub iterations: u32,
+    /// Data-movement pattern assumed for the GPU timing.
     pub offload: Offload,
     /// Total CPU seconds for the profile.
     pub cpu_seconds: f64,
@@ -40,6 +43,7 @@ pub struct Advice {
     pub gpu_seconds: Option<f64>,
     /// `cpu / gpu` (> 1 means the GPU is faster).
     pub speedup: Option<f64>,
+    /// The categorical recommendation.
     pub verdict: Verdict,
 }
 

@@ -61,9 +61,11 @@ pub fn write_rows<W: Write>(w: &mut W, sweep: &Sweep) -> io::Result<()> {
 /// Serialises a sweep with header to a string.
 pub fn to_csv_string(sweep: &Sweep) -> String {
     let mut buf = Vec::new();
-    writeln!(&mut buf, "{HEADER}").unwrap();
-    write_rows(&mut buf, sweep).unwrap();
-    String::from_utf8(buf).expect("CSV output is always UTF-8")
+    // Writing into a Vec<u8> cannot fail, and every emitted byte comes
+    // from a format string, so the buffer is valid UTF-8.
+    let _ = writeln!(&mut buf, "{HEADER}");
+    let _ = write_rows(&mut buf, sweep);
+    String::from_utf8_lossy(&buf).into_owned()
 }
 
 /// The artifact's file-name convention for a sweep, e.g.
@@ -75,7 +77,12 @@ pub fn file_name(sweep: &Sweep) -> String {
         (blob_sim::Precision::F64, blob_sim::KernelKind::Gemm) => "dgemm",
         (blob_sim::Precision::F64, blob_sim::KernelKind::Gemv) => "dgemv",
     };
-    format!("{}_{}_i{}.csv", prefix, sweep.problem.id(), sweep.iterations)
+    format!(
+        "{}_{}_i{}.csv",
+        prefix,
+        sweep.problem.id(),
+        sweep.iterations
+    )
 }
 
 /// Writes a sweep to `dir/<file_name>`; creates the directory if needed.
@@ -89,22 +96,68 @@ pub fn write_to_dir(dir: &Path, sweep: &Sweep) -> io::Result<std::path::PathBuf>
 /// A parsed CSV row (the analysis crate's input).
 #[derive(Debug, Clone, PartialEq)]
 pub struct CsvRow {
+    /// System name (e.g. `DAWN`).
     pub system: String,
+    /// BLAS routine label (`sgemm`, `dgemv`, …).
     pub routine: String,
+    /// Problem-type identifier (e.g. `gemm_square`).
     pub problem: String,
+    /// `cpu` or `gpu`.
     pub device: String,
     /// `None` for CPU rows, the offload strategy for GPU rows.
     pub offload: Option<Offload>,
+    /// Row dimension of the output.
     pub m: usize,
+    /// Column dimension of the output.
     pub n: usize,
+    /// Inner (contraction) dimension; 1 for GEMV.
     pub k: usize,
+    /// Iteration count of the timed loop.
     pub iterations: u32,
+    /// Total measured seconds.
     pub seconds: f64,
+    /// Achieved GFLOP/s.
     pub gflops: f64,
 }
 
+/// Error from [`parse_csv`]: what went wrong and where.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CsvError {
+    /// A data line did not have exactly the expected field count.
+    FieldCount {
+        /// 1-based line number in the input text.
+        line: usize,
+        /// Fields found on the line.
+        got: usize,
+    },
+    /// A field's text failed to parse as its expected type.
+    BadField {
+        /// 1-based line number in the input text.
+        line: usize,
+        /// Column name from [`HEADER`].
+        field: &'static str,
+        /// The offending field text.
+        text: String,
+    },
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::FieldCount { line, got } => {
+                write!(f, "line {line}: expected 11 fields, got {got}")
+            }
+            CsvError::BadField { line, field, text } => {
+                write!(f, "line {line}: bad {field}: {text:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
 /// Parses CSV text produced by [`to_csv_string`] (header optional).
-pub fn parse_csv(text: &str) -> Result<Vec<CsvRow>, String> {
+pub fn parse_csv(text: &str) -> Result<Vec<CsvRow>, CsvError> {
     let mut rows = Vec::new();
     for (lineno, line) in text.lines().enumerate() {
         let line = line.trim();
@@ -113,9 +166,16 @@ pub fn parse_csv(text: &str) -> Result<Vec<CsvRow>, String> {
         }
         let f: Vec<&str> = line.split(',').collect();
         if f.len() != 11 {
-            return Err(format!("line {}: expected 11 fields, got {}", lineno + 1, f.len()));
+            return Err(CsvError::FieldCount {
+                line: lineno + 1,
+                got: f.len(),
+            });
         }
-        let err = |what: &str| format!("line {}: bad {what}: {line}", lineno + 1);
+        let err = |field: &'static str, text: &str| CsvError::BadField {
+            line: lineno + 1,
+            field,
+            text: text.to_string(),
+        };
         rows.push(CsvRow {
             system: f[0].to_string(),
             routine: f[1].to_string(),
@@ -124,14 +184,14 @@ pub fn parse_csv(text: &str) -> Result<Vec<CsvRow>, String> {
             offload: if f[4] == "none" {
                 None
             } else {
-                Some(f[4].parse().map_err(|_| err("offload"))?)
+                Some(f[4].parse().map_err(|_| err("offload", f[4]))?)
             },
-            m: f[5].parse().map_err(|_| err("m"))?,
-            n: f[6].parse().map_err(|_| err("n"))?,
-            k: f[7].parse().map_err(|_| err("k"))?,
-            iterations: f[8].parse().map_err(|_| err("iterations"))?,
-            seconds: f[9].parse().map_err(|_| err("seconds"))?,
-            gflops: f[10].parse().map_err(|_| err("gflops"))?,
+            m: f[5].parse().map_err(|_| err("m", f[5]))?,
+            n: f[6].parse().map_err(|_| err("n", f[6]))?,
+            k: f[7].parse().map_err(|_| err("k", f[7]))?,
+            iterations: f[8].parse().map_err(|_| err("iterations", f[8]))?,
+            seconds: f[9].parse().map_err(|_| err("seconds", f[9]))?,
+            gflops: f[10].parse().map_err(|_| err("gflops", f[10]))?,
         });
     }
     Ok(rows)
@@ -195,8 +255,18 @@ mod tests {
 
     #[test]
     fn parse_rejects_malformed_lines() {
-        assert!(parse_csv("a,b,c").is_err());
-        assert!(parse_csv("s,r,p,cpu,none,1,2,3,four,0.5,1.0").is_err());
+        assert_eq!(
+            parse_csv("a,b,c").unwrap_err(),
+            CsvError::FieldCount { line: 1, got: 3 }
+        );
+        assert_eq!(
+            parse_csv("s,r,p,cpu,none,1,2,3,four,0.5,1.0").unwrap_err(),
+            CsvError::BadField {
+                line: 1,
+                field: "iterations",
+                text: "four".to_string()
+            }
+        );
         // header-only and empty inputs are fine
         assert_eq!(parse_csv(HEADER).unwrap().len(), 0);
         assert_eq!(parse_csv("").unwrap().len(), 0);

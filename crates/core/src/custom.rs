@@ -45,7 +45,10 @@ impl DimRule {
     /// `dim = factor·p/divisor` (floored, min 1) — e.g. `Ratio(1, 16)` is
     /// the paper's `M = 16K` written from K's point of view.
     pub fn ratio(factor: usize, divisor: usize) -> Self {
-        assert!(factor >= 1 && divisor >= 1, "ratio parts must be at least 1");
+        assert!(
+            factor >= 1 && divisor >= 1,
+            "ratio parts must be at least 1"
+        );
         DimRule::Ratio(factor, divisor)
     }
 
@@ -77,9 +80,13 @@ impl DimRule {
 /// A user-defined problem type.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CustomProblem {
+    /// Family name (used in output labels and file names).
     pub name: String,
+    /// Kernel family the rules describe.
     pub kind: KernelKind,
+    /// How the row dimension grows with the size parameter.
     pub m: DimRule,
+    /// How the column dimension grows with the size parameter.
     pub n: DimRule,
     /// Ignored for GEMV.
     pub k: DimRule,
@@ -148,7 +155,7 @@ impl CustomProblem {
         }
         let step = step.max(1);
         let mut out: Vec<usize> = (lo..=hi).step_by(step).collect();
-        if *out.last().unwrap() != hi {
+        if out.last() != Some(&hi) {
             out.push(hi);
         }
         out
@@ -224,16 +231,52 @@ mod tests {
     #[test]
     fn paper_problems_expressible() {
         // the paper's M=N, K=16M
-        let p = CustomProblem::gemm("tall_k", DimRule::scaled(1), DimRule::scaled(1), DimRule::scaled(16));
-        assert_eq!(p.dims(10), Kernel::Gemm { m: 10, n: 10, k: 160 });
+        let p = CustomProblem::gemm(
+            "tall_k",
+            DimRule::scaled(1),
+            DimRule::scaled(1),
+            DimRule::scaled(16),
+        );
+        assert_eq!(
+            p.dims(10),
+            Kernel::Gemm {
+                m: 10,
+                n: 10,
+                k: 160
+            }
+        );
         assert_eq!(p.max_param(4096), 256);
         // M=N=32, K >= 1
-        let f = CustomProblem::gemm("fixed32", DimRule::fixed(32), DimRule::fixed(32), DimRule::scaled(1));
-        assert_eq!(f.dims(99), Kernel::Gemm { m: 32, n: 32, k: 99 });
+        let f = CustomProblem::gemm(
+            "fixed32",
+            DimRule::fixed(32),
+            DimRule::fixed(32),
+            DimRule::scaled(1),
+        );
+        assert_eq!(
+            f.dims(99),
+            Kernel::Gemm {
+                m: 32,
+                n: 32,
+                k: 99
+            }
+        );
         assert_eq!(f.max_param(4096), 4096);
         // M=N, M=16K (K = M/16)
-        let s = CustomProblem::gemm("sixteenth", DimRule::scaled(1), DimRule::scaled(1), DimRule::ratio(1, 16));
-        assert_eq!(s.dims(160), Kernel::Gemm { m: 160, n: 160, k: 10 });
+        let s = CustomProblem::gemm(
+            "sixteenth",
+            DimRule::scaled(1),
+            DimRule::scaled(1),
+            DimRule::ratio(1, 16),
+        );
+        assert_eq!(
+            s.dims(160),
+            Kernel::Gemm {
+                m: 160,
+                n: 160,
+                k: 10
+            }
+        );
     }
 
     #[test]
@@ -245,7 +288,12 @@ mod tests {
 
     #[test]
     fn params_cover_range_with_endpoint() {
-        let p = CustomProblem::gemm("sq", DimRule::scaled(1), DimRule::scaled(1), DimRule::scaled(1));
+        let p = CustomProblem::gemm(
+            "sq",
+            DimRule::scaled(1),
+            DimRule::scaled(1),
+            DimRule::scaled(1),
+        );
         let ps = p.params(1, 100, 7);
         assert_eq!(*ps.first().unwrap(), 1);
         assert_eq!(*ps.last().unwrap(), 100);
@@ -259,7 +307,10 @@ mod tests {
         assert_eq!(q.dims(8), Kernel::Gemm { m: 32, n: 8, k: 4 });
         let v = CustomProblem::parse("gemv:32,p").unwrap();
         assert_eq!(v.dims(9), Kernel::Gemv { m: 32, n: 9 });
-        assert_eq!(CustomProblem::parse("gemv:p,p").unwrap().dims(3), Kernel::Gemv { m: 3, n: 3 });
+        assert_eq!(
+            CustomProblem::parse("gemv:p,p").unwrap().dims(3),
+            Kernel::Gemv { m: 3, n: 3 }
+        );
     }
 
     #[test]

@@ -10,10 +10,15 @@ use blob_sim::{BlasCall, Kernel, Offload, Precision};
 /// A completed sweep of a custom problem family.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CustomSweep {
+    /// Backend name (system).
     pub system: String,
+    /// The user-defined problem family swept.
     pub problem: CustomProblem,
+    /// Element precision of every measurement.
     pub precision: Precision,
+    /// Iteration count of each timed loop.
     pub iterations: u32,
+    /// One record per size parameter, in sweep order.
     pub records: Vec<SizeRecord>,
 }
 
@@ -98,14 +103,22 @@ mod tests {
         let cfg = SweepConfig::new(1, 128, 8);
         let custom = CustomProblem::parse("gemm:p,p,p").unwrap();
         let cs = run_custom_sweep(&sys, &custom, Precision::F32, &cfg);
-        let bs = run_sweep(&sys, Problem::Gemm(GemmProblem::Square), Precision::F32, &cfg);
+        let bs = run_sweep(
+            &sys,
+            Problem::Gemm(GemmProblem::Square),
+            Precision::F32,
+            &cfg,
+        );
         assert_eq!(cs.records.len(), bs.records.len());
         for (c, b) in cs.records.iter().zip(bs.records.iter()) {
             assert_eq!(c.kernel, b.kernel);
             assert_eq!(c.cpu_seconds, b.cpu_seconds);
             assert_eq!(c.gpu, b.gpu);
         }
-        assert_eq!(cs.threshold(Offload::TransferOnce), bs.threshold(Offload::TransferOnce));
+        assert_eq!(
+            cs.threshold(Offload::TransferOnce),
+            bs.threshold(Offload::TransferOnce)
+        );
     }
 
     #[test]

@@ -33,9 +33,17 @@ pub mod csv;
 pub mod custom;
 pub mod custom_runner;
 pub mod problem;
+pub mod rng;
 pub mod runner;
+pub mod testkit;
 pub mod threshold;
 pub mod validate;
+
+// The argument-contract validator lives next to the kernels it guards
+// (`blob-blas`), but harness users get it from here too so one import path
+// covers the whole vocabulary.
+pub use blob_blas::contract;
+pub use blob_blas::contract::ContractError;
 
 pub use advisor::{advise, advise_across, Advice, Verdict};
 pub use backend::{Backend, HostCpu};

@@ -97,7 +97,9 @@ impl GemvProblem {
 /// Any problem type.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Problem {
+    /// A GEMM problem family.
     Gemm(GemmProblem),
+    /// A GEMV problem family.
     Gemv(GemvProblem),
 }
 
@@ -231,7 +233,7 @@ impl Problem {
         }
         let step = step.max(1);
         let mut out: Vec<usize> = (lo..=hi).step_by(step).collect();
-        if *out.last().unwrap() != hi {
+        if out.last() != Some(&hi) {
             out.push(hi);
         }
         out
@@ -252,8 +254,14 @@ mod tests {
     fn fourteen_problem_types() {
         let all = Problem::all();
         assert_eq!(all.len(), 14);
-        assert_eq!(all.iter().filter(|p| p.kind() == KernelKind::Gemm).count(), 9);
-        assert_eq!(all.iter().filter(|p| p.kind() == KernelKind::Gemv).count(), 5);
+        assert_eq!(
+            all.iter().filter(|p| p.kind() == KernelKind::Gemm).count(),
+            9
+        );
+        assert_eq!(
+            all.iter().filter(|p| p.kind() == KernelKind::Gemv).count(),
+            5
+        );
     }
 
     #[test]

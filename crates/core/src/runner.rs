@@ -64,8 +64,11 @@ impl SweepConfig {
 /// One GPU timing at one problem size.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GpuSample {
+    /// Offload strategy this sample used.
     pub offload: Offload,
+    /// Total measured seconds for the configured iterations.
     pub seconds: f64,
+    /// Achieved GFLOP/s (paper FLOPs formula).
     pub gflops: f64,
 }
 
@@ -96,9 +99,13 @@ impl SizeRecord {
 pub struct Sweep {
     /// Backend name (system).
     pub system: String,
+    /// Problem type swept.
     pub problem: Problem,
+    /// Element precision of every measurement.
     pub precision: Precision,
+    /// Iteration count of each timed loop.
     pub iterations: u32,
+    /// One record per size parameter, in sweep order.
     pub records: Vec<SizeRecord>,
 }
 
@@ -123,7 +130,10 @@ impl Sweep {
 
     /// CPU GFLOP/s series (for plotting).
     pub fn cpu_series(&self) -> Vec<(usize, f64)> {
-        self.records.iter().map(|r| (r.param, r.cpu_gflops)).collect()
+        self.records
+            .iter()
+            .map(|r| (r.param, r.cpu_gflops))
+            .collect()
     }
 
     /// GPU GFLOP/s series for one offload strategy.
@@ -205,7 +215,12 @@ mod tests {
     fn sweep_covers_requested_sizes() {
         let sys = presets::dawn();
         let cfg = SweepConfig::new(1, 64, 1);
-        let sweep = run_sweep(&sys, Problem::Gemm(GemmProblem::Square), Precision::F32, &cfg);
+        let sweep = run_sweep(
+            &sys,
+            Problem::Gemm(GemmProblem::Square),
+            Precision::F32,
+            &cfg,
+        );
         assert_eq!(sweep.records.len(), 64);
         assert_eq!(sweep.records[0].param, 1);
         assert_eq!(sweep.records.last().unwrap().param, 64);
@@ -220,7 +235,12 @@ mod tests {
     fn cpu_only_backend_yields_no_gpu_samples_or_thresholds() {
         let sys = presets::isambard_ai_armpl();
         let cfg = SweepConfig::new(1, 32, 1);
-        let sweep = run_sweep(&sys, Problem::Gemv(GemvProblem::Square), Precision::F64, &cfg);
+        let sweep = run_sweep(
+            &sys,
+            Problem::Gemv(GemvProblem::Square),
+            Precision::F64,
+            &cfg,
+        );
         assert!(sweep.records.iter().all(|r| r.gpu.is_empty()));
         assert_eq!(sweep.threshold(Offload::TransferOnce), None);
     }
@@ -229,7 +249,12 @@ mod tests {
     fn gflops_respects_paper_formula() {
         let sys = presets::lumi();
         let cfg = SweepConfig::new(10, 10, 4);
-        let sweep = run_sweep(&sys, Problem::Gemm(GemmProblem::Square), Precision::F64, &cfg);
+        let sweep = run_sweep(
+            &sys,
+            Problem::Gemm(GemmProblem::Square),
+            Precision::F64,
+            &cfg,
+        );
         let r = &sweep.records[0];
         let call = BlasCall::gemm(Precision::F64, 10, 10, 10);
         let expect = 4.0 * call.paper_flops() / r.cpu_seconds / 1e9;
@@ -242,7 +267,12 @@ mod tests {
         // exact value, the returned dims must be square and in range.
         let sys = presets::isambard_ai();
         let cfg = SweepConfig::new(1, 256, 8);
-        let sweep = run_sweep(&sys, Problem::Gemm(GemmProblem::Square), Precision::F32, &cfg);
+        let sweep = run_sweep(
+            &sys,
+            Problem::Gemm(GemmProblem::Square),
+            Precision::F32,
+            &cfg,
+        );
         if let Some(Kernel::Gemm { m, n, k }) = sweep.threshold(Offload::TransferOnce) {
             assert_eq!(m, n);
             assert_eq!(n, k);
@@ -256,17 +286,30 @@ mod tests {
     fn series_extraction() {
         let sys = presets::dawn();
         let cfg = SweepConfig::new(1, 16, 1);
-        let sweep = run_sweep(&sys, Problem::Gemm(GemmProblem::Square), Precision::F32, &cfg);
+        let sweep = run_sweep(
+            &sys,
+            Problem::Gemm(GemmProblem::Square),
+            Precision::F32,
+            &cfg,
+        );
         assert_eq!(sweep.cpu_series().len(), 16);
         assert_eq!(sweep.gpu_series(Offload::Unified).len(), 16);
-        assert!(sweep.gpu_series(Offload::TransferOnce).iter().all(|&(_, g)| g > 0.0));
+        assert!(sweep
+            .gpu_series(Offload::TransferOnce)
+            .iter()
+            .all(|&(_, g)| g > 0.0));
     }
 
     #[test]
     fn step_reduces_sample_count_but_keeps_endpoint() {
         let sys = presets::dawn();
         let cfg = SweepConfig::new(1, 100, 1).with_step(9);
-        let sweep = run_sweep(&sys, Problem::Gemv(GemvProblem::Square), Precision::F32, &cfg);
+        let sweep = run_sweep(
+            &sys,
+            Problem::Gemv(GemvProblem::Square),
+            Precision::F32,
+            &cfg,
+        );
         assert!(sweep.records.len() < 100);
         assert_eq!(sweep.records.last().unwrap().param, 100);
     }

@@ -1,0 +1,201 @@
+//! Minimal property-testing helper.
+//!
+//! A small, dependency-free stand-in for `proptest`: generators are plain
+//! closures over [`XorShift64`](crate::rng::XorShift64), and [`forall`] runs
+//! a property over a fixed number of seeded cases.  There is no shrinking —
+//! instead every failure message reports the case index and the derived
+//! seed, so a failing case can be replayed exactly with
+//! [`run_case`].
+//!
+//! ```
+//! use blob_core::testkit::{forall, Config};
+//!
+//! forall(Config::default().cases(64), |g| {
+//!     let n = g.usize_in(0, 100);
+//!     let xs: Vec<f64> = (0..n).map(|_| g.f64_in(-1.0, 1.0)).collect();
+//!     let sum: f64 = xs.iter().sum();
+//!     assert!(sum.is_finite());
+//! });
+//! ```
+
+use crate::rng::XorShift64;
+
+/// How a [`forall`] run is driven.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Number of generated cases.
+    pub cases: u32,
+    /// Base seed; each case derives its own seed from this.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            cases: 256,
+            seed: 0x5EED_u64,
+        }
+    }
+}
+
+impl Config {
+    /// Override the number of cases.
+    pub fn cases(mut self, cases: u32) -> Self {
+        self.cases = cases;
+        self
+    }
+
+    /// Override the base seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Per-case source of random values handed to the property closure.
+pub struct Gen {
+    rng: XorShift64,
+    /// Seed this case was created from (for replay in failure messages).
+    pub case_seed: u64,
+}
+
+impl Gen {
+    /// Build a generator for one specific case seed.
+    pub fn from_seed(case_seed: u64) -> Self {
+        Self {
+            rng: XorShift64::new(case_seed),
+            case_seed,
+        }
+    }
+
+    /// Uniform `usize` in `[lo, hi]` (inclusive on both ends, like
+    /// proptest's `lo..=hi` ranges the original tests used).
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        debug_assert!(hi >= lo);
+        self.rng.range_usize(lo, hi + 1)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    pub fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        self.rng.range_f64(lo, hi)
+    }
+
+    /// Raw 64-bit value.
+    pub fn u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+
+    /// Boolean with probability `p` of `true`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.rng.chance(p)
+    }
+
+    /// A vector of `len` uniform values in `[lo, hi)`.
+    pub fn vec_f64(&mut self, len: usize, lo: f64, hi: f64) -> Vec<f64> {
+        (0..len).map(|_| self.f64_in(lo, hi)).collect()
+    }
+
+    /// Pick one element of a non-empty slice.
+    pub fn choose<'a, T>(&mut self, options: &'a [T]) -> &'a T {
+        debug_assert!(!options.is_empty());
+        &options[self.rng.range_usize(0, options.len())]
+    }
+}
+
+/// Derive the seed for case `i` of a run configured with `base`.
+fn case_seed(base: u64, i: u32) -> u64 {
+    base.wrapping_mul(0x0100_0000_01B3)
+        .wrapping_add(u64::from(i))
+}
+
+/// Run `property` over `config.cases` generated cases.
+///
+/// The property signals failure by panicking (plain `assert!` works).  On
+/// failure the panic is re-raised with the case index and seed prepended,
+/// so the exact case can be re-run in isolation via [`run_case`].
+pub fn forall<F>(config: Config, property: F)
+where
+    F: Fn(&mut Gen) + std::panic::RefUnwindSafe,
+{
+    for i in 0..config.cases {
+        let seed = case_seed(config.seed, i);
+        let outcome = std::panic::catch_unwind(|| {
+            let mut g = Gen::from_seed(seed);
+            property(&mut g);
+        });
+        if let Err(payload) = outcome {
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("<non-string panic payload>");
+            // blob-check: allow(no-unwrap-in-lib): panicking is this harness's contract — it is how property failures reach the test runner
+            panic!(
+                "property failed at case {i}/{} (replay with testkit::run_case({seed:#x}, ..)): {msg}",
+                config.cases
+            );
+        }
+    }
+}
+
+/// Replay a single case by seed — use the seed printed by a [`forall`]
+/// failure to debug it deterministically.
+pub fn run_case<F>(seed: u64, property: F)
+where
+    F: FnOnce(&mut Gen),
+{
+    let mut g = Gen::from_seed(seed);
+    property(&mut g);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forall_passes_trivial_property() {
+        forall(Config::default().cases(32), |g| {
+            let x = g.f64_in(0.0, 1.0);
+            assert!((0.0..1.0).contains(&x));
+        });
+    }
+
+    #[test]
+    fn forall_reports_case_and_seed_on_failure() {
+        let result = std::panic::catch_unwind(|| {
+            forall(Config::default().cases(16).seed(99), |g| {
+                let n = g.usize_in(0, 10);
+                assert!(n < 100, "never fires");
+                if n > 3 {
+                    panic!("boom at n={n}");
+                }
+            });
+        });
+        let payload = result.expect_err("property must fail");
+        let msg = payload
+            .downcast_ref::<String>()
+            .expect("forall panics with a String");
+        assert!(msg.contains("property failed at case"), "got: {msg}");
+        assert!(msg.contains("run_case"), "got: {msg}");
+        assert!(msg.contains("boom"), "got: {msg}");
+    }
+
+    #[test]
+    fn run_case_replays_exact_values() {
+        let mut first = None;
+        run_case(0xDEAD_BEEF, |g| first = Some(g.u64()));
+        let mut second = None;
+        run_case(0xDEAD_BEEF, |g| second = Some(g.u64()));
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn usize_in_is_inclusive() {
+        forall(Config::default().cases(200), |g| {
+            let x = g.usize_in(5, 5);
+            assert_eq!(x, 5);
+            let y = g.usize_in(0, 1);
+            assert!(y <= 1);
+        });
+    }
+}

@@ -42,9 +42,8 @@ pub fn offload_threshold_index(points: &[ThresholdPoint]) -> Option<usize> {
     }
     // A CPU win is "real" when it spans two consecutive sizes (or happens
     // at the very first size, where there is no prior context).
-    let real_cpu_win = |i: usize| -> bool {
-        points[i].cpu_wins() && (i == 0 || points[i - 1].cpu_wins())
-    };
+    let real_cpu_win =
+        |i: usize| -> bool { points[i].cpu_wins() && (i == 0 || points[i - 1].cpu_wins()) };
     // The last size at which the CPU really wins; the threshold is the
     // next size — provided the GPU actually wins from there on (modulo
     // isolated dips), which it does by construction of `real_cpu_win`

@@ -1,0 +1,187 @@
+//! Golden tests for the offload-threshold detector on synthetic crossover
+//! curves with known answers: clean monotone crossovers, curves with
+//! injected deterministic noise, and curves that never cross.
+//!
+//! The curves mimic the paper's timing structure: CPU time grows with the
+//! work (`n³` for GEMM-shaped sweeps) while GPU time is a fixed launch
+//! overhead plus a much cheaper work term, so the GPU loses at small sizes
+//! and wins past a computable crossover.
+
+use blob_core::threshold::{offload_threshold_from_times, offload_threshold_index, ThresholdPoint};
+
+/// CPU model: pure work term.
+fn cpu_time(n: usize) -> f64 {
+    let w = (n * n * n) as f64;
+    w * 1e-9
+}
+
+/// GPU model: fixed offload overhead + cheap work term. With `overhead`
+/// seconds of launch/transfer cost the crossover sits where
+/// `n³·1e-9 = overhead + n³·1e-10`.
+fn gpu_time(n: usize, overhead: f64) -> f64 {
+    let w = (n * n * n) as f64;
+    overhead + w * 1e-10
+}
+
+/// Deterministic "noise" factor in [1-amp, 1+amp] from a hash of (seed, i).
+fn noise(seed: u64, i: usize, amp: f64) -> f64 {
+    let mut h = seed ^ (i as u64).wrapping_mul(0x9e3779b97f4a7c15);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51afd7ed558ccd);
+    h ^= h >> 33;
+    let u = (h >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+    1.0 + amp * (2.0 * u - 1.0)
+}
+
+fn sizes() -> Vec<usize> {
+    (1..=128).collect()
+}
+
+#[test]
+fn golden_monotone_crossover() {
+    // overhead 1e-3 s: crossover where n³(1e-9 - 1e-10) = 1e-3,
+    // i.e. n = (1e-3 / 9e-10)^(1/3) ≈ 103.6 → first GPU win at n = 104.
+    let ns = sizes();
+    let cpu: Vec<f64> = ns.iter().map(|&n| cpu_time(n)).collect();
+    let gpu: Vec<f64> = ns.iter().map(|&n| gpu_time(n, 1e-3)).collect();
+    let idx = offload_threshold_from_times(&cpu, &gpu);
+    assert_eq!(idx, Some(103)); // index 103 ⇒ n = 104
+                                // golden invariant: GPU wins at and beyond the threshold
+    let t = idx.unwrap();
+    assert!(cpu[t] >= gpu[t]);
+    assert!((t..ns.len()).all(|i| cpu[i] >= gpu[i]));
+    assert!(cpu[t - 1] < gpu[t - 1], "CPU must still win just before");
+}
+
+#[test]
+fn golden_monotone_crossover_small_overhead() {
+    // overhead 1e-6 s → crossover ≈ (1e-6 / 9e-10)^(1/3) ≈ 10.4 → n = 11.
+    let ns = sizes();
+    let cpu: Vec<f64> = ns.iter().map(|&n| cpu_time(n)).collect();
+    let gpu: Vec<f64> = ns.iter().map(|&n| gpu_time(n, 1e-6)).collect();
+    assert_eq!(offload_threshold_from_times(&cpu, &gpu), Some(10)); // n = 11
+}
+
+#[test]
+fn golden_gpu_wins_from_first_size() {
+    // Zero overhead: the GPU wins even at n = 1 (LUMI's {2,2,2} behaviour).
+    let ns = sizes();
+    let cpu: Vec<f64> = ns.iter().map(|&n| cpu_time(n)).collect();
+    let gpu: Vec<f64> = ns.iter().map(|&n| gpu_time(n, 0.0)).collect();
+    assert_eq!(offload_threshold_from_times(&cpu, &gpu), Some(0));
+}
+
+#[test]
+fn golden_noisy_crossover_with_isolated_dips() {
+    // ±4 % multiplicative noise on the GPU curve cannot move a detector
+    // that requires two consecutive CPU wins: around the clean crossover
+    // (n ≈ 104) the margin changes by < 10 %, so noise produces at most
+    // isolated flips far from the true threshold and the detected index
+    // must stay within the noise band of the clean one.
+    let ns = sizes();
+    let cpu: Vec<f64> = ns.iter().map(|&n| cpu_time(n)).collect();
+    let gpu: Vec<f64> = ns
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| gpu_time(n, 1e-3) * noise(0xD1CE, i, 0.04))
+        .collect();
+    let idx = offload_threshold_from_times(&cpu, &gpu).expect("crossover exists");
+    let clean = 103;
+    assert!(
+        idx.abs_diff(clean) <= 3,
+        "noisy threshold {idx} strays too far from clean {clean}"
+    );
+    // from the detected threshold on, any CPU win is isolated (never two
+    // consecutive) — the detector's definition of durable GPU dominance
+    for i in (idx + 1)..ns.len() {
+        assert!(
+            !(cpu[i] < gpu[i] && cpu[i - 1] < gpu[i - 1]),
+            "two consecutive CPU wins at {i} past threshold {idx}"
+        );
+    }
+}
+
+#[test]
+fn golden_single_injected_dip_is_forgiven() {
+    // Clean curve, then one hand-placed GPU glitch well past the
+    // crossover: the detector must keep the clean threshold.
+    let ns = sizes();
+    let cpu: Vec<f64> = ns.iter().map(|&n| cpu_time(n)).collect();
+    let mut gpu: Vec<f64> = ns.iter().map(|&n| gpu_time(n, 1e-3)).collect();
+    gpu[115] = cpu[115] * 3.0; // momentary system noise at n = 116
+    assert_eq!(offload_threshold_from_times(&cpu, &gpu), Some(103));
+}
+
+#[test]
+fn golden_two_consecutive_dips_reset() {
+    // The same glitch across two consecutive sizes is real CPU dominance;
+    // the threshold moves past it.
+    let ns = sizes();
+    let cpu: Vec<f64> = ns.iter().map(|&n| cpu_time(n)).collect();
+    let mut gpu: Vec<f64> = ns.iter().map(|&n| gpu_time(n, 1e-3)).collect();
+    gpu[115] = cpu[115] * 3.0;
+    gpu[116] = cpu[116] * 3.0;
+    assert_eq!(offload_threshold_from_times(&cpu, &gpu), Some(117));
+}
+
+#[test]
+fn golden_never_crosses() {
+    // GPU work term *more* expensive than the CPU's: the curves never
+    // cross and there is no threshold at any overhead.
+    let ns = sizes();
+    let cpu: Vec<f64> = ns.iter().map(|&n| cpu_time(n)).collect();
+    for overhead in [0.0, 1e-6, 1e-3] {
+        let gpu: Vec<f64> = ns
+            .iter()
+            .map(|&n| overhead + (n * n * n) as f64 * 2e-9)
+            .collect();
+        assert_eq!(
+            offload_threshold_from_times(&cpu, &gpu),
+            None,
+            "overhead {overhead}"
+        );
+    }
+}
+
+#[test]
+fn golden_overhead_monotonicity() {
+    // Physical sanity: a larger offload overhead can only move the
+    // threshold to larger sizes (or destroy it).
+    let ns = sizes();
+    let cpu: Vec<f64> = ns.iter().map(|&n| cpu_time(n)).collect();
+    let mut last = Some(0);
+    for overhead in [0.0, 1e-7, 1e-6, 1e-5, 1e-4, 1e-3] {
+        let gpu: Vec<f64> = ns.iter().map(|&n| gpu_time(n, overhead)).collect();
+        let idx = offload_threshold_from_times(&cpu, &gpu);
+        match (last, idx) {
+            (Some(prev), Some(cur)) => assert!(cur >= prev, "{overhead}: {cur} < {prev}"),
+            (None, Some(_)) => panic!("threshold reappeared as overhead grew"),
+            _ => {}
+        }
+        last = idx;
+    }
+}
+
+#[test]
+fn golden_interior_window_only() {
+    // GEMV-shaped curve: bandwidth-bound GPU wins only on an interior band
+    // (paper Fig 4) — no durable takeover, no threshold.
+    let pts: Vec<ThresholdPoint> = (1..=64)
+        .map(|n| {
+            let w = (n * n) as f64;
+            let cpu = w * 1e-6;
+            // GPU: overhead + work, plus a late-size penalty that hands the
+            // win back to the CPU for the rest of the sweep
+            let penalty = if n > 48 { 10.0 } else { 1.0 };
+            let gpu = (2e-4 + w * 2e-7) * penalty;
+            ThresholdPoint {
+                cpu_seconds: cpu,
+                gpu_seconds: gpu,
+            }
+        })
+        .collect();
+    // sanity: the GPU does win somewhere in the middle…
+    assert!(pts.iter().any(|p| !p.cpu_wins()));
+    // …but never durably to the end
+    assert_eq!(offload_threshold_index(&pts), None);
+}

@@ -83,7 +83,11 @@ pub fn fit_envelope(samples: &[Sample]) -> Option<Envelope> {
             (s.seconds - pred).powi(2)
         })
         .sum();
-    let r_squared = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
+    let r_squared = if ss_tot > 0.0 {
+        1.0 - ss_res / ss_tot
+    } else {
+        1.0
+    };
     Some(Envelope {
         rate,
         fixed_cost: intercept,
@@ -168,14 +172,30 @@ mod tests {
     #[test]
     fn degenerate_inputs_rejected() {
         assert!(fit_envelope(&[]).is_none());
-        assert!(fit_envelope(&[Sample { work: 1e6, seconds: 1e-3 }]).is_none());
+        assert!(fit_envelope(&[Sample {
+            work: 1e6,
+            seconds: 1e-3
+        }])
+        .is_none());
         // all-identical work: no slope identifiable
-        let flat = vec![Sample { work: 1e6, seconds: 1e-3 }; 5];
+        let flat = vec![
+            Sample {
+                work: 1e6,
+                seconds: 1e-3
+            };
+            5
+        ];
         assert!(fit_envelope(&flat).is_none());
         // decreasing time with work: nonsense measurements
         let nonsense = vec![
-            Sample { work: 1e6, seconds: 2.0 },
-            Sample { work: 1e9, seconds: 1.0 },
+            Sample {
+                work: 1e6,
+                seconds: 2.0,
+            },
+            Sample {
+                work: 1e9,
+                seconds: 1.0,
+            },
         ];
         assert!(fit_envelope(&nonsense).is_none());
     }
@@ -184,8 +204,14 @@ mod tests {
     fn negative_intercept_clamped() {
         // two points implying a tiny negative intercept after noise
         let samples = vec![
-            Sample { work: 1e9, seconds: 1.0e-3 },
-            Sample { work: 2e9, seconds: 2.1e-3 },
+            Sample {
+                work: 1e9,
+                seconds: 1.0e-3,
+            },
+            Sample {
+                work: 2e9,
+                seconds: 2.1e-3,
+            },
         ];
         let e = fit_envelope(&samples).unwrap();
         assert!(e.fixed_cost >= 0.0);

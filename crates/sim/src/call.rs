@@ -12,15 +12,29 @@ use blob_blas::scalar::Precision;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Kernel {
     /// `C ← α·A·B + β·C` with `A: m×k`, `B: k×n`, `C: m×n`.
-    Gemm { m: usize, n: usize, k: usize },
+    Gemm {
+        /// Rows of `A` and `C`.
+        m: usize,
+        /// Columns of `B` and `C`.
+        n: usize,
+        /// Inner (contraction) dimension.
+        k: usize,
+    },
     /// `y ← α·A·x + β·y` with `A: m×n`, `x: n`, `y: m`.
-    Gemv { m: usize, n: usize },
+    Gemv {
+        /// Rows of `A` and length of `y`.
+        m: usize,
+        /// Columns of `A` and length of `x`.
+        n: usize,
+    },
 }
 
 /// Coarse kernel family, used by quirk filters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum KernelKind {
+    /// Matrix–matrix multiply.
     Gemm,
+    /// Matrix–vector multiply.
     Gemv,
 }
 
@@ -45,9 +59,13 @@ impl Kernel {
 /// One priced BLAS call.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BlasCall {
+    /// The kernel and its dimensions.
     pub kernel: Kernel,
+    /// Element precision of all operands.
     pub precision: Precision,
+    /// The `α` scalar applied to the matrix product.
     pub alpha: f64,
+    /// The `β` scalar applied to the output operand.
     pub beta: f64,
 }
 
@@ -89,6 +107,7 @@ impl BlasCall {
     /// `β = 0` and `q = 2` otherwise — because Table I established that the
     /// β-work is skipped by real libraries when `β = 0`.
     pub fn paper_flops(&self) -> f64 {
+        // blob-check: allow(no-float-eq): β is a configured sentinel, never computed — libraries dispatch on exactly 0.0
         let q = if self.beta == 0.0 { 0.0 } else { 2.0 };
         match self.kernel {
             Kernel::Gemm { m, n, k } => {
@@ -108,7 +127,12 @@ impl BlasCall {
     /// `2MN + 3M`). The α=1 multiply is never skipped (Table I found no
     /// library optimises on α).
     pub fn library_flops(&self, beta0_opt: bool) -> f64 {
-        let q = if beta0_opt && self.beta == 0.0 { 0.0 } else { 2.0 };
+        // blob-check: allow(no-float-eq): β is a configured sentinel, never computed — libraries dispatch on exactly 0.0
+        let q = if beta0_opt && self.beta == 0.0 {
+            0.0
+        } else {
+            2.0
+        };
         match self.kernel {
             Kernel::Gemm { m, n, k } => {
                 let (m, n, k) = (m as f64, n as f64, k as f64);
@@ -151,14 +175,17 @@ impl BlasCall {
     /// short-circuit always reads C/y, even at β=0.
     pub fn bytes_streamed_lib(&self, beta0_opt: bool) -> f64 {
         let es = self.elem_bytes() as f64;
-        let read_c = if beta0_opt && self.beta == 0.0 { 0.0 } else { 1.0 };
+        // blob-check: allow(no-float-eq): β is a configured sentinel, never computed — libraries dispatch on exactly 0.0
+        let read_c = if beta0_opt && self.beta == 0.0 {
+            0.0
+        } else {
+            1.0
+        };
         match self.kernel {
             Kernel::Gemm { m, n, k } => {
                 es * ((m * k + k * n) as f64 + (1.0 + read_c) * (m * n) as f64)
             }
-            Kernel::Gemv { m, n } => {
-                es * ((m * n + n) as f64 + (1.0 + read_c) * m as f64)
-            }
+            Kernel::Gemv { m, n } => es * ((m * n + n) as f64 + (1.0 + read_c) * m as f64),
         }
     }
 

@@ -296,10 +296,16 @@ mod tests {
     fn peak_flops_precision_and_threads() {
         let m = model();
         assert_eq!(m.peak_gflops(Precision::F64, 48), 48.0 * 2.0 * 32.0);
-        assert_eq!(m.peak_gflops(Precision::F32, 48), 2.0 * m.peak_gflops(Precision::F64, 48));
+        assert_eq!(
+            m.peak_gflops(Precision::F32, 48),
+            2.0 * m.peak_gflops(Precision::F64, 48)
+        );
         assert_eq!(m.peak_gflops(Precision::F64, 1), 64.0);
         // clamped to socket
-        assert_eq!(m.peak_gflops(Precision::F64, 999), m.peak_gflops(Precision::F64, 48));
+        assert_eq!(
+            m.peak_gflops(Precision::F64, 999),
+            m.peak_gflops(Precision::F64, 48)
+        );
         assert_eq!(m.socket_flops_per_cycle(), 1536.0);
     }
 

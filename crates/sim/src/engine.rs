@@ -144,9 +144,8 @@ mod tests {
                 })
                 .collect::<Vec<_>>()
         };
-        let first_durable = |pts: &[(f64, f64)]| {
-            (0..pts.len()).find(|&i| pts[i..].iter().all(|&(c, g)| g <= c))
-        };
+        let first_durable =
+            |pts: &[(f64, f64)]| (0..pts.len()).find(|&i| pts[i..].iter().all(|&(c, g)| g <= c));
         let t_base = first_durable(&threshold(&base)).expect("base threshold");
         let t_boost = first_durable(&threshold(&boosted)).expect("boosted threshold");
         assert!(

@@ -123,7 +123,8 @@ mod tests {
                 let plan = best_split(&sys, &call, 8, Offload::TransferOnce, 32).unwrap();
                 assert!(
                     plan.hybrid_seconds <= plan.cpu_seconds * (1.0 + 1e-12),
-                    "{} s={s}", sys.name
+                    "{} s={s}",
+                    sys.name
                 );
                 assert!(plan.hybrid_seconds <= plan.gpu_seconds * (1.0 + 1e-12));
                 assert!(plan.speedup_vs_best_single >= 1.0 - 1e-12);
@@ -147,7 +148,10 @@ mod tests {
             p_near.speedup_vs_best_single,
             p_far.speedup_vs_best_single
         );
-        assert!(p_near.speedup_vs_best_single > 1.1, "MAGMA-style split pays near the threshold");
+        assert!(
+            p_near.speedup_vs_best_single > 1.1,
+            "MAGMA-style split pays near the threshold"
+        );
     }
 
     #[test]

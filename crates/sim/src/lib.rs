@@ -34,9 +34,9 @@
 pub mod batch;
 pub mod calibrate;
 pub mod call;
+pub mod cpu;
 pub mod energy;
 pub mod engine;
-pub mod cpu;
 pub mod gpu;
 pub mod hybrid;
 pub mod link;

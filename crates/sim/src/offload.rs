@@ -76,7 +76,11 @@ mod tests {
     fn table_column_order() {
         assert_eq!(
             Offload::ALL,
-            [Offload::TransferOnce, Offload::TransferAlways, Offload::Unified]
+            [
+                Offload::TransferOnce,
+                Offload::TransferAlways,
+                Offload::Unified
+            ]
         );
     }
 }

@@ -41,7 +41,7 @@ fn xeon_8468() -> CpuModel {
         freq_ghz: 2.0, // sustained all-core AVX-512
         fp64_flops_per_cycle_core: 32.0,
         fp32_ratio: 2.0,
-        dram_gbs: 250.0,       // 8ch DDR5-4800, sustained
+        dram_gbs: 250.0, // 8ch DDR5-4800, sustained
         single_core_gbs: 20.0,
         llc_bytes: 66e6, // usable share of the 105 MB LLC
         llc_gbs: 1000.0,
@@ -447,7 +447,8 @@ fn usm_cuda_c2c() -> UsmModel {
 pub fn dawn() -> SystemModel {
     SystemModel {
         name: "DAWN",
-        description: "Intel Xeon Platinum 8468 + Intel Max 1550 (one tile), oneMKL 2024.1, PCIe gen5",
+        description:
+            "Intel Xeon Platinum 8468 + Intel Max 1550 (one tile), oneMKL 2024.1, PCIe gen5",
         cpu: xeon_8468(),
         cpu_lib: onemkl_cpu(),
         gpu: Some(max1550_tile()),
@@ -479,7 +480,8 @@ pub fn dawn_implicit_scaling() -> SystemModel {
 pub fn lumi() -> SystemModel {
     SystemModel {
         name: "LUMI",
-        description: "AMD EPYC 7A53 + AMD MI250X (one GCD), AOCL 4.1 / rocBLAS 5.2.3, Infinity Fabric",
+        description:
+            "AMD EPYC 7A53 + AMD MI250X (one GCD), AOCL 4.1 / rocBLAS 5.2.3, Infinity Fabric",
         cpu: epyc_7a53(),
         cpu_lib: aocl(),
         gpu: Some(mi250x_gcd()),
@@ -504,7 +506,8 @@ pub fn lumi_openblas() -> SystemModel {
 pub fn isambard_ai() -> SystemModel {
     SystemModel {
         name: "Isambard-AI",
-        description: "NVIDIA GH200 Superchip (Grace 72c + H100), NVPL 24.7 / cuBLAS 24.5, NVLink-C2C",
+        description:
+            "NVIDIA GH200 Superchip (Grace 72c + H100), NVPL 24.7 / cuBLAS 24.5, NVLink-C2C",
         cpu: grace(),
         cpu_lib: nvpl(),
         gpu: Some(h100_gh200()),
@@ -544,7 +547,6 @@ pub fn isambard_ai_nvpl_1t() -> SystemModel {
         noise: None,
     }
 }
-
 
 /// AMD MI300A — the APU the paper's introduction motivates: CPU and GPU
 /// share one 5.3 TB/s unified HBM3 pool, so there is *no* host↔device copy
@@ -710,7 +712,7 @@ pub fn a100_cublas() -> SystemModel {
             gemm_half_work: 1e9,
             gemv_bw_eff: 0.8,
             gemv_m_half: 800.0,
-        beta0_opt: true,
+            beta0_opt: true,
             quirks: vec![],
         }),
         link: Some(pcie5()),
@@ -879,7 +881,9 @@ mod tests {
         // GH200's C2C makes the smallest GPU round trips ~10 us; on DAWN
         // the same round trip costs several times more.
         let c = BlasCall::gemm(Precision::F32, 8, 8, 8);
-        let isam = isambard_ai().gpu_seconds(&c, 1, Offload::TransferOnce).unwrap();
+        let isam = isambard_ai()
+            .gpu_seconds(&c, 1, Offload::TransferOnce)
+            .unwrap();
         let dawn_t = dawn().gpu_seconds(&c, 1, Offload::TransferOnce).unwrap();
         assert!(isam < 20e-6, "{isam}");
         assert!(dawn_t > 2.0 * isam);
@@ -889,17 +893,30 @@ mod tests {
     fn rocblas_k_jump_only_for_sgemm_32() {
         let sys = lumi();
         let g32 = |k: usize| {
-            sys.gpu_gflops(&BlasCall::gemm(Precision::F32, 32, 32, k), 8, Offload::TransferOnce)
-                .unwrap()
+            sys.gpu_gflops(
+                &BlasCall::gemm(Precision::F32, 32, 32, k),
+                8,
+                Offload::TransferOnce,
+            )
+            .unwrap()
         };
         // the jump: K = 2560 runs disproportionately faster
         assert!(g32(2560) > 2.0 * g32(2304));
         // DGEMM flat-lines instead
         let d = |k: usize| {
-            sys.gpu_gflops(&BlasCall::gemm(Precision::F64, 32, 32, k), 8, Offload::TransferOnce)
-                .unwrap()
+            sys.gpu_gflops(
+                &BlasCall::gemm(Precision::F64, 32, 32, k),
+                8,
+                Offload::TransferOnce,
+            )
+            .unwrap()
         };
-        assert!(d(2560) < 1.5 * d(512), "DGEMM must not jump: {} vs {}", d(2560), d(512));
+        assert!(
+            d(2560) < 1.5 * d(512),
+            "DGEMM must not jump: {} vs {}",
+            d(2560),
+            d(512)
+        );
     }
 
     #[test]
@@ -913,7 +930,6 @@ mod tests {
         assert!(gi < 0.8 * ge, "implicit {gi} vs explicit {ge}");
     }
 
-
     #[test]
     fn mi300a_erases_the_offload_question() {
         // unified memory: even 1-iteration GEMM offloads at tiny sizes,
@@ -921,12 +937,12 @@ mod tests {
         let apu = mi300a();
         let small = BlasCall::gemm(Precision::F32, 64, 64, 64);
         assert!(
-            apu.gpu_seconds(&small, 1, Offload::TransferOnce).unwrap()
-                < apu.cpu_seconds(&small, 1)
+            apu.gpu_seconds(&small, 1, Offload::TransferOnce).unwrap() < apu.cpu_seconds(&small, 1)
         );
         let big_gemv = BlasCall::gemv(Precision::F32, 4000, 4000);
         assert!(
-            apu.gpu_seconds(&big_gemv, 1, Offload::TransferOnce).unwrap()
+            apu.gpu_seconds(&big_gemv, 1, Offload::TransferOnce)
+                .unwrap()
                 < apu.cpu_seconds(&big_gemv, 1),
             "zero-copy makes one-shot GEMV pay on the APU"
         );

@@ -55,24 +55,47 @@ pub enum QuirkShape {
     /// Models the oneMKL CPU drop at 629 that "is gradually recovered from
     /// as the problem size increases".
     DropRecover {
+        /// Dimension where the cliff appears.
         start: usize,
+        /// Multiplier at the cliff (> 1 slows down).
         penalty: f64,
+        /// Dimensions over which the penalty relaxes back to ×1.
         span: usize,
     },
     /// Persistent cliff: time × `penalty` for every `s >= start`.
     /// Models the Grace CPU GEMV drop at {256, 256}.
-    DropPersist { start: usize, penalty: f64 },
+    DropPersist {
+        /// First dimension affected.
+        start: usize,
+        /// Multiplier applied from `start` on.
+        penalty: f64,
+    },
     /// Small-problem penalty fading linearly: time × `penalty` at `s = 0`
     /// down to ×1 at `s >= end`. Models NVPL waking all 72 threads for
     /// every problem size.
-    SmallSizePenalty { end: usize, penalty: f64 },
+    SmallSizePenalty {
+        /// Dimension where the penalty has fully faded.
+        end: usize,
+        /// Multiplier at `s = 0`.
+        penalty: f64,
+    },
     /// Step change for every `s >= start`: time × `factor`.
     /// With `factor < 1`, models the rocBLAS SGEMM jump at K = 2560.
-    StepFactor { start: usize, factor: f64 },
+    StepFactor {
+        /// First dimension affected.
+        start: usize,
+        /// Multiplier applied from `start` on.
+        factor: f64,
+    },
     /// Gradual decay: time × `(1 + slope · (s - start) / 1000)` for
     /// `s > start`. Models the DAWN CPU DGEMV decline past ~3000 (paper
     /// footnote 6).
-    DecayAfter { start: usize, slope: f64 },
+    DecayAfter {
+        /// Dimension where the decay begins.
+        start: usize,
+        /// Slowdown slope per 1000 dimensions.
+        slope: f64,
+    },
 }
 
 impl QuirkShape {
@@ -169,9 +192,7 @@ impl Quirk {
 
 /// Applies a quirk list to a base time.
 pub fn apply_quirks(quirks: &[Quirk], call: &BlasCall, seconds: f64) -> f64 {
-    quirks
-        .iter()
-        .fold(seconds, |t, q| t * q.time_factor(call))
+    quirks.iter().fold(seconds, |t, q| t * q.time_factor(call))
 }
 
 #[cfg(test)]

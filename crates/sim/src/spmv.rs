@@ -16,10 +16,13 @@ use crate::Precision;
 /// One SpMV invocation's shape, as the model prices it.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SpmvCall {
+    /// Matrix row count.
     pub rows: usize,
+    /// Matrix column count.
     pub cols: usize,
     /// Stored non-zeros.
     pub nnz: usize,
+    /// Element precision of values and vectors.
     pub precision: Precision,
     /// Column-access locality in (0, 1]: 1 = perfectly banded,
     /// 0.1 = near-random gather.
@@ -67,7 +70,7 @@ impl SpmvCall {
         let idx = 4.0; // u32 column indices, the common library layout
         self.nnz as f64 * (es + idx)              // values + col_idx
             + (self.rows as f64 + 1.0) * 8.0      // row_ptr
-            + self.rows as f64 * es               // y (written)
+            + self.rows as f64 * es // y (written)
     }
 
     /// The gathered part: one `x[col_idx[p]]` access per non-zero. This is
@@ -205,7 +208,10 @@ mod tests {
         let c = SpmvCall::banded(100_000, 64, Precision::F64);
         let cpu = sys.cpu_spmv_seconds(&c, 1);
         let gpu = sys.gpu_spmv_seconds(&c, 1, Offload::TransferOnce).unwrap();
-        assert!(gpu < cpu * 1.2, "serial CPU should not be clearly ahead: {gpu} vs {cpu}");
+        assert!(
+            gpu < cpu * 1.2,
+            "serial CPU should not be clearly ahead: {gpu} vs {cpu}"
+        );
     }
 
     #[test]
@@ -215,12 +221,14 @@ mod tests {
         let c = SpmvCall::banded(200_000, 32, Precision::F64);
         let isam = presets::isambard_ai();
         assert!(
-            isam.gpu_spmv_seconds(&c, 128, Offload::TransferOnce).unwrap()
+            isam.gpu_spmv_seconds(&c, 128, Offload::TransferOnce)
+                .unwrap()
                 < isam.cpu_spmv_seconds(&c, 128)
         );
         let lumi = presets::lumi();
         assert!(
-            lumi.gpu_spmv_seconds(&c, 128, Offload::TransferOnce).unwrap()
+            lumi.gpu_spmv_seconds(&c, 128, Offload::TransferOnce)
+                .unwrap()
                 < lumi.cpu_spmv_seconds(&c, 128)
         );
     }
@@ -237,7 +245,11 @@ mod tests {
                 let gpu = sys
                     .gpu_spmv_seconds(&c, iters, Offload::TransferAlways)
                     .unwrap();
-                assert!(gpu > cpu, "{}: Transfer-Always SpMV paid at {iters} iters", sys.name);
+                assert!(
+                    gpu > cpu,
+                    "{}: Transfer-Always SpMV paid at {iters} iters",
+                    sys.name
+                );
             }
         }
     }

@@ -15,6 +15,7 @@ use crate::usm::UsmModel;
 /// noise tolerance the way real runs would.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Noise {
+    /// Seed mixed into every jitter hash.
     pub seed: u64,
     /// Total jitter width, e.g. 0.05 for ±2.5 %.
     pub amplitude: f64,
@@ -50,12 +51,19 @@ pub struct SystemModel {
     pub name: &'static str,
     /// One-line hardware summary (Table II row).
     pub description: &'static str,
+    /// CPU socket hardware model.
     pub cpu: CpuModel,
+    /// CPU BLAS library (efficiency curve + quirks).
     pub cpu_lib: CpuLibrary,
+    /// GPU device hardware model, if the node has one.
     pub gpu: Option<GpuModel>,
+    /// GPU BLAS library, present iff `gpu` is.
     pub gpu_lib: Option<GpuLibrary>,
+    /// Host–device interconnect, present iff `gpu` is.
     pub link: Option<LinkModel>,
+    /// Unified-shared-memory behaviour, if the vendor supports USM.
     pub usm: Option<UsmModel>,
+    /// Optional deterministic measurement jitter.
     pub noise: Option<Noise>,
 }
 
@@ -146,7 +154,10 @@ mod tests {
             let once = sys.gpu_seconds(&c, iters, Offload::TransferOnce).unwrap();
             let always = sys.gpu_seconds(&c, iters, Offload::TransferAlways).unwrap();
             // equal at iters = 1 up to float addition order
-            assert!(always >= once * (1.0 - 1e-12), "iters={iters}: {always} < {once}");
+            assert!(
+                always >= once * (1.0 - 1e-12),
+                "iters={iters}: {always} < {once}"
+            );
         }
     }
 

@@ -47,15 +47,18 @@ impl Phase {
 /// One timeline interval.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TraceEvent {
+    /// What the interval was spent on.
     pub phase: Phase,
     /// Seconds from the start of the operation.
     pub start: f64,
+    /// Seconds from the start of the operation at which the phase ends.
     pub end: f64,
     /// Which iteration this belongs to (kernel / per-iteration transfers).
     pub iteration: Option<u32>,
 }
 
 impl TraceEvent {
+    /// The interval's length in seconds.
     pub fn duration(&self) -> f64 {
         self.end - self.start
     }
@@ -196,13 +199,18 @@ mod tests {
     fn transfer_once_has_one_sandwich_always_has_iters() {
         let once = gpu_trace(&presets::dawn(), &call(), 8, Offload::TransferOnce).unwrap();
         assert_eq!(
-            once.iter().filter(|e| e.phase == Phase::HostToDevice).count(),
+            once.iter()
+                .filter(|e| e.phase == Phase::HostToDevice)
+                .count(),
             1
         );
         assert_eq!(once.iter().filter(|e| e.phase == Phase::Kernel).count(), 8);
         let always = gpu_trace(&presets::dawn(), &call(), 8, Offload::TransferAlways).unwrap();
         assert_eq!(
-            always.iter().filter(|e| e.phase == Phase::HostToDevice).count(),
+            always
+                .iter()
+                .filter(|e| e.phase == Phase::HostToDevice)
+                .count(),
             8
         );
     }
@@ -233,6 +241,12 @@ mod tests {
 
     #[test]
     fn cpu_only_systems_have_no_trace() {
-        assert!(gpu_trace(&presets::isambard_ai_armpl(), &call(), 1, Offload::TransferOnce).is_none());
+        assert!(gpu_trace(
+            &presets::isambard_ai_armpl(),
+            &call(),
+            1,
+            Offload::TransferOnce
+        )
+        .is_none());
     }
 }

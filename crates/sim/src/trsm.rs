@@ -18,12 +18,16 @@ use crate::Precision;
 /// One TRSM invocation (left side, `T: m×m`, `B/X: m×n`).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TrsmCall {
+    /// Triangle dimension (`T` is `m×m`).
     pub m: usize,
+    /// Right-hand-side count (`B` is `m×n`).
     pub n: usize,
+    /// Element precision of all operands.
     pub precision: Precision,
 }
 
 impl TrsmCall {
+    /// A TRSM call with the given shape and precision.
     pub fn new(m: usize, n: usize, precision: Precision) -> Self {
         Self { m, n, precision }
     }
@@ -133,10 +137,16 @@ mod tests {
         let large = TrsmCall::new(m, 2048, Precision::F64);
         let cpu_small = sys.cpu_trsm_seconds(&small, 1);
         let gpu_small = sys.gpu_trsm_resident_seconds(&small, 1).unwrap();
-        assert!(cpu_small < gpu_small, "few RHS: CPU wins ({cpu_small} vs {gpu_small})");
+        assert!(
+            cpu_small < gpu_small,
+            "few RHS: CPU wins ({cpu_small} vs {gpu_small})"
+        );
         let cpu_large = sys.cpu_trsm_seconds(&large, 1);
         let gpu_large = sys.gpu_trsm_resident_seconds(&large, 1).unwrap();
-        assert!(gpu_large < cpu_large, "many RHS: GPU wins ({gpu_large} vs {cpu_large})");
+        assert!(
+            gpu_large < cpu_large,
+            "many RHS: GPU wins ({gpu_large} vs {cpu_large})"
+        );
     }
 
     #[test]
@@ -161,7 +171,10 @@ mod tests {
         };
         let resident = crossover(false);
         let with = crossover(true);
-        assert!(with >= resident, "transfers can only delay the crossover: {with} vs {resident}");
+        assert!(
+            with >= resident,
+            "transfers can only delay the crossover: {with} vs {resident}"
+        );
         assert!(with > resident, "and on PCIe they measurably do");
     }
 
@@ -181,7 +194,10 @@ mod tests {
         };
         let dawn = cross(&presets::dawn());
         let isam = cross(&presets::isambard_ai());
-        assert!(isam < dawn, "SoC crossover {isam} below PCIe crossover {dawn}");
+        assert!(
+            isam < dawn,
+            "SoC crossover {isam} below PCIe crossover {dawn}"
+        );
     }
 
     #[test]

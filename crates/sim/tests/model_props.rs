@@ -1,100 +1,104 @@
 //! Property-based tests of the performance models: invariants that must
 //! hold for arbitrary calls, batch counts, and quirk configurations.
+//!
+//! Driven by `blob_core::testkit`; a failing case prints its seed for
+//! replay with `testkit::run_case`.
 
+use blob_core::testkit::{forall, Config, Gen};
 use blob_sim::{
     batch::gpu_batched_kernel_seconds, fit_envelope, gpu_trace, phase_totals, presets,
     quirk::QuirkShape, BlasCall, Offload, Precision, Sample,
 };
-use proptest::prelude::*;
 
-fn any_precision() -> impl Strategy<Value = Precision> {
-    prop_oneof![Just(Precision::F32), Just(Precision::F64)]
+fn any_precision(g: &mut Gen) -> Precision {
+    *g.choose(&[Precision::F32, Precision::F64])
 }
 
-fn any_offload() -> impl Strategy<Value = Offload> {
-    prop_oneof![
-        Just(Offload::TransferOnce),
-        Just(Offload::TransferAlways),
-        Just(Offload::Unified)
-    ]
+fn any_offload(g: &mut Gen) -> Offload {
+    *g.choose(&[
+        Offload::TransferOnce,
+        Offload::TransferAlways,
+        Offload::Unified,
+    ])
 }
 
-fn any_system() -> impl Strategy<Value = usize> {
-    0usize..3
-}
-
-fn system(i: usize) -> blob_sim::SystemModel {
-    match i {
+fn any_system(g: &mut Gen) -> blob_sim::SystemModel {
+    match g.usize_in(0, 2) {
         0 => presets::dawn(),
         1 => presets::lumi(),
         _ => presets::isambard_ai(),
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// FLOPs and byte counters are positive and monotone in every dim.
-    #[test]
-    fn call_accounting_monotone(
-        m in 1usize..3000,
-        n in 1usize..3000,
-        k in 1usize..3000,
-        prec in any_precision(),
-    ) {
+/// FLOPs and byte counters are positive and monotone in every dim.
+#[test]
+fn call_accounting_monotone() {
+    forall(Config::default().cases(32), |g| {
+        let m = g.usize_in(1, 2999);
+        let n = g.usize_in(1, 2999);
+        let k = g.usize_in(1, 2999);
+        let prec = any_precision(g);
         let c = BlasCall::gemm(prec, m, n, k);
         let bigger = BlasCall::gemm(prec, m + 1, n, k);
-        prop_assert!(c.paper_flops() > 0.0);
-        prop_assert!(bigger.paper_flops() > c.paper_flops());
-        prop_assert!(bigger.bytes_to_device() > c.bytes_to_device());
-        prop_assert!(c.bytes_from_device() <= c.bytes_to_device());
-        prop_assert!(c.working_set() > 0.0);
-        prop_assert!(c.arithmetic_intensity() > 0.0);
-    }
+        assert!(c.paper_flops() > 0.0);
+        assert!(bigger.paper_flops() > c.paper_flops());
+        assert!(bigger.bytes_to_device() > c.bytes_to_device());
+        assert!(c.bytes_from_device() <= c.bytes_to_device());
+        assert!(c.working_set() > 0.0);
+        assert!(c.arithmetic_intensity() > 0.0);
+    });
+}
 
-    /// GPU time grows when any dimension grows (same offload, iters).
-    #[test]
-    fn gpu_time_monotone_in_size(
-        sys_i in any_system(),
-        s in 16usize..2000,
-        offload in any_offload(),
-        iters in 1u32..65,
-    ) {
-        let sys = system(sys_i);
-        let t1 = sys.gpu_seconds(&BlasCall::gemm(Precision::F32, s, s, s), iters, offload).unwrap();
-        let t2 = sys.gpu_seconds(&BlasCall::gemm(Precision::F32, s + 64, s + 64, s + 64), iters, offload).unwrap();
-        prop_assert!(t2 > t1, "{t2} <= {t1}");
-    }
+/// GPU time grows when any dimension grows (same offload, iters).
+#[test]
+fn gpu_time_monotone_in_size() {
+    forall(Config::default().cases(32), |g| {
+        let sys = any_system(g);
+        let s = g.usize_in(16, 1999);
+        let offload = any_offload(g);
+        let iters = g.usize_in(1, 64) as u32;
+        let t1 = sys
+            .gpu_seconds(&BlasCall::gemm(Precision::F32, s, s, s), iters, offload)
+            .unwrap();
+        let t2 = sys
+            .gpu_seconds(
+                &BlasCall::gemm(Precision::F32, s + 64, s + 64, s + 64),
+                iters,
+                offload,
+            )
+            .unwrap();
+        assert!(t2 > t1, "{t2} <= {t1}");
+    });
+}
 
-    /// Doubling the batch at fixed per-instance size costs at most 2x the
-    /// batched kernel time (occupancy only improves) and at least 1x.
-    #[test]
-    fn batched_kernel_subadditive(
-        sys_i in any_system(),
-        s in 4usize..128,
-        batch in 1usize..256,
-    ) {
-        let sys = system(sys_i);
+/// Doubling the batch at fixed per-instance size costs at most 2x the
+/// batched kernel time (occupancy only improves) and at least 1x.
+#[test]
+fn batched_kernel_subadditive() {
+    forall(Config::default().cases(32), |g| {
+        let sys = any_system(g);
+        let s = g.usize_in(4, 127);
+        let batch = g.usize_in(1, 255);
         let gpu = sys.gpu.as_ref().unwrap();
         let lib = sys.gpu_lib.as_ref().unwrap();
         let call = BlasCall::gemm(Precision::F32, s, s, s);
         let t1 = gpu_batched_kernel_seconds(gpu, lib, &call, batch);
         let t2 = gpu_batched_kernel_seconds(gpu, lib, &call, 2 * batch);
-        prop_assert!(t2 >= t1 * (1.0 - 1e-12), "more work can't be faster");
-        prop_assert!(t2 <= 2.0 * t1 * (1.0 + 1e-9), "batching never super-linear");
-    }
+        assert!(t2 >= t1 * (1.0 - 1e-12), "more work can't be faster");
+        assert!(t2 <= 2.0 * t1 * (1.0 + 1e-9), "batching never super-linear");
+    });
+}
 
-    /// The trace decomposition always sums to the scalar timing.
-    #[test]
-    fn trace_sums_to_scalar(
-        sys_i in any_system(),
-        m in 1usize..1500,
-        n in 1usize..1500,
-        offload in any_offload(),
-        iters in 1u32..33,
-        gemv in any::<bool>(),
-    ) {
-        let sys = system(sys_i);
+/// The trace decomposition always sums to the scalar timing.
+#[test]
+fn trace_sums_to_scalar() {
+    forall(Config::default().cases(32), |g| {
+        let sys = any_system(g);
+        let m = g.usize_in(1, 1499);
+        let n = g.usize_in(1, 1499);
+        let offload = any_offload(g);
+        let iters = g.usize_in(1, 32) as u32;
+        let gemv = g.chance(0.5);
         let call = if gemv {
             BlasCall::gemv(Precision::F64, m, n)
         } else {
@@ -103,75 +107,98 @@ proptest! {
         let trace = gpu_trace(&sys, &call, iters, offload).unwrap();
         let total = trace.last().unwrap().end;
         let scalar = sys.gpu_seconds(&call, iters, offload).unwrap();
-        prop_assert!((total - scalar).abs() / scalar < 1e-9);
+        assert!((total - scalar).abs() / scalar < 1e-9);
         let sum: f64 = phase_totals(&trace).iter().map(|&(_, t)| t).sum();
-        prop_assert!((sum - total).abs() / total < 1e-9);
-    }
+        assert!((sum - total).abs() / total < 1e-9);
+    });
+}
 
-    /// Quirk shapes always return positive, finite multipliers.
-    #[test]
-    fn quirk_factors_positive(
-        start in 0usize..5000,
-        penalty in 0.01f64..10.0,
-        span in 1usize..5000,
-        s in 0usize..10_000,
-    ) {
+/// Quirk shapes always return positive, finite multipliers.
+#[test]
+fn quirk_factors_positive() {
+    forall(Config::default().cases(32), |g| {
+        let start = g.usize_in(0, 4999);
+        let penalty = g.f64_in(0.01, 10.0);
+        let span = g.usize_in(1, 4999);
+        let s = g.usize_in(0, 9999);
         for shape in [
-            QuirkShape::DropRecover { start, penalty, span },
+            QuirkShape::DropRecover {
+                start,
+                penalty,
+                span,
+            },
             QuirkShape::DropPersist { start, penalty },
             QuirkShape::SmallSizePenalty { end: span, penalty },
-            QuirkShape::StepFactor { start, factor: penalty },
-            QuirkShape::DecayAfter { start, slope: penalty },
+            QuirkShape::StepFactor {
+                start,
+                factor: penalty,
+            },
+            QuirkShape::DecayAfter {
+                start,
+                slope: penalty,
+            },
         ] {
             let f = shape.factor(s);
-            prop_assert!(f.is_finite() && f > 0.0, "{shape:?} at {s} -> {f}");
+            assert!(f.is_finite() && f > 0.0, "{shape:?} at {s} -> {f}");
         }
-    }
+    });
+}
 
-    /// DropRecover always returns to exactly 1 beyond start + span.
-    #[test]
-    fn drop_recover_converges(
-        start in 0usize..2000,
-        penalty in 0.1f64..5.0,
-        span in 1usize..2000,
-    ) {
-        let shape = QuirkShape::DropRecover { start, penalty, span };
-        prop_assert_eq!(shape.factor(start + span), 1.0);
-        prop_assert_eq!(shape.factor(start + span + 1000), 1.0);
+/// DropRecover always returns to exactly 1 beyond start + span.
+#[test]
+fn drop_recover_converges() {
+    forall(Config::default().cases(32), |g| {
+        let start = g.usize_in(0, 1999);
+        let penalty = g.f64_in(0.1, 5.0);
+        let span = g.usize_in(1, 1999);
+        let shape = QuirkShape::DropRecover {
+            start,
+            penalty,
+            span,
+        };
+        assert_eq!(shape.factor(start + span), 1.0);
+        assert_eq!(shape.factor(start + span + 1000), 1.0);
         if start > 0 {
-            prop_assert_eq!(shape.factor(start - 1), 1.0);
+            assert_eq!(shape.factor(start - 1), 1.0);
         }
-    }
+    });
+}
 
-    /// Envelope fitting recovers synthetic parameters exactly for any
-    /// positive rate/fixed-cost and a spread of work values.
-    #[test]
-    fn envelope_fit_recovers_truth(
-        rate_g in 1.0f64..50_000.0,
-        fixed_us in 0.0f64..500.0,
-        base in 1e5f64..1e7,
-    ) {
+/// Envelope fitting recovers synthetic parameters exactly for any
+/// positive rate/fixed-cost and a spread of work values.
+#[test]
+fn envelope_fit_recovers_truth() {
+    forall(Config::default().cases(32), |g| {
+        let rate_g = g.f64_in(1.0, 50_000.0);
+        let fixed_us = g.f64_in(0.0, 500.0);
+        let base = g.f64_in(1e5, 1e7);
         let rate = rate_g * 1e9;
         let fixed = fixed_us * 1e-6;
         let samples: Vec<Sample> = (1..=6)
             .map(|i| {
                 let w = base * (i * i) as f64;
-                Sample { work: w, seconds: w / rate + fixed }
+                Sample {
+                    work: w,
+                    seconds: w / rate + fixed,
+                }
             })
             .collect();
         let e = fit_envelope(&samples).unwrap();
-        prop_assert!((e.rate / rate - 1.0).abs() < 1e-6);
-        prop_assert!((e.fixed_cost - fixed).abs() < 1e-9 + fixed * 1e-6);
-    }
+        assert!((e.rate / rate - 1.0).abs() < 1e-6);
+        assert!((e.fixed_cost - fixed).abs() < 1e-9 + fixed * 1e-6);
+    });
+}
 
-    /// The batched threshold never exceeds the scan bound and responds
-    /// sanely to batch growth on the SoC (monotone non-increasing there).
-    #[test]
-    fn batched_threshold_bounded(batch in 1usize..512) {
+/// The batched threshold never exceeds the scan bound and responds
+/// sanely to batch growth on the SoC (monotone non-increasing there).
+#[test]
+fn batched_threshold_bounded() {
+    forall(Config::default().cases(32), |g| {
+        let batch = g.usize_in(1, 511);
         let sys = presets::isambard_ai();
         let t = sys.batched_gemm_threshold(Precision::F32, batch, 8, Offload::TransferOnce, 512);
         if let Some(t) = t {
-            prop_assert!((1..=512).contains(&t));
+            assert!((1..=512).contains(&t));
         }
-    }
+    });
 }

@@ -21,7 +21,8 @@ use gpu_blob::sim::{presets, Offload, Precision};
 fn run_heads<T: Scalar>(heads: usize, seq: usize, dim: usize, q: &[T], kt: &[T]) -> Vec<T> {
     let desc = BatchedGemmDesc::tight(seq, seq, dim);
     let mut scores = vec![T::ZERO; desc.stride_c * heads];
-    gemm_batched_parallel(4, &desc, heads, T::ONE, q, kt, T::ZERO, &mut scores);
+    gemm_batched_parallel(4, &desc, heads, T::ONE, q, kt, T::ZERO, &mut scores)
+        .expect("tight batched layout");
     scores
 }
 
@@ -48,7 +49,7 @@ fn main() {
     // serial batched path must agree with the parallel one
     let desc = BatchedGemmDesc::tight(seq, seq, dim);
     let mut serial = vec![0.0f64; desc.stride_c * heads];
-    gemm_batched(&desc, heads, 1.0, &q64, &k64, 0.0, &mut serial);
+    gemm_batched(&desc, heads, 1.0, &q64, &k64, 0.0, &mut serial).expect("tight batched layout");
     assert_eq!(serial, s64, "serial and parallel batched GEMM agree");
 
     // normalise by the largest score: individual scores cross zero, so

@@ -22,7 +22,10 @@ fn main() {
     // measure a spread of sizes (seconds per single call)
     let sizes = [64usize, 96, 128, 192, 256, 320, 384];
     let mut samples = Vec::new();
-    println!("{:>6} {:>14} {:>12} {:>10}", "size", "FLOPs", "seconds", "GFLOP/s");
+    println!(
+        "{:>6} {:>14} {:>12} {:>10}",
+        "size", "FLOPs", "seconds", "GFLOP/s"
+    );
     for &s in &sizes {
         let call = BlasCall::gemm(Precision::F64, s, s, s);
         // median-ish: take the best of 3 to shed scheduler noise
@@ -41,15 +44,20 @@ fn main() {
         env.fixed_cost * 1e6,
         env.r_squared
     );
-    assert!(env.r_squared > 0.9, "the affine envelope should fit GEMM well");
+    assert!(
+        env.r_squared > 0.9,
+        "the affine envelope should fit GEMM well"
+    );
 
     // wrap the fit in a SystemModel-compatible CPU description
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) as u32;
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1) as u32;
     let cpu = CpuModel {
         name: "this-host",
         cores: threads,
-        freq_ghz: 3.0,                    // nominal; the fit overrides the rate
-        fp64_flops_per_cycle_core: 16.0,  // nominal
+        freq_ghz: 3.0,                   // nominal; the fit overrides the rate
+        fp64_flops_per_cycle_core: 16.0, // nominal
         fp32_ratio: 2.0,
         dram_gbs: 50.0,
         single_core_gbs: 15.0,

@@ -24,9 +24,17 @@ fn main() {
 
     // Square GEMM, modest range so the example runs in seconds.
     let cfg = SweepConfig::new(16, 384, 3).with_step(16);
-    let gemm = run_sweep(&host, Problem::Gemm(GemmProblem::Square), Precision::F64, &cfg);
+    let gemm = run_sweep(
+        &host,
+        Problem::Gemm(GemmProblem::Square),
+        Precision::F64,
+        &cfg,
+    );
     let series = [Series::from_usize("DGEMM (measured)", &gemm.cpu_series())];
-    println!("{}", ascii_chart("Host DGEMM GFLOP/s vs size", &series, 80, 14));
+    println!(
+        "{}",
+        ascii_chart("Host DGEMM GFLOP/s vs size", &series, 80, 14)
+    );
     let peak = gemm
         .records
         .iter()
@@ -34,9 +42,17 @@ fn main() {
         .fold(0.0f64, f64::max);
     println!("best measured DGEMM rate: {peak:.2} GFLOP/s\n");
 
-    let gemv = run_sweep(&host, Problem::Gemv(GemvProblem::Square), Precision::F64, &cfg);
+    let gemv = run_sweep(
+        &host,
+        Problem::Gemv(GemvProblem::Square),
+        Precision::F64,
+        &cfg,
+    );
     let series = [Series::from_usize("DGEMV (measured)", &gemv.cpu_series())];
-    println!("{}", ascii_chart("Host DGEMV GFLOP/s vs size", &series, 80, 14));
+    println!(
+        "{}",
+        ascii_chart("Host DGEMV GFLOP/s vs size", &series, 80, 14)
+    );
 
     // The artifact's checksum validation, against this machine's results.
     for call in [

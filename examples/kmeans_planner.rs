@@ -101,7 +101,8 @@ fn main() {
         0.0,
         g.as_mut_slice(),
         n,
-    );
+    )
+    .unwrap();
     let mut g_ref = Matrix::<f32>::zeros(n, k);
     gemm_ref(
         n,
@@ -115,8 +116,12 @@ fn main() {
         0.0,
         g_ref.as_mut_slice(),
         n,
+    )
+    .unwrap();
+    assert!(
+        g.approx_eq(&g_ref, 1e-5),
+        "parallel and reference GEMM agree"
     );
-    assert!(g.approx_eq(&g_ref, 1e-5), "parallel and reference GEMM agree");
 
     // assemble distances and do one assignment step
     let xn: Vec<f32> = (0..n)

@@ -30,7 +30,10 @@ fn main() {
                     big.cpu_seconds / gpu.seconds
                 );
             }
-            None => println!("{:<12} no offload threshold — keep this problem on the CPU", system.name),
+            None => println!(
+                "{:<12} no offload threshold — keep this problem on the CPU",
+                system.name
+            ),
         }
     }
 

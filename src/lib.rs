@@ -1,0 +1,16 @@
+//! # gpu-blob — GPU BLAS Offload Benchmark, in Rust
+//!
+//! Umbrella crate re-exporting the workspace's layers under the names the
+//! examples and downstream users import:
+//!
+//! - [`blas`] — the from-scratch BLAS kernels (`blob-blas`)
+//! - [`sim`] — heterogeneous-system performance models (`blob-sim`)
+//! - [`bench`] — the benchmark harness, problem sweeps and validation
+//!   (`blob-core`)
+//! - [`analysis`] — offload-threshold analysis and reporting
+//!   (`blob-analysis`)
+
+pub use blob_analysis as analysis;
+pub use blob_blas as blas;
+pub use blob_core as bench;
+pub use blob_sim as sim;
