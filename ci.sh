@@ -15,6 +15,11 @@
 #   3. cargo build --release    everything compiles optimised, warnings-free
 #   4. cargo build --benches    the microbench targets stay compilable
 #   5. cargo test -q            the full workspace test suite
+#   6. server smoke             gpu-blob serve end-to-end: /healthz, /advise,
+#                               a /threshold cache hit verified via /metrics,
+#                               and a clean /shutdown (serve_smoke e2e test)
+#   7. server load gate         serve_load must sustain >= 1000 req/s on
+#                               loopback (writes results/serve_load.csv)
 
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -33,5 +38,12 @@ cargo build --benches --workspace --offline
 
 echo "==> cargo test"
 cargo test -q --workspace --offline
+
+echo "==> server smoke (healthz, advise, threshold cache hit, shutdown)"
+cargo test -q -p blob-cli --test serve_smoke --offline
+
+echo "==> server load gate (>= 1000 req/s loopback)"
+cargo run -q --release -p blob-bench --bin serve_load --offline -- \
+    --clients 4 --requests 2000 --min-rps 1000
 
 echo "ci: all stages passed"

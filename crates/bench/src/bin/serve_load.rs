@@ -1,0 +1,193 @@
+//! Load generator for `blob-serve`: starts the service in-process, hammers
+//! `POST /advise` from keep-alive client threads, and reports throughput
+//! and tail latency. `--min-rps` turns the run into a pass/fail gate, which
+//! is how `ci.sh` asserts the loopback throughput floor.
+//!
+//! ```text
+//! cargo run --release -p blob-bench --bin serve_load -- \
+//!     --clients 4 --requests 2000 --min-rps 1000
+//! ```
+//!
+//! Results land in `results/serve_load.csv` (one row per run).
+
+use blob_serve::http::Limits;
+use blob_serve::metrics::Histogram;
+use blob_serve::{Config, Server};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct LoadArgs {
+    clients: usize,
+    requests: usize,
+    server_threads: usize,
+    min_rps: f64,
+}
+
+impl Default for LoadArgs {
+    fn default() -> Self {
+        Self {
+            clients: 4,
+            requests: 2000,
+            server_threads: 4,
+            min_rps: 0.0,
+        }
+    }
+}
+
+fn parse_args() -> LoadArgs {
+    let mut args = LoadArgs::default();
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+                .as_str()
+        };
+        match flag.as_str() {
+            "--clients" => args.clients = value("--clients").parse().expect("--clients"),
+            "--requests" => args.requests = value("--requests").parse().expect("--requests"),
+            "--server-threads" => {
+                args.server_threads = value("--server-threads").parse().expect("--server-threads")
+            }
+            "--min-rps" => args.min_rps = value("--min-rps").parse().expect("--min-rps"),
+            other => panic!("unknown flag {other} (see source header for usage)"),
+        }
+    }
+    args
+}
+
+/// Reads one HTTP response off a keep-alive stream; returns the status.
+fn read_response(s: &mut TcpStream, buf: &mut Vec<u8>) -> u16 {
+    let mut chunk = [0u8; 4096];
+    let head_end = loop {
+        if let Some(at) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break at + 4;
+        }
+        let n = s.read(&mut chunk).expect("read response");
+        assert!(n > 0, "server closed mid-response");
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = String::from_utf8_lossy(&buf[..head_end]).into_owned();
+    let status: u16 = head
+        .strip_prefix("HTTP/1.1 ")
+        .and_then(|r| r.split(' ').next())
+        .and_then(|c| c.parse().ok())
+        .expect("status line");
+    let body_len: usize = head
+        .lines()
+        .find_map(|l| l.strip_prefix("content-length: "))
+        .expect("content-length")
+        .trim()
+        .parse()
+        .expect("content-length value");
+    while buf.len() < head_end + body_len {
+        let n = s.read(&mut chunk).expect("read body");
+        assert!(n > 0, "server closed mid-body");
+        buf.extend_from_slice(&chunk[..n]);
+    }
+    buf.drain(..head_end + body_len);
+    status
+}
+
+fn main() {
+    let args = parse_args();
+    let server = Server::start(Config {
+        addr: "127.0.0.1:0".to_string(),
+        threads: args.server_threads,
+        cache_entries: 256,
+        cache_shards: 8,
+        limits: Limits {
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(30),
+            ..Limits::default()
+        },
+        allow_shutdown: false,
+    })
+    .expect("start server");
+    let addr = server.local_addr();
+    println!(
+        "serve_load: {} clients x {} requests against {} ({} server threads)",
+        args.clients, args.requests, addr, args.server_threads
+    );
+
+    let latency = Arc::new(Histogram::new());
+    let started = Instant::now();
+    let handles: Vec<_> = (0..args.clients)
+        .map(|c| {
+            let latency = Arc::clone(&latency);
+            let requests = args.requests;
+            std::thread::spawn(move || {
+                let mut s = TcpStream::connect(addr).expect("connect");
+                s.set_nodelay(true).ok();
+                let mut buf = Vec::new();
+                let mut errors = 0usize;
+                for i in 0..requests {
+                    // rotate dimensions so responses vary but stay cheap
+                    let m = 64 + ((c * requests + i) % 64);
+                    let body = format!(
+                        r#"{{"system":"isambard-ai","op":"gemm","m":{m},"n":{m},"k":{m},"precision":"f32","iterations":8}}"#
+                    );
+                    let req = format!(
+                        "POST /advise HTTP/1.1\r\ncontent-length: {}\r\n\r\n{body}",
+                        body.len()
+                    );
+                    let t0 = Instant::now();
+                    s.write_all(req.as_bytes()).expect("write request");
+                    let status = read_response(&mut s, &mut buf);
+                    latency.record_us(t0.elapsed().as_micros() as u64);
+                    if status != 200 {
+                        errors += 1;
+                    }
+                }
+                errors
+            })
+        })
+        .collect();
+    let errors: usize = handles.into_iter().map(|h| h.join().expect("client")).sum();
+    let elapsed = started.elapsed().as_secs_f64();
+
+    let total = args.clients * args.requests;
+    let rps = total as f64 / elapsed;
+    let (p50, p90, p99) = (
+        latency.quantile_us(0.50),
+        latency.quantile_us(0.90),
+        latency.quantile_us(0.99),
+    );
+    println!(
+        "{total} requests in {elapsed:.3} s -> {rps:.0} req/s | mean {:.0} us, p50 {p50} us, p90 {p90} us, p99 {p99} us | {errors} errors",
+        latency.mean_us()
+    );
+
+    let dir = blob_bench::results_dir();
+    std::fs::create_dir_all(&dir).expect("results dir");
+    let path = dir.join("serve_load.csv");
+    let mut csv = String::from(
+        "clients,requests_per_client,server_threads,seconds,rps,mean_us,p50_us,p90_us,p99_us,errors\n",
+    );
+    csv.push_str(&format!(
+        "{},{},{},{:.3},{:.0},{:.0},{p50},{p90},{p99},{errors}\n",
+        args.clients,
+        args.requests,
+        args.server_threads,
+        elapsed,
+        rps,
+        latency.mean_us()
+    ));
+    std::fs::write(&path, csv).expect("write csv");
+    println!("wrote {}", path.display());
+
+    server.shutdown();
+    server.join();
+
+    assert_eq!(errors, 0, "load run saw non-200 responses");
+    if args.min_rps > 0.0 && rps < args.min_rps {
+        eprintln!(
+            "FAIL: {rps:.0} req/s is below the --min-rps {} floor",
+            args.min_rps
+        );
+        std::process::exit(1);
+    }
+}

@@ -39,6 +39,7 @@
 pub mod lexer;
 pub mod rules;
 
+use blob_core::wire::Json;
 use rules::{build_context, check_file, Finding};
 use std::path::{Path, PathBuf};
 
@@ -103,79 +104,39 @@ pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
     }
 }
 
-/// Escapes a string for JSON output.
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-/// Renders findings as a JSON array (stable field order, no dependencies).
+/// Renders findings as a JSON array through the workspace's shared wire
+/// encoder ([`blob_core::wire`]), so escaping behaviour is identical to
+/// every other JSON the project emits.
 pub fn to_json(findings: &[Finding]) -> String {
-    let mut out = String::from("[");
-    for (i, f) in findings.iter().enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        out.push_str(&format!(
-            "\n  {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
-            json_escape(f.rule),
-            json_escape(&f.path),
-            f.line,
-            json_escape(&f.message)
-        ));
-    }
-    if !findings.is_empty() {
-        out.push('\n');
-    }
-    out.push(']');
-    out
+    let items: Vec<Json> = findings
+        .iter()
+        .map(|f| {
+            Json::obj()
+                .field("rule", f.rule)
+                .field("path", f.path.as_str())
+                .field("line", f.line as u64)
+                .field("message", f.message.as_str())
+                .build()
+        })
+        .collect();
+    Json::Arr(items).encode_pretty()
 }
 
 /// Parses a baseline produced by [`to_json`] back into `(rule, path,
-/// message)` keys. The parser only needs to read its own output, so it is
-/// a minimal scan for the three known string fields per object.
+/// message)` keys with the shared wire parser. Objects missing one of the
+/// three fields are skipped; unparseable text yields no keys (so a
+/// corrupt baseline fails loud — every finding resurfaces).
 pub fn parse_baseline(text: &str) -> Vec<(String, String, String)> {
-    let mut keys = Vec::new();
-    for obj in text.split('{').skip(1) {
-        let field = |name: &str| -> Option<String> {
-            let tag = format!("\"{name}\": \"");
-            let at = obj.find(&tag)? + tag.len();
-            let rest = &obj[at..];
-            let mut out = String::new();
-            let mut chars = rest.chars();
-            while let Some(c) = chars.next() {
-                match c {
-                    '"' => return Some(out),
-                    '\\' => match chars.next() {
-                        Some('n') => out.push('\n'),
-                        Some('t') => out.push('\t'),
-                        Some('r') => out.push('\r'),
-                        Some(other) => out.push(other),
-                        None => return Some(out),
-                    },
-                    c => out.push(c),
-                }
-            }
-            Some(out)
-        };
-        if let (Some(rule), Some(path), Some(message)) =
-            (field("rule"), field("path"), field("message"))
-        {
-            keys.push((rule, path, message));
-        }
-    }
-    keys
+    let Ok(Json::Arr(items)) = Json::parse(text) else {
+        return Vec::new();
+    };
+    items
+        .iter()
+        .filter_map(|obj| {
+            let field = |name: &str| obj.get(name).and_then(Json::as_str).map(str::to_string);
+            Some((field("rule")?, field("path")?, field("message")?))
+        })
+        .collect()
 }
 
 /// Drops findings present in the baseline. Matching ignores line numbers
@@ -231,5 +192,35 @@ mod tests {
     fn empty_findings_serialise_to_empty_array() {
         assert_eq!(to_json(&[]), "[]");
         assert!(parse_baseline("[]").is_empty());
+    }
+
+    #[test]
+    fn json_output_escapes_like_the_shared_wire_layer() {
+        // control characters, quotes, backslashes, and non-ASCII all
+        // survive the encode → parse round trip byte-for-byte
+        let nasty = "tab\there \"quoted\" back\\slash ctrl\u{1} nul\u{0} grüße 日本語";
+        let json = to_json(&[finding("no-unsafe", "päth/ünïcode.rs", 7, nasty)]);
+        // the raw control bytes must not appear in the serialised form
+        assert!(!json.contains('\u{1}'));
+        assert!(!json.contains('\u{0}'));
+        assert!(json.contains("\\u0001"));
+        assert!(json.contains("\\u0000"));
+        assert!(json.contains("\\\"quoted\\\""));
+        assert!(json.contains("back\\\\slash"));
+        // non-ASCII passes through unescaped (UTF-8 output)
+        assert!(json.contains("grüße 日本語"));
+        let keys = parse_baseline(&json);
+        assert_eq!(keys.len(), 1);
+        assert_eq!(keys[0].1, "päth/ünïcode.rs");
+        assert_eq!(keys[0].2, nasty);
+    }
+
+    #[test]
+    fn corrupt_baseline_yields_no_keys() {
+        assert!(parse_baseline("{not json").is_empty());
+        assert!(parse_baseline("{\"rule\": \"x\"}").is_empty()); // not an array
+                                                                 // array entries missing a field are skipped, valid ones kept
+        let mixed = r#"[{"rule":"r","path":"p","message":"m"},{"rule":"only"}]"#;
+        assert_eq!(parse_baseline(mixed).len(), 1);
     }
 }

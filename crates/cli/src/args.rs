@@ -113,6 +113,8 @@ pub struct Args {
     pub validate: bool,
     /// Print an ASCII performance chart per sweep.
     pub plot: bool,
+    /// Emit the whole run as one JSON document on stdout instead of tables.
+    pub json: bool,
     /// Host threads (host backend only).
     pub threads: Option<usize>,
     pub help: bool,
@@ -133,6 +135,7 @@ impl Default for Args {
             output: None,
             validate: false,
             plot: false,
+            json: false,
             threads: None,
             help: false,
             list_problems: false,
@@ -146,6 +149,8 @@ gpu-blob — the GPU BLAS Offload Benchmark (Rust reproduction)
 
 USAGE:
     gpu-blob [OPTIONS]
+    gpu-blob serve [OPTIONS]     run the advisor as an HTTP service
+                                 (see gpu-blob serve --help)
 
 OPTIONS:
     -i <N[,N...]>        iteration counts (default: 1; paper: 1,8,32,64,128)
@@ -163,6 +168,8 @@ OPTIONS:
     --threads <N>        host backend thread count
     --validate           checksum-validate CPU vs GPU kernel paths
     --plot               print an ASCII GFLOP/s chart per sweep
+    --json               emit the whole run as one JSON document on stdout
+                         (incompatible with --plot)
     --list-problems      list problem-type ids and definitions
     -h, --help           this help
 ";
@@ -238,6 +245,7 @@ pub fn parse(argv: &[String]) -> Result<Args, ArgsError> {
             }
             "--validate" => args.validate = true,
             "--plot" => args.plot = true,
+            "--json" => args.json = true,
             "--list-problems" => args.list_problems = true,
             "-h" | "--help" => args.help = true,
             other => return Err(ArgsError::UnknownArgument(other.to_string())),
@@ -254,7 +262,117 @@ pub fn parse(argv: &[String]) -> Result<Args, ArgsError> {
             "-i requires positive iteration counts",
         ));
     }
+    if args.json && args.plot {
+        return Err(ArgsError::InvalidCombination(
+            "--json and --plot are mutually exclusive (JSON mode keeps stdout machine-readable)",
+        ));
+    }
     Ok(args)
+}
+
+/// Arguments of the `serve` subcommand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeArgs {
+    /// Bind address (`--addr`), `host:port`; port `0` picks an ephemeral one.
+    pub addr: String,
+    /// Worker-pool size (`--threads`).
+    pub threads: usize,
+    /// Threshold-cache capacity in entries (`--cache-entries`).
+    pub cache_entries: usize,
+    /// Honour `POST /shutdown` (`--allow-remote-shutdown`).
+    pub allow_shutdown: bool,
+    pub help: bool,
+}
+
+impl Default for ServeArgs {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:8787".to_string(),
+            threads: 4,
+            cache_entries: 256,
+            allow_shutdown: false,
+            help: false,
+        }
+    }
+}
+
+/// Usage text for `gpu-blob serve`.
+pub const SERVE_USAGE: &str = "\
+gpu-blob serve — run the offload advisor as a long-lived HTTP service
+
+USAGE:
+    gpu-blob serve [OPTIONS]
+
+OPTIONS:
+    --addr <HOST:PORT>        bind address (default: 127.0.0.1:8787; port 0
+                              picks an ephemeral port, printed on startup)
+    --threads <N>             worker threads (default: 4)
+    --cache-entries <N>       threshold-sweep cache capacity (default: 256)
+    --allow-remote-shutdown   honour POST /shutdown (off by default; CI and
+                              benches use it for clean teardown)
+    -h, --help                this help
+
+ENDPOINTS:
+    POST /advise      one BLAS call -> offload verdict
+    POST /threshold   (system, problem, precision, sweep) -> threshold table
+    GET  /systems     the modelled systems
+    GET  /healthz     liveness
+    GET  /metrics     request counts, latency quantiles, cache counters
+";
+
+/// What the binary was asked to do: the classic sweep, or the service.
+#[derive(Debug, Clone)]
+pub enum Command {
+    /// The classic one-shot benchmark run.
+    Sweep(Args),
+    /// `gpu-blob serve …`.
+    Serve(ServeArgs),
+}
+
+/// Parses `serve` subcommand arguments (without the `serve` token).
+pub fn parse_serve(argv: &[String]) -> Result<ServeArgs, ArgsError> {
+    let mut args = ServeArgs::default();
+    let mut it = argv.iter().peekable();
+    let next_value = |flag: &'static str,
+                      it: &mut std::iter::Peekable<std::slice::Iter<String>>| {
+        it.next().cloned().ok_or(ArgsError::MissingValue { flag })
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => args.addr = next_value("--addr", &mut it)?,
+            "--threads" => {
+                args.threads = parse_value(&next_value("--threads", &mut it)?, "--threads")?
+            }
+            "--cache-entries" => {
+                args.cache_entries =
+                    parse_value(&next_value("--cache-entries", &mut it)?, "--cache-entries")?
+            }
+            "--allow-remote-shutdown" => args.allow_shutdown = true,
+            "-h" | "--help" => args.help = true,
+            other => return Err(ArgsError::UnknownArgument(other.to_string())),
+        }
+    }
+    if args.threads == 0 {
+        return Err(ArgsError::InvalidCombination(
+            "--threads must be at least 1",
+        ));
+    }
+    if args.cache_entries == 0 {
+        return Err(ArgsError::InvalidCombination(
+            "--cache-entries must be at least 1",
+        ));
+    }
+    Ok(args)
+}
+
+/// Parses the full argument vector (without argv[0]) into a [`Command`]:
+/// a leading `serve` token selects the service, anything else is the
+/// classic sweep interface.
+pub fn parse_command(argv: &[String]) -> Result<Command, ArgsError> {
+    match argv.first().map(String::as_str) {
+        Some("serve") => Ok(Command::Serve(parse_serve(&argv[1..])?)),
+        _ => Ok(Command::Sweep(parse(argv)?)),
+    }
 }
 
 #[cfg(test)]
@@ -338,6 +456,55 @@ mod tests {
                 text: "many".to_string()
             }
         );
+    }
+
+    #[test]
+    fn json_flag_and_plot_conflict() {
+        let a = parse(&sv(&["--json"])).unwrap();
+        assert!(a.json && !a.plot);
+        assert!(matches!(
+            parse(&sv(&["--json", "--plot"])).unwrap_err(),
+            ArgsError::InvalidCombination(_)
+        ));
+    }
+
+    #[test]
+    fn serve_subcommand_parses() {
+        let c = parse_command(&sv(&[
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--threads",
+            "8",
+            "--cache-entries",
+            "64",
+            "--allow-remote-shutdown",
+        ]))
+        .unwrap();
+        let Command::Serve(s) = c else {
+            panic!("expected serve command")
+        };
+        assert_eq!(s.addr, "127.0.0.1:0");
+        assert_eq!(s.threads, 8);
+        assert_eq!(s.cache_entries, 64);
+        assert!(s.allow_shutdown);
+
+        // defaults
+        let Command::Serve(s) = parse_command(&sv(&["serve"])).unwrap() else {
+            panic!("expected serve command")
+        };
+        assert_eq!(s, ServeArgs::default());
+
+        // validation
+        assert!(parse_serve(&sv(&["--threads", "0"])).is_err());
+        assert!(parse_serve(&sv(&["--cache-entries", "0"])).is_err());
+        assert!(parse_serve(&sv(&["--bogus"])).is_err());
+
+        // no `serve` token → the classic sweep path
+        assert!(matches!(
+            parse_command(&sv(&["-i", "8"])).unwrap(),
+            Command::Sweep(_)
+        ));
     }
 
     #[test]

@@ -13,7 +13,7 @@
 
 mod args;
 
-use args::{parse, Args, SystemChoice, USAGE};
+use args::{parse_command, Args, Command, ServeArgs, SystemChoice, SERVE_USAGE, USAGE};
 use blob_analysis::{ascii_chart, sd_pair_cell, Series, Table};
 use blob_core::backend::{Backend, HostCpu};
 use blob_core::csv::write_to_dir;
@@ -21,30 +21,70 @@ use blob_core::custom_runner::run_custom_sweep;
 use blob_core::problem::Problem;
 use blob_core::runner::{run_sweep, SweepConfig};
 use blob_core::validate_call;
+use blob_core::wire::{self, Json};
 use blob_sim::{presets, Offload, Precision};
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    let args = match parse(&argv) {
-        Ok(a) => a,
+    let serving = argv.first().map(String::as_str) == Some("serve");
+    let command = match parse_command(&argv) {
+        Ok(c) => c,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("{USAGE}");
+            eprintln!("{}", if serving { SERVE_USAGE } else { USAGE });
             std::process::exit(2);
         }
     };
-    if args.help {
-        println!("{USAGE}");
-        return;
-    }
-    if args.list_problems {
-        println!("{:<20} definition", "id");
-        for p in Problem::all() {
-            println!("{:<20} {}", p.id(), p.label());
+    match command {
+        Command::Serve(args) => {
+            if args.help {
+                println!("{SERVE_USAGE}");
+                return;
+            }
+            serve(&args);
         }
-        return;
+        Command::Sweep(args) => {
+            if args.help {
+                println!("{USAGE}");
+                return;
+            }
+            if args.list_problems {
+                println!("{:<20} definition", "id");
+                for p in Problem::all() {
+                    println!("{:<20} {}", p.id(), p.label());
+                }
+                return;
+            }
+            run(&args);
+        }
     }
-    run(&args);
+}
+
+/// Runs the advisor service until it is shut down (`POST /shutdown` when
+/// enabled, or the process is killed).
+fn serve(args: &ServeArgs) {
+    let cfg = blob_serve::Config {
+        addr: args.addr.clone(),
+        threads: args.threads,
+        cache_entries: args.cache_entries,
+        allow_shutdown: args.allow_shutdown,
+        ..blob_serve::Config::default()
+    };
+    let server = match blob_serve::Server::start(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot bind {}: {e}", args.addr);
+            std::process::exit(1);
+        }
+    };
+    // Stdout is line-buffered, so this line is immediately visible to a
+    // parent process parsing the bound (possibly ephemeral) port.
+    println!("listening on {}", server.local_addr());
+    println!(
+        "endpoints: POST /advise | POST /threshold | GET /systems | GET /healthz | GET /metrics"
+    );
+    server.join();
+    println!("server stopped");
 }
 
 fn run(args: &Args) {
@@ -86,6 +126,11 @@ fn run(args: &Args) {
     } else {
         args.precisions.clone()
     };
+
+    if args.json {
+        run_json(args, backend, &problems, &precisions);
+        return;
+    }
 
     println!("GPU-BLOB | system: {}", backend.name());
     println!(
@@ -221,6 +266,65 @@ fn run(args: &Args) {
             println!("{}", table.render());
         }
     }
+}
+
+/// The `--json` output mode: the whole run as one document on stdout,
+/// through the shared wire encoder — nothing else is printed there, so the
+/// output pipes straight into `jq` or back into `wire::Json::parse`.
+fn run_json(args: &Args, backend: &dyn Backend, problems: &[Problem], precisions: &[Precision]) {
+    let mut sweeps = Vec::new();
+    for problem in problems {
+        for &iters in &args.iterations {
+            let cfg = SweepConfig::new(args.min_dim, args.max_dim, iters).with_step(args.step);
+            for &precision in precisions {
+                let sweep = run_sweep(backend, *problem, precision, &cfg);
+                if let Some(dir) = &args.output {
+                    let path = write_to_dir(dir, &sweep).expect("write CSV");
+                    eprintln!("wrote {}", path.display());
+                }
+                sweeps.push(wire::sweep_json(&sweep));
+            }
+        }
+    }
+    for custom in &args.customs {
+        for &iters in &args.iterations {
+            let cfg = SweepConfig::new(args.min_dim, args.max_dim, iters).with_step(args.step);
+            for &precision in precisions {
+                let sweep = run_custom_sweep(backend, custom, precision, &cfg);
+                sweeps.push(wire::custom_sweep_json(&sweep));
+            }
+        }
+    }
+    let mut doc = Json::obj()
+        .field("system", backend.name())
+        .field("min_dim", args.min_dim)
+        .field("max_dim", args.max_dim)
+        .field("step", args.step)
+        .field("sweeps", Json::Arr(sweeps));
+    if args.validate {
+        let mut checks = Vec::new();
+        for problem in problems {
+            let p = problem.max_param(args.max_dim.min(128)).max(1);
+            for &precision in precisions {
+                let call = blob_core::runner::call_for(
+                    *problem,
+                    precision,
+                    p,
+                    &SweepConfig::new(args.min_dim, args.max_dim, 1),
+                );
+                let rep = validate_call(&call, 0xB10B);
+                checks.push(
+                    Json::obj()
+                        .field("call", wire::call_json(&call))
+                        .field("rel_err", rep.rel_err)
+                        .field("ok", rep.ok)
+                        .build(),
+                );
+            }
+        }
+        doc = doc.field("validation", Json::Arr(checks));
+    }
+    println!("{}", doc.build().encode_pretty());
 }
 
 /// Maps a sweep's threshold back to its size parameter for compact cells.

@@ -183,3 +183,95 @@ fn bad_custom_spec_rejected() {
     assert!(!ok);
     assert!(stderr.contains("gemm spec needs 3 dimensions"));
 }
+
+#[test]
+fn json_mode_emits_one_parseable_document() {
+    let (stdout, _, ok) = run(&[
+        "--system",
+        "lumi",
+        "--problem",
+        "gemm_square",
+        "--precision",
+        "f32",
+        "-i",
+        "8",
+        "-d",
+        "64",
+        "--json",
+        "--validate",
+    ]);
+    assert!(ok);
+    // stdout is pure JSON: it must round-trip through the wire parser
+    let doc = blob_core::wire::Json::parse(&stdout).expect("stdout parses as JSON");
+    use blob_core::wire::Json;
+    assert_eq!(doc.get("system").and_then(Json::as_str), Some("LUMI"));
+    assert_eq!(doc.get("max_dim").and_then(Json::as_u64), Some(64));
+    let sweeps = doc.get("sweeps").and_then(Json::as_arr).unwrap();
+    assert_eq!(sweeps.len(), 1);
+    let sweep = &sweeps[0];
+    assert_eq!(
+        sweep.get("problem").and_then(Json::as_str),
+        Some("gemm_square")
+    );
+    assert_eq!(
+        sweep.get("records").and_then(Json::as_arr).unwrap().len(),
+        64
+    );
+    assert!(sweep
+        .get("thresholds")
+        .and_then(|t| t.get("once"))
+        .is_some());
+    let checks = doc.get("validation").and_then(Json::as_arr).unwrap();
+    assert!(!checks.is_empty());
+    assert!(checks
+        .iter()
+        .all(|c| c.get("ok").and_then(Json::as_bool) == Some(true)));
+}
+
+#[test]
+fn json_mode_covers_custom_families() {
+    let (stdout, _, ok) = run(&[
+        "--system",
+        "isambard-ai",
+        "--custom",
+        "gemv:2p,p",
+        "--precision",
+        "f64",
+        "-i",
+        "8",
+        "-d",
+        "64",
+        "--json",
+    ]);
+    assert!(ok);
+    use blob_core::wire::Json;
+    let doc = Json::parse(&stdout).expect("stdout parses as JSON");
+    let sweeps = doc.get("sweeps").and_then(Json::as_arr).unwrap();
+    assert_eq!(sweeps.len(), 1);
+    assert_eq!(
+        sweeps[0].get("problem").and_then(Json::as_str),
+        Some("gemv:2p,p")
+    );
+}
+
+#[test]
+fn json_plus_plot_is_rejected() {
+    let (_, stderr, ok) = run(&["--json", "--plot"]);
+    assert!(!ok);
+    assert!(stderr.contains("mutually exclusive"));
+}
+
+#[test]
+fn serve_help_lists_endpoints() {
+    let (stdout, _, ok) = run(&["serve", "--help"]);
+    assert!(ok);
+    for needle in [
+        "--addr",
+        "--cache-entries",
+        "/advise",
+        "/threshold",
+        "/metrics",
+    ] {
+        assert!(stdout.contains(needle), "missing {needle}");
+    }
+}

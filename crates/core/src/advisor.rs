@@ -28,6 +28,20 @@ pub enum Verdict {
     NoGpu,
 }
 
+impl Verdict {
+    /// Stable wire/CSV identifier for the verdict, used by the JSON
+    /// encodings in [`crate::wire`] and the `blob-serve` API.
+    pub fn id(&self) -> &'static str {
+        match self {
+            Verdict::Offload => "offload",
+            Verdict::Marginal => "marginal",
+            Verdict::TossUp => "toss-up",
+            Verdict::StayOnCpu => "stay-on-cpu",
+            Verdict::NoGpu => "no-gpu",
+        }
+    }
+}
+
 /// A structured offload recommendation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Advice {
@@ -189,5 +203,75 @@ mod tests {
         assert_eq!(v(1.5), Verdict::Marginal);
         assert_eq!(v(1.0), Verdict::TossUp);
         assert_eq!(v(0.5), Verdict::StayOnCpu);
+    }
+
+    #[test]
+    fn verdict_bucket_edges_land_as_documented() {
+        // The documented buckets are: StayOnCpu < 0.95 ≤ TossUp ≤ 1.05 <
+        // Marginal < 2.0 ≤ Offload. With gpu_seconds fixed at 1.0 the CPU
+        // time *is* the speedup, so each edge can be hit exactly.
+        struct Fixed(f64);
+        impl Backend for Fixed {
+            fn name(&self) -> String {
+                "fixed".into()
+            }
+            fn cpu_seconds(&self, _: &BlasCall, _: u32) -> f64 {
+                self.0
+            }
+            fn gpu_seconds(&self, _: &BlasCall, _: u32, _: Offload) -> Option<f64> {
+                Some(1.0)
+            }
+        }
+        let call = BlasCall::gemm(Precision::F32, 1, 1, 1);
+        let v = |cpu: f64| advise(&Fixed(cpu), &call, 1, Offload::TransferOnce).verdict;
+        // exactly 2.0 is already a clear win
+        assert_eq!(v(2.0), Verdict::Offload);
+        assert_eq!(v(1.9999999), Verdict::Marginal);
+        // exactly 1.05 is still within the toss-up band (Marginal is an
+        // open interval at its lower edge)
+        assert_eq!(v(1.05), Verdict::TossUp);
+        assert_eq!(v(1.0500001), Verdict::Marginal);
+        // exactly 0.95 has left the toss-up band (TossUp is open below)
+        assert_eq!(v(0.95), Verdict::StayOnCpu);
+        assert_eq!(v(0.9500001), Verdict::TossUp);
+    }
+
+    #[test]
+    fn verdict_ids_are_stable_and_distinct() {
+        let ids: Vec<&str> = [
+            Verdict::Offload,
+            Verdict::Marginal,
+            Verdict::TossUp,
+            Verdict::StayOnCpu,
+            Verdict::NoGpu,
+        ]
+        .iter()
+        .map(|v| v.id())
+        .collect();
+        assert_eq!(
+            ids,
+            vec!["offload", "marginal", "toss-up", "stay-on-cpu", "no-gpu"]
+        );
+    }
+
+    #[test]
+    fn no_gpu_path_yields_no_speedup() {
+        struct CpuOnly;
+        impl Backend for CpuOnly {
+            fn name(&self) -> String {
+                "cpu-only".into()
+            }
+            fn cpu_seconds(&self, _: &BlasCall, _: u32) -> f64 {
+                1.0
+            }
+            fn gpu_seconds(&self, _: &BlasCall, _: u32, _: Offload) -> Option<f64> {
+                None
+            }
+        }
+        let call = BlasCall::gemv(Precision::F64, 8, 8);
+        let a = advise(&CpuOnly, &call, 4, Offload::TransferAlways);
+        assert_eq!(a.verdict, Verdict::NoGpu);
+        assert!(a.gpu_seconds.is_none() && a.speedup.is_none());
+        assert_eq!(a.verdict.id(), "no-gpu");
     }
 }

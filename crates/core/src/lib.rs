@@ -12,6 +12,9 @@
 //! - [`validate`] — constant-seed data init + 0.1 % checksum comparison
 //!   between independent kernel code paths (§III-B)
 //! - [`csv`] — the artifact's per-problem-type CSV output and its parser
+//! - [`wire`] — the workspace's JSON wire format: one escaper, one
+//!   encoder, one recursive-descent parser, shared by `blob-serve`,
+//!   `gpu-blob --json`, and `blob-check`
 //!
 //! ## Quickstart
 //!
@@ -38,6 +41,7 @@ pub mod runner;
 pub mod testkit;
 pub mod threshold;
 pub mod validate;
+pub mod wire;
 
 // The argument-contract validator lives next to the kernels it guards
 // (`blob-blas`), but harness users get it from here too so one import path

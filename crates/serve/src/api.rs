@@ -1,0 +1,596 @@
+//! The advisor API: request decoding, routing, and handlers for every
+//! endpoint, independent of the transport (the server calls [`App::handle`]
+//! with a parsed [`Request`] and writes back whatever [`Response`] comes
+//! out — tests can do the same without a socket).
+//!
+//! Endpoints:
+//!
+//! | route | method | body |
+//! |-------|--------|------|
+//! | `/advise` | POST | BLAS call + iterations + offload → verdict |
+//! | `/threshold` | POST | problem + system + sweep config → cached threshold table |
+//! | `/systems` | GET | — |
+//! | `/healthz` | GET | — |
+//! | `/metrics` | GET | — |
+//! | `/shutdown` | POST | — (only when enabled; used by CI and the bench) |
+
+use crate::cache::ShardedCache;
+use crate::http::{Request, Response};
+use crate::metrics::Metrics;
+use blob_core::backend::Backend;
+use blob_core::runner::{run_sweep, SweepConfig};
+use blob_core::wire::{
+    advice_json, kernel_json, offload_key, parse_precision, parse_problem_id, precision_key, Json,
+};
+use blob_core::{advise, Offload, Precision};
+use blob_sim::{presets, BlasCall, Kernel, SystemModel};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+/// The largest dimension `/threshold` will sweep — the paper's own `-d`
+/// ceiling, which bounds a miss at one 4096-point sweep.
+pub const MAX_SWEEP_DIM: usize = 4096;
+
+/// The largest iteration count a request may ask for.
+pub const MAX_ITERATIONS: u32 = 1_000_000;
+
+/// The systems the service can answer for: the three evaluation systems of
+/// the paper plus the CPU-only Isambard-AI configuration (exercises the
+/// `no-gpu` verdict) and the two extension systems.
+pub fn default_systems() -> Vec<(String, SystemModel)> {
+    vec![
+        ("dawn".to_string(), presets::dawn()),
+        ("lumi".to_string(), presets::lumi()),
+        ("isambard-ai".to_string(), presets::isambard_ai()),
+        (
+            "isambard-ai-armpl".to_string(),
+            presets::isambard_ai_armpl(),
+        ),
+        ("mi300a".to_string(), presets::mi300a()),
+        ("a100".to_string(), presets::a100_workstation()),
+    ]
+}
+
+/// The service state shared by every worker thread.
+pub struct App {
+    systems: Vec<(String, SystemModel)>,
+    /// Threshold-sweep cache, keyed by the full request tuple.
+    pub cache: ShardedCache<Json>,
+    /// The live metrics registry.
+    pub metrics: Metrics,
+    allow_shutdown: bool,
+    shutdown: AtomicBool,
+}
+
+/// A handler failure that maps to an HTTP status.
+struct ApiError {
+    status: u16,
+    message: String,
+}
+
+impl ApiError {
+    fn bad_request(message: impl Into<String>) -> Self {
+        Self {
+            status: 400,
+            message: message.into(),
+        }
+    }
+}
+
+type ApiResult = Result<Json, ApiError>;
+
+impl App {
+    /// Builds the app with the default system registry.
+    pub fn new(cache_entries: usize, cache_shards: usize, allow_shutdown: bool) -> Self {
+        Self {
+            systems: default_systems(),
+            cache: ShardedCache::new(cache_entries, cache_shards),
+            metrics: Metrics::new(),
+            allow_shutdown,
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    /// True once a (permitted) `/shutdown` request has been served; the
+    /// server polls this after each request.
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    fn system(&self, id: &str) -> Option<&SystemModel> {
+        let want = id.to_ascii_lowercase();
+        self.systems
+            .iter()
+            .find(|(sid, m)| *sid == want || m.name.eq_ignore_ascii_case(id))
+            .map(|(_, m)| m)
+    }
+
+    /// Routes one request; returns the response and the metrics label.
+    /// Latency/status accounting is the caller's job (it owns the clock).
+    pub fn handle(&self, req: &Request) -> (Response, &'static str) {
+        let (label, result) = match (req.method.as_str(), req.path()) {
+            ("GET", "/healthz") => ("healthz", self.healthz()),
+            ("GET", "/systems") => ("systems", self.systems_endpoint()),
+            ("GET", "/metrics") => ("metrics", self.metrics_endpoint()),
+            ("POST", "/advise") => ("advise", self.advise_endpoint(&req.body)),
+            ("POST", "/threshold") => ("threshold", self.threshold_endpoint(&req.body)),
+            ("POST", "/shutdown") => ("shutdown", self.shutdown_endpoint()),
+            (_, "/healthz" | "/systems" | "/metrics") | (_, "/advise" | "/threshold") => (
+                "other",
+                Err(ApiError {
+                    status: 405,
+                    message: "method not allowed for this route".to_string(),
+                }),
+            ),
+            _ => (
+                "other",
+                Err(ApiError {
+                    status: 404,
+                    message: format!("no such route: {}", req.path()),
+                }),
+            ),
+        };
+        let response = match result {
+            Ok(body) => Response::json(200, body.encode()),
+            Err(e) => error_response(e.status, &e.message),
+        };
+        (response, label)
+    }
+
+    fn healthz(&self) -> ApiResult {
+        Ok(Json::obj()
+            .field("ok", true)
+            .field("service", "blob-serve")
+            .field("systems", self.systems.len())
+            .build())
+    }
+
+    fn systems_endpoint(&self) -> ApiResult {
+        let items: Vec<Json> = self
+            .systems
+            .iter()
+            .map(|(id, m)| {
+                let offloads: Vec<Json> = m
+                    .offloads()
+                    .into_iter()
+                    .map(|o| offload_key(o).into())
+                    .collect();
+                Json::obj()
+                    .field("id", id.as_str())
+                    .field("name", m.name.to_string())
+                    .field("gpu", !offloads.is_empty())
+                    .field("offloads", Json::Arr(offloads))
+                    .build()
+            })
+            .collect();
+        Ok(Json::obj().field("systems", Json::Arr(items)).build())
+    }
+
+    fn metrics_endpoint(&self) -> ApiResult {
+        Ok(self.metrics.to_json(&self.cache.stats()))
+    }
+
+    fn shutdown_endpoint(&self) -> ApiResult {
+        if !self.allow_shutdown {
+            return Err(ApiError {
+                status: 404,
+                message: "shutdown endpoint is disabled (start with --allow-remote-shutdown)"
+                    .to_string(),
+            });
+        }
+        self.shutdown.store(true, Ordering::SeqCst);
+        Ok(Json::obj().field("shutting_down", true).build())
+    }
+
+    fn advise_endpoint(&self, body: &[u8]) -> ApiResult {
+        let doc = parse_body(body)?;
+        let system_id = require_str(&doc, "system")?;
+        let system = self
+            .system(system_id)
+            .ok_or_else(|| ApiError::bad_request(format!("unknown system `{system_id}`")))?;
+        let call = parse_call(&doc)?;
+        let iterations = optional_u32(&doc, "iterations", 1)?;
+        if iterations == 0 || iterations > MAX_ITERATIONS {
+            return Err(ApiError::bad_request(format!(
+                "iterations must be in 1..={MAX_ITERATIONS}"
+            )));
+        }
+        let offload = match doc.get("offload") {
+            None => Offload::TransferOnce,
+            Some(v) => v
+                .as_str()
+                .and_then(|s| s.parse::<Offload>().ok())
+                .ok_or_else(|| ApiError::bad_request("offload must be one of once|always|usm"))?,
+        };
+        let advice = advise(system, &call, iterations, offload);
+        let Json::Obj(mut fields) = advice_json(&advice) else {
+            return Err(ApiError {
+                status: 500,
+                message: "advice encoding was not an object".to_string(),
+            });
+        };
+        fields.insert(0, ("system".to_string(), system.name.to_string().into()));
+        Ok(Json::Obj(fields))
+    }
+
+    fn threshold_endpoint(&self, body: &[u8]) -> ApiResult {
+        let doc = parse_body(body)?;
+        let system_id = require_str(&doc, "system")?;
+        let system = self
+            .system(system_id)
+            .ok_or_else(|| ApiError::bad_request(format!("unknown system `{system_id}`")))?;
+        let problem_id = require_str(&doc, "problem")?;
+        let problem = parse_problem_id(problem_id)
+            .ok_or_else(|| ApiError::bad_request(format!("unknown problem `{problem_id}`")))?;
+        let precision = match doc.get("precision") {
+            None => Precision::F64,
+            Some(v) => v
+                .as_str()
+                .and_then(parse_precision)
+                .ok_or_else(|| ApiError::bad_request("precision must be f32 or f64"))?,
+        };
+        let iterations = optional_u32(&doc, "iterations", 1)?;
+        if iterations == 0 || iterations > MAX_ITERATIONS {
+            return Err(ApiError::bad_request(format!(
+                "iterations must be in 1..={MAX_ITERATIONS}"
+            )));
+        }
+        let min_dim = optional_usize(&doc, "min_dim", 1)?;
+        let max_dim = optional_usize(&doc, "max_dim", MAX_SWEEP_DIM)?;
+        let step = optional_usize(&doc, "step", 1)?;
+        if min_dim == 0 || step == 0 {
+            return Err(ApiError::bad_request("min_dim and step must be >= 1"));
+        }
+        if max_dim < min_dim || max_dim > MAX_SWEEP_DIM {
+            return Err(ApiError::bad_request(format!(
+                "max_dim must be in min_dim..={MAX_SWEEP_DIM}"
+            )));
+        }
+
+        let key = format!(
+            "{}|{}|{}|{}|{}|{}|{}",
+            system.name,
+            problem.id(),
+            precision_key(precision),
+            iterations,
+            min_dim,
+            max_dim,
+            step
+        );
+        let started = Instant::now();
+        let (result, cached) = match self.cache.get(&key) {
+            Some(hit) => ((*hit).clone(), true),
+            None => {
+                let cfg = SweepConfig::new(min_dim, max_dim, iterations).with_step(step);
+                let sweep = run_sweep(system, problem, precision, &cfg);
+                let value = threshold_result_json(&sweep);
+                ((*self.cache.insert(key, value)).clone(), false)
+            }
+        };
+        let compute_us = started.elapsed().as_micros() as u64;
+        let Json::Obj(mut fields) = result else {
+            return Err(ApiError {
+                status: 500,
+                message: "threshold encoding was not an object".to_string(),
+            });
+        };
+        fields.push(("cached".to_string(), cached.into()));
+        fields.push(("compute_us".to_string(), compute_us.into()));
+        Ok(Json::Obj(fields))
+    }
+}
+
+/// The cacheable part of a `/threshold` response: the request echo plus
+/// the per-offload threshold table (no per-request fields).
+fn threshold_result_json(sweep: &blob_core::runner::Sweep) -> Json {
+    let offloads: Vec<Offload> = sweep
+        .records
+        .first()
+        .map(|r| r.gpu.iter().map(|g| g.offload).collect())
+        .unwrap_or_default();
+    let mut thresholds = Json::obj();
+    for &o in &offloads {
+        let cell: Json = match sweep.threshold(o) {
+            Some(kernel) => {
+                let param = sweep
+                    .records
+                    .iter()
+                    .find(|r| r.kernel == kernel)
+                    .map(|r| r.param);
+                threshold_cell(param, &kernel)
+            }
+            None => Json::Null,
+        };
+        thresholds = thresholds.field(offload_key(o), cell);
+    }
+    Json::obj()
+        .field("system", sweep.system.as_str())
+        .field("problem", sweep.problem.id())
+        .field("precision", precision_key(sweep.precision))
+        .field("iterations", sweep.iterations)
+        .field("sweep_points", sweep.records.len())
+        .field("thresholds", thresholds.build())
+        .build()
+}
+
+fn threshold_cell(param: Option<usize>, kernel: &Kernel) -> Json {
+    let Json::Obj(mut fields) = kernel_json(kernel) else {
+        return Json::Null; // kernel_json always returns an object
+    };
+    if let Some(p) = param {
+        fields.insert(0, ("param".to_string(), p.into()));
+    }
+    Json::Obj(fields)
+}
+
+fn error_response(status: u16, message: &str) -> Response {
+    Response::json(
+        status,
+        Json::obj()
+            .field("error", message)
+            .field("status", status as u64)
+            .build()
+            .encode(),
+    )
+}
+
+fn parse_body(body: &[u8]) -> Result<Json, ApiError> {
+    if body.is_empty() {
+        return Err(ApiError::bad_request("request body must be a JSON object"));
+    }
+    let doc =
+        Json::parse_bytes(body).map_err(|e| ApiError::bad_request(format!("invalid JSON: {e}")))?;
+    match doc {
+        Json::Obj(_) => Ok(doc),
+        _ => Err(ApiError::bad_request("request body must be a JSON object")),
+    }
+}
+
+fn require_str<'a>(doc: &'a Json, key: &str) -> Result<&'a str, ApiError> {
+    doc.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| ApiError::bad_request(format!("missing string field `{key}`")))
+}
+
+fn optional_u32(doc: &Json, key: &str, default: u32) -> Result<u32, ApiError> {
+    match doc.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .as_u64()
+            .and_then(|n| u32::try_from(n).ok())
+            .ok_or_else(|| {
+                ApiError::bad_request(format!("`{key}` must be a non-negative integer"))
+            }),
+    }
+}
+
+fn optional_usize(doc: &Json, key: &str, default: usize) -> Result<usize, ApiError> {
+    match doc.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .as_u64()
+            .and_then(|n| usize::try_from(n).ok())
+            .ok_or_else(|| {
+                ApiError::bad_request(format!("`{key}` must be a non-negative integer"))
+            }),
+    }
+}
+
+/// Decodes the BLAS call from an `/advise` body: `op` (`gemm`/`gemv`),
+/// dimensions, `precision`, and optional `alpha`/`beta`.
+fn parse_call(doc: &Json) -> Result<BlasCall, ApiError> {
+    let op = require_str(doc, "op")?;
+    let precision = doc
+        .get("precision")
+        .and_then(Json::as_str)
+        .and_then(parse_precision)
+        .ok_or_else(|| ApiError::bad_request("precision must be f32 or f64"))?;
+    let dim = |key: &str| -> Result<usize, ApiError> {
+        let n = doc
+            .get(key)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| ApiError::bad_request(format!("missing dimension `{key}`")))?;
+        let n = usize::try_from(n)
+            .map_err(|_| ApiError::bad_request(format!("dimension `{key}` is too large")))?;
+        if n == 0 || n > MAX_SWEEP_DIM * 16 {
+            return Err(ApiError::bad_request(format!(
+                "dimension `{key}` must be in 1..={}",
+                MAX_SWEEP_DIM * 16
+            )));
+        }
+        Ok(n)
+    };
+    let mut call = match op {
+        "gemm" => BlasCall::gemm(precision, dim("m")?, dim("n")?, dim("k")?),
+        "gemv" => BlasCall::gemv(precision, dim("m")?, dim("n")?),
+        other => {
+            return Err(ApiError::bad_request(format!(
+                "op must be gemm or gemv, got `{other}`"
+            )))
+        }
+    };
+    if let Some(alpha) = doc.get("alpha") {
+        call.alpha = alpha
+            .as_f64()
+            .ok_or_else(|| ApiError::bad_request("alpha must be a number"))?;
+    }
+    if let Some(beta) = doc.get("beta") {
+        call.beta = beta
+            .as_f64()
+            .ok_or_else(|| ApiError::bad_request("beta must be a number"))?;
+    }
+    Ok(call)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn app() -> App {
+        App::new(16, 4, true)
+    }
+
+    fn post(path: &str, body: &str) -> Request {
+        Request {
+            method: "POST".to_string(),
+            target: path.to_string(),
+            headers: vec![],
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    fn get(path: &str) -> Request {
+        Request {
+            method: "GET".to_string(),
+            target: path.to_string(),
+            headers: vec![],
+            body: vec![],
+        }
+    }
+
+    fn body_json(r: &Response) -> Json {
+        Json::parse_bytes(&r.body).expect("response body is JSON")
+    }
+
+    #[test]
+    fn healthz_and_systems() {
+        let a = app();
+        let (r, label) = a.handle(&get("/healthz"));
+        assert_eq!((r.status, label), (200, "healthz"));
+        assert_eq!(body_json(&r).get("ok").and_then(Json::as_bool), Some(true));
+
+        let (r, _) = a.handle(&get("/systems"));
+        let systems = body_json(&r);
+        let items = systems
+            .get("systems")
+            .and_then(Json::as_arr)
+            .unwrap()
+            .to_vec();
+        assert!(items.len() >= 4);
+        let armpl = items
+            .iter()
+            .find(|s| s.get("id").and_then(Json::as_str) == Some("isambard-ai-armpl"))
+            .expect("cpu-only system listed");
+        assert_eq!(armpl.get("gpu").and_then(Json::as_bool), Some(false));
+    }
+
+    #[test]
+    fn advise_returns_a_verdict() {
+        let a = app();
+        let (r, label) = a.handle(&post(
+            "/advise",
+            r#"{"system":"isambard-ai","op":"gemm","m":2048,"n":2048,"k":2048,
+               "precision":"f32","iterations":32,"offload":"once"}"#,
+        ));
+        assert_eq!((r.status, label), (200, "advise"));
+        let j = body_json(&r);
+        assert_eq!(j.get("verdict").and_then(Json::as_str), Some("offload"));
+        assert!(j.get("speedup").and_then(Json::as_f64).unwrap() > 2.0);
+        assert_eq!(j.get("system").and_then(Json::as_str), Some("Isambard-AI"));
+    }
+
+    #[test]
+    fn advise_on_cpu_only_system_says_no_gpu() {
+        let a = app();
+        let (r, _) = a.handle(&post(
+            "/advise",
+            r#"{"system":"isambard-ai-armpl","op":"gemv","m":512,"n":512,"precision":"f64"}"#,
+        ));
+        assert_eq!(r.status, 200);
+        assert_eq!(
+            body_json(&r).get("verdict").and_then(Json::as_str),
+            Some("no-gpu")
+        );
+    }
+
+    #[test]
+    fn advise_validation_failures_are_400() {
+        let a = app();
+        for body in [
+            "",                 // empty
+            "{not json",        // malformed
+            "[1,2]",            // not an object
+            r#"{"op":"gemm"}"#, // missing system
+            r#"{"system":"frontier","op":"gemm","m":1,"n":1,"k":1,"precision":"f32"}"#,
+            r#"{"system":"dawn","op":"axpy","m":1,"n":1,"precision":"f32"}"#,
+            r#"{"system":"dawn","op":"gemm","m":0,"n":1,"k":1,"precision":"f32"}"#,
+            r#"{"system":"dawn","op":"gemm","m":1,"n":1,"k":1,"precision":"f16"}"#,
+            r#"{"system":"dawn","op":"gemm","m":1,"n":1,"k":1,"precision":"f32","offload":"never"}"#,
+            r#"{"system":"dawn","op":"gemm","m":1,"n":1,"k":1,"precision":"f32","iterations":0}"#,
+        ] {
+            let (r, _) = a.handle(&post("/advise", body));
+            assert_eq!(r.status, 400, "body {body:?} gave {}", r.status);
+            assert!(body_json(&r).get("error").is_some());
+        }
+    }
+
+    #[test]
+    fn threshold_caches_identical_requests() {
+        let a = app();
+        let body = r#"{"system":"lumi","problem":"gemm_square","precision":"f32",
+                       "iterations":8,"max_dim":128}"#;
+        let (r1, _) = a.handle(&post("/threshold", body));
+        assert_eq!(r1.status, 200);
+        let j1 = body_json(&r1);
+        assert_eq!(j1.get("cached").and_then(Json::as_bool), Some(false));
+        assert_eq!(j1.get("sweep_points").and_then(Json::as_u64), Some(128));
+
+        let (r2, _) = a.handle(&post("/threshold", body));
+        let j2 = body_json(&r2);
+        assert_eq!(j2.get("cached").and_then(Json::as_bool), Some(true));
+        // identical payload apart from the per-request fields
+        assert_eq!(j1.get("thresholds"), j2.get("thresholds"));
+        let stats = a.cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+
+        // a different precision is a different key
+        let (r3, _) = a.handle(&post(
+            "/threshold",
+            r#"{"system":"lumi","problem":"gemm_square","precision":"f64",
+                "iterations":8,"max_dim":128}"#,
+        ));
+        assert_eq!(
+            body_json(&r3).get("cached").and_then(Json::as_bool),
+            Some(false)
+        );
+    }
+
+    #[test]
+    fn threshold_validation() {
+        let a = app();
+        for body in [
+            r#"{"system":"dawn","problem":"gemm_cubic"}"#,
+            r#"{"system":"dawn","problem":"gemm_square","max_dim":100000}"#,
+            r#"{"system":"dawn","problem":"gemm_square","min_dim":0}"#,
+            r#"{"system":"dawn","problem":"gemm_square","min_dim":64,"max_dim":8}"#,
+            r#"{"system":"dawn","problem":"gemm_square","step":0}"#,
+        ] {
+            let (r, _) = a.handle(&post("/threshold", body));
+            assert_eq!(r.status, 400, "body {body:?}");
+        }
+    }
+
+    #[test]
+    fn unknown_route_404_wrong_method_405() {
+        let a = app();
+        let (r, label) = a.handle(&get("/nope"));
+        assert_eq!((r.status, label), (404, "other"));
+        let (r, _) = a.handle(&get("/advise"));
+        assert_eq!(r.status, 405);
+        let (r, _) = a.handle(&post("/healthz", "{}"));
+        assert_eq!(r.status, 405);
+    }
+
+    #[test]
+    fn shutdown_flag_gated() {
+        let gated = App::new(4, 1, false);
+        let (r, _) = gated.handle(&post("/shutdown", ""));
+        assert_eq!(r.status, 404);
+        assert!(!gated.shutdown_requested());
+
+        let open = App::new(4, 1, true);
+        let (r, _) = open.handle(&post("/shutdown", ""));
+        assert_eq!(r.status, 200);
+        assert!(open.shutdown_requested());
+    }
+}

@@ -1,0 +1,28 @@
+//! `blob-serve`: the long-running offload-advisor service.
+//!
+//! The CLI answers one question per process; this crate keeps the advisor
+//! resident so a cluster scheduler (or a curious user with `curl`) can ask
+//! "should this GEMM go to the GPU on this system?" at interactive
+//! latency, with repeated threshold sweeps served from a cache.
+//!
+//! Like the rest of the workspace it has **zero dependencies**: the
+//! HTTP/1.1 layer ([`http`]), the sharded LRU cache ([`cache`]), the
+//! metrics registry ([`metrics`]) and the JSON wire format
+//! ([`blob_core::wire`]) are all hand-rolled on `std`.
+//!
+//! Layering:
+//!
+//! - [`http`] — transport: byte streams in, [`http::Request`] out,
+//!   [`http::Response`] back, with hard limits and timeouts
+//! - [`api`] — the endpoints, pure `Request → Response` (no sockets)
+//! - [`cache`] / [`metrics`] — shared state behind the API
+//! - [`server`] — the TCP accept loop and worker pool tying it together
+
+pub mod api;
+pub mod cache;
+pub mod http;
+pub mod metrics;
+pub mod server;
+
+pub use api::App;
+pub use server::{Config, Server};

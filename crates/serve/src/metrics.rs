@@ -1,0 +1,294 @@
+//! The live metrics registry behind `GET /metrics`.
+//!
+//! All counters are lock-free atomics so the hot path never blocks on
+//! observability: per-endpoint request/error counts, a log-spaced latency
+//! histogram per endpoint (p50/p99 read from the buckets), and a global
+//! in-flight gauge. The snapshot is rendered through the shared
+//! [`blob_core::wire`] encoder like every other JSON in the workspace.
+
+use blob_core::wire::Json;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Upper bucket bounds in microseconds: powers of two from 1 µs to ~67 s.
+/// The last bucket is open-ended.
+const BUCKET_BOUNDS_US: [u64; 27] = [
+    1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768, 65536, 131072,
+    262144, 524288, 1048576, 2097152, 4194304, 8388608, 16777216, 33554432, 67108864,
+];
+
+/// A fixed-bucket, log-spaced latency histogram (microseconds).
+pub struct Histogram {
+    buckets: Vec<AtomicU64>, // one per bound, plus one overflow bucket
+    count: AtomicU64,
+    sum_us: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: (0..=BUCKET_BOUNDS_US.len())
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation in microseconds.
+    pub fn record_us(&self, us: u64) {
+        let idx = BUCKET_BOUNDS_US
+            .iter()
+            .position(|&b| us <= b)
+            .unwrap_or(BUCKET_BOUNDS_US.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean in microseconds (0 when empty).
+    pub fn mean_us(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum_us.load(Ordering::Relaxed) as f64 / n as f64
+        }
+    }
+
+    /// The upper bound (µs) of the bucket containing the `q`-quantile
+    /// observation — an upper estimate with ≤ 2× bucket resolution, which
+    /// is what a tail-latency gate needs. Returns 0 when empty.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return BUCKET_BOUNDS_US.get(i).copied().unwrap_or(u64::MAX / 2);
+            }
+        }
+        BUCKET_BOUNDS_US[BUCKET_BOUNDS_US.len() - 1]
+    }
+
+    /// JSON snapshot: count, mean, p50, p90, p99.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("count", self.count())
+            .field("mean_us", self.mean_us())
+            .field("p50_us", self.quantile_us(0.50))
+            .field("p90_us", self.quantile_us(0.90))
+            .field("p99_us", self.quantile_us(0.99))
+            .build()
+    }
+}
+
+/// Counters for one endpoint.
+#[derive(Default)]
+pub struct EndpointStats {
+    /// Requests routed to the endpoint.
+    pub requests: AtomicU64,
+    /// Responses with a non-2xx status.
+    pub errors: AtomicU64,
+    /// End-to-end handler latency.
+    pub latency: Histogram,
+}
+
+impl EndpointStats {
+    /// Records one served request.
+    pub fn record(&self, status: u16, elapsed_us: u64) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        if !(200..300).contains(&status) {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        self.latency.record_us(elapsed_us);
+    }
+}
+
+/// The service-wide registry: per-endpoint stats plus global gauges.
+pub struct Metrics {
+    endpoints: Vec<(&'static str, EndpointStats)>,
+    in_flight: AtomicU64,
+    started: Instant,
+}
+
+/// The endpoint labels the registry tracks; unknown routes fall into
+/// `"other"` so the cardinality is fixed.
+pub const ENDPOINTS: [&str; 7] = [
+    "advise",
+    "threshold",
+    "systems",
+    "healthz",
+    "metrics",
+    "shutdown",
+    "other",
+];
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Metrics {
+    /// A fresh registry with one slot per [`ENDPOINTS`] label.
+    pub fn new() -> Self {
+        Self {
+            endpoints: ENDPOINTS
+                .iter()
+                .map(|&name| (name, EndpointStats::default()))
+                .collect(),
+            in_flight: AtomicU64::new(0),
+            started: Instant::now(),
+        }
+    }
+
+    /// The stats slot for `label` (falling back to `"other"`).
+    pub fn endpoint(&self, label: &str) -> &EndpointStats {
+        let idx = self
+            .endpoints
+            .iter()
+            .position(|(n, _)| *n == label)
+            .unwrap_or(self.endpoints.len() - 1);
+        &self.endpoints[idx].1
+    }
+
+    /// Marks one request in flight; the guard decrements on drop so every
+    /// exit path (including handler errors) restores the gauge.
+    pub fn enter(&self) -> InFlightGuard<'_> {
+        self.in_flight.fetch_add(1, Ordering::Relaxed);
+        InFlightGuard { metrics: self }
+    }
+
+    /// The current in-flight gauge.
+    pub fn in_flight(&self) -> u64 {
+        self.in_flight.load(Ordering::Relaxed)
+    }
+
+    /// JSON snapshot of everything, with the cache counters spliced in by
+    /// the caller (the registry does not own the cache).
+    pub fn to_json(&self, cache: &crate::cache::CacheStats) -> Json {
+        let mut endpoints = Json::obj();
+        for (name, stats) in &self.endpoints {
+            endpoints = endpoints.field(
+                name,
+                Json::obj()
+                    .field("requests", stats.requests.load(Ordering::Relaxed))
+                    .field("errors", stats.errors.load(Ordering::Relaxed))
+                    .field("latency", stats.latency.to_json())
+                    .build(),
+            );
+        }
+        Json::obj()
+            .field("uptime_seconds", self.started.elapsed().as_secs_f64())
+            .field("in_flight", self.in_flight())
+            .field("endpoints", endpoints.build())
+            .field(
+                "cache",
+                Json::obj()
+                    .field("hits", cache.hits)
+                    .field("misses", cache.misses)
+                    .field("evictions", cache.evictions)
+                    .field("entries", cache.entries)
+                    .field("capacity", cache.capacity)
+                    .build(),
+            )
+            .build()
+    }
+}
+
+/// Decrements the in-flight gauge when dropped.
+pub struct InFlightGuard<'a> {
+    metrics: &'a Metrics,
+}
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        self.metrics.in_flight.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CacheStats;
+
+    #[test]
+    fn histogram_quantiles_bracket_observations() {
+        let h = Histogram::new();
+        for us in [10u64, 20, 30, 40, 1000] {
+            h.record_us(us);
+        }
+        assert_eq!(h.count(), 5);
+        assert!((h.mean_us() - 220.0).abs() < 1e-9);
+        let p50 = h.quantile_us(0.50);
+        // the median observation (30µs) lands in the (16,32] bucket
+        assert_eq!(p50, 32);
+        let p99 = h.quantile_us(0.99);
+        assert_eq!(p99, 1024); // 1000µs → (512,1024] bucket
+        assert!(p50 <= p99);
+    }
+
+    #[test]
+    fn histogram_handles_extremes() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile_us(0.99), 0);
+        h.record_us(0);
+        assert_eq!(h.quantile_us(0.5), 1);
+        h.record_us(u64::MAX / 4); // overflow bucket
+        assert!(h.quantile_us(1.0) >= BUCKET_BOUNDS_US[BUCKET_BOUNDS_US.len() - 1]);
+    }
+
+    #[test]
+    fn endpoint_stats_count_errors() {
+        let m = Metrics::new();
+        m.endpoint("advise").record(200, 10);
+        m.endpoint("advise").record(400, 20);
+        m.endpoint("nonsense").record(500, 30); // lands in "other"
+        let json = m.to_json(&CacheStats {
+            hits: 1,
+            misses: 2,
+            evictions: 0,
+            entries: 1,
+            capacity: 8,
+        });
+        let advise = json.get("endpoints").and_then(|e| e.get("advise")).unwrap();
+        assert_eq!(advise.get("requests").and_then(Json::as_u64), Some(2));
+        assert_eq!(advise.get("errors").and_then(Json::as_u64), Some(1));
+        let other = json.get("endpoints").and_then(|e| e.get("other")).unwrap();
+        assert_eq!(other.get("requests").and_then(Json::as_u64), Some(1));
+        assert_eq!(
+            json.get("cache")
+                .and_then(|c| c.get("misses"))
+                .and_then(Json::as_u64),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn in_flight_guard_restores_gauge() {
+        let m = Metrics::new();
+        {
+            let _a = m.enter();
+            let _b = m.enter();
+            assert_eq!(m.in_flight(), 2);
+        }
+        assert_eq!(m.in_flight(), 0);
+    }
+}

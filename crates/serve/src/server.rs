@@ -1,0 +1,354 @@
+//! The TCP front end: a blocking accept loop feeding a fixed worker pool,
+//! with graceful shutdown.
+//!
+//! Threading model: one acceptor thread owns the listener and pushes
+//! connections into a bounded channel; `threads` workers pull from it and
+//! drive each connection through [`Conn`] (keep-alive, so one worker serves
+//! a whole session). Shutdown — from [`Server::shutdown`] or a permitted
+//! `POST /shutdown` — raises a stop flag and then *connects to the
+//! listener itself*, which is the portable, `unsafe`-free way to unblock a
+//! blocking `accept(2)` without OS signal machinery.
+
+use crate::api::App;
+use crate::http::{Conn, Limits, RecvError, Response};
+use blob_core::wire::Json;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server configuration, fed by `gpu-blob serve` flags.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Bind address, e.g. `127.0.0.1:8787` (`:0` for an ephemeral port).
+    pub addr: String,
+    /// Worker-pool size (floored at 1).
+    pub threads: usize,
+    /// Total threshold-cache capacity in entries.
+    pub cache_entries: usize,
+    /// Cache shard count.
+    pub cache_shards: usize,
+    /// Per-connection body cap and socket timeouts.
+    pub limits: Limits,
+    /// Whether `POST /shutdown` is honoured (CI and benches use it).
+    pub allow_shutdown: bool,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:8787".to_string(),
+            threads: 4,
+            cache_entries: 256,
+            cache_shards: 8,
+            limits: Limits::default(),
+            allow_shutdown: false,
+        }
+    }
+}
+
+/// Raises the stop flag and pokes the listener awake. Clone-cheap; one
+/// copy lives in every worker so `/shutdown` can stop the accept loop.
+#[derive(Clone)]
+struct StopSignal {
+    stop: Arc<AtomicBool>,
+    addr: SocketAddr,
+}
+
+impl StopSignal {
+    fn trigger(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // A throwaway connection unblocks the acceptor's blocking accept().
+        // Errors are fine: the listener may already be gone.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(250));
+    }
+}
+
+/// A running server. Dropping it does **not** stop it; call
+/// [`Server::shutdown`] then [`Server::join`] (or let `/shutdown` do it).
+pub struct Server {
+    local_addr: SocketAddr,
+    app: Arc<App>,
+    signal: StopSignal,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `cfg.addr` and starts the acceptor and worker threads.
+    pub fn start(cfg: Config) -> io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let local_addr = listener.local_addr()?;
+        let app = Arc::new(App::new(
+            cfg.cache_entries,
+            cfg.cache_shards,
+            cfg.allow_shutdown,
+        ));
+        let signal = StopSignal {
+            stop: Arc::new(AtomicBool::new(false)),
+            addr: local_addr,
+        };
+        let threads = cfg.threads.max(1);
+        // Bounded: when every worker is busy and the backlog is full, new
+        // connections wait in the kernel queue instead of piling up here.
+        let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(threads * 2);
+        let rx = Arc::new(Mutex::new(rx));
+
+        let mut workers = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let rx = Arc::clone(&rx);
+            let app = Arc::clone(&app);
+            let signal = signal.clone();
+            let limits = cfg.limits;
+            workers.push(std::thread::spawn(move || {
+                worker_loop(&rx, &app, &signal, &limits)
+            }));
+        }
+
+        let acceptor = {
+            let signal = signal.clone();
+            std::thread::spawn(move || accept_loop(&listener, &tx, &signal))
+        };
+
+        Ok(Server {
+            local_addr,
+            app,
+            signal,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound address (resolves `:0` to the actual port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The shared application state (cache, metrics) — used by the bench
+    /// harness to read counters without going through HTTP.
+    pub fn app(&self) -> &App {
+        &self.app
+    }
+
+    /// Requests shutdown: no further connections are accepted; in-flight
+    /// sessions finish their current request.
+    pub fn shutdown(&self) {
+        self.signal.trigger();
+    }
+
+    /// Waits for the acceptor and every worker to exit. Call after
+    /// [`Server::shutdown`], or rely on `/shutdown` having triggered it.
+    pub fn join(mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, tx: &SyncSender<TcpStream>, signal: &StopSignal) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if signal.stop.load(Ordering::SeqCst) {
+                    // `stream` is (usually) the wake-up connection; drop it.
+                    break;
+                }
+                if tx.send(stream).is_err() {
+                    break;
+                }
+            }
+            Err(_) => {
+                if signal.stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                // Transient accept error (e.g. EMFILE); keep listening.
+            }
+        }
+    }
+    // Dropping `tx` here lets the workers drain the queue and exit.
+}
+
+fn worker_loop(
+    rx: &Arc<Mutex<Receiver<TcpStream>>>,
+    app: &App,
+    signal: &StopSignal,
+    limits: &Limits,
+) {
+    loop {
+        // Hold the lock only for the recv itself, so workers queue fairly.
+        let next = {
+            let guard = rx.lock().unwrap_or_else(|e| e.into_inner());
+            guard.recv()
+        };
+        match next {
+            Ok(stream) => serve_connection(stream, app, signal, limits),
+            Err(_) => break, // acceptor gone and queue drained
+        }
+    }
+}
+
+/// Drives one connection until it closes, errors, or asks to close.
+fn serve_connection(stream: TcpStream, app: &App, signal: &StopSignal, limits: &Limits) {
+    let _ = stream.set_read_timeout(Some(limits.read_timeout));
+    let _ = stream.set_write_timeout(Some(limits.write_timeout));
+    let _ = stream.set_nodelay(true);
+    let mut conn = Conn::new(stream);
+    loop {
+        match conn.read_request(limits) {
+            Ok(request) => {
+                let in_flight = app.metrics.enter();
+                let started = Instant::now();
+                let (mut response, label) = app.handle(&request);
+                if request.wants_close() {
+                    response = response.with_close();
+                }
+                app.metrics
+                    .endpoint(label)
+                    .record(response.status, started.elapsed().as_micros() as u64);
+                drop(in_flight);
+                let close = response.close;
+                if conn.write_response(&response).is_err() {
+                    return;
+                }
+                if app.shutdown_requested() {
+                    signal.trigger();
+                    return;
+                }
+                if close {
+                    return;
+                }
+            }
+            Err(RecvError::Closed) | Err(RecvError::Io(_)) => return,
+            Err(e) => {
+                // Protocol-level failure: answer once (best effort), close.
+                let status = match e {
+                    RecvError::Timeout => 408,
+                    RecvError::BodyTooLarge => 413,
+                    RecvError::UnsupportedEncoding => 501,
+                    _ => 400,
+                };
+                let body = Json::obj()
+                    .field("error", e.to_string())
+                    .field("status", status as u64)
+                    .build()
+                    .encode();
+                let response = Response::json(status, body).with_close();
+                app.metrics.endpoint("other").record(status, 0);
+                let _ = conn.write_response(&response);
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+
+    fn test_config() -> Config {
+        Config {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 2,
+            cache_entries: 8,
+            cache_shards: 2,
+            limits: Limits {
+                max_body: 4096,
+                read_timeout: Duration::from_millis(500),
+                write_timeout: Duration::from_millis(500),
+            },
+            allow_shutdown: true,
+        }
+    }
+
+    fn roundtrip(addr: SocketAddr, request: &str) -> String {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(request.as_bytes()).unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn serves_healthz_and_shuts_down() {
+        let server = Server::start(test_config()).unwrap();
+        let addr = server.local_addr();
+        let reply = roundtrip(addr, "GET /healthz HTTP/1.1\r\nconnection: close\r\n\r\n");
+        assert!(reply.starts_with("HTTP/1.1 200 OK"), "{reply}");
+        assert!(reply.contains(r#""ok":true"#), "{reply}");
+        server.shutdown();
+        server.join();
+        // The listener is gone: a fresh connection must fail (possibly
+        // after the OS drains its backlog, so allow a couple of retries).
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(
+            TcpStream::connect_timeout(&addr, Duration::from_millis(200))
+                .map(|mut s| {
+                    // Even if the backlog accepted us, nobody will answer.
+                    let _ = s.write_all(b"GET /healthz HTTP/1.1\r\n\r\n");
+                    let _ = s.set_read_timeout(Some(Duration::from_millis(200)));
+                    let mut buf = [0u8; 1];
+                    !matches!(s.read(&mut buf), Ok(n) if n > 0)
+                })
+                .unwrap_or(true)
+        );
+    }
+
+    #[test]
+    fn post_shutdown_stops_the_server() {
+        let server = Server::start(test_config()).unwrap();
+        let addr = server.local_addr();
+        let reply = roundtrip(addr, "POST /shutdown HTTP/1.1\r\nconnection: close\r\n\r\n");
+        assert!(reply.contains("shutting_down"), "{reply}");
+        server.join(); // returns because /shutdown triggered the signal
+    }
+
+    /// Reads exactly one HTTP response (head + content-length body).
+    fn read_one_response(s: &mut TcpStream) -> String {
+        let mut buf = Vec::new();
+        let mut chunk = [0u8; 512];
+        let head_end = loop {
+            if let Some(at) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break at + 4;
+            }
+            let n = s.read(&mut chunk).unwrap();
+            assert!(n > 0, "eof before response head");
+            buf.extend_from_slice(&chunk[..n]);
+        };
+        let head = String::from_utf8_lossy(&buf[..head_end]).to_string();
+        let body_len: usize = head
+            .lines()
+            .find_map(|l| l.strip_prefix("content-length: "))
+            .unwrap()
+            .trim()
+            .parse()
+            .unwrap();
+        while buf.len() < head_end + body_len {
+            let n = s.read(&mut chunk).unwrap();
+            assert!(n > 0, "eof before response body");
+            buf.extend_from_slice(&chunk[..n]);
+        }
+        String::from_utf8_lossy(&buf[..head_end + body_len]).to_string()
+    }
+
+    #[test]
+    fn keep_alive_serves_multiple_requests_on_one_connection() {
+        let server = Server::start(test_config()).unwrap();
+        let mut s = TcpStream::connect(server.local_addr()).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+        for _ in 0..3 {
+            s.write_all(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+            let text = read_one_response(&mut s);
+            assert!(text.starts_with("HTTP/1.1 200 OK"), "{text}");
+            assert!(text.contains("connection: keep-alive"), "{text}");
+        }
+        server.shutdown();
+        server.join();
+    }
+}
