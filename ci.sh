@@ -15,10 +15,14 @@
 #   3. cargo build --release    everything compiles optimised, warnings-free
 #   4. cargo build --benches    the microbench targets stay compilable
 #   5. cargo test -q            the full workspace test suite
-#   6. server smoke             gpu-blob serve end-to-end: /healthz, /advise,
+#   6. perf gate                perf_gate compares small-GEMM hot-path
+#                               latency against the committed trajectory in
+#                               BENCH_blas.json and fails on a > 20%
+#                               regression (writes results/BENCH_blas.json)
+#   7. server smoke             gpu-blob serve end-to-end: /healthz, /advise,
 #                               a /threshold cache hit verified via /metrics,
 #                               and a clean /shutdown (serve_smoke e2e test)
-#   7. server load gate         serve_load must sustain >= 1000 req/s on
+#   8. server load gate         serve_load must sustain >= 1000 req/s on
 #                               loopback (writes results/serve_load.csv)
 
 set -euo pipefail
@@ -38,6 +42,9 @@ cargo build --benches --workspace --offline
 
 echo "==> cargo test"
 cargo test -q --workspace --offline
+
+echo "==> perf gate (small-GEMM latency vs BENCH_blas.json)"
+cargo run -q --release -p blob-bench --bin perf_gate --offline
 
 echo "==> server smoke (healthz, advise, threshold cache hit, shutdown)"
 cargo test -q -p blob-cli --test serve_smoke --offline

@@ -170,6 +170,36 @@ fn run_one<F: FnMut()>(options: Options, mut f: F) -> Stats {
     }
 }
 
+/// Fixed-count per-call *latency* measurement: `warmup` untimed calls,
+/// then `samples` individually timed calls, each one its own sample.
+///
+/// The batched harness above reports throughput-style rates and hides
+/// per-call dispatch costs inside a tight loop; this entry point is for
+/// spawn/dispatch-sensitive latency work (the `perf_gate` binary), where
+/// the cost of *one* call — thread hand-off included — is the quantity
+/// under test. The median is robust to a descheduled sample.
+pub fn measure_latency<F: FnMut()>(warmup: usize, samples: usize, mut f: F) -> Stats {
+    for _ in 0..warmup {
+        f();
+    }
+    let samples = samples.max(1);
+    let mut times = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        f();
+        times.push(t0.elapsed().as_secs_f64());
+    }
+    times.sort_by(|a, b| a.total_cmp(b));
+    let median = times[times.len() / 2];
+    let mean = times.iter().sum::<f64>() / times.len() as f64;
+    Stats {
+        median,
+        min: times[0],
+        mean,
+        samples: times.len(),
+    }
+}
+
 fn fmt_time(seconds: f64) -> String {
     if seconds >= 1.0 {
         format!("{seconds:>8.3} s ")

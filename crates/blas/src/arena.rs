@@ -1,0 +1,173 @@
+//! Thread-local packing-buffer arenas for the blocked GEMM.
+//!
+//! The Goto algorithm packs an `MC × KC` block of `A` and a `KC × NC`
+//! panel of `B` before every macro-kernel pass. Allocating those `Vec`s
+//! per call costs a page-faulting heap round-trip on exactly the small
+//! problems whose latency defines the offload threshold (§IV of the
+//! paper), so this module keeps one pair of packing buffers per thread
+//! and per scalar type and lends them out for the duration of a call:
+//! steady-state GEMM performs **zero** heap allocation.
+//!
+//! Design notes:
+//!
+//! - Buffers are *taken out* of the thread-local slot for the duration of
+//!   the closure and put back afterwards, so a nested blocked GEMM on the
+//!   same thread (there are none today, but nothing prevents one) simply
+//!   finds the slot empty and allocates fresh — graceful degradation, not
+//!   a `RefCell` borrow panic.
+//! - The slot is keyed by `TypeId`, so `f32`, `f64` and [`Bf16`]
+//!   (`crate::half::Bf16`) each reuse their own buffers.
+//! - A panicking kernel loses the taken buffers (they die with the
+//!   unwind); the next call re-allocates. No state is corrupted.
+//! - Retained capacity is bounded by [`MAX_RETAINED_BYTES`] per buffer:
+//!   an ablation sweep with an oversized `BlockConfig` will not pin
+//!   arbitrarily large buffers on the thread forever.
+
+use std::any::{Any, TypeId};
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// Largest per-buffer capacity the arena keeps alive between calls, in
+/// bytes. The default blocking needs `KC × NC` f64 elements = 4 MiB for
+/// the packed `B` panel; 8 MiB leaves headroom for moderately larger
+/// experimental configurations while bounding worst-case retention.
+pub const MAX_RETAINED_BYTES: usize = 8 << 20;
+
+thread_local! {
+    /// Per-thread, per-scalar-type `(packed_a, packed_b)` buffer pairs.
+    static PACK_BUFFERS: RefCell<HashMap<TypeId, Box<dyn Any>>> =
+        RefCell::new(HashMap::new());
+}
+
+/// Takes this thread's packing buffers for `T` (empty `Vec`s on first use
+/// or while another call on this thread holds them).
+fn take<T: 'static>() -> (Vec<T>, Vec<T>) {
+    PACK_BUFFERS.with(|cell| {
+        let Ok(mut map) = cell.try_borrow_mut() else {
+            return (Vec::new(), Vec::new());
+        };
+        match map
+            .get_mut(&TypeId::of::<T>())
+            .and_then(|b| b.downcast_mut::<(Vec<T>, Vec<T>)>().map(std::mem::take))
+        {
+            Some(pair) => pair,
+            None => (Vec::new(), Vec::new()),
+        }
+    })
+}
+
+/// Returns the buffers to this thread's slot so the next call reuses
+/// their capacity. Oversized buffers are dropped instead of retained.
+fn restore<T: 'static>(mut pa: Vec<T>, mut pb: Vec<T>) {
+    let cap_bytes = |v: &Vec<T>| v.capacity().saturating_mul(std::mem::size_of::<T>());
+    if cap_bytes(&pa) > MAX_RETAINED_BYTES {
+        pa = Vec::new();
+    }
+    if cap_bytes(&pb) > MAX_RETAINED_BYTES {
+        pb = Vec::new();
+    }
+    PACK_BUFFERS.with(|cell| {
+        let Ok(mut map) = cell.try_borrow_mut() else {
+            return; // nested caller still owns the slot; drop ours
+        };
+        map.insert(TypeId::of::<T>(), Box::new((pa, pb)));
+    });
+}
+
+/// Lends this thread's reusable `(packed_a, packed_b)` buffers to `f`.
+///
+/// The buffers arrive with whatever capacity earlier calls grew them to
+/// (contents unspecified — packing truncates and refills them), and their
+/// capacity is retained for the next call on this thread. The blocked
+/// GEMM's steady state therefore allocates nothing.
+pub fn with_pack_buffers<T: 'static, R>(f: impl FnOnce(&mut Vec<T>, &mut Vec<T>) -> R) -> R {
+    let (mut pa, mut pb) = take::<T>();
+    let out = f(&mut pa, &mut pb);
+    restore(pa, pb);
+    out
+}
+
+/// Drops this thread's retained buffers for every scalar type (test and
+/// memory-hygiene hook; kernels never need to call it).
+pub fn clear() {
+    PACK_BUFFERS.with(|cell| {
+        if let Ok(mut map) = cell.try_borrow_mut() {
+            map.clear();
+        }
+    });
+}
+
+/// Capacity (in elements) of this thread's retained buffers for `T`:
+/// `(packed_a, packed_b)`, both 0 when nothing is retained. Lets tests
+/// assert reuse without poking at allocator internals.
+pub fn retained_capacity<T: 'static>() -> (usize, usize) {
+    PACK_BUFFERS.with(|cell| {
+        let Ok(mut map) = cell.try_borrow_mut() else {
+            return (0, 0);
+        };
+        map.get_mut(&TypeId::of::<T>())
+            .and_then(|b| b.downcast_ref::<(Vec<T>, Vec<T>)>())
+            .map(|(a, b)| (a.capacity(), b.capacity()))
+            .unwrap_or((0, 0))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffers_are_reused_across_calls() {
+        clear();
+        with_pack_buffers::<f64, _>(|pa, pb| {
+            pa.resize(1024, 0.0);
+            pb.resize(2048, 0.0);
+        });
+        let (ca, cb) = retained_capacity::<f64>();
+        assert!(ca >= 1024 && cb >= 2048, "capacity retained: {ca}, {cb}");
+        // second call sees the same capacity and grows nothing
+        with_pack_buffers::<f64, _>(|pa, pb| {
+            assert!(pa.capacity() >= 1024);
+            assert!(pb.capacity() >= 2048);
+        });
+        assert_eq!(retained_capacity::<f64>(), (ca, cb));
+        clear();
+        assert_eq!(retained_capacity::<f64>(), (0, 0));
+    }
+
+    #[test]
+    fn scalar_types_get_distinct_buffers() {
+        clear();
+        with_pack_buffers::<f64, _>(|pa, _| pa.resize(64, 0.0));
+        with_pack_buffers::<f32, _>(|pa, _| pa.resize(32, 0.0));
+        assert!(retained_capacity::<f64>().0 >= 64);
+        assert!(retained_capacity::<f32>().0 >= 32);
+        clear();
+    }
+
+    #[test]
+    fn nested_use_degrades_to_fresh_buffers() {
+        clear();
+        with_pack_buffers::<f64, _>(|outer_a, _| {
+            outer_a.resize(128, 1.0);
+            // the outer call owns the slot; the nested call must get
+            // fresh, independent buffers
+            with_pack_buffers::<f64, _>(|inner_a, _| {
+                assert!(inner_a.is_empty());
+                inner_a.resize(16, 2.0);
+            });
+            assert_eq!(outer_a.len(), 128);
+            assert!(outer_a.iter().all(|&v| (v - 1.0).abs() < 1e-15));
+        });
+        clear();
+    }
+
+    #[test]
+    fn oversized_buffers_are_not_retained() {
+        clear();
+        let too_big = MAX_RETAINED_BYTES / std::mem::size_of::<f64>() + 1;
+        with_pack_buffers::<f64, _>(|pa, _| pa.reserve(too_big));
+        assert_eq!(retained_capacity::<f64>().0, 0);
+        clear();
+    }
+}

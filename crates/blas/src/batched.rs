@@ -21,6 +21,7 @@
 use crate::contract::{self, ContractError};
 use crate::gemm::gemm;
 use crate::gemv::gemv_ref;
+use crate::pool;
 use crate::scalar::Scalar;
 
 /// Arguments shared by every instance of a strided batched GEMM.
@@ -125,9 +126,12 @@ pub fn gemm_batched<T: Scalar>(
     Ok(())
 }
 
-/// Parallel strided-batch GEMM: instances are distributed over `threads`
-/// scoped threads (each instance runs the serial kernel — batch-level
-/// parallelism is the point of batching).
+/// Parallel strided-batch GEMM: instances are distributed over workers
+/// dispatched through [`pool::run_scoped`] (each instance runs the serial
+/// kernel — batch-level parallelism is the point of batching). The worker
+/// count is work-based ([`pool::effective_workers`] over the whole batch's
+/// flops), so a handful of tiny instances runs serially inline instead of
+/// paying dispatch.
 pub fn gemm_batched_parallel<T: Scalar>(
     threads: usize,
     desc: &BatchedGemmDesc,
@@ -157,36 +161,41 @@ pub fn gemm_batched_parallel<T: Scalar>(
             actual: chunks.iter().map(|ch| ch.len()).sum(),
         });
     }
-    let runs = threads.clamp(1, batch);
+    let flops = 2usize
+        .saturating_mul(desc.m)
+        .saturating_mul(desc.n)
+        .saturating_mul(desc.k)
+        .saturating_mul(batch);
+    let runs = pool::effective_workers(threads, flops, pool::MIN_FLOPS_PER_THREAD).clamp(1, batch);
     let per = batch.div_ceil(runs);
-    std::thread::scope(|s| {
-        let mut i0 = 0usize;
-        while !chunks.is_empty() {
-            let take = per.min(chunks.len());
-            let mine: Vec<&mut [T]> = chunks.drain(..take).collect();
-            let base = i0;
-            s.spawn(move || {
-                for (j, ci) in mine.into_iter().enumerate() {
-                    let i = base + j;
-                    // Validated batch layout: per-instance call cannot fail.
-                    let _ = gemm(
-                        desc.m,
-                        desc.n,
-                        desc.k,
-                        alpha,
-                        &a[i * desc.stride_a..],
-                        desc.lda,
-                        &b[i * desc.stride_b..],
-                        desc.ldb,
-                        beta,
-                        ci,
-                        desc.ldc,
-                    );
-                }
-            });
-            i0 += take;
-        }
-    });
+    let mut jobs = Vec::with_capacity(runs);
+    let mut i0 = 0usize;
+    while !chunks.is_empty() {
+        let take = per.min(chunks.len());
+        let mine: Vec<&mut [T]> = chunks.drain(..take).collect();
+        let base = i0;
+        jobs.push(move || {
+            for (j, ci) in mine.into_iter().enumerate() {
+                let i = base + j;
+                // Validated batch layout: per-instance call cannot fail.
+                let _ = gemm(
+                    desc.m,
+                    desc.n,
+                    desc.k,
+                    alpha,
+                    &a[i * desc.stride_a..],
+                    desc.lda,
+                    &b[i * desc.stride_b..],
+                    desc.ldb,
+                    beta,
+                    ci,
+                    desc.ldc,
+                );
+            }
+        });
+        i0 += take;
+    }
+    pool::run_scoped(jobs);
     Ok(())
 }
 

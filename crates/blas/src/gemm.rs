@@ -23,6 +23,7 @@ use crate::contract::{self, ContractError};
 use crate::microkernel::{store_tile, ukernel, MR, NR};
 use crate::pack::{pack_a, pack_b};
 use crate::perturb;
+use crate::pool;
 use crate::scalar::Scalar;
 
 /// Cache-block height of an `A` block (rows per packed block).
@@ -209,42 +210,52 @@ pub fn gemm_blocked_with<T: Scalar>(
         scale_c(m, n, beta, c, ldc);
         return Ok(());
     }
-    let mut packed_a: Vec<T> = Vec::new();
-    let mut packed_b: Vec<T> = Vec::new();
-    for jc in (0..n).step_by(cfg.nc.max(1)) {
-        let nc = cfg.nc.min(n - jc);
-        for pc in (0..k).step_by(cfg.kc.max(1)) {
-            let kc = cfg.kc.min(k - pc);
-            // β applies to C exactly once: on the first k-panel. Later
-            // panels accumulate (β' = 1).
-            let beta_eff = if pc == 0 { beta } else { T::ONE };
-            pack_b(kc, nc, &b[jc * ldb + pc..], ldb, &mut packed_b);
-            for ic in (0..m).step_by(cfg.mc.max(1)) {
-                let mc = cfg.mc.min(m - ic);
-                // α folds into the packed copy of A
-                pack_a(mc, kc, &a[pc * lda + ic..], lda, alpha, &mut packed_a);
-                macro_kernel(
-                    mc,
-                    nc,
-                    kc,
-                    &packed_a,
-                    &packed_b,
-                    beta_eff,
-                    &mut c[ic + jc * ldc..],
-                    ldc,
-                );
+    // Packing buffers come from the thread-local arena: steady-state GEMM
+    // allocates nothing (the buffers keep their capacity across calls).
+    crate::arena::with_pack_buffers::<T, _>(|packed_a, packed_b| {
+        for jc in (0..n).step_by(cfg.nc.max(1)) {
+            let nc = cfg.nc.min(n - jc);
+            for pc in (0..k).step_by(cfg.kc.max(1)) {
+                let kc = cfg.kc.min(k - pc);
+                // β applies to C exactly once: on the first k-panel. Later
+                // panels accumulate (β' = 1).
+                let beta_eff = if pc == 0 { beta } else { T::ONE };
+                pack_b(kc, nc, &b[jc * ldb + pc..], ldb, packed_b);
+                for ic in (0..m).step_by(cfg.mc.max(1)) {
+                    let mc = cfg.mc.min(m - ic);
+                    // α folds into the packed copy of A
+                    pack_a(mc, kc, &a[pc * lda + ic..], lda, alpha, packed_a);
+                    macro_kernel(
+                        mc,
+                        nc,
+                        kc,
+                        packed_a,
+                        packed_b,
+                        beta_eff,
+                        &mut c[ic + jc * ldc..],
+                        ldc,
+                    );
+                }
             }
         }
-    }
+    });
     Ok(())
 }
 
 /// Multi-threaded GEMM: the `N` dimension is split into contiguous column
-/// blocks, one scoped thread per block, each running [`gemm_blocked`] on a
-/// disjoint region of `C` (and the matching columns of `B`).
+/// blocks dispatched through [`pool::run_scoped`], each block running
+/// [`gemm_blocked`] on a disjoint region of `C` (and the matching columns
+/// of `B`).
 ///
-/// Column blocks are rounded to multiples of [`NR`] so no micro-tile spans a
-/// thread boundary. Problems too small to split run single-threaded.
+/// Column blocks are rounded to multiples of [`NR`] so no micro-tile spans
+/// a thread boundary. The split width is chosen by work, not by request:
+/// [`pool::effective_workers`] grants one worker per
+/// [`pool::MIN_FLOPS_PER_THREAD`] flops of `2·m·n·k`, so problems below
+/// the crossover (≤ 128³ at 4 threads) run single-threaded inline with
+/// **zero** dispatch cost — exactly the small-problem region where the
+/// offload threshold lives and where a per-call spawn used to dominate
+/// the measurement. Above it, the caller runs the first block itself, so
+/// `w` workers cost `w − 1` spawns.
 pub fn gemm_parallel<T: Scalar>(
     threads: usize,
     m: usize,
@@ -263,33 +274,37 @@ pub fn gemm_parallel<T: Scalar>(
     if m == 0 || n == 0 {
         return Ok(());
     }
-    // A thread should own at least a few micro-panels of real work.
+    let flops = 2usize.saturating_mul(m).saturating_mul(n).saturating_mul(k);
+    // A worker should also own at least a few micro-panels of columns, or
+    // the NR-rounded split leaves it no work at all.
     let min_cols = NR * 4;
-    let chunks = threads.max(1).min(n.div_ceil(min_cols)).max(1);
+    let chunks = pool::effective_workers(threads, flops, pool::MIN_FLOPS_PER_THREAD)
+        .min(n.div_ceil(min_cols))
+        .max(1);
     if chunks == 1 {
         return gemm_blocked(m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
     }
     // Columns per chunk, rounded up to a multiple of NR.
     let per = n.div_ceil(chunks).div_ceil(NR) * NR;
-    std::thread::scope(|s| {
-        let mut rest: &mut [T] = c;
-        let mut j0 = 0usize;
-        while j0 < n {
-            let jn = per.min(n - j0);
-            let is_last = j0 + jn >= n;
-            let take = if is_last { rest.len() } else { jn * ldc };
-            let (mine, r) = rest.split_at_mut(take);
-            rest = r;
-            let b_block = &b[j0 * ldb..];
-            s.spawn(move || {
-                perturb::point(perturb::tags::GEMM_PANEL);
-                // The full call was validated above and each chunk only
-                // narrows it, so a chunk cannot fail its own contract.
-                let _ = gemm_blocked(m, jn, k, alpha, a, lda, b_block, ldb, beta, mine, ldc);
-            });
-            j0 += jn;
-        }
-    });
+    let mut jobs = Vec::with_capacity(chunks);
+    let mut rest: &mut [T] = c;
+    let mut j0 = 0usize;
+    while j0 < n {
+        let jn = per.min(n - j0);
+        let is_last = j0 + jn >= n;
+        let take = if is_last { rest.len() } else { jn * ldc };
+        let (mine, r) = rest.split_at_mut(take);
+        rest = r;
+        let b_block = &b[j0 * ldb..];
+        jobs.push(move || {
+            perturb::point(perturb::tags::GEMM_PANEL);
+            // The full call was validated above and each chunk only
+            // narrows it, so a chunk cannot fail its own contract.
+            let _ = gemm_blocked(m, jn, k, alpha, a, lda, b_block, ldb, beta, mine, ldc);
+        });
+        j0 += jn;
+    }
+    pool::run_scoped(jobs);
     Ok(())
 }
 

@@ -17,6 +17,7 @@
 
 use crate::contract::{self, vec_index, ContractError};
 use crate::perturb;
+use crate::pool;
 use crate::scalar::Scalar;
 
 /// Applies `y ← β·y` honouring the β=0 write-only rule.
@@ -103,9 +104,13 @@ pub fn gemv<T: Scalar>(
 
 /// Row-block parallel GEMV.
 ///
-/// `y` is split into contiguous row blocks, one scoped thread per block;
-/// each thread reads the matching row band of every column of `A`. Blocks
-/// below `MIN_ROWS` rows are not worth a thread and fall back to serial.
+/// `y` is split into contiguous row blocks dispatched through
+/// [`pool::run_scoped`]; each block reads the matching row band of every
+/// column of `A`. GEMV is bandwidth-bound, so the split width is chosen by
+/// streamed volume: [`pool::effective_workers`] grants one worker per
+/// [`pool::MIN_ELEMS_PER_THREAD`] elements of `m·n`, and anything below
+/// two workers' worth (including the benchmark's tall-skinny 8192×64)
+/// runs serially inline with zero dispatch cost.
 #[allow(clippy::too_many_arguments)]
 pub fn gemv_parallel<T: Scalar>(
     threads: usize,
@@ -124,44 +129,43 @@ pub fn gemv_parallel<T: Scalar>(
     if m == 0 {
         return Ok(());
     }
-    /// Minimum rows per thread before parallelism pays for itself.
-    const MIN_ROWS: usize = 256;
-    let chunks = threads.max(1).min(m.div_ceil(MIN_ROWS));
+    let streamed = m.saturating_mul(n.max(1));
+    let chunks = pool::effective_workers(threads, streamed, pool::MIN_ELEMS_PER_THREAD).min(m);
     if chunks <= 1 || incy != 1 {
         // Strided y makes clean row-splitting of the slice awkward for no
         // benchmark benefit (the artifact always uses incy = 1).
         return gemv_ref(m, n, alpha, a, lda, x, incx, beta, y, incy);
     }
     let per = m.div_ceil(chunks);
-    std::thread::scope(|s| {
-        // Only the first m elements of y participate when incy == 1.
-        let mut rest: &mut [T] = &mut y[..m];
-        let mut i0 = 0usize;
-        while i0 < m {
-            let rows = per.min(m - i0);
-            let (mine, r) = rest.split_at_mut(rows);
-            rest = r;
-            let row0 = i0;
-            s.spawn(move || {
-                perturb::point(perturb::tags::GEMV_CHUNK);
-                scale_y(rows, beta, mine, 1);
-                if alpha == T::ZERO || n == 0 {
-                    return;
+    // Only the first m elements of y participate when incy == 1.
+    let mut rest: &mut [T] = &mut y[..m];
+    let mut jobs = Vec::with_capacity(chunks);
+    let mut i0 = 0usize;
+    while i0 < m {
+        let rows = per.min(m - i0);
+        let (mine, r) = rest.split_at_mut(rows);
+        rest = r;
+        let row0 = i0;
+        jobs.push(move || {
+            perturb::point(perturb::tags::GEMV_CHUNK);
+            scale_y(rows, beta, mine, 1);
+            if alpha == T::ZERO || n == 0 {
+                return;
+            }
+            for j in 0..n {
+                let w = alpha * x[vec_index(j, n, incx)];
+                if w == T::ZERO {
+                    continue;
                 }
-                for j in 0..n {
-                    let w = alpha * x[vec_index(j, n, incx)];
-                    if w == T::ZERO {
-                        continue;
-                    }
-                    let band = &a[j * lda + row0..j * lda + row0 + rows];
-                    for i in 0..rows {
-                        mine[i] = band[i].mul_add(w, mine[i]);
-                    }
+                let band = &a[j * lda + row0..j * lda + row0 + rows];
+                for i in 0..rows {
+                    mine[i] = band[i].mul_add(w, mine[i]);
                 }
-            });
-            i0 += rows;
-        }
-    });
+            }
+        });
+        i0 += rows;
+    }
+    pool::run_scoped(jobs);
     Ok(())
 }
 

@@ -21,6 +21,7 @@
 //! panic.
 
 use crate::contract::{self, vec_index, ContractError};
+use crate::pool;
 use crate::scalar::Scalar;
 
 /// Which triangle of a matrix a triangular kernel reads.
@@ -218,8 +219,11 @@ pub fn trsm<T: Scalar>(
     Ok(())
 }
 
-/// Parallel TRSM: `B`'s columns split over scoped threads (column solves
-/// are independent).
+/// Parallel TRSM: `B`'s columns split over workers dispatched through
+/// [`pool::run_scoped`] (column solves are independent). The worker count
+/// is work-based — one worker per [`pool::MIN_FLOPS_PER_THREAD`] flops of
+/// the `≈ m²·n` solve ([`pool::effective_workers`]) — so small systems
+/// run serially inline with zero dispatch cost.
 ///
 /// # Errors
 /// Same contract as [`trsm`]; the diagonal is scanned before any thread is
@@ -243,39 +247,40 @@ pub fn trsm_parallel<T: Scalar>(
     if let Some(index) = find_singular_diagonal(m, a, lda) {
         return Err(ContractError::SingularDiagonal { index });
     }
-    let chunks = threads.clamp(1, n);
+    let flops = m.saturating_mul(m).saturating_mul(n);
+    let chunks = pool::effective_workers(threads, flops, pool::MIN_FLOPS_PER_THREAD).clamp(1, n);
     if chunks <= 1 {
         return trsm(uplo, m, n, alpha, a, lda, b, ldb);
     }
     let per = n.div_ceil(chunks);
-    std::thread::scope(|s| {
-        let mut rest: &mut [T] = b;
-        let mut j0 = 0usize;
-        while j0 < n {
-            let cols = per.min(n - j0);
-            let take = if j0 + cols >= n {
-                rest.len()
-            } else {
-                cols * ldb
-            };
-            let (mine, r) = rest.split_at_mut(take);
-            rest = r;
-            s.spawn(move || {
-                for j in 0..cols {
-                    let col = &mut mine[j * ldb..j * ldb + m];
-                    if alpha != T::ONE {
-                        for v in col.iter_mut() {
-                            *v *= alpha;
-                        }
+    let mut rest: &mut [T] = b;
+    let mut jobs = Vec::with_capacity(chunks);
+    let mut j0 = 0usize;
+    while j0 < n {
+        let cols = per.min(n - j0);
+        let take = if j0 + cols >= n {
+            rest.len()
+        } else {
+            cols * ldb
+        };
+        let (mine, r) = rest.split_at_mut(take);
+        rest = r;
+        jobs.push(move || {
+            for j in 0..cols {
+                let col = &mut mine[j * ldb..j * ldb + m];
+                if alpha != T::ONE {
+                    for v in col.iter_mut() {
+                        *v *= alpha;
                     }
-                    // Contract validated and diagonal pre-scanned before
-                    // spawning: the per-column solve cannot fail.
-                    let _ = trsv(uplo, m, a, lda, col, 1);
                 }
-            });
-            j0 += cols;
-        }
-    });
+                // Contract validated and diagonal pre-scanned before
+                // spawning: the per-column solve cannot fail.
+                let _ = trsv(uplo, m, a, lda, col, 1);
+            }
+        });
+        j0 += cols;
+    }
+    pool::run_scoped(jobs);
     Ok(())
 }
 

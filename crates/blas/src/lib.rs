@@ -20,8 +20,12 @@
 //! - [`gemv`] — matrix-vector multiply, serial and parallel
 //! - [`gemm`] — matrix-matrix multiply: reference, blocked, parallel
 //! - [`pack`] — panel packing for the blocked GEMM
+//! - [`arena`] — thread-local reusable packing buffers (zero steady-state
+//!   allocation on the blocked-GEMM hot path)
 //! - [`microkernel`] — the register-tiled inner kernel
-//! - [`pool`] — a persistent worker pool + scoped parallel helpers
+//! - [`pool`] — the execution substrate: persistent batch-latch worker
+//!   pool for `'static` jobs, scoped dispatch for borrowing kernels, and
+//!   the work-based inline/parallel crossover constants
 //! - [`batched`], [`sparse`], [`half`], [`level23`], [`transpose`] — the
 //!   extension kernels (strided-batch, CSR SpMV, software BF16, GER/SYRK/
 //!   TRSV/TRSM, transposed operands)
@@ -51,6 +55,7 @@
 // BLAS-convention entry points take the full cblas argument list.
 #![allow(clippy::too_many_arguments)]
 
+pub mod arena;
 pub mod batched;
 pub mod contract;
 pub mod gemm;

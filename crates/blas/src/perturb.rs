@@ -92,6 +92,12 @@ pub mod tags {
     pub const GEMM_PANEL: u32 = 5;
     /// Parallel GEMV row-chunk worker about to start.
     pub const GEMV_CHUNK: u32 = 6;
+    /// Scoped-dispatch job about to run on a spawned thread.
+    pub const SCOPED_JOB: u32 = 7;
+    /// Scoped-dispatch caller about to run its own (first) job.
+    pub const SCOPED_CALLER: u32 = 8;
+    /// Batch waiter about to block on the completion latch.
+    pub const BATCH_WAIT: u32 = 9;
 }
 
 #[cfg(test)]

@@ -1,88 +1,196 @@
-//! Thread-parallel execution substrate.
+//! Thread-parallel execution substrate: the workspace's only home for
+//! thread creation on kernel paths.
 //!
-//! Two facilities:
+//! Three facilities, one per kind of parallelism the repo needs:
 //!
-//! 1. [`ThreadPool`] — a persistent worker pool for `'static` jobs, built
-//!    entirely on `std`: a `Mutex<VecDeque>` job queue with a `Condvar`,
-//!    and a completion count guarded by a second mutex + condvar. Higher
-//!    layers (the benchmark runner) use it for independent tasks like
-//!    concurrent problem-type sweeps.
-//! 2. [`parallel_for`] — scoped data-parallelism over an index range using
-//!    `std::thread::scope`, used by the parallel GEMM/GEMV kernels where the
-//!    closures borrow matrix slices and therefore cannot be `'static`.
+//! 1. [`ThreadPool`] — persistent workers spawned once and parked on a
+//!    condvar, running `'static` jobs. Batches are tracked by per-batch
+//!    completion latches ([`BatchHandle`]): concurrent callers sharing one
+//!    pool wait only for *their own* jobs, and a panicking job is re-thrown
+//!    to the waiter at the batch barrier (matching `std::thread::scope`
+//!    semantics). The sweep runner and `blob-serve` use it to parallelise
+//!    across problem sizes.
+//! 2. [`run_scoped`] — scoped dispatch for *borrowing* (non-`'static`)
+//!    closures, used by the parallel GEMM/GEMV/SpMV/TRSM/batched kernels.
+//!    This is the workspace's **only** `std::thread::scope` call site
+//!    (enforced by the `no-adhoc-scope` blob-check rule): one job runs
+//!    inline with zero dispatch, and `k` jobs cost `k − 1` spawns because
+//!    the caller executes the first job itself while the scope runs the
+//!    rest.
+//! 3. [`parallel_for`] — index-range data-parallelism built on
+//!    [`run_scoped`], with min-chunk merging so tiny ranges never dispatch.
 //!
-//! The worker count defaults to the host's available parallelism, mirroring
-//! how the paper pins one full CPU socket (`OMP_NUM_THREADS`, §IV).
+//! ## Why borrowed closures cannot ride the persistent workers
+//!
+//! The workspace denies `unsafe` (`Cargo.toml` workspace lints, plus the
+//! `no-unsafe` blob-check rule). A parked `'static` worker that runs a
+//! closure borrowing the caller's stack requires erasing the closure's
+//! lifetime before it crosses the queue — exactly the `unsafe` transmute
+//! at the heart of rayon's and crossbeam's scope implementations. Safe
+//! Rust has precisely one primitive that performs this erasure with a
+//! compiler-verified barrier: `std::thread::scope`. So borrowed dispatch
+//! is built on that primitive, confined to this module, and the real
+//! per-call costs are attacked where they actually are:
+//!
+//! - **below the crossover, no threads at all** — the work-based sizing
+//!   ([`effective_workers`]) runs small problems inline, which is where
+//!   the offload threshold lives and where spawn overhead distorts
+//!   timings (DESIGN.md "Execution substrate");
+//! - **above it, `k − 1` spawns instead of `k`** — the caller participates;
+//! - **zero steady-state allocation** — packing buffers come from
+//!   [`arena`](crate::arena), not per-call `Vec`s.
 //!
 //! Interleaving-sensitive spots call [`perturb::point`](crate::perturb),
 //! which the seeded stress tests use to explore schedules.
 
 use crate::perturb;
+use std::any::Any;
+use std::cell::Cell;
 use std::collections::VecDeque;
 use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 
-type Job = Box<dyn FnOnce() + Send + 'static>;
+/// Minimum floating-point operations a worker must own before compute-bound
+/// scoped dispatch pays for itself.
+///
+/// Measured on the container this repo builds in: one scoped spawn plus
+/// join costs ~20–60 µs, and the blocked GEMM sustains a few GFLOP/s per
+/// core, so a thread needs on the order of 10⁷ flops (a few ms of work)
+/// before the hand-off is amortised below a few percent. Concretely, with
+/// 4 requested threads this sends ≤ 128³ GEMM (4.2 MFLOP) down the inline
+/// path, splits 256³ (34 MFLOP) two ways, and 512³ (268 MFLOP) four ways —
+/// see `BENCH_blas.json` for the measured crossover.
+pub const MIN_FLOPS_PER_THREAD: usize = 16_000_000;
+
+/// Minimum streamed elements a worker must own before bandwidth-bound
+/// scoped dispatch (GEMV) pays for itself: ~4 MiB of f64 traffic, a few
+/// hundred µs of streaming — same amortisation argument as
+/// [`MIN_FLOPS_PER_THREAD`] for kernels that move one element per flop.
+pub const MIN_ELEMS_PER_THREAD: usize = 1 << 19;
+
+/// Minimum stored non-zeros per worker for sparse kernels (SpMV): each
+/// non-zero costs an indirect gather on top of the flop, so the break-even
+/// arrives at fewer elements than the dense streaming bound.
+pub const MIN_NNZ_PER_THREAD: usize = 1 << 17;
+
+/// How many workers `total_work` justifies, given a requested thread count:
+/// `min(threads, total_work / min_per_worker)`, at least 1.
+///
+/// This is the crossover that makes tiny parallel calls degrade to inline
+/// single-threaded execution instead of paying dispatch: below
+/// `2 × min_per_worker` of work the answer is 1 and [`run_scoped`] runs
+/// the single job on the caller with no thread machinery at all.
+pub fn effective_workers(threads: usize, total_work: usize, min_per_worker: usize) -> usize {
+    let by_work = total_work / min_per_worker.max(1);
+    threads.max(1).min(by_work.max(1))
+}
 
 /// Lock a mutex, recovering the guard if a previous holder panicked.
 ///
-/// The pool's invariants (queue contents, pending count) are updated under
+/// The pool's invariants (queue contents, latch counts) are updated under
 /// the lock with non-panicking code, so a poisoned lock still guards
 /// consistent data; recovering keeps one panicking *job* from wedging every
-/// later `join`.
+/// later wait.
 fn lock_ignore_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
-/// Job queue shared between submitters and workers.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Job queue shared between submitters and workers. Each job carries the
+/// latch of the batch it belongs to.
 struct Queue {
     jobs: Mutex<QueueState>,
     ready: Condvar,
 }
 
 struct QueueState {
-    jobs: VecDeque<Job>,
+    jobs: VecDeque<(Job, Arc<Latch>)>,
     shutdown: bool,
 }
 
-/// Tracks outstanding jobs so callers can block until a batch drains.
-struct Pending {
-    count: Mutex<usize>,
-    cv: Condvar,
+/// A per-batch completion latch: outstanding-job count plus the first
+/// panic payload captured from this batch's jobs.
+struct Latch {
+    state: Mutex<LatchState>,
+    done: Condvar,
 }
 
-impl Pending {
-    fn incr(&self) {
-        *lock_ignore_poison(&self.count) += 1;
+struct LatchState {
+    pending: usize,
+    panic: Option<Box<dyn Any + Send>>,
+}
+
+impl Latch {
+    fn new() -> Arc<Self> {
+        Arc::new(Self {
+            state: Mutex::new(LatchState {
+                pending: 0,
+                panic: None,
+            }),
+            done: Condvar::new(),
+        })
     }
-    fn decr(&self) {
-        let mut c = lock_ignore_poison(&self.count);
-        *c -= 1;
-        if *c == 0 {
-            self.cv.notify_all();
+
+    fn incr(&self) {
+        lock_ignore_poison(&self.state).pending += 1;
+    }
+
+    /// Marks one job finished, recording `panic` if it unwound. The first
+    /// payload wins, like the first propagating panic under
+    /// `std::thread::scope`.
+    fn decr(&self, panic: Option<Box<dyn Any + Send>>) {
+        let mut s = lock_ignore_poison(&self.state);
+        s.pending -= 1;
+        if s.panic.is_none() {
+            s.panic = panic;
+        }
+        if s.pending == 0 {
+            self.done.notify_all();
         }
     }
-    fn wait_zero(&self) {
-        let mut c = lock_ignore_poison(&self.count);
-        while *c != 0 {
-            c = self
-                .cv
-                .wait(c)
+
+    /// Blocks until the batch drains, then re-throws a captured panic.
+    fn wait(&self) {
+        let mut s = lock_ignore_poison(&self.state);
+        while s.pending != 0 {
+            s = self
+                .done
+                .wait(s)
                 .unwrap_or_else(|poisoned| poisoned.into_inner());
         }
+        if let Some(payload) = s.panic.take() {
+            drop(s);
+            resume_unwind(payload);
+        }
     }
 }
 
-/// A fixed-size pool of persistent worker threads.
+thread_local! {
+    /// True on a [`ThreadPool`] worker thread — the nested-dispatch guard.
+    static IS_POOL_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// A fixed-size pool of persistent worker threads for `'static` jobs.
 ///
-/// Jobs submitted with [`execute`](Self::execute) run on an arbitrary
-/// worker; [`join`](Self::join) blocks until every submitted job has
-/// finished. Dropping the pool joins all workers.
+/// Workers are spawned once at construction and park on a condvar between
+/// jobs, so steady-state submission costs a queue push and a wake-up, not
+/// an OS thread spawn. Work is grouped into batches ([`batch`](Self::batch)):
+/// each batch has its own completion latch, so concurrent callers sharing
+/// one pool do not wait on each other's jobs, and a panic inside a job is
+/// re-thrown to that batch's waiter at [`BatchHandle::wait`] — the same
+/// contract `std::thread::scope` gives for scoped spawns.
+///
+/// A job submitted *from a pool worker* runs inline instead of being
+/// queued: with every worker blocked inside such a job, queueing and
+/// waiting would deadlock (see `nested_dispatch_runs_inline`).
+///
+/// Dropping the pool drains the queue and joins all workers.
 pub struct ThreadPool {
     queue: Arc<Queue>,
     workers: Vec<JoinHandle<()>>,
-    pending: Arc<Pending>,
 }
 
 impl ThreadPool {
@@ -101,25 +209,19 @@ impl ThreadPool {
             }),
             ready: Condvar::new(),
         });
-        let pending = Arc::new(Pending {
-            count: Mutex::new(0),
-            cv: Condvar::new(),
-        });
         let workers: Vec<JoinHandle<()>> = (0..threads)
             .filter_map(|idx| {
                 let queue = Arc::clone(&queue);
-                let pending = Arc::clone(&pending);
                 std::thread::Builder::new()
                     .name(format!("blob-worker-{idx}"))
-                    .spawn(move || worker_loop(&queue, &pending))
+                    .spawn(move || {
+                        IS_POOL_WORKER.with(|f| f.set(true));
+                        worker_loop(&queue);
+                    })
                     .ok()
             })
             .collect();
-        Self {
-            queue,
-            workers,
-            pending,
-        }
+        Self { queue, workers }
     }
 
     /// A pool sized to the host's available parallelism.
@@ -133,36 +235,86 @@ impl ThreadPool {
         self.workers.len()
     }
 
-    /// Submits a job for asynchronous execution.
+    /// Opens a new batch. Jobs submitted through the handle complete —
+    /// or re-throw their panic — at [`BatchHandle::wait`].
+    pub fn batch(&self) -> BatchHandle<'_> {
+        BatchHandle {
+            pool: self,
+            latch: Latch::new(),
+        }
+    }
+
+    /// Submits one fire-and-forget job (a single-job batch nobody waits
+    /// on). The job still completes before [`Drop`] returns.
     pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
-        if self.workers.is_empty() {
-            // Spawn-degraded mode: run inline, keeping execute/join
-            // semantics (the job is complete before join is reachable).
-            job();
+        let mut b = self.batch();
+        b.submit(job);
+        // handle dropped without wait: the latch keeps the job tracked
+        // only for queue draining on Drop
+    }
+
+    fn enqueue(&self, job: Job, latch: &Arc<Latch>) {
+        let inline = self.workers.is_empty() || IS_POOL_WORKER.with(Cell::get);
+        latch.incr();
+        if inline {
+            // Spawn-degraded pool or nested dispatch from a worker: run on
+            // the current thread. Queueing from a worker could deadlock —
+            // every worker may already be blocked in a wait of its own.
+            run_job(job, latch);
             return;
         }
-        self.pending.incr();
         perturb::point(perturb::tags::POOL_SUBMIT);
         {
             let mut state = lock_ignore_poison(&self.queue.jobs);
-            state.jobs.push_back(Box::new(job));
+            state.jobs.push_back((job, Arc::clone(latch)));
         }
         self.queue.ready.notify_one();
     }
+}
 
-    /// Blocks until every job submitted so far has completed.
-    pub fn join(&self) {
-        self.pending.wait_zero();
+/// An open batch of jobs on a [`ThreadPool`].
+///
+/// Submit any number of `'static` jobs, then call [`wait`](Self::wait) —
+/// it returns when every job of *this* batch has finished and re-throws
+/// the first panic any of them raised.
+pub struct BatchHandle<'p> {
+    pool: &'p ThreadPool,
+    latch: Arc<Latch>,
+}
+
+impl BatchHandle<'_> {
+    /// Submits a job to this batch.
+    pub fn submit(&mut self, job: impl FnOnce() + Send + 'static) {
+        self.pool.enqueue(Box::new(job), &self.latch);
+    }
+
+    /// Blocks until every submitted job has completed. If a job panicked,
+    /// the first captured payload is re-thrown here — the batch barrier
+    /// mirrors `std::thread::scope`'s join-then-propagate contract.
+    pub fn wait(self) {
+        perturb::point(perturb::tags::BATCH_WAIT);
+        self.latch.wait();
     }
 }
 
-fn worker_loop(queue: &Queue, pending: &Pending) {
+/// Runs one job, routing a panic into its batch latch instead of letting
+/// it unwind the worker (or the submitting thread, for inline dispatch).
+fn run_job(job: Job, latch: &Arc<Latch>) {
+    // AssertUnwindSafe: the closure's captured state is dropped with the
+    // closure either way; the latch is the only thing observed after a
+    // panic and is updated under its own lock.
+    let outcome = catch_unwind(AssertUnwindSafe(job));
+    perturb::point(perturb::tags::POOL_DONE);
+    latch.decr(outcome.err());
+}
+
+fn worker_loop(queue: &Queue) {
     loop {
-        let job = {
+        let (job, latch) = {
             let mut state = lock_ignore_poison(&queue.jobs);
             loop {
-                if let Some(job) = state.jobs.pop_front() {
-                    break job;
+                if let Some(entry) = state.jobs.pop_front() {
+                    break entry;
                 }
                 if state.shutdown {
                     return;
@@ -174,9 +326,7 @@ fn worker_loop(queue: &Queue, pending: &Pending) {
             }
         };
         perturb::point(perturb::tags::POOL_DEQUEUE);
-        job();
-        perturb::point(perturb::tags::POOL_DONE);
-        pending.decr();
+        run_job(job, &latch);
     }
 }
 
@@ -202,12 +352,66 @@ pub fn available_threads() -> usize {
         .unwrap_or(1)
 }
 
-/// Splits `range` into at most `threads` contiguous chunks and runs `f` on
-/// each chunk from a scoped thread. Chunks smaller than `min_chunk` are
-/// merged so tiny problems do not pay spawn overhead for no useful work.
+/// Runs a set of borrowing jobs, executing the first on the calling thread
+/// and the rest on scoped threads.
 ///
-/// `f` receives the sub-range it owns. The final chunk absorbs the
-/// remainder, so every index is covered exactly once.
+/// This is the kernels' dispatch primitive and the workspace's only
+/// `std::thread::scope` call site (rule `no-adhoc-scope`). The cost model
+/// the kernels rely on:
+///
+/// - `jobs.len() <= 1` → the job runs inline; **zero** thread machinery.
+/// - `jobs.len() == k` → `k − 1` scoped spawns; the caller runs job 0
+///   while the scope runs the rest, so no core idles waiting.
+///
+/// Panic semantics are `std::thread::scope`'s own: a panic in any job —
+/// spawned or caller-run — propagates out of this call after every job
+/// has been joined.
+pub fn run_scoped<F>(jobs: Vec<F>)
+where
+    F: FnOnce() + Send,
+{
+    let mut jobs = jobs;
+    if jobs.len() <= 1 {
+        if let Some(job) = jobs.pop() {
+            job();
+        }
+        return;
+    }
+    let rest = jobs.split_off(1);
+    let Some(first) = jobs.pop() else {
+        return;
+    };
+    // Join handles explicitly: an implicit scope-exit join replaces a
+    // spawned job's panic payload with a generic "a scoped thread
+    // panicked" message, and callers (and the panic-propagation tests)
+    // want the original payload.
+    let spawned_panic = std::thread::scope(|s| {
+        let handles: Vec<_> = rest
+            .into_iter()
+            .map(|job| {
+                s.spawn(move || {
+                    perturb::point(perturb::tags::SCOPED_JOB);
+                    job();
+                })
+            })
+            .collect();
+        perturb::point(perturb::tags::SCOPED_CALLER);
+        first();
+        handles.into_iter().filter_map(|h| h.join().err()).next()
+    });
+    if let Some(payload) = spawned_panic {
+        std::panic::resume_unwind(payload);
+    }
+}
+
+/// Splits `range` into at most `threads` contiguous chunks and runs `f` on
+/// each chunk via [`run_scoped`]. Chunks smaller than `min_chunk` are
+/// merged so tiny ranges do not pay dispatch for no useful work; one
+/// resulting chunk means `f` runs inline on the caller with no thread
+/// machinery (see [`effective_workers`] for the kernels' work-based way to
+/// choose `threads`).
+///
+/// `f` receives the sub-range it owns; every index is covered exactly once.
 pub fn parallel_for<F>(threads: usize, range: Range<usize>, min_chunk: usize, f: F)
 where
     F: Fn(Range<usize>) + Sync,
@@ -225,20 +429,21 @@ where
     }
     let chunk = len / chunks;
     let rem = len % chunks;
-    std::thread::scope(|s| {
-        let f = &f;
-        let mut start = range.start;
-        for c in 0..chunks {
+    let f = &f;
+    let mut start = range.start;
+    let jobs: Vec<_> = (0..chunks)
+        .map(|c| {
             // distribute the remainder one element at a time over leading chunks
             let this = chunk + usize::from(c < rem);
             let sub = start..start + this;
             start += this;
-            s.spawn(move || {
+            move || {
                 perturb::point(perturb::tags::PARALLEL_FOR_CHUNK);
                 f(sub)
-            });
-        }
-    });
+            }
+        })
+        .collect();
+    run_scoped(jobs);
 }
 
 #[cfg(test)]
@@ -250,35 +455,37 @@ mod tests {
     fn pool_runs_all_jobs() {
         let pool = ThreadPool::new(4);
         let counter = Arc::new(AtomicUsize::new(0));
+        let mut batch = pool.batch();
         for _ in 0..100 {
             let c = Arc::clone(&counter);
-            pool.execute(move || {
+            batch.submit(move || {
                 c.fetch_add(1, Ordering::Relaxed);
             });
         }
-        pool.join();
+        batch.wait();
         assert_eq!(counter.load(Ordering::Relaxed), 100);
     }
 
     #[test]
-    fn pool_join_on_empty_is_immediate() {
+    fn pool_wait_on_empty_batch_is_immediate() {
         let pool = ThreadPool::new(2);
-        pool.join(); // must not deadlock
+        pool.batch().wait(); // must not deadlock
     }
 
     #[test]
     fn pool_reusable_across_batches() {
         let pool = ThreadPool::new(3);
         let counter = Arc::new(AtomicUsize::new(0));
-        for batch in 1..=3 {
+        for round in 1..=3 {
+            let mut batch = pool.batch();
             for _ in 0..10 {
                 let c = Arc::clone(&counter);
-                pool.execute(move || {
+                batch.submit(move || {
                     c.fetch_add(1, Ordering::Relaxed);
                 });
             }
-            pool.join();
-            assert_eq!(counter.load(Ordering::Relaxed), batch * 10);
+            batch.wait();
+            assert_eq!(counter.load(Ordering::Relaxed), round * 10);
         }
     }
 
@@ -288,10 +495,11 @@ mod tests {
         assert_eq!(pool.threads(), 1);
         let done = Arc::new(AtomicUsize::new(0));
         let d = Arc::clone(&done);
-        pool.execute(move || {
+        let mut batch = pool.batch();
+        batch.submit(move || {
             d.store(1, Ordering::Relaxed);
         });
-        pool.join();
+        batch.wait();
         assert_eq!(done.load(Ordering::Relaxed), 1);
     }
 
@@ -306,27 +514,157 @@ mod tests {
                     c.fetch_add(1, Ordering::Relaxed);
                 });
             }
-            // No join: Drop must still run every submitted job.
+            // No wait: Drop must still run every submitted job.
         }
         assert_eq!(counter.load(Ordering::Relaxed), 50);
     }
 
     #[test]
-    fn pool_survives_panicking_job() {
+    fn panicking_job_propagates_at_the_batch_barrier() {
         let pool = ThreadPool::new(2);
-        pool.execute(|| {
-            // A panicking job must not wedge the pending count… but a panic
-            // unwinding out of worker_loop would skip decr. Catch it like a
-            // real harness job would.
-            let _ = std::panic::catch_unwind(|| panic!("job failure"));
-        });
+        let mut batch = pool.batch();
+        batch.submit(|| panic!("job failure"));
+        let err = std::panic::catch_unwind(AssertUnwindSafe(|| batch.wait()))
+            .expect_err("wait() must re-throw the job's panic");
+        let msg = err
+            .downcast_ref::<&str>()
+            .copied()
+            .expect("panic payload preserved");
+        assert_eq!(msg, "job failure");
+        // …and the pool survives for the next batch.
         let done = Arc::new(AtomicUsize::new(0));
         let d = Arc::clone(&done);
-        pool.execute(move || {
+        let mut batch = pool.batch();
+        batch.submit(move || {
             d.store(1, Ordering::Relaxed);
         });
-        pool.join();
+        batch.wait();
         assert_eq!(done.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn panic_does_not_leak_across_batches() {
+        let pool = ThreadPool::new(2);
+        let mut bad = pool.batch();
+        bad.submit(|| panic!("isolated"));
+        let mut good = pool.batch();
+        good.submit(|| {});
+        good.wait(); // clean batch: must not observe the other's panic
+        assert!(std::panic::catch_unwind(AssertUnwindSafe(|| bad.wait())).is_err());
+    }
+
+    #[test]
+    fn nested_dispatch_runs_inline() {
+        // A single-worker pool: if a job's own submission were queued and
+        // waited on, the lone worker would deadlock on itself.
+        let pool = Arc::new(ThreadPool::new(1));
+        let p = Arc::clone(&pool);
+        let done = Arc::new(AtomicUsize::new(0));
+        let d = Arc::clone(&done);
+        let mut outer = pool.batch();
+        outer.submit(move || {
+            let mut inner = p.batch();
+            let d2 = Arc::clone(&d);
+            inner.submit(move || {
+                d2.fetch_add(1, Ordering::Relaxed);
+            });
+            inner.wait();
+            d.fetch_add(1, Ordering::Relaxed);
+        });
+        outer.wait();
+        assert_eq!(done.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn concurrent_batches_wait_only_for_their_own_jobs() {
+        // Batch A holds a slow job; batch B must complete without waiting
+        // for it. Verified by ordering: B's wait returns while A's job
+        // still holds the gate open.
+        let pool = ThreadPool::new(2);
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let g = Arc::clone(&gate);
+        let mut a = pool.batch();
+        a.submit(move || {
+            let (lock, cv) = &*g;
+            let mut open = lock_ignore_poison(lock);
+            while !*open {
+                open = cv.wait(open).unwrap_or_else(|p| p.into_inner());
+            }
+        });
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = Arc::clone(&hits);
+        let mut b = pool.batch();
+        b.submit(move || {
+            h.fetch_add(1, Ordering::Relaxed);
+        });
+        b.wait(); // would deadlock if latches were shared pool-wide
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+        let (lock, cv) = &*gate;
+        *lock_ignore_poison(lock) = true;
+        cv.notify_all();
+        a.wait();
+    }
+
+    #[test]
+    fn run_scoped_executes_every_job() {
+        let hits: Vec<AtomicUsize> = (0..9).map(|_| AtomicUsize::new(0)).collect();
+        let jobs: Vec<_> = (0..9)
+            .map(|i| {
+                let hits = &hits;
+                move || {
+                    hits[i].fetch_add(1, Ordering::Relaxed);
+                }
+            })
+            .collect();
+        run_scoped(jobs);
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn run_scoped_single_job_runs_on_the_caller() {
+        let caller = std::thread::current().id();
+        let seen = Mutex::new(None);
+        run_scoped(vec![|| {
+            *lock_ignore_poison(&seen) = Some(std::thread::current().id());
+        }]);
+        assert_eq!(*lock_ignore_poison(&seen), Some(caller));
+    }
+
+    #[test]
+    fn run_scoped_empty_is_a_no_op() {
+        run_scoped(Vec::<fn()>::new());
+    }
+
+    #[test]
+    fn run_scoped_propagates_spawned_panic() {
+        let jobs: Vec<Box<dyn FnOnce() + Send>> =
+            vec![Box::new(|| {}), Box::new(|| panic!("scoped failure"))];
+        let err = std::panic::catch_unwind(AssertUnwindSafe(|| run_scoped(jobs)))
+            .expect_err("panic must cross the scope barrier");
+        assert_eq!(err.downcast_ref::<&str>().copied(), Some("scoped failure"));
+    }
+
+    #[test]
+    fn effective_workers_crossover() {
+        // far below the bound: inline
+        assert_eq!(
+            effective_workers(4, MIN_FLOPS_PER_THREAD - 1, MIN_FLOPS_PER_THREAD),
+            1
+        );
+        // exactly one worker's worth: still inline (no second worker earned)
+        assert_eq!(
+            effective_workers(4, MIN_FLOPS_PER_THREAD, MIN_FLOPS_PER_THREAD),
+            1
+        );
+        // two workers' worth: split two ways
+        assert_eq!(
+            effective_workers(4, 2 * MIN_FLOPS_PER_THREAD, MIN_FLOPS_PER_THREAD),
+            2
+        );
+        // plenty of work: capped by the requested thread count
+        assert_eq!(effective_workers(4, usize::MAX, MIN_FLOPS_PER_THREAD), 4);
+        // degenerate inputs stay sane
+        assert_eq!(effective_workers(0, 0, 0), 1);
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! literature converges on for SpMV. [`CsrMatrix`] validates its structure
 //! on construction, so the kernels can index without per-element checks.
 
+use crate::pool;
 use crate::scalar::Scalar;
 
 /// A sparse matrix in Compressed Sparse Row format.
@@ -167,41 +168,47 @@ impl<T: Scalar> CsrMatrix<T> {
         }
     }
 
-    /// Row-parallel SpMV over scoped threads.
+    /// Row-parallel SpMV dispatched through [`pool::run_scoped`].
+    ///
+    /// The worker count is work-based: one worker per
+    /// [`pool::MIN_NNZ_PER_THREAD`] stored non-zeros
+    /// ([`pool::effective_workers`]), so small matrices run serially
+    /// inline instead of paying dispatch overhead.
     pub fn spmv_parallel(&self, threads: usize, alpha: T, x: &[T], beta: T, y: &mut [T]) {
         assert!(x.len() >= self.cols, "x too short");
         assert!(y.len() >= self.rows, "y too short");
-        let chunks = threads.clamp(1, self.rows.max(1));
+        let chunks = pool::effective_workers(threads, self.nnz(), pool::MIN_NNZ_PER_THREAD)
+            .min(self.rows.max(1));
         if chunks <= 1 {
             self.spmv(alpha, x, beta, y);
             return;
         }
         let per = self.rows.div_ceil(chunks);
-        std::thread::scope(|s| {
-            let mut rest: &mut [T] = &mut y[..self.rows];
-            let mut i0 = 0usize;
-            while i0 < self.rows {
-                let n = per.min(self.rows - i0);
-                let (mine, r) = rest.split_at_mut(n);
-                rest = r;
-                let base = i0;
-                s.spawn(move || {
-                    for (di, yi) in mine.iter_mut().enumerate() {
-                        let i = base + di;
-                        let mut acc = T::ZERO;
-                        for p in self.row_ptr[i]..self.row_ptr[i + 1] {
-                            acc = self.values[p].mul_add(x[self.col_idx[p]], acc);
-                        }
-                        *yi = if beta == T::ZERO {
-                            alpha * acc
-                        } else {
-                            acc.mul_add(alpha, beta * *yi)
-                        };
+        let mut rest: &mut [T] = &mut y[..self.rows];
+        let mut jobs = Vec::with_capacity(chunks);
+        let mut i0 = 0usize;
+        while i0 < self.rows {
+            let n = per.min(self.rows - i0);
+            let (mine, r) = rest.split_at_mut(n);
+            rest = r;
+            let base = i0;
+            jobs.push(move || {
+                for (di, yi) in mine.iter_mut().enumerate() {
+                    let i = base + di;
+                    let mut acc = T::ZERO;
+                    for p in self.row_ptr[i]..self.row_ptr[i + 1] {
+                        acc = self.values[p].mul_add(x[self.col_idx[p]], acc);
                     }
-                });
-                i0 += n;
-            }
-        });
+                    *yi = if beta == T::ZERO {
+                        alpha * acc
+                    } else {
+                        acc.mul_add(alpha, beta * *yi)
+                    };
+                }
+            });
+            i0 += n;
+        }
+        pool::run_scoped(jobs);
     }
 }
 

@@ -2,15 +2,21 @@
 //! substitute.
 //!
 //! [`blob_blas::perturb`] injects seeded yields/spins/sleeps at the
-//! interleaving-sensitive points inside the thread pool and the parallel
-//! kernels. Each test sweeps ≥ 100 seeds, so `cargo test` explores ≥ 100
-//! distinct schedules per run and fails on corruption (wrong results,
-//! lost jobs) or deadlock (the test would hang and trip the harness
-//! timeout).
+//! interleaving-sensitive points inside the thread pool, the scoped
+//! dispatcher and the parallel kernels. Each test sweeps many seeds, so
+//! `cargo test` explores many distinct schedules per run and fails on
+//! corruption (wrong results, lost jobs) or deadlock (the test would hang
+//! and trip the harness timeout).
+//!
+//! The kernels now run *inline* below the work-based crossover
+//! ([`blob_blas::pool::effective_workers`]), so the kernel-level tests
+//! here use shapes **above** it — otherwise they would only stress the
+//! serial path.
 //!
 //! The OS still owns true scheduling — this is perturbation, not replay —
 //! but a reported seed reproduces the same perturbation decisions.
 
+use blob_blas::pool::{effective_workers, run_scoped, MIN_ELEMS_PER_THREAD, MIN_FLOPS_PER_THREAD};
 use blob_blas::{gemm_parallel, gemm_ref, gemv_parallel, gemv_ref, perturb, ThreadPool};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -36,20 +42,26 @@ fn det(seed: u64, i: usize) -> f64 {
 }
 
 #[test]
-fn parallel_gemm_correct_under_100_perturbed_schedules() {
-    let (m, n, k) = (31, 37, 23);
+fn parallel_gemm_correct_under_perturbed_schedules() {
+    // Above the compute crossover so the scoped dispatcher really splits:
+    // 2·m·n·k must exceed 2×MIN_FLOPS_PER_THREAD.
+    let (m, n, k) = (96, 512, 384);
+    assert!(
+        effective_workers(4, 2 * m * n * k, MIN_FLOPS_PER_THREAD) >= 2,
+        "shape fell below the dispatch crossover; enlarge it"
+    );
     let a: Vec<f64> = (0..m * k).map(|i| det(1, i)).collect();
     let b: Vec<f64> = (0..k * n).map(|i| det(2, i)).collect();
     let mut want = vec![0.0; m * n];
     gemm_ref(m, n, k, 1.5, &a, m, &b, k, 0.0, &mut want, m).unwrap();
 
-    for seed in 0..100u64 {
+    for seed in 0..25u64 {
         with_perturbation(seed, || {
             let mut c = vec![0.0; m * n];
             gemm_parallel(4, m, n, k, 1.5, &a, m, &b, k, 0.0, &mut c, m).unwrap();
             for i in 0..m * n {
                 assert!(
-                    (c[i] - want[i]).abs() < 1e-12,
+                    (c[i] - want[i]).abs() < 1e-10,
                     "seed {seed}: element {i}: {} vs {}",
                     c[i],
                     want[i]
@@ -60,14 +72,19 @@ fn parallel_gemm_correct_under_100_perturbed_schedules() {
 }
 
 #[test]
-fn parallel_gemv_correct_under_100_perturbed_schedules() {
-    let (m, n) = (257, 19);
+fn parallel_gemv_correct_under_perturbed_schedules() {
+    // Above the bandwidth crossover: m·n must exceed 2×MIN_ELEMS_PER_THREAD.
+    let (m, n) = (65536, 17);
+    assert!(
+        effective_workers(4, m * n, MIN_ELEMS_PER_THREAD) >= 2,
+        "shape fell below the dispatch crossover; enlarge it"
+    );
     let a: Vec<f64> = (0..m * n).map(|i| det(3, i)).collect();
     let x: Vec<f64> = (0..n).map(|i| det(4, i)).collect();
     let mut want = vec![0.25; m];
     gemv_ref(m, n, 2.0, &a, m, &x, 1, -0.5, &mut want, 1).unwrap();
 
-    for seed in 100..200u64 {
+    for seed in 100..150u64 {
         with_perturbation(seed, || {
             let mut y = vec![0.25; m];
             gemv_parallel(4, m, n, 2.0, &a, m, &x, 1, -0.5, &mut y, 1).unwrap();
@@ -89,13 +106,14 @@ fn thread_pool_loses_no_jobs_under_100_perturbed_schedules() {
         with_perturbation(seed, || {
             let pool = ThreadPool::new(3);
             let counter = Arc::new(AtomicUsize::new(0));
+            let mut batch = pool.batch();
             for j in 0..40 {
                 let c = Arc::clone(&counter);
-                pool.execute(move || {
+                batch.submit(move || {
                     c.fetch_add(j, Ordering::Relaxed);
                 });
             }
-            pool.join();
+            batch.wait();
             assert_eq!(
                 counter.load(Ordering::Relaxed),
                 (0..40).sum::<usize>(),
@@ -107,7 +125,7 @@ fn thread_pool_loses_no_jobs_under_100_perturbed_schedules() {
 
 #[test]
 fn thread_pool_drop_drains_under_perturbed_schedules() {
-    // Drop-without-join must still run every submitted job under hostile
+    // Drop-without-wait must still run every submitted job under hostile
     // schedules (the shutdown/pop_front race).
     for seed in 300..350u64 {
         with_perturbation(seed, || {
@@ -122,6 +140,123 @@ fn thread_pool_drop_drains_under_perturbed_schedules() {
                 }
             }
             assert_eq!(counter.load(Ordering::Relaxed), 25, "seed {seed}");
+        });
+    }
+}
+
+#[test]
+fn concurrent_callers_get_isolated_batches_under_perturbed_schedules() {
+    // Two OS threads issue batches against one shared pool simultaneously.
+    // Each batch's wait() must return only after *its own* jobs ran, and
+    // never observe the other caller's count.
+    for seed in 400..450u64 {
+        with_perturbation(seed, || {
+            let pool = Arc::new(ThreadPool::new(3));
+            let totals: Vec<_> = (0..2)
+                .map(|caller| {
+                    let pool = Arc::clone(&pool);
+                    std::thread::spawn(move || {
+                        let counter = Arc::new(AtomicUsize::new(0));
+                        for round in 0..5 {
+                            let mut batch = pool.batch();
+                            for j in 0..8 {
+                                let c = Arc::clone(&counter);
+                                batch.submit(move || {
+                                    c.fetch_add(j + 1, Ordering::Relaxed);
+                                });
+                            }
+                            batch.wait();
+                            // after wait, exactly (round+1) full batches
+                            // of this caller's jobs have landed
+                            assert_eq!(
+                                counter.load(Ordering::Relaxed),
+                                (round + 1) * (1..=8).sum::<usize>(),
+                                "caller {caller} round {round}"
+                            );
+                        }
+                        counter.load(Ordering::Relaxed)
+                    })
+                })
+                .collect();
+            for t in totals {
+                assert_eq!(t.join().expect("caller thread"), 5 * 36, "seed {seed}");
+            }
+        });
+    }
+}
+
+#[test]
+fn nested_dispatch_does_not_deadlock_under_perturbed_schedules() {
+    // A pool job that opens its own batch on the same single-worker pool:
+    // the nested submission must run inline (a queued job would deadlock
+    // the lone worker against itself; a hang here trips the test timeout).
+    for seed in 500..550u64 {
+        with_perturbation(seed, || {
+            let pool = Arc::new(ThreadPool::new(1));
+            let p = Arc::clone(&pool);
+            let counter = Arc::new(AtomicUsize::new(0));
+            let c = Arc::clone(&counter);
+            let mut outer = pool.batch();
+            outer.submit(move || {
+                let mut inner = p.batch();
+                for _ in 0..4 {
+                    let c2 = Arc::clone(&c);
+                    inner.submit(move || {
+                        c2.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+                inner.wait();
+                c.fetch_add(10, Ordering::Relaxed);
+            });
+            outer.wait();
+            assert_eq!(counter.load(Ordering::Relaxed), 14, "seed {seed}");
+        });
+    }
+}
+
+#[test]
+fn panic_propagation_survives_perturbed_schedules() {
+    // A panicking job must reach the batch barrier — not get lost in a
+    // worker — under every explored schedule, and the pool must stay
+    // usable afterwards.
+    for seed in 600..650u64 {
+        with_perturbation(seed, || {
+            let pool = ThreadPool::new(2);
+            let mut batch = pool.batch();
+            batch.submit(|| {});
+            batch.submit(|| panic!("stress panic"));
+            batch.submit(|| {});
+            let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| batch.wait()));
+            assert!(err.is_err(), "seed {seed}: panic swallowed");
+            let ok = Arc::new(AtomicUsize::new(0));
+            let o = Arc::clone(&ok);
+            let mut next = pool.batch();
+            next.submit(move || {
+                o.store(1, Ordering::Relaxed);
+            });
+            next.wait();
+            assert_eq!(ok.load(Ordering::Relaxed), 1, "seed {seed}: pool wedged");
+        });
+    }
+}
+
+#[test]
+fn run_scoped_covers_all_jobs_under_perturbed_schedules() {
+    for seed in 700..750u64 {
+        with_perturbation(seed, || {
+            let hits: Vec<AtomicUsize> = (0..7).map(|_| AtomicUsize::new(0)).collect();
+            let jobs: Vec<_> = (0..7)
+                .map(|i| {
+                    let hits = &hits;
+                    move || {
+                        hits[i].fetch_add(1, Ordering::Relaxed);
+                    }
+                })
+                .collect();
+            run_scoped(jobs);
+            for (i, h) in hits.iter().enumerate() {
+                assert_eq!(h.load(Ordering::Relaxed), 1, "seed {seed}: job {i}");
+            }
         });
     }
 }

@@ -22,12 +22,13 @@ pub struct Finding {
 }
 
 /// All rule identifiers, for `--list-rules` and suppression validation.
-pub const RULES: [&str; 6] = [
+pub const RULES: [&str; 7] = [
     "no-unsafe",
     "no-unwrap-in-lib",
     "no-float-eq",
     "pub-item-docs",
     "contract-guard",
+    "no-adhoc-scope",
     "suppression",
 ];
 
@@ -411,6 +412,34 @@ pub fn check_file(path: &str, text: &str, ctx: &Context) -> Vec<Finding> {
                 line: t.line,
                 message: "`unsafe` is forbidden in this workspace".to_string(),
             });
+        }
+    }
+
+    // --- no-adhoc-scope: kernel code dispatches through pool.rs ----------
+    // `std::thread::scope` is the one lifetime-erasure primitive the
+    // workspace allows, and `blob_blas::pool` is its sole home: every other
+    // call site would reintroduce per-call spawns on the hot path and dodge
+    // the pool's crossover/panic/perturbation machinery. Fires on the token
+    // sequence `thread :: scope (` anywhere in `crates/blas/src/` except
+    // `pool.rs` itself (tests included — unit tests exercise the pool API).
+    if path.starts_with("crates/blas/src/") && path != "crates/blas/src/pool.rs" {
+        for (i, t) in code.iter().enumerate() {
+            if t.kind == TokenKind::Ident
+                && t.text == "scope"
+                && i >= 2
+                && code[i - 1].text == "::"
+                && code[i - 2].text == "thread"
+                && code.get(i + 1).map(|t| t.text == "(").unwrap_or(false)
+            {
+                findings.push(Finding {
+                    rule: "no-adhoc-scope",
+                    path: path.to_string(),
+                    line: t.line,
+                    message: "`std::thread::scope` outside `pool.rs` — dispatch through \
+                              `blob_blas::pool` (`run_scoped`/`parallel_for`) instead"
+                        .to_string(),
+                });
+            }
         }
     }
 
@@ -829,6 +858,32 @@ mod tests {
         assert!(ctx.guarded_fns.contains(&"outer".to_string()));
         assert!(ctx.guarded_fns.contains(&"outer2".to_string()));
         let f = guard_findings(&files[0].0, &files[0].1, &ctx);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn adhoc_scope_flagged_in_blas_outside_pool() {
+        let src = "fn f() { std::thread::scope(|s| { s.spawn(|| {}); }); }";
+        let f = check_lib(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "no-adhoc-scope");
+        // pool.rs is the one sanctioned home for the primitive
+        let pool = check_file("crates/blas/src/pool.rs", src, &Context::default());
+        assert!(pool.iter().all(|f| f.rule != "no-adhoc-scope"), "{pool:?}");
+        // other crates are out of scope for this rule
+        let core = check_file("crates/core/src/runner.rs", src, &Context::default());
+        assert!(core.iter().all(|f| f.rule != "no-adhoc-scope"), "{core:?}");
+        // a different `scope` identifier (no `thread ::` prefix) is fine
+        assert!(check_lib("fn f(s: Scope) { s.scope(|x| x); }").is_empty());
+        // `use`-imported `thread::scope(` still carries the prefix tokens
+        let imported = check_lib("use std::thread;\nfn f() { thread::scope(|s| {}); }");
+        assert_eq!(imported.len(), 1, "{imported:?}");
+    }
+
+    #[test]
+    fn adhoc_scope_suppressible_with_reason() {
+        let src = "fn f() {\n    // blob-check: allow(no-adhoc-scope): bootstrap before pool exists\n    std::thread::scope(|s| { s.spawn(|| {}); });\n}";
+        let f = check_lib(src);
         assert!(f.is_empty(), "{f:?}");
     }
 

@@ -54,7 +54,7 @@ pub use backend::{Backend, HostCpu};
 pub use custom::{CustomProblem, DimRule};
 pub use custom_runner::{run_custom_sweep, CustomSweep};
 pub use problem::{GemmProblem, GemvProblem, Problem};
-pub use runner::{run_sweep, GpuSample, SizeRecord, Sweep, SweepConfig};
+pub use runner::{run_sweep, run_sweep_pooled, GpuSample, SizeRecord, Sweep, SweepConfig};
 pub use threshold::{offload_threshold_from_times, offload_threshold_index, ThresholdPoint};
 pub use validate::{validate_call, ValidationReport, CHECKSUM_TOLERANCE};
 

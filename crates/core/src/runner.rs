@@ -8,6 +8,9 @@ use crate::problem::Problem;
 use crate::threshold::{offload_threshold_index, ThresholdPoint};
 use blob_sim::{BlasCall, Kernel, Offload, Precision};
 
+pub use blob_blas::ThreadPool;
+use std::sync::{Arc, Mutex};
+
 /// Sweep configuration: the artifact's `-s`, `-d`, `-i` arguments plus a
 /// stride for coarse sweeps.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -172,30 +175,113 @@ pub fn run_sweep(
     let records = problem
         .params(cfg.min_dim, cfg.max_dim, cfg.step)
         .into_iter()
-        .map(|p| {
-            let call = call_for(problem, precision, p, cfg);
-            let cpu_seconds = backend.cpu_seconds(&call, iters);
-            let total_flops = iters as f64 * call.paper_flops();
-            let cpu_gflops = total_flops / cpu_seconds / 1e9;
-            let gpu = offloads
-                .iter()
-                .filter_map(|&o| {
-                    backend.gpu_seconds(&call, iters, o).map(|s| GpuSample {
-                        offload: o,
-                        seconds: s,
-                        gflops: total_flops / s / 1e9,
-                    })
-                })
-                .collect();
-            SizeRecord {
-                param: p,
-                kernel: call.kernel,
-                cpu_seconds,
-                cpu_gflops,
-                gpu,
-            }
+        .map(|p| measure_size(backend, problem, precision, p, cfg, iters, &offloads))
+        .collect();
+    Sweep {
+        system: backend.name(),
+        problem,
+        precision,
+        iterations: iters,
+        records,
+    }
+}
+
+/// Measures one problem size: CPU, then each offload strategy — the
+/// artifact's interleaved collection order.
+fn measure_size(
+    backend: &dyn Backend,
+    problem: Problem,
+    precision: Precision,
+    p: usize,
+    cfg: &SweepConfig,
+    iters: u32,
+    offloads: &[Offload],
+) -> SizeRecord {
+    let call = call_for(problem, precision, p, cfg);
+    let cpu_seconds = backend.cpu_seconds(&call, iters);
+    let total_flops = iters as f64 * call.paper_flops();
+    let cpu_gflops = total_flops / cpu_seconds / 1e9;
+    let gpu = offloads
+        .iter()
+        .filter_map(|&o| {
+            backend.gpu_seconds(&call, iters, o).map(|s| GpuSample {
+                offload: o,
+                seconds: s,
+                gflops: total_flops / s / 1e9,
+            })
         })
         .collect();
+    SizeRecord {
+        param: p,
+        kernel: call.kernel,
+        cpu_seconds,
+        cpu_gflops,
+        gpu,
+    }
+}
+
+/// [`run_sweep`], with the per-size measurement loop fanned out over a
+/// persistent [`ThreadPool`] in contiguous chunks. The returned [`Sweep`]
+/// is **identical** to the serial one — records stay in sweep order and
+/// each size is measured exactly once.
+///
+/// Only meaningful for *model-evaluating* backends ([`blob_sim`]'s
+/// analytic `SystemModel`s), whose "timings" are pure functions of the
+/// call. A wall-clock backend (e.g. `HostCpu`) must keep using
+/// [`run_sweep`]: concurrent timed measurements contend for the cores
+/// being measured and corrupt each other's numbers.
+pub fn run_sweep_pooled<B>(
+    backend: Arc<B>,
+    problem: Problem,
+    precision: Precision,
+    cfg: &SweepConfig,
+    pool: &ThreadPool,
+) -> Sweep
+where
+    B: Backend + Send + Sync + 'static,
+{
+    let params = problem.params(cfg.min_dim, cfg.max_dim, cfg.step);
+    let workers = pool.threads().min(params.len());
+    if workers <= 1 {
+        return run_sweep(backend.as_ref(), problem, precision, cfg);
+    }
+    let offloads = backend.offloads();
+    let iters = cfg.iterations.max(1);
+    let cfg = *cfg;
+    let slots: Arc<Mutex<Vec<Option<SizeRecord>>>> = Arc::new(Mutex::new(vec![None; params.len()]));
+    let per = params.len().div_ceil(workers);
+    let mut batch = pool.batch();
+    for (chunk_idx, chunk) in params.chunks(per).enumerate() {
+        let chunk = chunk.to_vec();
+        let backend = Arc::clone(&backend);
+        let slots = Arc::clone(&slots);
+        let offloads = offloads.clone();
+        let base = chunk_idx * per;
+        batch.submit(move || {
+            for (j, p) in chunk.into_iter().enumerate() {
+                let rec = measure_size(
+                    backend.as_ref(),
+                    problem,
+                    precision,
+                    p,
+                    &cfg,
+                    iters,
+                    &offloads,
+                );
+                let mut s = slots
+                    .lock()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+                s[base + j] = Some(rec);
+            }
+        });
+    }
+    batch.wait();
+    // The batch barrier guarantees every slot was filled; `flatten` is the
+    // panic-free way to say so.
+    let mut s = slots
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    let records = std::mem::take(&mut *s).into_iter().flatten().collect();
     Sweep {
         system: backend.name(),
         problem,
@@ -298,6 +384,27 @@ mod tests {
             .gpu_series(Offload::TransferOnce)
             .iter()
             .all(|&(_, g)| g > 0.0));
+    }
+
+    #[test]
+    fn pooled_sweep_is_identical_to_serial() {
+        let sys = Arc::new(presets::dawn());
+        let cfg = SweepConfig::new(1, 97, 2).with_step(3);
+        let problem = Problem::Gemm(GemmProblem::Square);
+        let serial = run_sweep(sys.as_ref(), problem, Precision::F32, &cfg);
+        let pool = ThreadPool::new(3);
+        let pooled = run_sweep_pooled(Arc::clone(&sys), problem, Precision::F32, &cfg, &pool);
+        assert_eq!(serial, pooled);
+        // more chunks than workers is fine too (uneven tail chunk)
+        let tiny = SweepConfig::new(1, 5, 1);
+        let serial = run_sweep(sys.as_ref(), problem, Precision::F64, &tiny);
+        let pooled = run_sweep_pooled(Arc::clone(&sys), problem, Precision::F64, &tiny, &pool);
+        assert_eq!(serial, pooled);
+        // single-size sweep falls back to the serial path
+        let one = SweepConfig::new(64, 64, 1);
+        let serial = run_sweep(sys.as_ref(), problem, Precision::F32, &one);
+        let pooled = run_sweep_pooled(sys, problem, Precision::F32, &one, &pool);
+        assert_eq!(serial, pooled);
     }
 
     #[test]

@@ -18,13 +18,14 @@ use crate::cache::ShardedCache;
 use crate::http::{Request, Response};
 use crate::metrics::Metrics;
 use blob_core::backend::Backend;
-use blob_core::runner::{run_sweep, SweepConfig};
+use blob_core::runner::{run_sweep_pooled, SweepConfig, ThreadPool};
 use blob_core::wire::{
     advice_json, kernel_json, offload_key, parse_precision, parse_problem_id, precision_key, Json,
 };
 use blob_core::{advise, Offload, Precision};
 use blob_sim::{presets, BlasCall, Kernel, SystemModel};
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// The largest dimension `/threshold` will sweep — the paper's own `-d`
@@ -60,6 +61,10 @@ pub struct App {
     pub metrics: Metrics,
     allow_shutdown: bool,
     shutdown: AtomicBool,
+    /// Persistent worker pool for threshold sweeps on cache misses: sweep
+    /// points of one request are measured in parallel (the models are
+    /// analytic, so the fan-out cannot perturb the numbers).
+    sweep_pool: ThreadPool,
 }
 
 /// A handler failure that maps to an HTTP status.
@@ -88,6 +93,7 @@ impl App {
             metrics: Metrics::new(),
             allow_shutdown,
             shutdown: AtomicBool::new(false),
+            sweep_pool: ThreadPool::with_default_parallelism(),
         }
     }
 
@@ -262,7 +268,13 @@ impl App {
             Some(hit) => ((*hit).clone(), true),
             None => {
                 let cfg = SweepConfig::new(min_dim, max_dim, iterations).with_step(step);
-                let sweep = run_sweep(system, problem, precision, &cfg);
+                let sweep = run_sweep_pooled(
+                    Arc::new(system.clone()),
+                    problem,
+                    precision,
+                    &cfg,
+                    &self.sweep_pool,
+                );
                 let value = threshold_result_json(&sweep);
                 ((*self.cache.insert(key, value)).clone(), false)
             }
