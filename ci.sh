@@ -19,10 +19,17 @@
 #                               latency against the committed trajectory in
 #                               BENCH_blas.json and fails on a > 20%
 #                               regression (writes results/BENCH_blas.json)
-#   7. server smoke             gpu-blob serve end-to-end: /healthz, /advise,
+#   7. fault overhead gate      fault_gate proves a disabled fault point
+#                               costs < 1% of the most overhead-sensitive
+#                               gated kernel shape (results/fault_gate.csv)
+#   8. server smoke             gpu-blob serve end-to-end: /healthz, /advise,
 #                               a /threshold cache hit verified via /metrics,
 #                               and a clean /shutdown (serve_smoke e2e test)
-#   8. server load gate         serve_load must sustain >= 1000 req/s on
+#   9. chaos suite              seeded fault plans against the live server
+#                               (panic containment, worker replacement, load
+#                               shedding, retry) and the kill-and-resume
+#                               sweep (byte-identical CSV after SIGKILL)
+#  10. server load gate         serve_load must sustain >= 1000 req/s on
 #                               loopback (writes results/serve_load.csv)
 
 set -euo pipefail
@@ -46,8 +53,16 @@ cargo test -q --workspace --offline
 echo "==> perf gate (small-GEMM latency vs BENCH_blas.json)"
 cargo run -q --release -p blob-bench --bin perf_gate --offline
 
+echo "==> fault overhead gate (disabled fault points < 1% of gemm_par4_64)"
+cargo run -q --release -p blob-bench --bin fault_gate --offline
+
 echo "==> server smoke (healthz, advise, threshold cache hit, shutdown)"
 cargo test -q -p blob-cli --test serve_smoke --offline
+
+echo "==> chaos suite (seeded fault plans, self-healing, kill-and-resume)"
+cargo test -q -p blob-core --test fault_plan --offline
+cargo test -q -p blob-serve --test chaos --offline
+cargo test -q -p blob-cli --test chaos_resume --offline
 
 echo "==> server load gate (>= 1000 req/s loopback)"
 cargo run -q --release -p blob-bench --bin serve_load --offline -- \

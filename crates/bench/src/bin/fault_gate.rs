@@ -1,0 +1,130 @@
+//! `fault_gate` — proves the disabled fault plane is (near-)free.
+//!
+//! The fault plane ships enabled in every build: `fault::point` calls sit
+//! on the serve request path, the sweep runner's per-size loop, and the
+//! thread pool's per-job loop. The zero-cost claim is that with no plan
+//! installed a point is one relaxed atomic load, so even the most
+//! overhead-sensitive gated kernel shape (`gemm_par4_64` in `perf_gate`)
+//! cannot lose 1% to it.
+//!
+//! The gate measures, with no plan installed:
+//!
+//! 1. the per-call cost of a disabled `fault::point` (hot loop, min over
+//!    repetitions — interference only adds time), and
+//! 2. the `gemm_par4_64` per-call latency, the same statistic `perf_gate`
+//!    gates on,
+//!
+//! and fails unless [`POINTS_PER_CALL`] disabled points cost **< 1%** of
+//! one small-GEMM call. [`POINTS_PER_CALL`] is a deliberate over-estimate
+//! of how many points one kernel call can traverse (the pool hits one per
+//! job, i.e. per worker), so the bound holds with a wide margin on the
+//! real layout. Results land in `results/fault_gate.csv`.
+//!
+//! ```text
+//! cargo run --release -p blob-bench --bin fault_gate
+//! ```
+
+use blob_bench::microbench::{black_box, measure_latency};
+use blob_bench::results_dir;
+use blob_core::fault;
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// Worker-thread count of the reference GEMM (matches `perf_gate`).
+const THREADS: usize = 4;
+
+/// Side of the reference GEMM (`gemm_par4_64`, the shape most sensitive
+/// to per-call overhead).
+const DIM: usize = 64;
+
+/// Deliberately pessimistic points-per-kernel-call multiplier: the real
+/// hot path traverses ~[`THREADS`] (one `pool.worker` point per job).
+const POINTS_PER_CALL: f64 = 64.0;
+
+/// Overhead budget, percent of one `gemm_par4_64` call.
+const BUDGET_PCT: f64 = 1.0;
+
+/// Calls per timed block of the point microbenchmark. Large enough that
+/// the `Instant` pair around the block is amortised to nothing.
+const BLOCK: u64 = 4_000_000;
+
+/// Repetitions; the statistic is the minimum (noise only adds time).
+const REPS: usize = 5;
+
+/// Nanoseconds per disabled `fault::point` call, min over [`REPS`] blocks.
+fn measure_point_ns() -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        let mut hits = 0u64;
+        for _ in 0..BLOCK {
+            if fault::point(fault::sites::RUNNER_SIZE).is_err() {
+                hits += 1;
+            }
+        }
+        black_box(&hits);
+        assert_eq!(hits, 0, "no plan is installed; nothing may fire");
+        best = best.min(t0.elapsed().as_secs_f64() * 1e9 / BLOCK as f64);
+    }
+    best
+}
+
+/// Per-call latency of `gemm_par4_64` in nanoseconds (median, min over
+/// [`REPS`] reps — the `perf_gate` statistic).
+fn measure_gemm_ns() -> f64 {
+    let a = vec![0.5f64; DIM * DIM];
+    let b = vec![0.25f64; DIM * DIM];
+    let mut c = vec![0.0f64; DIM * DIM];
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let stats = measure_latency(10, 41, || {
+            let _ = blob_blas::gemm_parallel(
+                THREADS, DIM, DIM, DIM, 1.0, &a, DIM, &b, DIM, 0.0, &mut c, DIM,
+            );
+            black_box(&c);
+        });
+        best = best.min(stats.median * 1e9);
+    }
+    best
+}
+
+fn main() -> ExitCode {
+    // The gate's premise is the *disabled* path; refuse to measure noise.
+    if fault::active() {
+        eprintln!("fault_gate: a fault plan is installed (GPU_BLOB_FAULTS?) — unset it first");
+        return ExitCode::from(2);
+    }
+
+    println!("fault_gate: measuring the disabled fault plane");
+    let point_ns = measure_point_ns();
+    println!(
+        "  disabled fault::point   {point_ns:>10.3} ns/call (min of {REPS} blocks of {BLOCK})"
+    );
+    let gemm_ns = measure_gemm_ns();
+    println!("  gemm_par4_64            {:>10.1} µs/call", gemm_ns / 1e3);
+
+    let overhead_pct = 100.0 * (POINTS_PER_CALL * point_ns) / gemm_ns;
+    println!(
+        "  {POINTS_PER_CALL:.0} points per call -> {overhead_pct:.4}% of one gemm_par4_64 (budget {BUDGET_PCT}%)"
+    );
+
+    let dir = results_dir();
+    let _ = std::fs::create_dir_all(&dir);
+    let path = dir.join("fault_gate.csv");
+    let csv = format!(
+        "point_ns,gemm_par4_64_ns,points_per_call,overhead_pct,budget_pct\n{point_ns:.3},{gemm_ns:.1},{POINTS_PER_CALL:.0},{overhead_pct:.4},{BUDGET_PCT}\n"
+    );
+    if let Err(e) = blob_core::atomicio::write_atomic(&path, csv.as_bytes()) {
+        eprintln!("fault_gate: writing {}: {e}", path.display());
+    } else {
+        println!("wrote {}", path.display());
+    }
+
+    if overhead_pct < BUDGET_PCT {
+        println!("fault_gate: ok");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("fault_gate: FAILED — disabled fault points are not free");
+        ExitCode::FAILURE
+    }
+}

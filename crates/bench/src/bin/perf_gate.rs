@@ -21,6 +21,12 @@
 //! GEMV are tracked in the file but do not fail the gate (their medians
 //! move with machine load more than with code changes).
 //!
+//! A gated shape that fails its first comparison is re-measured up to
+//! [`GATE_RETRIES`] more times — with a pause between attempts so a
+//! host-steal burst can pass — and gated on the minimum across attempts:
+//! the minimum is an upper bound on the code's true latency, so retries
+//! strip scheduler noise without ever excusing a real regression.
+//!
 //! Every run also writes the full trajectory plus the current measurement
 //! to `results/BENCH_blas.json` so tooling can diff a run against history
 //! without touching the committed file.
@@ -38,6 +44,18 @@ const THREADS: usize = 4;
 
 /// Default regression tolerance, percent (gate fails above this).
 const DEFAULT_TOLERANCE_PCT: f64 = 20.0;
+
+/// Extra re-measurements granted to a gated shape that fails its first
+/// comparison. On a shared 1-vCPU container host CPU steal can double a
+/// median; the minimum across attempts is still an upper bound on the
+/// code's true latency, so retries can only strip noise — a real
+/// regression stays over the line however often it is re-measured.
+const GATE_RETRIES: usize = 4;
+
+/// Pause before each re-measurement. Steal bursts on the shared host
+/// last seconds, so back-to-back retries re-sample the same bad window;
+/// spreading the attempts out gives each one a chance at a quiet host.
+const GATE_RETRY_PAUSE: std::time::Duration = std::time::Duration::from_secs(3);
 
 /// Independent repetitions of every shape's sample set. The reported
 /// number is the **minimum of the per-rep medians**: interference on a
@@ -183,6 +201,12 @@ impl Entry {
         self.shapes.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
     }
 
+    fn set(&mut self, name: &str, us: f64) {
+        if let Some(slot) = self.shapes.iter_mut().find(|(n, _)| n == name) {
+            slot.1 = us;
+        }
+    }
+
     fn to_json(&self) -> Json {
         let mut shape_fields: Vec<(String, Json)> = Vec::new();
         for (name, us) in &self.shapes {
@@ -286,7 +310,7 @@ fn main() -> ExitCode {
     };
 
     println!("perf_gate: measuring blas hot-path latency ({THREADS} threads)");
-    let current = Entry {
+    let mut current = Entry {
         id: args.record.clone().unwrap_or_else(|| "current".to_string()),
         shapes: shapes()
             .iter()
@@ -337,18 +361,33 @@ fn main() -> ExitCode {
         reference.id, args.tolerance_pct
     );
     for s in shapes().iter().filter(|s| s.gated) {
-        let Some(now) = current.get(s.name) else {
+        let Some(mut now) = current.get(s.name) else {
             continue;
         };
         let Some(base) = reference.get(s.name) else {
             println!("  {:<20} (no baseline, skipped)", s.name);
             continue;
         };
-        let ok = now <= base * factor;
+        let limit = base * factor;
+        let mut retried = 0;
+        while now > limit && retried < GATE_RETRIES {
+            retried += 1;
+            std::thread::sleep(GATE_RETRY_PAUSE);
+            now = now.min(measure(s));
+        }
+        if retried > 0 {
+            current.set(s.name, now);
+        }
+        let ok = now <= limit;
         println!(
-            "  {:<20} {now:>10.1} µs vs {base:>10.1} µs  {}",
+            "  {:<20} {now:>10.1} µs vs {base:>10.1} µs  {}{}",
             s.name,
-            if ok { "ok" } else { "REGRESSED" }
+            if ok { "ok" } else { "REGRESSED" },
+            if retried > 0 {
+                format!("  ({retried} re-measurement(s))")
+            } else {
+                String::new()
+            }
         );
         failed |= !ok;
     }

@@ -105,6 +105,7 @@ fn main() {
             ..Limits::default()
         },
         allow_shutdown: false,
+        ..Config::default()
     })
     .expect("start server");
     let addr = server.local_addr();

@@ -1,0 +1,104 @@
+//! Fault-injection hook for the execution substrate.
+//!
+//! The workspace-wide fault plane lives in `blob_core::fault`, but this
+//! crate sits *below* `blob-core` in the dependency graph, so the thread
+//! pool cannot call it directly. Instead the pool calls [`point`], which
+//! consults a process-global hook that `blob_core::fault::install`
+//! registers. With no hook (or the plane inactive) a point is a single
+//! relaxed atomic load and a branch — the same zero-cost pattern as
+//! [`crate::perturb::point`].
+//!
+//! Tests inside this crate can register their own hook (e.g. "kill the
+//! first two workers") without pulling in `blob-core`.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, PoisonError};
+use std::time::Duration;
+
+/// What a fault point tells its caller to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Directive {
+    /// No fault: carry on.
+    Proceed,
+    /// Terminate the current worker cleanly (worker-death injection).
+    Die,
+    /// Panic at the point (exercises unwind containment).
+    Panic,
+    /// Sleep for the given duration, then carry on.
+    Delay(Duration),
+}
+
+/// Site names this crate's fault points use. `blob_core::fault::sites`
+/// re-exports them so the plan vocabulary has a single source of truth.
+pub mod sites {
+    /// Thread-pool worker, between jobs (Die ⇒ worker death).
+    pub const POOL_WORKER: &str = "pool.worker";
+}
+
+/// The hook signature: maps a site name to a directive.
+pub type Hook = Box<dyn Fn(&'static str) -> Directive + Send + Sync>;
+
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+static HOOK: Mutex<Option<Hook>> = Mutex::new(None);
+
+/// Installs (or replaces) the process-global hook. The hook only runs
+/// while [`set_active`]`(true)` is in effect.
+pub fn set_hook(hook: impl Fn(&'static str) -> Directive + Send + Sync + 'static) {
+    *HOOK.lock().unwrap_or_else(PoisonError::into_inner) = Some(Box::new(hook));
+}
+
+/// Turns the hook on or off. Off ⇒ every point is the fast path.
+pub fn set_active(active: bool) {
+    ACTIVE.store(active, Ordering::Release);
+}
+
+/// A fault point inside the execution substrate. Site names come from
+/// `blob_core::fault::sites` (e.g. `"pool.worker"`).
+#[inline]
+pub fn point(site: &'static str) -> Directive {
+    if !ACTIVE.load(Ordering::Relaxed) {
+        return Directive::Proceed;
+    }
+    armed_point(site)
+}
+
+#[cold]
+fn armed_point(site: &'static str) -> Directive {
+    let guard = HOOK.lock().unwrap_or_else(PoisonError::into_inner);
+    match guard.as_ref() {
+        Some(hook) => hook(site),
+        None => Directive::Proceed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perturb::STRESS_LOCK;
+
+    #[test]
+    fn inactive_point_proceeds_without_consulting_hook() {
+        let _guard = STRESS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_hook(|_| Directive::Die);
+        set_active(false);
+        assert_eq!(point("pool.worker"), Directive::Proceed);
+    }
+
+    #[test]
+    fn active_point_follows_hook() {
+        let _guard = STRESS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_hook(|site| {
+            if site == "pool.worker" {
+                Directive::Delay(Duration::from_millis(1))
+            } else {
+                Directive::Proceed
+            }
+        });
+        set_active(true);
+        assert_eq!(
+            point("pool.worker"),
+            Directive::Delay(Duration::from_millis(1))
+        );
+        set_active(false);
+    }
+}

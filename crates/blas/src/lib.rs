@@ -58,6 +58,7 @@
 pub mod arena;
 pub mod batched;
 pub mod contract;
+pub mod faultpoint;
 pub mod gemm;
 pub mod gemv;
 pub mod half;

@@ -43,14 +43,17 @@
 //! Interleaving-sensitive spots call [`perturb::point`](crate::perturb),
 //! which the seeded stress tests use to explore schedules.
 
+use crate::faultpoint::{self, Directive};
 use crate::perturb;
 use std::any::Any;
 use std::cell::Cell;
 use std::collections::VecDeque;
 use std::ops::Range;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// Minimum floating-point operations a worker must own before compute-bound
 /// scoped dispatch pays for itself.
@@ -104,6 +107,10 @@ type Job = Box<dyn FnOnce() + Send + 'static>;
 struct Queue {
     jobs: Mutex<QueueState>,
     ready: Condvar,
+    /// Live worker count. Zero means every job must run inline on the
+    /// submitting thread (spawn-degraded pool, or all workers killed by
+    /// injected faults and not yet replaced).
+    alive: AtomicUsize,
 }
 
 struct QueueState {
@@ -152,19 +159,26 @@ impl Latch {
         }
     }
 
-    /// Blocks until the batch drains, then re-throws a captured panic.
-    fn wait(&self) {
+    /// Blocks until the batch drains or `timeout` elapses. Returns true
+    /// when the batch is done (after re-throwing a captured panic); false
+    /// on timeout, so the waiter can check worker health and retry.
+    fn wait_timeout(&self, timeout: Duration) -> bool {
         let mut s = lock_ignore_poison(&self.state);
         while s.pending != 0 {
-            s = self
+            let (guard, res) = self
                 .done
-                .wait(s)
+                .wait_timeout(s, timeout)
                 .unwrap_or_else(|poisoned| poisoned.into_inner());
+            s = guard;
+            if res.timed_out() && s.pending != 0 {
+                return false;
+            }
         }
         if let Some(payload) = s.panic.take() {
             drop(s);
             resume_unwind(payload);
         }
+        true
     }
 }
 
@@ -187,10 +201,65 @@ thread_local! {
 /// queued: with every worker blocked inside such a job, queueing and
 /// waiting would deadlock (see `nested_dispatch_runs_inline`).
 ///
+/// ## Worker-death detection and replacement
+///
+/// A worker can die: the `pool.worker` fault point
+/// ([`crate::faultpoint`]) injects clean exits and panics to model it.
+/// Death is *detected* at the batch barrier — [`BatchHandle::wait`] polls
+/// on a short timeout and calls [`ThreadPool::ensure_workers`], which
+/// joins finished workers and spawns replacements (counted by
+/// [`ThreadPool::replaced_workers`]). Because a dying worker never holds
+/// a dequeued job (the fault point sits *before* the dequeue, and a
+/// mid-job panic is caught by `run_job` and routed to the batch latch),
+/// no job is ever lost: it stays queued until a live or replacement
+/// worker picks it up, so batches always complete.
+///
 /// Dropping the pool drains the queue and joins all workers.
 pub struct ThreadPool {
     queue: Arc<Queue>,
-    workers: Vec<JoinHandle<()>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    /// Configured worker count; `ensure_workers` respawns back up to it.
+    target: usize,
+    /// Monotonic id source for worker thread names.
+    next_id: AtomicUsize,
+    /// Workers respawned after death (fault-injected or otherwise).
+    replaced: AtomicU64,
+}
+
+/// How often a blocked batch waiter re-checks worker health. Long enough
+/// to be free next to real kernel work, short enough that an injected
+/// worker death stalls a batch imperceptibly.
+const WORKER_CHECK_PERIOD: Duration = Duration::from_millis(25);
+
+fn spawn_worker(queue: &Arc<Queue>, idx: usize) -> Option<JoinHandle<()>> {
+    // Count the worker alive *before* it runs so a submit racing with
+    // construction queues instead of falling back to inline execution.
+    queue.alive.fetch_add(1, Ordering::Relaxed);
+    let q = Arc::clone(queue);
+    let handle = std::thread::Builder::new()
+        .name(format!("blob-worker-{idx}"))
+        .spawn(move || {
+            IS_POOL_WORKER.with(|f| f.set(true));
+            let _guard = AliveGuard(&q.alive);
+            worker_loop(&q);
+        });
+    match handle {
+        Ok(h) => Some(h),
+        Err(_) => {
+            queue.alive.fetch_sub(1, Ordering::Relaxed);
+            None
+        }
+    }
+}
+
+/// Decrements the live-worker count however the worker exits — clean
+/// shutdown, injected death, or panic unwind.
+struct AliveGuard<'a>(&'a AtomicUsize);
+
+impl Drop for AliveGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
 }
 
 impl ThreadPool {
@@ -208,20 +277,18 @@ impl ThreadPool {
                 shutdown: false,
             }),
             ready: Condvar::new(),
+            alive: AtomicUsize::new(0),
         });
         let workers: Vec<JoinHandle<()>> = (0..threads)
-            .filter_map(|idx| {
-                let queue = Arc::clone(&queue);
-                std::thread::Builder::new()
-                    .name(format!("blob-worker-{idx}"))
-                    .spawn(move || {
-                        IS_POOL_WORKER.with(|f| f.set(true));
-                        worker_loop(&queue);
-                    })
-                    .ok()
-            })
+            .filter_map(|idx| spawn_worker(&queue, idx))
             .collect();
-        Self { queue, workers }
+        Self {
+            queue,
+            workers: Mutex::new(workers),
+            target: threads,
+            next_id: AtomicUsize::new(threads),
+            replaced: AtomicU64::new(0),
+        }
     }
 
     /// A pool sized to the host's available parallelism.
@@ -229,10 +296,42 @@ impl ThreadPool {
         Self::new(available_threads())
     }
 
-    /// Number of worker threads (0 only if the OS refused every spawn, in
-    /// which case jobs run inline on the submitting thread).
+    /// Configured worker count (callers size their fan-out with this; the
+    /// live count may dip below it briefly between a worker death and its
+    /// replacement).
     pub fn threads(&self) -> usize {
-        self.workers.len()
+        self.target
+    }
+
+    /// Workers respawned after death, across the pool's lifetime.
+    pub fn replaced_workers(&self) -> u64 {
+        self.replaced.load(Ordering::Relaxed)
+    }
+
+    /// Joins any dead workers and spawns replacements up to the
+    /// configured count. Called from the batch barrier's health poll;
+    /// harmless (and cheap) when every worker is healthy.
+    pub fn ensure_workers(&self) {
+        let mut workers = lock_ignore_poison(&self.workers);
+        let mut i = 0;
+        while i < workers.len() {
+            if workers[i].is_finished() {
+                let h = workers.swap_remove(i);
+                let _ = h.join();
+            } else {
+                i += 1;
+            }
+        }
+        while workers.len() < self.target {
+            let idx = self.next_id.fetch_add(1, Ordering::Relaxed);
+            match spawn_worker(&self.queue, idx) {
+                Some(h) => {
+                    workers.push(h);
+                    self.replaced.fetch_add(1, Ordering::Relaxed);
+                }
+                None => break,
+            }
+        }
     }
 
     /// Opens a new batch. Jobs submitted through the handle complete —
@@ -254,7 +353,8 @@ impl ThreadPool {
     }
 
     fn enqueue(&self, job: Job, latch: &Arc<Latch>) {
-        let inline = self.workers.is_empty() || IS_POOL_WORKER.with(Cell::get);
+        let inline =
+            self.queue.alive.load(Ordering::Relaxed) == 0 || IS_POOL_WORKER.with(Cell::get);
         latch.incr();
         if inline {
             // Spawn-degraded pool or nested dispatch from a worker: run on
@@ -291,9 +391,16 @@ impl BatchHandle<'_> {
     /// Blocks until every submitted job has completed. If a job panicked,
     /// the first captured payload is re-thrown here — the batch barrier
     /// mirrors `std::thread::scope`'s join-then-propagate contract.
+    ///
+    /// The wait doubles as the pool's worker-death detector: each
+    /// [`WORKER_CHECK_PERIOD`] without completion it joins dead workers
+    /// and spawns replacements, so a batch survives losing every worker
+    /// mid-flight.
     pub fn wait(self) {
         perturb::point(perturb::tags::BATCH_WAIT);
-        self.latch.wait();
+        while !self.latch.wait_timeout(WORKER_CHECK_PERIOD) {
+            self.pool.ensure_workers();
+        }
     }
 }
 
@@ -310,6 +417,16 @@ fn run_job(job: Job, latch: &Arc<Latch>) {
 
 fn worker_loop(queue: &Queue) {
     loop {
+        // The fault point sits *before* the dequeue so an injected death
+        // never takes a job with it: the job stays queued for a live or
+        // replacement worker, and batch latches never leak a count.
+        match faultpoint::point(faultpoint::sites::POOL_WORKER) {
+            Directive::Proceed => {}
+            Directive::Die => return,
+            // blob-check: allow(no-unwrap-in-lib): injected worker panic is the fault plane's contract; unwind containment is under test
+            Directive::Panic => panic!("injected fault panic at `pool.worker`"),
+            Directive::Delay(d) => std::thread::sleep(d),
+        }
         let (job, latch) = {
             let mut state = lock_ignore_poison(&queue.jobs);
             loop {
@@ -339,8 +456,17 @@ impl Drop for ThreadPool {
         // Workers drain remaining jobs (pop_front wins over shutdown),
         // then exit once the queue is empty.
         self.queue.ready.notify_all();
-        for w in self.workers.drain(..) {
+        for w in lock_ignore_poison(&self.workers).drain(..) {
             let _ = w.join();
+        }
+        // Injected worker death can leave jobs queued with no worker to
+        // run them; finish those inline so Drop keeps its drain contract.
+        loop {
+            let entry = lock_ignore_poison(&self.queue.jobs).jobs.pop_front();
+            match entry {
+                Some((job, latch)) => run_job(job, &latch),
+                None => break,
+            }
         }
     }
 }

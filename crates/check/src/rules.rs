@@ -22,9 +22,10 @@ pub struct Finding {
 }
 
 /// All rule identifiers, for `--list-rules` and suppression validation.
-pub const RULES: [&str; 7] = [
+pub const RULES: [&str; 8] = [
     "no-unsafe",
     "no-unwrap-in-lib",
+    "no-unwrap-in-serve",
     "no-float-eq",
     "pub-item-docs",
     "contract-guard",
@@ -472,6 +473,46 @@ pub fn check_file(path: &str, text: &str, ctx: &Context) -> Vec<Finding> {
         }
     }
 
+    // --- no-unwrap-in-serve: service/driver binaries must not panic ------
+    // The serve and cli crates' *library* files are already policed by
+    // `no-unwrap-in-lib`; this rule extends the same pattern to their
+    // binary files (`main.rs`, `src/bin/…`), which that rule skips. A
+    // panic there takes down the long-running advisor service or aborts a
+    // sweep mid-run, so availability depends on handling the error. The
+    // scopes are disjoint (`is_lib` vs not), so a site is never reported
+    // by both rules.
+    let serve_scope = !class.is_lib
+        && !class.is_test_like
+        && (path.starts_with("crates/serve/") || path.starts_with("crates/cli/"));
+    if serve_scope {
+        for (i, t) in code.iter().enumerate() {
+            if in_regions(t.line, &test_regions) || t.kind != TokenKind::Ident {
+                continue;
+            }
+            let prev_dot = i > 0 && code[i - 1].text == ".";
+            let next = |o: usize| code.get(i + o).map(|t| t.text.as_str());
+            let hit = match t.text.as_str() {
+                "unwrap" | "expect" if prev_dot && next(1) == Some("(") => Some(format!(
+                    "`.{}()` in service/driver code — report the error and exit cleanly instead",
+                    t.text
+                )),
+                "panic" if next(1) == Some("!") => Some(
+                    "`panic!` in service/driver code — report the error and exit cleanly instead"
+                        .to_string(),
+                ),
+                _ => None,
+            };
+            if let Some(message) = hit {
+                findings.push(Finding {
+                    rule: "no-unwrap-in-serve",
+                    path: path.to_string(),
+                    line: t.line,
+                    message,
+                });
+            }
+        }
+    }
+
     // --- no-float-eq: kernel/model code (blas + sim libraries) -----------
     let float_eq_scope = class.is_lib
         && matches!(
@@ -764,6 +805,40 @@ mod tests {
         assert!(tests.is_empty());
         // unwrap_or_else is a different identifier — not flagged
         assert!(check_lib("fn f() { x.unwrap_or_else(|| 3); }").is_empty());
+    }
+
+    #[test]
+    fn unwrap_in_serve_driver_binaries_flagged_once() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }";
+        // cli binary: the new rule fires, the lib rule does not
+        let f = check_file("crates/cli/src/main.rs", src, &Context::default());
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "no-unwrap-in-serve");
+        // serve *library* file: only the lib rule fires — never both
+        let f = check_file("crates/serve/src/api.rs", src, &Context::default());
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "no-unwrap-in-lib");
+        // serve/cli tests are exempt, like everywhere else
+        let f = check_file("crates/serve/tests/chaos.rs", src, &Context::default());
+        assert!(f.is_empty(), "{f:?}");
+        // binaries of other crates are out of scope for this rule
+        let f = check_file("crates/bench/src/bin/fig2.rs", src, &Context::default());
+        assert!(f.iter().all(|f| f.rule != "no-unwrap-in-serve"), "{f:?}");
+        // panic! and .expect() in a driver binary are the same violation
+        let f = check_file(
+            "crates/cli/src/main.rs",
+            "fn f() { x.expect(\"boom\"); panic!(\"no\"); }",
+            &Context::default(),
+        );
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().all(|f| f.rule == "no-unwrap-in-serve"));
+    }
+
+    #[test]
+    fn unwrap_in_serve_suppressible_with_reason() {
+        let src = "fn f(x: Option<u32>) -> u32 {\n    // blob-check: allow(no-unwrap-in-serve): startup precondition\n    x.unwrap()\n}";
+        let f = check_file("crates/cli/src/main.rs", src, &Context::default());
+        assert!(f.is_empty(), "{f:?}");
     }
 
     #[test]

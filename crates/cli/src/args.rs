@@ -117,6 +117,14 @@ pub struct Args {
     pub json: bool,
     /// Host threads (host backend only).
     pub threads: Option<usize>,
+    /// Fault-plan spec (`--fault-plan`), overriding `GPU_BLOB_FAULTS`.
+    pub fault_plan: Option<String>,
+    /// Checkpoint file for crash-safe sweeps (`--checkpoint`).
+    pub checkpoint: Option<std::path::PathBuf>,
+    /// Resume from an existing checkpoint (`--resume`).
+    pub resume: bool,
+    /// Watchdog budget per measured size in ms (`--size-budget-ms`).
+    pub size_budget_ms: Option<u64>,
     pub help: bool,
     pub list_problems: bool,
 }
@@ -137,6 +145,10 @@ impl Default for Args {
             plot: false,
             json: false,
             threads: None,
+            fault_plan: None,
+            checkpoint: None,
+            resume: false,
+            size_budget_ms: None,
             help: false,
             list_problems: false,
         }
@@ -170,6 +182,16 @@ OPTIONS:
     --plot               print an ASCII GFLOP/s chart per sweep
     --json               emit the whole run as one JSON document on stdout
                          (incompatible with --plot)
+    --checkpoint <FILE>  persist the sweep after every size (atomic write);
+                         requires exactly one problem, precision, and
+                         iteration count
+    --resume             continue from --checkpoint's file; the finished
+                         sweep is byte-identical to an uninterrupted run
+    --size-budget-ms <N> watchdog: flag any size measurement exceeding N ms
+                         (never kills it; reported on stderr and counted)
+    --fault-plan <SPEC>  install a deterministic fault plan (chaos testing;
+                         overrides GPU_BLOB_FAULTS), e.g.
+                         'seed=7;csv.write:error@0.5x2'
     --list-problems      list problem-type ids and definitions
     -h, --help           this help
 ";
@@ -246,6 +268,15 @@ pub fn parse(argv: &[String]) -> Result<Args, ArgsError> {
             "--validate" => args.validate = true,
             "--plot" => args.plot = true,
             "--json" => args.json = true,
+            "--fault-plan" => args.fault_plan = Some(next_value("--fault-plan", &mut it)?),
+            "--checkpoint" => args.checkpoint = Some(next_value("--checkpoint", &mut it)?.into()),
+            "--resume" => args.resume = true,
+            "--size-budget-ms" => {
+                args.size_budget_ms = Some(parse_value(
+                    &next_value("--size-budget-ms", &mut it)?,
+                    "--size-budget-ms",
+                )?)
+            }
             "--list-problems" => args.list_problems = true,
             "-h" | "--help" => args.help = true,
             other => return Err(ArgsError::UnknownArgument(other.to_string())),
@@ -267,6 +298,30 @@ pub fn parse(argv: &[String]) -> Result<Args, ArgsError> {
             "--json and --plot are mutually exclusive (JSON mode keeps stdout machine-readable)",
         ));
     }
+    if args.resume && args.checkpoint.is_none() {
+        return Err(ArgsError::InvalidCombination(
+            "--resume requires --checkpoint <FILE>",
+        ));
+    }
+    if args.checkpoint.is_some() {
+        // A checkpoint file holds exactly one sweep, so the invocation
+        // must pin the sweep down to one.
+        if args.problems.len() != 1
+            || !args.customs.is_empty()
+            || args.precisions.len() != 1
+            || args.iterations.len() != 1
+        {
+            return Err(ArgsError::InvalidCombination(
+                "--checkpoint requires exactly one --problem, one --precision, \
+                 one -i value, and no --custom",
+            ));
+        }
+    }
+    if args.size_budget_ms == Some(0) {
+        return Err(ArgsError::InvalidCombination(
+            "--size-budget-ms must be at least 1",
+        ));
+    }
     Ok(args)
 }
 
@@ -281,6 +336,11 @@ pub struct ServeArgs {
     pub cache_entries: usize,
     /// Honour `POST /shutdown` (`--allow-remote-shutdown`).
     pub allow_shutdown: bool,
+    /// Per-request deadline budget for compute endpoints, in ms
+    /// (`--deadline-ms`).
+    pub deadline_ms: u64,
+    /// Fault-plan spec (`--fault-plan`), overriding `GPU_BLOB_FAULTS`.
+    pub fault_plan: Option<String>,
     pub help: bool,
 }
 
@@ -291,6 +351,8 @@ impl Default for ServeArgs {
             threads: 4,
             cache_entries: 256,
             allow_shutdown: false,
+            deadline_ms: 10_000,
+            fault_plan: None,
             help: false,
         }
     }
@@ -310,6 +372,11 @@ OPTIONS:
     --cache-entries <N>       threshold-sweep cache capacity (default: 256)
     --allow-remote-shutdown   honour POST /shutdown (off by default; CI and
                               benches use it for clean teardown)
+    --deadline-ms <N>         per-request budget for POST /advise and
+                              POST /threshold; exceeded -> 503
+                              (default: 10000)
+    --fault-plan <SPEC>       install a deterministic fault plan (chaos
+                              testing; overrides GPU_BLOB_FAULTS)
     -h, --help                this help
 
 ENDPOINTS:
@@ -348,9 +415,19 @@ pub fn parse_serve(argv: &[String]) -> Result<ServeArgs, ArgsError> {
                     parse_value(&next_value("--cache-entries", &mut it)?, "--cache-entries")?
             }
             "--allow-remote-shutdown" => args.allow_shutdown = true,
+            "--deadline-ms" => {
+                args.deadline_ms =
+                    parse_value(&next_value("--deadline-ms", &mut it)?, "--deadline-ms")?
+            }
+            "--fault-plan" => args.fault_plan = Some(next_value("--fault-plan", &mut it)?),
             "-h" | "--help" => args.help = true,
             other => return Err(ArgsError::UnknownArgument(other.to_string())),
         }
+    }
+    if args.deadline_ms == 0 {
+        return Err(ArgsError::InvalidCombination(
+            "--deadline-ms must be at least 1",
+        ));
     }
     if args.threads == 0 {
         return Err(ArgsError::InvalidCombination(
@@ -505,6 +582,76 @@ mod tests {
             parse_command(&sv(&["-i", "8"])).unwrap(),
             Command::Sweep(_)
         ));
+    }
+
+    #[test]
+    fn chaos_and_checkpoint_flags() {
+        let a = parse(&sv(&[
+            "--problem",
+            "gemm_square",
+            "--precision",
+            "f32",
+            "-i",
+            "2",
+            "--checkpoint",
+            "/tmp/ck.json",
+            "--resume",
+            "--size-budget-ms",
+            "250",
+            "--fault-plan",
+            "seed=7;csv.write:error@1x1",
+        ]))
+        .unwrap();
+        assert_eq!(
+            a.checkpoint.as_deref(),
+            Some(std::path::Path::new("/tmp/ck.json"))
+        );
+        assert!(a.resume);
+        assert_eq!(a.size_budget_ms, Some(250));
+        assert_eq!(a.fault_plan.as_deref(), Some("seed=7;csv.write:error@1x1"));
+
+        // --resume without --checkpoint
+        assert!(matches!(
+            parse(&sv(&["--resume"])).unwrap_err(),
+            ArgsError::InvalidCombination(_)
+        ));
+        // --checkpoint needs the sweep pinned to one (problem, precision, -i)
+        assert!(matches!(
+            parse(&sv(&["--checkpoint", "/tmp/ck.json"])).unwrap_err(),
+            ArgsError::InvalidCombination(_)
+        ));
+        assert!(matches!(
+            parse(&sv(&[
+                "--problem",
+                "gemm_square",
+                "--precision",
+                "f32",
+                "-i",
+                "1,8",
+                "--checkpoint",
+                "/tmp/ck.json",
+            ]))
+            .unwrap_err(),
+            ArgsError::InvalidCombination(_)
+        ));
+        assert!(matches!(
+            parse(&sv(&["--size-budget-ms", "0"])).unwrap_err(),
+            ArgsError::InvalidCombination(_)
+        ));
+    }
+
+    #[test]
+    fn serve_deadline_and_fault_plan() {
+        let s = parse_serve(&sv(&[
+            "--deadline-ms",
+            "500",
+            "--fault-plan",
+            "serve.sweep:error@1x1",
+        ]))
+        .unwrap();
+        assert_eq!(s.deadline_ms, 500);
+        assert_eq!(s.fault_plan.as_deref(), Some("serve.sweep:error@1x1"));
+        assert!(parse_serve(&sv(&["--deadline-ms", "0"])).is_err());
     }
 
     #[test]

@@ -18,11 +18,13 @@ use blob_analysis::{ascii_chart, sd_pair_cell, Series, Table};
 use blob_core::backend::{Backend, HostCpu};
 use blob_core::csv::write_to_dir;
 use blob_core::custom_runner::run_custom_sweep;
+use blob_core::fault;
 use blob_core::problem::Problem;
-use blob_core::runner::{run_sweep, SweepConfig};
+use blob_core::runner::{run_sweep, run_sweep_checkpointed, SweepConfig};
 use blob_core::validate_call;
 use blob_core::wire::{self, Json};
 use blob_sim::{presets, Offload, Precision};
+use std::time::Duration;
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -35,6 +37,11 @@ fn main() {
             std::process::exit(2);
         }
     };
+    let fault_spec = match &command {
+        Command::Serve(a) => a.fault_plan.clone(),
+        Command::Sweep(a) => a.fault_plan.clone(),
+    };
+    install_fault_plan(fault_spec.as_deref());
     match command {
         Command::Serve(args) => {
             if args.help {
@@ -60,6 +67,27 @@ fn main() {
     }
 }
 
+/// Installs the deterministic fault plan, if any: `--fault-plan` wins over
+/// the `GPU_BLOB_FAULTS` environment variable. A spec that does not parse
+/// is a usage error (exit 2) — a typo must not silently disable chaos.
+fn install_fault_plan(explicit: Option<&str>) {
+    let installed = match explicit {
+        Some(spec) => fault::Plan::parse(spec).map(|plan| {
+            fault::install(&plan);
+            true
+        }),
+        None => fault::install_from_env(),
+    };
+    match installed {
+        Ok(true) => eprintln!("gpu-blob: fault plan installed (chaos mode)"),
+        Ok(false) => {}
+        Err(e) => {
+            eprintln!("error: bad fault plan: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
 /// Runs the advisor service until it is shut down (`POST /shutdown` when
 /// enabled, or the process is killed).
 fn serve(args: &ServeArgs) {
@@ -68,6 +96,7 @@ fn serve(args: &ServeArgs) {
         threads: args.threads,
         cache_entries: args.cache_entries,
         allow_shutdown: args.allow_shutdown,
+        deadline: Duration::from_millis(args.deadline_ms),
         ..blob_serve::Config::default()
     };
     let server = match blob_serve::Server::start(cfg) {
@@ -113,6 +142,13 @@ fn run(args: &Args) {
             &isam
         }
     };
+
+    // --checkpoint pins the invocation to a single sweep (enforced at
+    // argument validation) and takes the crash-safe path.
+    if let Some(ckpt_path) = args.checkpoint.clone() {
+        run_checkpointed(args, backend, &ckpt_path);
+        return;
+    }
 
     // --custom alone runs only the custom families; otherwise default to
     // the artifact's full 14 problem types
@@ -192,8 +228,7 @@ fn run(args: &Args) {
             }
             if let Some(dir) = &args.output {
                 for sweep in &sweeps {
-                    let path = write_to_dir(dir, sweep).expect("write CSV");
-                    eprintln!("wrote {}", path.display());
+                    write_csv_or_die(dir, sweep);
                 }
             }
         }
@@ -268,6 +303,101 @@ fn run(args: &Args) {
     }
 }
 
+/// Writes one sweep's CSV, surfacing the error instead of panicking: a
+/// result file the harness could not produce must fail the run visibly.
+fn write_csv_or_die(dir: &std::path::Path, sweep: &blob_core::runner::Sweep) {
+    match write_to_dir(dir, sweep) {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("error: cannot write CSV into {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+    }
+}
+
+/// The `--checkpoint` path: one sweep, persisted atomically after every
+/// measured size, optionally resumed (`--resume`) and watched
+/// (`--size-budget-ms`). Output matches the normal single-sweep run.
+fn run_checkpointed(args: &Args, backend: &dyn Backend, ckpt_path: &std::path::Path) {
+    let problem = args.problems[0];
+    let precision = args.precisions[0];
+    let iters = args.iterations[0];
+    let cfg = SweepConfig::new(args.min_dim, args.max_dim, iters).with_step(args.step);
+    let budget = args.size_budget_ms.map(Duration::from_millis);
+    let run = match run_sweep_checkpointed(
+        backend,
+        problem,
+        precision,
+        &cfg,
+        ckpt_path,
+        args.resume,
+        budget,
+    ) {
+        Ok(run) => run,
+        Err(e) => {
+            eprintln!("error: checkpointed sweep failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    if run.resumed > 0 {
+        eprintln!(
+            "resumed {} of {} sizes from {}",
+            run.resumed,
+            run.sweep.records.len(),
+            ckpt_path.display()
+        );
+    }
+    if run.watchdog_stalls > 0 {
+        eprintln!(
+            "watchdog: {} size measurement(s) exceeded the {} ms budget",
+            run.watchdog_stalls,
+            args.size_budget_ms.unwrap_or(0)
+        );
+    }
+    let sweep = run.sweep;
+    if let Some(dir) = &args.output {
+        write_csv_or_die(dir, &sweep);
+    }
+    if args.json {
+        let doc = Json::obj()
+            .field("system", backend.name())
+            .field("min_dim", args.min_dim)
+            .field("max_dim", args.max_dim)
+            .field("step", args.step)
+            .field("resumed", run.resumed as u64)
+            .field("watchdog_stalls", run.watchdog_stalls)
+            .field("sweeps", Json::Arr(vec![wire::sweep_json(&sweep)]))
+            .build();
+        println!("{}", doc.encode_pretty());
+        return;
+    }
+    let offloads = backend.offloads();
+    if offloads.is_empty() {
+        println!(
+            "{} — CPU-only backend: no offload thresholds (CSV still available)",
+            problem.label()
+        );
+        return;
+    }
+    let headers: Vec<String> = std::iter::once("Iterations".to_string())
+        .chain(offloads.iter().map(|o| o.label().to_string()))
+        .collect();
+    let mut table = Table::new(
+        format!("{} — offload thresholds ({})", problem.label(), precision),
+        &headers.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
+    let mut row = vec![iters.to_string()];
+    for &o in &offloads {
+        row.push(
+            threshold_param_of(&sweep, o)
+                .map(|p| p.to_string())
+                .unwrap_or_else(|| "-".to_string()),
+        );
+    }
+    table.push_row(row);
+    println!("{}", table.render());
+}
+
 /// The `--json` output mode: the whole run as one document on stdout,
 /// through the shared wire encoder — nothing else is printed there, so the
 /// output pipes straight into `jq` or back into `wire::Json::parse`.
@@ -279,8 +409,7 @@ fn run_json(args: &Args, backend: &dyn Backend, problems: &[Problem], precisions
             for &precision in precisions {
                 let sweep = run_sweep(backend, *problem, precision, &cfg);
                 if let Some(dir) = &args.output {
-                    let path = write_to_dir(dir, &sweep).expect("write CSV");
-                    eprintln!("wrote {}", path.display());
+                    write_csv_or_die(dir, &sweep);
                 }
                 sweeps.push(wire::sweep_json(&sweep));
             }

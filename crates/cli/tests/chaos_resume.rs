@@ -1,0 +1,216 @@
+//! Chaos end-to-end tests of the `gpu-blob` binary: a sweep killed with
+//! SIGKILL mid-run and resumed from its checkpoint must produce a CSV
+//! byte-identical to an uninterrupted run, and a bad fault plan must be a
+//! usage error (exit 2) whether it arrives by flag or by environment.
+
+use blob_core::checkpoint::Checkpoint;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::time::{Duration, Instant};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_gpu-blob")
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("blob_chaos_resume_{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+/// The pinned single sweep every test in this file runs: one problem, one
+/// precision, one iteration count (the `--checkpoint` contract), on a
+/// modelled backend so timings are analytic and therefore reproducible.
+fn sweep_args(ckpt: &Path, out: &Path) -> Vec<String> {
+    [
+        "--system",
+        "dawn",
+        "--problem",
+        "gemm_square",
+        "--precision",
+        "f32",
+        "-i",
+        "1",
+        "-s",
+        "1",
+        "-d",
+        "40",
+    ]
+    .iter()
+    .map(ToString::to_string)
+    .chain([
+        "--checkpoint".to_string(),
+        ckpt.display().to_string(),
+        "--output".to_string(),
+        out.display().to_string(),
+    ])
+    .collect()
+}
+
+/// Reads the single CSV a run wrote into `dir`.
+fn only_csv(dir: &Path) -> Vec<u8> {
+    let mut csvs: Vec<PathBuf> = std::fs::read_dir(dir)
+        .expect("read output dir")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "csv"))
+        .collect();
+    assert_eq!(
+        csvs.len(),
+        1,
+        "expected exactly one CSV in {}",
+        dir.display()
+    );
+    std::fs::read(csvs.remove(0)).expect("read csv")
+}
+
+#[test]
+fn killed_sweep_resumes_to_a_bit_identical_csv() {
+    let dir = scratch("kill");
+    let ref_ckpt = dir.join("ref.ckpt.json");
+    let ref_out = dir.join("ref_out");
+    let chaos_ckpt = dir.join("chaos.ckpt.json");
+    let chaos_out = dir.join("chaos_out");
+
+    // Reference: the same checkpointed sweep, never interrupted.
+    let status = Command::new(bin())
+        .args(sweep_args(&ref_ckpt, &ref_out))
+        .status()
+        .expect("spawn reference run");
+    assert!(status.success(), "reference run failed");
+    let reference = only_csv(&ref_out);
+
+    // Chaos run: a delay fault slows every size so the run is killable,
+    // then SIGKILL lands once the checkpoint holds a strict prefix.
+    let mut child = Command::new(bin())
+        .args(sweep_args(&chaos_ckpt, &chaos_out))
+        .env("GPU_BLOB_FAULTS", "runner.size:delay(120ms)@1")
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn chaos run");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let progressed = loop {
+        assert!(Instant::now() < deadline, "chaos run never checkpointed");
+        if let Some(st) = child.try_wait().expect("try_wait") {
+            panic!(
+                "chaos run finished (status {st}) before it could be killed — raise the sweep size"
+            );
+        }
+        match Checkpoint::load(&chaos_ckpt) {
+            Ok(ck) if !ck.records.is_empty() && !ck.complete => break ck.records.len(),
+            _ => std::thread::sleep(Duration::from_millis(20)),
+        }
+    };
+    child.kill().expect("kill chaos run");
+    let _ = child.wait();
+    let premature_csvs = std::fs::read_dir(&chaos_out)
+        .map(|rd| rd.filter_map(Result::ok).count())
+        .unwrap_or(0);
+    assert_eq!(
+        premature_csvs, 0,
+        "the killed run must not have written its CSV"
+    );
+
+    // Resume (no fault plan this time): the rest of the sweep is measured
+    // and the CSV comes out byte-identical to the uninterrupted run.
+    let out = Command::new(bin())
+        .args(sweep_args(&chaos_ckpt, &chaos_out))
+        .arg("--resume")
+        .output()
+        .expect("spawn resume run");
+    assert!(
+        out.status.success(),
+        "resume failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("resumed"),
+        "resume must report the prefix it reused: {stderr}"
+    );
+    assert_eq!(
+        only_csv(&chaos_out),
+        reference,
+        "resumed CSV differs from the uninterrupted run (killed at {progressed} records)"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resume_without_a_matching_checkpoint_key_fails_cleanly() {
+    let dir = scratch("mismatch");
+    let ckpt = dir.join("ckpt.json");
+    let out_dir = dir.join("out");
+    let status = Command::new(bin())
+        .args(sweep_args(&ckpt, &out_dir))
+        .status()
+        .expect("spawn run");
+    assert!(status.success());
+
+    // Same checkpoint file, different sweep (-d 48 instead of 40).
+    let mut args = sweep_args(&ckpt, &out_dir);
+    let d_at = args.iter().position(|a| a == "-d").expect("-d present") + 1;
+    args[d_at] = "48".to_string();
+    let out = Command::new(bin())
+        .args(&args)
+        .arg("--resume")
+        .output()
+        .expect("spawn mismatched resume");
+    assert!(!out.status.success(), "a mismatched resume must fail");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("mismatch"), "{stderr}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bad_fault_plan_flag_is_exit_2() {
+    let out = Command::new(bin())
+        .args(["--fault-plan", "no.such.site:error@1", "-d", "8"])
+        .output()
+        .expect("spawn gpu-blob");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("bad fault plan"), "{stderr}");
+}
+
+#[test]
+fn bad_fault_plan_env_is_exit_2() {
+    let out = Command::new(bin())
+        .args(["-d", "8"])
+        .env("GPU_BLOB_FAULTS", "serve.sweep:error@2.5")
+        .output()
+        .expect("spawn gpu-blob");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("bad fault plan"), "{stderr}");
+}
+
+#[test]
+fn flag_plan_overrides_the_environment_plan() {
+    // The env var is garbage, but the explicit flag wins, so the run
+    // succeeds in chaos mode.
+    let out = Command::new(bin())
+        .args([
+            "--fault-plan",
+            "csv.write:delay(1ms)@1x1",
+            "--system",
+            "lumi",
+            "--problem",
+            "gemv_square",
+            "-i",
+            "1",
+            "-d",
+            "16",
+        ])
+        .env("GPU_BLOB_FAULTS", "this is not a plan")
+        .output()
+        .expect("spawn gpu-blob");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("chaos mode"), "{stderr}");
+}

@@ -1,0 +1,81 @@
+//! Crash-safe file writes: `<path>.tmp` + fsync + `rename`.
+//!
+//! Every result, trajectory, and checkpoint file in the workspace goes
+//! through [`write_atomic`], so a crash (or an injected fault — see
+//! [`crate::fault`]) at any instant leaves either the old complete file
+//! or the new complete file on disk, never a torn prefix.
+
+use std::fs::File;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// The sibling temp path a [`write_atomic`] call stages into:
+/// `results.csv` → `results.csv.tmp`.
+pub fn tmp_path(path: &Path) -> PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// Writes `bytes` to `path` atomically: stage into [`tmp_path`], flush
+/// and fsync, then `rename` over the destination. On any error the
+/// destination is untouched and the temp file is cleaned up.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = tmp_path(path);
+    let staged = (|| {
+        let mut f = File::create(&tmp)?;
+        f.write_all(bytes)?;
+        // fsync before the rename: otherwise a power loss can leave the
+        // *rename* durable but the *contents* not, i.e. a torn file with
+        // the final name — exactly what this helper exists to rule out.
+        f.sync_all()
+    })();
+    match staged.and_then(|()| std::fs::rename(&tmp, path)) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            let _ = std::fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tdir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("blob_atomicio_{name}"));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn writes_and_replaces() {
+        let d = tdir("replace");
+        let p = d.join("out.txt");
+        write_atomic(&p, b"first").unwrap();
+        assert_eq!(std::fs::read(&p).unwrap(), b"first");
+        write_atomic(&p, b"second").unwrap();
+        assert_eq!(std::fs::read(&p).unwrap(), b"second");
+        assert!(!tmp_path(&p).exists(), "temp file must not linger");
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn failure_leaves_destination_untouched() {
+        let d = tdir("fail");
+        let p = d.join("out.txt");
+        write_atomic(&p, b"keep me").unwrap();
+        // Writing into a missing directory fails at the staging step.
+        let bad = d.join("no_such_dir").join("out.txt");
+        assert!(write_atomic(&bad, b"x").is_err());
+        assert_eq!(std::fs::read(&p).unwrap(), b"keep me");
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn tmp_path_is_a_sibling() {
+        let p = Path::new("/a/b/result.csv");
+        assert_eq!(tmp_path(p), Path::new("/a/b/result.csv.tmp"));
+    }
+}

@@ -3,6 +3,8 @@
 //! every device and transfer type — 28 files per full run (9 SGEMM, 9
 //! DGEMM, 5 SGEMV, 5 DGEMV).
 
+use crate::atomicio::write_atomic;
+use crate::fault;
 use crate::runner::Sweep;
 use blob_sim::Offload;
 use std::io::{self, Write};
@@ -11,8 +13,10 @@ use std::path::Path;
 /// The CSV header row.
 pub const HEADER: &str = "system,routine,problem,device,offload,m,n,k,iterations,seconds,gflops";
 
-/// Serialises one sweep's rows (without header) to `w`.
-pub fn write_rows<W: Write>(w: &mut W, sweep: &Sweep) -> io::Result<()> {
+/// One sweep's data rows (no header), built infallibly in memory —
+/// `String` formatting has no error path to swallow, unlike the old
+/// `let _ = writeln!` into an `io::Write`.
+fn rows_string(sweep: &Sweep) -> String {
     let routine = match sweep.precision {
         blob_sim::Precision::F32 => match sweep.problem.kind() {
             blob_sim::KernelKind::Gemm => "sgemm",
@@ -23,11 +27,11 @@ pub fn write_rows<W: Write>(w: &mut W, sweep: &Sweep) -> io::Result<()> {
             blob_sim::KernelKind::Gemv => "dgemv",
         },
     };
+    let mut out = String::new();
     for r in &sweep.records {
         let (m, n, k) = r.kernel.dims();
-        writeln!(
-            w,
-            "{},{},{},cpu,none,{},{},{},{},{:.9e},{:.6}",
+        out.push_str(&format!(
+            "{},{},{},cpu,none,{},{},{},{},{:.9e},{:.6}\n",
             sweep.system,
             routine,
             sweep.problem.id(),
@@ -37,11 +41,10 @@ pub fn write_rows<W: Write>(w: &mut W, sweep: &Sweep) -> io::Result<()> {
             sweep.iterations,
             r.cpu_seconds,
             r.cpu_gflops
-        )?;
+        ));
         for g in &r.gpu {
-            writeln!(
-                w,
-                "{},{},{},gpu,{},{},{},{},{},{:.9e},{:.6}",
+            out.push_str(&format!(
+                "{},{},{},gpu,{},{},{},{},{},{:.9e},{:.6}\n",
                 sweep.system,
                 routine,
                 sweep.problem.id(),
@@ -52,20 +55,25 @@ pub fn write_rows<W: Write>(w: &mut W, sweep: &Sweep) -> io::Result<()> {
                 sweep.iterations,
                 g.seconds,
                 g.gflops
-            )?;
+            ));
         }
     }
-    Ok(())
+    out
+}
+
+/// Serialises one sweep's rows (without header) to `w`, propagating the
+/// write error instead of discarding it.
+pub fn write_rows<W: Write>(w: &mut W, sweep: &Sweep) -> io::Result<()> {
+    w.write_all(rows_string(sweep).as_bytes())
 }
 
 /// Serialises a sweep with header to a string.
 pub fn to_csv_string(sweep: &Sweep) -> String {
-    let mut buf = Vec::new();
-    // Writing into a Vec<u8> cannot fail, and every emitted byte comes
-    // from a format string, so the buffer is valid UTF-8.
-    let _ = writeln!(&mut buf, "{HEADER}");
-    let _ = write_rows(&mut buf, sweep);
-    String::from_utf8_lossy(&buf).into_owned()
+    let mut text = String::with_capacity(64 + 64 * sweep.records.len());
+    text.push_str(HEADER);
+    text.push('\n');
+    text.push_str(&rows_string(sweep));
+    text
 }
 
 /// The artifact's file-name convention for a sweep, e.g.
@@ -85,11 +93,15 @@ pub fn file_name(sweep: &Sweep) -> String {
     )
 }
 
-/// Writes a sweep to `dir/<file_name>`; creates the directory if needed.
+/// Writes a sweep to `dir/<file_name>` atomically (staged into a `.tmp`
+/// sibling, then renamed — see [`crate::atomicio`]); creates the
+/// directory if needed. The `csv.write` fault point can inject an I/O
+/// failure here, which callers must surface, not swallow.
 pub fn write_to_dir(dir: &Path, sweep: &Sweep) -> io::Result<std::path::PathBuf> {
+    fault::point(fault::sites::CSV_WRITE)?;
     std::fs::create_dir_all(dir)?;
     let path = dir.join(file_name(sweep));
-    std::fs::write(&path, to_csv_string(sweep))?;
+    write_atomic(&path, to_csv_string(sweep).as_bytes())?;
     Ok(path)
 }
 

@@ -31,10 +31,13 @@
 //! ```
 
 pub mod advisor;
+pub mod atomicio;
 pub mod backend;
+pub mod checkpoint;
 pub mod csv;
 pub mod custom;
 pub mod custom_runner;
+pub mod fault;
 pub mod problem;
 pub mod rng;
 pub mod runner;

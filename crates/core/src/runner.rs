@@ -4,12 +4,17 @@
 //! §III).
 
 use crate::backend::Backend;
+use crate::checkpoint::{Checkpoint, CheckpointError};
+use crate::fault;
 use crate::problem::Problem;
 use crate::threshold::{offload_threshold_index, ThresholdPoint};
 use blob_sim::{BlasCall, Kernel, Offload, Precision};
 
 pub use blob_blas::ThreadPool;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// Sweep configuration: the artifact's `-s`, `-d`, `-i` arguments plus a
 /// stride for coarse sweeps.
@@ -197,6 +202,16 @@ fn measure_size(
     iters: u32,
     offloads: &[Offload],
 ) -> SizeRecord {
+    // The `runner.size` fault point models a transient backend hiccup at
+    // this size: an injected error is simply retried (the measurement has
+    // not started yet), an injected delay models a slow kernel for the
+    // watchdog to notice, and retry exhaustion proceeds to measure — a
+    // benchmark harness degrades to *slow*, never to *absent* numbers.
+    for _attempt in 0..3 {
+        if fault::point(fault::sites::RUNNER_SIZE).is_ok() {
+            break;
+        }
+    }
     let call = call_for(problem, precision, p, cfg);
     let cpu_seconds = backend.cpu_seconds(&call, iters);
     let total_flops = iters as f64 * call.paper_flops();
@@ -289,6 +304,173 @@ where
         iterations: iters,
         records,
     }
+}
+
+/// Result of [`run_sweep_checkpointed`]: the sweep plus resume/watchdog
+/// diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointedRun {
+    /// The completed sweep, identical to what [`run_sweep`] returns.
+    pub sweep: Sweep,
+    /// Records loaded from the checkpoint instead of re-measured.
+    pub resumed: usize,
+    /// Sizes the watchdog flagged as exceeding their time budget.
+    pub watchdog_stalls: u64,
+}
+
+/// Watchdog over the per-size measurement loop: a plain monitor thread
+/// that flags (to stderr, and in [`CheckpointedRun::watchdog_stalls`])
+/// any size whose measurement exceeds its budget. It never kills the
+/// measurement — a benchmark harness must keep producing numbers — but
+/// it turns a silent hang into a diagnosable, counted event.
+struct Watchdog {
+    epoch: Arc<AtomicU64>,
+    stop: Arc<AtomicBool>,
+    stalls: Arc<AtomicU64>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Watchdog {
+    fn start(budget: Duration) -> Self {
+        let epoch = Arc::new(AtomicU64::new(0));
+        let stop = Arc::new(AtomicBool::new(false));
+        let stalls = Arc::new(AtomicU64::new(0));
+        let (e, s, st) = (Arc::clone(&epoch), Arc::clone(&stop), Arc::clone(&stalls));
+        let tick = (budget / 4).max(Duration::from_millis(5));
+        let thread = std::thread::Builder::new()
+            .name("blob-watchdog".to_string())
+            .spawn(move || {
+                let mut last_epoch = e.load(Ordering::Relaxed);
+                let mut since = Instant::now();
+                let mut flagged = false;
+                while !s.load(Ordering::Relaxed) {
+                    std::thread::sleep(tick);
+                    let now_epoch = e.load(Ordering::Relaxed);
+                    if now_epoch != last_epoch {
+                        last_epoch = now_epoch;
+                        since = Instant::now();
+                        flagged = false;
+                    } else if !flagged && since.elapsed() > budget {
+                        st.fetch_add(1, Ordering::Relaxed);
+                        flagged = true;
+                        eprintln!(
+                            "gpu-blob: watchdog: size #{now_epoch} exceeded its {:?} budget",
+                            budget
+                        );
+                    }
+                }
+            })
+            .ok();
+        Self {
+            epoch,
+            stop,
+            stalls,
+            thread,
+        }
+    }
+
+    fn advance(&self) {
+        self.epoch.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn finish(mut self) -> u64 {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+        self.stalls.load(Ordering::Relaxed)
+    }
+}
+
+/// [`run_sweep`] with crash-safe checkpointing and an optional per-size
+/// watchdog.
+///
+/// After every measured size the partial sweep is persisted atomically
+/// to `ckpt_path` (bit-exact floats — see [`crate::checkpoint`]). With
+/// `resume`, a matching checkpoint's records are loaded and measurement
+/// continues from the first missing size, so a killed sweep finishes
+/// with **byte-identical** results to an uninterrupted one. A checkpoint
+/// keyed to a *different* sweep is an error with `resume` and is simply
+/// overwritten without it.
+///
+/// A checkpoint-save failure (disk full, injected `checkpoint.write`
+/// fault) degrades the run to unresumable but does not stop it: the
+/// error is reported on stderr once and measurement continues.
+pub fn run_sweep_checkpointed(
+    backend: &dyn Backend,
+    problem: Problem,
+    precision: Precision,
+    cfg: &SweepConfig,
+    ckpt_path: &Path,
+    resume: bool,
+    size_budget: Option<Duration>,
+) -> Result<CheckpointedRun, CheckpointError> {
+    let params = problem.params(cfg.min_dim, cfg.max_dim, cfg.step);
+    let offloads = backend.offloads();
+    let iters = cfg.iterations.max(1);
+    let system = backend.name();
+
+    let mut ck = Checkpoint::new(&system, problem, precision, cfg);
+    if resume && ckpt_path.exists() {
+        let loaded = Checkpoint::load(ckpt_path)?;
+        if !loaded.matches(&system, problem, precision, cfg) {
+            return Err(CheckpointError::Mismatch(format!(
+                "{} holds a different sweep (system {}, problem {}); refusing to resume",
+                ckpt_path.display(),
+                loaded.system,
+                loaded.problem.id()
+            )));
+        }
+        // The records must be a prefix of this sweep's size list — a
+        // truncated or reordered file means the checkpoint is not ours.
+        for (i, r) in loaded.records.iter().enumerate() {
+            if params.get(i) != Some(&r.param) {
+                return Err(CheckpointError::Mismatch(format!(
+                    "{}: record {i} is for size {} where the sweep expects {:?}",
+                    ckpt_path.display(),
+                    r.param,
+                    params.get(i)
+                )));
+            }
+        }
+        ck = loaded;
+    }
+    let resumed = ck.records.len();
+
+    let watchdog = size_budget.map(Watchdog::start);
+    let mut save_failed = false;
+    for &p in params.iter().skip(resumed) {
+        let rec = measure_size(backend, problem, precision, p, cfg, iters, &offloads);
+        ck.records.push(rec);
+        if let Some(w) = &watchdog {
+            w.advance();
+        }
+        if !save_failed {
+            if let Err(e) = ck.save(ckpt_path) {
+                eprintln!("gpu-blob: checkpointing disabled for this run: {e}");
+                save_failed = true;
+            }
+        }
+    }
+    ck.complete = true;
+    if !save_failed {
+        if let Err(e) = ck.save(ckpt_path) {
+            eprintln!("gpu-blob: final checkpoint write failed: {e}");
+        }
+    }
+    let watchdog_stalls = watchdog.map_or(0, Watchdog::finish);
+
+    Ok(CheckpointedRun {
+        sweep: Sweep {
+            system,
+            problem,
+            precision,
+            iterations: iters,
+            records: ck.records,
+        },
+        resumed,
+        watchdog_stalls,
+    })
 }
 
 #[cfg(test)]
@@ -405,6 +587,104 @@ mod tests {
         let serial = run_sweep(sys.as_ref(), problem, Precision::F32, &one);
         let pooled = run_sweep_pooled(sys, problem, Precision::F32, &one, &pool);
         assert_eq!(serial, pooled);
+    }
+
+    fn tdir(name: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("blob_runner_{name}"));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn checkpointed_sweep_equals_plain_sweep() {
+        let sys = presets::dawn();
+        let cfg = SweepConfig::new(1, 40, 2).with_step(3);
+        let problem = Problem::Gemm(GemmProblem::Square);
+        let plain = run_sweep(&sys, problem, Precision::F32, &cfg);
+        let d = tdir("equals");
+        let path = d.join("ck.json");
+        let run = run_sweep_checkpointed(&sys, problem, Precision::F32, &cfg, &path, false, None)
+            .unwrap();
+        assert_eq!(run.sweep, plain);
+        assert_eq!(run.resumed, 0);
+        // the final checkpoint is complete and holds every record
+        let ck = Checkpoint::load(&path).unwrap();
+        assert!(ck.complete);
+        assert_eq!(ck.records, plain.records);
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn resume_from_partial_checkpoint_is_bit_identical() {
+        let sys = presets::lumi();
+        let cfg = SweepConfig::new(1, 30, 1).with_step(2);
+        let problem = Problem::Gemv(GemvProblem::Square);
+        let plain = run_sweep(&sys, problem, Precision::F64, &cfg);
+        // Fabricate a mid-sweep kill: checkpoint holding the first 5 records.
+        let d = tdir("resume");
+        let path = d.join("ck.json");
+        let mut partial = Checkpoint::new(&sys.name(), problem, Precision::F64, &cfg);
+        partial.records = plain.records[..5].to_vec();
+        partial.save(&path).unwrap();
+        let run =
+            run_sweep_checkpointed(&sys, problem, Precision::F64, &cfg, &path, true, None).unwrap();
+        assert_eq!(run.resumed, 5);
+        assert_eq!(run.sweep, plain);
+        // bit-identical CSV output, the chaos suite's core claim
+        assert_eq!(
+            crate::csv::to_csv_string(&run.sweep),
+            crate::csv::to_csv_string(&plain)
+        );
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn resume_refuses_a_foreign_checkpoint() {
+        let sys = presets::dawn();
+        let cfg = SweepConfig::new(1, 10, 1);
+        let problem = Problem::Gemm(GemmProblem::Square);
+        let d = tdir("foreign");
+        let path = d.join("ck.json");
+        let other = Checkpoint::new("LUMI", problem, Precision::F32, &cfg);
+        other.save(&path).unwrap();
+        let err = run_sweep_checkpointed(&sys, problem, Precision::F32, &cfg, &path, true, None)
+            .unwrap_err();
+        assert!(matches!(err, CheckpointError::Mismatch(_)));
+        // without --resume the foreign checkpoint is overwritten
+        let run = run_sweep_checkpointed(&sys, problem, Precision::F32, &cfg, &path, false, None)
+            .unwrap();
+        assert_eq!(run.sweep.records.len(), 10);
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn watchdog_flags_a_slow_size() {
+        let _guard = crate::fault::CHAOS_LOCK
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let plan = crate::fault::Plan::parse("seed=5;runner.size:delay(40ms)@1x1").unwrap();
+        crate::fault::install(&plan);
+        let sys = presets::dawn();
+        let cfg = SweepConfig::new(1, 3, 1);
+        let d = tdir("watchdog");
+        let path = d.join("ck.json");
+        let run = run_sweep_checkpointed(
+            &sys,
+            Problem::Gemm(GemmProblem::Square),
+            Precision::F32,
+            &cfg,
+            &path,
+            false,
+            Some(Duration::from_millis(10)),
+        )
+        .unwrap();
+        crate::fault::clear();
+        assert!(
+            run.watchdog_stalls >= 1,
+            "40ms injected delay must trip a 10ms budget"
+        );
+        assert_eq!(run.sweep.records.len(), 3, "watchdog never kills the sweep");
+        std::fs::remove_dir_all(&d).ok();
     }
 
     #[test]

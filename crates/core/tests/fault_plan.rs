@@ -1,0 +1,199 @@
+//! Behavioral tests for the `blob_core::fault` plane: trigger budgets,
+//! seed determinism, delay timing, panic payloads, and environment-driven
+//! installation. Parse-level grammar tests live next to the parser; these
+//! exercise an *installed* plan end to end.
+//!
+//! Plans are process-global, so every test takes `fault::CHAOS_LOCK` and
+//! clears any leftover plan on entry.
+
+use blob_core::fault::{self, Plan};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Locks the chaos plane and starts from a clean (no-plan) state.
+fn chaos_guard() -> MutexGuard<'static, ()> {
+    let guard = fault::CHAOS_LOCK
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    fault::clear();
+    guard
+}
+
+fn install(spec: &str) {
+    fault::install(&Plan::parse(spec).expect("valid plan spec"));
+}
+
+#[test]
+fn trigger_budget_is_exhausted_then_the_point_recovers() {
+    let _g = chaos_guard();
+    install("runner.size:error@1x3");
+    let failures: usize = (0..10)
+        .filter(|_| fault::point(fault::sites::RUNNER_SIZE).is_err())
+        .count();
+    assert_eq!(failures, 3, "exactly the x3 budget must fire");
+    assert_eq!(fault::injected_total(), 3);
+    // budget spent: the point is permanently healthy again
+    for _ in 0..5 {
+        assert!(fault::point(fault::sites::RUNNER_SIZE).is_ok());
+    }
+    fault::clear();
+}
+
+#[test]
+fn same_seed_replays_the_same_decision_sequence() {
+    let _g = chaos_guard();
+    let spec = "seed=42;runner.size:error@0.37";
+    let draw = || -> Vec<bool> {
+        install(spec);
+        (0..200)
+            .map(|_| fault::point(fault::sites::RUNNER_SIZE).is_err())
+            .collect()
+    };
+    let first = draw();
+    let second = draw();
+    assert_eq!(first, second, "re-installing the plan must replay it");
+    assert!(first.iter().any(|&b| b), "p=0.37 over 200 draws must fire");
+    assert!(first.iter().any(|&b| !b), "and must not fire every time");
+
+    // a different seed gives a different stream (overwhelmingly likely
+    // over 200 draws)
+    install("seed=43;runner.size:error@0.37");
+    let other: Vec<bool> = (0..200)
+        .map(|_| fault::point(fault::sites::RUNNER_SIZE).is_err())
+        .collect();
+    assert_ne!(first, other, "seed must select the stream");
+    fault::clear();
+}
+
+#[test]
+fn rules_draw_from_independent_streams() {
+    let _g = chaos_guard();
+    // Two sites under one plan: exercising one site must not perturb the
+    // other's decision sequence.
+    let solo = {
+        install("seed=9;csv.write:error@0.5");
+        (0..50)
+            .map(|_| fault::point(fault::sites::CSV_WRITE).is_err())
+            .collect::<Vec<_>>()
+    };
+    install("seed=9;csv.write:error@0.5;runner.size:error@0.5");
+    let interleaved: Vec<bool> = (0..50)
+        .map(|_| {
+            let _ = fault::point(fault::sites::RUNNER_SIZE);
+            fault::point(fault::sites::CSV_WRITE).is_err()
+        })
+        .collect();
+    assert_eq!(solo, interleaved);
+    fault::clear();
+}
+
+#[test]
+fn delay_action_actually_sleeps_then_succeeds() {
+    let _g = chaos_guard();
+    install("checkpoint.write:delay(40ms)@1x1");
+    let t0 = Instant::now();
+    let first = fault::point(fault::sites::CHECKPOINT_WRITE);
+    let delayed = t0.elapsed();
+    assert!(first.is_ok(), "delay is not a failure");
+    assert!(
+        delayed >= Duration::from_millis(40),
+        "slept only {delayed:?}"
+    );
+    let t1 = Instant::now();
+    assert!(fault::point(fault::sites::CHECKPOINT_WRITE).is_ok());
+    assert!(
+        t1.elapsed() < Duration::from_millis(40),
+        "the x1 budget must not delay the second call"
+    );
+    fault::clear();
+}
+
+#[test]
+fn panic_action_names_the_site_in_its_payload() {
+    let _g = chaos_guard();
+    install("serve.handle:panic@1x1");
+    let err = catch_unwind(AssertUnwindSafe(|| {
+        fault::point(fault::sites::SERVE_HANDLE)
+    }))
+    .expect_err("the armed point must unwind");
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_else(|| "<non-string payload>".to_string());
+    assert!(msg.contains("serve.handle"), "payload was {msg:?}");
+    // the panic must not have wedged the plan lock
+    assert!(fault::point(fault::sites::SERVE_HANDLE).is_ok());
+    fault::clear();
+}
+
+#[test]
+fn error_payload_names_the_site_too() {
+    let _g = chaos_guard();
+    install("serve.cache:error@1x1");
+    let err = fault::point(fault::sites::SERVE_CACHE).expect_err("armed");
+    assert!(err.to_string().contains("serve.cache"), "{err}");
+    fault::clear();
+}
+
+#[test]
+fn stats_report_per_site_injection_counts() {
+    let _g = chaos_guard();
+    install("csv.write:error@1x2;runner.size:error@1x1");
+    for _ in 0..4 {
+        let _ = fault::point(fault::sites::CSV_WRITE);
+        let _ = fault::point(fault::sites::RUNNER_SIZE);
+    }
+    let stats = fault::stats();
+    let count = |site: &str| {
+        stats
+            .iter()
+            .find(|(s, _)| s == site)
+            .map(|(_, n)| *n)
+            .unwrap_or(0)
+    };
+    assert_eq!(count("csv.write"), 2);
+    assert_eq!(count("runner.size"), 1);
+    assert_eq!(fault::injected_total(), 3);
+    fault::clear();
+    assert!(fault::stats().is_empty(), "clear drops the stats");
+}
+
+#[test]
+fn install_from_env_reads_and_validates_the_variable() {
+    let _g = chaos_guard();
+    std::env::remove_var("GPU_BLOB_FAULTS");
+    assert_eq!(fault::install_from_env(), Ok(false));
+    assert!(!fault::active());
+
+    std::env::set_var("GPU_BLOB_FAULTS", "runner.size:error@1x1");
+    assert_eq!(fault::install_from_env(), Ok(true));
+    assert!(fault::active());
+    assert!(fault::point(fault::sites::RUNNER_SIZE).is_err());
+
+    std::env::set_var("GPU_BLOB_FAULTS", "no.such.site:error@1");
+    assert!(fault::install_from_env().is_err(), "typos must not pass");
+
+    std::env::remove_var("GPU_BLOB_FAULTS");
+    fault::clear();
+}
+
+#[test]
+fn every_catalogued_site_is_injectable() {
+    let _g = chaos_guard();
+    // `pool.worker` resolves through the blob-blas hook rather than
+    // `fault::point`, so it is exercised by the pool tests instead.
+    for site in fault::sites::ALL {
+        if site == fault::sites::POOL_WORKER {
+            continue;
+        }
+        install(&format!("{site}:error@1x1"));
+        let hit = fault::sites::ALL
+            .iter()
+            .find(|s| **s == site)
+            .copied()
+            .expect("site is in the catalogue");
+        assert!(fault::point(hit).is_err(), "site {site} never fired");
+    }
+    fault::clear();
+}

@@ -16,17 +16,20 @@
 
 use crate::cache::ShardedCache;
 use crate::http::{Request, Response};
-use crate::metrics::Metrics;
+use crate::metrics::{Metrics, Robustness};
 use blob_core::backend::Backend;
+use blob_core::fault;
+use blob_core::rng::XorShift64;
 use blob_core::runner::{run_sweep_pooled, SweepConfig, ThreadPool};
 use blob_core::wire::{
     advice_json, kernel_json, offload_key, parse_precision, parse_problem_id, precision_key, Json,
 };
 use blob_core::{advise, Offload, Precision};
 use blob_sim::{presets, BlasCall, Kernel, SystemModel};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
-use std::time::Instant;
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
 
 /// The largest dimension `/threshold` will sweep — the paper's own `-d`
 /// ceiling, which bounds a miss at one 4096-point sweep.
@@ -34,6 +37,24 @@ pub const MAX_SWEEP_DIM: usize = 4096;
 
 /// The largest iteration count a request may ask for.
 pub const MAX_ITERATIONS: u32 = 1_000_000;
+
+/// Default per-request deadline budget for the compute endpoints
+/// (`POST /advise`, `POST /threshold`); exceeded → `503` and the
+/// `deadline_exceeded` counter. `/healthz` and `/metrics` are exempt so
+/// probes keep working while the service digests a heavy sweep.
+pub const DEFAULT_DEADLINE: Duration = Duration::from_secs(10);
+
+/// Attempts (first try + retries) at the threshold sweep when the
+/// backend fails transiently (the `serve.sweep` fault point).
+const SWEEP_ATTEMPTS: u32 = 3;
+
+/// Base of the exponential retry backoff: 2 ms, 4 ms, … plus seeded
+/// jitter so synchronized clients do not retry in lockstep.
+const BACKOFF_BASE: Duration = Duration::from_millis(2);
+
+/// Seed for the retry-jitter stream (deterministic like everything else;
+/// see `blob_core::rng`).
+const JITTER_SEED: u64 = 0x5EED_0F_B10B;
 
 /// The systems the service can answer for: the three evaluation systems of
 /// the paper plus the CPU-only Isambard-AI configuration (exercises the
@@ -65,6 +86,10 @@ pub struct App {
     /// points of one request are measured in parallel (the models are
     /// analytic, so the fan-out cannot perturb the numbers).
     sweep_pool: ThreadPool,
+    /// Per-request budget for the compute endpoints.
+    deadline: Duration,
+    /// Seeded jitter stream for retry backoff.
+    jitter: Mutex<XorShift64>,
 }
 
 /// A handler failure that maps to an HTTP status.
@@ -94,7 +119,15 @@ impl App {
             allow_shutdown,
             shutdown: AtomicBool::new(false),
             sweep_pool: ThreadPool::with_default_parallelism(),
+            deadline: DEFAULT_DEADLINE,
+            jitter: Mutex::new(XorShift64::new(JITTER_SEED)),
         }
+    }
+
+    /// Overrides the per-request deadline budget (see [`DEFAULT_DEADLINE`]).
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = deadline;
+        self
     }
 
     /// True once a (permitted) `/shutdown` request has been served; the
@@ -113,13 +146,38 @@ impl App {
 
     /// Routes one request; returns the response and the metrics label.
     /// Latency/status accounting is the caller's job (it owns the clock).
+    ///
+    /// A panic anywhere in routing or a handler (a bug, or the
+    /// `serve.handle` fault point's `panic` action) is contained here and
+    /// answered with a `500` — the connection and the worker survive, and
+    /// the `handler_panics` counter records the save.
     pub fn handle(&self, req: &Request) -> (Response, &'static str) {
+        match catch_unwind(AssertUnwindSafe(|| self.route(req))) {
+            Ok(outcome) => outcome,
+            Err(_) => {
+                Robustness::bump(&self.metrics.robustness.handler_panics);
+                (
+                    error_response(500, "handler panicked; the request was aborted"),
+                    "other",
+                )
+            }
+        }
+    }
+
+    fn route(&self, req: &Request) -> (Response, &'static str) {
+        // The `serve.handle` fault point sits in front of dispatch: an
+        // `error` rule degrades the request to a clean 500, a `panic`
+        // rule exercises the containment in `handle`.
+        if let Err(e) = fault::point(fault::sites::SERVE_HANDLE) {
+            return (error_response(500, &e.to_string()), "other");
+        }
+        let started = Instant::now();
         let (label, result) = match (req.method.as_str(), req.path()) {
             ("GET", "/healthz") => ("healthz", self.healthz()),
             ("GET", "/systems") => ("systems", self.systems_endpoint()),
             ("GET", "/metrics") => ("metrics", self.metrics_endpoint()),
-            ("POST", "/advise") => ("advise", self.advise_endpoint(&req.body)),
-            ("POST", "/threshold") => ("threshold", self.threshold_endpoint(&req.body)),
+            ("POST", "/advise") => ("advise", self.advise_endpoint(&req.body, started)),
+            ("POST", "/threshold") => ("threshold", self.threshold_endpoint(&req.body, started)),
             ("POST", "/shutdown") => ("shutdown", self.shutdown_endpoint()),
             (_, "/healthz" | "/systems" | "/metrics") | (_, "/advise" | "/threshold") => (
                 "other",
@@ -144,10 +202,16 @@ impl App {
     }
 
     fn healthz(&self) -> ApiResult {
+        // `ok` stays true even when degraded: degraded means "absorbed
+        // faults and kept serving", which is exactly what a liveness
+        // probe should not kill the process over.
+        let robustness = &self.metrics.robustness;
         Ok(Json::obj()
             .field("ok", true)
             .field("service", "blob-serve")
             .field("systems", self.systems.len())
+            .field("degraded", robustness.degraded())
+            .field("robustness", robustness.to_json())
             .build())
     }
 
@@ -188,7 +252,24 @@ impl App {
         Ok(Json::obj().field("shutting_down", true).build())
     }
 
-    fn advise_endpoint(&self, body: &[u8]) -> ApiResult {
+    /// Fails the request with `503` once its deadline budget is spent.
+    /// Checked after compute and between retries — a request that is
+    /// already over budget must not burn more backend time.
+    fn check_deadline(&self, started: Instant) -> Result<(), ApiError> {
+        if started.elapsed() > self.deadline {
+            Robustness::bump(&self.metrics.robustness.deadline_exceeded);
+            return Err(ApiError {
+                status: 503,
+                message: format!(
+                    "request exceeded its deadline budget of {} ms",
+                    self.deadline.as_millis()
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    fn advise_endpoint(&self, body: &[u8], started: Instant) -> ApiResult {
         let doc = parse_body(body)?;
         let system_id = require_str(&doc, "system")?;
         let system = self
@@ -209,6 +290,7 @@ impl App {
                 .ok_or_else(|| ApiError::bad_request("offload must be one of once|always|usm"))?,
         };
         let advice = advise(system, &call, iterations, offload);
+        self.check_deadline(started)?;
         let Json::Obj(mut fields) = advice_json(&advice) else {
             return Err(ApiError {
                 status: 500,
@@ -219,7 +301,7 @@ impl App {
         Ok(Json::Obj(fields))
     }
 
-    fn threshold_endpoint(&self, body: &[u8]) -> ApiResult {
+    fn threshold_endpoint(&self, body: &[u8], started: Instant) -> ApiResult {
         let doc = parse_body(body)?;
         let system_id = require_str(&doc, "system")?;
         let system = self
@@ -263,23 +345,24 @@ impl App {
             max_dim,
             step
         );
-        let started = Instant::now();
-        let (result, cached) = match self.cache.get(&key) {
+        let compute_started = Instant::now();
+        // A cache-read failure (the `serve.cache` fault point) is never a
+        // request failure: a broken cache degrades to a recompute.
+        let cache_hit = match fault::point(fault::sites::SERVE_CACHE) {
+            Ok(()) => self.cache.get(&key),
+            Err(_) => None,
+        };
+        let (result, cached) = match cache_hit {
             Some(hit) => ((*hit).clone(), true),
             None => {
                 let cfg = SweepConfig::new(min_dim, max_dim, iterations).with_step(step);
-                let sweep = run_sweep_pooled(
-                    Arc::new(system.clone()),
-                    problem,
-                    precision,
-                    &cfg,
-                    &self.sweep_pool,
-                );
+                let sweep = self.sweep_with_retry(system, problem, precision, &cfg, started)?;
                 let value = threshold_result_json(&sweep);
                 ((*self.cache.insert(key, value)).clone(), false)
             }
         };
-        let compute_us = started.elapsed().as_micros() as u64;
+        let compute_us = compute_started.elapsed().as_micros() as u64;
+        self.check_deadline(started)?;
         let Json::Obj(mut fields) = result else {
             return Err(ApiError {
                 status: 500,
@@ -289,6 +372,49 @@ impl App {
         fields.push(("cached".to_string(), cached.into()));
         fields.push(("compute_us".to_string(), compute_us.into()));
         Ok(Json::Obj(fields))
+    }
+
+    /// Runs the threshold sweep, retrying transient backend failures (the
+    /// `serve.sweep` fault point) with exponential backoff plus seeded
+    /// jitter. Gives up with `503` when [`SWEEP_ATTEMPTS`] are spent or
+    /// the request's deadline budget runs out mid-retry.
+    fn sweep_with_retry(
+        &self,
+        system: &SystemModel,
+        problem: blob_core::Problem,
+        precision: Precision,
+        cfg: &SweepConfig,
+        started: Instant,
+    ) -> Result<blob_core::runner::Sweep, ApiError> {
+        for attempt in 0..SWEEP_ATTEMPTS {
+            if attempt > 0 {
+                Robustness::bump(&self.metrics.robustness.retries);
+                self.check_deadline(started)?;
+                let jitter_us = {
+                    let mut rng = self.jitter.lock().unwrap_or_else(PoisonError::into_inner);
+                    rng.next_u64() % 500
+                };
+                let backoff = BACKOFF_BASE * 2u32.pow(attempt - 1);
+                std::thread::sleep(backoff + Duration::from_micros(jitter_us));
+            }
+            if fault::point(fault::sites::SERVE_SWEEP).is_err() {
+                continue;
+            }
+            return Ok(run_sweep_pooled(
+                Arc::new(system.clone()),
+                problem,
+                precision,
+                cfg,
+                &self.sweep_pool,
+            ));
+        }
+        Robustness::bump(&self.metrics.robustness.retries_exhausted);
+        Err(ApiError {
+            status: 503,
+            message: format!(
+                "threshold sweep backend kept failing ({SWEEP_ATTEMPTS} attempts); try again"
+            ),
+        })
     }
 }
 
@@ -591,6 +717,47 @@ mod tests {
         assert_eq!(r.status, 405);
         let (r, _) = a.handle(&post("/healthz", "{}"));
         assert_eq!(r.status, 405);
+    }
+
+    #[test]
+    fn zero_deadline_budget_fails_compute_endpoints_with_503() {
+        let a = App::new(16, 4, true).with_deadline(Duration::ZERO);
+        let (r, _) = a.handle(&post(
+            "/threshold",
+            r#"{"system":"lumi","problem":"gemm_square","max_dim":16,"iterations":1}"#,
+        ));
+        assert_eq!(r.status, 503);
+        let msg = body_json(&r)
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap()
+            .to_string();
+        assert!(msg.contains("deadline"), "{msg}");
+        let (r, _) = a.handle(&post(
+            "/advise",
+            r#"{"system":"dawn","op":"gemm","m":8,"n":8,"k":8,"precision":"f32"}"#,
+        ));
+        assert_eq!(r.status, 503);
+        assert!(
+            a.metrics
+                .robustness
+                .deadline_exceeded
+                .load(Ordering::Relaxed)
+                >= 2
+        );
+        // probes are exempt from the budget and report the degradation
+        let (r, _) = a.handle(&get("/healthz"));
+        assert_eq!(r.status, 200);
+        let j = body_json(&r);
+        assert_eq!(j.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(j.get("degraded").and_then(Json::as_bool), Some(true));
+        assert!(
+            j.get("robustness")
+                .and_then(|x| x.get("deadline_exceeded"))
+                .and_then(Json::as_u64)
+                .unwrap()
+                >= 2
+        );
     }
 
     #[test]

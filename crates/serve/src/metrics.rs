@@ -121,11 +121,82 @@ impl EndpointStats {
     }
 }
 
+/// Self-healing event counters: every fault the service absorbed instead
+/// of dying. All zero on a healthy run; any non-zero value flips
+/// `/healthz` to `degraded` (still `ok` — degraded means "survived
+/// faults", not "down").
+#[derive(Default)]
+pub struct Robustness {
+    /// HTTP worker threads the supervisor replaced after they died.
+    pub workers_replaced: AtomicU64,
+    /// Panics that unwound out of a connection and were contained by the
+    /// worker (the connection died; the worker did not).
+    pub worker_panics: AtomicU64,
+    /// Panics that unwound out of a request handler and were answered
+    /// with a 500 (the connection survived).
+    pub handler_panics: AtomicU64,
+    /// Transient sweep-backend failures retried with backoff.
+    pub retries: AtomicU64,
+    /// Requests failed with 503 after every retry attempt was spent.
+    pub retries_exhausted: AtomicU64,
+    /// Connections answered with a canned 503 because the accept queue
+    /// was saturated (load shedding).
+    pub shed: AtomicU64,
+    /// Requests failed with 503 for exceeding their deadline budget.
+    pub deadline_exceeded: AtomicU64,
+}
+
+impl Robustness {
+    /// True once any fault has been absorbed since start. Sticky by
+    /// design: a degraded flag that resets itself hides flapping.
+    pub fn degraded(&self) -> bool {
+        self.workers_replaced.load(Ordering::Relaxed)
+            + self.worker_panics.load(Ordering::Relaxed)
+            + self.handler_panics.load(Ordering::Relaxed)
+            + self.retries_exhausted.load(Ordering::Relaxed)
+            + self.shed.load(Ordering::Relaxed)
+            + self.deadline_exceeded.load(Ordering::Relaxed)
+            > 0
+    }
+
+    /// Bumps one counter by one.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// JSON snapshot of every counter.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field(
+                "workers_replaced",
+                self.workers_replaced.load(Ordering::Relaxed),
+            )
+            .field("worker_panics", self.worker_panics.load(Ordering::Relaxed))
+            .field(
+                "handler_panics",
+                self.handler_panics.load(Ordering::Relaxed),
+            )
+            .field("retries", self.retries.load(Ordering::Relaxed))
+            .field(
+                "retries_exhausted",
+                self.retries_exhausted.load(Ordering::Relaxed),
+            )
+            .field("shed", self.shed.load(Ordering::Relaxed))
+            .field(
+                "deadline_exceeded",
+                self.deadline_exceeded.load(Ordering::Relaxed),
+            )
+            .build()
+    }
+}
+
 /// The service-wide registry: per-endpoint stats plus global gauges.
 pub struct Metrics {
     endpoints: Vec<(&'static str, EndpointStats)>,
     in_flight: AtomicU64,
     started: Instant,
+    /// Self-healing event counters (see [`Robustness`]).
+    pub robustness: Robustness,
 }
 
 /// The endpoint labels the registry tracks; unknown routes fall into
@@ -156,6 +227,7 @@ impl Metrics {
                 .collect(),
             in_flight: AtomicU64::new(0),
             started: Instant::now(),
+            robustness: Robustness::default(),
         }
     }
 
@@ -198,6 +270,8 @@ impl Metrics {
         Json::obj()
             .field("uptime_seconds", self.started.elapsed().as_secs_f64())
             .field("in_flight", self.in_flight())
+            .field("degraded", self.robustness.degraded())
+            .field("robustness", self.robustness.to_json())
             .field("endpoints", endpoints.build())
             .field(
                 "cache",
@@ -279,6 +353,31 @@ mod tests {
                 .and_then(Json::as_u64),
             Some(2)
         );
+    }
+
+    #[test]
+    fn robustness_counters_render_and_flip_degraded() {
+        let m = Metrics::new();
+        let empty = CacheStats {
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+            entries: 0,
+            capacity: 8,
+        };
+        let json = m.to_json(&empty);
+        assert_eq!(json.get("degraded").and_then(Json::as_bool), Some(false));
+        // retries alone are healing in progress, not degradation
+        Robustness::bump(&m.robustness.retries);
+        assert!(!m.robustness.degraded());
+        Robustness::bump(&m.robustness.workers_replaced);
+        assert!(m.robustness.degraded());
+        let json = m.to_json(&empty);
+        assert_eq!(json.get("degraded").and_then(Json::as_bool), Some(true));
+        let r = json.get("robustness").unwrap();
+        assert_eq!(r.get("retries").and_then(Json::as_u64), Some(1));
+        assert_eq!(r.get("workers_replaced").and_then(Json::as_u64), Some(1));
+        assert_eq!(r.get("shed").and_then(Json::as_u64), Some(0));
     }
 
     #[test]

@@ -1,5 +1,5 @@
-//! The TCP front end: a blocking accept loop feeding a fixed worker pool,
-//! with graceful shutdown.
+//! The TCP front end: a blocking accept loop feeding a supervised worker
+//! pool, with graceful shutdown, load shedding, and panic containment.
 //!
 //! Threading model: one acceptor thread owns the listener and pushes
 //! connections into a bounded channel; `threads` workers pull from it and
@@ -8,17 +8,34 @@
 //! `POST /shutdown` — raises a stop flag and then *connects to the
 //! listener itself*, which is the portable, `unsafe`-free way to unblock a
 //! blocking `accept(2)` without OS signal machinery.
+//!
+//! Self-healing (see `DESIGN.md` §12):
+//!
+//! - a full accept queue sheds the connection with a canned `503` instead
+//!   of blocking the acceptor (`shed` counter)
+//! - a panic that escapes one connection is contained; the worker moves to
+//!   the next connection (`worker_panics` counter)
+//! - a worker that dies anyway (the `serve.worker` fault point, or a
+//!   panic outside containment) is joined and respawned by a supervisor
+//!   thread (`workers_replaced` counter)
 
 use crate::api::App;
 use crate::http::{Conn, Limits, RecvError, Response};
+use crate::metrics::Robustness;
+use blob_core::fault;
 use blob_core::wire::Json;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{Receiver, SyncSender};
-use std::sync::{Arc, Mutex};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// How often the supervisor sweeps for dead workers. Worst-case serving
+/// gap after every worker dies at once is one period plus respawn time.
+const SUPERVISE_PERIOD: Duration = Duration::from_millis(25);
 
 /// Server configuration, fed by `gpu-blob serve` flags.
 #[derive(Debug, Clone)]
@@ -35,6 +52,9 @@ pub struct Config {
     pub limits: Limits,
     /// Whether `POST /shutdown` is honoured (CI and benches use it).
     pub allow_shutdown: bool,
+    /// Per-request deadline budget for the compute endpoints
+    /// (see [`crate::api::DEFAULT_DEADLINE`]).
+    pub deadline: Duration,
 }
 
 impl Default for Config {
@@ -46,6 +66,7 @@ impl Default for Config {
             cache_shards: 8,
             limits: Limits::default(),
             allow_shutdown: false,
+            deadline: crate::api::DEFAULT_DEADLINE,
         }
     }
 }
@@ -74,43 +95,81 @@ pub struct Server {
     app: Arc<App>,
     signal: StopSignal,
     acceptor: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    supervisor: Option<JoinHandle<()>>,
+    workers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+/// Spawns one connection worker (initial start-up and supervisor
+/// respawns go through the same path).
+fn spawn_worker(
+    rx: &Arc<Mutex<Receiver<TcpStream>>>,
+    app: &Arc<App>,
+    signal: &StopSignal,
+    limits: Limits,
+) -> JoinHandle<()> {
+    let rx = Arc::clone(rx);
+    let app = Arc::clone(app);
+    let signal = signal.clone();
+    std::thread::spawn(move || worker_loop(&rx, &app, &signal, &limits))
 }
 
 impl Server {
-    /// Binds `cfg.addr` and starts the acceptor and worker threads.
+    /// Binds `cfg.addr` and starts the acceptor, worker, and supervisor
+    /// threads.
     pub fn start(cfg: Config) -> io::Result<Server> {
         let listener = TcpListener::bind(&cfg.addr)?;
         let local_addr = listener.local_addr()?;
-        let app = Arc::new(App::new(
-            cfg.cache_entries,
-            cfg.cache_shards,
-            cfg.allow_shutdown,
-        ));
+        let app = Arc::new(
+            App::new(cfg.cache_entries, cfg.cache_shards, cfg.allow_shutdown)
+                .with_deadline(cfg.deadline),
+        );
         let signal = StopSignal {
             stop: Arc::new(AtomicBool::new(false)),
             addr: local_addr,
         };
         let threads = cfg.threads.max(1);
-        // Bounded: when every worker is busy and the backlog is full, new
-        // connections wait in the kernel queue instead of piling up here.
+        // Bounded: when every worker is busy and the queue is full, the
+        // acceptor sheds new connections with a canned 503 instead of
+        // letting them pile up unanswered.
         let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(threads * 2);
         let rx = Arc::new(Mutex::new(rx));
 
-        let mut workers = Vec::with_capacity(threads);
-        for _ in 0..threads {
+        let workers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(
+            (0..threads)
+                .map(|_| spawn_worker(&rx, &app, &signal, cfg.limits))
+                .collect(),
+        ));
+
+        let acceptor = {
+            let signal = signal.clone();
+            let app = Arc::clone(&app);
+            std::thread::spawn(move || accept_loop(&listener, &tx, &signal, &app))
+        };
+
+        // The supervisor replaces workers that died (injected faults or
+        // real bugs), so a burst of worker deaths degrades throughput for
+        // one SUPERVISE_PERIOD instead of permanently shrinking the pool.
+        let supervisor = {
+            let workers = Arc::clone(&workers);
             let rx = Arc::clone(&rx);
             let app = Arc::clone(&app);
             let signal = signal.clone();
             let limits = cfg.limits;
-            workers.push(std::thread::spawn(move || {
-                worker_loop(&rx, &app, &signal, &limits)
-            }));
-        }
-
-        let acceptor = {
-            let signal = signal.clone();
-            std::thread::spawn(move || accept_loop(&listener, &tx, &signal))
+            std::thread::spawn(move || loop {
+                std::thread::sleep(SUPERVISE_PERIOD);
+                if signal.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                let mut guard = workers.lock().unwrap_or_else(PoisonError::into_inner);
+                for slot in guard.iter_mut() {
+                    if slot.is_finished() && !signal.stop.load(Ordering::SeqCst) {
+                        let dead =
+                            std::mem::replace(slot, spawn_worker(&rx, &app, &signal, limits));
+                        let _ = dead.join();
+                        Robustness::bump(&app.metrics.robustness.workers_replaced);
+                    }
+                }
+            })
         };
 
         Ok(Server {
@@ -118,6 +177,7 @@ impl Server {
             app,
             signal,
             acceptor: Some(acceptor),
+            supervisor: Some(supervisor),
             workers,
         })
     }
@@ -139,19 +199,27 @@ impl Server {
         self.signal.trigger();
     }
 
-    /// Waits for the acceptor and every worker to exit. Call after
-    /// [`Server::shutdown`], or rely on `/shutdown` having triggered it.
+    /// Waits for the acceptor, supervisor, and every worker to exit. Call
+    /// after [`Server::shutdown`], or rely on `/shutdown` having
+    /// triggered it.
     pub fn join(mut self) {
         if let Some(acceptor) = self.acceptor.take() {
             let _ = acceptor.join();
         }
-        for worker in self.workers.drain(..) {
+        if let Some(supervisor) = self.supervisor.take() {
+            let _ = supervisor.join();
+        }
+        let handles: Vec<JoinHandle<()>> = {
+            let mut guard = self.workers.lock().unwrap_or_else(PoisonError::into_inner);
+            guard.drain(..).collect()
+        };
+        for worker in handles {
             let _ = worker.join();
         }
     }
 }
 
-fn accept_loop(listener: &TcpListener, tx: &SyncSender<TcpStream>, signal: &StopSignal) {
+fn accept_loop(listener: &TcpListener, tx: &SyncSender<TcpStream>, signal: &StopSignal, app: &App) {
     loop {
         match listener.accept() {
             Ok((stream, _)) => {
@@ -159,8 +227,18 @@ fn accept_loop(listener: &TcpListener, tx: &SyncSender<TcpStream>, signal: &Stop
                     // `stream` is (usually) the wake-up connection; drop it.
                     break;
                 }
-                if tx.send(stream).is_err() {
-                    break;
+                // The `serve.accept` fault point models a connection lost
+                // right after accept(2): the stream is dropped unanswered.
+                if fault::point(fault::sites::SERVE_ACCEPT).is_err() {
+                    continue;
+                }
+                match tx.try_send(stream) {
+                    Ok(()) => {}
+                    // Queue saturated: shed with a canned 503 rather than
+                    // blocking the acceptor (which would stall *every*
+                    // pending connection behind one overload burst).
+                    Err(TrySendError::Full(stream)) => shed(stream, app),
+                    Err(TrySendError::Disconnected(_)) => break,
                 }
             }
             Err(_) => {
@@ -174,6 +252,21 @@ fn accept_loop(listener: &TcpListener, tx: &SyncSender<TcpStream>, signal: &Stop
     // Dropping `tx` here lets the workers drain the queue and exit.
 }
 
+/// Answers a shed connection with a canned 503 (best effort, bounded by
+/// a short write timeout so a slow peer cannot stall the acceptor).
+fn shed(stream: TcpStream, app: &App) {
+    Robustness::bump(&app.metrics.robustness.shed);
+    app.metrics.endpoint("other").record(503, 0);
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+    let body = Json::obj()
+        .field("error", "server overloaded; request shed")
+        .field("status", 503u64)
+        .build()
+        .encode();
+    let mut conn = Conn::new(stream);
+    let _ = conn.write_response(&Response::json(503, body).with_close());
+}
+
 fn worker_loop(
     rx: &Arc<Mutex<Receiver<TcpStream>>>,
     app: &App,
@@ -181,13 +274,32 @@ fn worker_loop(
     limits: &Limits,
 ) {
     loop {
+        // The `serve.worker` fault point models the worker thread dying
+        // between connections: an `error` rule kills it cleanly, a
+        // `panic` rule unwinds it. Either way the supervisor respawns a
+        // replacement, and because the point sits *before* the dequeue,
+        // no accepted connection is ever lost with it.
+        if fault::point(fault::sites::SERVE_WORKER).is_err() {
+            return;
+        }
         // Hold the lock only for the recv itself, so workers queue fairly.
         let next = {
             let guard = rx.lock().unwrap_or_else(|e| e.into_inner());
             guard.recv()
         };
         match next {
-            Ok(stream) => serve_connection(stream, app, signal, limits),
+            Ok(stream) => {
+                // Contain a panic that escapes the connection (handler
+                // panics are already caught in `App::handle`; this guards
+                // the HTTP layer itself): the connection dies, the worker
+                // serves the next one.
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    serve_connection(stream, app, signal, limits)
+                }));
+                if outcome.is_err() {
+                    Robustness::bump(&app.metrics.robustness.worker_panics);
+                }
+            }
             Err(_) => break, // acceptor gone and queue drained
         }
     }
@@ -264,6 +376,7 @@ mod tests {
                 write_timeout: Duration::from_millis(500),
             },
             allow_shutdown: true,
+            deadline: crate::api::DEFAULT_DEADLINE,
         }
     }
 

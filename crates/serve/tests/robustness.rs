@@ -20,6 +20,7 @@ fn start(read_timeout_ms: u64) -> Server {
             write_timeout: Duration::from_millis(read_timeout_ms),
         },
         allow_shutdown: false,
+        ..Config::default()
     })
     .expect("bind ephemeral port")
 }
