@@ -22,14 +22,17 @@
 #   7. fault overhead gate      fault_gate proves a disabled fault point
 #                               costs < 1% of the most overhead-sensitive
 #                               gated kernel shape (results/fault_gate.csv)
-#   8. server smoke             gpu-blob serve end-to-end: /healthz, /advise,
+#   8. trace overhead gate      trace_gate proves a disabled trace span
+#                               costs < 1% of the same kernel shape
+#                               (results/trace_gate.csv)
+#   9. server smoke             gpu-blob serve end-to-end: /healthz, /advise,
 #                               a /threshold cache hit verified via /metrics,
 #                               and a clean /shutdown (serve_smoke e2e test)
-#   9. chaos suite              seeded fault plans against the live server
+#  10. chaos suite              seeded fault plans against the live server
 #                               (panic containment, worker replacement, load
 #                               shedding, retry) and the kill-and-resume
 #                               sweep (byte-identical CSV after SIGKILL)
-#  10. server load gate         serve_load must sustain >= 1000 req/s on
+#  11. server load gate         serve_load must sustain >= 1000 req/s on
 #                               loopback (writes results/serve_load.csv)
 
 set -euo pipefail
@@ -55,6 +58,9 @@ cargo run -q --release -p blob-bench --bin perf_gate --offline
 
 echo "==> fault overhead gate (disabled fault points < 1% of gemm_par4_64)"
 cargo run -q --release -p blob-bench --bin fault_gate --offline
+
+echo "==> trace overhead gate (disabled trace spans < 1% of gemm_par4_64)"
+cargo run -q --release -p blob-bench --bin trace_gate --offline
 
 echo "==> server smoke (healthz, advise, threshold cache hit, shutdown)"
 cargo test -q -p blob-cli --test serve_smoke --offline

@@ -34,4 +34,4 @@ pub use report::markdown_report;
 pub use roofline::{roofline_svg, KernelPoint, Roofline};
 pub use stats::{summarize, Summary, ThresholdStability};
 pub use table::{sd_pair_cell, threshold_cell, Table};
-pub use timeline::timeline_svg;
+pub use timeline::{timeline_svg, trace_timeline_svg};

@@ -1,0 +1,132 @@
+//! `trace_gate` — proves the disabled trace plane is (near-)free.
+//!
+//! The trace plane ships enabled in every build: `trace::span` guards sit
+//! on the serve request path, the sweep runner's per-size loop, the thread
+//! pool's dispatch/job/wait paths, and (through `blob_blas::tracehook`)
+//! the GEMM pack/compute micro-phases. The zero-cost claim is that with
+//! tracing disabled a span open+drop is one relaxed atomic load and an
+//! inert guard, so even the most overhead-sensitive gated kernel shape
+//! (`gemm_par4_64` in `perf_gate`) cannot lose 1% to it.
+//!
+//! The gate measures, with tracing disabled:
+//!
+//! 1. the per-call cost of a disabled `trace::span` guard (create + drop
+//!    in a hot loop, min over repetitions — interference only adds time),
+//!    and
+//! 2. the `gemm_par4_64` per-call latency, the same statistic `perf_gate`
+//!    gates on,
+//!
+//! and fails unless [`SPANS_PER_CALL`] disabled spans cost **< 1%** of
+//! one small-GEMM call. [`SPANS_PER_CALL`] is a deliberate over-estimate
+//! of how many spans one kernel call can traverse (the pool opens one
+//! dispatch, one wait, and one span per job; the kernel adds a handful of
+//! pack/compute spans per thread), so the bound holds with a wide margin
+//! on the real layout. Results land in `results/trace_gate.csv`.
+//!
+//! ```text
+//! cargo run --release -p blob-bench --bin trace_gate
+//! ```
+
+use blob_bench::microbench::{black_box, measure_latency};
+use blob_bench::results_dir;
+use blob_core::trace;
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// Worker-thread count of the reference GEMM (matches `perf_gate`).
+const THREADS: usize = 4;
+
+/// Side of the reference GEMM (`gemm_par4_64`, the shape most sensitive
+/// to per-call overhead).
+const DIM: usize = 64;
+
+/// Deliberately pessimistic spans-per-kernel-call multiplier: the real
+/// hot path traverses ~3 pool spans plus ~3 pack/compute spans per
+/// worker, far below this.
+const SPANS_PER_CALL: f64 = 64.0;
+
+/// Overhead budget, percent of one `gemm_par4_64` call.
+const BUDGET_PCT: f64 = 1.0;
+
+/// Guard open+drops per timed block of the span microbenchmark. Large
+/// enough that the `Instant` pair around the block is amortised to
+/// nothing.
+const BLOCK: u64 = 4_000_000;
+
+/// Repetitions; the statistic is the minimum (noise only adds time).
+const REPS: usize = 5;
+
+/// Nanoseconds per disabled `trace::span` open+drop, min over [`REPS`]
+/// blocks.
+fn measure_span_ns() -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        for i in 0..BLOCK {
+            let g = trace::span(trace::names::SWEEP_SIZE, trace::cats::RUNNER);
+            black_box(&g);
+            drop(g);
+            black_box(&i);
+        }
+        best = best.min(t0.elapsed().as_secs_f64() * 1e9 / BLOCK as f64);
+    }
+    best
+}
+
+/// Per-call latency of `gemm_par4_64` in nanoseconds (median, min over
+/// [`REPS`] reps — the `perf_gate` statistic).
+fn measure_gemm_ns() -> f64 {
+    let a = vec![0.5f64; DIM * DIM];
+    let b = vec![0.25f64; DIM * DIM];
+    let mut c = vec![0.0f64; DIM * DIM];
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let stats = measure_latency(10, 41, || {
+            let _ = blob_blas::gemm_parallel(
+                THREADS, DIM, DIM, DIM, 1.0, &a, DIM, &b, DIM, 0.0, &mut c, DIM,
+            );
+            black_box(&c);
+        });
+        best = best.min(stats.median * 1e9);
+    }
+    best
+}
+
+fn main() -> ExitCode {
+    // The gate's premise is the *disabled* path; refuse to measure noise.
+    if trace::active() {
+        eprintln!("trace_gate: the trace plane is armed — disable it first");
+        return ExitCode::from(2);
+    }
+
+    println!("trace_gate: measuring the disabled trace plane");
+    let span_ns = measure_span_ns();
+    println!("  disabled trace::span    {span_ns:>10.3} ns/call (min of {REPS} blocks of {BLOCK})");
+    let gemm_ns = measure_gemm_ns();
+    println!("  gemm_par4_64            {:>10.1} µs/call", gemm_ns / 1e3);
+
+    let overhead_pct = 100.0 * (SPANS_PER_CALL * span_ns) / gemm_ns;
+    println!(
+        "  {SPANS_PER_CALL:.0} spans per call -> {overhead_pct:.4}% of one gemm_par4_64 (budget {BUDGET_PCT}%)"
+    );
+
+    let dir = results_dir();
+    let _ = std::fs::create_dir_all(&dir);
+    let path = dir.join("trace_gate.csv");
+    let csv = format!(
+        "span_ns,gemm_par4_64_ns,spans_per_call,overhead_pct,budget_pct\n{span_ns:.3},{gemm_ns:.1},{SPANS_PER_CALL:.0},{overhead_pct:.4},{BUDGET_PCT}\n"
+    );
+    if let Err(e) = blob_core::atomicio::write_atomic(&path, csv.as_bytes()) {
+        eprintln!("trace_gate: writing {}: {e}", path.display());
+    } else {
+        println!("wrote {}", path.display());
+    }
+
+    if overhead_pct < BUDGET_PCT {
+        println!("trace_gate: ok");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("trace_gate: FAILED — disabled trace spans are not free");
+        ExitCode::FAILURE
+    }
+}

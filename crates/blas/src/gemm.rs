@@ -25,6 +25,7 @@ use crate::pack::{pack_a, pack_b};
 use crate::perturb;
 use crate::pool;
 use crate::scalar::Scalar;
+use crate::tracehook;
 
 /// Cache-block height of an `A` block (rows per packed block).
 pub const MC: usize = 128;
@@ -220,11 +221,24 @@ pub fn gemm_blocked_with<T: Scalar>(
                 // β applies to C exactly once: on the first k-panel. Later
                 // panels accumulate (β' = 1).
                 let beta_eff = if pc == 0 { beta } else { T::ONE };
-                pack_b(kc, nc, &b[jc * ldb + pc..], ldb, packed_b);
+                {
+                    let pack =
+                        tracehook::span(tracehook::names::GEMM_PACK_B, tracehook::cats::GEMM);
+                    pack.annotate("bytes", (kc * nc * std::mem::size_of::<T>()) as u64);
+                    pack_b(kc, nc, &b[jc * ldb + pc..], ldb, packed_b);
+                }
                 for ic in (0..m).step_by(cfg.mc.max(1)) {
                     let mc = cfg.mc.min(m - ic);
-                    // α folds into the packed copy of A
-                    pack_a(mc, kc, &a[pc * lda + ic..], lda, alpha, packed_a);
+                    {
+                        let pack =
+                            tracehook::span(tracehook::names::GEMM_PACK_A, tracehook::cats::GEMM);
+                        pack.annotate("bytes", (mc * kc * std::mem::size_of::<T>()) as u64);
+                        // α folds into the packed copy of A
+                        pack_a(mc, kc, &a[pc * lda + ic..], lda, alpha, packed_a);
+                    }
+                    let compute =
+                        tracehook::span(tracehook::names::GEMM_COMPUTE, tracehook::cats::GEMM);
+                    compute.annotate("flops", 2 * (mc * nc * kc) as u64);
                     macro_kernel(
                         mc,
                         nc,
@@ -235,6 +249,7 @@ pub fn gemm_blocked_with<T: Scalar>(
                         &mut c[ic + jc * ldc..],
                         ldc,
                     );
+                    drop(compute);
                 }
             }
         }

@@ -26,6 +26,8 @@
 //! - [`pool`] — the execution substrate: persistent batch-latch worker
 //!   pool for `'static` jobs, scoped dispatch for borrowing kernels, and
 //!   the work-based inline/parallel crossover constants
+//! - [`tracehook`] — span hooks the tracing plane above this crate
+//!   installs; disabled cost is one relaxed atomic load per seam
 //! - [`batched`], [`sparse`], [`half`], [`level23`], [`transpose`] — the
 //!   extension kernels (strided-batch, CSR SpMV, software BF16, GER/SYRK/
 //!   TRSV/TRSM, transposed operands)
@@ -71,6 +73,7 @@ pub mod perturb;
 pub mod pool;
 pub mod scalar;
 pub mod sparse;
+pub mod tracehook;
 pub mod transpose;
 
 pub use batched::{gemm_batched, gemm_batched_parallel, gemv_batched, BatchedGemmDesc};

@@ -45,6 +45,7 @@
 
 use crate::faultpoint::{self, Directive};
 use crate::perturb;
+use crate::tracehook;
 use std::any::Any;
 use std::cell::Cell;
 use std::collections::VecDeque;
@@ -364,9 +365,11 @@ impl ThreadPool {
             return;
         }
         perturb::point(perturb::tags::POOL_SUBMIT);
+        let dispatch = tracehook::span(tracehook::names::POOL_DISPATCH, tracehook::cats::POOL);
         {
             let mut state = lock_ignore_poison(&self.queue.jobs);
             state.jobs.push_back((job, Arc::clone(latch)));
+            dispatch.annotate("queued", state.jobs.len() as u64);
         }
         self.queue.ready.notify_one();
     }
@@ -398,6 +401,7 @@ impl BatchHandle<'_> {
     /// mid-flight.
     pub fn wait(self) {
         perturb::point(perturb::tags::BATCH_WAIT);
+        let _wait = tracehook::span(tracehook::names::POOL_WAIT, tracehook::cats::POOL);
         while !self.latch.wait_timeout(WORKER_CHECK_PERIOD) {
             self.pool.ensure_workers();
         }
@@ -409,8 +413,12 @@ impl BatchHandle<'_> {
 fn run_job(job: Job, latch: &Arc<Latch>) {
     // AssertUnwindSafe: the closure's captured state is dropped with the
     // closure either way; the latch is the only thing observed after a
-    // panic and is updated under its own lock.
-    let outcome = catch_unwind(AssertUnwindSafe(job));
+    // panic and is updated under its own lock. A panic unwinds the span
+    // guard too, so the trace stays balanced.
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let _job = tracehook::span(tracehook::names::POOL_JOB, tracehook::cats::POOL);
+        job();
+    }));
     perturb::point(perturb::tags::POOL_DONE);
     latch.decr(outcome.err());
 }
@@ -503,6 +511,8 @@ where
         }
         return;
     }
+    let dispatch = tracehook::span(tracehook::names::POOL_DISPATCH, tracehook::cats::POOL);
+    dispatch.annotate("jobs", jobs.len() as u64);
     let rest = jobs.split_off(1);
     let Some(first) = jobs.pop() else {
         return;
@@ -517,12 +527,16 @@ where
             .map(|job| {
                 s.spawn(move || {
                     perturb::point(perturb::tags::SCOPED_JOB);
+                    let _job = tracehook::span(tracehook::names::POOL_JOB, tracehook::cats::POOL);
                     job();
                 })
             })
             .collect();
         perturb::point(perturb::tags::SCOPED_CALLER);
-        first();
+        {
+            let _job = tracehook::span(tracehook::names::POOL_JOB, tracehook::cats::POOL);
+            first();
+        }
         handles.into_iter().filter_map(|h| h.join().err()).next()
     });
     if let Some(payload) = spawned_panic {

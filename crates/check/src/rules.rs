@@ -22,7 +22,7 @@ pub struct Finding {
 }
 
 /// All rule identifiers, for `--list-rules` and suppression validation.
-pub const RULES: [&str; 8] = [
+pub const RULES: [&str; 9] = [
     "no-unsafe",
     "no-unwrap-in-lib",
     "no-unwrap-in-serve",
@@ -30,6 +30,7 @@ pub const RULES: [&str; 8] = [
     "pub-item-docs",
     "contract-guard",
     "no-adhoc-scope",
+    "no-raw-error-body",
     "suppression",
 ];
 
@@ -706,6 +707,55 @@ pub fn check_file(path: &str, text: &str, ctx: &Context) -> Vec<Finding> {
         }
     }
 
+    // --- no-raw-error-body: serve errors go through the envelope ---------
+    // Every serve error response must carry the uniform JSON envelope
+    // (`{"error":{"code","message","trace_id"}}`) and the `X-Blob-Trace`
+    // header, both minted by `envelope::error_response`. A handler that
+    // hand-builds an error via `Response::json(4xx…)`/`Response::text(5xx…)`
+    // silently forks the wire contract. Fires on the token sequence
+    // `Response :: json|text ( <int literal ≥ 400>` anywhere in
+    // `crates/serve/src/` except the envelope module itself and the
+    // transport layer (`http.rs`, which defines the constructors), tests
+    // excluded.
+    let raw_error_scope = path.starts_with("crates/serve/src/")
+        && path != "crates/serve/src/envelope.rs"
+        && path != "crates/serve/src/http.rs";
+    if raw_error_scope {
+        for (i, t) in code.iter().enumerate() {
+            if t.kind != TokenKind::Ident || (t.text != "json" && t.text != "text") {
+                continue;
+            }
+            if in_regions(t.line, &test_regions) {
+                continue;
+            }
+            let is_ctor = i >= 2
+                && code[i - 1].text == "::"
+                && code[i - 2].text == "Response"
+                && code.get(i + 1).map(|t| t.text == "(").unwrap_or(false);
+            if !is_ctor {
+                continue;
+            }
+            let status = code
+                .get(i + 2)
+                .filter(|t| t.kind == TokenKind::Num)
+                .and_then(|t| t.text.parse::<u32>().ok());
+            if let Some(s) = status {
+                if s >= 400 {
+                    findings.push(Finding {
+                        rule: "no-raw-error-body",
+                        path: path.to_string(),
+                        line: t.line,
+                        message: format!(
+                            "`Response::{}({s}, …)` builds an error body outside the envelope — \
+                             use `envelope::error_response` instead",
+                            t.text
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
     // --- suppression handling --------------------------------------------
     for s in &sups {
         if !s.known_rule {
@@ -959,6 +1009,44 @@ mod tests {
     fn adhoc_scope_suppressible_with_reason() {
         let src = "fn f() {\n    // blob-check: allow(no-adhoc-scope): bootstrap before pool exists\n    std::thread::scope(|s| { s.spawn(|| {}); });\n}";
         let f = check_lib(src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn raw_error_body_flagged_in_serve_handlers() {
+        let bad = "fn f() -> Response { Response::json(400, doc) }";
+        let f = check_file("crates/serve/src/api.rs", bad, &Context::default());
+        assert!(f.iter().any(|f| f.rule == "no-raw-error-body"), "{f:?}");
+        let bad_text = "fn f() -> Response { Response::text(503, \"busy\".into()) }";
+        let f = check_file("crates/serve/src/server.rs", bad_text, &Context::default());
+        assert!(f.iter().any(|f| f.rule == "no-raw-error-body"), "{f:?}");
+        // success responses are fine
+        let ok = "fn f() -> Response { Response::json(200, doc) }";
+        let f = check_file("crates/serve/src/api.rs", ok, &Context::default());
+        assert!(f.iter().all(|f| f.rule != "no-raw-error-body"), "{f:?}");
+        // a computed status is beyond a lexical rule — not flagged
+        let dynamic = "fn f(s: u16) -> Response { Response::json(s, doc) }";
+        let f = check_file("crates/serve/src/api.rs", dynamic, &Context::default());
+        assert!(f.iter().all(|f| f.rule != "no-raw-error-body"), "{f:?}");
+        // the envelope module and the transport layer are the sanctioned homes
+        for exempt in ["crates/serve/src/envelope.rs", "crates/serve/src/http.rs"] {
+            let f = check_file(exempt, bad, &Context::default());
+            assert!(f.iter().all(|f| f.rule != "no-raw-error-body"), "{f:?}");
+        }
+        // other crates are out of scope
+        let f = check_file("crates/cli/src/main.rs", bad, &Context::default());
+        assert!(f.iter().all(|f| f.rule != "no-raw-error-body"), "{f:?}");
+        // serve tests may hand-roll whatever they assert on
+        let in_test =
+            "#[cfg(test)]\nmod tests {\n    fn f() -> Response { Response::json(404, doc) }\n}";
+        let f = check_file("crates/serve/src/api.rs", in_test, &Context::default());
+        assert!(f.iter().all(|f| f.rule != "no-raw-error-body"), "{f:?}");
+    }
+
+    #[test]
+    fn raw_error_body_suppressible_with_reason() {
+        let src = "fn f() -> Response {\n    // blob-check: allow(no-raw-error-body): pre-envelope bootstrap reply\n    Response::json(500, doc)\n}";
+        let f = check_file("crates/serve/src/server.rs", src, &Context::default());
         assert!(f.is_empty(), "{f:?}");
     }
 

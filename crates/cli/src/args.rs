@@ -125,6 +125,8 @@ pub struct Args {
     pub resume: bool,
     /// Watchdog budget per measured size in ms (`--size-budget-ms`).
     pub size_budget_ms: Option<u64>,
+    /// Write a chrome://tracing span dump of the run (`--trace <FILE>`).
+    pub trace: Option<std::path::PathBuf>,
     pub help: bool,
     pub list_problems: bool,
 }
@@ -149,6 +151,7 @@ impl Default for Args {
             checkpoint: None,
             resume: false,
             size_budget_ms: None,
+            trace: None,
             help: false,
             list_problems: false,
         }
@@ -163,6 +166,9 @@ USAGE:
     gpu-blob [OPTIONS]
     gpu-blob serve [OPTIONS]     run the advisor as an HTTP service
                                  (see gpu-blob serve --help)
+    gpu-blob profile [OPTIONS]   run a traced sweep (same options as the
+                                 classic run) and print a per-span profile
+                                 (call counts, total/self time, p50/p99)
 
 OPTIONS:
     -i <N[,N...]>        iteration counts (default: 1; paper: 1,8,32,64,128)
@@ -189,6 +195,9 @@ OPTIONS:
                          sweep is byte-identical to an uninterrupted run
     --size-budget-ms <N> watchdog: flag any size measurement exceeding N ms
                          (never kills it; reported on stderr and counted)
+    --trace <FILE>       record spans (sweep sizes, pool jobs, pack/compute
+                         phases) and write a chrome://tracing JSON dump;
+                         open it at chrome://tracing or ui.perfetto.dev
     --fault-plan <SPEC>  install a deterministic fault plan (chaos testing;
                          overrides GPU_BLOB_FAULTS), e.g.
                          'seed=7;csv.write:error@0.5x2'
@@ -277,6 +286,7 @@ pub fn parse(argv: &[String]) -> Result<Args, ArgsError> {
                     "--size-budget-ms",
                 )?)
             }
+            "--trace" => args.trace = Some(next_value("--trace", &mut it)?.into()),
             "--list-problems" => args.list_problems = true,
             "-h" | "--help" => args.help = true,
             other => return Err(ArgsError::UnknownArgument(other.to_string())),
@@ -379,21 +389,28 @@ OPTIONS:
                               testing; overrides GPU_BLOB_FAULTS)
     -h, --help                this help
 
-ENDPOINTS:
-    POST /advise      one BLAS call -> offload verdict
-    POST /threshold   (system, problem, precision, sweep) -> threshold table
-    GET  /systems     the modelled systems
-    GET  /healthz     liveness
-    GET  /metrics     request counts, latency quantiles, cache counters
+ENDPOINTS (all under /v1/; bare legacy paths still answer, with a
+Deprecation header):
+    POST /v1/advise      one BLAS call -> offload verdict
+    POST /v1/threshold   (system, problem, precision, sweep) -> threshold table
+    GET  /v1/systems     the modelled systems
+    GET  /v1/healthz     liveness
+    GET  /v1/metrics     request counts, latency quantiles, cache counters
+    GET  /v1/trace       recent request spans as chrome://tracing JSON
+                         (?last=N bounds the span count)
 ";
 
-/// What the binary was asked to do: the classic sweep, or the service.
+/// What the binary was asked to do: the classic sweep, the service, or
+/// a traced profiling run.
 #[derive(Debug, Clone)]
 pub enum Command {
     /// The classic one-shot benchmark run.
     Sweep(Args),
     /// `gpu-blob serve …`.
     Serve(ServeArgs),
+    /// `gpu-blob profile …`: the classic run with tracing forced on,
+    /// reported as a per-span profile table instead of sweep tables.
+    Profile(Args),
 }
 
 /// Parses `serve` subcommand arguments (without the `serve` token).
@@ -448,6 +465,7 @@ pub fn parse_serve(argv: &[String]) -> Result<ServeArgs, ArgsError> {
 pub fn parse_command(argv: &[String]) -> Result<Command, ArgsError> {
     match argv.first().map(String::as_str) {
         Some("serve") => Ok(Command::Serve(parse_serve(&argv[1..])?)),
+        Some("profile") => Ok(Command::Profile(parse(&argv[1..])?)),
         _ => Ok(Command::Sweep(parse(argv)?)),
     }
 }
@@ -652,6 +670,26 @@ mod tests {
         assert_eq!(s.deadline_ms, 500);
         assert_eq!(s.fault_plan.as_deref(), Some("serve.sweep:error@1x1"));
         assert!(parse_serve(&sv(&["--deadline-ms", "0"])).is_err());
+    }
+
+    #[test]
+    fn trace_flag_and_profile_subcommand() {
+        let a = parse(&sv(&["--trace", "/tmp/out.json", "-d", "8"])).unwrap();
+        assert_eq!(
+            a.trace.as_deref(),
+            Some(std::path::Path::new("/tmp/out.json"))
+        );
+        assert!(matches!(
+            parse(&sv(&["--trace"])).unwrap_err(),
+            ArgsError::MissingValue { flag: "--trace" }
+        ));
+        let Command::Profile(p) =
+            parse_command(&sv(&["profile", "-d", "16", "--system", "host"])).unwrap()
+        else {
+            panic!("expected profile command")
+        };
+        assert_eq!(p.max_dim, 16);
+        assert_eq!(p.system, SystemChoice::Host);
     }
 
     #[test]

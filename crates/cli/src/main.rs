@@ -21,6 +21,7 @@ use blob_core::custom_runner::run_custom_sweep;
 use blob_core::fault;
 use blob_core::problem::Problem;
 use blob_core::runner::{run_sweep, run_sweep_checkpointed, SweepConfig};
+use blob_core::trace;
 use blob_core::validate_call;
 use blob_core::wire::{self, Json};
 use blob_sim::{presets, Offload, Precision};
@@ -39,7 +40,7 @@ fn main() {
     };
     let fault_spec = match &command {
         Command::Serve(a) => a.fault_plan.clone(),
-        Command::Sweep(a) => a.fault_plan.clone(),
+        Command::Sweep(a) | Command::Profile(a) => a.fault_plan.clone(),
     };
     install_fault_plan(fault_spec.as_deref());
     match command {
@@ -62,8 +63,60 @@ fn main() {
                 }
                 return;
             }
-            run(&args);
+            if let Some(path) = args.trace.clone() {
+                run_traced(&args, &path);
+            } else {
+                run(&args);
+            }
         }
+        Command::Profile(args) => {
+            if args.help {
+                println!("{USAGE}");
+                return;
+            }
+            run_profiled(&args);
+        }
+    }
+}
+
+/// The `--trace FILE` path: arms the trace plane, runs the sweep exactly
+/// as `run` would, then writes every recorded span as a chrome://tracing
+/// JSON document (load it at `chrome://tracing` or in Perfetto).
+fn run_traced(args: &Args, path: &std::path::Path) {
+    trace::enable();
+    run(args);
+    let spans = trace::take();
+    let dropped = trace::dropped();
+    trace::disable();
+    let doc = trace::chrome_trace_json(&spans);
+    if let Err(e) = std::fs::write(path, doc) {
+        eprintln!("error: cannot write trace to {}: {e}", path.display());
+        std::process::exit(1);
+    }
+    eprintln!(
+        "wrote {} span(s) to {}{}",
+        spans.len(),
+        path.display(),
+        if dropped > 0 {
+            format!(" ({dropped} dropped at the sink cap)")
+        } else {
+            String::new()
+        }
+    );
+}
+
+/// The `profile` subcommand: runs the sweep with tracing armed and prints
+/// the aggregated per-span-name profile (count, total/self time, p50/p99)
+/// instead of shipping the raw spans anywhere.
+fn run_profiled(args: &Args) {
+    trace::enable();
+    run(args);
+    let spans = trace::take();
+    let dropped = trace::dropped();
+    trace::disable();
+    println!("{}", trace::render_profile(&trace::profile(&spans)));
+    if dropped > 0 {
+        eprintln!("note: {dropped} span(s) dropped at the sink cap; totals are a lower bound");
     }
 }
 
@@ -110,7 +163,8 @@ fn serve(args: &ServeArgs) {
     // parent process parsing the bound (possibly ephemeral) port.
     println!("listening on {}", server.local_addr());
     println!(
-        "endpoints: POST /advise | POST /threshold | GET /systems | GET /healthz | GET /metrics"
+        "endpoints: POST /v1/advise | POST /v1/threshold | GET /v1/systems | \
+         GET /v1/healthz | GET /v1/metrics | GET /v1/trace"
     );
     server.join();
     println!("server stopped");

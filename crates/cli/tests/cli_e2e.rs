@@ -255,6 +255,53 @@ fn json_mode_covers_custom_families() {
 }
 
 #[test]
+fn traced_host_sweep_writes_chrome_trace_json() {
+    use blob_core::wire::Json;
+    let path = std::env::temp_dir().join("blob_cli_trace_e2e.json");
+    let _ = std::fs::remove_file(&path);
+    let path_s = path.to_string_lossy().into_owned();
+    // One 256³ GEMM on 2 threads: big enough to cross the pool's
+    // flops-per-thread crossover, so the dispatch spans fire too.
+    let (_, stderr, ok) = run(&[
+        "--system",
+        "host",
+        "--threads",
+        "2",
+        "--problem",
+        "gemm_square",
+        "--precision",
+        "f32",
+        "-i",
+        "1",
+        "-s",
+        "256",
+        "-d",
+        "256",
+        "--trace",
+        &path_s,
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stderr.contains("span(s)"), "{stderr}");
+    let text = std::fs::read_to_string(&path).expect("trace file written");
+    let doc = Json::parse(&text).expect("trace file is valid JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents array")
+        .to_vec();
+    for expected in ["sweep.size", "pool.dispatch", "gemm.pack_a", "gemm.compute"] {
+        assert!(
+            events
+                .iter()
+                .any(|e| e.get("name").and_then(Json::as_str) == Some(expected)),
+            "missing {expected} span in {}",
+            text.chars().take(400).collect::<String>()
+        );
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
 fn json_plus_plot_is_rejected() {
     let (_, stderr, ok) = run(&["--json", "--plot"]);
     assert!(!ok);

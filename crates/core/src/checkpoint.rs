@@ -196,12 +196,12 @@ impl Checkpoint {
             system: system.to_string(),
             problem,
             precision,
-            iterations: cfg.iterations.max(1),
-            min_dim: cfg.min_dim,
-            max_dim: cfg.max_dim,
-            step: cfg.step,
-            alpha: cfg.alpha,
-            beta: cfg.beta,
+            iterations: cfg.iterations().max(1),
+            min_dim: cfg.min_dim(),
+            max_dim: cfg.max_dim(),
+            step: cfg.step(),
+            alpha: cfg.alpha(),
+            beta: cfg.beta(),
             complete: false,
             records: Vec::new(),
         }
@@ -220,12 +220,12 @@ impl Checkpoint {
         self.system == system
             && self.problem == problem
             && self.precision == precision
-            && self.iterations == cfg.iterations.max(1)
-            && self.min_dim == cfg.min_dim
-            && self.max_dim == cfg.max_dim
-            && self.step == cfg.step
-            && self.alpha.to_bits() == cfg.alpha.to_bits()
-            && self.beta.to_bits() == cfg.beta.to_bits()
+            && self.iterations == cfg.iterations().max(1)
+            && self.min_dim == cfg.min_dim()
+            && self.max_dim == cfg.max_dim()
+            && self.step == cfg.step()
+            && self.alpha.to_bits() == cfg.alpha().to_bits()
+            && self.beta.to_bits() == cfg.beta().to_bits()
     }
 
     /// Serialises the checkpoint to its JSON document.

@@ -48,16 +48,16 @@ pub fn run_custom_sweep(
     cfg: &SweepConfig,
 ) -> CustomSweep {
     let offloads = backend.offloads();
-    let iters = cfg.iterations.max(1);
+    let iters = cfg.iterations().max(1);
     let records = problem
-        .params(cfg.min_dim, cfg.max_dim, cfg.step)
+        .params(cfg.min_dim(), cfg.max_dim(), cfg.step())
         .into_iter()
         .map(|p| {
             let call = BlasCall {
                 kernel: problem.dims(p),
                 precision,
-                alpha: cfg.alpha,
-                beta: cfg.beta,
+                alpha: cfg.alpha(),
+                beta: cfg.beta(),
             };
             let cpu_seconds = backend.cpu_seconds(&call, iters);
             let total_flops = iters as f64 * call.paper_flops();

@@ -15,6 +15,10 @@
 //! - [`wire`] — the workspace's JSON wire format: one escaper, one
 //!   encoder, one recursive-descent parser, shared by `blob-serve`,
 //!   `gpu-blob --json`, and `blob-check`
+//! - [`schema`] — the versioned v1 request/response schema: `parse_*`
+//!   validators paired with `wire`'s `*_json` encoders, defined once
+//! - [`trace`] — structured tracing & profiling: per-thread span
+//!   recording, chrome://tracing export, aggregated text profiles
 //!
 //! ## Quickstart
 //!
@@ -41,8 +45,10 @@ pub mod fault;
 pub mod problem;
 pub mod rng;
 pub mod runner;
+pub mod schema;
 pub mod testkit;
 pub mod threshold;
+pub mod trace;
 pub mod validate;
 pub mod wire;
 
@@ -57,9 +63,12 @@ pub use backend::{Backend, HostCpu};
 pub use custom::{CustomProblem, DimRule};
 pub use custom_runner::{run_custom_sweep, CustomSweep};
 pub use problem::{GemmProblem, GemvProblem, Problem};
-pub use runner::{run_sweep, run_sweep_pooled, GpuSample, SizeRecord, Sweep, SweepConfig};
+pub use runner::{
+    run_sweep, run_sweep_pooled, ConfigError, GpuSample, SizeRecord, Sweep, SweepConfig,
+    SweepConfigBuilder,
+};
 pub use threshold::{offload_threshold_from_times, offload_threshold_index, ThresholdPoint};
 pub use validate::{validate_call, ValidationReport, CHECKSUM_TOLERANCE};
 
 // Re-export the model vocabulary so harness users need one import path.
-pub use blob_sim::{BlasCall, Kernel, KernelKind, Offload, Precision};
+pub use blob_sim::{BlasCall, BlasCallBuilder, CallError, Kernel, KernelKind, Offload, Precision};

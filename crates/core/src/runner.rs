@@ -8,6 +8,7 @@ use crate::checkpoint::{Checkpoint, CheckpointError};
 use crate::fault;
 use crate::problem::Problem;
 use crate::threshold::{offload_threshold_index, ThresholdPoint};
+use crate::trace;
 use blob_sim::{BlasCall, Kernel, Offload, Precision};
 
 pub use blob_blas::ThreadPool;
@@ -18,28 +19,38 @@ use std::time::{Duration, Instant};
 
 /// Sweep configuration: the artifact's `-s`, `-d`, `-i` arguments plus a
 /// stride for coarse sweeps.
+///
+/// Fields are private — a value of this type always satisfies its
+/// invariants (`min_dim >= 1`, `max_dim >= min_dim`, `step >= 1`, finite
+/// scalars). Construct one with [`SweepConfig::paper`],
+/// [`SweepConfig::new`] (trusted inputs, clamps), or
+/// [`SweepConfig::builder`] (untrusted inputs, validates).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SweepConfig {
-    /// Minimum dimension (`-s`), default 1.
-    pub min_dim: usize,
-    /// Maximum dimension (`-d`), default 4096.
-    pub max_dim: usize,
-    /// Iteration count (`-i`).
-    pub iterations: u32,
-    /// Stride over the size parameter; 1 sweeps every size like the paper.
-    pub step: usize,
-    /// α for every call (default 1).
-    pub alpha: f64,
-    /// β for every call (default 0, the artifact's configuration).
-    pub beta: f64,
+    min_dim: usize,
+    max_dim: usize,
+    iterations: u32,
+    step: usize,
+    alpha: f64,
+    beta: f64,
 }
 
 impl SweepConfig {
     /// The paper's configuration: `-s 1 -d 4096`, α=1, β=0.
     pub fn paper(iterations: u32) -> Self {
+        Self::new(1, 4096, iterations)
+    }
+
+    /// A configuration with a custom dimension range. For trusted
+    /// (programmatic) inputs: out-of-range values are clamped into the
+    /// invariants rather than rejected — `min_dim` up to 1, `max_dim` up
+    /// to `min_dim`. Wire- or CLI-facing code should use
+    /// [`SweepConfig::builder`], which rejects instead.
+    pub fn new(min_dim: usize, max_dim: usize, iterations: u32) -> Self {
+        let min_dim = min_dim.max(1);
         Self {
-            min_dim: 1,
-            max_dim: 4096,
+            min_dim,
+            max_dim: max_dim.max(min_dim),
             iterations,
             step: 1,
             alpha: 1.0,
@@ -47,12 +58,13 @@ impl SweepConfig {
         }
     }
 
-    /// A configuration with a custom dimension range.
-    pub fn new(min_dim: usize, max_dim: usize, iterations: u32) -> Self {
-        Self {
-            min_dim,
-            max_dim,
-            iterations,
+    /// A validating builder for untrusted inputs (see
+    /// [`SweepConfigBuilder`]).
+    pub fn builder() -> SweepConfigBuilder {
+        SweepConfigBuilder {
+            min_dim: 1,
+            max_dim: 4096,
+            iterations: 1,
             step: 1,
             alpha: 1.0,
             beta: 0.0,
@@ -65,8 +77,150 @@ impl SweepConfig {
         self
     }
 
+    /// Minimum dimension (`-s`).
+    pub fn min_dim(&self) -> usize {
+        self.min_dim
+    }
+
+    /// Maximum dimension (`-d`).
+    pub fn max_dim(&self) -> usize {
+        self.max_dim
+    }
+
+    /// Iteration count of each timed loop (`-i`).
+    pub fn iterations(&self) -> u32 {
+        self.iterations
+    }
+
+    /// Stride over the size parameter; 1 sweeps every size like the paper.
+    pub fn step(&self) -> usize {
+        self.step
+    }
+
+    /// α for every call (default 1).
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// β for every call (default 0, the artifact's configuration).
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
     /// The iteration counts the paper evaluates.
     pub const PAPER_ITERATIONS: [u32; 5] = [1, 8, 32, 64, 128];
+}
+
+/// Why a [`SweepConfigBuilder`] rejected its inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `min_dim` was zero.
+    ZeroMinDim,
+    /// `max_dim` was below `min_dim`.
+    EmptyRange {
+        /// The requested minimum dimension.
+        min_dim: usize,
+        /// The requested maximum dimension.
+        max_dim: usize,
+    },
+    /// The iteration count was zero.
+    ZeroIterations,
+    /// The sweep stride was zero.
+    ZeroStep,
+    /// The named scalar (`"alpha"` or `"beta"`) was NaN or infinite.
+    NonFiniteScalar(&'static str),
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroMinDim => write!(f, "sweep config: min_dim must be >= 1"),
+            ConfigError::EmptyRange { min_dim, max_dim } => write!(
+                f,
+                "sweep config: max_dim ({max_dim}) must be >= min_dim ({min_dim})"
+            ),
+            ConfigError::ZeroIterations => write!(f, "sweep config: iterations must be >= 1"),
+            ConfigError::ZeroStep => write!(f, "sweep config: step must be >= 1"),
+            ConfigError::NonFiniteScalar(s) => write!(f, "sweep config: `{s}` must be finite"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Validating builder for [`SweepConfig`]: the choke point where
+/// untrusted sweep shapes (wire requests, CLI flags) become a config.
+/// Unlike [`SweepConfig::new`], nothing is clamped — an invalid shape
+/// is a typed [`ConfigError`].
+#[derive(Debug, Clone, Copy)]
+pub struct SweepConfigBuilder {
+    min_dim: usize,
+    max_dim: usize,
+    iterations: u32,
+    step: usize,
+    alpha: f64,
+    beta: f64,
+}
+
+impl SweepConfigBuilder {
+    /// Sets the dimension range (defaults: 1..=4096, the paper's).
+    pub fn dims(mut self, min_dim: usize, max_dim: usize) -> Self {
+        self.min_dim = min_dim;
+        self.max_dim = max_dim;
+        self
+    }
+
+    /// Sets the iteration count (default 1).
+    pub fn iterations(mut self, iterations: u32) -> Self {
+        self.iterations = iterations;
+        self
+    }
+
+    /// Sets the sweep stride (default 1).
+    pub fn step(mut self, step: usize) -> Self {
+        self.step = step;
+        self
+    }
+
+    /// Sets α and β for every call (defaults 1 and 0).
+    pub fn scalars(mut self, alpha: f64, beta: f64) -> Self {
+        self.alpha = alpha;
+        self.beta = beta;
+        self
+    }
+
+    /// Validates and produces the config.
+    pub fn build(self) -> Result<SweepConfig, ConfigError> {
+        if self.min_dim == 0 {
+            return Err(ConfigError::ZeroMinDim);
+        }
+        if self.max_dim < self.min_dim {
+            return Err(ConfigError::EmptyRange {
+                min_dim: self.min_dim,
+                max_dim: self.max_dim,
+            });
+        }
+        if self.iterations == 0 {
+            return Err(ConfigError::ZeroIterations);
+        }
+        if self.step == 0 {
+            return Err(ConfigError::ZeroStep);
+        }
+        if !self.alpha.is_finite() {
+            return Err(ConfigError::NonFiniteScalar("alpha"));
+        }
+        if !self.beta.is_finite() {
+            return Err(ConfigError::NonFiniteScalar("beta"));
+        }
+        Ok(SweepConfig {
+            min_dim: self.min_dim,
+            max_dim: self.max_dim,
+            iterations: self.iterations,
+            step: self.step,
+            alpha: self.alpha,
+            beta: self.beta,
+        })
+    }
 }
 
 /// One GPU timing at one problem size.
@@ -202,6 +356,9 @@ fn measure_size(
     iters: u32,
     offloads: &[Offload],
 ) -> SizeRecord {
+    let size_span = trace::span(trace::names::SWEEP_SIZE, trace::cats::RUNNER);
+    size_span.annotate("param", p as u64);
+    size_span.annotate("iterations", u64::from(iters));
     // The `runner.size` fault point models a transient backend hiccup at
     // this size: an injected error is simply retried (the measurement has
     // not started yet), an injected delay models a slow kernel for the
@@ -446,6 +603,8 @@ pub fn run_sweep_checkpointed(
             w.advance();
         }
         if !save_failed {
+            let save_span = trace::span(trace::names::CHECKPOINT_SAVE, trace::cats::CHECKPOINT);
+            save_span.annotate("records", ck.records.len() as u64);
             if let Err(e) = ck.save(ckpt_path) {
                 eprintln!("gpu-blob: checkpointing disabled for this run: {e}");
                 save_failed = true;
@@ -454,6 +613,8 @@ pub fn run_sweep_checkpointed(
     }
     ck.complete = true;
     if !save_failed {
+        let save_span = trace::span(trace::names::CHECKPOINT_SAVE, trace::cats::CHECKPOINT);
+        save_span.annotate("records", ck.records.len() as u64);
         if let Err(e) = ck.save(ckpt_path) {
             eprintln!("gpu-blob: final checkpoint write failed: {e}");
         }
@@ -685,6 +846,51 @@ mod tests {
         );
         assert_eq!(run.sweep.records.len(), 3, "watchdog never kills the sweep");
         std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn builder_validates_and_matches_new() {
+        let built = SweepConfig::builder()
+            .dims(2, 64)
+            .iterations(8)
+            .step(3)
+            .build()
+            .unwrap();
+        assert_eq!(built, SweepConfig::new(2, 64, 8).with_step(3));
+        let scaled = SweepConfig::builder()
+            .dims(1, 4)
+            .iterations(1)
+            .scalars(2.0, 1.0)
+            .build()
+            .unwrap();
+        assert_eq!(scaled.alpha().to_bits(), 2.0f64.to_bits());
+        assert_eq!(scaled.beta().to_bits(), 1.0f64.to_bits());
+        assert_eq!(
+            SweepConfig::builder().dims(0, 4).build(),
+            Err(ConfigError::ZeroMinDim)
+        );
+        assert_eq!(
+            SweepConfig::builder().dims(8, 4).build(),
+            Err(ConfigError::EmptyRange {
+                min_dim: 8,
+                max_dim: 4
+            })
+        );
+        assert_eq!(
+            SweepConfig::builder().iterations(0).build(),
+            Err(ConfigError::ZeroIterations)
+        );
+        assert_eq!(
+            SweepConfig::builder().step(0).build(),
+            Err(ConfigError::ZeroStep)
+        );
+        assert_eq!(
+            SweepConfig::builder().scalars(f64::NAN, 0.0).build(),
+            Err(ConfigError::NonFiniteScalar("alpha"))
+        );
+        // `new` clamps trusted inputs into the invariants instead
+        assert_eq!(SweepConfig::new(0, 0, 1).min_dim(), 1);
+        assert_eq!(SweepConfig::new(0, 0, 1).max_dim(), 1);
     }
 
     #[test]

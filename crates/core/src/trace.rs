@@ -1,0 +1,625 @@
+//! Structured tracing & profiling: where the time actually goes.
+//!
+//! The paper's offload-threshold methodology is an accounting argument —
+//! CPU kernel time vs. transfer time vs. GPU compute — and this module
+//! gives the harness the same per-phase visibility into *itself*. Every
+//! layer records **spans**: named, categorised intervals with monotonic
+//! nanosecond timestamps, a thread id, a parent link, and optional `u64`
+//! key/value annotations (flops, bytes, batch sizes…).
+//!
+//! ## Design
+//!
+//! - **Recording is thread-local.** An open span lives on a per-thread
+//!   stack; a closed span is appended to a per-thread buffer. No lock is
+//!   taken on the record path — completed spans are *published* to a
+//!   bounded global sink (oldest dropped first) only when a thread's
+//!   span stack empties, i.e. at the end of a root span such as one pool
+//!   job or one serve request.
+//! - **Disabled means free.** [`span`] checks one relaxed atomic load
+//!   and returns an inert guard; the `trace_gate` bench (`blob-bench`)
+//!   proves the cost is <1% of the smallest gated GEMM call, exactly
+//!   like `fault_gate` does for the fault plane.
+//! - **`blob-blas` stays below this crate.** The kernels report their
+//!   pool and pack/compute seams through [`blob_blas::tracehook`];
+//!   [`enable`] installs closures bridging those hooks to this module.
+//!
+//! ## Exports
+//!
+//! [`chrome_trace_json`] renders spans as chrome://tracing "trace event"
+//! JSON (load it at `chrome://tracing` or <https://ui.perfetto.dev>);
+//! [`profile`]/[`render_profile`] aggregate spans into a per-name table
+//! of call counts, total/self time and p50/p99 latencies. Both are
+//! reachable from `gpu-blob sweep --trace`, `gpu-blob profile`, and
+//! `blob-serve`'s `GET /v1/trace`.
+
+use crate::wire::Json;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, Once, OnceLock, PoisonError};
+use std::time::Instant;
+
+/// Span names recorded by the harness layers of the workspace. The
+/// kernel-side names (`pool.*`, `gemm.*`) live in
+/// [`blob_blas::tracehook::names`].
+pub mod names {
+    /// One size measurement inside a sweep (CPU + every GPU transfer
+    /// type), on whichever thread runs it.
+    pub const SWEEP_SIZE: &str = "sweep.size";
+    /// One atomic checkpoint write during a checkpointed sweep.
+    pub const CHECKPOINT_SAVE: &str = "checkpoint.save";
+    /// One HTTP request handled by `blob-serve`.
+    pub const SERVE_REQUEST: &str = "serve.request";
+}
+
+/// Span categories used by the harness layers.
+pub mod cats {
+    /// Sweep-runner spans.
+    pub const RUNNER: &str = "runner";
+    /// Checkpoint-persistence spans.
+    pub const CHECKPOINT: &str = "checkpoint";
+    /// HTTP-service spans.
+    pub const SERVE: &str = "serve";
+}
+
+/// One completed span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// Unique span id (1-based; 0 is reserved for "no parent").
+    pub id: u64,
+    /// Id of the enclosing span on the same thread, 0 for a root span.
+    pub parent: u64,
+    /// Static span name, e.g. `"gemm.compute"`.
+    pub name: &'static str,
+    /// Coarse category (`"pool"`, `"gemm"`, `"runner"`, `"serve"`, …).
+    pub cat: &'static str,
+    /// Start time in nanoseconds since the trace epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Trace-local thread id (1-based, in order of first recording).
+    pub tid: u64,
+    /// `u64` key/value annotations (flops, bytes, sizes…).
+    pub args: Vec<(&'static str, u64)>,
+}
+
+struct Open {
+    id: u64,
+    parent: u64,
+    name: &'static str,
+    cat: &'static str,
+    start_ns: u64,
+    args: Vec<(&'static str, u64)>,
+}
+
+struct Local {
+    tid: u64,
+    stack: Vec<Open>,
+    done: Vec<Span>,
+}
+
+/// Global sink capacity; once full the oldest spans are dropped (and
+/// counted in [`dropped`]).
+pub const SINK_CAP: usize = 65_536;
+
+/// A thread publishes its buffer early if this many spans complete
+/// before its stack empties, bounding per-thread memory.
+const LOCAL_FLUSH: usize = 4_096;
+
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+static DROPPED: AtomicU64 = AtomicU64::new(0);
+static ID_SEED: AtomicU64 = AtomicU64::new(0x5EED_B10B);
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+static SINK: Mutex<Vec<Span>> = Mutex::new(Vec::new());
+
+/// Serialises tests (and any other caller) that enable/disable the
+/// global trace plane, mirroring `fault::CHAOS_LOCK`.
+pub static TRACE_LOCK: Mutex<()> = Mutex::new(());
+
+thread_local! {
+    static LOCAL: RefCell<Local> = const {
+        RefCell::new(Local { tid: 0, stack: Vec::new(), done: Vec::new() })
+    };
+}
+
+/// Nanoseconds since the process-wide trace epoch (first use wins).
+pub fn now_ns() -> u64 {
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+/// Turns span recording on: initialises the epoch, bridges the
+/// `blob-blas` trace hooks into this module, and arms every
+/// instrumentation point.
+pub fn enable() {
+    EPOCH.get_or_init(Instant::now);
+    install_blas_hooks();
+    blob_blas::tracehook::set_active(true);
+    ACTIVE.store(true, Ordering::Release);
+}
+
+/// Turns span recording off. Already-recorded spans stay in the sink;
+/// spans open at the moment of disabling complete normally.
+pub fn disable() {
+    ACTIVE.store(false, Ordering::Release);
+    blob_blas::tracehook::set_active(false);
+}
+
+/// Whether span recording is currently enabled.
+pub fn active() -> bool {
+    ACTIVE.load(Ordering::Relaxed)
+}
+
+/// Discards every published span and resets the dropped-span counter.
+/// Does not change the enabled/disabled state.
+pub fn clear() {
+    SINK.lock().unwrap_or_else(PoisonError::into_inner).clear();
+    DROPPED.store(0, Ordering::Relaxed);
+}
+
+/// How many spans the bounded sink has dropped (oldest-first) since the
+/// last [`clear`].
+pub fn dropped() -> u64 {
+    DROPPED.load(Ordering::Relaxed)
+}
+
+/// Removes and returns every published span, in publish order.
+pub fn take() -> Vec<Span> {
+    std::mem::take(&mut *SINK.lock().unwrap_or_else(PoisonError::into_inner))
+}
+
+/// Clones the published spans without consuming them (the serve
+/// `GET /v1/trace` path).
+pub fn snapshot() -> Vec<Span> {
+    SINK.lock().unwrap_or_else(PoisonError::into_inner).clone()
+}
+
+/// RAII guard for one span; the span closes when the guard drops.
+///
+/// Returned by [`span`]. When tracing is disabled the guard is inert
+/// and its drop is a branch on a local bool.
+#[must_use = "the span closes when the guard drops; binding it to _ closes it immediately"]
+pub struct SpanGuard {
+    armed: bool,
+}
+
+impl SpanGuard {
+    /// Attaches a `u64` key/value annotation to this span. No-op when
+    /// the guard is inert.
+    pub fn annotate(&self, key: &'static str, value: u64) {
+        if self.armed {
+            annotate(key, value);
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if self.armed {
+            end();
+        }
+    }
+}
+
+/// Opens a span. The fast path — tracing disabled — is a single relaxed
+/// atomic load; `trace_gate` holds it to <1% of the smallest gated GEMM.
+#[inline]
+pub fn span(name: &'static str, cat: &'static str) -> SpanGuard {
+    if !ACTIVE.load(Ordering::Relaxed) {
+        return SpanGuard { armed: false };
+    }
+    begin(name, cat);
+    SpanGuard { armed: true }
+}
+
+/// Raw span-open, the begin half of the hook protocol bridged from
+/// [`blob_blas::tracehook`]. Prefer [`span`]; every `begin` must be
+/// matched by exactly one [`end`] on the same thread.
+pub fn begin(name: &'static str, cat: &'static str) {
+    let start_ns = now_ns();
+    LOCAL.with(|cell| {
+        if let Ok(mut l) = cell.try_borrow_mut() {
+            if l.tid == 0 {
+                l.tid = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+            }
+            let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+            let parent = l.stack.last().map_or(0, |o| o.id);
+            l.stack.push(Open {
+                id,
+                parent,
+                name,
+                cat,
+                start_ns,
+                args: Vec::new(),
+            });
+        }
+    });
+}
+
+/// Attaches a `u64` key/value annotation to the innermost open span on
+/// this thread, if any.
+pub fn annotate(key: &'static str, value: u64) {
+    LOCAL.with(|cell| {
+        if let Ok(mut l) = cell.try_borrow_mut() {
+            if let Some(open) = l.stack.last_mut() {
+                open.args.push((key, value));
+            }
+        }
+    });
+}
+
+/// Raw span-close: records the innermost open span on this thread and,
+/// if the stack emptied, publishes this thread's buffer to the sink.
+pub fn end() {
+    let end_ns = now_ns();
+    LOCAL.with(|cell| {
+        if let Ok(mut l) = cell.try_borrow_mut() {
+            let tid = l.tid;
+            let Some(open) = l.stack.pop() else { return };
+            l.done.push(Span {
+                id: open.id,
+                parent: open.parent,
+                name: open.name,
+                cat: open.cat,
+                start_ns: open.start_ns,
+                dur_ns: end_ns.saturating_sub(open.start_ns),
+                tid,
+                args: open.args,
+            });
+            if l.stack.is_empty() || l.done.len() >= LOCAL_FLUSH {
+                publish(&mut l.done);
+            }
+        }
+    });
+}
+
+/// Moves a thread's completed spans into the bounded global sink,
+/// dropping the oldest sink entries on overflow.
+fn publish(done: &mut Vec<Span>) {
+    let mut sink = SINK.lock().unwrap_or_else(PoisonError::into_inner);
+    sink.append(done);
+    if sink.len() > SINK_CAP {
+        let excess = sink.len() - SINK_CAP;
+        sink.drain(..excess);
+        DROPPED.fetch_add(excess as u64, Ordering::Relaxed);
+    }
+}
+
+fn install_blas_hooks() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        blob_blas::tracehook::set_hooks(blob_blas::tracehook::Hooks {
+            begin: Box::new(begin),
+            annotate: Box::new(annotate),
+            end: Box::new(end),
+        });
+    });
+}
+
+/// Mints a 16-hex-digit trace id (a splitmix64 step over a shared
+/// counter mixed with the monotonic clock — unique within a process,
+/// collision-negligible across restarts).
+pub fn mint_trace_id() -> String {
+    let c = ID_SEED.fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed);
+    let mut z = c ^ now_ns().rotate_left(32);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    format!("{z:016x}")
+}
+
+/// Renders spans as a chrome://tracing "trace event format" document:
+/// one complete (`ph:"X"`) event per span, timestamps in microseconds,
+/// span id/parent and annotations under `args`.
+pub fn chrome_trace_json(spans: &[Span]) -> String {
+    let events: Vec<Json> = spans
+        .iter()
+        .map(|s| {
+            let mut args = Json::obj().field("span_id", s.id).field("parent", s.parent);
+            for &(k, v) in &s.args {
+                args = args.field(k, v);
+            }
+            Json::obj()
+                .field("name", s.name)
+                .field("cat", s.cat)
+                .field("ph", "X")
+                .field("ts", s.start_ns as f64 / 1e3)
+                .field("dur", s.dur_ns as f64 / 1e3)
+                .field("pid", 1u64)
+                .field("tid", s.tid)
+                .field("args", args.build())
+                .build()
+        })
+        .collect();
+    Json::obj()
+        .field("traceEvents", Json::Arr(events))
+        .field("displayTimeUnit", "ms")
+        .build()
+        .encode_pretty()
+        + "\n"
+}
+
+/// One aggregated row of [`profile`]: all spans sharing a name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileRow {
+    /// Span name.
+    pub name: &'static str,
+    /// Number of spans with this name.
+    pub count: u64,
+    /// Sum of durations (wall time inside the span, children included).
+    pub total_ns: u64,
+    /// Sum of self times (duration minus direct children's durations).
+    pub self_ns: u64,
+    /// Median span duration.
+    pub p50_ns: u64,
+    /// 99th-percentile span duration (nearest-rank on recorded spans).
+    pub p99_ns: u64,
+}
+
+fn quantile_ns(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Aggregates spans into per-name totals, self times, and latency
+/// quantiles, sorted by total time descending. Self time subtracts each
+/// span's *direct* children, so a parent that merely waits on
+/// instrumented work shows near-zero self time.
+pub fn profile(spans: &[Span]) -> Vec<ProfileRow> {
+    let mut child_sum: HashMap<u64, u64> = HashMap::new();
+    for s in spans {
+        if s.parent != 0 {
+            *child_sum.entry(s.parent).or_insert(0) += s.dur_ns;
+        }
+    }
+    let mut by_name: HashMap<&'static str, (u64, u64, u64, Vec<u64>)> = HashMap::new();
+    for s in spans {
+        let self_ns = s
+            .dur_ns
+            .saturating_sub(child_sum.get(&s.id).copied().unwrap_or(0));
+        let entry = by_name.entry(s.name).or_insert((0, 0, 0, Vec::new()));
+        entry.0 += 1;
+        entry.1 += s.dur_ns;
+        entry.2 += self_ns;
+        entry.3.push(s.dur_ns);
+    }
+    let mut rows: Vec<ProfileRow> = by_name
+        .into_iter()
+        .map(|(name, (count, total_ns, self_ns, mut durs))| {
+            durs.sort_unstable();
+            ProfileRow {
+                name,
+                count,
+                total_ns,
+                self_ns,
+                p50_ns: quantile_ns(&durs, 0.50),
+                p99_ns: quantile_ns(&durs, 0.99),
+            }
+        })
+        .collect();
+    rows.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.name.cmp(b.name)));
+    rows
+}
+
+/// Renders a profile as a fixed-width text table (the `gpu-blob
+/// profile` output).
+pub fn render_profile(rows: &[ProfileRow]) -> String {
+    let mut out = format!(
+        "{:<18} {:>8} {:>12} {:>12} {:>11} {:>11}\n",
+        "span", "count", "total_ms", "self_ms", "p50_us", "p99_us"
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<18} {:>8} {:>12.3} {:>12.3} {:>11.1} {:>11.1}\n",
+            r.name,
+            r.count,
+            r.total_ns as f64 / 1e6,
+            r.self_ns as f64 / 1e6,
+            r.p50_ns as f64 / 1e3,
+            r.p99_ns as f64 / 1e3,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reset() {
+        disable();
+        clear();
+    }
+
+    #[test]
+    fn disabled_span_records_nothing() {
+        let _t = TRACE_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+        reset();
+        {
+            let g = span(names::SWEEP_SIZE, cats::RUNNER);
+            g.annotate("param", 8);
+        }
+        assert!(take().is_empty());
+    }
+
+    #[test]
+    fn nested_spans_link_parents_and_publish_at_depth_zero() {
+        let _t = TRACE_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+        reset();
+        enable();
+        {
+            let _outer = span("outer", cats::RUNNER);
+            {
+                let _inner = span("inner", cats::RUNNER);
+            }
+            assert!(
+                snapshot().is_empty(),
+                "spans stay in the thread buffer until the root span closes"
+            );
+        }
+        disable();
+        let spans = take();
+        clear();
+        assert_eq!(spans.len(), 2);
+        let inner = spans.iter().find(|s| s.name == "inner").unwrap();
+        let outer = spans.iter().find(|s| s.name == "outer").unwrap();
+        assert_eq!(outer.parent, 0);
+        assert_eq!(inner.parent, outer.id);
+        assert_eq!(inner.tid, outer.tid);
+        assert!(inner.start_ns >= outer.start_ns);
+        assert!(inner.start_ns + inner.dur_ns <= outer.start_ns + outer.dur_ns);
+    }
+
+    #[test]
+    fn annotations_attach_to_the_innermost_open_span() {
+        let _t = TRACE_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+        reset();
+        enable();
+        {
+            let outer = span("outer", cats::RUNNER);
+            outer.annotate("outer_key", 1);
+            let _inner = span("inner", cats::RUNNER);
+            annotate("inner_key", 2);
+        }
+        disable();
+        let spans = take();
+        clear();
+        let inner = spans.iter().find(|s| s.name == "inner").unwrap();
+        let outer = spans.iter().find(|s| s.name == "outer").unwrap();
+        assert_eq!(outer.args, vec![("outer_key", 1)]);
+        assert_eq!(inner.args, vec![("inner_key", 2)]);
+    }
+
+    #[test]
+    fn worker_thread_spans_carry_their_own_tid() {
+        let _t = TRACE_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+        reset();
+        enable();
+        {
+            let _main = span("main_root", cats::RUNNER);
+        }
+        std::thread::spawn(|| {
+            let _w = span("worker_root", cats::RUNNER);
+        })
+        .join()
+        .unwrap();
+        disable();
+        let spans = take();
+        clear();
+        let main_root = spans.iter().find(|s| s.name == "main_root").unwrap();
+        let worker_root = spans.iter().find(|s| s.name == "worker_root").unwrap();
+        assert_ne!(main_root.tid, worker_root.tid);
+        assert_eq!(worker_root.parent, 0);
+    }
+
+    #[test]
+    fn chrome_trace_json_is_valid_and_complete() {
+        let spans = vec![
+            Span {
+                id: 1,
+                parent: 0,
+                name: "sweep.size",
+                cat: "runner",
+                start_ns: 1_000,
+                dur_ns: 5_500,
+                tid: 1,
+                args: vec![("param", 64)],
+            },
+            Span {
+                id: 2,
+                parent: 1,
+                name: "gemm.compute",
+                cat: "gemm",
+                start_ns: 2_000,
+                dur_ns: 3_000,
+                tid: 1,
+                args: vec![],
+            },
+        ];
+        let text = chrome_trace_json(&spans);
+        let doc = Json::parse(&text).expect("chrome trace must be valid JSON");
+        let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        assert_eq!(events.len(), 2);
+        let first = &events[0];
+        assert_eq!(first.get("name").and_then(Json::as_str), Some("sweep.size"));
+        assert_eq!(first.get("ph").and_then(Json::as_str), Some("X"));
+        assert_eq!(first.get("ts").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(first.get("dur").and_then(Json::as_f64), Some(5.5));
+        assert_eq!(
+            first
+                .get("args")
+                .and_then(|a| a.get("param"))
+                .and_then(Json::as_u64),
+            Some(64)
+        );
+        assert_eq!(
+            events[1]
+                .get("args")
+                .and_then(|a| a.get("parent"))
+                .and_then(Json::as_u64),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn profile_subtracts_direct_children_for_self_time() {
+        let spans = vec![
+            Span {
+                id: 1,
+                parent: 0,
+                name: "parent",
+                cat: "runner",
+                start_ns: 0,
+                dur_ns: 10_000,
+                tid: 1,
+                args: vec![],
+            },
+            Span {
+                id: 2,
+                parent: 1,
+                name: "child",
+                cat: "runner",
+                start_ns: 1_000,
+                dur_ns: 4_000,
+                tid: 1,
+                args: vec![],
+            },
+            Span {
+                id: 3,
+                parent: 1,
+                name: "child",
+                cat: "runner",
+                start_ns: 6_000,
+                dur_ns: 3_000,
+                tid: 1,
+                args: vec![],
+            },
+        ];
+        let rows = profile(&spans);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].name, "parent");
+        assert_eq!(rows[0].total_ns, 10_000);
+        assert_eq!(rows[0].self_ns, 3_000);
+        assert_eq!(rows[1].name, "child");
+        assert_eq!(rows[1].count, 2);
+        assert_eq!(rows[1].total_ns, 7_000);
+        assert_eq!(rows[1].self_ns, 7_000);
+        assert_eq!(rows[1].p50_ns, 4_000);
+        let table = render_profile(&rows);
+        assert!(table.contains("parent"));
+        assert!(table.contains("p99_us"));
+    }
+
+    #[test]
+    fn trace_ids_are_sixteen_hex_and_distinct() {
+        let a = mint_trace_id();
+        let b = mint_trace_id();
+        assert_eq!(a.len(), 16);
+        assert!(a.chars().all(|c| c.is_ascii_hexdigit()));
+        assert_ne!(a, b);
+    }
+}

@@ -3,45 +3,61 @@
 //! with a parsed [`Request`] and writes back whatever [`Response`] comes
 //! out — tests can do the same without a socket).
 //!
-//! Endpoints:
+//! ## v1 wire surface
+//!
+//! Every route lives under the `/v1/` prefix. The bare legacy paths
+//! (`/healthz`, `/advise`, …) keep answering identically but carry a
+//! `Deprecation: true` response header; new clients should use `/v1/`.
 //!
 //! | route | method | body |
 //! |-------|--------|------|
-//! | `/advise` | POST | BLAS call + iterations + offload → verdict |
-//! | `/threshold` | POST | problem + system + sweep config → cached threshold table |
-//! | `/systems` | GET | — |
-//! | `/healthz` | GET | — |
-//! | `/metrics` | GET | — |
-//! | `/shutdown` | POST | — (only when enabled; used by CI and the bench) |
+//! | `/v1/advise` | POST | BLAS call + iterations + offload → verdict |
+//! | `/v1/threshold` | POST | problem + system + sweep config → cached threshold table |
+//! | `/v1/systems` | GET | — |
+//! | `/v1/healthz` | GET | — |
+//! | `/v1/metrics` | GET | — |
+//! | `/v1/trace` | GET | — (`?last=N` bounds the span count) |
+//! | `/v1/shutdown` | POST | — (only when enabled; used by CI and the bench) |
+//!
+//! Every response carries an `X-Blob-Trace` header with a per-request
+//! trace id; every error response is the uniform envelope
+//! `{"error":{"code","message","trace_id"}}` from [`crate::envelope`].
+//! Request shapes are validated by [`blob_core::schema`], the single
+//! home of the parse/encode pairs.
 
 use crate::cache::ShardedCache;
+use crate::envelope::{self, codes};
 use crate::http::{Request, Response};
 use crate::metrics::{Metrics, Robustness};
 use blob_core::backend::Backend;
 use blob_core::fault;
 use blob_core::rng::XorShift64;
 use blob_core::runner::{run_sweep_pooled, SweepConfig, ThreadPool};
-use blob_core::wire::{
-    advice_json, kernel_json, offload_key, parse_precision, parse_problem_id, precision_key, Json,
+use blob_core::schema::{
+    self, advice_json, kernel_json, offload_key, parse_precision, parse_problem_id, precision_key,
+    SchemaError,
 };
+use blob_core::trace;
+use blob_core::wire::Json;
 use blob_core::{advise, Offload, Precision};
-use blob_sim::{presets, BlasCall, Kernel, SystemModel};
+use blob_sim::{presets, Kernel, SystemModel};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
-/// The largest dimension `/threshold` will sweep — the paper's own `-d`
-/// ceiling, which bounds a miss at one 4096-point sweep.
+/// The largest dimension `/v1/threshold` will sweep — the paper's own
+/// `-d` ceiling, which bounds a miss at one 4096-point sweep.
 pub const MAX_SWEEP_DIM: usize = 4096;
 
 /// The largest iteration count a request may ask for.
 pub const MAX_ITERATIONS: u32 = 1_000_000;
 
 /// Default per-request deadline budget for the compute endpoints
-/// (`POST /advise`, `POST /threshold`); exceeded → `503` and the
-/// `deadline_exceeded` counter. `/healthz` and `/metrics` are exempt so
-/// probes keep working while the service digests a heavy sweep.
+/// (`POST /v1/advise`, `POST /v1/threshold`); exceeded → `503` and the
+/// `deadline_exceeded` counter. `/v1/healthz` and `/v1/metrics` are
+/// exempt so probes keep working while the service digests a heavy
+/// sweep.
 pub const DEFAULT_DEADLINE: Duration = Duration::from_secs(10);
 
 /// Attempts (first try + retries) at the threshold sweep when the
@@ -92,22 +108,42 @@ pub struct App {
     jitter: Mutex<XorShift64>,
 }
 
-/// A handler failure that maps to an HTTP status.
+/// A handler failure: an HTTP status, a stable envelope code, and a
+/// human-readable message.
 struct ApiError {
     status: u16,
+    code: &'static str,
     message: String,
 }
 
 impl ApiError {
-    fn bad_request(message: impl Into<String>) -> Self {
+    fn new(status: u16, code: &'static str, message: impl Into<String>) -> Self {
         Self {
-            status: 400,
+            status,
+            code,
             message: message.into(),
         }
+    }
+
+    fn bad_request(code: &'static str, message: impl Into<String>) -> Self {
+        Self::new(400, code, message)
+    }
+}
+
+impl From<SchemaError> for ApiError {
+    fn from(e: SchemaError) -> Self {
+        // Schema codes are a subset of the envelope vocabulary, so they
+        // pass straight through.
+        Self::new(400, e.code, e.message)
     }
 }
 
 type ApiResult = Result<Json, ApiError>;
+
+/// Wraps a handler's JSON document as a 200 response.
+fn json_ok(body: Json) -> Response {
+    Response::json(200, body.encode())
+}
 
 impl App {
     /// Builds the app with the default system registry.
@@ -147,57 +183,99 @@ impl App {
     /// Routes one request; returns the response and the metrics label.
     /// Latency/status accounting is the caller's job (it owns the clock).
     ///
+    /// Mints the per-request trace id (echoed in the `X-Blob-Trace`
+    /// header of **every** response and in error envelopes) and records
+    /// the request as a `serve.request` span when tracing is enabled.
+    ///
     /// A panic anywhere in routing or a handler (a bug, or the
     /// `serve.handle` fault point's `panic` action) is contained here and
     /// answered with a `500` — the connection and the worker survive, and
     /// the `handler_panics` counter records the save.
     pub fn handle(&self, req: &Request) -> (Response, &'static str) {
-        match catch_unwind(AssertUnwindSafe(|| self.route(req))) {
-            Ok(outcome) => outcome,
+        let trace_id = trace::mint_trace_id();
+        let span = trace::span(trace::names::SERVE_REQUEST, trace::cats::SERVE);
+        span.annotate("body_bytes", req.body.len() as u64);
+        let outcome = catch_unwind(AssertUnwindSafe(|| self.route(req, &trace_id)));
+        drop(span);
+        let (mut response, label) = match outcome {
+            Ok(out) => out,
             Err(_) => {
                 Robustness::bump(&self.metrics.robustness.handler_panics);
                 (
-                    error_response(500, "handler panicked; the request was aborted"),
+                    envelope::error_response(
+                        500,
+                        codes::INTERNAL,
+                        "handler panicked; the request was aborted",
+                        &trace_id,
+                    ),
                     "other",
                 )
             }
+        };
+        if response.header(envelope::TRACE_HEADER).is_none() {
+            response = response.with_header(envelope::TRACE_HEADER, trace_id);
         }
+        (response, label)
     }
 
-    fn route(&self, req: &Request) -> (Response, &'static str) {
+    fn route(&self, req: &Request, trace_id: &str) -> (Response, &'static str) {
         // The `serve.handle` fault point sits in front of dispatch: an
         // `error` rule degrades the request to a clean 500, a `panic`
         // rule exercises the containment in `handle`.
         if let Err(e) = fault::point(fault::sites::SERVE_HANDLE) {
-            return (error_response(500, &e.to_string()), "other");
+            return (
+                envelope::error_response(500, codes::INTERNAL, &e.to_string(), trace_id),
+                "other",
+            );
         }
         let started = Instant::now();
-        let (label, result) = match (req.method.as_str(), req.path()) {
-            ("GET", "/healthz") => ("healthz", self.healthz()),
-            ("GET", "/systems") => ("systems", self.systems_endpoint()),
-            ("GET", "/metrics") => ("metrics", self.metrics_endpoint()),
-            ("POST", "/advise") => ("advise", self.advise_endpoint(&req.body, started)),
-            ("POST", "/threshold") => ("threshold", self.threshold_endpoint(&req.body, started)),
-            ("POST", "/shutdown") => ("shutdown", self.shutdown_endpoint()),
-            (_, "/healthz" | "/systems" | "/metrics") | (_, "/advise" | "/threshold") => (
-                "other",
-                Err(ApiError {
-                    status: 405,
-                    message: "method not allowed for this route".to_string(),
-                }),
-            ),
-            _ => (
-                "other",
-                Err(ApiError {
-                    status: 404,
-                    message: format!("no such route: {}", req.path()),
-                }),
-            ),
+        // v1 surface: strip the prefix; bare legacy paths still route but
+        // are marked deprecated below.
+        let full_path = req.path();
+        let (path, legacy) = match full_path.strip_prefix("/v1") {
+            Some(rest) if rest.starts_with('/') => (rest, false),
+            _ => (full_path, true),
         };
-        let response = match result {
-            Ok(body) => Response::json(200, body.encode()),
-            Err(e) => error_response(e.status, &e.message),
+        let (label, result): (&'static str, Result<Response, ApiError>) =
+            match (req.method.as_str(), path) {
+                ("GET", "/healthz") => ("healthz", self.healthz().map(json_ok)),
+                ("GET", "/systems") => ("systems", self.systems_endpoint().map(json_ok)),
+                ("GET", "/metrics") => ("metrics", self.metrics_endpoint().map(json_ok)),
+                ("GET", "/trace") => ("trace", self.trace_endpoint(&req.target)),
+                ("POST", "/advise") => (
+                    "advise",
+                    self.advise_endpoint(&req.body, started).map(json_ok),
+                ),
+                ("POST", "/threshold") => (
+                    "threshold",
+                    self.threshold_endpoint(&req.body, started).map(json_ok),
+                ),
+                ("POST", "/shutdown") => ("shutdown", self.shutdown_endpoint().map(json_ok)),
+                (_, "/healthz" | "/systems" | "/metrics" | "/trace")
+                | (_, "/advise" | "/threshold") => (
+                    "other",
+                    Err(ApiError::new(
+                        405,
+                        codes::METHOD_NOT_ALLOWED,
+                        "method not allowed for this route",
+                    )),
+                ),
+                _ => (
+                    "other",
+                    Err(ApiError::new(
+                        404,
+                        codes::NOT_FOUND,
+                        format!("no such route: {full_path}"),
+                    )),
+                ),
+            };
+        let mut response = match result {
+            Ok(r) => r,
+            Err(e) => envelope::error_response(e.status, e.code, &e.message, trace_id),
         };
+        if legacy && label != "other" {
+            response = response.with_header("deprecation", "true");
+        }
         (response, label)
     }
 
@@ -240,13 +318,38 @@ impl App {
         Ok(self.metrics.to_json(&self.cache.stats()))
     }
 
+    /// `GET /v1/trace?last=N`: the published spans (optionally only the
+    /// most recent `N`) rendered as a chrome://tracing document.
+    fn trace_endpoint(&self, target: &str) -> Result<Response, ApiError> {
+        let mut last: Option<usize> = None;
+        if let Some((_, query)) = target.split_once('?') {
+            for pair in query.split('&').filter(|p| !p.is_empty()) {
+                let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+                if k == "last" {
+                    last = Some(v.parse::<usize>().map_err(|_| {
+                        ApiError::bad_request(
+                            codes::INVALID_FIELD,
+                            "`last` must be a non-negative integer",
+                        )
+                    })?);
+                }
+            }
+        }
+        let spans = trace::snapshot();
+        let tail = match last {
+            Some(n) => &spans[spans.len().saturating_sub(n)..],
+            None => &spans[..],
+        };
+        Ok(Response::json(200, trace::chrome_trace_json(tail)))
+    }
+
     fn shutdown_endpoint(&self) -> ApiResult {
         if !self.allow_shutdown {
-            return Err(ApiError {
-                status: 404,
-                message: "shutdown endpoint is disabled (start with --allow-remote-shutdown)"
-                    .to_string(),
-            });
+            return Err(ApiError::new(
+                404,
+                codes::SHUTDOWN_DISABLED,
+                "shutdown endpoint is disabled (start with --allow-remote-shutdown)",
+            ));
         }
         self.shutdown.store(true, Ordering::SeqCst);
         Ok(Json::obj().field("shutting_down", true).build())
@@ -258,81 +361,103 @@ impl App {
     fn check_deadline(&self, started: Instant) -> Result<(), ApiError> {
         if started.elapsed() > self.deadline {
             Robustness::bump(&self.metrics.robustness.deadline_exceeded);
-            return Err(ApiError {
-                status: 503,
-                message: format!(
+            return Err(ApiError::new(
+                503,
+                codes::DEADLINE_EXCEEDED,
+                format!(
                     "request exceeded its deadline budget of {} ms",
                     self.deadline.as_millis()
                 ),
-            });
+            ));
         }
         Ok(())
     }
 
     fn advise_endpoint(&self, body: &[u8], started: Instant) -> ApiResult {
-        let doc = parse_body(body)?;
-        let system_id = require_str(&doc, "system")?;
-        let system = self
-            .system(system_id)
-            .ok_or_else(|| ApiError::bad_request(format!("unknown system `{system_id}`")))?;
-        let call = parse_call(&doc)?;
-        let iterations = optional_u32(&doc, "iterations", 1)?;
+        let doc = schema::parse_body(body)?;
+        let system_id = schema::require_str(&doc, "system")?;
+        let system = self.system(system_id).ok_or_else(|| {
+            ApiError::bad_request(
+                codes::UNKNOWN_SYSTEM,
+                format!("unknown system `{system_id}`"),
+            )
+        })?;
+        let call = schema::parse_call(&doc, MAX_SWEEP_DIM * 16)?;
+        let iterations = schema::optional_u32(&doc, "iterations", 1)?;
         if iterations == 0 || iterations > MAX_ITERATIONS {
-            return Err(ApiError::bad_request(format!(
-                "iterations must be in 1..={MAX_ITERATIONS}"
-            )));
+            return Err(ApiError::bad_request(
+                codes::INVALID_FIELD,
+                format!("iterations must be in 1..={MAX_ITERATIONS}"),
+            ));
         }
         let offload = match doc.get("offload") {
             None => Offload::TransferOnce,
             Some(v) => v
                 .as_str()
                 .and_then(|s| s.parse::<Offload>().ok())
-                .ok_or_else(|| ApiError::bad_request("offload must be one of once|always|usm"))?,
+                .ok_or_else(|| {
+                    ApiError::bad_request(
+                        codes::INVALID_FIELD,
+                        "offload must be one of once|always|usm",
+                    )
+                })?,
         };
         let advice = advise(system, &call, iterations, offload);
         self.check_deadline(started)?;
         let Json::Obj(mut fields) = advice_json(&advice) else {
-            return Err(ApiError {
-                status: 500,
-                message: "advice encoding was not an object".to_string(),
-            });
+            return Err(ApiError::new(
+                500,
+                codes::INTERNAL,
+                "advice encoding was not an object",
+            ));
         };
         fields.insert(0, ("system".to_string(), system.name.to_string().into()));
         Ok(Json::Obj(fields))
     }
 
     fn threshold_endpoint(&self, body: &[u8], started: Instant) -> ApiResult {
-        let doc = parse_body(body)?;
-        let system_id = require_str(&doc, "system")?;
-        let system = self
-            .system(system_id)
-            .ok_or_else(|| ApiError::bad_request(format!("unknown system `{system_id}`")))?;
-        let problem_id = require_str(&doc, "problem")?;
-        let problem = parse_problem_id(problem_id)
-            .ok_or_else(|| ApiError::bad_request(format!("unknown problem `{problem_id}`")))?;
+        let doc = schema::parse_body(body)?;
+        let system_id = schema::require_str(&doc, "system")?;
+        let system = self.system(system_id).ok_or_else(|| {
+            ApiError::bad_request(
+                codes::UNKNOWN_SYSTEM,
+                format!("unknown system `{system_id}`"),
+            )
+        })?;
+        let problem_id = schema::require_str(&doc, "problem")?;
+        let problem = parse_problem_id(problem_id).ok_or_else(|| {
+            ApiError::bad_request(
+                codes::INVALID_FIELD,
+                format!("unknown problem `{problem_id}`"),
+            )
+        })?;
         let precision = match doc.get("precision") {
             None => Precision::F64,
-            Some(v) => v
-                .as_str()
-                .and_then(parse_precision)
-                .ok_or_else(|| ApiError::bad_request("precision must be f32 or f64"))?,
+            Some(v) => v.as_str().and_then(parse_precision).ok_or_else(|| {
+                ApiError::bad_request(codes::INVALID_FIELD, "precision must be f32 or f64")
+            })?,
         };
-        let iterations = optional_u32(&doc, "iterations", 1)?;
+        let iterations = schema::optional_u32(&doc, "iterations", 1)?;
         if iterations == 0 || iterations > MAX_ITERATIONS {
-            return Err(ApiError::bad_request(format!(
-                "iterations must be in 1..={MAX_ITERATIONS}"
-            )));
+            return Err(ApiError::bad_request(
+                codes::INVALID_FIELD,
+                format!("iterations must be in 1..={MAX_ITERATIONS}"),
+            ));
         }
-        let min_dim = optional_usize(&doc, "min_dim", 1)?;
-        let max_dim = optional_usize(&doc, "max_dim", MAX_SWEEP_DIM)?;
-        let step = optional_usize(&doc, "step", 1)?;
+        let min_dim = schema::optional_usize(&doc, "min_dim", 1)?;
+        let max_dim = schema::optional_usize(&doc, "max_dim", MAX_SWEEP_DIM)?;
+        let step = schema::optional_usize(&doc, "step", 1)?;
         if min_dim == 0 || step == 0 {
-            return Err(ApiError::bad_request("min_dim and step must be >= 1"));
+            return Err(ApiError::bad_request(
+                codes::INVALID_FIELD,
+                "min_dim and step must be >= 1",
+            ));
         }
         if max_dim < min_dim || max_dim > MAX_SWEEP_DIM {
-            return Err(ApiError::bad_request(format!(
-                "max_dim must be in min_dim..={MAX_SWEEP_DIM}"
-            )));
+            return Err(ApiError::bad_request(
+                codes::INVALID_FIELD,
+                format!("max_dim must be in min_dim..={MAX_SWEEP_DIM}"),
+            ));
         }
 
         let key = format!(
@@ -355,7 +480,15 @@ impl App {
         let (result, cached) = match cache_hit {
             Some(hit) => ((*hit).clone(), true),
             None => {
-                let cfg = SweepConfig::new(min_dim, max_dim, iterations).with_step(step);
+                // The bounds were validated above, so the builder cannot
+                // fail; routing a failure through the envelope anyway
+                // keeps the invariant local.
+                let cfg = SweepConfig::builder()
+                    .dims(min_dim, max_dim)
+                    .iterations(iterations)
+                    .step(step)
+                    .build()
+                    .map_err(|e| ApiError::bad_request(codes::INVALID_FIELD, e.to_string()))?;
                 let sweep = self.sweep_with_retry(system, problem, precision, &cfg, started)?;
                 let value = threshold_result_json(&sweep);
                 ((*self.cache.insert(key, value)).clone(), false)
@@ -364,10 +497,11 @@ impl App {
         let compute_us = compute_started.elapsed().as_micros() as u64;
         self.check_deadline(started)?;
         let Json::Obj(mut fields) = result else {
-            return Err(ApiError {
-                status: 500,
-                message: "threshold encoding was not an object".to_string(),
-            });
+            return Err(ApiError::new(
+                500,
+                codes::INTERNAL,
+                "threshold encoding was not an object",
+            ));
         };
         fields.push(("cached".to_string(), cached.into()));
         fields.push(("compute_us".to_string(), compute_us.into()));
@@ -409,16 +543,15 @@ impl App {
             ));
         }
         Robustness::bump(&self.metrics.robustness.retries_exhausted);
-        Err(ApiError {
-            status: 503,
-            message: format!(
-                "threshold sweep backend kept failing ({SWEEP_ATTEMPTS} attempts); try again"
-            ),
-        })
+        Err(ApiError::new(
+            503,
+            codes::RETRIES_EXHAUSTED,
+            format!("threshold sweep backend kept failing ({SWEEP_ATTEMPTS} attempts); try again"),
+        ))
     }
 }
 
-/// The cacheable part of a `/threshold` response: the request echo plus
+/// The cacheable part of a `/v1/threshold` response: the request echo plus
 /// the per-offload threshold table (no per-request fields).
 fn threshold_result_json(sweep: &blob_core::runner::Sweep) -> Json {
     let offloads: Vec<Offload> = sweep
@@ -461,105 +594,6 @@ fn threshold_cell(param: Option<usize>, kernel: &Kernel) -> Json {
     Json::Obj(fields)
 }
 
-fn error_response(status: u16, message: &str) -> Response {
-    Response::json(
-        status,
-        Json::obj()
-            .field("error", message)
-            .field("status", status as u64)
-            .build()
-            .encode(),
-    )
-}
-
-fn parse_body(body: &[u8]) -> Result<Json, ApiError> {
-    if body.is_empty() {
-        return Err(ApiError::bad_request("request body must be a JSON object"));
-    }
-    let doc =
-        Json::parse_bytes(body).map_err(|e| ApiError::bad_request(format!("invalid JSON: {e}")))?;
-    match doc {
-        Json::Obj(_) => Ok(doc),
-        _ => Err(ApiError::bad_request("request body must be a JSON object")),
-    }
-}
-
-fn require_str<'a>(doc: &'a Json, key: &str) -> Result<&'a str, ApiError> {
-    doc.get(key)
-        .and_then(Json::as_str)
-        .ok_or_else(|| ApiError::bad_request(format!("missing string field `{key}`")))
-}
-
-fn optional_u32(doc: &Json, key: &str, default: u32) -> Result<u32, ApiError> {
-    match doc.get(key) {
-        None => Ok(default),
-        Some(v) => v
-            .as_u64()
-            .and_then(|n| u32::try_from(n).ok())
-            .ok_or_else(|| {
-                ApiError::bad_request(format!("`{key}` must be a non-negative integer"))
-            }),
-    }
-}
-
-fn optional_usize(doc: &Json, key: &str, default: usize) -> Result<usize, ApiError> {
-    match doc.get(key) {
-        None => Ok(default),
-        Some(v) => v
-            .as_u64()
-            .and_then(|n| usize::try_from(n).ok())
-            .ok_or_else(|| {
-                ApiError::bad_request(format!("`{key}` must be a non-negative integer"))
-            }),
-    }
-}
-
-/// Decodes the BLAS call from an `/advise` body: `op` (`gemm`/`gemv`),
-/// dimensions, `precision`, and optional `alpha`/`beta`.
-fn parse_call(doc: &Json) -> Result<BlasCall, ApiError> {
-    let op = require_str(doc, "op")?;
-    let precision = doc
-        .get("precision")
-        .and_then(Json::as_str)
-        .and_then(parse_precision)
-        .ok_or_else(|| ApiError::bad_request("precision must be f32 or f64"))?;
-    let dim = |key: &str| -> Result<usize, ApiError> {
-        let n = doc
-            .get(key)
-            .and_then(Json::as_u64)
-            .ok_or_else(|| ApiError::bad_request(format!("missing dimension `{key}`")))?;
-        let n = usize::try_from(n)
-            .map_err(|_| ApiError::bad_request(format!("dimension `{key}` is too large")))?;
-        if n == 0 || n > MAX_SWEEP_DIM * 16 {
-            return Err(ApiError::bad_request(format!(
-                "dimension `{key}` must be in 1..={}",
-                MAX_SWEEP_DIM * 16
-            )));
-        }
-        Ok(n)
-    };
-    let mut call = match op {
-        "gemm" => BlasCall::gemm(precision, dim("m")?, dim("n")?, dim("k")?),
-        "gemv" => BlasCall::gemv(precision, dim("m")?, dim("n")?),
-        other => {
-            return Err(ApiError::bad_request(format!(
-                "op must be gemm or gemv, got `{other}`"
-            )))
-        }
-    };
-    if let Some(alpha) = doc.get("alpha") {
-        call.alpha = alpha
-            .as_f64()
-            .ok_or_else(|| ApiError::bad_request("alpha must be a number"))?;
-    }
-    if let Some(beta) = doc.get("beta") {
-        call.beta = beta
-            .as_f64()
-            .ok_or_else(|| ApiError::bad_request("beta must be a number"))?;
-    }
-    Ok(call)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -590,6 +624,11 @@ mod tests {
         Json::parse_bytes(&r.body).expect("response body is JSON")
     }
 
+    /// The `error` object of an envelope response.
+    fn error_obj(r: &Response) -> Json {
+        body_json(r).get("error").cloned().expect("error envelope")
+    }
+
     #[test]
     fn healthz_and_systems() {
         let a = app();
@@ -613,10 +652,122 @@ mod tests {
     }
 
     #[test]
+    fn v1_routes_answer_and_legacy_aliases_carry_deprecation() {
+        let a = app();
+        for path in ["/v1/healthz", "/v1/systems", "/v1/metrics"] {
+            let (r, _) = a.handle(&get(path));
+            assert_eq!(r.status, 200, "{path}");
+            assert_eq!(r.header("deprecation"), None, "{path} is not deprecated");
+        }
+        let (r, label) = a.handle(&get("/healthz"));
+        assert_eq!((r.status, label), (200, "healthz"));
+        assert_eq!(r.header("deprecation"), Some("true"));
+        // v1 advise answers identically to the legacy alias
+        let body = r#"{"system":"dawn","op":"gemm","m":64,"n":64,"k":64,"precision":"f32"}"#;
+        let (v1, _) = a.handle(&post("/v1/advise", body));
+        let (old, _) = a.handle(&post("/advise", body));
+        assert_eq!(v1.status, 200);
+        assert_eq!(old.status, 200);
+        assert_eq!(old.header("deprecation"), Some("true"));
+        assert_eq!(
+            body_json(&v1).get("verdict"),
+            body_json(&old).get("verdict")
+        );
+        // "/v1healthz" is not a v1 route — and not a legacy one either
+        let (r, _) = a.handle(&get("/v1healthz"));
+        assert_eq!(r.status, 404);
+    }
+
+    #[test]
+    fn every_response_carries_a_trace_id_header() {
+        let a = app();
+        let (ok, _) = a.handle(&get("/v1/healthz"));
+        let id = ok.header(envelope::TRACE_HEADER).expect("trace header");
+        assert_eq!(id.len(), 16);
+        assert!(id.chars().all(|c| c.is_ascii_hexdigit()));
+        let (ok2, _) = a.handle(&get("/v1/healthz"));
+        assert_ne!(ok2.header(envelope::TRACE_HEADER), Some(id));
+    }
+
+    #[test]
+    fn error_envelope_has_stable_code_and_matching_trace_id() {
+        let a = app();
+        let (r, label) = a.handle(&get("/nope"));
+        assert_eq!((r.status, label), (404, "other"));
+        let err = error_obj(&r);
+        assert_eq!(err.get("code").and_then(Json::as_str), Some("not_found"));
+        assert!(err.get("message").and_then(Json::as_str).is_some());
+        assert_eq!(
+            err.get("trace_id").and_then(Json::as_str),
+            r.header(envelope::TRACE_HEADER),
+            "envelope trace_id must match the X-Blob-Trace header"
+        );
+
+        let (r, _) = a.handle(&get("/v1/advise"));
+        assert_eq!(r.status, 405);
+        assert_eq!(
+            error_obj(&r).get("code").and_then(Json::as_str),
+            Some("method_not_allowed")
+        );
+
+        let (r, _) = a.handle(&post(
+            "/v1/advise",
+            r#"{"system":"frontier","op":"gemm","m":1,"n":1,"k":1,"precision":"f32"}"#,
+        ));
+        assert_eq!(r.status, 400);
+        assert_eq!(
+            error_obj(&r).get("code").and_then(Json::as_str),
+            Some("unknown_system")
+        );
+    }
+
+    #[test]
+    fn trace_endpoint_serves_chrome_trace_json() {
+        let _t = trace::TRACE_LOCK
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        trace::disable();
+        trace::clear();
+        let a = app();
+        trace::enable();
+        let (r, _) = a.handle(&get("/v1/healthz"));
+        assert_eq!(r.status, 200);
+        trace::disable();
+
+        let (r, label) = a.handle(&get("/v1/trace"));
+        assert_eq!((r.status, label), (200, "trace"));
+        let doc = body_json(&r);
+        let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        assert!(
+            events
+                .iter()
+                .any(|e| e.get("name").and_then(Json::as_str) == Some("serve.request")),
+            "traced request must appear"
+        );
+
+        // ?last bounds the span count; an unparsable value is a 400
+        let (r, _) = a.handle(&get("/v1/trace?last=0"));
+        let doc = body_json(&r);
+        assert_eq!(
+            doc.get("traceEvents")
+                .and_then(Json::as_arr)
+                .map(<[Json]>::len),
+            Some(0)
+        );
+        let (r, _) = a.handle(&get("/v1/trace?last=nope"));
+        assert_eq!(r.status, 400);
+        assert_eq!(
+            error_obj(&r).get("code").and_then(Json::as_str),
+            Some("invalid_field")
+        );
+        trace::clear();
+    }
+
+    #[test]
     fn advise_returns_a_verdict() {
         let a = app();
         let (r, label) = a.handle(&post(
-            "/advise",
+            "/v1/advise",
             r#"{"system":"isambard-ai","op":"gemm","m":2048,"n":2048,"k":2048,
                "precision":"f32","iterations":32,"offload":"once"}"#,
         ));
@@ -656,9 +807,10 @@ mod tests {
             r#"{"system":"dawn","op":"gemm","m":1,"n":1,"k":1,"precision":"f32","offload":"never"}"#,
             r#"{"system":"dawn","op":"gemm","m":1,"n":1,"k":1,"precision":"f32","iterations":0}"#,
         ] {
-            let (r, _) = a.handle(&post("/advise", body));
+            let (r, _) = a.handle(&post("/v1/advise", body));
             assert_eq!(r.status, 400, "body {body:?} gave {}", r.status);
-            assert!(body_json(&r).get("error").is_some());
+            let err = error_obj(&r);
+            assert!(err.get("code").and_then(Json::as_str).is_some(), "{body:?}");
         }
     }
 
@@ -667,12 +819,13 @@ mod tests {
         let a = app();
         let body = r#"{"system":"lumi","problem":"gemm_square","precision":"f32",
                        "iterations":8,"max_dim":128}"#;
-        let (r1, _) = a.handle(&post("/threshold", body));
+        let (r1, _) = a.handle(&post("/v1/threshold", body));
         assert_eq!(r1.status, 200);
         let j1 = body_json(&r1);
         assert_eq!(j1.get("cached").and_then(Json::as_bool), Some(false));
         assert_eq!(j1.get("sweep_points").and_then(Json::as_u64), Some(128));
 
+        // the legacy alias shares the cache with the v1 route
         let (r2, _) = a.handle(&post("/threshold", body));
         let j2 = body_json(&r2);
         assert_eq!(j2.get("cached").and_then(Json::as_bool), Some(true));
@@ -683,7 +836,7 @@ mod tests {
 
         // a different precision is a different key
         let (r3, _) = a.handle(&post(
-            "/threshold",
+            "/v1/threshold",
             r#"{"system":"lumi","problem":"gemm_square","precision":"f64",
                 "iterations":8,"max_dim":128}"#,
         ));
@@ -703,8 +856,13 @@ mod tests {
             r#"{"system":"dawn","problem":"gemm_square","min_dim":64,"max_dim":8}"#,
             r#"{"system":"dawn","problem":"gemm_square","step":0}"#,
         ] {
-            let (r, _) = a.handle(&post("/threshold", body));
+            let (r, _) = a.handle(&post("/v1/threshold", body));
             assert_eq!(r.status, 400, "body {body:?}");
+            assert_eq!(
+                error_obj(&r).get("code").and_then(Json::as_str),
+                Some("invalid_field"),
+                "body {body:?}"
+            );
         }
     }
 
@@ -723,18 +881,19 @@ mod tests {
     fn zero_deadline_budget_fails_compute_endpoints_with_503() {
         let a = App::new(16, 4, true).with_deadline(Duration::ZERO);
         let (r, _) = a.handle(&post(
-            "/threshold",
+            "/v1/threshold",
             r#"{"system":"lumi","problem":"gemm_square","max_dim":16,"iterations":1}"#,
         ));
         assert_eq!(r.status, 503);
-        let msg = body_json(&r)
-            .get("error")
-            .and_then(Json::as_str)
-            .unwrap()
-            .to_string();
+        let err = error_obj(&r);
+        assert_eq!(
+            err.get("code").and_then(Json::as_str),
+            Some("deadline_exceeded")
+        );
+        let msg = err.get("message").and_then(Json::as_str).unwrap();
         assert!(msg.contains("deadline"), "{msg}");
         let (r, _) = a.handle(&post(
-            "/advise",
+            "/v1/advise",
             r#"{"system":"dawn","op":"gemm","m":8,"n":8,"k":8,"precision":"f32"}"#,
         ));
         assert_eq!(r.status, 503);
@@ -746,7 +905,7 @@ mod tests {
                 >= 2
         );
         // probes are exempt from the budget and report the degradation
-        let (r, _) = a.handle(&get("/healthz"));
+        let (r, _) = a.handle(&get("/v1/healthz"));
         assert_eq!(r.status, 200);
         let j = body_json(&r);
         assert_eq!(j.get("ok").and_then(Json::as_bool), Some(true));
@@ -763,8 +922,12 @@ mod tests {
     #[test]
     fn shutdown_flag_gated() {
         let gated = App::new(4, 1, false);
-        let (r, _) = gated.handle(&post("/shutdown", ""));
+        let (r, _) = gated.handle(&post("/v1/shutdown", ""));
         assert_eq!(r.status, 404);
+        assert_eq!(
+            error_obj(&r).get("code").and_then(Json::as_str),
+            Some("shutdown_disabled")
+        );
         assert!(!gated.shutdown_requested());
 
         let open = App::new(4, 1, true);

@@ -1,0 +1,117 @@
+//! The uniform JSON error envelope (v1 wire surface).
+//!
+//! Every error response the service emits — handler rejections, routing
+//! misses, protocol failures, load shedding — goes through
+//! [`error_response`] so clients can rely on one shape:
+//!
+//! ```json
+//! {"error":{"code":"invalid_field","message":"…","trace_id":"a1b2…"}}
+//! ```
+//!
+//! - `code` is a **stable machine-readable token** from [`codes`]; clients
+//!   branch on it, never on the prose.
+//! - `message` is human-readable prose; it may change between releases.
+//! - `trace_id` echoes the `X-Blob-Trace` response header so a failing
+//!   request can be correlated with the server-side trace
+//!   (`GET /v1/trace`).
+//!
+//! `blob-check`'s `no-raw-error-body` rule enforces that serve handlers
+//! never construct an error [`Response`] outside this module.
+
+use crate::http::Response;
+use blob_core::wire::Json;
+
+/// The response header carrying the per-request trace id.
+pub const TRACE_HEADER: &str = "x-blob-trace";
+
+/// Stable error codes for the `error.code` field. These are API surface:
+/// never renamed, only added to (documented in the README error table).
+pub mod codes {
+    /// The request body is not valid JSON.
+    pub const INVALID_JSON: &str = "invalid_json";
+    /// A required field is absent.
+    pub const MISSING_FIELD: &str = "missing_field";
+    /// A field is present but fails validation.
+    pub const INVALID_FIELD: &str = "invalid_field";
+    /// The named system/backend is not registered.
+    pub const UNKNOWN_SYSTEM: &str = "unknown_system";
+    /// No route matches the request path.
+    pub const NOT_FOUND: &str = "not_found";
+    /// The route exists but not for this method.
+    pub const METHOD_NOT_ALLOWED: &str = "method_not_allowed";
+    /// The declared `Content-Length` exceeds the body limit.
+    pub const PAYLOAD_TOO_LARGE: &str = "payload_too_large";
+    /// The read timed out mid-request (slow client).
+    pub const TIMEOUT: &str = "timeout";
+    /// The request used `Transfer-Encoding`, which is unsupported.
+    pub const UNSUPPORTED_ENCODING: &str = "unsupported_encoding";
+    /// The bytes were not a valid HTTP/1.1 request.
+    pub const MALFORMED_REQUEST: &str = "malformed_request";
+    /// The accept queue was saturated; the connection was shed.
+    pub const SHED: &str = "shed";
+    /// The request exceeded its deadline budget.
+    pub const DEADLINE_EXCEEDED: &str = "deadline_exceeded";
+    /// Every retry attempt for a transient backend failure was spent.
+    pub const RETRIES_EXHAUSTED: &str = "retries_exhausted";
+    /// A handler panicked or another internal invariant broke.
+    pub const INTERNAL: &str = "internal";
+    /// `POST /shutdown` is not permitted on this server.
+    pub const SHUTDOWN_DISABLED: &str = "shutdown_disabled";
+}
+
+/// Renders the envelope body (without building a [`Response`]).
+pub fn error_body(code: &str, message: &str, trace_id: &str) -> String {
+    Json::obj()
+        .field(
+            "error",
+            Json::obj()
+                .field("code", code)
+                .field("message", message)
+                .field("trace_id", trace_id)
+                .build(),
+        )
+        .build()
+        .encode()
+}
+
+/// The one constructor for error responses: envelope body plus the
+/// `X-Blob-Trace` header.
+pub fn error_response(status: u16, code: &'static str, message: &str, trace_id: &str) -> Response {
+    Response::json(status, error_body(code, message, trace_id))
+        .with_header(TRACE_HEADER, trace_id.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelope_has_code_message_and_trace_id() {
+        let r = error_response(400, codes::INVALID_FIELD, "dim out of range", "ab12");
+        assert_eq!(r.status, 400);
+        assert_eq!(r.header(TRACE_HEADER), Some("ab12"));
+        let doc = Json::parse(std::str::from_utf8(&r.body).unwrap()).unwrap();
+        let err = doc.get("error").expect("error object");
+        assert_eq!(
+            err.get("code").and_then(Json::as_str),
+            Some("invalid_field")
+        );
+        assert_eq!(
+            err.get("message").and_then(Json::as_str),
+            Some("dim out of range")
+        );
+        assert_eq!(err.get("trace_id").and_then(Json::as_str), Some("ab12"));
+    }
+
+    #[test]
+    fn messages_are_escaped() {
+        let r = error_response(400, codes::INVALID_JSON, "bad \"quote\"\nline", "00");
+        let doc = Json::parse(std::str::from_utf8(&r.body).unwrap()).unwrap();
+        assert_eq!(
+            doc.get("error")
+                .and_then(|e| e.get("message"))
+                .and_then(Json::as_str),
+            Some("bad \"quote\"\nline")
+        );
+    }
+}

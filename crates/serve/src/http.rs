@@ -255,6 +255,9 @@ pub struct Response {
     pub status: u16,
     /// `Content-Type` header value.
     pub content_type: &'static str,
+    /// Extra headers emitted after `content-type` (e.g. `X-Blob-Trace`,
+    /// `Deprecation`). Names are emitted as given; keep them lower-case.
+    pub headers: Vec<(&'static str, String)>,
     /// The body bytes.
     pub body: Vec<u8>,
     /// Close the connection after this response.
@@ -267,6 +270,7 @@ impl Response {
         Self {
             status,
             content_type: "application/json",
+            headers: Vec::new(),
             body: body.into_bytes(),
             close: false,
         }
@@ -277,6 +281,7 @@ impl Response {
         Self {
             status,
             content_type: "text/plain; charset=utf-8",
+            headers: Vec::new(),
             body: body.as_bytes().to_vec(),
             close: false,
         }
@@ -286,6 +291,20 @@ impl Response {
     pub fn with_close(mut self) -> Self {
         self.close = true;
         self
+    }
+
+    /// Appends an extra response header.
+    pub fn with_header(mut self, name: &'static str, value: impl Into<String>) -> Self {
+        self.headers.push((name, value.into()));
+        self
+    }
+
+    /// The first value of an extra header, by exact name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
     }
 
     /// The standard reason phrase for this status.
@@ -307,8 +326,15 @@ impl Response {
 
     /// Serialises the status line and headers (with a trailing blank line).
     pub fn head(&self) -> String {
+        let mut extra = String::new();
+        for (name, value) in &self.headers {
+            extra.push_str(name);
+            extra.push_str(": ");
+            extra.push_str(value);
+            extra.push_str("\r\n");
+        }
         format!(
-            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\n{extra}content-length: {}\r\nconnection: {}\r\n\r\n",
             self.status,
             self.reason(),
             self.content_type,
@@ -373,6 +399,22 @@ mod tests {
         assert!(head.contains("connection: keep-alive\r\n"));
         let closed = Response::text(400, "no").with_close();
         assert!(closed.head().contains("connection: close"));
+    }
+
+    #[test]
+    fn extra_headers_are_emitted_and_readable() {
+        let r = Response::json(200, "{}".to_string())
+            .with_header("x-blob-trace", "00000000deadbeef")
+            .with_header("deprecation", "true");
+        assert_eq!(r.header("x-blob-trace"), Some("00000000deadbeef"));
+        let head = r.head();
+        assert!(
+            head.contains("x-blob-trace: 00000000deadbeef\r\n"),
+            "{head}"
+        );
+        assert!(head.contains("deprecation: true\r\n"), "{head}");
+        // extra headers precede content-length so the blank line stays last
+        assert!(head.ends_with("\r\n\r\n"));
     }
 
     // An in-memory duplex stream for exercising Conn without sockets.

@@ -14,12 +14,17 @@
 //!
 //! - [`http`] — transport: byte streams in, [`http::Request`] out,
 //!   [`http::Response`] back, with hard limits and timeouts
-//! - [`api`] — the endpoints, pure `Request → Response` (no sockets)
+//! - [`api`] — the versioned (`/v1/`) endpoints, pure `Request →
+//!   Response` (no sockets); legacy bare paths answer with a
+//!   `Deprecation` header
+//! - [`envelope`] — the uniform JSON error envelope and its stable
+//!   error-code vocabulary; every response carries an `X-Blob-Trace` id
 //! - [`cache`] / [`metrics`] — shared state behind the API
 //! - [`server`] — the TCP accept loop and worker pool tying it together
 
 pub mod api;
 pub mod cache;
+pub mod envelope;
 pub mod http;
 pub mod metrics;
 pub mod server;

@@ -201,12 +201,13 @@ pub struct Metrics {
 
 /// The endpoint labels the registry tracks; unknown routes fall into
 /// `"other"` so the cardinality is fixed.
-pub const ENDPOINTS: [&str; 7] = [
+pub const ENDPOINTS: [&str; 8] = [
     "advise",
     "threshold",
     "systems",
     "healthz",
     "metrics",
+    "trace",
     "shutdown",
     "other",
 ];

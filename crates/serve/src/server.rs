@@ -20,10 +20,11 @@
 //!   thread (`workers_replaced` counter)
 
 use crate::api::App;
-use crate::http::{Conn, Limits, RecvError, Response};
+use crate::envelope::{self, codes};
+use crate::http::{Conn, Limits, RecvError};
 use crate::metrics::Robustness;
 use blob_core::fault;
-use blob_core::wire::Json;
+use blob_core::trace;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -117,6 +118,9 @@ impl Server {
     /// Binds `cfg.addr` and starts the acceptor, worker, and supervisor
     /// threads.
     pub fn start(cfg: Config) -> io::Result<Server> {
+        // Arm the trace plane so every request records a `serve.request`
+        // span, browsable live at `GET /v1/trace`.
+        trace::enable();
         let listener = TcpListener::bind(&cfg.addr)?;
         let local_addr = listener.local_addr()?;
         let app = Arc::new(
@@ -258,13 +262,15 @@ fn shed(stream: TcpStream, app: &App) {
     Robustness::bump(&app.metrics.robustness.shed);
     app.metrics.endpoint("other").record(503, 0);
     let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
-    let body = Json::obj()
-        .field("error", "server overloaded; request shed")
-        .field("status", 503u64)
-        .build()
-        .encode();
+    let response = envelope::error_response(
+        503,
+        codes::SHED,
+        "server overloaded; request shed",
+        &trace::mint_trace_id(),
+    )
+    .with_close();
     let mut conn = Conn::new(stream);
-    let _ = conn.write_response(&Response::json(503, body).with_close());
+    let _ = conn.write_response(&response);
 }
 
 fn worker_loop(
@@ -339,18 +345,15 @@ fn serve_connection(stream: TcpStream, app: &App, signal: &StopSignal, limits: &
             Err(RecvError::Closed) | Err(RecvError::Io(_)) => return,
             Err(e) => {
                 // Protocol-level failure: answer once (best effort), close.
-                let status = match e {
-                    RecvError::Timeout => 408,
-                    RecvError::BodyTooLarge => 413,
-                    RecvError::UnsupportedEncoding => 501,
-                    _ => 400,
+                let (status, code) = match e {
+                    RecvError::Timeout => (408, codes::TIMEOUT),
+                    RecvError::BodyTooLarge => (413, codes::PAYLOAD_TOO_LARGE),
+                    RecvError::UnsupportedEncoding => (501, codes::UNSUPPORTED_ENCODING),
+                    _ => (400, codes::MALFORMED_REQUEST),
                 };
-                let body = Json::obj()
-                    .field("error", e.to_string())
-                    .field("status", status as u64)
-                    .build()
-                    .encode();
-                let response = Response::json(status, body).with_close();
+                let response =
+                    envelope::error_response(status, code, &e.to_string(), &trace::mint_trace_id())
+                        .with_close();
                 app.metrics.endpoint("other").record(status, 0);
                 let _ = conn.write_response(&response);
                 return;

@@ -106,8 +106,13 @@ fn sweep_retry_exhaustion_is_a_503() {
     let app = App::new(4, 1, false);
     let (r, _) = app.handle(&post("/threshold", TINY_SWEEP));
     assert_eq!(r.status, 503);
-    let msg = body_json(&r)
-        .get("error")
+    let err = body_json(&r).get("error").cloned().unwrap();
+    assert_eq!(
+        err.get("code").and_then(Json::as_str),
+        Some("retries_exhausted")
+    );
+    let msg = err
+        .get("message")
         .and_then(Json::as_str)
         .unwrap()
         .to_string();

@@ -2,6 +2,7 @@
 //! client can misbehave must produce a clean HTTP error (never a worker
 //! panic), and the server must keep serving afterwards.
 
+use blob_core::wire::Json;
 use blob_serve::http::Limits;
 use blob_serve::{Config, Server};
 use std::io::{Read, Write};
@@ -105,6 +106,120 @@ fn unknown_route_404_wrong_method_405_chunked_501() {
         b"POST /advise HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n",
     );
     assert!(reply.starts_with("HTTP/1.1 501 "), "{reply}");
+    server.shutdown();
+    server.join();
+}
+
+/// Splits a raw HTTP reply into (head, parsed JSON body).
+fn split_reply(reply: &str) -> (&str, Json) {
+    let (head, body) = reply.split_once("\r\n\r\n").expect("complete response");
+    (head, Json::parse(body).expect("JSON body"))
+}
+
+/// Asserts the uniform error envelope and that its `trace_id` matches the
+/// `X-Blob-Trace` response header; returns the envelope's `code`.
+fn assert_envelope(reply: &str) -> String {
+    let (head, doc) = split_reply(reply);
+    let header_id = head
+        .lines()
+        .find_map(|l| l.strip_prefix("x-blob-trace: "))
+        .expect("x-blob-trace header")
+        .trim()
+        .to_string();
+    let err = doc.get("error").expect("error envelope");
+    assert_eq!(
+        err.get("trace_id").and_then(Json::as_str),
+        Some(header_id.as_str()),
+        "{reply}"
+    );
+    assert!(
+        err.get("message").and_then(Json::as_str).is_some(),
+        "{reply}"
+    );
+    err.get("code").and_then(Json::as_str).unwrap().to_string()
+}
+
+#[test]
+fn error_envelopes_are_uniform_across_every_layer() {
+    let server = start(2_000);
+    // 413: answered by the connection layer before the handler runs
+    let reply = raw_roundtrip(
+        &server,
+        b"POST /v1/advise HTTP/1.1\r\ncontent-length: 10000000\r\n\r\n",
+    );
+    assert!(reply.starts_with("HTTP/1.1 413 "), "{reply}");
+    assert_eq!(assert_envelope(&reply), "payload_too_large");
+    // 400: handler-level validation
+    let reply = raw_roundtrip(&server, &post("/v1/advise", "not json"));
+    assert!(reply.starts_with("HTTP/1.1 400 "), "{reply}");
+    assert_eq!(assert_envelope(&reply), "invalid_json");
+    // 404: routing miss
+    let reply = raw_roundtrip(&server, &post("/v1/frobnicate", "{}"));
+    assert!(reply.starts_with("HTTP/1.1 404 "), "{reply}");
+    assert_eq!(assert_envelope(&reply), "not_found");
+    // 501: unsupported transfer-encoding, also from the connection layer
+    let reply = raw_roundtrip(
+        &server,
+        b"POST /v1/advise HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n",
+    );
+    assert!(reply.starts_with("HTTP/1.1 501 "), "{reply}");
+    assert_eq!(assert_envelope(&reply), "unsupported_encoding");
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn deadline_exhaustion_envelope_is_a_503_over_a_real_socket() {
+    let server = Server::start(Config {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 2,
+        cache_entries: 4,
+        cache_shards: 2,
+        allow_shutdown: false,
+        deadline: Duration::ZERO,
+        ..Config::default()
+    })
+    .expect("bind ephemeral port");
+    let reply = raw_roundtrip(
+        &server,
+        &post(
+            "/v1/threshold",
+            r#"{"system":"lumi","problem":"gemm_square","max_dim":16,"iterations":1}"#,
+        ),
+    );
+    assert!(reply.starts_with("HTTP/1.1 503 "), "{reply}");
+    assert_eq!(assert_envelope(&reply), "deadline_exceeded");
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn v1_routes_serve_and_legacy_aliases_are_marked_deprecated() {
+    let server = start(2_000);
+    let reply = raw_roundtrip(
+        &server,
+        b"GET /v1/healthz HTTP/1.1\r\nconnection: close\r\n\r\n",
+    );
+    assert!(reply.starts_with("HTTP/1.1 200 OK"), "{reply}");
+    assert!(!reply.contains("deprecation:"), "{reply}");
+    assert!(reply.contains("x-blob-trace: "), "{reply}");
+    let reply = raw_roundtrip(
+        &server,
+        b"GET /healthz HTTP/1.1\r\nconnection: close\r\n\r\n",
+    );
+    assert!(reply.starts_with("HTTP/1.1 200 OK"), "{reply}");
+    assert!(reply.contains("deprecation: true\r\n"), "{reply}");
+    // the trace endpoint answers with a chrome://tracing document
+    let reply = raw_roundtrip(
+        &server,
+        b"GET /v1/trace?last=32 HTTP/1.1\r\nconnection: close\r\n\r\n",
+    );
+    assert!(reply.starts_with("HTTP/1.1 200 OK"), "{reply}");
+    let (_, doc) = split_reply(&reply);
+    assert!(
+        doc.get("traceEvents").and_then(Json::as_arr).is_some(),
+        "{reply}"
+    );
     server.shutdown();
     server.join();
 }

@@ -69,7 +69,129 @@ pub struct BlasCall {
     pub beta: f64,
 }
 
+/// Why a [`BlasCallBuilder`] rejected its inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CallError {
+    /// Neither [`BlasCallBuilder::gemm`] nor [`BlasCallBuilder::gemv`]
+    /// was called.
+    MissingKernel,
+    /// No precision was set.
+    MissingPrecision,
+    /// The named dimension was zero.
+    ZeroDim(&'static str),
+    /// The named scalar (`"alpha"` or `"beta"`) was NaN or infinite.
+    NonFiniteScalar(&'static str),
+}
+
+impl std::fmt::Display for CallError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CallError::MissingKernel => write!(f, "call builder: no kernel set (gemm or gemv)"),
+            CallError::MissingPrecision => write!(f, "call builder: no precision set"),
+            CallError::ZeroDim(d) => write!(f, "call builder: dimension `{d}` must be >= 1"),
+            CallError::NonFiniteScalar(s) => write!(f, "call builder: `{s}` must be finite"),
+        }
+    }
+}
+
+impl std::error::Error for CallError {}
+
+/// Validating builder for [`BlasCall`]: the one choke point where
+/// untrusted call shapes (wire requests, CLI input) become a call.
+/// Invalid shapes — zero dimensions, missing precision, non-finite
+/// scalars — are unrepresentable in the output.
+#[derive(Debug, Clone, Copy)]
+pub struct BlasCallBuilder {
+    kernel: Option<Kernel>,
+    precision: Option<Precision>,
+    alpha: f64,
+    beta: f64,
+}
+
+impl BlasCallBuilder {
+    /// Selects a GEMM kernel with the given dimensions.
+    pub fn gemm(mut self, m: usize, n: usize, k: usize) -> Self {
+        self.kernel = Some(Kernel::Gemm { m, n, k });
+        self
+    }
+
+    /// Selects a GEMV kernel with the given dimensions.
+    pub fn gemv(mut self, m: usize, n: usize) -> Self {
+        self.kernel = Some(Kernel::Gemv { m, n });
+        self
+    }
+
+    /// Sets the element precision (required).
+    pub fn precision(mut self, precision: Precision) -> Self {
+        self.precision = Some(precision);
+        self
+    }
+
+    /// Overrides `α` (default 1).
+    pub fn alpha(mut self, alpha: f64) -> Self {
+        self.alpha = alpha;
+        self
+    }
+
+    /// Overrides `β` (default 0, the benchmark's convention).
+    pub fn beta(mut self, beta: f64) -> Self {
+        self.beta = beta;
+        self
+    }
+
+    /// Validates and produces the call.
+    pub fn build(self) -> Result<BlasCall, CallError> {
+        let kernel = self.kernel.ok_or(CallError::MissingKernel)?;
+        let precision = self.precision.ok_or(CallError::MissingPrecision)?;
+        match kernel {
+            Kernel::Gemm { m, n, k } => {
+                if m == 0 {
+                    return Err(CallError::ZeroDim("m"));
+                }
+                if n == 0 {
+                    return Err(CallError::ZeroDim("n"));
+                }
+                if k == 0 {
+                    return Err(CallError::ZeroDim("k"));
+                }
+            }
+            Kernel::Gemv { m, n } => {
+                if m == 0 {
+                    return Err(CallError::ZeroDim("m"));
+                }
+                if n == 0 {
+                    return Err(CallError::ZeroDim("n"));
+                }
+            }
+        }
+        if !self.alpha.is_finite() {
+            return Err(CallError::NonFiniteScalar("alpha"));
+        }
+        if !self.beta.is_finite() {
+            return Err(CallError::NonFiniteScalar("beta"));
+        }
+        Ok(BlasCall {
+            kernel,
+            precision,
+            alpha: self.alpha,
+            beta: self.beta,
+        })
+    }
+}
+
 impl BlasCall {
+    /// A validating builder (see [`BlasCallBuilder`]); the trusted-input
+    /// shortcut constructors [`BlasCall::gemm`]/[`BlasCall::gemv`] remain
+    /// for code whose dimensions are correct by construction.
+    pub fn builder() -> BlasCallBuilder {
+        BlasCallBuilder {
+            kernel: None,
+            precision: None,
+            alpha: 1.0,
+            beta: 0.0,
+        }
+    }
+
     /// A GEMM call with the benchmark's default `α = 1, β = 0`.
     pub fn gemm(precision: Precision, m: usize, n: usize, k: usize) -> Self {
         Self {
@@ -286,6 +408,63 @@ mod tests {
     fn routine_names() {
         assert_eq!(BlasCall::gemm(Precision::F32, 1, 1, 1).routine(), "SGEMM");
         assert_eq!(BlasCall::gemv(Precision::F64, 1, 1).routine(), "DGEMV");
+    }
+
+    #[test]
+    fn builder_accepts_a_valid_call() {
+        let c = BlasCall::builder()
+            .gemm(8, 16, 32)
+            .precision(Precision::F32)
+            .alpha(2.0)
+            .beta(1.0)
+            .build()
+            .unwrap();
+        assert_eq!(
+            c,
+            BlasCall::gemm(Precision::F32, 8, 16, 32).with_scalars(2.0, 1.0)
+        );
+    }
+
+    #[test]
+    fn builder_rejects_invalid_shapes() {
+        assert_eq!(
+            BlasCall::builder().precision(Precision::F64).build(),
+            Err(CallError::MissingKernel)
+        );
+        assert_eq!(
+            BlasCall::builder().gemm(1, 1, 1).build(),
+            Err(CallError::MissingPrecision)
+        );
+        assert_eq!(
+            BlasCall::builder()
+                .gemm(1, 0, 1)
+                .precision(Precision::F64)
+                .build(),
+            Err(CallError::ZeroDim("n"))
+        );
+        assert_eq!(
+            BlasCall::builder()
+                .gemv(0, 1)
+                .precision(Precision::F64)
+                .build(),
+            Err(CallError::ZeroDim("m"))
+        );
+        assert_eq!(
+            BlasCall::builder()
+                .gemv(1, 1)
+                .precision(Precision::F64)
+                .alpha(f64::NAN)
+                .build(),
+            Err(CallError::NonFiniteScalar("alpha"))
+        );
+        assert_eq!(
+            BlasCall::builder()
+                .gemv(1, 1)
+                .precision(Precision::F64)
+                .beta(f64::INFINITY)
+                .build(),
+            Err(CallError::NonFiniteScalar("beta"))
+        );
     }
 
     #[test]

@@ -50,7 +50,7 @@ pub mod trsm;
 pub mod usm;
 
 pub use calibrate::{fit_envelope, library_from_envelope, Envelope, Sample};
-pub use call::{BlasCall, Kernel, KernelKind};
+pub use call::{BlasCall, BlasCallBuilder, CallError, Kernel, KernelKind};
 pub use cpu::{CpuLibrary, CpuModel};
 pub use energy::{cpu_energy_joules, energy_gemm_threshold, gpu_energy_joules, PowerModel};
 pub use engine::{with_matrix_engine, MatrixEngine};
