@@ -10,29 +10,37 @@
 #
 # Stages:
 #   1. cargo fmt --check        formatting is canonical rustfmt
-#   2. cargo run -p blob-check  the workspace's own static analysis
-#                               (unsafe/unwrap/float-eq/docs/contract-guard)
+#   2. cargo run -p blob-check  the workspace's own static analysis: the
+#                               lexical rules (unsafe/unwrap/float-eq/docs/
+#                               contract-guard) plus the AST-level analyses
+#                               (panic-reachability, lock-order,
+#                               atomic-ordering) and the parse-coverage
+#                               self-gate (every .rs file must parse)
 #   3. cargo build --release    everything compiles optimised, warnings-free
-#   4. cargo build --benches    the microbench targets stay compilable
-#   5. cargo test -q            the full workspace test suite
-#   6. perf gate                perf_gate compares small-GEMM hot-path
+#   4. analysis time budget     the release blob-check re-run must finish
+#                               the full workspace inside 5 s (--max-ms),
+#                               so the deep analyses never become the slow
+#                               stage people skip
+#   5. cargo build --benches    the microbench targets stay compilable
+#   6. cargo test -q            the full workspace test suite
+#   7. perf gate                perf_gate compares small-GEMM hot-path
 #                               latency against the committed trajectory in
 #                               BENCH_blas.json and fails on a > 20%
 #                               regression (writes results/BENCH_blas.json)
-#   7. fault overhead gate      fault_gate proves a disabled fault point
+#   8. fault overhead gate      fault_gate proves a disabled fault point
 #                               costs < 1% of the most overhead-sensitive
 #                               gated kernel shape (results/fault_gate.csv)
-#   8. trace overhead gate      trace_gate proves a disabled trace span
+#   9. trace overhead gate      trace_gate proves a disabled trace span
 #                               costs < 1% of the same kernel shape
 #                               (results/trace_gate.csv)
-#   9. server smoke             gpu-blob serve end-to-end: /healthz, /advise,
+#  10. server smoke             gpu-blob serve end-to-end: /healthz, /advise,
 #                               a /threshold cache hit verified via /metrics,
 #                               and a clean /shutdown (serve_smoke e2e test)
-#  10. chaos suite              seeded fault plans against the live server
+#  11. chaos suite              seeded fault plans against the live server
 #                               (panic containment, worker replacement, load
 #                               shedding, retry) and the kill-and-resume
 #                               sweep (byte-identical CSV after SIGKILL)
-#  11. server load gate         serve_load must sustain >= 1000 req/s on
+#  12. server load gate         serve_load must sustain >= 1000 req/s on
 #                               loopback (writes results/serve_load.csv)
 
 set -euo pipefail
@@ -46,6 +54,9 @@ cargo run -q -p blob-check --offline
 
 echo "==> cargo build --release"
 cargo build --release --workspace --offline
+
+echo "==> blob-check time budget (full workspace, deep analyses, < 5 s)"
+cargo run -q --release -p blob-check --offline -- --max-ms 5000
 
 echo "==> cargo build --benches"
 cargo build --benches --workspace --offline

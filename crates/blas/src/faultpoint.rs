@@ -56,6 +56,8 @@ pub fn set_active(active: bool) {
 /// `blob_core::fault::sites` (e.g. `"pool.worker"`).
 #[inline]
 pub fn point(site: &'static str) -> Directive {
+    // relaxed: arm gate only — a stale read skips at most one injection
+    // window; the hook behind it is published under the registry lock
     if !ACTIVE.load(Ordering::Relaxed) {
         return Directive::Proceed;
     }

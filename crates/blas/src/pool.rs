@@ -235,6 +235,8 @@ const WORKER_CHECK_PERIOD: Duration = Duration::from_millis(25);
 fn spawn_worker(queue: &Arc<Queue>, idx: usize) -> Option<JoinHandle<()>> {
     // Count the worker alive *before* it runs so a submit racing with
     // construction queues instead of falling back to inline execution.
+    // relaxed: `alive` is a zero/non-zero routing hint; the jobs mutex
+    // orders the work itself, so counter ordering buys nothing
     queue.alive.fetch_add(1, Ordering::Relaxed);
     let q = Arc::clone(queue);
     let handle = std::thread::Builder::new()
@@ -242,11 +244,13 @@ fn spawn_worker(queue: &Arc<Queue>, idx: usize) -> Option<JoinHandle<()>> {
         .spawn(move || {
             IS_POOL_WORKER.with(|f| f.set(true));
             let _guard = AliveGuard(&q.alive);
+            // blob-check: allow(panic-reachability): the only panic on this path is the fault plane's injected `pool.worker` death, and ensure_workers() respawns the thread
             worker_loop(&q);
         });
     match handle {
         Ok(h) => Some(h),
         Err(_) => {
+            // relaxed: undoes the routing-hint increment above; same reasoning
             queue.alive.fetch_sub(1, Ordering::Relaxed);
             None
         }
@@ -306,6 +310,7 @@ impl ThreadPool {
 
     /// Workers respawned after death, across the pool's lifetime.
     pub fn replaced_workers(&self) -> u64 {
+        // relaxed: statistics read; nothing is ordered against the respawns it counts
         self.replaced.load(Ordering::Relaxed)
     }
 
@@ -324,10 +329,12 @@ impl ThreadPool {
             }
         }
         while workers.len() < self.target {
+            // relaxed: monotone id generator — uniqueness needs atomicity, not ordering
             let idx = self.next_id.fetch_add(1, Ordering::Relaxed);
             match spawn_worker(&self.queue, idx) {
                 Some(h) => {
                     workers.push(h);
+                    // relaxed: statistics counter read only by replaced_workers()
                     self.replaced.fetch_add(1, Ordering::Relaxed);
                 }
                 None => break,
@@ -354,8 +361,10 @@ impl ThreadPool {
     }
 
     fn enqueue(&self, job: Job, latch: &Arc<Latch>) {
-        let inline =
-            self.queue.alive.load(Ordering::Relaxed) == 0 || IS_POOL_WORKER.with(Cell::get);
+        // relaxed: liveness routing hint — a stale non-zero still enqueues
+        // safely (Drop drains the queue), a stale zero just runs inline
+        let no_workers = self.queue.alive.load(Ordering::Relaxed) == 0;
+        let inline = no_workers || IS_POOL_WORKER.with(Cell::get);
         latch.incr();
         if inline {
             // Spawn-degraded pool or nested dispatch from a worker: run on
@@ -432,7 +441,7 @@ fn worker_loop(queue: &Queue) {
             Directive::Proceed => {}
             Directive::Die => return,
             // blob-check: allow(no-unwrap-in-lib): injected worker panic is the fault plane's contract; unwind containment is under test
-            Directive::Panic => panic!("injected fault panic at `pool.worker`"),
+            Directive::Panic => panic!("injected fault panic at `pool.worker`"), // blob-check: allow(panic-reachability): deliberate injected death; worker supervision re-spawns and jobs stay queued
             Directive::Delay(d) => std::thread::sleep(d),
         }
         let (job, latch) = {

@@ -71,6 +71,7 @@ pub fn set_active(on: bool) {
 
 /// Whether the instrumentation points are currently armed.
 pub fn active() -> bool {
+    // relaxed: advisory gate read; the sink itself is lock-protected
     ACTIVE.load(Ordering::Relaxed)
 }
 
@@ -105,6 +106,8 @@ impl Drop for SpanGuard {
 /// is a single relaxed atomic load.
 #[inline]
 pub fn span(name: &'static str, cat: &'static str) -> SpanGuard {
+    // relaxed: a stale read drops or opens one span early/late — trace
+    // completeness around arm/disarm is best-effort by design
     if !ACTIVE.load(Ordering::Relaxed) {
         return SpanGuard { armed: false };
     }

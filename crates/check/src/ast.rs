@@ -1,0 +1,535 @@
+//! The AST for the Rust subset this workspace uses.
+//!
+//! [`crate::parser`] produces these nodes from the token stream. The shape
+//! is deliberately shallow where the analyses don't need depth: types,
+//! generics, and patterns are kept as opaque token text (mirroring how
+//! Rust itself treats macro interiors as token trees), while the
+//! constructs the interprocedural analyses reason about — items, impls,
+//! functions, blocks, closures, `match`, calls, method calls, indexing,
+//! paths, macro invocations — are real nodes with source lines.
+//!
+//! Every node that an analysis can anchor a finding to carries the
+//! 1-based line it starts on.
+
+/// One parsed source file.
+#[derive(Debug, Clone)]
+pub struct File {
+    /// Top-level items in source order.
+    pub items: Vec<Item>,
+}
+
+/// An item with its attributes and visibility.
+#[derive(Debug, Clone)]
+pub struct Item {
+    /// 1-based line of the item keyword.
+    pub line: usize,
+    /// `pub` without a restriction (`pub(crate)` counts as private).
+    pub vis_pub: bool,
+    /// Outer attribute texts, delimiters stripped: `cfg(test)`, `test`,
+    /// `derive(Debug)`, `inline`, …
+    pub attrs: Vec<String>,
+    /// What the item is.
+    pub kind: ItemKind,
+}
+
+impl Item {
+    /// True when the item carries `#[cfg(test)]` or `#[test]`.
+    pub fn is_test_only(&self) -> bool {
+        self.attrs
+            .iter()
+            .any(|a| a == "test" || a.starts_with("cfg(test") || a.contains("cfg(test)"))
+    }
+}
+
+/// The item kinds the workspace grammar distinguishes.
+#[derive(Debug, Clone)]
+pub enum ItemKind {
+    /// `use …;` (tree imports included).
+    Use,
+    /// `extern crate …;`
+    ExternCrate,
+    /// `type Name = …;`
+    TypeAlias {
+        /// Alias name.
+        name: String,
+    },
+    /// `macro_rules! name { … }` — body kept opaque.
+    MacroDef {
+        /// Macro name.
+        name: String,
+    },
+    /// `mod name;` or `mod name { … }`.
+    Mod {
+        /// Module name.
+        name: String,
+        /// Inline body, `None` for out-of-line `mod name;`.
+        items: Option<Vec<Item>>,
+    },
+    /// A free function, method, or trait method.
+    Fn(FnDecl),
+    /// `struct Name …` with named fields captured (types as text).
+    Struct {
+        /// Type name.
+        name: String,
+        /// Named fields; empty for tuple/unit structs.
+        fields: Vec<FieldDecl>,
+    },
+    /// `enum Name { … }` — variants opaque.
+    Enum {
+        /// Type name.
+        name: String,
+    },
+    /// `union Name { … }`.
+    Union {
+        /// Type name.
+        name: String,
+        /// Named fields.
+        fields: Vec<FieldDecl>,
+    },
+    /// `trait Name { … }` with its associated items.
+    Trait {
+        /// Trait name.
+        name: String,
+        /// Associated items (methods may lack bodies).
+        items: Vec<Item>,
+    },
+    /// `impl Type { … }` or `impl Trait for Type { … }`.
+    Impl {
+        /// The `Self` type's last path segment (`ApiError` in
+        /// `impl From<SchemaError> for ApiError`).
+        type_name: String,
+        /// The implemented trait's last plain segment, if any.
+        trait_name: Option<String>,
+        /// Associated items.
+        items: Vec<Item>,
+    },
+    /// `const NAME: Ty = …;`
+    Const {
+        /// Constant name.
+        name: String,
+        /// Type as token text.
+        ty: String,
+        /// Initializer (absent only in trait declarations).
+        init: Option<Expr>,
+    },
+    /// `static NAME: Ty = …;`
+    Static {
+        /// Static name.
+        name: String,
+        /// Type as token text.
+        ty: String,
+        /// Initializer.
+        init: Option<Expr>,
+    },
+    /// An item-position macro invocation such as `thread_local! { … }`.
+    MacroItem {
+        /// Macro name (last path segment).
+        name: String,
+        /// Interior items when the body parses as items (e.g.
+        /// `thread_local!` statics), otherwise `None`.
+        items: Option<Vec<Item>>,
+        /// Interior expressions recovered best-effort when the body is
+        /// not item-shaped.
+        exprs: Vec<Expr>,
+    },
+}
+
+/// A named struct/union field.
+#[derive(Debug, Clone)]
+pub struct FieldDecl {
+    /// Field name.
+    pub name: String,
+    /// Type as token text, e.g. `Mutex < QueueState >`.
+    pub ty: String,
+    /// 1-based line.
+    pub line: usize,
+}
+
+/// A function or method.
+#[derive(Debug, Clone)]
+pub struct FnDecl {
+    /// Function name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Declared `unsafe fn`.
+    pub is_unsafe: bool,
+    /// Body; `None` for trait method declarations.
+    pub body: Option<Block>,
+}
+
+/// A `{ … }` block.
+#[derive(Debug, Clone)]
+pub struct Block {
+    /// 1-based line of the opening brace.
+    pub line: usize,
+    /// Statements in source order.
+    pub stmts: Vec<Stmt>,
+}
+
+/// A statement inside a block.
+#[derive(Debug, Clone)]
+pub enum Stmt {
+    /// `let PAT = expr;` (pattern and type kept opaque) with an optional
+    /// `else { … }` diverging block.
+    Let {
+        /// Initializer, absent for `let x;`.
+        init: Option<Expr>,
+        /// The `let … else` block.
+        else_block: Option<Block>,
+        /// 1-based line of `let`.
+        line: usize,
+    },
+    /// A nested item (fn, use, const, …).
+    Item(Item),
+    /// An expression statement (trailing `;` or not).
+    Expr(Expr),
+}
+
+/// An expression. Operands the analyses never inspect collapse to
+/// [`Expr::Opaque`]; everything that can call, panic, lock, or spawn is
+/// structural.
+#[derive(Debug, Clone)]
+pub enum Expr {
+    /// Literal (string/char/number).
+    Lit {
+        /// Literal token text (used for float/zero classification).
+        text: String,
+        /// 1-based line.
+        line: usize,
+    },
+    /// A path such as `Ordering::Relaxed` or a bare identifier.
+    Path {
+        /// Segments, turbofish generics dropped.
+        segs: Vec<String>,
+        /// 1-based line of the first segment.
+        line: usize,
+    },
+    /// Binary / assignment / range operation. `rhs` is absent for
+    /// open-ended ranges (`1..`).
+    Binary {
+        /// Operator token text (`/`, `%`, `..`, `=`, …).
+        op: String,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Option<Box<Expr>>,
+        /// 1-based line of the operator.
+        line: usize,
+    },
+    /// Prefix `-`/`!`/`*`/`&`/range expression.
+    Unary {
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// `callee(args…)`.
+    Call {
+        /// Callee (usually a [`Expr::Path`]).
+        callee: Box<Expr>,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// 1-based line of the opening parenthesis.
+        line: usize,
+    },
+    /// `recv.name(args…)`.
+    MethodCall {
+        /// Receiver expression.
+        recv: Box<Expr>,
+        /// Method name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// 1-based line of the method name.
+        line: usize,
+    },
+    /// `recv.name` field access (tuple indices included as text).
+    Field {
+        /// Receiver.
+        recv: Box<Expr>,
+        /// Field name or tuple index.
+        name: String,
+    },
+    /// `recv[index]`.
+    Index {
+        /// Receiver.
+        recv: Box<Expr>,
+        /// Index expression.
+        index: Box<Expr>,
+        /// 1-based line of the opening bracket.
+        line: usize,
+    },
+    /// `expr as Ty`.
+    Cast {
+        /// Operand.
+        expr: Box<Expr>,
+        /// Target type as token text.
+        ty: String,
+    },
+    /// `expr?`.
+    Try {
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// `|args| body` / `move || body` (parameters opaque).
+    Closure {
+        /// Body expression (often a [`Expr::Block`]).
+        body: Box<Expr>,
+        /// 1-based line of the opening `|`.
+        line: usize,
+    },
+    /// `{ … }`.
+    Block(Block),
+    /// `unsafe { … }`.
+    Unsafe(Block),
+    /// `if cond { … } else …` (`if let` folds the scrutinee into `cond`).
+    If {
+        /// Condition (or `if let` scrutinee).
+        cond: Box<Expr>,
+        /// Then-block.
+        then: Block,
+        /// `else` expression (block or chained `if`).
+        else_: Option<Box<Expr>>,
+    },
+    /// `while cond { … }` (`while let` folds the scrutinee into `cond`).
+    While {
+        /// Condition (or `while let` scrutinee).
+        cond: Box<Expr>,
+        /// Loop body.
+        body: Block,
+    },
+    /// `for PAT in iter { … }` (pattern opaque).
+    For {
+        /// Iterated expression.
+        iter: Box<Expr>,
+        /// Loop body.
+        body: Block,
+    },
+    /// `loop { … }`.
+    Loop {
+        /// Loop body.
+        body: Block,
+    },
+    /// `match scrutinee { arms… }` (patterns and guards opaque).
+    Match {
+        /// Scrutinee.
+        scrutinee: Box<Expr>,
+        /// Arm value expressions in source order.
+        arms: Vec<Expr>,
+        /// 1-based line of `match`.
+        line: usize,
+    },
+    /// `return expr?`.
+    Return {
+        /// Returned value.
+        value: Option<Box<Expr>>,
+    },
+    /// `break 'label? expr?`.
+    Break {
+        /// Break value.
+        value: Option<Box<Expr>>,
+    },
+    /// `continue 'label?`.
+    Continue,
+    /// `Path { field: expr, … }` struct literal.
+    StructLit {
+        /// Struct path segments.
+        path: Vec<String>,
+        /// Field value expressions (shorthand fields become paths).
+        fields: Vec<Expr>,
+        /// 1-based line.
+        line: usize,
+    },
+    /// `name!(args…)` macro invocation. `args` hold the interior
+    /// expressions when the token tree parses as a comma-separated
+    /// expression list, else `raw` keeps `(text, line)` pairs for the
+    /// lexical fallback scan inside this one macro body.
+    Macro {
+        /// Macro path segments (`name` is the last).
+        path: Vec<String>,
+        /// Parsed interior expressions (best-effort).
+        args: Vec<Expr>,
+        /// Raw interior tokens when `args` could not be recovered.
+        raw: Vec<(String, usize)>,
+        /// 1-based line of the macro name.
+        line: usize,
+    },
+    /// `(a, b, …)` tuple or parenthesised expression.
+    Tuple {
+        /// Elements.
+        items: Vec<Expr>,
+    },
+    /// `[a, b, …]` / `[x; n]` array literal.
+    Array {
+        /// Elements (the repeat count of `[x; n]` is the second item).
+        items: Vec<Expr>,
+    },
+    /// Anything the grammar models as an opaque leaf (e.g. a lone `_`).
+    Opaque,
+}
+
+impl Expr {
+    /// The trailing identifier chain of a receiver expression, used to
+    /// label locks and atomics: `self.queue.alive` → `["self", "queue",
+    /// "alive"]`, `ACTIVE` → `["ACTIVE"]`. Empty when the expression is
+    /// not a plain path/field/reference chain.
+    pub fn path_hint(&self) -> Vec<String> {
+        match self {
+            Expr::Path { segs, .. } => segs.clone(),
+            Expr::Field { recv, name } => {
+                let mut h = recv.path_hint();
+                if h.is_empty() {
+                    return Vec::new();
+                }
+                h.push(name.clone());
+                h
+            }
+            Expr::Unary { expr } | Expr::Try { expr } => expr.path_hint(),
+            Expr::Tuple { items } if items.len() == 1 => items[0].path_hint(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Best-effort source line of the expression.
+    pub fn line(&self) -> Option<usize> {
+        match self {
+            Expr::Lit { line, .. }
+            | Expr::Path { line, .. }
+            | Expr::Binary { line, .. }
+            | Expr::Call { line, .. }
+            | Expr::MethodCall { line, .. }
+            | Expr::Index { line, .. }
+            | Expr::Closure { line, .. }
+            | Expr::Match { line, .. }
+            | Expr::StructLit { line, .. }
+            | Expr::Macro { line, .. } => Some(*line),
+            Expr::Block(b) | Expr::Unsafe(b) => Some(b.line),
+            Expr::Unary { expr } | Expr::Cast { expr, .. } | Expr::Try { expr } => expr.line(),
+            Expr::Field { recv, .. } => recv.line(),
+            Expr::If { cond, .. } | Expr::While { cond, .. } => cond.line(),
+            Expr::For { iter, .. } => iter.line(),
+            Expr::Loop { body } => Some(body.line),
+            _ => None,
+        }
+    }
+}
+
+/// Calls `f` on `expr` and every sub-expression, in source order.
+pub fn walk_expr(expr: &Expr, f: &mut impl FnMut(&Expr)) {
+    f(expr);
+    match expr {
+        Expr::Lit { .. } | Expr::Path { .. } | Expr::Continue | Expr::Opaque => {}
+        Expr::Binary { lhs, rhs, .. } => {
+            walk_expr(lhs, f);
+            if let Some(r) = rhs {
+                walk_expr(r, f);
+            }
+        }
+        Expr::Unary { expr } | Expr::Cast { expr, .. } | Expr::Try { expr } => walk_expr(expr, f),
+        Expr::Call { callee, args, .. } => {
+            walk_expr(callee, f);
+            for a in args {
+                walk_expr(a, f);
+            }
+        }
+        Expr::MethodCall { recv, args, .. } => {
+            walk_expr(recv, f);
+            for a in args {
+                walk_expr(a, f);
+            }
+        }
+        Expr::Field { recv, .. } => walk_expr(recv, f),
+        Expr::Index { recv, index, .. } => {
+            walk_expr(recv, f);
+            walk_expr(index, f);
+        }
+        Expr::Closure { body, .. } => walk_expr(body, f),
+        Expr::Block(b) | Expr::Unsafe(b) | Expr::Loop { body: b } => walk_block(b, f),
+        Expr::If { cond, then, else_ } => {
+            walk_expr(cond, f);
+            walk_block(then, f);
+            if let Some(e) = else_ {
+                walk_expr(e, f);
+            }
+        }
+        Expr::While { cond, body } => {
+            walk_expr(cond, f);
+            walk_block(body, f);
+        }
+        Expr::For { iter, body } => {
+            walk_expr(iter, f);
+            walk_block(body, f);
+        }
+        Expr::Match {
+            scrutinee, arms, ..
+        } => {
+            walk_expr(scrutinee, f);
+            for a in arms {
+                walk_expr(a, f);
+            }
+        }
+        Expr::Return { value } | Expr::Break { value } => {
+            if let Some(v) = value {
+                walk_expr(v, f);
+            }
+        }
+        Expr::StructLit { fields, .. } => {
+            for e in fields {
+                walk_expr(e, f);
+            }
+        }
+        Expr::Macro { args, .. } => {
+            for a in args {
+                walk_expr(a, f);
+            }
+        }
+        Expr::Tuple { items } | Expr::Array { items } => {
+            for e in items {
+                walk_expr(e, f);
+            }
+        }
+    }
+}
+
+/// Calls `f` on every expression in a block, in source order.
+pub fn walk_block(block: &Block, f: &mut impl FnMut(&Expr)) {
+    for stmt in &block.stmts {
+        match stmt {
+            Stmt::Let {
+                init, else_block, ..
+            } => {
+                if let Some(e) = init {
+                    walk_expr(e, f);
+                }
+                if let Some(b) = else_block {
+                    walk_block(b, f);
+                }
+            }
+            Stmt::Item(item) => walk_item_exprs(item, f),
+            Stmt::Expr(e) => walk_expr(e, f),
+        }
+    }
+}
+
+/// Calls `f` on every expression owned by an item (initializers and
+/// nested bodies — but *not* nested `fn` bodies, which belong to their
+/// own function for the interprocedural analyses).
+pub fn walk_item_exprs(item: &Item, f: &mut impl FnMut(&Expr)) {
+    match &item.kind {
+        ItemKind::Const { init, .. } | ItemKind::Static { init, .. } => {
+            if let Some(e) = init {
+                walk_expr(e, f);
+            }
+        }
+        ItemKind::MacroItem { items, exprs, .. } => {
+            if let Some(items) = items {
+                for it in items {
+                    walk_item_exprs(it, f);
+                }
+            }
+            for e in exprs {
+                walk_expr(e, f);
+            }
+        }
+        _ => {}
+    }
+}

@@ -1,0 +1,207 @@
+//! Atomic-ordering audit (rule `atomic-ordering`).
+//!
+//! Every atomic access that names a memory ordering is indexed by the
+//! receiver's trailing identifier (the atomic's name). A
+//! `Ordering::Relaxed` access must carry a written justification when
+//! either:
+//!
+//! - the same atomic is *also* accessed with a stronger ordering
+//!   somewhere in the workspace (mixed orderings are where unsynchronised
+//!   reads silently race with release/acquire protocols), or
+//! - the access sits in `pool.rs` or `server.rs` — the shutdown and
+//!   worker-liveness paths where a stale relaxed read can strand a
+//!   thread.
+//!
+//! A justification is a comment on the same line or the line above that
+//! contains the word `relaxed` (case-insensitive) — the convention is
+//! `// relaxed: <why the ordering is sufficient>`.
+
+use crate::rules::Finding;
+use crate::symbols::{EventKind, Workspace};
+use std::collections::{BTreeMap, BTreeSet};
+
+const STRONG: [&str; 4] = ["Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// Runs the audit and returns its findings.
+pub fn check(ws: &Workspace) -> Vec<Finding> {
+    // atom name → set of orderings used anywhere (non-test)
+    let mut orderings: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for f in &ws.fns {
+        if f.is_test {
+            continue;
+        }
+        for ev in &f.events {
+            if let EventKind::Atomic { atom, ordering } = &ev.kind {
+                orderings.entry(atom).or_default().insert(ordering);
+            }
+        }
+    }
+
+    let mut findings = Vec::new();
+    let mut seen: BTreeSet<(usize, usize, &str)> = BTreeSet::new();
+    for f in &ws.fns {
+        if f.is_test {
+            continue;
+        }
+        let path = ws.path_of(f);
+        let hot_file = path.ends_with("/pool.rs") || path.ends_with("/server.rs");
+        for ev in &f.events {
+            let EventKind::Atomic { atom, ordering } = &ev.kind else {
+                continue;
+            };
+            if ordering != "Relaxed" {
+                continue;
+            }
+            let stronger: Vec<&&str> = orderings
+                .get(atom.as_str())
+                .map(|set| set.iter().filter(|o| STRONG.contains(*o)).collect())
+                .unwrap_or_default();
+            if stronger.is_empty() && !hot_file {
+                continue;
+            }
+            if justified(ws, f.file, ev.line) {
+                continue;
+            }
+            if !seen.insert((f.file, ev.line, atom.as_str())) {
+                continue;
+            }
+            let why = if !stronger.is_empty() {
+                format!(
+                    "`{atom}` is also accessed with {} elsewhere",
+                    stronger
+                        .iter()
+                        .map(|o| format!("`{o}`"))
+                        .collect::<Vec<_>>()
+                        .join("/")
+                )
+            } else {
+                format!("`{atom}` is read on a worker/shutdown path")
+            };
+            findings.push(Finding {
+                rule: "atomic-ordering",
+                path: path.to_string(),
+                line: ev.line,
+                message: format!(
+                    "`Ordering::Relaxed` on `{atom}` without a written justification — {why}; \
+                     add `// relaxed: <why this cannot race>` or strengthen the ordering"
+                ),
+            });
+        }
+    }
+    findings
+}
+
+/// A comment containing "relaxed" on the same line or in the contiguous
+/// run of comment lines ending directly above the access — a wrapped
+/// `// relaxed: …` justification counts as one block.
+fn justified(ws: &Workspace, file: usize, line: usize) -> bool {
+    let mut cur = line;
+    loop {
+        let touching: Vec<_> = ws.comments[file]
+            .iter()
+            .filter(|c| c.start <= cur && c.end + 1 >= cur)
+            .collect();
+        if touching
+            .iter()
+            .any(|c| c.text.to_ascii_lowercase().contains("relaxed"))
+        {
+            return true;
+        }
+        // keep climbing through the comment run
+        match touching.iter().map(|c| c.start).min() {
+            Some(lo) if lo > 1 => cur = lo - 1,
+            _ => return false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbols::build_workspace;
+
+    fn run(path: &str, src: &str) -> Vec<Finding> {
+        let ws = build_workspace(&[(path.to_string(), src.to_string())]);
+        assert!(ws.parse_errors.is_empty(), "{:?}", ws.parse_errors);
+        check(&ws)
+    }
+
+    #[test]
+    fn mixed_orderings_without_justification_are_flagged() {
+        let fs = run(
+            "crates/demo/src/lib.rs",
+            "fn arm(a: &AtomicBool) { a.store(true, Ordering::Release); }\n\
+             fn poll(a: &AtomicBool) -> bool { a.load(Ordering::Relaxed) }\n",
+        );
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert_eq!(fs[0].line, 2);
+        assert!(
+            fs[0].message.contains("also accessed with `Release`"),
+            "{}",
+            fs[0].message
+        );
+    }
+
+    #[test]
+    fn a_relaxed_comment_justifies_the_access() {
+        let fs = run(
+            "crates/demo/src/lib.rs",
+            "fn arm(a: &AtomicBool) { a.store(true, Ordering::Release); }\n\
+             fn poll(a: &AtomicBool) -> bool {\n\
+                 // relaxed: monotonic flag, a stale read only delays one tick\n\
+                 a.load(Ordering::Relaxed)\n\
+             }\n",
+        );
+        assert!(fs.is_empty(), "{fs:?}");
+    }
+
+    #[test]
+    fn a_wrapped_multi_line_justification_counts() {
+        let fs = run(
+            "crates/demo/src/lib.rs",
+            "fn arm(a: &AtomicBool) { a.store(true, Ordering::Release); }\n\
+             fn poll(a: &AtomicBool) -> bool {\n\
+                 // an unrelated comment line above the justification\n\
+                 // must not shadow it when the checker climbs the run\n\
+                 // relaxed: monotonic flag — a stale read only delays one\n\
+                 // tick and the payload travels under the registry lock\n\
+                 a.load(Ordering::Relaxed)\n\
+             }\n",
+        );
+        assert!(fs.is_empty(), "{fs:?}");
+    }
+
+    #[test]
+    fn uniformly_relaxed_counters_outside_hot_files_are_fine() {
+        let fs = run(
+            "crates/demo/src/lib.rs",
+            "fn bump(c: &AtomicU64) { c.fetch_add(1, Ordering::Relaxed); }\n\
+             fn read(c: &AtomicU64) -> u64 { c.load(Ordering::Relaxed) }\n",
+        );
+        assert!(fs.is_empty(), "{fs:?}");
+    }
+
+    #[test]
+    fn pool_and_server_relaxed_always_needs_justification() {
+        let fs = run(
+            "crates/blas/src/pool.rs",
+            "fn alive(f: &AtomicBool) -> bool { f.load(Ordering::Relaxed) }\n",
+        );
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert!(
+            fs[0].message.contains("worker/shutdown path"),
+            "{}",
+            fs[0].message
+        );
+    }
+
+    #[test]
+    fn distinct_atoms_do_not_contaminate_each_other() {
+        let fs = run(
+            "crates/demo/src/lib.rs",
+            "fn a(x: &AtomicBool) { x.store(true, Ordering::SeqCst); }\n\
+             fn b(y: &AtomicU64) { y.fetch_add(1, Ordering::Relaxed); }\n",
+        );
+        assert!(fs.is_empty(), "{fs:?}");
+    }
+}

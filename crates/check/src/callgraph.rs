@@ -1,0 +1,406 @@
+//! Workspace call graph over the [`crate::symbols`] index.
+//!
+//! Resolution is heuristic and deliberately *over*-approximates — a
+//! missing edge silently hides a panic path, a spurious edge only costs a
+//! justification comment — with one exception: a qualified path whose
+//! qualifier matches nothing in the workspace (`std::fs::read`,
+//! `io::Error::new`) is external and produces **no** edge, otherwise
+//! every `new` in the standard library would alias every `new` here.
+//!
+//! The rules, in order:
+//!
+//! 1. **Method calls** (`recv.name(…)`) edge to every workspace method of
+//!    that name (any `impl`, any file) — receiver types are not inferred —
+//!    *unless* the name collides with the standard library's common
+//!    surface ([`STD_METHOD_NAMES`]): `.load(…)` is an atomic, not
+//!    `Checkpoint::load`; `.wait(…)` is a condvar, not
+//!    `BatchHandle::wait`. Workspace methods with colliding names are
+//!    still reachable through qualified paths (`Checkpoint::load(…)`),
+//!    which is the workspace's own idiom for them. This exclusion list is
+//!    the analysis's main documented unsoundness.
+//! 2. **Qualified path calls** (`a::b::name(…)`) edge to workspace
+//!    functions named `name` whose *file stem* or *impl owner* matches a
+//!    path segment; `self`/`crate`-qualified paths resolve within the
+//!    caller's crate, `Self::name` within the caller's impl owner.
+//! 3. **Bare calls** (`name(…)`) resolve to *free* functions only
+//!    (methods require a receiver or a qualified path in real Rust),
+//!    preferring the caller's file.
+//!
+//! Test-only functions are invisible: they neither appear as callees nor
+//! contribute edges.
+
+use crate::symbols::{file_stem, EventKind, FnSym, Workspace};
+use std::collections::HashMap;
+
+/// One resolved call edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Edge {
+    /// Callee function id (index into [`Workspace::fns`]).
+    pub callee: usize,
+    /// 1-based call-site line in the caller's file.
+    pub line: usize,
+    /// The call sits behind a `catch_unwind` boundary.
+    pub in_catch: bool,
+}
+
+/// The workspace call graph: `edges[f]` are `f`'s resolved outgoing
+/// calls, in body order.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// Outgoing edges per function id.
+    pub edges: Vec<Vec<Edge>>,
+}
+
+/// Method names owned by the standard library's everyday surface —
+/// atomics, locks, condvars, channels, iterators, collections, `Option`/
+/// `Result` combinators, formatting and conversion traits. A bare
+/// `.name(…)` with one of these names is assumed to be the std method;
+/// workspace methods sharing the name resolve only via qualified paths.
+const STD_METHOD_NAMES: [&str; 74] = [
+    // atomics
+    "load",
+    "store",
+    "swap",
+    "compare_exchange",
+    "compare_exchange_weak",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_update",
+    // sync primitives & threads
+    "lock",
+    "try_lock",
+    "read",
+    "write",
+    "wait",
+    "wait_timeout",
+    "wait_while",
+    "notify_one",
+    "notify_all",
+    "join",
+    "send",
+    "recv",
+    "try_recv",
+    // ubiquitous traits
+    "clone",
+    "drop",
+    "fmt",
+    "eq",
+    "ne",
+    "cmp",
+    "partial_cmp",
+    "hash",
+    "default",
+    "from",
+    "into",
+    "try_from",
+    "try_into",
+    "as_ref",
+    "as_mut",
+    "deref",
+    "index",
+    // collections & iterators
+    "len",
+    "is_empty",
+    "get",
+    "get_mut",
+    "first",
+    "last",
+    "push",
+    "pop",
+    "insert",
+    "remove",
+    "contains",
+    "contains_key",
+    "iter",
+    "next",
+    "peek",
+    "extend",
+    "take",
+    "replace",
+    "fill",
+    // Option/Result combinators
+    "map",
+    "and_then",
+    "or_else",
+    "ok",
+    "err",
+    "unwrap_or",
+    "unwrap_or_else",
+    "unwrap_or_default",
+    // io / strings / paths
+    "flush",
+    "display",
+    "parse",
+    "to_string",
+    "as_str",
+    "line",
+];
+
+/// `crates/serve/src/server.rs` → `serve`.
+fn crate_of(path: &str) -> &str {
+    let mut parts = path.split('/');
+    match (parts.next(), parts.next()) {
+        (Some("crates"), Some(krate)) => krate,
+        _ => "",
+    }
+}
+
+/// Builds the call graph for every non-test function.
+pub fn build(ws: &Workspace) -> CallGraph {
+    // name → candidate callee ids (non-test only)
+    let mut by_name: HashMap<&str, Vec<usize>> = HashMap::new();
+    for (id, f) in ws.fns.iter().enumerate() {
+        if !f.is_test && !f.is_spawn_body {
+            by_name.entry(f.name.as_str()).or_default().push(id);
+        }
+    }
+    let mut graph = CallGraph {
+        edges: vec![Vec::new(); ws.fns.len()],
+    };
+    for (id, f) in ws.fns.iter().enumerate() {
+        if f.is_test {
+            continue;
+        }
+        for ev in &f.events {
+            let EventKind::Call {
+                path, is_method, ..
+            } = &ev.kind
+            else {
+                continue;
+            };
+            let Some(name) = path.last() else { continue };
+            let Some(cands) = by_name.get(name.as_str()) else {
+                continue;
+            };
+            let resolved = resolve(ws, f, path, *is_method, cands);
+            for callee in resolved {
+                if callee != id {
+                    graph.edges[id].push(Edge {
+                        callee,
+                        line: ev.line,
+                        in_catch: ev.in_catch,
+                    });
+                }
+            }
+        }
+    }
+    for edges in &mut graph.edges {
+        edges.dedup();
+    }
+    graph
+}
+
+fn resolve(
+    ws: &Workspace,
+    caller: &FnSym,
+    path: &[String],
+    is_method: bool,
+    cands: &[usize],
+) -> Vec<usize> {
+    let name = path.last().map(String::as_str).unwrap_or("");
+    if is_method {
+        // every workspace method of that name, unless the name belongs
+        // to std's everyday surface
+        if STD_METHOD_NAMES.contains(&name) {
+            return Vec::new();
+        }
+        return cands
+            .iter()
+            .copied()
+            .filter(|&c| ws.fns[c].owner.is_some())
+            .collect();
+    }
+    if path.len() == 1 {
+        // bare call: free functions only, same file preferred
+        let free: Vec<usize> = cands
+            .iter()
+            .copied()
+            .filter(|&c| ws.fns[c].owner.is_none())
+            .collect();
+        let same_file: Vec<usize> = free
+            .iter()
+            .copied()
+            .filter(|&c| ws.fns[c].file == caller.file)
+            .collect();
+        if !same_file.is_empty() {
+            return same_file;
+        }
+        return free;
+    }
+    let caller_crate = crate_of(&ws.paths[caller.file]);
+    let quals = &path[..path.len() - 1];
+    if quals.iter().any(|q| q == "Self") {
+        return cands
+            .iter()
+            .copied()
+            .filter(|&c| ws.fns[c].owner == caller.owner && ws.fns[c].file == caller.file)
+            .collect();
+    }
+    let filtered: Vec<usize> = cands
+        .iter()
+        .copied()
+        .filter(|&c| {
+            let callee = &ws.fns[c];
+            let stem = file_stem(&ws.paths[callee.file]);
+            let callee_crate = crate_of(&ws.paths[callee.file]);
+            quals.iter().any(|q| {
+                q == stem
+                    || Some(q) == callee.owner.as_ref()
+                    || q.strip_prefix("blob_") == Some(callee_crate)
+            }) || (quals.iter().all(|q| q == "self" || q == "crate")
+                && callee_crate == caller_crate)
+        })
+        .collect();
+    // qualified but unresolved → external (std / core / alloc): no edge
+    filtered
+}
+
+/// Renders the graph as deterministic `caller -> callee (line N)` text,
+/// one edge per line, for `--call-graph`.
+pub fn dump(ws: &Workspace, graph: &CallGraph) -> String {
+    let mut lines = Vec::new();
+    for (id, edges) in graph.edges.iter().enumerate() {
+        let caller = ws.display(id);
+        if ws.fns[id].is_test {
+            continue;
+        }
+        for e in edges {
+            lines.push(format!(
+                "{caller} -> {}{} ({}:{})",
+                ws.display(e.callee),
+                if e.in_catch { " [caught]" } else { "" },
+                ws.path_of(&ws.fns[id]),
+                e.line
+            ));
+        }
+    }
+    lines.sort();
+    lines.dedup();
+    lines.join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbols::build_workspace;
+
+    /// A two-file fixture exercising every resolution rule.
+    fn fixture() -> Workspace {
+        build_workspace(&[
+            (
+                "crates/alpha/src/engine.rs".to_string(),
+                "pub fn start() { helper(); worker::tick(); other::tick(); Self::nope(); }\n\
+                 fn helper() { std::fs::read(\"x\"); }\n\
+                 pub struct Engine;\n\
+                 impl Engine {\n\
+                     pub fn run(&self) { self.step(); Engine::finish(); }\n\
+                     fn step(&self) {}\n\
+                     fn finish() {}\n\
+                 }\n"
+                .to_string(),
+            ),
+            (
+                "crates/alpha/src/worker.rs".to_string(),
+                "pub fn tick() { crate::engine::start(); }\n\
+                 #[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { tick(); }\n}\n"
+                    .to_string(),
+            ),
+        ])
+    }
+
+    fn id_of(ws: &Workspace, name: &str) -> usize {
+        ws.fns.iter().position(|f| f.name == name).unwrap()
+    }
+
+    fn callees(ws: &Workspace, g: &CallGraph, name: &str) -> Vec<String> {
+        g.edges[id_of(ws, name)]
+            .iter()
+            .map(|e| ws.display(e.callee))
+            .collect()
+    }
+
+    #[test]
+    fn bare_calls_prefer_same_file() {
+        let ws = fixture();
+        let g = build(&ws);
+        let cs = callees(&ws, &g, "start");
+        assert!(cs.contains(&"engine::helper".to_string()), "{cs:?}");
+    }
+
+    #[test]
+    fn qualified_calls_filter_by_file_stem() {
+        let ws = fixture();
+        let g = build(&ws);
+        let cs = callees(&ws, &g, "start");
+        // worker::tick resolves, other::tick does not (no `other` stem)
+        assert_eq!(
+            cs.iter().filter(|c| c.as_str() == "worker::tick").count(),
+            1,
+            "{cs:?}"
+        );
+    }
+
+    #[test]
+    fn external_qualified_calls_produce_no_edge() {
+        let ws = fixture();
+        let g = build(&ws);
+        let cs = callees(&ws, &g, "helper");
+        assert!(
+            cs.is_empty(),
+            "std::fs::read must not edge anywhere: {cs:?}"
+        );
+    }
+
+    #[test]
+    fn method_calls_and_owner_qualified_paths_resolve() {
+        let ws = fixture();
+        let g = build(&ws);
+        let cs = callees(&ws, &g, "run");
+        assert!(cs.contains(&"engine::Engine::step".to_string()), "{cs:?}");
+        assert!(cs.contains(&"engine::Engine::finish".to_string()), "{cs:?}");
+    }
+
+    #[test]
+    fn crate_qualified_calls_stay_in_crate() {
+        let ws = fixture();
+        let g = build(&ws);
+        let cs = callees(&ws, &g, "tick");
+        assert_eq!(cs, ["engine::start".to_string()], "{cs:?}");
+    }
+
+    #[test]
+    fn test_fns_are_invisible() {
+        let ws = fixture();
+        let g = build(&ws);
+        let t = id_of(&ws, "t");
+        assert!(g.edges[t].is_empty(), "test fns contribute no edges");
+        for edges in &g.edges {
+            assert!(
+                edges.iter().all(|e| e.callee != t),
+                "test fns must not be callees"
+            );
+        }
+    }
+
+    #[test]
+    fn dump_is_deterministic_text() {
+        let ws = fixture();
+        let g = build(&ws);
+        let d = dump(&ws, &g);
+        assert!(
+            d.contains("engine::start -> engine::helper (crates/alpha/src/engine.rs:1)"),
+            "{d}"
+        );
+        let mut lines: Vec<&str> = d.lines().collect();
+        let sorted = {
+            let mut s = lines.clone();
+            s.sort();
+            s
+        };
+        lines.sort();
+        assert_eq!(lines, sorted);
+    }
+}

@@ -1,16 +1,25 @@
 //! # blob-check — from-scratch static analysis for this workspace
 //!
 //! A dependency-free checker that walks the workspace's own Rust sources
-//! and enforces the project's safety and API-hygiene rules at the token
-//! level (see [`rules`] for the rule catalogue and [`lexer`] for the
-//! hand-rolled lexer underneath — no `syn`, no network, no compiler
-//! plumbing).
+//! — no `syn`, no network, no compiler plumbing. Two layers:
+//!
+//! - **Lexical rules** over the hand-rolled [`lexer`]'s token stream
+//!   (see [`rules`] for the catalogue).
+//! - **Interprocedural analyses** over a real AST: [`parser`] builds
+//!   [`ast`] values, [`symbols`] indexes every function with its
+//!   panic/lock/atomic-relevant events, [`callgraph`] resolves calls
+//!   across the workspace, and [`panics`]/[`locks`]/[`atomics`] run the
+//!   `panic-reachability`, `lock-order`, and `atomic-ordering` analyses
+//!   on top. A file the parser cannot handle is a `parse-coverage`
+//!   finding, never a silent skip.
 //!
 //! Run it as a normal workspace member:
 //!
 //! ```text
-//! cargo run -p blob-check            # human output, exit 1 on findings
-//! cargo run -p blob-check -- --json  # machine output
+//! cargo run -p blob-check                 # human output, exit 1 on findings
+//! cargo run -p blob-check -- --json       # machine output
+//! cargo run -p blob-check -- --explain lock-order   # one rule's rationale
+//! cargo run -p blob-check -- --call-graph # dump the resolved call graph
 //! ```
 //!
 //! ## Rules
@@ -18,13 +27,21 @@
 //! | rule | scope | fires on |
 //! |------|-------|----------|
 //! | `no-unsafe` | everywhere | any `unsafe` token |
+//! | `unsafe-needs-safety-comment` | everywhere, tests included | `unsafe` without a `SAFETY:` comment directly above |
 //! | `no-unwrap-in-lib` | library code, tests excluded | `.unwrap()`, `.expect(…)`, `panic!` |
-//! | `no-unwrap-in-serve` | serve/cli binaries | `.unwrap()`, `.expect(…)`, `panic!` |
+//! | `no-unwrap-in-serve` | *deprecated alias* | superseded by `panic-reachability`; old suppressions still honoured |
 //! | `no-float-eq` | `blob-blas`/`blob-sim` libraries | `==`/`!=` against a float literal |
 //! | `pub-item-docs` | `blob-blas`/`blob-sim`/`blob-core` | public item/field without a doc comment |
 //! | `contract-guard` | the five kernel files | `pub fn` indexing a slice before contract validation |
 //! | `no-adhoc-scope` | `blob-blas` outside `pool.rs` | `std::thread::scope(` outside the pool |
 //! | `no-raw-error-body` | `crates/serve/src/` outside `envelope.rs`/`http.rs` | `Response::json`/`text` with a literal status ≥ 400 |
+//! | `panic-reachability` | whole-workspace call graph | a panic source reachable from a serve/pool loop or spawn body without `catch_unwind` |
+//! | `lock-order` | whole-workspace call graph | a cycle in the held-while-taking graph over `Mutex`/`RwLock` names |
+//! | `atomic-ordering` | every atomic access | `Ordering::Relaxed` mixed with stronger orderings (or in pool/server) without a `// relaxed:` justification |
+//! | `parse-coverage` | every `.rs` file | a file the AST grammar cannot parse |
+//! | `suppression` | every suppression comment | a reason-less or unknown-rule `allow` |
+//!
+//! `--explain <rule>` prints the full rationale for any of these.
 //!
 //! Violations that are intentional carry an inline suppression **with a
 //! mandatory reason**:
@@ -39,11 +56,18 @@
 //! old ones are burned down deliberately — this repository's baseline is
 //! empty by design.
 
+pub mod ast;
+pub mod atomics;
+pub mod callgraph;
 pub mod lexer;
+pub mod locks;
+pub mod panics;
+pub mod parser;
 pub mod rules;
+pub mod symbols;
 
 use blob_core::wire::Json;
-use rules::{build_context, check_file, Finding};
+use rules::{build_context, check_file, Finding, RULE_ALIASES};
 use std::path::{Path, PathBuf};
 
 /// Recursively collects every `.rs` file under `root`, skipping
@@ -79,7 +103,9 @@ pub fn collect_sources(root: &Path) -> std::io::Result<Vec<(String, String)>> {
     Ok(files)
 }
 
-/// Checks every source file under `root` and returns `(findings, files)`.
+/// Checks every source file under `root` — the per-file lexical rules
+/// *and* the workspace-wide interprocedural analyses — and returns
+/// `(findings, files)` with findings sorted by `(path, line, rule)`.
 pub fn check_workspace(root: &Path) -> std::io::Result<(Vec<Finding>, usize)> {
     let files = collect_sources(root)?;
     let ctx = build_context(&files);
@@ -87,7 +113,72 @@ pub fn check_workspace(root: &Path) -> std::io::Result<(Vec<Finding>, usize)> {
     for (path, text) in &files {
         findings.extend(check_file(path, text, &ctx));
     }
+    findings.extend(deep_findings(&files));
+    findings
+        .sort_by(|a, b| (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule)));
     Ok((findings, files.len()))
+}
+
+/// Runs the AST-level pipeline over pre-collected sources: parse every
+/// file (failures surface as `parse-coverage` findings — the analyses
+/// cannot see an unparsed file, so the gate is absolute), build the
+/// symbol index and call graph, then run the `panic-reachability`,
+/// `lock-order`, and `atomic-ordering` analyses. Deep findings honour
+/// the same suppression comments as the lexical rules (same line or the
+/// line above), including the deprecated-alias mapping in
+/// [`rules::RULE_ALIASES`].
+pub fn deep_findings(files: &[(String, String)]) -> Vec<Finding> {
+    let ws = symbols::build_workspace(files);
+    let mut out = Vec::new();
+    for (path, err) in &ws.parse_errors {
+        out.push(Finding {
+            rule: "parse-coverage",
+            path: path.clone(),
+            line: err.line,
+            message: format!(
+                "file falls outside the blob-check AST grammar ({err}) — \
+                 extend the parser, do not baseline"
+            ),
+        });
+    }
+    let graph = callgraph::build(&ws);
+    let mut deep = Vec::new();
+    deep.extend(panics::check(&ws, &graph));
+    deep.extend(locks::check(&ws, &graph));
+    deep.extend(atomics::check(&ws));
+    let path_index: std::collections::HashMap<&str, usize> = ws
+        .paths
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (p.as_str(), i))
+        .collect();
+    for f in deep {
+        let suppressed = path_index.get(f.path.as_str()).is_some_and(|&i| {
+            let sups =
+                rules::suppressions_from(ws.comments[i].iter().map(|c| (c.start, c.text.as_str())));
+            sups.iter().any(|s| {
+                s.known_rule
+                    && s.has_reason
+                    && (s.rule == f.rule
+                        || RULE_ALIASES
+                            .iter()
+                            .any(|(old, new)| *old == s.rule && *new == f.rule))
+                    && (s.line == f.line || s.line + 1 == f.line)
+            })
+        });
+        if !suppressed {
+            out.push(f);
+        }
+    }
+    out
+}
+
+/// Builds and renders the workspace call graph (`--call-graph`).
+pub fn call_graph_dump(root: &Path) -> std::io::Result<String> {
+    let files = collect_sources(root)?;
+    let ws = symbols::build_workspace(&files);
+    let graph = callgraph::build(&ws);
+    Ok(callgraph::dump(&ws, &graph))
 }
 
 /// Locates the workspace root by walking up from `start` to the first

@@ -1,0 +1,483 @@
+//! Interprocedural lock-order analysis (rule `lock-order`).
+//!
+//! Every `Mutex`/`RwLock`-typed struct field or static in the workspace
+//! is a *lock name*. An acquisition is `recv.lock()` / `.read()` /
+//! `.write()` whose receiver's trailing identifier is a lock name, or a
+//! call to a helper whose name contains `lock` with a lock-named
+//! argument (the workspace's `lock_ignore_poison(&self.jobs)` idiom).
+//!
+//! The analysis builds a directed *acquired-while-holding* graph over
+//! lock names: within one function, a forward walk tracks live guards
+//! using the extractor's scope markers — a `let`-bound guard lives to
+//! the end of its block, a temporary guard (a `for`-loop iterator, a
+//! `match` scrutinee, a lock in the middle of a method chain) dies with
+//! its statement ([`crate::symbols::EventKind::ScopeEnd`]). Explicit
+//! early `drop(g)` is *not* modelled, so guards dropped by hand still
+//! read as held to block end — scope the guard instead. Across
+//! functions, a call made while holding `a` adds `a → l` for every lock
+//! `l` the callee can transitively acquire. A cycle in that graph is a
+//! potential deadlock and is reported once per strongly-connected
+//! component, with one example site per edge.
+//!
+//! Deliberate soundness trade-off: same-name self-edges are ignored.
+//! Sharded locks (`self.shards[i].lock()`) share one field name across
+//! many instances, and the held-until-end approximation cannot tell
+//! sequential re-acquisition from nested re-acquisition — both would be
+//! false positives far more often than real self-deadlocks.
+
+use crate::callgraph::CallGraph;
+use crate::rules::Finding;
+use crate::symbols::{EventKind, Workspace};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One `held → taken` edge with an example site.
+#[derive(Debug, Clone)]
+struct LockEdge {
+    held: String,
+    taken: String,
+    /// `file:line` of the acquisition (or call) made while holding.
+    site: String,
+    file: usize,
+    line: usize,
+}
+
+/// Runs the analysis and returns its findings.
+pub fn check(ws: &Workspace, graph: &CallGraph) -> Vec<Finding> {
+    let lock_names: BTreeSet<&str> = ws.locks.iter().map(|l| l.name.as_str()).collect();
+    if lock_names.is_empty() {
+        return Vec::new();
+    }
+
+    // transitive lock sets: everything a call into `f` may acquire
+    // (scope-insensitive on purpose — a callee can take its locks at
+    // any point while the caller's guard is live)
+    let mut trans: Vec<BTreeSet<String>> = ws
+        .fns
+        .iter()
+        .map(|f| {
+            if f.is_test {
+                return BTreeSet::new();
+            }
+            f.events
+                .iter()
+                .flat_map(|ev| acquired_by(&ev.kind, &lock_names))
+                .collect()
+        })
+        .collect();
+    loop {
+        let mut changed = false;
+        for id in 0..ws.fns.len() {
+            for e in &graph.edges[id] {
+                let callee_locks: Vec<String> = trans[e.callee].iter().cloned().collect();
+                for l in callee_locks {
+                    if trans[id].insert(l) {
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // held-while-taking edges
+    let mut edges: Vec<LockEdge> = Vec::new();
+    let mut push_edge = |held: &str, taken: &str, file: usize, line: usize, ws: &Workspace| {
+        if held != taken {
+            edges.push(LockEdge {
+                held: held.to_string(),
+                taken: taken.to_string(),
+                site: format!("{}:{line}", ws.paths[file]),
+                file,
+                line,
+            });
+        }
+    };
+    for (id, f) in ws.fns.iter().enumerate() {
+        if f.is_test {
+            continue;
+        }
+        // call-site lines → resolved callees, for the via-call edges
+        let mut by_line: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for e in &graph.edges[id] {
+            by_line.entry(e.line).or_default().push(e.callee);
+        }
+        // forward walk with the live-guard set: (lock name, bind depth)
+        let mut held: Vec<(String, usize)> = Vec::new();
+        for ev in &f.events {
+            if matches!(ev.kind, EventKind::ScopeEnd) {
+                held.retain(|(_, d)| *d < ev.depth);
+                continue;
+            }
+            if !matches!(ev.kind, EventKind::Call { .. }) {
+                continue;
+            }
+            // a call made while holding may take the callee's locks
+            if !held.is_empty() {
+                if let Some(callees) = by_line.get(&ev.line) {
+                    for &c in callees {
+                        for taken in &trans[c] {
+                            for (h, _) in &held {
+                                push_edge(h, taken, f.file, ev.line, ws);
+                            }
+                        }
+                    }
+                }
+            }
+            for name in acquired_by(&ev.kind, &lock_names) {
+                for (h, _) in &held {
+                    push_edge(h, &name, f.file, ev.line, ws);
+                }
+                held.push((name, ev.depth));
+            }
+        }
+    }
+
+    // adjacency + one representative site per (held, taken)
+    let mut adj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    let mut sites: BTreeMap<(&str, &str), &LockEdge> = BTreeMap::new();
+    for e in &edges {
+        adj.entry(&e.held).or_default().insert(&e.taken);
+        let key = (e.held.as_str(), e.taken.as_str());
+        let better = sites
+            .get(&key)
+            .map(|old| (e.file, e.line) < (old.file, old.line))
+            .unwrap_or(true);
+        if better {
+            sites.insert(key, e);
+        }
+    }
+
+    // strongly-connected components of ≥ 2 locks are deadlock cycles
+    let mut findings = Vec::new();
+    for scc in sccs(&adj) {
+        if scc.len() < 2 {
+            continue;
+        }
+        let mut detail: Vec<String> = Vec::new();
+        let mut anchor: Option<&LockEdge> = None;
+        for ((h, t), e) in &sites {
+            if scc.contains(h) && scc.contains(t) {
+                detail.push(format!("`{h}` held while taking `{t}` at {}", e.site));
+                let better = anchor
+                    .map(|a| (e.file, e.line) < (a.file, a.line))
+                    .unwrap_or(true);
+                if better {
+                    anchor = Some(e);
+                }
+            }
+        }
+        // an SCC of ≥ 2 nodes always has internal edges, but stay total
+        let Some(anchor) = anchor else { continue };
+        let locks: Vec<String> = scc.iter().map(|l| format!("`{l}`")).collect();
+        findings.push(Finding {
+            rule: "lock-order",
+            path: ws.paths[anchor.file].clone(),
+            line: anchor.line,
+            message: format!(
+                "lock-order cycle between {}: {} — pick one global acquisition order",
+                locks.join(", "),
+                detail.join("; ")
+            ),
+        });
+    }
+    findings
+}
+
+/// Lock names acquired by one event, if any.
+fn acquired_by(kind: &EventKind, lock_names: &BTreeSet<&str>) -> Vec<String> {
+    let EventKind::Call {
+        path,
+        is_method,
+        recv_hint,
+        arg_hints,
+    } = kind
+    else {
+        return Vec::new();
+    };
+    let name = path.last().map(String::as_str).unwrap_or("");
+    if *is_method && matches!(name, "lock" | "read" | "write") {
+        if let Some(last) = recv_hint.last() {
+            if lock_names.contains(last.as_str()) {
+                return vec![last.clone()];
+            }
+        }
+        return Vec::new();
+    }
+    if !is_method && name.contains("lock") {
+        return arg_hints
+            .iter()
+            .filter_map(|h| h.last())
+            .filter(|l| lock_names.contains(l.as_str()))
+            .cloned()
+            .collect();
+    }
+    Vec::new()
+}
+
+/// Kosaraju's algorithm over the lock-name graph (tiny: a handful of
+/// nodes), returning each component as a sorted set.
+fn sccs<'a>(adj: &BTreeMap<&'a str, BTreeSet<&'a str>>) -> Vec<BTreeSet<&'a str>> {
+    let nodes: BTreeSet<&str> = adj
+        .iter()
+        .flat_map(|(k, vs)| std::iter::once(*k).chain(vs.iter().copied()))
+        .collect();
+    let mut order = Vec::new();
+    let mut visited = BTreeSet::new();
+    for &n in &nodes {
+        post_order(n, adj, &mut visited, &mut order);
+    }
+    let mut radj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for (&h, ts) in adj {
+        for &t in ts {
+            radj.entry(t).or_default().insert(h);
+        }
+    }
+    let mut assigned = BTreeSet::new();
+    let mut out = Vec::new();
+    for &n in order.iter().rev() {
+        if assigned.contains(n) {
+            continue;
+        }
+        let mut comp = BTreeSet::new();
+        let mut stack = vec![n];
+        while let Some(v) = stack.pop() {
+            if !assigned.insert(v) {
+                continue;
+            }
+            comp.insert(v);
+            if let Some(prevs) = radj.get(v) {
+                stack.extend(prevs.iter().copied().filter(|p| !assigned.contains(*p)));
+            }
+        }
+        out.push(comp);
+    }
+    out
+}
+
+fn post_order<'a>(
+    n: &'a str,
+    adj: &BTreeMap<&'a str, BTreeSet<&'a str>>,
+    visited: &mut BTreeSet<&'a str>,
+    order: &mut Vec<&'a str>,
+) {
+    if !visited.insert(n) {
+        return;
+    }
+    if let Some(nexts) = adj.get(n) {
+        for &t in nexts {
+            post_order(t, adj, visited, order);
+        }
+    }
+    order.push(n);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph;
+    use crate::symbols::build_workspace;
+
+    fn run(files: &[(&str, &str)]) -> Vec<Finding> {
+        let files: Vec<(String, String)> = files
+            .iter()
+            .map(|(p, t)| (p.to_string(), t.to_string()))
+            .collect();
+        let ws = build_workspace(&files);
+        assert!(ws.parse_errors.is_empty(), "{:?}", ws.parse_errors);
+        let graph = callgraph::build(&ws);
+        check(&ws, &graph)
+    }
+
+    #[test]
+    fn two_fns_taking_two_locks_in_opposite_orders_is_a_cycle() {
+        let fs = run(&[(
+            "crates/demo/src/lib.rs",
+            "use std::sync::Mutex;\n\
+             pub struct S { a: Mutex<u32>, b: Mutex<u32> }\n\
+             impl S {\n\
+                 pub fn fwd(&self) {\n\
+                     let ga = self.a.lock();\n\
+                     let gb = self.b.lock();\n\
+                     drop((ga, gb));\n\
+                 }\n\
+                 pub fn rev(&self) {\n\
+                     let gb = self.b.lock();\n\
+                     let ga = self.a.lock();\n\
+                     drop((ga, gb));\n\
+                 }\n\
+             }\n",
+        )]);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        let f = &fs[0];
+        assert_eq!(f.rule, "lock-order");
+        assert_eq!(f.path, "crates/demo/src/lib.rs");
+        assert_eq!(f.line, 6, "anchored at the first held-while-taking site");
+        assert!(
+            f.message
+                .contains("`a` held while taking `b` at crates/demo/src/lib.rs:6"),
+            "{}",
+            f.message
+        );
+        assert!(
+            f.message
+                .contains("`b` held while taking `a` at crates/demo/src/lib.rs:11"),
+            "{}",
+            f.message
+        );
+    }
+
+    #[test]
+    fn consistent_global_order_is_clean() {
+        let fs = run(&[(
+            "crates/demo/src/lib.rs",
+            "use std::sync::Mutex;\n\
+             pub struct S { a: Mutex<u32>, b: Mutex<u32> }\n\
+             impl S {\n\
+                 pub fn one(&self) { let g = self.a.lock(); let h = self.b.lock(); drop((g, h)); }\n\
+                 pub fn two(&self) { let g = self.a.lock(); let h = self.b.lock(); drop((g, h)); }\n\
+             }\n",
+        )]);
+        assert!(fs.is_empty(), "{fs:?}");
+    }
+
+    #[test]
+    fn cycles_through_a_callee_are_caught() {
+        let fs = run(&[(
+            "crates/demo/src/lib.rs",
+            "use std::sync::Mutex;\n\
+             static A: Mutex<u32> = Mutex::new(0);\n\
+             static B: Mutex<u32> = Mutex::new(0);\n\
+             pub fn fwd() {\n\
+                 let g = A.lock();\n\
+                 takes_b();\n\
+                 drop(g);\n\
+             }\n\
+             fn takes_b() { let g = B.lock(); drop(g); }\n\
+             pub fn rev() {\n\
+                 let g = B.lock();\n\
+                 takes_a();\n\
+                 drop(g);\n\
+             }\n\
+             fn takes_a() { let g = A.lock(); drop(g); }\n",
+        )]);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert!(
+            fs[0].message.contains("`A` held while taking `B`"),
+            "{}",
+            fs[0].message
+        );
+        assert!(
+            fs[0].message.contains("`B` held while taking `A`"),
+            "{}",
+            fs[0].message
+        );
+    }
+
+    #[test]
+    fn helper_based_acquisition_is_seen() {
+        // the workspace's lock_ignore_poison(&self.jobs) idiom
+        let fs = run(&[(
+            "crates/demo/src/lib.rs",
+            "use std::sync::Mutex;\n\
+             pub struct S { jobs: Mutex<u32>, state: Mutex<u32> }\n\
+             impl S {\n\
+                 pub fn fwd(&self) {\n\
+                     let g = lock_ignore_poison(&self.jobs);\n\
+                     let h = lock_ignore_poison(&self.state);\n\
+                     drop((g, h));\n\
+                 }\n\
+                 pub fn rev(&self) {\n\
+                     let h = lock_ignore_poison(&self.state);\n\
+                     let g = lock_ignore_poison(&self.jobs);\n\
+                     drop((g, h));\n\
+                 }\n\
+             }\n",
+        )]);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert!(
+            fs[0]
+                .message
+                .contains("lock-order cycle between `jobs`, `state`"),
+            "{}",
+            fs[0].message
+        );
+    }
+
+    #[test]
+    fn scoped_and_temporary_guards_are_released() {
+        // the ThreadPool::drop shape: a block-scoped guard, then a
+        // for-iterator temporary, then a statement temporary — none of
+        // the three overlaps, so opposite nesting elsewhere is fine
+        let fs = run(&[(
+            "crates/demo/src/lib.rs",
+            "use std::sync::Mutex;\n\
+             pub struct S { jobs: Mutex<u32>, workers: Mutex<Vec<u32>> }\n\
+             impl S {\n\
+                 pub fn shutdown(&self) {\n\
+                     {\n\
+                         let mut g = lock_ignore_poison(&self.jobs);\n\
+                         *g = 1;\n\
+                     }\n\
+                     for w in lock_ignore_poison(&self.workers).drain(..) {\n\
+                         let _ = w;\n\
+                     }\n\
+                     let job = lock_ignore_poison(&self.jobs).pop();\n\
+                     drop(job);\n\
+                 }\n\
+             }\n",
+        )]);
+        assert!(fs.is_empty(), "{fs:?}");
+    }
+
+    #[test]
+    fn block_scoped_guard_still_flags_a_real_nesting() {
+        // sanity: the guard IS live across an acquisition inside its
+        // own block, so a genuine inversion is still reported
+        let fs = run(&[(
+            "crates/demo/src/lib.rs",
+            "use std::sync::Mutex;\n\
+             pub struct S { a: Mutex<u32>, b: Mutex<u32> }\n\
+             impl S {\n\
+                 pub fn fwd(&self) {\n\
+                     let g = self.a.lock();\n\
+                     if true {\n\
+                         let h = self.b.lock();\n\
+                         drop(h);\n\
+                     }\n\
+                     drop(g);\n\
+                 }\n\
+                 pub fn rev(&self) {\n\
+                     let h = self.b.lock();\n\
+                     let g = self.a.lock();\n\
+                     drop((g, h));\n\
+                 }\n\
+             }\n",
+        )]);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert!(
+            fs[0].message.contains("`a` held while taking `b`"),
+            "{}",
+            fs[0].message
+        );
+    }
+
+    #[test]
+    fn same_name_reacquisition_is_not_reported() {
+        // sharded locks share a field name across instances — exempt
+        let fs = run(&[(
+            "crates/demo/src/lib.rs",
+            "use std::sync::Mutex;\n\
+             pub struct S { shards: Vec<Mutex<u32>> }\n\
+             impl S {\n\
+                 pub fn sweep(&self) {\n\
+                     let a = self.shards.lock();\n\
+                     let b = self.shards.lock();\n\
+                     drop((a, b));\n\
+                 }\n\
+             }\n",
+        )]);
+        assert!(fs.is_empty(), "{fs:?}");
+    }
+}

@@ -6,15 +6,24 @@
 //! cargo run -p blob-check -- --write-baseline blob-check-baseline.json
 //! cargo run -p blob-check -- --baseline blob-check-baseline.json
 //! cargo run -p blob-check -- --list-rules
+//! cargo run -p blob-check -- --explain lock-order
+//! cargo run -p blob-check -- --call-graph       # dump the resolved call graph
+//! cargo run -p blob-check -- --max-ms 5000      # fail if the run exceeds a budget
 //! ```
 //!
-//! Exit codes: 0 clean, 1 findings, 2 usage/IO error.
+//! Exit codes: 0 clean, 1 findings, 2 usage/IO error (including a blown
+//! `--max-ms` budget — a checker too slow for CI is an infrastructure
+//! failure, not a lint finding).
 
 use blob_check::{
-    apply_baseline, check_workspace, find_workspace_root, parse_baseline, rules::RULES, to_json,
+    apply_baseline, call_graph_dump, check_workspace, find_workspace_root, parse_baseline,
+    rules::{EXPLAIN, RULES, RULE_ALIASES},
+    to_json,
 };
+use std::io::Write;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Instant;
 
 struct Options {
     json: bool,
@@ -22,6 +31,9 @@ struct Options {
     baseline: Option<PathBuf>,
     write_baseline: Option<PathBuf>,
     list_rules: bool,
+    call_graph: bool,
+    explain: Option<String>,
+    max_ms: Option<u64>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -31,12 +43,24 @@ fn parse_args() -> Result<Options, String> {
         baseline: None,
         write_baseline: None,
         list_rules: false,
+        call_graph: false,
+        explain: None,
+        max_ms: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--json" => opts.json = true,
             "--list-rules" => opts.list_rules = true,
+            "--call-graph" => opts.call_graph = true,
+            "--explain" => opts.explain = Some(args.next().ok_or("--explain needs a rule name")?),
+            "--max-ms" => {
+                let v = args.next().ok_or("--max-ms needs a millisecond budget")?;
+                opts.max_ms = Some(
+                    v.parse::<u64>()
+                        .map_err(|_| format!("--max-ms: `{v}` is not a number"))?,
+                );
+            }
             "--root" => {
                 opts.root = Some(PathBuf::from(
                     args.next().ok_or("--root needs a directory")?,
@@ -51,7 +75,10 @@ fn parse_args() -> Result<Options, String> {
                 ))
             }
             "--help" | "-h" => {
-                return Err("usage: blob-check [--json] [--root DIR] [--baseline FILE] [--write-baseline FILE] [--list-rules]".to_string())
+                return Err("usage: blob-check [--json] [--root DIR] [--baseline FILE] \
+                            [--write-baseline FILE] [--list-rules] [--explain RULE] \
+                            [--call-graph] [--max-ms N]"
+                    .to_string())
             }
             other => return Err(format!("unknown argument `{other}` (try --help)")),
         }
@@ -59,7 +86,41 @@ fn parse_args() -> Result<Options, String> {
     Ok(opts)
 }
 
+/// `--list-rules`: one rule per line, with deprecation notes for aliases.
+fn list_rules() {
+    for r in RULES {
+        match RULE_ALIASES.iter().find(|(_, new)| *new == r) {
+            Some((old, _)) => println!("{r} (supersedes `{old}`; old suppressions still honoured)"),
+            None => println!("{r}"),
+        }
+    }
+}
+
+/// `--explain RULE`: the rule's rationale paragraph. Deprecated aliases
+/// redirect to their successor.
+fn explain(rule: &str) -> ExitCode {
+    let target = RULE_ALIASES
+        .iter()
+        .find(|(old, _)| *old == rule)
+        .map(|(_, new)| *new)
+        .unwrap_or(rule);
+    match EXPLAIN.iter().find(|(r, _)| *r == target) {
+        Some((r, text)) => {
+            if target != rule {
+                println!("`{rule}` is deprecated — superseded by `{r}`.\n");
+            }
+            println!("{r}\n\n{text}");
+            ExitCode::SUCCESS
+        }
+        None => {
+            eprintln!("unknown rule `{rule}` (try --list-rules)");
+            ExitCode::from(2)
+        }
+    }
+}
+
 fn main() -> ExitCode {
+    let started = Instant::now();
     let opts = match parse_args() {
         Ok(o) => o,
         Err(e) => {
@@ -68,10 +129,11 @@ fn main() -> ExitCode {
         }
     };
     if opts.list_rules {
-        for r in RULES {
-            println!("{r}");
-        }
+        list_rules();
         return ExitCode::SUCCESS;
+    }
+    if let Some(rule) = &opts.explain {
+        return explain(rule);
     }
     let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
     let root = match opts.root.or_else(|| find_workspace_root(&cwd)) {
@@ -81,6 +143,19 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if opts.call_graph {
+        return match call_graph_dump(&root) {
+            Ok(text) => {
+                // tolerate a closed pipe (`--call-graph | head`)
+                let _ = writeln!(std::io::stdout(), "{text}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
     let (mut findings, files) = match check_workspace(&root) {
         Ok(r) => r,
         Err(e) => {
@@ -88,7 +163,6 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    findings.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
 
     if let Some(path) = &opts.write_baseline {
         if let Err(e) = std::fs::write(path, to_json(&findings)) {
@@ -112,15 +186,30 @@ fn main() -> ExitCode {
         }
     }
 
+    // findings go through `writeln!` with the error dropped so a closed
+    // pipe (`blob-check --json | head`) ends the output, not the process
+    let mut out = std::io::stdout();
     if opts.json {
-        println!("{}", to_json(&findings));
+        let _ = writeln!(out, "{}", to_json(&findings));
     } else if findings.is_empty() {
-        println!("blob-check: {files} files clean");
+        let _ = writeln!(out, "blob-check: {files} files clean");
     } else {
         for f in &findings {
-            println!("{}:{}: [{}] {}", f.path, f.line, f.rule, f.message);
+            let _ = writeln!(out, "{}:{}: [{}] {}", f.path, f.line, f.rule, f.message);
         }
-        println!("blob-check: {} finding(s) in {files} files", findings.len());
+        let _ = writeln!(
+            out,
+            "blob-check: {} finding(s) in {files} files",
+            findings.len()
+        );
+    }
+    if let Some(budget) = opts.max_ms {
+        let elapsed = started.elapsed().as_millis() as u64;
+        if elapsed > budget {
+            eprintln!("error: run took {elapsed} ms, over the --max-ms {budget} budget");
+            return ExitCode::from(2);
+        }
+        eprintln!("blob-check: {elapsed} ms (budget {budget} ms)");
     }
     if findings.is_empty() {
         ExitCode::SUCCESS

@@ -1,0 +1,351 @@
+//! Interprocedural panic-reachability (rule `panic-reachability`).
+//!
+//! A *panic source* is any syntactic construct that can unwind:
+//! `.unwrap()`, `.expect(…)`, the panicking macros, slice/array indexing,
+//! and integer division by a non-constant divisor (see
+//! [`crate::symbols::SourceKind`]). The analysis propagates "can this
+//! function unwind?" bottom-up over the workspace call graph, cutting
+//! every edge and event that sits behind a `catch_unwind` boundary.
+//!
+//! Two kinds of site are protected:
+//!
+//! 1. **Infrastructure roots** — the serve accept/worker loops, the pool
+//!    worker loop and job body, and every closure handed to
+//!    `std::thread::spawn` in `pool.rs`/`server.rs`. An uncontained
+//!    unwind there kills a worker thread or the whole process, which is
+//!    exactly what the self-healing plane exists to prevent.
+//! 2. **Service/driver binaries** (the old lexical `no-unwrap-in-serve`
+//!    scope, which this analysis subsumes): any *direct*
+//!    unwrap/expect/panic in `crates/serve`/`crates/cli` binary code.
+//!
+//! Findings anchor to a line in the protected function itself — the
+//! escaping call or the panic source — so a suppression comment can sit
+//! on the exact edge being accepted, with the full call chain and the
+//! ultimate source spelled out in the message.
+
+use crate::callgraph::CallGraph;
+use crate::rules::{classify, Finding};
+use crate::symbols::{EventKind, SourceKind, Workspace};
+use std::collections::HashSet;
+
+/// `(file path, fn name, human description)` for the protected
+/// infrastructure roots.
+const PROTECTED: [(&str, &str, &str); 5] = [
+    (
+        "crates/blas/src/pool.rs",
+        "worker_loop",
+        "the pool worker loop",
+    ),
+    ("crates/blas/src/pool.rs", "run_job", "the pool job body"),
+    (
+        "crates/serve/src/server.rs",
+        "worker_loop",
+        "the serve worker loop",
+    ),
+    (
+        "crates/serve/src/server.rs",
+        "accept_loop",
+        "the serve accept loop",
+    ),
+    (
+        "crates/serve/src/server.rs",
+        "serve_connection",
+        "the serve connection handler",
+    ),
+];
+
+/// Why a function can unwind: a direct source or a call to an
+/// unwind-capable callee. Used to reconstruct one witness chain.
+#[derive(Debug, Clone)]
+enum Cause {
+    Source { line: usize, what: String },
+    Call { callee: usize },
+}
+
+/// Runs the analysis and returns its findings.
+pub fn check(ws: &Workspace, graph: &CallGraph) -> Vec<Finding> {
+    let cause = fixpoint(ws, graph);
+    let mut findings = Vec::new();
+
+    // 1. infrastructure roots
+    for (id, f) in ws.fns.iter().enumerate() {
+        if f.is_test {
+            continue;
+        }
+        let path = ws.path_of(f);
+        let desc = PROTECTED
+            .iter()
+            .find(|(p, n, _)| *p == path && *n == f.name)
+            .map(|(_, _, d)| *d)
+            .or_else(|| {
+                (f.is_spawn_body && (path.ends_with("/pool.rs") || path.ends_with("/server.rs")))
+                    .then_some("a spawned supervisor thread")
+            });
+        let Some(desc) = desc else { continue };
+        let mut seen: HashSet<usize> = HashSet::new();
+        // direct sources in the root body
+        for ev in &f.events {
+            if ev.in_catch {
+                continue;
+            }
+            if let EventKind::Source { what, .. } = &ev.kind {
+                if seen.insert(ev.line) {
+                    findings.push(Finding {
+                        rule: "panic-reachability",
+                        path: path.to_string(),
+                        line: ev.line,
+                        message: format!(
+                            "{what} in {desc} (`{}`) outside any `catch_unwind` — \
+                             an unwind here kills the thread; contain it or suppress with a reason",
+                            f.name
+                        ),
+                    });
+                }
+            }
+        }
+        // calls from the root body that can transitively unwind
+        for e in &graph.edges[id] {
+            if e.in_catch || cause[e.callee].is_none() || !seen.insert(e.line) {
+                continue;
+            }
+            let (chain, source) = witness(ws, &cause, e.callee);
+            findings.push(Finding {
+                rule: "panic-reachability",
+                path: path.to_string(),
+                line: e.line,
+                message: format!(
+                    "a panic can reach {desc} (`{}`) outside any `catch_unwind`: \
+                     {} → {chain} — {source}; contain the call or suppress with a reason",
+                    f.name, f.name
+                ),
+            });
+        }
+    }
+
+    // 2. service/driver binaries: direct sources, the old
+    //    no-unwrap-in-serve scope
+    for f in &ws.fns {
+        let path = ws.path_of(f);
+        let class = classify(path);
+        let serve_scope = !class.is_lib
+            && !class.is_test_like
+            && (path.starts_with("crates/serve/") || path.starts_with("crates/cli/"));
+        if !serve_scope || f.is_test {
+            continue;
+        }
+        for ev in &f.events {
+            if ev.in_catch {
+                continue;
+            }
+            let EventKind::Source { kind, what } = &ev.kind else {
+                continue;
+            };
+            // indexing/division in driver code is accepted — this arm
+            // keeps exactly the old lexical rule's unwrap/expect/panic
+            // scope so existing suppressions stay meaningful
+            if matches!(kind, SourceKind::Index | SourceKind::Div) {
+                continue;
+            }
+            findings.push(Finding {
+                rule: "panic-reachability",
+                path: path.to_string(),
+                line: ev.line,
+                message: format!(
+                    "{what} in service/driver code — report the error and exit cleanly instead"
+                ),
+            });
+        }
+    }
+
+    findings
+}
+
+/// Bottom-up "can unwind" fixpoint with witness causes.
+fn fixpoint(ws: &Workspace, graph: &CallGraph) -> Vec<Option<Cause>> {
+    let mut cause: Vec<Option<Cause>> = ws
+        .fns
+        .iter()
+        .map(|f| {
+            if f.is_test {
+                return None;
+            }
+            f.events.iter().find_map(|ev| match &ev.kind {
+                EventKind::Source { what, .. } if !ev.in_catch => Some(Cause::Source {
+                    line: ev.line,
+                    what: what.clone(),
+                }),
+                _ => None,
+            })
+        })
+        .collect();
+    loop {
+        let mut changed = false;
+        for id in 0..ws.fns.len() {
+            if cause[id].is_some() || ws.fns[id].is_test {
+                continue;
+            }
+            for e in &graph.edges[id] {
+                if !e.in_catch && cause[e.callee].is_some() {
+                    cause[id] = Some(Cause::Call { callee: e.callee });
+                    changed = true;
+                    break;
+                }
+            }
+        }
+        if !changed {
+            return cause;
+        }
+    }
+}
+
+/// Follows witness causes from `start` to a concrete source, returning
+/// `(call chain text, "source at file:line" text)`.
+fn witness(ws: &Workspace, cause: &[Option<Cause>], start: usize) -> (String, String) {
+    let mut names = vec![ws.display(start)];
+    let mut at = start;
+    for _ in 0..8 {
+        match &cause[at] {
+            Some(Cause::Source { line, what }) => {
+                return (
+                    names.join(" → "),
+                    format!("{what} at {}:{line}", ws.paths[ws.fns[at].file]),
+                );
+            }
+            Some(Cause::Call { callee }) => {
+                at = *callee;
+                names.push(ws.display(at));
+            }
+            None => break,
+        }
+    }
+    (
+        names.join(" → "),
+        "a panic source deeper in the chain".to_string(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph;
+    use crate::symbols::build_workspace;
+
+    fn run(files: &[(&str, &str)]) -> Vec<Finding> {
+        let files: Vec<(String, String)> = files
+            .iter()
+            .map(|(p, t)| (p.to_string(), t.to_string()))
+            .collect();
+        let ws = build_workspace(&files);
+        assert!(ws.parse_errors.is_empty(), "{:?}", ws.parse_errors);
+        let graph = callgraph::build(&ws);
+        check(&ws, &graph)
+    }
+
+    #[test]
+    fn unguarded_transitive_panic_reaches_the_worker_loop() {
+        let fs = run(&[(
+            "crates/blas/src/pool.rs",
+            "pub fn worker_loop() {\n\
+                 step();\n\
+             }\n\
+             fn step() { deep(); }\n\
+             fn deep() { helper_config().unwrap(); }\n\
+             fn helper_config() -> Option<u32> { None }\n",
+        )]);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        let f = &fs[0];
+        assert_eq!(f.rule, "panic-reachability");
+        assert_eq!(f.path, "crates/blas/src/pool.rs");
+        assert_eq!(f.line, 2, "anchored at the escaping call in the root");
+        assert!(
+            f.message.contains("worker_loop → pool::step → pool::deep"),
+            "{}",
+            f.message
+        );
+        assert!(
+            f.message
+                .contains("`.unwrap()` at crates/blas/src/pool.rs:5"),
+            "{}",
+            f.message
+        );
+    }
+
+    #[test]
+    fn catch_unwind_cuts_the_path() {
+        let fs = run(&[(
+            "crates/blas/src/pool.rs",
+            "pub fn worker_loop() {\n\
+                 let _ = catch_unwind(AssertUnwindSafe(|| step()));\n\
+             }\n\
+             fn step() { x.unwrap(); }\n",
+        )]);
+        assert!(fs.is_empty(), "{fs:?}");
+    }
+
+    #[test]
+    fn unprotected_fns_are_not_roots() {
+        let fs = run(&[(
+            "crates/blas/src/gemm.rs",
+            "pub fn gemm(c: &mut [f64], i: usize) { c[i] = 0.0; }\n",
+        )]);
+        assert!(
+            fs.is_empty(),
+            "indexing in a plain kernel fn is not a root: {fs:?}"
+        );
+    }
+
+    #[test]
+    fn spawned_threads_in_server_are_roots() {
+        let fs = run(&[(
+            "crates/serve/src/server.rs",
+            "pub fn start() {\n\
+                 std::thread::spawn(move || {\n\
+                     tick().expect(\"tick\");\n\
+                 });\n\
+             }\n\
+             fn tick() -> Result<(), ()> { Ok(()) }\n",
+        )]);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert_eq!(fs[0].line, 3);
+        assert!(
+            fs[0].message.contains("spawned supervisor thread"),
+            "{}",
+            fs[0].message
+        );
+    }
+
+    #[test]
+    fn serve_binary_direct_sources_are_flagged() {
+        let fs = run(&[(
+            "crates/cli/src/main.rs",
+            "fn main() {\n\
+                 let cfg = std::env::args().nth(1).unwrap();\n\
+                 let n: usize = cfg.parse().unwrap_or(0);\n\
+                 drop(n);\n\
+             }\n",
+        )]);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert_eq!(fs[0].line, 2);
+        assert!(
+            fs[0].message.contains("service/driver"),
+            "{}",
+            fs[0].message
+        );
+    }
+
+    #[test]
+    fn integer_division_counts_as_a_source_for_roots() {
+        let fs = run(&[(
+            "crates/serve/src/server.rs",
+            "pub fn worker_loop(n: usize, d: usize) {\n\
+                 let _ = n / d;\n\
+             }\n",
+        )]);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert!(
+            fs[0].message.contains("non-constant divisor"),
+            "{}",
+            fs[0].message
+        );
+    }
+}

@@ -1,0 +1,1391 @@
+//! Recursive-descent parser from the [`crate::lexer`] token stream to the
+//! [`crate::ast`] nodes.
+//!
+//! The grammar covers the Rust subset this workspace actually uses and is
+//! exact about the things the interprocedural analyses depend on: item
+//! structure, function bodies, blocks, closures, `match`, calls, method
+//! calls, indexing, paths, and macro invocations. Three things are
+//! *opaque by design*, mirroring Rust's own grammar where possible:
+//!
+//! - **generics** are skipped as balanced `<…>` token runs (turbofish
+//!   included),
+//! - **patterns and types** are consumed as balanced token runs,
+//! - **macro interiors** are token trees (exactly as in `rustc`); the
+//!   parser additionally recovers a comma-separated expression list from
+//!   them when one parses, so `format!("{}", x.unwrap())` still exposes
+//!   the `unwrap` to the analyses.
+//!
+//! There is no panic-and-recover or lexical fallback: a file either
+//! parses into an AST or returns a [`ParseError`] with the offending
+//! line, and the parse-coverage gate requires every workspace file to
+//! take the first path.
+
+use crate::ast::{Block, Expr, FieldDecl, File, FnDecl, Item, ItemKind, Stmt};
+use crate::lexer::{lex, Token, TokenKind};
+
+/// A parse failure: the file is outside the supported grammar.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line the parser gave up on.
+    pub line: usize,
+    /// What the parser expected or could not model.
+    pub msg: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+/// Parses source text straight to a [`File`].
+pub fn parse_source(src: &str) -> Result<File, ParseError> {
+    parse_file(&lex(src))
+}
+
+/// Parses a lexed token stream to a [`File`]. Comment tokens are ignored
+/// (suppressions and `SAFETY:` comments are read from the raw stream by
+/// the lexical layer).
+pub fn parse_file(tokens: &[Token]) -> Result<File, ParseError> {
+    let code: Vec<&Token> = tokens
+        .iter()
+        .filter(|t| {
+            !matches!(
+                t.kind,
+                TokenKind::LineComment | TokenKind::BlockComment | TokenKind::DocComment
+            )
+        })
+        .collect();
+    let mut p = P { t: code, pos: 0 };
+    let items = p.parse_items(None)?;
+    Ok(File { items })
+}
+
+/// Keywords that begin an item in statement position.
+const ITEM_STARTERS: [&str; 12] = [
+    "use",
+    "fn",
+    "struct",
+    "enum",
+    "trait",
+    "impl",
+    "mod",
+    "static",
+    "type",
+    "macro_rules",
+    "extern",
+    "union",
+];
+
+/// Infix operator token texts (precedence is irrelevant to the
+/// analyses, so binaries chain left-associatively).
+const BINOPS: [&str; 28] = [
+    "+", "-", "*", "/", "%", "==", "!=", "<", ">", "<=", ">=", "&&", "||", "&", "|", "^", "<<",
+    ">>", "=", "+=", "-=", "*=", "/=", "<<=", ">>=", "|=", "..", "..=",
+];
+
+struct P<'a> {
+    t: Vec<&'a Token>,
+    pos: usize,
+}
+
+impl<'a> P<'a> {
+    fn peek(&self) -> Option<&'a Token> {
+        self.t.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<&'a Token> {
+        self.t.get(self.pos + off).copied()
+    }
+
+    fn text(&self) -> &str {
+        self.peek().map(|t| t.text.as_str()).unwrap_or("")
+    }
+
+    fn text_at(&self, off: usize) -> &str {
+        self.peek_at(off).map(|t| t.text.as_str()).unwrap_or("")
+    }
+
+    fn line(&self) -> usize {
+        self.peek()
+            .or_else(|| self.t.last().copied())
+            .map(|t| t.line)
+            .unwrap_or(0)
+    }
+
+    fn bump(&mut self) -> Option<&'a Token> {
+        let t = self.peek();
+        self.pos += 1;
+        t
+    }
+
+    fn eat(&mut self, text: &str) -> bool {
+        if self.text() == text {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn want(&mut self, text: &str, ctx: &str) -> Result<(), ParseError> {
+        if self.eat(text) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{text}` {ctx}, found `{}`", self.text())))
+        }
+    }
+
+    fn err(&self, msg: String) -> ParseError {
+        ParseError {
+            line: self.line(),
+            msg,
+        }
+    }
+
+    fn at_ident(&self) -> bool {
+        self.peek()
+            .map(|t| t.kind == TokenKind::Ident)
+            .unwrap_or(false)
+    }
+
+    /// Consumes one identifier token and returns its text.
+    fn ident(&mut self, ctx: &str) -> Result<String, ParseError> {
+        if self.at_ident() {
+            Ok(self.bump().map(|t| t.text.clone()).unwrap_or_default())
+        } else {
+            Err(self.err(format!(
+                "expected identifier {ctx}, found `{}`",
+                self.text()
+            )))
+        }
+    }
+
+    /// Skips a balanced `<…>` generics run, the `<` not yet consumed.
+    /// `>>`/`<<` count twice; `(){}[]` nest opaquely inside.
+    fn skip_angles(&mut self) -> Result<(), ParseError> {
+        self.want("<", "to open generics")?;
+        let mut depth: i32 = 1;
+        while depth > 0 {
+            match self.text() {
+                "" => return Err(self.err("unclosed `<…>` generics".to_string())),
+                "<" => depth += 1,
+                "<<" => depth += 2,
+                ">" => depth -= 1,
+                ">>" => depth -= 2,
+                "(" | "{" | "[" => {
+                    self.skip_delimited()?;
+                    continue;
+                }
+                _ => {}
+            }
+            self.pos += 1;
+        }
+        Ok(())
+    }
+
+    /// Skips one balanced `(…)`/`[…]`/`{…}` group, the opener under the
+    /// cursor.
+    fn skip_delimited(&mut self) -> Result<(), ParseError> {
+        let close = match self.text() {
+            "(" => ")",
+            "[" => "]",
+            "{" => "}",
+            other => return Err(self.err(format!("expected a delimiter, found `{other}`"))),
+        };
+        let open = self.bump().map(|t| t.text.clone()).unwrap_or_default();
+        while self.peek().is_some() {
+            match self.text() {
+                "(" | "[" | "{" => self.skip_delimited()?,
+                t if t == close => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                _ => {
+                    self.pos += 1;
+                }
+            }
+        }
+        Err(self.err(format!("unclosed `{open}`")))
+    }
+
+    /// Consumes a balanced token run until one of `stops` appears at
+    /// delimiter depth 0, returning the run's text. Angles are tracked
+    /// when `angles` is set (type/generic positions), left alone
+    /// otherwise (pattern positions, where `<` is rare but `a < b` guard
+    /// comparisons are real).
+    fn soup_until(&mut self, stops: &[&str], angles: bool) -> Result<String, ParseError> {
+        let mut out = String::new();
+        let mut angle: i32 = 0;
+        loop {
+            let txt = self.text();
+            if txt.is_empty() {
+                return Err(self.err(format!("ran out of input looking for one of {stops:?}")));
+            }
+            if angle == 0 && stops.contains(&txt) {
+                return Ok(out);
+            }
+            match txt {
+                "(" | "[" | "{" => {
+                    let before = self.pos;
+                    self.skip_delimited()?;
+                    for t in &self.t[before..self.pos] {
+                        if !out.is_empty() {
+                            out.push(' ');
+                        }
+                        out.push_str(&t.text);
+                    }
+                    continue;
+                }
+                "<" if angles => angle += 1,
+                "<<" if angles => angle += 2,
+                ">" if angles && angle > 0 => angle -= 1,
+                ">>" if angles && angle > 0 => angle -= 2,
+                _ => {}
+            }
+            if !out.is_empty() {
+                out.push(' ');
+            }
+            out.push_str(txt);
+            self.pos += 1;
+        }
+    }
+
+    // ----- attributes ---------------------------------------------------
+
+    /// Skips `#[…]` outer and `#![…]` inner attributes, returning the
+    /// outer attribute texts (delimiters stripped, tokens joined).
+    fn attrs(&mut self) -> Result<Vec<String>, ParseError> {
+        let mut out = Vec::new();
+        while self.text() == "#" {
+            let inner = self.text_at(1) == "!";
+            self.pos += if inner { 2 } else { 1 };
+            if self.text() != "[" {
+                return Err(self.err("expected `[` after `#`".to_string()));
+            }
+            let before = self.pos;
+            self.skip_delimited()?;
+            if !inner {
+                let text: String = self.t[before + 1..self.pos - 1]
+                    .iter()
+                    .map(|t| t.text.as_str())
+                    .collect();
+                out.push(text);
+            }
+        }
+        Ok(out)
+    }
+
+    // ----- items --------------------------------------------------------
+
+    /// Parses items until `terminator` (or end of input).
+    fn parse_items(&mut self, terminator: Option<&str>) -> Result<Vec<Item>, ParseError> {
+        let mut items = Vec::new();
+        loop {
+            while self.eat(";") {}
+            match (self.peek(), terminator) {
+                (None, None) => return Ok(items),
+                (None, Some(t)) => return Err(self.err(format!("expected `{t}`, found end"))),
+                (Some(tok), Some(t)) if tok.text == t => return Ok(items),
+                _ => {}
+            }
+            items.push(self.parse_item()?);
+        }
+    }
+
+    fn parse_item(&mut self) -> Result<Item, ParseError> {
+        let attrs = self.attrs()?;
+        let line = self.line();
+        let mut vis_pub = false;
+        if self.eat("pub") {
+            if self.text() == "(" {
+                self.skip_delimited()?;
+            } else {
+                vis_pub = true;
+            }
+        }
+        let mut is_unsafe = false;
+        loop {
+            match self.text() {
+                "unsafe" => {
+                    is_unsafe = true;
+                    self.pos += 1;
+                }
+                "const" if self.text_at(1) == "fn" => {
+                    self.pos += 1;
+                }
+                "async" => {
+                    self.pos += 1;
+                }
+                "extern"
+                    if self
+                        .peek_at(1)
+                        .map(|t| t.kind == TokenKind::Str)
+                        .unwrap_or(false) =>
+                {
+                    self.pos += 2;
+                }
+                _ => break,
+            }
+        }
+        let kind = match self.text() {
+            "use" => {
+                self.pos += 1;
+                self.soup_until(&[";"], false)?;
+                self.want(";", "after `use`")?;
+                ItemKind::Use
+            }
+            "extern" if self.text_at(1) == "crate" => {
+                self.soup_until(&[";"], false)?;
+                self.want(";", "after `extern crate`")?;
+                ItemKind::ExternCrate
+            }
+            "mod" => {
+                self.pos += 1;
+                let name = self.ident("after `mod`")?;
+                if self.eat(";") {
+                    ItemKind::Mod { name, items: None }
+                } else {
+                    self.want("{", "to open `mod`")?;
+                    let items = self.parse_items(Some("}"))?;
+                    self.want("}", "to close `mod`")?;
+                    ItemKind::Mod {
+                        name,
+                        items: Some(items),
+                    }
+                }
+            }
+            "fn" => ItemKind::Fn(self.parse_fn(is_unsafe)?),
+            "struct" | "union" => {
+                let is_union = self.text() == "union";
+                self.pos += 1;
+                let name = self.ident("after `struct`")?;
+                if self.text() == "<" {
+                    self.skip_angles()?;
+                }
+                let mut fields = Vec::new();
+                if self.text() == "(" {
+                    // tuple struct
+                    self.skip_delimited()?;
+                    self.soup_until(&[";"], true)?;
+                    self.want(";", "after tuple struct")?;
+                } else if self.eat(";") {
+                    // unit struct
+                } else {
+                    self.soup_until(&["{"], true)?; // where clause
+                    self.want("{", "to open fields")?;
+                    while !self.eat("}") {
+                        self.attrs()?;
+                        let fline = self.line();
+                        if self.eat("pub") && self.text() == "(" {
+                            self.skip_delimited()?;
+                        }
+                        let fname = self.ident("as field name")?;
+                        self.want(":", "after field name")?;
+                        let ty = self.soup_until(&[",", "}"], true)?;
+                        fields.push(FieldDecl {
+                            name: fname,
+                            ty,
+                            line: fline,
+                        });
+                        self.eat(",");
+                    }
+                }
+                if is_union {
+                    ItemKind::Union { name, fields }
+                } else {
+                    ItemKind::Struct { name, fields }
+                }
+            }
+            "enum" => {
+                self.pos += 1;
+                let name = self.ident("after `enum`")?;
+                if self.text() == "<" {
+                    self.skip_angles()?;
+                }
+                self.soup_until(&["{"], true)?;
+                self.skip_delimited()?;
+                ItemKind::Enum { name }
+            }
+            "trait" => {
+                self.pos += 1;
+                let name = self.ident("after `trait`")?;
+                if self.text() == "<" {
+                    self.skip_angles()?;
+                }
+                self.soup_until(&["{"], true)?; // supertraits + where
+                self.want("{", "to open trait")?;
+                let items = self.parse_items(Some("}"))?;
+                self.want("}", "to close trait")?;
+                ItemKind::Trait { name, items }
+            }
+            "impl" => {
+                self.pos += 1;
+                if self.text() == "<" {
+                    self.skip_angles()?;
+                }
+                let head = self.soup_until(&["{"], true)?;
+                self.want("{", "to open impl")?;
+                let items = self.parse_items(Some("}"))?;
+                self.want("}", "to close impl")?;
+                let (trait_name, type_part) = match head.split_once(" for ") {
+                    Some((t, ty)) => (last_type_name(t), ty.to_string()),
+                    None => (None, head),
+                };
+                let type_name = last_type_name(&type_part).unwrap_or_default();
+                ItemKind::Impl {
+                    type_name,
+                    trait_name,
+                    items,
+                }
+            }
+            "const" | "static" => {
+                let is_const = self.text() == "const";
+                self.pos += 1;
+                self.eat("mut");
+                let name = if self.text() == "_" {
+                    self.pos += 1;
+                    "_".to_string()
+                } else {
+                    self.ident("after `const`/`static`")?
+                };
+                self.want(":", "after const/static name")?;
+                let ty = self.soup_until(&["=", ";"], true)?;
+                let init = if self.eat("=") {
+                    Some(self.parse_expr(false)?)
+                } else {
+                    None
+                };
+                self.want(";", "after const/static")?;
+                if is_const {
+                    ItemKind::Const { name, ty, init }
+                } else {
+                    ItemKind::Static { name, ty, init }
+                }
+            }
+            "type" => {
+                self.pos += 1;
+                let name = self.ident("after `type`")?;
+                self.soup_until(&[";"], true)?;
+                self.want(";", "after type alias")?;
+                ItemKind::TypeAlias { name }
+            }
+            "macro_rules" => {
+                self.pos += 1;
+                self.want("!", "after `macro_rules`")?;
+                let name = self.ident("as macro name")?;
+                self.skip_delimited()?;
+                ItemKind::MacroDef { name }
+            }
+            _ if self.at_ident()
+                && (self.text_at(1) == "!"
+                    || (self.text_at(1) == "::" && self.is_macro_path())) =>
+            {
+                // item-position macro invocation, e.g. `thread_local! { … }`
+                let (path, _) = self.parse_path_segs()?;
+                self.want("!", "after macro path")?;
+                let name = path.last().cloned().unwrap_or_default();
+                let brace = self.text() == "{";
+                let before = self.pos;
+                self.skip_delimited()?;
+                let inner: Vec<&Token> = self.t[before + 1..self.pos - 1].to_vec();
+                if !brace {
+                    self.eat(";");
+                }
+                let mut sub = P {
+                    t: inner.clone(),
+                    pos: 0,
+                };
+                let items = sub.parse_items(None).ok();
+                let exprs = if items.is_none() {
+                    let mut sub = P { t: inner, pos: 0 };
+                    sub.parse_expr_list_all().unwrap_or_default()
+                } else {
+                    Vec::new()
+                };
+                ItemKind::MacroItem { name, items, exprs }
+            }
+            other => {
+                return Err(self.err(format!("expected an item, found `{other}`")));
+            }
+        };
+        Ok(Item {
+            line,
+            vis_pub,
+            attrs,
+            kind,
+        })
+    }
+
+    /// True when the cursor sits on `seg :: … :: name !` (macro path).
+    fn is_macro_path(&self) -> bool {
+        let mut off = 0;
+        loop {
+            if self
+                .peek_at(off)
+                .map(|t| t.kind != TokenKind::Ident)
+                .unwrap_or(true)
+            {
+                return false;
+            }
+            match self.text_at(off + 1) {
+                "!" => return true,
+                "::" => off += 2,
+                _ => return false,
+            }
+        }
+    }
+
+    fn parse_fn(&mut self, is_unsafe: bool) -> Result<FnDecl, ParseError> {
+        let line = self.line();
+        self.want("fn", "to start a function")?;
+        let name = self.ident("as function name")?;
+        if self.text() == "<" {
+            self.skip_angles()?;
+        }
+        if self.text() != "(" {
+            return Err(self.err(format!("expected `(` after `fn {name}`")));
+        }
+        self.skip_delimited()?; // parameters (patterns + types, opaque)
+        if self.eat("->") {
+            self.soup_until(&["{", ";", "where"], true)?;
+        }
+        if self.text() == "where" {
+            self.soup_until(&["{", ";"], true)?;
+        }
+        let body = if self.eat(";") {
+            None
+        } else {
+            Some(self.parse_block()?)
+        };
+        Ok(FnDecl {
+            name,
+            line,
+            is_unsafe,
+            body,
+        })
+    }
+
+    // ----- statements ---------------------------------------------------
+
+    fn parse_block(&mut self) -> Result<Block, ParseError> {
+        let line = self.line();
+        self.want("{", "to open a block")?;
+        let mut stmts = Vec::new();
+        loop {
+            while self.eat(";") {}
+            if self.eat("}") {
+                return Ok(Block { line, stmts });
+            }
+            if self.peek().is_none() {
+                return Err(self.err("unclosed block".to_string()));
+            }
+            stmts.push(self.parse_stmt()?);
+        }
+    }
+
+    fn parse_stmt(&mut self) -> Result<Stmt, ParseError> {
+        if self.text() == "let" {
+            return self.parse_let();
+        }
+        // item in statement position?
+        let is_item = match self.text() {
+            "pub" => true,
+            "unsafe" => matches!(self.text_at(1), "fn" | "impl" | "trait"),
+            "const" => {
+                self.peek_at(1)
+                    .map(|t| t.kind == TokenKind::Ident)
+                    .unwrap_or(false)
+                    && self.text_at(1) != "fn"
+                    || self.text_at(1) == "fn"
+            }
+            "union" => {
+                self.peek_at(1)
+                    .map(|t| t.kind == TokenKind::Ident)
+                    .unwrap_or(false)
+                    && self.text_at(2) == "{"
+            }
+            "type" => self
+                .peek_at(1)
+                .map(|t| t.kind == TokenKind::Ident)
+                .unwrap_or(false),
+            "#" => true,
+            t => ITEM_STARTERS.contains(&t) && t != "union" && t != "type",
+        };
+        if is_item {
+            return Ok(Stmt::Item(self.parse_item()?));
+        }
+        let e = self.parse_expr(false)?;
+        self.eat(";");
+        Ok(Stmt::Expr(e))
+    }
+
+    fn parse_let(&mut self) -> Result<Stmt, ParseError> {
+        let line = self.line();
+        self.want("let", "to start a binding")?;
+        // pattern (+ optional type ascription), opaque
+        self.soup_until(&["=", ";", "else"], true)?;
+        let init = if self.eat("=") {
+            Some(self.parse_expr(false)?)
+        } else {
+            None
+        };
+        let else_block = if self.eat("else") {
+            Some(self.parse_block()?)
+        } else {
+            None
+        };
+        self.eat(";");
+        Ok(Stmt::Let {
+            init,
+            else_block,
+            line,
+        })
+    }
+
+    // ----- expressions --------------------------------------------------
+
+    fn parse_expr(&mut self, no_struct: bool) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_prefix(no_struct)?;
+        loop {
+            let txt = self.text();
+            if txt == "as" {
+                self.pos += 1;
+                let ty = self.soup_until(
+                    &[
+                        ";", ",", ")", "]", "}", "{", "=>", "?", ".", "==", "!=", "&&", "||", "+",
+                        "-", "/", "%", ">", ">=", "<=", "<<", ">>", "..", "..=", "=",
+                    ],
+                    true,
+                )?;
+                lhs = Expr::Cast {
+                    expr: Box::new(lhs),
+                    ty,
+                };
+                lhs = self.parse_postfix(lhs)?;
+                continue;
+            }
+            let (op, extra) = match txt {
+                "%" | "^" | "&" if self.text_at(1) == "=" => (format!("{txt}="), 1),
+                t if BINOPS.contains(&t) => (t.to_string(), 0),
+                _ => break,
+            };
+            let line = self.line();
+            self.pos += 1 + extra;
+            // open-ended range: `1..` before `)]};,=` or `{` of a loop body
+            if (op == ".." || op == "..=") && self.range_has_no_rhs(no_struct) {
+                lhs = Expr::Binary {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: None,
+                    line,
+                };
+                continue;
+            }
+            let rhs = self.parse_prefix(no_struct)?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Some(Box::new(rhs)),
+                line,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn range_has_no_rhs(&self, no_struct: bool) -> bool {
+        matches!(self.text(), ")" | "]" | "}" | "," | ";" | "=>" | "")
+            || (no_struct && self.text() == "{")
+    }
+
+    fn parse_prefix(&mut self, no_struct: bool) -> Result<Expr, ParseError> {
+        let tok = match self.peek() {
+            Some(t) => t,
+            None => return Err(self.err("expected an expression, found end".to_string())),
+        };
+        match (tok.kind, tok.text.as_str()) {
+            (TokenKind::Num | TokenKind::Str | TokenKind::Char, _) => {
+                let e = Expr::Lit {
+                    text: tok.text.clone(),
+                    line: tok.line,
+                };
+                self.pos += 1;
+                self.parse_postfix(e)
+            }
+            (TokenKind::Lifetime, _) if self.text_at(1) == ":" => {
+                // loop label
+                self.pos += 2;
+                self.parse_prefix(no_struct)
+            }
+            (_, "&") | (_, "&&") => {
+                self.pos += 1;
+                self.eat("mut");
+                let inner = self.parse_prefix(no_struct)?;
+                Ok(Expr::Unary {
+                    expr: Box::new(inner),
+                })
+            }
+            (_, "*") | (_, "-") | (_, "!") => {
+                self.pos += 1;
+                let inner = self.parse_prefix(no_struct)?;
+                Ok(Expr::Unary {
+                    expr: Box::new(inner),
+                })
+            }
+            (_, "..") | (_, "..=") => {
+                let line = tok.line;
+                let op = tok.text.clone();
+                self.pos += 1;
+                let rhs = if self.range_has_no_rhs(no_struct) {
+                    None
+                } else {
+                    Some(Box::new(self.parse_prefix(no_struct)?))
+                };
+                Ok(Expr::Binary {
+                    op,
+                    lhs: Box::new(Expr::Opaque),
+                    rhs,
+                    line,
+                })
+            }
+            (_, "#") => {
+                // expression-position attribute (e.g. on an array element)
+                self.attrs()?;
+                self.parse_prefix(no_struct)
+            }
+            (_, "move") => {
+                self.pos += 1;
+                self.parse_closure()
+            }
+            (_, "|") | (_, "||") => self.parse_closure(),
+            (_, "if") => self.parse_if(),
+            (_, "while") => {
+                self.pos += 1;
+                let cond = if self.eat("let") {
+                    self.soup_until(&["="], false)?;
+                    self.want("=", "in `while let`")?;
+                    self.parse_expr(true)?
+                } else {
+                    self.parse_expr(true)?
+                };
+                let body = self.parse_block()?;
+                Ok(Expr::While {
+                    cond: Box::new(cond),
+                    body,
+                })
+            }
+            (_, "for") => {
+                self.pos += 1;
+                self.soup_until(&["in"], false)?;
+                self.want("in", "in `for`")?;
+                let iter = self.parse_expr(true)?;
+                let body = self.parse_block()?;
+                Ok(Expr::For {
+                    iter: Box::new(iter),
+                    body,
+                })
+            }
+            (_, "loop") => {
+                self.pos += 1;
+                let body = self.parse_block()?;
+                Ok(Expr::Loop { body })
+            }
+            (_, "match") => {
+                let line = tok.line;
+                self.pos += 1;
+                let scrutinee = self.parse_expr(true)?;
+                self.want("{", "to open `match`")?;
+                let mut arms = Vec::new();
+                loop {
+                    while self.eat(",") {}
+                    if self.eat("}") {
+                        break;
+                    }
+                    self.attrs()?;
+                    self.soup_until(&["=>"], false)?;
+                    self.want("=>", "after match pattern")?;
+                    arms.push(self.parse_expr(false)?);
+                }
+                Ok(Expr::Match {
+                    scrutinee: Box::new(scrutinee),
+                    arms,
+                    line,
+                })
+            }
+            (_, "unsafe") => {
+                self.pos += 1;
+                let b = self.parse_block()?;
+                let e = Expr::Unsafe(b);
+                self.parse_postfix(e)
+            }
+            (_, "const") if self.text_at(1) == "{" => {
+                // inline-const block: `const { Cell::new(false) }`
+                self.pos += 1;
+                let b = self.parse_block()?;
+                Ok(Expr::Block(b))
+            }
+            (_, "return") => {
+                self.pos += 1;
+                let value = if self.expr_follows() {
+                    Some(Box::new(self.parse_expr(no_struct)?))
+                } else {
+                    None
+                };
+                Ok(Expr::Return { value })
+            }
+            (_, "break") => {
+                self.pos += 1;
+                if self
+                    .peek()
+                    .map(|t| t.kind == TokenKind::Lifetime)
+                    .unwrap_or(false)
+                {
+                    self.pos += 1;
+                }
+                let value = if self.expr_follows() {
+                    Some(Box::new(self.parse_expr(no_struct)?))
+                } else {
+                    None
+                };
+                Ok(Expr::Break { value })
+            }
+            (_, "continue") => {
+                self.pos += 1;
+                if self
+                    .peek()
+                    .map(|t| t.kind == TokenKind::Lifetime)
+                    .unwrap_or(false)
+                {
+                    self.pos += 1;
+                }
+                Ok(Expr::Continue)
+            }
+            (_, "{") => {
+                let b = self.parse_block()?;
+                self.parse_postfix(Expr::Block(b))
+            }
+            (_, "(") => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                while !self.eat(")") {
+                    items.push(self.parse_expr(false)?);
+                    if !self.eat(",") {
+                        self.want(")", "to close a parenthesised expression")?;
+                        break;
+                    }
+                }
+                self.parse_postfix(Expr::Tuple { items })
+            }
+            (_, "[") => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                while !self.eat("]") {
+                    items.push(self.parse_expr(false)?);
+                    if !self.eat(",") && !self.eat(";") {
+                        self.want("]", "to close an array literal")?;
+                        break;
+                    }
+                }
+                self.parse_postfix(Expr::Array { items })
+            }
+            (_, "<") => {
+                // qualified path: `<T as Trait>::method(…)`
+                let line = tok.line;
+                self.skip_angles()?;
+                let mut segs = vec!["<qualified>".to_string()];
+                while self.eat("::") {
+                    if self.text() == "<" {
+                        self.skip_angles()?;
+                    } else {
+                        segs.push(self.ident("in qualified path")?);
+                    }
+                }
+                self.parse_postfix(Expr::Path { segs, line })
+            }
+            (TokenKind::Ident, "_") => {
+                self.pos += 1;
+                self.parse_postfix(Expr::Opaque)
+            }
+            (TokenKind::Ident, _) => self.parse_path_expr(no_struct),
+            (_, other) => Err(self.err(format!("expected an expression, found `{other}`"))),
+        }
+    }
+
+    /// True when the next token can begin an expression (for optional
+    /// `return`/`break` values).
+    fn expr_follows(&self) -> bool {
+        match self.peek() {
+            None => false,
+            Some(t) => !matches!(t.text.as_str(), ";" | "}" | ")" | "]" | "," | "=>"),
+        }
+    }
+
+    fn parse_closure(&mut self) -> Result<Expr, ParseError> {
+        let line = self.line();
+        if !self.eat("||") {
+            self.want("|", "to open closure parameters")?;
+            // parameters: patterns + types, opaque, until the closing `|`
+            loop {
+                match self.text() {
+                    "" => return Err(self.err("unclosed closure parameters".to_string())),
+                    "|" => {
+                        self.pos += 1;
+                        break;
+                    }
+                    "(" | "[" | "{" => self.skip_delimited()?,
+                    "<" => self.skip_angles()?,
+                    _ => self.pos += 1,
+                }
+            }
+        }
+        if self.eat("->") {
+            self.soup_until(&["{"], true)?;
+        }
+        let body = self.parse_expr(false)?;
+        Ok(Expr::Closure {
+            body: Box::new(body),
+            line,
+        })
+    }
+
+    fn parse_if(&mut self) -> Result<Expr, ParseError> {
+        self.want("if", "to start `if`")?;
+        let cond = if self.eat("let") {
+            self.soup_until(&["="], false)?;
+            self.want("=", "in `if let`")?;
+            self.parse_expr(true)?
+        } else {
+            self.parse_expr(true)?
+        };
+        let then = self.parse_block()?;
+        let else_ = if self.eat("else") {
+            if self.text() == "if" {
+                Some(Box::new(self.parse_if()?))
+            } else {
+                Some(Box::new(Expr::Block(self.parse_block()?)))
+            }
+        } else {
+            None
+        };
+        Ok(Expr::If {
+            cond: Box::new(cond),
+            then,
+            else_,
+        })
+    }
+
+    /// Parses `seg(::seg)*`, skipping turbofish generics; returns the
+    /// segments and the line of the first.
+    fn parse_path_segs(&mut self) -> Result<(Vec<String>, usize), ParseError> {
+        let line = self.line();
+        let mut segs = vec![self.ident("to start a path")?];
+        while self.text() == "::" {
+            if self.text_at(1) == "<" {
+                self.pos += 1;
+                self.skip_angles()?;
+            } else if self
+                .peek_at(1)
+                .map(|t| t.kind == TokenKind::Ident)
+                .unwrap_or(false)
+            {
+                self.pos += 1;
+                segs.push(self.ident("in path")?);
+            } else {
+                break;
+            }
+        }
+        Ok((segs, line))
+    }
+
+    fn parse_path_expr(&mut self, no_struct: bool) -> Result<Expr, ParseError> {
+        let (segs, line) = self.parse_path_segs()?;
+        // macro invocation
+        if self.text() == "!" && matches!(self.text_at(1), "(" | "[" | "{") {
+            self.pos += 1;
+            let before = self.pos;
+            self.skip_delimited()?;
+            let inner: Vec<&Token> = self.t[before + 1..self.pos - 1].to_vec();
+            let mut sub = P {
+                t: inner.clone(),
+                pos: 0,
+            };
+            let args = sub.parse_expr_list_all();
+            let (args, raw) = match args {
+                Some(list) => (list, Vec::new()),
+                None => (
+                    Vec::new(),
+                    inner.iter().map(|t| (t.text.clone(), t.line)).collect(),
+                ),
+            };
+            let e = Expr::Macro {
+                path: segs,
+                args,
+                raw,
+                line,
+            };
+            return self.parse_postfix(e);
+        }
+        // struct literal
+        if self.text() == "{" && !no_struct {
+            self.pos += 1;
+            let mut fields = Vec::new();
+            loop {
+                while self.eat(",") {}
+                if self.eat("}") {
+                    break;
+                }
+                self.attrs()?;
+                if self.text() == ".." {
+                    self.pos += 1;
+                    if !matches!(self.text(), "}" | ",") {
+                        fields.push(self.parse_expr(false)?);
+                    }
+                    continue;
+                }
+                if self.at_ident() && matches!(self.text_at(1), ":") {
+                    self.pos += 2;
+                    fields.push(self.parse_expr(false)?);
+                } else {
+                    // shorthand field
+                    fields.push(self.parse_expr(false)?);
+                }
+            }
+            let e = Expr::StructLit {
+                path: segs,
+                fields,
+                line,
+            };
+            return self.parse_postfix(e);
+        }
+        self.parse_postfix(Expr::Path { segs, line })
+    }
+
+    fn parse_postfix(&mut self, mut e: Expr) -> Result<Expr, ParseError> {
+        loop {
+            match self.text() {
+                "." => {
+                    let name_tok = self.peek_at(1);
+                    match name_tok {
+                        Some(t) if t.kind == TokenKind::Ident => {
+                            let name = t.text.clone();
+                            let mline = t.line;
+                            self.pos += 2;
+                            // turbofish method generics
+                            if self.text() == "::" && self.text_at(1) == "<" {
+                                self.pos += 1;
+                                self.skip_angles()?;
+                            }
+                            if self.text() == "(" {
+                                let args = self.parse_call_args()?;
+                                e = Expr::MethodCall {
+                                    recv: Box::new(e),
+                                    name,
+                                    args,
+                                    line: mline,
+                                };
+                            } else {
+                                e = Expr::Field {
+                                    recv: Box::new(e),
+                                    name,
+                                };
+                            }
+                        }
+                        Some(t) if t.kind == TokenKind::Num => {
+                            // tuple index `.0` (possibly `.0.1` lexed as `.0.1`? the
+                            // lexer folds `0.1` — split back into two accesses)
+                            let name = t.text.clone();
+                            self.pos += 2;
+                            for part in name.split('.') {
+                                e = Expr::Field {
+                                    recv: Box::new(e),
+                                    name: part.to_string(),
+                                };
+                            }
+                        }
+                        _ => return Err(self.err("expected a name after `.`".to_string())),
+                    }
+                }
+                "(" => {
+                    let line = self.line();
+                    let args = self.parse_call_args()?;
+                    e = Expr::Call {
+                        callee: Box::new(e),
+                        args,
+                        line,
+                    };
+                }
+                "[" => {
+                    let line = self.line();
+                    self.pos += 1;
+                    let index = self.parse_expr(false)?;
+                    self.want("]", "to close indexing")?;
+                    e = Expr::Index {
+                        recv: Box::new(e),
+                        index: Box::new(index),
+                        line,
+                    };
+                }
+                "?" => {
+                    self.pos += 1;
+                    e = Expr::Try { expr: Box::new(e) };
+                }
+                _ => return Ok(e),
+            }
+        }
+    }
+
+    fn parse_call_args(&mut self) -> Result<Vec<Expr>, ParseError> {
+        self.want("(", "to open arguments")?;
+        let mut args = Vec::new();
+        loop {
+            while self.eat(",") {}
+            if self.eat(")") {
+                return Ok(args);
+            }
+            args.push(self.parse_expr(false)?);
+            if !self.eat(",") {
+                self.want(")", "to close arguments")?;
+                return Ok(args);
+            }
+        }
+    }
+
+    /// Parses the whole remaining input as a comma-separated expression
+    /// list; `None` when any part fails or input remains (used for macro
+    /// interiors, where failure falls back to the raw token scan).
+    fn parse_expr_list_all(&mut self) -> Option<Vec<Expr>> {
+        let mut out = Vec::new();
+        loop {
+            while self.eat(",") {}
+            if self.peek().is_none() {
+                return Some(out);
+            }
+            match self.parse_expr(false) {
+                Ok(e) => out.push(e),
+                Err(_) => return None,
+            }
+            if !self.eat(",") && self.peek().is_some() {
+                return None;
+            }
+        }
+    }
+}
+
+/// Extracts the `Self`-type name from an impl-head type string: the last
+/// plain identifier before any generic arguments (`ApiError` from
+/// `From < SchemaError > for ApiError`, `Server` from `Server`).
+fn last_type_name(soup: &str) -> Option<String> {
+    let mut depth = 0i32;
+    let mut name = None;
+    for tok in soup.split_whitespace() {
+        match tok {
+            "<" => depth += 1,
+            "<<" => depth += 2,
+            ">" => depth -= 1,
+            ">>" => depth -= 2,
+            t if depth == 0 && t.chars().all(|c| c.is_alphanumeric() || c == '_') => {
+                if t.chars().next().map(|c| c.is_alphabetic() || c == '_') == Some(true) {
+                    name = Some(t.to_string());
+                }
+            }
+            _ => {}
+        }
+    }
+    name
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{walk_block, ItemKind};
+
+    fn parse_ok(src: &str) -> File {
+        match parse_source(src) {
+            Ok(f) => f,
+            Err(e) => panic!("parse failed: {e}\nsource:\n{src}"),
+        }
+    }
+
+    fn fn_names(file: &File) -> Vec<String> {
+        let mut out = Vec::new();
+        fn rec(items: &[Item], out: &mut Vec<String>) {
+            for it in items {
+                match &it.kind {
+                    ItemKind::Fn(f) => out.push(f.name.clone()),
+                    ItemKind::Impl { items, .. }
+                    | ItemKind::Trait { items, .. }
+                    | ItemKind::Mod {
+                        items: Some(items), ..
+                    } => rec(items, out),
+                    _ => {}
+                }
+            }
+        }
+        rec(&file.items, &mut out);
+        out
+    }
+
+    #[test]
+    fn parses_items_and_nested_fns() {
+        let f = parse_ok(
+            "use std::sync::Mutex;\n\
+             pub struct S { pub x: u32, y: Mutex<Vec<u8>> }\n\
+             impl S {\n    pub fn get(&self) -> u32 { self.x }\n}\n\
+             mod inner { pub fn helper() {} }\n\
+             pub enum E { A, B(u32) }\n\
+             pub trait T { fn req(&self); fn def(&self) -> u32 { 1 } }\n",
+        );
+        assert_eq!(fn_names(&f), ["get", "helper", "req", "def"]);
+        let ItemKind::Struct { name, fields } = &f.items[1].kind else {
+            panic!("expected struct");
+        };
+        assert_eq!(name, "S");
+        assert_eq!(fields.len(), 2);
+        assert!(fields[1].ty.contains("Mutex"));
+    }
+
+    #[test]
+    fn impl_head_names_resolve() {
+        let f = parse_ok(
+            "impl From<SchemaError> for ApiError { fn from(e: SchemaError) -> Self { todo!() } }",
+        );
+        let ItemKind::Impl {
+            type_name,
+            trait_name,
+            ..
+        } = &f.items[0].kind
+        else {
+            panic!("expected impl");
+        };
+        assert_eq!(type_name, "ApiError");
+        assert_eq!(trait_name.as_deref(), Some("From"));
+    }
+
+    #[test]
+    fn expression_forms_round_trip() {
+        let src = r#"
+fn f(xs: &[u32]) -> u32 {
+    let a = xs[0] + xs.len() as u32;
+    let b: Vec<u32> = xs.iter().map(|x| x * 2).collect::<Vec<_>>();
+    let c = if a > 1 { a } else { b[0] };
+    let d = match c {
+        0 => 1,
+        n if n < 10 => n,
+        _ => c / 2,
+    };
+    for i in 0..d {
+        println!("{}", i);
+    }
+    'outer: loop {
+        break 'outer;
+    }
+    S { x: 1, ..Default::default() };
+    (a, b.len() as u32, d).0
+}
+"#;
+        let f = parse_ok(src);
+        assert_eq!(fn_names(&f), ["f"]);
+        // the method calls and index expressions are visible to a walker
+        let ItemKind::Fn(decl) = &f.items[0].kind else {
+            panic!("expected fn");
+        };
+        let mut methods = Vec::new();
+        let mut indexes = 0;
+        walk_block(decl.body.as_ref().unwrap(), &mut |e| match e {
+            Expr::MethodCall { name, .. } => methods.push(name.clone()),
+            Expr::Index { .. } => indexes += 1,
+            _ => {}
+        });
+        assert!(methods.contains(&"len".to_string()));
+        assert!(methods.contains(&"collect".to_string()));
+        assert!(indexes >= 2, "found {indexes} index exprs");
+    }
+
+    #[test]
+    fn closures_and_macros_expose_interiors() {
+        let src = r#"
+fn g(v: Vec<u32>) {
+    let h = move || v.first().unwrap();
+    std::thread::spawn(|| {
+        format!("{}", h());
+    });
+    assert_eq!(v.len(), compute(v[0]));
+    thread_local! { static X: Cell<bool> = const { Cell::new(false) }; }
+}
+"#;
+        let f = parse_ok(src);
+        let ItemKind::Fn(decl) = &f.items[0].kind else {
+            panic!("expected fn");
+        };
+        let mut unwraps = 0;
+        let mut calls = Vec::new();
+        walk_block(decl.body.as_ref().unwrap(), &mut |e| match e {
+            Expr::MethodCall { name, .. } if name == "unwrap" => unwraps += 1,
+            Expr::Call { callee, .. } => {
+                if let Expr::Path { segs, .. } = callee.as_ref() {
+                    calls.push(segs.join("::"));
+                }
+            }
+            _ => {}
+        });
+        assert_eq!(unwraps, 1);
+        assert!(calls.iter().any(|c| c.ends_with("spawn")), "{calls:?}");
+        assert!(calls.contains(&"compute".to_string()), "{calls:?}");
+    }
+
+    #[test]
+    fn let_else_and_while_let_parse() {
+        let src = "fn f(x: Option<u32>) -> u32 {\n\
+            let Some(v) = x else { return 0; };\n\
+            while let Some(n) = next() { use_it(n); }\n\
+            if let Ok(y) = parse(v) { y } else { v }\n\
+        }";
+        parse_ok(src);
+    }
+
+    #[test]
+    fn qualified_paths_and_generics_skip() {
+        let src = "fn f() -> usize {\n\
+            let x = <f64 as Scalar>::BYTES;\n\
+            let y: HashMap<TypeId, Box<dyn Any>> = HashMap::new();\n\
+            Vec::<Vec<u8>>::with_capacity(x) . len ( )\n\
+        }";
+        parse_ok(src);
+    }
+
+    #[test]
+    fn unparseable_macro_interiors_keep_raw_tokens() {
+        // `0; n` is not a comma-separated expression list, so the macro
+        // interior stays a raw token tree (as in Rust's own grammar)
+        let src = "fn f(n: usize) -> Vec<u8> { vec![0; n] }";
+        let f = parse_ok(src);
+        let ItemKind::Fn(decl) = &f.items[0].kind else {
+            panic!("expected fn");
+        };
+        let mut raw_len = 0;
+        walk_block(decl.body.as_ref().unwrap(), &mut |e| {
+            if let Expr::Macro { raw, .. } = e {
+                raw_len = raw.len();
+            }
+        });
+        assert!(raw_len > 0, "matches! interior should stay raw");
+    }
+
+    #[test]
+    fn reports_line_of_a_real_syntax_error() {
+        let err = parse_source("fn f() {\n    let = ;\n}").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn item_macros_with_item_bodies_parse_as_items() {
+        let src = "thread_local! {\n    static BUF: RefCell<Vec<u8>> = RefCell::new(Vec::new());\n}\nmacro_rules! m { ($t:ty) => { impl X for $t {} }; }\nm!(f32);\n";
+        let f = parse_ok(src);
+        let ItemKind::MacroItem { name, items, .. } = &f.items[0].kind else {
+            panic!("expected macro item, got {:?}", f.items[0].kind);
+        };
+        assert_eq!(name, "thread_local");
+        assert!(items.is_some());
+        assert!(matches!(&f.items[1].kind, ItemKind::MacroDef { name } if name == "m"));
+    }
+}

@@ -22,8 +22,13 @@ pub struct Finding {
 }
 
 /// All rule identifiers, for `--list-rules` and suppression validation.
-pub const RULES: [&str; 9] = [
+///
+/// `no-unwrap-in-serve` is a deprecated alias: the lexical rule was
+/// subsumed by the interprocedural `panic-reachability` analysis, and a
+/// suppression naming the old rule still silences the new findings.
+pub const RULES: [&str; 14] = [
     "no-unsafe",
+    "unsafe-needs-safety-comment",
     "no-unwrap-in-lib",
     "no-unwrap-in-serve",
     "no-float-eq",
@@ -31,7 +36,120 @@ pub const RULES: [&str; 9] = [
     "contract-guard",
     "no-adhoc-scope",
     "no-raw-error-body",
+    "panic-reachability",
+    "lock-order",
+    "atomic-ordering",
+    "parse-coverage",
     "suppression",
+];
+
+/// Deprecated rule → the analysis that replaced it. A suppression naming
+/// the old rule also silences findings of the new one.
+pub const RULE_ALIASES: [(&str, &str); 1] = [("no-unwrap-in-serve", "panic-reachability")];
+
+/// One paragraph per rule for `--explain <rule>`.
+pub const EXPLAIN: [(&str, &str); 14] = [
+    (
+        "no-unsafe",
+        "Fires on any `unsafe` token, everywhere (tests included). The workspace is a \
+         from-scratch numeric stack whose whole value is being auditable; a single unsafe \
+         block reopens every aliasing/validity question the design closed. If an unsafe \
+         site is ever justified, suppress it with a reason AND satisfy \
+         `unsafe-needs-safety-comment`.",
+    ),
+    (
+        "unsafe-needs-safety-comment",
+        "Every `unsafe` occurrence must have a `// SAFETY: …` comment on the same line or \
+         within the two lines above (attributes may sit between). The comment states the \
+         invariant that makes the block sound — the reviewer's checklist, not a waiver. \
+         This rule complements `no-unsafe`: suppressing the ban does not waive the \
+         obligation to write the proof down.",
+    ),
+    (
+        "no-unwrap-in-lib",
+        "Library code (any `src/` file that is not a binary) must not `.unwrap()`, \
+         `.expect(…)`, or `panic!`: libraries return typed errors and let callers decide. \
+         `#[cfg(test)]` regions and test-like files are exempt.",
+    ),
+    (
+        "no-unwrap-in-serve",
+        "DEPRECATED alias of `panic-reachability`. The old lexical rule flagged \
+         unwrap/expect/panic in serve/cli binary files; the call-graph analysis now covers \
+         those same sites (and everything reachable from the worker loops). Existing \
+         `allow(no-unwrap-in-serve)` suppressions remain valid and apply to \
+         `panic-reachability` findings on the same lines.",
+    ),
+    (
+        "no-float-eq",
+        "In kernel/model library code (blob-blas, blob-sim), `==`/`!=` against a float \
+         literal is almost always a tolerance bug. Configured sentinels compared \
+         bit-exactly are the legitimate exception — suppress with the reason spelled out.",
+    ),
+    (
+        "pub-item-docs",
+        "Public items and fields in the numeric core crates (blob-blas, blob-sim, \
+         blob-core) need doc comments: these crates are the workspace's API surface and \
+         `cargo doc` is the contract of record.",
+    ),
+    (
+        "contract-guard",
+        "Public kernel entry points must validate their call contract (dimensions, \
+         leading strides) before the first slice index, directly or by delegating to a \
+         function that does. Catches the 'index first, validate later' refactor hazard.",
+    ),
+    (
+        "no-adhoc-scope",
+        "`std::thread::scope` outside `pool.rs` reintroduces per-call spawns and dodges \
+         the pool's crossover/panic/perturbation machinery. All parallelism dispatches \
+         through `blob_blas::pool`.",
+    ),
+    (
+        "no-raw-error-body",
+        "Serve error responses must go through `envelope::error_response` so every error \
+         carries the uniform JSON envelope and trace header. Hand-built \
+         `Response::json(4xx/5xx, …)` bodies fork the wire contract.",
+    ),
+    (
+        "panic-reachability",
+        "Interprocedural: a panic source (`.unwrap()`, `.expect(…)`, panicking macros, \
+         slice indexing, integer division with a non-constant divisor) must not be \
+         reachable from a protected root — the serve accept/worker loops, the pool worker \
+         loop and job body, or a `std::thread::spawn` closure in pool.rs/server.rs — \
+         without crossing a `catch_unwind` boundary. Also flags direct unwrap/expect/panic \
+         in serve/cli binaries (subsuming the old `no-unwrap-in-serve`). Findings anchor \
+         to the escaping call in the root so a suppression sits on the exact edge being \
+         accepted; the message spells out the call chain and the ultimate source.",
+    ),
+    (
+        "lock-order",
+        "Interprocedural: builds the 'acquired-while-holding' graph over every \
+         Mutex/RwLock field or static (acquisitions seen through `.lock()/.read()/\
+         .write()` and lock-helper calls, propagated over the call graph) and rejects \
+         cycles — two code paths taking the same pair of locks in opposite orders is a \
+         deadlock waiting for the right interleaving. Same-name self-edges are exempt \
+         (sharded locks share one field name across instances).",
+    ),
+    (
+        "atomic-ordering",
+        "Every `Ordering::Relaxed` access to an atomic that is elsewhere accessed with a \
+         stronger ordering — or that lives in pool.rs/server.rs shutdown and liveness \
+         paths — must carry a `// relaxed: <why>` comment on the same line or the line \
+         above. Mixed orderings are where unsynchronised reads silently race with \
+         release/acquire protocols; the comment is the proof obligation.",
+    ),
+    (
+        "parse-coverage",
+        "Self-gate for the analysis engine: every workspace `.rs` file must parse into \
+         the blob-check AST. A file that falls back out of the grammar is invisible to \
+         the interprocedural analyses, so the fix is to extend the parser — never to \
+         baseline the finding.",
+    ),
+    (
+        "suppression",
+        "Suppression comments (`// blob-check: allow(rule): reason`) are themselves \
+         checked: naming an unknown rule or omitting the reason is a finding. The reason \
+         is the audit trail that lets a future reader re-evaluate the exception.",
+    ),
 ];
 
 /// What kind of code a file holds, derived from its repo-relative path.
@@ -145,11 +263,11 @@ fn is_comment(t: &Token) -> bool {
 
 /// A parsed suppression comment (see [`suppressions`] for the syntax).
 #[derive(Debug, Clone)]
-struct Suppression {
-    rule: String,
-    line: usize,
-    has_reason: bool,
-    known_rule: bool,
+pub(crate) struct Suppression {
+    pub(crate) rule: String,
+    pub(crate) line: usize,
+    pub(crate) has_reason: bool,
+    pub(crate) known_rule: bool,
 }
 
 /// Extracts suppressions from comment tokens. Syntax, anywhere in a line
@@ -161,13 +279,27 @@ struct Suppression {
 ///
 /// The reason after the closing `)` and `:` is mandatory; a bare
 /// suppression is itself reported (rule `suppression`).
-fn suppressions(tokens: &[Token]) -> Vec<Suppression> {
+pub(crate) fn suppressions(tokens: &[Token]) -> Vec<Suppression> {
+    suppressions_from(
+        tokens
+            .iter()
+            .filter(|t| is_comment(t))
+            .map(|t| (t.line, t.text.as_str())),
+    )
+}
+
+/// [`suppressions`] over pre-extracted `(line, text)` comment pairs, so
+/// the deep analyses can reuse the comments the symbol index already
+/// collected instead of re-lexing.
+pub(crate) fn suppressions_from<'a>(
+    comments: impl Iterator<Item = (usize, &'a str)>,
+) -> Vec<Suppression> {
     let mut out = Vec::new();
-    for t in tokens.iter().filter(|t| is_comment(t)) {
-        let Some(at) = t.text.find("blob-check:") else {
+    for (line, text) in comments {
+        let Some(at) = text.find("blob-check:") else {
             continue;
         };
-        let rest = t.text[at + "blob-check:".len()..].trim_start();
+        let rest = text[at + "blob-check:".len()..].trim_start();
         let Some(args) = rest.strip_prefix("allow(") else {
             continue;
         };
@@ -182,7 +314,7 @@ fn suppressions(tokens: &[Token]) -> Vec<Suppression> {
         out.push(Suppression {
             known_rule: RULES.contains(&rule.as_str()),
             rule,
-            line: t.line,
+            line,
             has_reason: !tail.is_empty(),
         });
     }
@@ -474,43 +606,33 @@ pub fn check_file(path: &str, text: &str, ctx: &Context) -> Vec<Finding> {
         }
     }
 
-    // --- no-unwrap-in-serve: service/driver binaries must not panic ------
-    // The serve and cli crates' *library* files are already policed by
-    // `no-unwrap-in-lib`; this rule extends the same pattern to their
-    // binary files (`main.rs`, `src/bin/…`), which that rule skips. A
-    // panic there takes down the long-running advisor service or aborts a
-    // sweep mid-run, so availability depends on handling the error. The
-    // scopes are disjoint (`is_lib` vs not), so a site is never reported
-    // by both rules.
-    let serve_scope = !class.is_lib
-        && !class.is_test_like
-        && (path.starts_with("crates/serve/") || path.starts_with("crates/cli/"));
-    if serve_scope {
-        for (i, t) in code.iter().enumerate() {
-            if in_regions(t.line, &test_regions) || t.kind != TokenKind::Ident {
-                continue;
-            }
-            let prev_dot = i > 0 && code[i - 1].text == ".";
-            let next = |o: usize| code.get(i + o).map(|t| t.text.as_str());
-            let hit = match t.text.as_str() {
-                "unwrap" | "expect" if prev_dot && next(1) == Some("(") => Some(format!(
-                    "`.{}()` in service/driver code — report the error and exit cleanly instead",
-                    t.text
-                )),
-                "panic" if next(1) == Some("!") => Some(
-                    "`panic!` in service/driver code — report the error and exit cleanly instead"
-                        .to_string(),
-                ),
-                _ => None,
-            };
-            if let Some(message) = hit {
-                findings.push(Finding {
-                    rule: "no-unwrap-in-serve",
-                    path: path.to_string(),
-                    line: t.line,
-                    message,
-                });
-            }
+    // (The lexical `no-unwrap-in-serve` rule that lived here was subsumed
+    // by the interprocedural `panic-reachability` analysis — see
+    // `crate::panics`. The rule id survives as a suppression alias.)
+
+    // --- unsafe-needs-safety-comment: unsafe sites document soundness ----
+    // Complements `no-unsafe`: even a *suppressed* unsafe block must state
+    // the invariant that makes it sound. A `// SAFETY: …` comment on the
+    // same line or within the two lines above (attributes may intervene)
+    // satisfies the rule. Applies everywhere `no-unsafe` does, tests
+    // included.
+    for t in &code {
+        if t.kind != TokenKind::Ident || t.text != "unsafe" {
+            continue;
+        }
+        let documented = tokens.iter().filter(|c| is_comment(c)).any(|c| {
+            let end = c.line + c.text.matches('\n').count();
+            c.line <= t.line && end + 2 >= t.line && c.text.contains("SAFETY:")
+        });
+        if !documented {
+            findings.push(Finding {
+                rule: "unsafe-needs-safety-comment",
+                path: path.to_string(),
+                line: t.line,
+                message: "`unsafe` without a `// SAFETY: …` comment stating the invariant \
+                          that makes it sound"
+                    .to_string(),
+            });
         }
     }
 
@@ -821,8 +943,10 @@ mod tests {
             "fn f() { unsafe { } }",
             &Context::default(),
         );
-        assert_eq!(f.len(), 1);
-        assert_eq!(f[0].rule, "no-unsafe");
+        // the ban fires, and so does the missing-SAFETY-comment companion
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().any(|f| f.rule == "no-unsafe"));
+        assert!(f.iter().any(|f| f.rule == "unsafe-needs-safety-comment"));
     }
 
     #[test]
@@ -858,37 +982,61 @@ mod tests {
     }
 
     #[test]
-    fn unwrap_in_serve_driver_binaries_flagged_once() {
+    fn lexical_serve_rule_is_retired_in_favour_of_the_analysis() {
+        // the old per-file rule no longer fires — `panic-reachability`
+        // (crate::panics) covers serve/cli binaries interprocedurally
         let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }";
-        // cli binary: the new rule fires, the lib rule does not
         let f = check_file("crates/cli/src/main.rs", src, &Context::default());
-        assert_eq!(f.len(), 1, "{f:?}");
-        assert_eq!(f[0].rule, "no-unwrap-in-serve");
-        // serve *library* file: only the lib rule fires — never both
-        let f = check_file("crates/serve/src/api.rs", src, &Context::default());
-        assert_eq!(f.len(), 1, "{f:?}");
-        assert_eq!(f[0].rule, "no-unwrap-in-lib");
-        // serve/cli tests are exempt, like everywhere else
-        let f = check_file("crates/serve/tests/chaos.rs", src, &Context::default());
-        assert!(f.is_empty(), "{f:?}");
-        // binaries of other crates are out of scope for this rule
-        let f = check_file("crates/bench/src/bin/fig2.rs", src, &Context::default());
         assert!(f.iter().all(|f| f.rule != "no-unwrap-in-serve"), "{f:?}");
-        // panic! and .expect() in a driver binary are the same violation
-        let f = check_file(
-            "crates/cli/src/main.rs",
-            "fn f() { x.expect(\"boom\"); panic!(\"no\"); }",
-            &Context::default(),
-        );
-        assert_eq!(f.len(), 2, "{f:?}");
-        assert!(f.iter().all(|f| f.rule == "no-unwrap-in-serve"));
+        // …but the rule id stays valid for suppressions (alias), so a
+        // comment naming it is not an "unknown rule" finding
+        let sup = "// blob-check: allow(no-unwrap-in-serve): startup precondition\nfn f() {}";
+        let f = check_file("crates/cli/src/main.rs", sup, &Context::default());
+        assert!(f.is_empty(), "{f:?}");
     }
 
     #[test]
-    fn unwrap_in_serve_suppressible_with_reason() {
-        let src = "fn f(x: Option<u32>) -> u32 {\n    // blob-check: allow(no-unwrap-in-serve): startup precondition\n    x.unwrap()\n}";
-        let f = check_file("crates/cli/src/main.rs", src, &Context::default());
-        assert!(f.is_empty(), "{f:?}");
+    fn unsafe_without_safety_comment_is_flagged_alongside_no_unsafe() {
+        let src = "fn f(p: *const u8) -> u8 { unsafe { *p } }";
+        let f = check_lib(src);
+        assert!(f.iter().any(|f| f.rule == "no-unsafe"), "{f:?}");
+        assert!(
+            f.iter().any(|f| f.rule == "unsafe-needs-safety-comment"),
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn safety_comment_satisfies_the_comment_rule_but_not_the_ban() {
+        let src = "fn f(p: *const u8) -> u8 {\n\
+                   \x20   // SAFETY: caller guarantees p is valid for reads\n\
+                   \x20   unsafe { *p }\n\
+                   }";
+        let f = check_lib(src);
+        assert!(
+            f.iter().all(|f| f.rule != "unsafe-needs-safety-comment"),
+            "{f:?}"
+        );
+        assert!(
+            f.iter().any(|f| f.rule == "no-unsafe"),
+            "documented ≠ allowed: {f:?}"
+        );
+        // an attribute between the comment and the item is fine
+        let gap = "// SAFETY: zeroed bytes are a valid Header\n\
+                   #[inline]\n\
+                   unsafe fn cast() {}";
+        let f = check_lib(gap);
+        assert!(
+            f.iter().all(|f| f.rule != "unsafe-needs-safety-comment"),
+            "{f:?}"
+        );
+        // a SAFETY comment three or more lines up is too far to bind
+        let far = "// SAFETY: stale\n\nfn pad() {}\nfn f() { unsafe {} }";
+        let f = check_lib(far);
+        assert!(
+            f.iter().any(|f| f.rule == "unsafe-needs-safety-comment"),
+            "{f:?}"
+        );
     }
 
     #[test]

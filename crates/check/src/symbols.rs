@@ -1,0 +1,919 @@
+//! The workspace-wide symbol index: every function (free, method, trait
+//! default, nested) with the per-function *facts* the interprocedural
+//! analyses consume — calls made, panic sources contained, atomic
+//! accesses, and lock-shaped declarations.
+//!
+//! Extraction is one traversal per function body. Three context bits are
+//! tracked during the walk and stamped onto every event:
+//!
+//! - **`in_catch`** — the event sits inside the argument of a
+//!   `catch_unwind(…)` call, i.e. behind an unwind boundary;
+//! - **test scope** — the enclosing item (or file) is test-only, which
+//!   excludes the function from the analyses entirely;
+//! - **spawned bodies** — a closure passed to `std::thread::spawn`
+//!   becomes its *own* synthetic function (`parent::<spawn@line>`),
+//!   because its body runs on a detached thread where the parent's
+//!   unwind boundaries do not apply.
+//!
+//! Closures that stay on the caller's thread (iterator adapters, scoped
+//! `s.spawn`, pool jobs) keep their events in the enclosing function:
+//! the inline-execution approximation the analyses document.
+
+use crate::ast::{Block, Expr, File, Item, ItemKind, Stmt};
+use crate::lexer::{lex, Token, TokenKind};
+use crate::parser::{parse_file, ParseError};
+
+/// How a panic can originate, syntactically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SourceKind {
+    /// `.unwrap()`
+    Unwrap,
+    /// `.expect(…)`
+    Expect,
+    /// `panic!` / `assert!` / `unreachable!` / `todo!` / … (name kept
+    /// in the event description).
+    PanicMacro,
+    /// Slice/array/map indexing `x[i]` (full-range `x[..]` exempt).
+    Index,
+    /// Integer `/` or `%` with a non-literal divisor.
+    Div,
+}
+
+impl SourceKind {
+    /// Human label used in finding messages.
+    pub fn label(self) -> &'static str {
+        match self {
+            SourceKind::Unwrap => "`.unwrap()`",
+            SourceKind::Expect => "`.expect(…)`",
+            SourceKind::PanicMacro => "panicking macro",
+            SourceKind::Index => "slice indexing",
+            SourceKind::Div => "integer division",
+        }
+    }
+}
+
+/// One analysis-relevant occurrence inside a function body.
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// What happened.
+    pub kind: EventKind,
+    /// 1-based source line.
+    pub line: usize,
+    /// True when the event is behind a `catch_unwind` boundary.
+    pub in_catch: bool,
+    /// Lexical scope depth (fn body = 1; inner blocks and expression
+    /// statements deeper). Paired with [`EventKind::ScopeEnd`] so the
+    /// lock analysis can model guard drops: a `ScopeEnd` at depth `d`
+    /// releases every acquisition made at depth ≥ `d`.
+    pub depth: usize,
+}
+
+/// Event payloads.
+#[derive(Debug, Clone)]
+pub enum EventKind {
+    /// A call: `path(…)` or `recv.name(…)`.
+    Call {
+        /// Path segments for path calls; `[name]` for method calls.
+        path: Vec<String>,
+        /// Method-call syntax (resolution differs).
+        is_method: bool,
+        /// Receiver identifier chain for method calls (lock labelling).
+        recv_hint: Vec<String>,
+        /// Trailing identifier chain of each argument (helper-based lock
+        /// acquisition like `lock_ignore_poison(&self.jobs)`).
+        arg_hints: Vec<Vec<String>>,
+    },
+    /// A syntactic panic source; `what` is the precise spelling
+    /// (`assert_eq!`, `.unwrap()`, …).
+    Source {
+        /// Coarse kind.
+        kind: SourceKind,
+        /// Precise spelling for messages.
+        what: String,
+    },
+    /// An atomic access that names a memory ordering.
+    Atomic {
+        /// Receiver's trailing identifier (the atomic's name).
+        atom: String,
+        /// `Relaxed`, `Acquire`, `Release`, `AcqRel`, or `SeqCst`.
+        ordering: String,
+    },
+    /// A lexical scope (block or expression statement) closed; the
+    /// event's `depth` is the scope that ended. Guards bound inside it
+    /// are dead past this point.
+    ScopeEnd,
+}
+
+/// One function in the workspace symbol index.
+#[derive(Debug, Clone)]
+pub struct FnSym {
+    /// Index into [`Workspace::paths`].
+    pub file: usize,
+    /// Function name (synthetic `parent::<spawn@N>` for spawned bodies).
+    pub name: String,
+    /// `impl` type name when the function is a method.
+    pub owner: Option<String>,
+    /// 1-based line of the `fn` keyword (or the spawn site).
+    pub line: usize,
+    /// Excluded from the analyses: `#[cfg(test)]`/`#[test]` scope or a
+    /// test-like file (tests/, benches/, examples/).
+    pub is_test: bool,
+    /// Synthetic body of a closure handed to `std::thread::spawn`.
+    pub is_spawn_body: bool,
+    /// Ordered body events.
+    pub events: Vec<Event>,
+}
+
+/// A `Mutex`/`RwLock` declaration (struct field or static) the lock-order
+/// analysis labels acquisitions against.
+#[derive(Debug, Clone)]
+pub struct LockDef {
+    /// Field or static name.
+    pub name: String,
+    /// Index into [`Workspace::paths`].
+    pub file: usize,
+    /// 1-based line.
+    pub line: usize,
+}
+
+/// One comment's position and text, for justification lookups
+/// (`// SAFETY:`, `// relaxed:`).
+#[derive(Debug, Clone)]
+pub struct CommentSpan {
+    /// 1-based first line.
+    pub start: usize,
+    /// 1-based last line.
+    pub end: usize,
+    /// Raw comment text.
+    pub text: String,
+}
+
+/// The parsed workspace: every file's AST-derived facts.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    /// Repo-relative paths, index = `file` in the other tables.
+    pub paths: Vec<String>,
+    /// Every function, in deterministic (path, line) order.
+    pub fns: Vec<FnSym>,
+    /// Lock-shaped declarations.
+    pub locks: Vec<LockDef>,
+    /// Files that fell outside the AST grammar.
+    pub parse_errors: Vec<(String, ParseError)>,
+    /// Per-file comments (indexed like `paths`).
+    pub comments: Vec<Vec<CommentSpan>>,
+}
+
+impl Workspace {
+    /// Repo-relative path of a function's file.
+    pub fn path_of(&self, f: &FnSym) -> &str {
+        &self.paths[f.file]
+    }
+
+    /// `file-stem::name` display form used in dumps and messages.
+    pub fn display(&self, id: usize) -> String {
+        let f = &self.fns[id];
+        let stem = file_stem(&self.paths[f.file]);
+        match &f.owner {
+            Some(o) => format!("{stem}::{o}::{}", f.name),
+            None => format!("{stem}::{}", f.name),
+        }
+    }
+}
+
+/// `crates/core/src/fault.rs` → `fault`.
+pub fn file_stem(path: &str) -> &str {
+    path.rsplit('/')
+        .next()
+        .and_then(|f| f.strip_suffix(".rs"))
+        .unwrap_or(path)
+}
+
+/// Macro names that panic by design.
+const PANIC_MACROS: [&str; 9] = [
+    "panic",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+    "debug_assert",
+    "debug_assert_eq",
+    "debug_assert_ne",
+    "unreachable",
+    "todo",
+];
+
+/// Atomic accessor method names that carry an `Ordering` argument.
+const ATOMIC_METHODS: [&str; 11] = [
+    "load",
+    "store",
+    "swap",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "compare_exchange",
+    "compare_exchange_weak",
+    "fetch_update",
+];
+
+const ORDERINGS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// Builds the full workspace index from `(path, text)` pairs.
+pub fn build_workspace(files: &[(String, String)]) -> Workspace {
+    let mut ws = Workspace::default();
+    for (path, text) in files {
+        let file_idx = ws.paths.len();
+        ws.paths.push(path.clone());
+        let tokens = lex(text);
+        ws.comments.push(collect_comments(&tokens));
+        match parse_file(&tokens) {
+            Ok(ast) => index_file(&mut ws, file_idx, path, &ast),
+            Err(e) => ws.parse_errors.push((path.clone(), e)),
+        }
+    }
+    ws
+}
+
+fn collect_comments(tokens: &[Token]) -> Vec<CommentSpan> {
+    tokens
+        .iter()
+        .filter(|t| {
+            matches!(
+                t.kind,
+                TokenKind::LineComment | TokenKind::BlockComment | TokenKind::DocComment
+            )
+        })
+        .map(|t| CommentSpan {
+            start: t.line,
+            end: t.line + t.text.matches('\n').count(),
+            text: t.text.clone(),
+        })
+        .collect()
+}
+
+fn is_test_like_file(path: &str) -> bool {
+    let parts: Vec<&str> = path.split('/').collect();
+    parts.contains(&"tests") || parts.contains(&"benches") || parts.contains(&"examples")
+}
+
+fn index_file(ws: &mut Workspace, file: usize, path: &str, ast: &File) {
+    let file_test = is_test_like_file(path);
+    index_items(ws, file, &ast.items, None, file_test);
+}
+
+fn index_items(ws: &mut Workspace, file: usize, items: &[Item], owner: Option<&str>, test: bool) {
+    for item in items {
+        let test = test || item.is_test_only();
+        match &item.kind {
+            ItemKind::Fn(f) => {
+                if let Some(body) = &f.body {
+                    index_fn(ws, file, &f.name, owner, f.line, test, body);
+                }
+            }
+            ItemKind::Impl {
+                type_name, items, ..
+            } => index_items(ws, file, items, Some(type_name), test),
+            ItemKind::Trait { items, .. } => index_items(ws, file, items, owner, test),
+            ItemKind::Mod {
+                items: Some(items), ..
+            } => index_items(ws, file, items, None, test),
+            ItemKind::Struct { name: _, fields } | ItemKind::Union { name: _, fields } => {
+                for fd in fields {
+                    if is_lock_type(&fd.ty) {
+                        ws.locks.push(LockDef {
+                            name: fd.name.clone(),
+                            file,
+                            line: fd.line,
+                        });
+                    }
+                }
+            }
+            ItemKind::Static { name, ty, .. } => {
+                if is_lock_type(ty) {
+                    ws.locks.push(LockDef {
+                        name: name.clone(),
+                        file,
+                        line: item.line,
+                    });
+                }
+            }
+            ItemKind::MacroItem {
+                items: Some(items), ..
+            } => index_items(ws, file, items, owner, test),
+            _ => {}
+        }
+    }
+}
+
+fn is_lock_type(ty: &str) -> bool {
+    ty.split_whitespace().any(|t| t == "Mutex" || t == "RwLock")
+}
+
+fn index_fn(
+    ws: &mut Workspace,
+    file: usize,
+    name: &str,
+    owner: Option<&str>,
+    line: usize,
+    is_test: bool,
+    body: &Block,
+) {
+    let mut ex = Extractor {
+        events: Vec::new(),
+        spawned: Vec::new(),
+        in_catch: 0,
+        depth: 0,
+        nested: Vec::new(),
+    };
+    ex.block(body);
+    let spawned = std::mem::take(&mut ex.spawned);
+    let nested = std::mem::take(&mut ex.nested);
+    ws.fns.push(FnSym {
+        file,
+        name: name.to_string(),
+        owner: owner.map(str::to_string),
+        line,
+        is_test,
+        is_spawn_body: false,
+        events: ex.events,
+    });
+    for (sline, events) in spawned {
+        ws.fns.push(FnSym {
+            file,
+            name: format!("{name}::<spawn@{sline}>"),
+            owner: owner.map(str::to_string),
+            line: sline,
+            is_test,
+            is_spawn_body: true,
+            events,
+        });
+    }
+    // nested `fn` items found in the body get their own symbols
+    for item in nested {
+        index_items(ws, file, &[item], owner, is_test);
+    }
+}
+
+struct Extractor {
+    events: Vec<Event>,
+    spawned: Vec<(usize, Vec<Event>)>,
+    in_catch: usize,
+    depth: usize,
+    nested: Vec<Item>,
+}
+
+impl Extractor {
+    fn push(&mut self, kind: EventKind, line: usize) {
+        self.events.push(Event {
+            kind,
+            line,
+            in_catch: self.in_catch > 0,
+            depth: self.depth,
+        });
+    }
+
+    /// Emits the scope-closing marker for the current depth.
+    fn scope_end(&mut self) {
+        self.push(EventKind::ScopeEnd, 0);
+    }
+
+    fn block(&mut self, b: &Block) {
+        self.depth += 1;
+        for stmt in &b.stmts {
+            match stmt {
+                Stmt::Let {
+                    init, else_block, ..
+                } => {
+                    if let Some(e) = init {
+                        if binds_guard(e) {
+                            // `let g = m.lock()…` — the guard itself is
+                            // bound and lives to the end of the block
+                            self.expr(e);
+                        } else {
+                            // temporaries in the initialiser (e.g. the
+                            // guard in `let j = lock(&q).pop_front()`)
+                            // die at the end of the statement
+                            self.depth += 1;
+                            self.expr(e);
+                            self.scope_end();
+                            self.depth -= 1;
+                        }
+                    }
+                    if let Some(b) = else_block {
+                        self.block(b);
+                    }
+                }
+                Stmt::Item(item) => self.nested.push(item.clone()),
+                Stmt::Expr(e) => {
+                    // expression statements: temporaries — including the
+                    // guard behind a `for`-loop iterator or a `match`
+                    // scrutinee — die when the statement ends
+                    self.depth += 1;
+                    self.expr(e);
+                    self.scope_end();
+                    self.depth -= 1;
+                }
+            }
+        }
+        self.scope_end();
+        self.depth -= 1;
+    }
+
+    fn expr(&mut self, e: &Expr) {
+        match e {
+            Expr::Call { callee, args, line } => {
+                let path = match callee.as_ref() {
+                    Expr::Path { segs, .. } => segs.clone(),
+                    _ => Vec::new(),
+                };
+                let last = path.last().map(String::as_str).unwrap_or("");
+                if !path.is_empty() {
+                    self.push(
+                        EventKind::Call {
+                            path: path.clone(),
+                            is_method: false,
+                            recv_hint: Vec::new(),
+                            arg_hints: args.iter().map(Expr::path_hint).collect(),
+                        },
+                        *line,
+                    );
+                } else {
+                    self.expr(callee);
+                }
+                if last == "catch_unwind" {
+                    self.in_catch += 1;
+                    for a in args {
+                        self.expr(a);
+                    }
+                    self.in_catch -= 1;
+                } else if last == "spawn" && path.contains(&"thread".to_string()) {
+                    // std::thread::spawn — the closure body runs detached
+                    for a in args {
+                        if let Expr::Closure { body, line: cline } = a {
+                            let mut sub = Extractor {
+                                events: Vec::new(),
+                                spawned: Vec::new(),
+                                in_catch: 0,
+                                depth: 0,
+                                nested: Vec::new(),
+                            };
+                            sub.expr(body);
+                            self.spawned.push((*cline, sub.events));
+                            self.spawned.append(&mut sub.spawned);
+                            self.nested.append(&mut sub.nested);
+                        } else {
+                            self.expr(a);
+                        }
+                    }
+                } else {
+                    for a in args {
+                        self.expr(a);
+                    }
+                }
+            }
+            Expr::MethodCall {
+                recv,
+                name,
+                args,
+                line,
+            } => {
+                match name.as_str() {
+                    "unwrap" => self.push(
+                        EventKind::Source {
+                            kind: SourceKind::Unwrap,
+                            what: "`.unwrap()`".to_string(),
+                        },
+                        *line,
+                    ),
+                    "expect" => self.push(
+                        EventKind::Source {
+                            kind: SourceKind::Expect,
+                            what: "`.expect(…)`".to_string(),
+                        },
+                        *line,
+                    ),
+                    _ => {}
+                }
+                if ATOMIC_METHODS.contains(&name.as_str()) {
+                    let atom = recv.path_hint().last().cloned().unwrap_or_default();
+                    if !atom.is_empty() {
+                        for a in args {
+                            if let Some(ord) = ordering_of(a) {
+                                self.push(
+                                    EventKind::Atomic {
+                                        atom: atom.clone(),
+                                        ordering: ord,
+                                    },
+                                    *line,
+                                );
+                            }
+                        }
+                    }
+                }
+                self.push(
+                    EventKind::Call {
+                        path: vec![name.clone()],
+                        is_method: true,
+                        recv_hint: recv.path_hint(),
+                        arg_hints: args.iter().map(Expr::path_hint).collect(),
+                    },
+                    *line,
+                );
+                self.expr(recv);
+                if name == "catch_unwind" {
+                    self.in_catch += 1;
+                    for a in args {
+                        self.expr(a);
+                    }
+                    self.in_catch -= 1;
+                } else if name == "spawn" && recv.path_hint().is_empty() {
+                    // `Builder::new().name(…).spawn(closure)` — a chained
+                    // receiver means the builder idiom, whose closure runs
+                    // on a fresh detached thread. (Scoped `s.spawn(…)`
+                    // keeps a plain-path receiver and stays inline: scoped
+                    // threads re-throw panics at scope exit and share the
+                    // caller's deadlock context at the join.)
+                    for a in args {
+                        if let Expr::Closure { body, line: cline } = a {
+                            let mut sub = Extractor {
+                                events: Vec::new(),
+                                spawned: Vec::new(),
+                                in_catch: 0,
+                                depth: 0,
+                                nested: Vec::new(),
+                            };
+                            sub.expr(body);
+                            self.spawned.push((*cline, sub.events));
+                            self.spawned.append(&mut sub.spawned);
+                            self.nested.append(&mut sub.nested);
+                        } else {
+                            self.expr(a);
+                        }
+                    }
+                } else {
+                    for a in args {
+                        self.expr(a);
+                    }
+                }
+            }
+            Expr::Macro {
+                path,
+                args,
+                raw,
+                line,
+            } => {
+                let name = path.last().map(String::as_str).unwrap_or("");
+                if PANIC_MACROS.contains(&name) {
+                    self.push(
+                        EventKind::Source {
+                            kind: SourceKind::PanicMacro,
+                            what: format!("`{name}!`"),
+                        },
+                        *line,
+                    );
+                }
+                for a in args {
+                    self.expr(a);
+                }
+                // macro interiors that did not parse as expressions: a
+                // lexical scan still surfaces `.unwrap()`/`.expect(`/
+                // panicking macros hidden in the token tree
+                for (i, (text, rline)) in raw.iter().enumerate() {
+                    let next = raw.get(i + 1).map(|(t, _)| t.as_str());
+                    let prev = i.checked_sub(1).map(|j| raw[j].0.as_str());
+                    if (text == "unwrap" || text == "expect")
+                        && prev == Some(".")
+                        && next == Some("(")
+                    {
+                        let kind = if text == "unwrap" {
+                            SourceKind::Unwrap
+                        } else {
+                            SourceKind::Expect
+                        };
+                        self.push(
+                            EventKind::Source {
+                                kind,
+                                what: format!("`.{text}(…)`"),
+                            },
+                            *rline,
+                        );
+                    }
+                    if PANIC_MACROS.contains(&text.as_str()) && next == Some("!") {
+                        self.push(
+                            EventKind::Source {
+                                kind: SourceKind::PanicMacro,
+                                what: format!("`{text}!`"),
+                            },
+                            *rline,
+                        );
+                    }
+                }
+            }
+            Expr::Index { recv, index, line } => {
+                if !is_full_range(index) {
+                    self.push(
+                        EventKind::Source {
+                            kind: SourceKind::Index,
+                            what: "indexing (`[…]`)".to_string(),
+                        },
+                        *line,
+                    );
+                }
+                self.expr(recv);
+                self.expr(index);
+            }
+            Expr::Binary { op, lhs, rhs, line } => {
+                if matches!(op.as_str(), "/" | "%" | "/=" | "%=") {
+                    if let Some(r) = rhs {
+                        if divisor_can_be_zero(lhs, r) {
+                            self.push(
+                                EventKind::Source {
+                                    kind: SourceKind::Div,
+                                    what: format!("`{op}` with a non-constant divisor"),
+                                },
+                                *line,
+                            );
+                        }
+                    }
+                }
+                self.expr(lhs);
+                if let Some(r) = rhs {
+                    self.expr(r);
+                }
+            }
+            Expr::Closure { body, .. } => self.expr(body),
+            Expr::Block(b) | Expr::Unsafe(b) | Expr::Loop { body: b } => self.block(b),
+            Expr::If { cond, then, else_ } => {
+                self.expr(cond);
+                self.block(then);
+                if let Some(e) = else_ {
+                    self.expr(e);
+                }
+            }
+            Expr::While { cond, body } => {
+                self.expr(cond);
+                self.block(body);
+            }
+            Expr::For { iter, body } => {
+                self.expr(iter);
+                self.block(body);
+            }
+            Expr::Match {
+                scrutinee, arms, ..
+            } => {
+                self.expr(scrutinee);
+                for a in arms {
+                    self.expr(a);
+                }
+            }
+            Expr::Unary { expr } | Expr::Cast { expr, .. } | Expr::Try { expr } => self.expr(expr),
+            Expr::Field { recv, .. } => self.expr(recv),
+            Expr::Return { value } | Expr::Break { value } => {
+                if let Some(v) = value {
+                    self.expr(v);
+                }
+            }
+            Expr::StructLit { fields, .. } => {
+                for f in fields {
+                    self.expr(f);
+                }
+            }
+            Expr::Tuple { items } | Expr::Array { items } => {
+                for i in items {
+                    self.expr(i);
+                }
+            }
+            Expr::Lit { .. } | Expr::Path { .. } | Expr::Continue | Expr::Opaque => {}
+        }
+    }
+}
+
+/// True when a `let` initialiser binds a lock guard itself — so the
+/// guard lives to the end of the enclosing block — rather than a value
+/// pulled *out of* a temporary guard, which dies with the statement.
+/// `let g = m.lock().unwrap();` binds the guard;
+/// `let job = lock_ignore_poison(&q).jobs.pop_front();` does not.
+/// `unwrap`/`expect`/`unwrap_or_else` and `?` are guard-transparent.
+fn binds_guard(e: &Expr) -> bool {
+    match e {
+        Expr::MethodCall { recv, name, .. } => match name.as_str() {
+            "lock" | "try_lock" | "read" | "try_read" | "write" | "try_write" => true,
+            "unwrap" | "expect" | "unwrap_or_else" => binds_guard(recv),
+            _ => false,
+        },
+        Expr::Call { callee, .. } => match callee.as_ref() {
+            Expr::Path { segs, .. } => segs
+                .last()
+                .is_some_and(|s| s.to_ascii_lowercase().contains("lock")),
+            _ => false,
+        },
+        Expr::Try { expr } => binds_guard(expr),
+        _ => false,
+    }
+}
+
+/// `x[..]` — a full-range slice borrow cannot be out of bounds.
+fn is_full_range(index: &Expr) -> bool {
+    matches!(
+        index,
+        Expr::Binary { op, lhs, rhs: None, .. }
+            if op == ".." && matches!(lhs.as_ref(), Expr::Opaque)
+    )
+}
+
+/// True when `lhs / rhs` can be a zero-divisor integer division: the
+/// divisor is not a non-zero literal and neither side is visibly a
+/// float (float literal or `as f32`/`as f64` cast).
+fn divisor_can_be_zero(lhs: &Expr, rhs: &Expr) -> bool {
+    fn is_float(e: &Expr) -> bool {
+        match e {
+            Expr::Lit { text, .. } => {
+                (text.contains('.') && !text.starts_with("0x"))
+                    || text.ends_with("f32")
+                    || text.ends_with("f64")
+            }
+            Expr::Cast { ty, .. } => {
+                let t = ty.trim();
+                t == "f32" || t == "f64"
+            }
+            Expr::Binary { lhs, rhs, .. } => {
+                is_float(lhs) || rhs.as_deref().map(is_float).unwrap_or(false)
+            }
+            Expr::Unary { expr } | Expr::Try { expr } => is_float(expr),
+            Expr::Tuple { items } if items.len() == 1 => is_float(&items[0]),
+            _ => false,
+        }
+    }
+    if is_float(lhs) || is_float(rhs) {
+        return false;
+    }
+    match rhs {
+        // a non-zero literal divisor cannot trap
+        Expr::Lit { text, .. } => {
+            let digits: String = text
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric())
+                .collect();
+            digits.trim_start_matches('0').is_empty() && !digits.is_empty()
+        }
+        // an uppercase constant path (`MAX_RETAINED_BYTES`, `Self::BYTES`)
+        // is a compile-time non-zero in this workspace's idiom
+        Expr::Path { segs, .. } => segs
+            .last()
+            .map(|s| !s.chars().any(|c| c.is_ascii_uppercase()))
+            .unwrap_or(true),
+        Expr::Tuple { items } if items.len() == 1 => divisor_can_be_zero(lhs, &items[0]),
+        Expr::Cast { expr, .. } => divisor_can_be_zero(lhs, expr),
+        _ => true,
+    }
+}
+
+fn ordering_of(arg: &Expr) -> Option<String> {
+    if let Expr::Path { segs, .. } = arg {
+        let last = segs.last()?;
+        if ORDERINGS.contains(&last.as_str())
+            && (segs.len() == 1 || segs[segs.len() - 2] == "Ordering")
+        {
+            return Some(last.clone());
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ws_of(src: &str) -> Workspace {
+        build_workspace(&[("crates/demo/src/lib.rs".to_string(), src.to_string())])
+    }
+
+    #[test]
+    fn events_carry_catch_unwind_context() {
+        let ws = ws_of(
+            "fn f() {\n\
+                let r = catch_unwind(AssertUnwindSafe(|| job()));\n\
+                after();\n\
+            }",
+        );
+        let f = &ws.fns[0];
+        let calls: Vec<(&str, bool)> = f
+            .events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EventKind::Call { path, .. } => {
+                    Some((path.last().map(String::as_str).unwrap_or(""), e.in_catch))
+                }
+                _ => None,
+            })
+            .collect();
+        assert!(calls.contains(&("job", true)), "{calls:?}");
+        assert!(calls.contains(&("after", false)), "{calls:?}");
+        assert!(calls.contains(&("catch_unwind", false)), "{calls:?}");
+    }
+
+    #[test]
+    fn spawned_closures_become_synthetic_fns() {
+        let ws = ws_of(
+            "fn start() {\n\
+                std::thread::spawn(move || loop { tick().unwrap(); });\n\
+                inline_work();\n\
+            }",
+        );
+        let names: Vec<&str> = ws.fns.iter().map(|f| f.name.as_str()).collect();
+        assert!(names.contains(&"start"), "{names:?}");
+        assert!(
+            names.iter().any(|n| n.starts_with("start::<spawn@")),
+            "{names:?}"
+        );
+        let spawn = ws.fns.iter().find(|f| f.is_spawn_body).unwrap();
+        assert!(spawn.events.iter().any(|e| matches!(
+            &e.kind,
+            EventKind::Source {
+                kind: SourceKind::Unwrap,
+                ..
+            }
+        )));
+        // the parent keeps its own inline call but not the closure's
+        let parent = ws.fns.iter().find(|f| f.name == "start").unwrap();
+        assert!(!parent.events.iter().any(|e| matches!(
+            &e.kind,
+            EventKind::Source {
+                kind: SourceKind::Unwrap,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn panic_sources_cover_macros_indexing_and_division() {
+        let ws = ws_of(
+            "fn f(xs: &[u64], n: u64) -> u64 {\n\
+                assert!(n > 0);\n\
+                let a = xs[0];\n\
+                let b = &xs[..];\n\
+                let c = a / n;\n\
+                let d = a / 2;\n\
+                let e = (a as f64) / (n as f64);\n\
+                a + c + d + e as u64 + b.len() as u64\n\
+            }",
+        );
+        let kinds: Vec<SourceKind> = ws.fns[0]
+            .events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EventKind::Source { kind, .. } => Some(*kind),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            kinds,
+            [SourceKind::PanicMacro, SourceKind::Index, SourceKind::Div],
+            "full-range slicing, literal and float division are exempt"
+        );
+    }
+
+    #[test]
+    fn atomics_and_locks_are_indexed() {
+        let ws = ws_of(
+            "use std::sync::Mutex;\n\
+            struct Q { jobs: Mutex<Vec<u32>>, alive: AtomicUsize }\n\
+            static HOOK: Mutex<Option<u32>> = Mutex::new(None);\n\
+            impl Q {\n\
+                fn tick(&self) {\n\
+                    self.alive.fetch_add(1, Ordering::Relaxed);\n\
+                    self.alive.load(Ordering::Acquire);\n\
+                }\n\
+            }",
+        );
+        let lock_names: Vec<&str> = ws.locks.iter().map(|l| l.name.as_str()).collect();
+        assert_eq!(lock_names, ["jobs", "HOOK"]);
+        let atomics: Vec<(String, String)> = ws.fns[0]
+            .events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EventKind::Atomic { atom, ordering } => Some((atom.clone(), ordering.clone())),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            atomics,
+            [
+                ("alive".to_string(), "Relaxed".to_string()),
+                ("alive".to_string(), "Acquire".to_string())
+            ]
+        );
+    }
+
+    #[test]
+    fn cfg_test_items_are_marked() {
+        let ws = ws_of(
+            "fn real() {}\n\
+            #[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { x.unwrap(); }\n}",
+        );
+        let real = ws.fns.iter().find(|f| f.name == "real").unwrap();
+        let t = ws.fns.iter().find(|f| f.name == "t").unwrap();
+        assert!(!real.is_test);
+        assert!(t.is_test);
+    }
+}

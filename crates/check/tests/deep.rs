@@ -1,0 +1,214 @@
+//! End-to-end negative tests for the interprocedural analyses: each one
+//! seeds a scratch workspace with a defect and asserts the binary reports
+//! the right rule at the right file and line — and that suppressions
+//! (including the deprecated `no-unwrap-in-serve` alias) silence them.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+/// Runs the compiled `blob-check` binary with `args`.
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_blob-check"))
+        .args(args)
+        .output()
+        .expect("blob-check binary runs")
+}
+
+/// A scratch workspace on disk, removed on drop.
+struct ScratchRepo {
+    root: PathBuf,
+}
+
+impl ScratchRepo {
+    fn new(tag: &str) -> Self {
+        let root =
+            std::env::temp_dir().join(format!("blob-check-deep-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(&root).expect("create scratch root");
+        std::fs::write(root.join("Cargo.toml"), "[workspace]\n").expect("write manifest");
+        Self { root }
+    }
+
+    fn write(&self, rel: &str, text: &str) {
+        let path = self.root.join(rel);
+        std::fs::create_dir_all(path.parent().expect("file path has a parent"))
+            .expect("create parent dirs");
+        std::fs::write(path, text).expect("write scratch file");
+    }
+
+    /// Findings as `(rule, path, line, message)` from a `--json` run.
+    fn findings(&self) -> Vec<(String, String, u64, String)> {
+        let out = run(&["--root", &self.root.display().to_string(), "--json"]);
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        let blob_core::wire::Json::Arr(items) =
+            blob_core::wire::Json::parse(&stdout).expect("findings parse as JSON")
+        else {
+            panic!("findings are a JSON array: {stdout}");
+        };
+        items
+            .iter()
+            .map(|o| {
+                let s = |k: &str| {
+                    o.get(k)
+                        .and_then(blob_core::wire::Json::as_str)
+                        .expect("string field")
+                        .to_string()
+                };
+                let line = o
+                    .get("line")
+                    .and_then(blob_core::wire::Json::as_u64)
+                    .expect("line field");
+                (s("rule"), s("path"), line, s("message"))
+            })
+            .collect()
+    }
+}
+
+impl Drop for ScratchRepo {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.root);
+    }
+}
+
+#[test]
+fn a_panic_reaching_the_serve_worker_loop_is_located_precisely() {
+    let repo = ScratchRepo::new("panic");
+    repo.write(
+        "crates/serve/src/server.rs",
+        concat!(
+            "pub fn worker_loop() {\n",
+            "    handle();\n",
+            "}\n",
+            "fn handle() {\n",
+            "    let v: Vec<u32> = Vec::new();\n",
+            "    let _ = v.first().unwrap();\n",
+            "}\n"
+        ),
+    );
+    let fs = repo.findings();
+    let hit = fs
+        .iter()
+        .find(|(r, _, _, _)| r == "panic-reachability")
+        .unwrap_or_else(|| panic!("panic-reachability must fire: {fs:?}"));
+    assert_eq!(hit.1, "crates/serve/src/server.rs");
+    assert_eq!(hit.2, 2, "anchored at the escaping call in the root");
+    assert!(
+        hit.3.contains("server::handle") && hit.3.contains("`.unwrap()`"),
+        "witness chain names the callee and the source: {}",
+        hit.3
+    );
+}
+
+#[test]
+fn catch_unwind_contains_the_panic_path() {
+    let repo = ScratchRepo::new("caught");
+    repo.write(
+        "crates/serve/src/server.rs",
+        concat!(
+            "pub fn worker_loop() {\n",
+            "    let _ = std::panic::catch_unwind(|| handle());\n",
+            "}\n",
+            "fn handle() {\n",
+            "    let v: Vec<u32> = Vec::new();\n",
+            "    let _ = v.first().unwrap();\n",
+            "}\n"
+        ),
+    );
+    let fs = repo.findings();
+    assert!(
+        !fs.iter().any(|(r, _, _, _)| r == "panic-reachability"),
+        "a caught path is not a finding: {fs:?}"
+    );
+}
+
+#[test]
+fn the_deprecated_serve_alias_still_suppresses_the_analysis() {
+    let repo = ScratchRepo::new("alias");
+    repo.write(
+        "crates/serve/src/server.rs",
+        concat!(
+            "pub fn worker_loop() {\n",
+            "    // blob-check: allow(no-unwrap-in-serve): drill thread, death is supervised\n",
+            "    handle();\n",
+            "}\n",
+            "fn handle() {\n",
+            "    let v: Vec<u32> = Vec::new();\n",
+            "    let _ = v.first().unwrap();\n",
+            "}\n"
+        ),
+    );
+    let fs = repo.findings();
+    assert!(
+        !fs.iter().any(|(r, _, _, _)| r == "panic-reachability"),
+        "old suppressions stay valid through the alias: {fs:?}"
+    );
+}
+
+#[test]
+fn a_seeded_deadlock_cycle_is_reported_with_both_sites() {
+    let repo = ScratchRepo::new("deadlock");
+    repo.write(
+        "crates/demo/src/lib.rs",
+        concat!(
+            "use std::sync::Mutex;\n",
+            "pub struct S { a: Mutex<u32>, b: Mutex<u32> }\n",
+            "impl S {\n",
+            "    pub fn fwd(&self) {\n",
+            "        let ga = self.a.lock();\n",
+            "        let gb = self.b.lock();\n",
+            "        drop((ga, gb));\n",
+            "    }\n",
+            "    pub fn rev(&self) {\n",
+            "        let gb = self.b.lock();\n",
+            "        let ga = self.a.lock();\n",
+            "        drop((ga, gb));\n",
+            "    }\n",
+            "}\n"
+        ),
+    );
+    let fs = repo.findings();
+    let hit = fs
+        .iter()
+        .find(|(r, _, _, _)| r == "lock-order")
+        .unwrap_or_else(|| panic!("lock-order must fire: {fs:?}"));
+    assert_eq!(hit.1, "crates/demo/src/lib.rs");
+    assert_eq!(hit.2, 6, "anchored at the first held-while-taking site");
+    assert!(
+        hit.3.contains("crates/demo/src/lib.rs:6") && hit.3.contains("crates/demo/src/lib.rs:11"),
+        "both inversion sites named: {}",
+        hit.3
+    );
+}
+
+#[test]
+fn an_unjustified_relaxed_read_of_a_release_flag_is_flagged() {
+    let repo = ScratchRepo::new("atomics");
+    repo.write(
+        "crates/demo/src/lib.rs",
+        concat!(
+            "use std::sync::atomic::{AtomicBool, Ordering};\n",
+            "pub fn arm(f: &AtomicBool) { f.store(true, Ordering::Release); }\n",
+            "pub fn poll(f: &AtomicBool) -> bool { f.load(Ordering::Relaxed) }\n"
+        ),
+    );
+    let fs = repo.findings();
+    let hit = fs
+        .iter()
+        .find(|(r, _, _, _)| r == "atomic-ordering")
+        .unwrap_or_else(|| panic!("atomic-ordering must fire: {fs:?}"));
+    assert_eq!((hit.1.as_str(), hit.2), ("crates/demo/src/lib.rs", 3));
+    assert!(hit.3.contains("`Release`"), "{}", hit.3);
+}
+
+#[test]
+fn an_unparsable_file_is_a_parse_coverage_finding_not_a_silent_skip() {
+    let repo = ScratchRepo::new("parse");
+    repo.write("crates/demo/src/lib.rs", "pub fn ok() {}\n");
+    repo.write("crates/demo/src/broken.rs", "fn oops( {{{\n");
+    let fs = repo.findings();
+    assert!(
+        fs.iter()
+            .any(|(r, p, _, _)| r == "parse-coverage" && p == "crates/demo/src/broken.rs"),
+        "unparsed files must surface: {fs:?}"
+    );
+}

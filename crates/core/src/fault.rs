@@ -323,6 +323,7 @@ pub fn clear() {
 
 /// True if a plan is currently installed.
 pub fn active() -> bool {
+    // relaxed: advisory gate read; the plan is behind its own lock
     ACTIVE.load(Ordering::Relaxed)
 }
 
@@ -364,6 +365,8 @@ pub fn injected_total() -> u64 {
 /// error here; `panic` rules unwind, `delay` rules sleep then succeed.
 #[inline]
 pub fn point(site: &'static str) -> Result<(), FaultError> {
+    // relaxed: arm gate — a stale read skips at most one injection
+    // window; the plan itself is published under the plan lock
     if !ACTIVE.load(Ordering::Relaxed) {
         return Ok(());
     }
@@ -437,6 +440,7 @@ fn decide(site: &str) -> Verdict {
 fn hook_into_blas() {
     use blob_blas::faultpoint::{self, Directive};
     faultpoint::set_hook(|site| {
+        // relaxed: same arm-gate pattern as `point` above
         if !ACTIVE.load(Ordering::Relaxed) {
             return Directive::Proceed;
         }

@@ -531,6 +531,8 @@ impl Watchdog {
     }
 
     fn finish(mut self) -> u64 {
+        // relaxed: the join() below is the synchronisation point; the
+        // watcher polls `stop` with SeqCst and only needs eventual visibility
         self.stop.store(true, Ordering::Relaxed);
         if let Some(t) = self.thread.take() {
             let _ = t.join();

@@ -148,6 +148,7 @@ pub fn disable() {
 
 /// Whether span recording is currently enabled.
 pub fn active() -> bool {
+    // relaxed: advisory gate read; the span buffer is lock-protected
     ACTIVE.load(Ordering::Relaxed)
 }
 
@@ -206,6 +207,8 @@ impl Drop for SpanGuard {
 /// atomic load; `trace_gate` holds it to <1% of the smallest gated GEMM.
 #[inline]
 pub fn span(name: &'static str, cat: &'static str) -> SpanGuard {
+    // relaxed: a stale read drops or opens one span early/late — trace
+    // completeness around enable/disable is best-effort by design
     if !ACTIVE.load(Ordering::Relaxed) {
         return SpanGuard { armed: false };
     }

@@ -183,7 +183,10 @@ impl<S: Read + Write> Conn<S> {
         match self.stream.read(&mut chunk) {
             Ok(0) => Ok(0),
             Ok(n) => {
-                self.buf.extend_from_slice(&chunk[..n]);
+                // `read` promises n ≤ chunk.len(); `get` keeps the
+                // connection path structurally panic-free regardless
+                self.buf
+                    .extend_from_slice(chunk.get(..n).unwrap_or_default());
                 Ok(n)
             }
             Err(e) => Err(Self::classify_io(e)),
@@ -207,7 +210,9 @@ impl<S: Read + Write> Conn<S> {
                 return Err(RecvError::Malformed("connection closed mid-head"));
             }
         };
-        let mut request = parse_head(&self.buf[..head_end])?;
+        // `head_end` comes from `find_subslice`, so it is in range;
+        // `get` keeps the connection path structurally panic-free
+        let mut request = parse_head(self.buf.get(..head_end).unwrap_or_default())?;
         let mut consumed = head_end + 4;
         if request.header("transfer-encoding").is_some() {
             self.buf.drain(..consumed);
@@ -229,7 +234,13 @@ impl<S: Read + Write> Conn<S> {
                 return Err(RecvError::Malformed("connection closed mid-body"));
             }
         }
-        request.body = self.buf[consumed..consumed + body_len].to_vec();
+        // the fill loop above guarantees the range; same structural
+        // panic-freedom as the head slice
+        request.body = self
+            .buf
+            .get(consumed..consumed + body_len)
+            .unwrap_or_default()
+            .to_vec();
         consumed += body_len;
         self.buf.drain(..consumed);
         Ok(request)

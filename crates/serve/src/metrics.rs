@@ -48,7 +48,12 @@ impl Histogram {
             .iter()
             .position(|&b| us <= b)
             .unwrap_or(BUCKET_BOUNDS_US.len());
-        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        // `buckets` has one slot past the last bound, so `idx` is always
+        // in range; `get` keeps the hot path structurally panic-free
+        // rather than leaning on that invariant.
+        if let Some(bucket) = self.buckets.get(idx) {
+            bucket.fetch_add(1, Ordering::Relaxed);
+        }
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum_us.fetch_add(us, Ordering::Relaxed);
     }
@@ -234,12 +239,18 @@ impl Metrics {
 
     /// The stats slot for `label` (falling back to `"other"`).
     pub fn endpoint(&self, label: &str) -> &EndpointStats {
-        let idx = self
-            .endpoints
-            .iter()
-            .position(|(n, _)| *n == label)
-            .unwrap_or(self.endpoints.len() - 1);
-        &self.endpoints[idx].1
+        if let Some((_, stats)) = self.endpoints.iter().find(|(n, _)| *n == label) {
+            return stats;
+        }
+        // the table always ends with the catch-all "other" slot
+        if let Some((_, other)) = self.endpoints.last() {
+            return other;
+        }
+        // unreachable in practice (ENDPOINTS is a non-empty const); a
+        // process-wide throwaway slot keeps the accessor total on a
+        // request path where panicking would kill the connection
+        static EMPTY: std::sync::OnceLock<EndpointStats> = std::sync::OnceLock::new();
+        EMPTY.get_or_init(EndpointStats::default)
     }
 
     /// Marks one request in flight; the guard decrements on drop so every

@@ -111,6 +111,7 @@ fn spawn_worker(
     let rx = Arc::clone(rx);
     let app = Arc::clone(app);
     let signal = signal.clone();
+    // blob-check: allow(panic-reachability): the only unguarded panic is the fault plane's injected `serve.worker` death, and the supervisor respawns the worker
     std::thread::spawn(move || worker_loop(&rx, &app, &signal, &limits))
 }
 
@@ -147,6 +148,7 @@ impl Server {
         let acceptor = {
             let signal = signal.clone();
             let app = Arc::clone(&app);
+            // blob-check: allow(panic-reachability): the only unguarded panic is an operator-armed `serve.accept` injection; killing the acceptor is that drill's purpose
             std::thread::spawn(move || accept_loop(&listener, &tx, &signal, &app))
         };
 
@@ -233,6 +235,7 @@ fn accept_loop(listener: &TcpListener, tx: &SyncSender<TcpStream>, signal: &Stop
                 }
                 // The `serve.accept` fault point models a connection lost
                 // right after accept(2): the stream is dropped unanswered.
+                // blob-check: allow(panic-reachability): a `panic` rule here is operator-armed chaos aimed at the acceptor itself
                 if fault::point(fault::sites::SERVE_ACCEPT).is_err() {
                     continue;
                 }
@@ -285,6 +288,7 @@ fn worker_loop(
         // `panic` rule unwinds it. Either way the supervisor respawns a
         // replacement, and because the point sits *before* the dequeue,
         // no accepted connection is ever lost with it.
+        // blob-check: allow(panic-reachability): a `panic` rule here is the injected worker death the supervisor is built to absorb
         if fault::point(fault::sites::SERVE_WORKER).is_err() {
             return;
         }
