@@ -42,6 +42,10 @@
 #                               sweep (byte-identical CSV after SIGKILL)
 #  12. server load gate         serve_load must sustain >= 1000 req/s on
 #                               loopback (writes results/serve_load.csv)
+#  13. dispatch gate            dispatch_gate proves the online dispatcher
+#                               strictly beats both static policies on
+#                               mixed small/large traces across seeds
+#                               (writes results/dispatch_gate.csv)
 
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -84,5 +88,8 @@ cargo test -q -p blob-cli --test chaos_resume --offline
 echo "==> server load gate (>= 1000 req/s loopback)"
 cargo run -q --release -p blob-bench --bin serve_load --offline -- \
     --clients 4 --requests 2000 --min-rps 1000
+
+echo "==> dispatch gate (auto beats both static policies on mixed traces)"
+cargo run -q --release -p blob-bench --bin dispatch_gate --offline
 
 echo "ci: all stages passed"

@@ -1,0 +1,105 @@
+//! `dispatch_gate` — proves the online dispatcher earns its keep.
+//!
+//! The dispatch plane's contract is that on a mixed workload — small
+//! GEMMs (32–128, below the paper's offload threshold) interleaved with
+//! large ones (512–1024, far above it) — the `auto` policy's total
+//! realized time is **strictly less** than both static policies on the
+//! same trace: `always-cpu` wastes the GPU on the large calls,
+//! `always-gpu` pays per-call offload overhead and first-touch migration
+//! on the small ones. If a model change ever collapses the CPU/GPU
+//! crossover (so one static policy dominates), this gate fails before a
+//! misleading "auto wins" claim lands anywhere.
+//!
+//! The gate replays the comparison over several seeds and both a
+//! GEMM-only and a GEMM+GEMV trace on the calibrated Isambard-AI model,
+//! requiring a win on every one. Results land in
+//! `results/dispatch_gate.csv`.
+//!
+//! ```text
+//! cargo run --release -p blob-bench --bin dispatch_gate
+//! ```
+
+use blob_bench::results_dir;
+use blob_core::fault;
+use blob_dispatch::{compare_policies, mixed_trace, Hysteresis, MixedTraceSpec};
+use blob_sim::presets;
+use std::process::ExitCode;
+
+/// Trace length per experiment: long enough for the estimator to settle
+/// and for flips to show up, short enough that the gate runs in
+/// milliseconds (the backend is the calibrated model).
+const CALLS: usize = 120;
+
+/// Seeds replayed per trace variant; the win must hold on all of them.
+const SEEDS: [u64; 3] = [42, 7, 1913];
+
+/// GEMV cadences exercised: GEMM-only, and one GEMV in every five calls.
+const GEMV_EVERY: [usize; 2] = [0, 5];
+
+fn main() -> ExitCode {
+    // The gate times decision quality, not fault recovery; a plan left
+    // installed (GPU_BLOB_FAULTS?) would corrupt the comparison.
+    if fault::active() {
+        eprintln!("dispatch_gate: a fault plan is installed — unset it first");
+        return ExitCode::from(2);
+    }
+
+    let system = presets::isambard_ai();
+    println!("dispatch_gate: auto vs static policies on mixed traces ({CALLS} calls each)");
+    let mut csv = String::from(
+        "seed,gemv_every,auto_s,always_cpu_s,always_gpu_s,auto_flips,auto_gpu_calls\n",
+    );
+    let mut failures = 0usize;
+    for &gemv_every in &GEMV_EVERY {
+        for &seed in &SEEDS {
+            let spec = MixedTraceSpec {
+                seed,
+                calls: CALLS,
+                gemv_every,
+                ..MixedTraceSpec::default()
+            };
+            let trace = mixed_trace(&spec);
+            let results = compare_policies(&system, &trace, Hysteresis::default());
+            let (auto, cpu, gpu) = (&results[0], &results[1], &results[2]);
+            let ok = auto.stats.realized_seconds < cpu.stats.realized_seconds
+                && auto.stats.realized_seconds < gpu.stats.realized_seconds;
+            if !ok {
+                failures += 1;
+            }
+            println!(
+                "  seed {seed:>5} gemv_every {gemv_every}: auto {:.4} ms | always-cpu {:.4} ms | \
+                 always-gpu {:.4} ms | flips {} -> {}",
+                auto.stats.realized_seconds * 1e3,
+                cpu.stats.realized_seconds * 1e3,
+                gpu.stats.realized_seconds * 1e3,
+                auto.stats.flips,
+                if ok { "ok" } else { "FAIL" }
+            );
+            csv.push_str(&format!(
+                "{seed},{gemv_every},{:.9},{:.9},{:.9},{},{}\n",
+                auto.stats.realized_seconds,
+                cpu.stats.realized_seconds,
+                gpu.stats.realized_seconds,
+                auto.stats.flips,
+                auto.stats.gpu_calls,
+            ));
+        }
+    }
+
+    let dir = results_dir();
+    let _ = std::fs::create_dir_all(&dir);
+    let path = dir.join("dispatch_gate.csv");
+    if let Err(e) = blob_core::atomicio::write_atomic(&path, csv.as_bytes()) {
+        eprintln!("dispatch_gate: writing {}: {e}", path.display());
+    } else {
+        println!("wrote {}", path.display());
+    }
+
+    if failures == 0 {
+        println!("dispatch_gate: ok — auto strictly beat both static policies on every trace");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("dispatch_gate: FAILED — {failures} trace(s) where a static policy won");
+        ExitCode::FAILURE
+    }
+}

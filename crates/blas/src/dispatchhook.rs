@@ -1,0 +1,189 @@
+//! Dispatch hooks: how kernel executions report realized times *up* to
+//! the online dispatch plane.
+//!
+//! The `blob-dispatch` crate keeps a per-call-site history of realized
+//! kernel times and blends them with the static model prior when routing
+//! calls. `blob-blas` sits below it in the dependency graph, so — exactly
+//! like [`crate::faultpoint`] and [`crate::tracehook`] — this module
+//! inverts the dependency: the public `gemm`/`gemv` entry points call
+//! [`observe`] around their execution, and the dispatch layer installs an
+//! observer closure that feeds those `(shape, seconds)` samples into its
+//! online estimator.
+//!
+//! With no observer armed, [`observe`] is a single relaxed atomic load
+//! and the returned guard's `Drop` is a branch on a local `Option` — no
+//! clock is read. When armed, each completed kernel costs two `Instant`
+//! reads plus one mutex-protected observer call.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, PoisonError};
+use std::time::Instant;
+
+/// Which kernel family produced a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObservedKind {
+    /// Matrix–matrix multiply.
+    Gemm,
+    /// Matrix–vector multiply.
+    Gemv,
+}
+
+/// One realized kernel execution, as reported to the observer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sample {
+    /// Kernel family.
+    pub kind: ObservedKind,
+    /// Rows of the output.
+    pub m: usize,
+    /// Columns of the output (GEMV: columns of `A`).
+    pub n: usize,
+    /// Contraction dimension (1 for GEMV).
+    pub k: usize,
+    /// Element size in bytes (4 for `f32`, 8 for `f64`).
+    pub elem_bytes: usize,
+    /// Wall-clock seconds the kernel took.
+    pub seconds: f64,
+}
+
+/// The closure the dispatch layer installs to receive samples.
+pub type Observer = Box<dyn Fn(Sample) + Send + Sync>;
+
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+static OBSERVER: Mutex<Option<Observer>> = Mutex::new(None);
+
+/// Installs (or replaces) the process-global observer. Only consulted
+/// while [`set_active`]`(true)` is in effect.
+pub fn set_observer(observer: impl Fn(Sample) + Send + Sync + 'static) {
+    *OBSERVER.lock().unwrap_or_else(PoisonError::into_inner) = Some(Box::new(observer));
+}
+
+/// Arms or disarms the observation points. Disarmed (the default),
+/// [`observe`] costs one relaxed atomic load and reads no clock.
+pub fn set_active(on: bool) {
+    ACTIVE.store(on, Ordering::Release);
+}
+
+/// Whether kernel executions are currently being observed.
+pub fn active() -> bool {
+    // relaxed: advisory gate read; the observer itself is lock-protected
+    ACTIVE.load(Ordering::Relaxed)
+}
+
+/// RAII guard returned by [`observe`]: reports the elapsed time to the
+/// observer when dropped (inert when observation is disarmed).
+#[must_use = "the sample is reported when the guard drops; binding it to _ reports immediately"]
+pub struct ObserveGuard {
+    sample: Option<(ObservedKind, usize, usize, usize, usize, Instant)>,
+}
+
+impl Drop for ObserveGuard {
+    fn drop(&mut self) {
+        if let Some((kind, m, n, k, elem_bytes, start)) = self.sample.take() {
+            report(Sample {
+                kind,
+                m,
+                n,
+                k,
+                elem_bytes,
+                seconds: start.elapsed().as_secs_f64(),
+            });
+        }
+    }
+}
+
+/// Opens an observation window over one kernel execution. The fast path
+/// — observation disarmed — is a single relaxed atomic load.
+#[inline]
+pub fn observe(
+    kind: ObservedKind,
+    m: usize,
+    n: usize,
+    k: usize,
+    elem_bytes: usize,
+) -> ObserveGuard {
+    // relaxed: a stale read drops or adds one sample around arm/disarm —
+    // the estimator is statistical and tolerates either
+    if !ACTIVE.load(Ordering::Relaxed) {
+        return ObserveGuard { sample: None };
+    }
+    ObserveGuard {
+        sample: Some((kind, m, n, k, elem_bytes, Instant::now())),
+    }
+}
+
+#[cold]
+fn report(sample: Sample) {
+    let guard = OBSERVER.lock().unwrap_or_else(PoisonError::into_inner);
+    if let Some(observer) = guard.as_ref() {
+        observer(sample);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perturb::STRESS_LOCK;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    #[test]
+    fn disarmed_observe_reports_nothing() {
+        let _guard = STRESS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = hits.clone();
+        set_observer(move |_| {
+            h.fetch_add(1, Ordering::SeqCst);
+        });
+        set_active(false);
+        drop(observe(ObservedKind::Gemm, 8, 8, 8, 4));
+        assert_eq!(hits.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn armed_observe_reports_shape_and_time() {
+        let _guard = STRESS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let seen: Arc<Mutex<Vec<Sample>>> = Arc::new(Mutex::new(Vec::new()));
+        let s = seen.clone();
+        set_observer(move |sample| {
+            s.lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push(sample);
+        });
+        set_active(true);
+        drop(observe(ObservedKind::Gemv, 64, 32, 1, 8));
+        set_active(false);
+        let samples = seen.lock().unwrap_or_else(PoisonError::into_inner);
+        assert_eq!(samples.len(), 1);
+        let s = samples[0];
+        assert_eq!(
+            (s.kind, s.m, s.n, s.k, s.elem_bytes),
+            (ObservedKind::Gemv, 64, 32, 1, 8)
+        );
+        assert!(s.seconds >= 0.0);
+    }
+
+    #[test]
+    fn real_gemm_execution_flows_into_the_observer() {
+        let _guard = STRESS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let seen: Arc<Mutex<Vec<Sample>>> = Arc::new(Mutex::new(Vec::new()));
+        let s = seen.clone();
+        set_observer(move |sample| {
+            s.lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push(sample);
+        });
+        set_active(true);
+        let a = vec![1.0f32; 16 * 16];
+        let b = vec![1.0f32; 16 * 16];
+        let mut c = vec![0.0f32; 16 * 16];
+        crate::gemm::gemm(16, 16, 16, 1.0, &a, 16, &b, 16, 0.0, &mut c, 16)
+            .expect("valid gemm call");
+        set_active(false);
+        let samples = seen.lock().unwrap_or_else(PoisonError::into_inner);
+        assert_eq!(samples.len(), 1, "one gemm call, one sample");
+        let s = samples[0];
+        assert_eq!((s.kind, s.m, s.n, s.k), (ObservedKind::Gemm, 16, 16, 16));
+        assert_eq!(s.elem_bytes, 4);
+        assert!(s.seconds > 0.0);
+    }
+}

@@ -20,6 +20,7 @@
 //! violations as a typed [`ContractError`] instead of panicking.
 
 use crate::contract::{self, ContractError};
+use crate::dispatchhook;
 use crate::microkernel::{store_tile, ukernel, MR, NR};
 use crate::pack::{pack_a, pack_b};
 use crate::perturb;
@@ -289,6 +290,13 @@ pub fn gemm_parallel<T: Scalar>(
     if m == 0 || n == 0 {
         return Ok(());
     }
+    let _obs = dispatchhook::observe(
+        dispatchhook::ObservedKind::Gemm,
+        m,
+        n,
+        k,
+        std::mem::size_of::<T>(),
+    );
     let flops = 2usize.saturating_mul(m).saturating_mul(n).saturating_mul(k);
     // A worker should also own at least a few micro-panels of columns, or
     // the NR-rounded split leaves it no work at all.
@@ -338,6 +346,13 @@ pub fn gemm<T: Scalar>(
     c: &mut [T],
     ldc: usize,
 ) -> Result<(), ContractError> {
+    let _obs = dispatchhook::observe(
+        dispatchhook::ObservedKind::Gemm,
+        m,
+        n,
+        k,
+        std::mem::size_of::<T>(),
+    );
     // Below roughly a micro-tile's worth of work, packing costs more than
     // it saves.
     if m * n * k <= MR * NR * KC {

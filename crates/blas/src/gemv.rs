@@ -16,6 +16,7 @@
 //! violations as a typed [`ContractError`] instead of panicking.
 
 use crate::contract::{self, vec_index, ContractError};
+use crate::dispatchhook;
 use crate::perturb;
 use crate::pool;
 use crate::scalar::Scalar;
@@ -99,6 +100,13 @@ pub fn gemv<T: Scalar>(
     y: &mut [T],
     incy: isize,
 ) -> Result<(), ContractError> {
+    let _obs = dispatchhook::observe(
+        dispatchhook::ObservedKind::Gemv,
+        m,
+        n,
+        1,
+        std::mem::size_of::<T>(),
+    );
     gemv_ref(m, n, alpha, a, lda, x, incx, beta, y, incy)
 }
 
@@ -129,6 +137,13 @@ pub fn gemv_parallel<T: Scalar>(
     if m == 0 {
         return Ok(());
     }
+    let _obs = dispatchhook::observe(
+        dispatchhook::ObservedKind::Gemv,
+        m,
+        n,
+        1,
+        std::mem::size_of::<T>(),
+    );
     let streamed = m.saturating_mul(n.max(1));
     let chunks = pool::effective_workers(threads, streamed, pool::MIN_ELEMS_PER_THREAD).min(m);
     if chunks <= 1 || incy != 1 {

@@ -28,6 +28,9 @@
 //!   the work-based inline/parallel crossover constants
 //! - [`tracehook`] — span hooks the tracing plane above this crate
 //!   installs; disabled cost is one relaxed atomic load per seam
+//! - [`dispatchhook`] — realized-time observation hooks the online
+//!   dispatch plane (`blob-dispatch`) installs over the `gemm`/`gemv`
+//!   entry points; disabled cost is one relaxed atomic load, no clock read
 //! - [`batched`], [`sparse`], [`half`], [`level23`], [`transpose`] — the
 //!   extension kernels (strided-batch, CSR SpMV, software BF16, GER/SYRK/
 //!   TRSV/TRSM, transposed operands)
@@ -60,6 +63,7 @@
 pub mod arena;
 pub mod batched;
 pub mod contract;
+pub mod dispatchhook;
 pub mod faultpoint;
 pub mod gemm;
 pub mod gemv;

@@ -3,6 +3,7 @@
 //! the modelled systems and output control.
 
 use blob_core::problem::Problem;
+use blob_dispatch::Policy;
 use blob_sim::Precision;
 
 /// A command-line the binary cannot act on: which argument broke, and how.
@@ -166,6 +167,9 @@ USAGE:
     gpu-blob [OPTIONS]
     gpu-blob serve [OPTIONS]     run the advisor as an HTTP service
                                  (see gpu-blob serve --help)
+    gpu-blob dispatch [OPTIONS]  route a seeded mixed GEMM/GEMV trace
+                                 per-call through the online dispatcher
+                                 (see gpu-blob dispatch --help)
     gpu-blob profile [OPTIONS]   run a traced sweep (same options as the
                                  classic run) and print a per-span profile
                                  (call counts, total/self time, p50/p99)
@@ -400,14 +404,190 @@ Deprecation header):
                          (?last=N bounds the span count)
 ";
 
-/// What the binary was asked to do: the classic sweep, the service, or
-/// a traced profiling run.
+/// Arguments of the `dispatch` subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DispatchArgs {
+    /// Modelled system the trace dispatches on (`--system`; `host` is
+    /// rejected — dispatch prices a modelled GPU route).
+    pub system: SystemChoice,
+    /// Trace length in calls (`--calls`).
+    pub calls: usize,
+    /// Trace seed (`--seed`): fixes both the shapes and any noise.
+    pub seed: u64,
+    /// Every Nth call is a GEMV (`--gemv-every`; 0 = GEMM only).
+    pub gemv_every: usize,
+    /// Precision of every call in the trace (`--precision`).
+    pub precision: Precision,
+    /// Routing policy (`--policy`); `None` = compare all three.
+    pub policy: Option<Policy>,
+    /// Measurement-noise amplitude (`--noise`), seeded from `--seed`.
+    pub noise: Option<f64>,
+    /// Directory for per-policy route CSVs (`--output`).
+    pub output: Option<std::path::PathBuf>,
+    /// Emit the run(s) as one JSON document on stdout (`--json`).
+    pub json: bool,
+    /// Checkpoint file (`--checkpoint`); requires a single `--policy`.
+    pub checkpoint: Option<std::path::PathBuf>,
+    /// Resume from `--checkpoint`'s file (`--resume`).
+    pub resume: bool,
+    /// Write a chrome://tracing span dump of the run (`--trace <FILE>`).
+    pub trace: Option<std::path::PathBuf>,
+    /// Fault-plan spec (`--fault-plan`), overriding `GPU_BLOB_FAULTS`.
+    pub fault_plan: Option<String>,
+    pub help: bool,
+}
+
+impl Default for DispatchArgs {
+    fn default() -> Self {
+        Self {
+            system: SystemChoice::IsambardAi,
+            calls: 200,
+            seed: 42,
+            gemv_every: 0,
+            precision: Precision::F32,
+            policy: None,
+            noise: None,
+            output: None,
+            json: false,
+            checkpoint: None,
+            resume: false,
+            trace: None,
+            fault_plan: None,
+            help: false,
+        }
+    }
+}
+
+/// Usage text for `gpu-blob dispatch`.
+pub const DISPATCH_USAGE: &str = "\
+gpu-blob dispatch — online per-call CPU/GPU routing over a mixed trace
+
+Generates a seeded trace interleaving small (32–128) and large (512–1024)
+GEMMs, dispatches each call through the online estimator + hysteresis
+plane, and reports realized vs predicted seconds per policy. The default
+(no --policy) compares auto against always-cpu and always-gpu on the same
+trace: the dispatcher must beat both.
+
+USAGE:
+    gpu-blob dispatch [OPTIONS]
+
+OPTIONS:
+    --system <NAME>      dawn | lumi | isambard-ai (default: isambard-ai;
+                         'host' has no GPU route and is rejected)
+    --calls <N>          trace length (default: 200)
+    --seed <N>           trace seed; fixes shapes and noise (default: 42)
+    --gemv-every <N>     make every Nth call a GEMV (default: 0 = none)
+    --precision <P>      f32 | f64 for every call (default: f32)
+    --policy <P>         auto | always-cpu | always-gpu; omit to compare
+                         all three on the same trace
+    --noise <AMP>        multiplicative measurement noise amplitude in
+                         [0, 1), seeded from --seed (default: none)
+    --output <DIR>       write one route CSV per policy
+                         (dispatch_<system>_<policy>.csv)
+    --json               emit the run(s) as one JSON document on stdout,
+                         per-call route included
+    --checkpoint <FILE>  persist the run after every dispatched call
+                         (atomic write); requires a single --policy
+    --resume             replay --checkpoint's records (keyed by index,
+                         site, kernel, and route) and continue; the
+                         finished run is bit-identical to an uninterrupted
+                         one
+    --trace <FILE>       record dispatch.decide / dispatch.route spans and
+                         write a chrome://tracing JSON dump
+    --fault-plan <SPEC>  install a deterministic fault plan, e.g.
+                         'dispatch.decide:error@0.2x5' (decision faults
+                         degrade to the static prior, never fail the call)
+    -h, --help           this help
+";
+
+/// Parses `dispatch` subcommand arguments (without the `dispatch` token).
+pub fn parse_dispatch(argv: &[String]) -> Result<DispatchArgs, ArgsError> {
+    let mut args = DispatchArgs::default();
+    let mut it = argv.iter().peekable();
+    let next_value = |flag: &'static str,
+                      it: &mut std::iter::Peekable<std::slice::Iter<String>>| {
+        it.next().cloned().ok_or(ArgsError::MissingValue { flag })
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--system" => args.system = SystemChoice::parse(&next_value("--system", &mut it)?)?,
+            "--calls" => args.calls = parse_value(&next_value("--calls", &mut it)?, "--calls")?,
+            "--seed" => args.seed = parse_value(&next_value("--seed", &mut it)?, "--seed")?,
+            "--gemv-every" => {
+                args.gemv_every =
+                    parse_value(&next_value("--gemv-every", &mut it)?, "--gemv-every")?
+            }
+            "--precision" => {
+                let v = next_value("--precision", &mut it)?;
+                match v.to_ascii_lowercase().as_str() {
+                    "f32" | "s" | "single" => args.precision = Precision::F32,
+                    "f64" | "d" | "double" => args.precision = Precision::F64,
+                    other => return Err(ArgsError::UnknownPrecision(other.to_string())),
+                }
+            }
+            "--policy" => {
+                let v = next_value("--policy", &mut it)?;
+                args.policy = Some(Policy::from_id(&v.to_ascii_lowercase()).ok_or(
+                    ArgsError::BadValue {
+                        flag: "--policy",
+                        text: v,
+                    },
+                )?);
+            }
+            "--noise" => {
+                args.noise = Some(parse_value(&next_value("--noise", &mut it)?, "--noise")?)
+            }
+            "--output" => args.output = Some(next_value("--output", &mut it)?.into()),
+            "--json" => args.json = true,
+            "--checkpoint" => args.checkpoint = Some(next_value("--checkpoint", &mut it)?.into()),
+            "--resume" => args.resume = true,
+            "--trace" => args.trace = Some(next_value("--trace", &mut it)?.into()),
+            "--fault-plan" => args.fault_plan = Some(next_value("--fault-plan", &mut it)?),
+            "-h" | "--help" => args.help = true,
+            other => return Err(ArgsError::UnknownArgument(other.to_string())),
+        }
+    }
+    if args.calls == 0 {
+        return Err(ArgsError::InvalidCombination("--calls must be at least 1"));
+    }
+    if args.system == SystemChoice::Host {
+        return Err(ArgsError::InvalidCombination(
+            "dispatch prices a modelled GPU route; --system host has none \
+             (use dawn, lumi, or isambard-ai)",
+        ));
+    }
+    if let Some(amp) = args.noise {
+        if !(0.0..1.0).contains(&amp) {
+            return Err(ArgsError::InvalidCombination("--noise must be in [0, 1)"));
+        }
+    }
+    if args.resume && args.checkpoint.is_none() {
+        return Err(ArgsError::InvalidCombination(
+            "--resume requires --checkpoint <FILE>",
+        ));
+    }
+    if args.checkpoint.is_some() && args.policy.is_none() {
+        // A checkpoint file holds exactly one policy's run, so the
+        // invocation must pin the policy down (no compare mode).
+        return Err(ArgsError::InvalidCombination(
+            "--checkpoint requires --policy auto|always-cpu|always-gpu \
+             (one run per checkpoint file)",
+        ));
+    }
+    Ok(args)
+}
+
+/// What the binary was asked to do: the classic sweep, the service, the
+/// online dispatcher, or a traced profiling run.
 #[derive(Debug, Clone)]
 pub enum Command {
     /// The classic one-shot benchmark run.
     Sweep(Args),
     /// `gpu-blob serve …`.
     Serve(ServeArgs),
+    /// `gpu-blob dispatch …`: online per-call CPU/GPU routing over a
+    /// seeded mixed trace.
+    Dispatch(DispatchArgs),
     /// `gpu-blob profile …`: the classic run with tracing forced on,
     /// reported as a per-span profile table instead of sweep tables.
     Profile(Args),
@@ -465,6 +645,7 @@ pub fn parse_serve(argv: &[String]) -> Result<ServeArgs, ArgsError> {
 pub fn parse_command(argv: &[String]) -> Result<Command, ArgsError> {
     match argv.first().map(String::as_str) {
         Some("serve") => Ok(Command::Serve(parse_serve(&argv[1..])?)),
+        Some("dispatch") => Ok(Command::Dispatch(parse_dispatch(&argv[1..])?)),
         Some("profile") => Ok(Command::Profile(parse(&argv[1..])?)),
         _ => Ok(Command::Sweep(parse(argv)?)),
     }
@@ -690,6 +871,88 @@ mod tests {
         };
         assert_eq!(p.max_dim, 16);
         assert_eq!(p.system, SystemChoice::Host);
+    }
+
+    #[test]
+    fn dispatch_subcommand_parses() {
+        let c = parse_command(&sv(&[
+            "dispatch",
+            "--system",
+            "lumi",
+            "--calls",
+            "64",
+            "--seed",
+            "7",
+            "--gemv-every",
+            "5",
+            "--precision",
+            "f64",
+            "--policy",
+            "always-gpu",
+            "--noise",
+            "0.1",
+            "--json",
+        ]))
+        .unwrap();
+        let Command::Dispatch(d) = c else {
+            panic!("expected dispatch command")
+        };
+        assert_eq!(d.system, SystemChoice::Lumi);
+        assert_eq!(d.calls, 64);
+        assert_eq!(d.seed, 7);
+        assert_eq!(d.gemv_every, 5);
+        assert_eq!(d.precision, Precision::F64);
+        assert_eq!(d.policy, Some(Policy::AlwaysGpu));
+        assert_eq!(d.noise, Some(0.1));
+        assert!(d.json);
+
+        // defaults: compare mode on isambard-ai
+        let Command::Dispatch(d) = parse_command(&sv(&["dispatch"])).unwrap() else {
+            panic!("expected dispatch command")
+        };
+        assert_eq!(d, DispatchArgs::default());
+        assert_eq!(d.policy, None);
+    }
+
+    #[test]
+    fn dispatch_validation() {
+        // the host backend has no GPU route to price
+        assert!(matches!(
+            parse_dispatch(&sv(&["--system", "host"])).unwrap_err(),
+            ArgsError::InvalidCombination(_)
+        ));
+        assert!(matches!(
+            parse_dispatch(&sv(&["--calls", "0"])).unwrap_err(),
+            ArgsError::InvalidCombination(_)
+        ));
+        assert!(matches!(
+            parse_dispatch(&sv(&["--noise", "1.5"])).unwrap_err(),
+            ArgsError::InvalidCombination(_)
+        ));
+        assert_eq!(
+            parse_dispatch(&sv(&["--policy", "sometimes"])).unwrap_err(),
+            ArgsError::BadValue {
+                flag: "--policy",
+                text: "sometimes".to_string()
+            }
+        );
+        // checkpointing pins the run to one policy
+        assert!(matches!(
+            parse_dispatch(&sv(&["--checkpoint", "/tmp/dk.json"])).unwrap_err(),
+            ArgsError::InvalidCombination(_)
+        ));
+        assert!(parse_dispatch(&sv(&[
+            "--checkpoint",
+            "/tmp/dk.json",
+            "--policy",
+            "auto",
+            "--resume",
+        ]))
+        .is_ok());
+        assert!(matches!(
+            parse_dispatch(&sv(&["--resume"])).unwrap_err(),
+            ArgsError::InvalidCombination(_)
+        ));
     }
 
     #[test]

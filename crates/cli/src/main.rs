@@ -13,7 +13,10 @@
 
 mod args;
 
-use args::{parse_command, Args, Command, ServeArgs, SystemChoice, SERVE_USAGE, USAGE};
+use args::{
+    parse_command, Args, Command, DispatchArgs, ServeArgs, SystemChoice, DISPATCH_USAGE,
+    SERVE_USAGE, USAGE,
+};
 use blob_analysis::{ascii_chart, sd_pair_cell, Series, Table};
 use blob_core::backend::{Backend, HostCpu};
 use blob_core::csv::write_to_dir;
@@ -24,6 +27,10 @@ use blob_core::runner::{run_sweep, run_sweep_checkpointed, SweepConfig};
 use blob_core::trace;
 use blob_core::validate_call;
 use blob_core::wire::{self, Json};
+use blob_dispatch::{
+    compare_policies, dispatch_csv, dispatch_json, mixed_trace, run_trace, run_trace_checkpointed,
+    DispatchCheckpoint, Hysteresis, MixedTraceSpec, RunResult,
+};
 use blob_sim::{presets, Offload, Precision};
 use std::time::Duration;
 
@@ -40,6 +47,7 @@ fn main() {
     };
     let fault_spec = match &command {
         Command::Serve(a) => a.fault_plan.clone(),
+        Command::Dispatch(a) => a.fault_plan.clone(),
         Command::Sweep(a) | Command::Profile(a) => a.fault_plan.clone(),
     };
     install_fault_plan(fault_spec.as_deref());
@@ -69,6 +77,19 @@ fn main() {
                 run(&args);
             }
         }
+        Command::Dispatch(args) => {
+            if args.help {
+                println!("{DISPATCH_USAGE}");
+                return;
+            }
+            if let Some(path) = args.trace.clone() {
+                trace::enable();
+                run_dispatch(&args);
+                write_trace_dump(&path);
+            } else {
+                run_dispatch(&args);
+            }
+        }
         Command::Profile(args) => {
             if args.help {
                 println!("{USAGE}");
@@ -85,6 +106,13 @@ fn main() {
 fn run_traced(args: &Args, path: &std::path::Path) {
     trace::enable();
     run(args);
+    write_trace_dump(path);
+}
+
+/// Drains the armed trace plane and writes the spans as a
+/// chrome://tracing JSON document — the shared tail of every `--trace`
+/// mode (sweep and dispatch).
+fn write_trace_dump(path: &std::path::Path) {
     let spans = trace::take();
     let dropped = trace::dropped();
     trace::disable();
@@ -163,11 +191,205 @@ fn serve(args: &ServeArgs) {
     // parent process parsing the bound (possibly ephemeral) port.
     println!("listening on {}", server.local_addr());
     println!(
-        "endpoints: POST /v1/advise | POST /v1/threshold | GET /v1/systems | \
-         GET /v1/healthz | GET /v1/metrics | GET /v1/trace"
+        "endpoints: POST /v1/advise | POST /v1/threshold | POST /v1/dispatch | \
+         GET /v1/systems | GET /v1/healthz | GET /v1/metrics | GET /v1/trace"
     );
     server.join();
     println!("server stopped");
+}
+
+/// Builds the modelled system the dispatch trace runs on. `host` is
+/// rejected again here (argument validation already refuses it) so the
+/// driver degrades to a clean error even if a new call path skips
+/// `parse_dispatch`.
+fn dispatch_system(args: &DispatchArgs) -> blob_sim::SystemModel {
+    let sys = match args.system {
+        SystemChoice::Dawn => presets::dawn(),
+        SystemChoice::Lumi => presets::lumi(),
+        SystemChoice::IsambardAi => presets::isambard_ai(),
+        SystemChoice::Host => {
+            eprintln!(
+                "error: dispatch prices a modelled GPU route; --system host has none \
+                 (use dawn, lumi, or isambard-ai)"
+            );
+            std::process::exit(1);
+        }
+    };
+    match args.noise {
+        Some(amp) => sys.with_noise(args.seed, amp),
+        None => sys,
+    }
+}
+
+fn dispatch_spec(args: &DispatchArgs) -> MixedTraceSpec {
+    MixedTraceSpec {
+        seed: args.seed,
+        calls: args.calls,
+        precision: args.precision,
+        gemv_every: args.gemv_every,
+        ..MixedTraceSpec::default()
+    }
+}
+
+/// The `dispatch` subcommand: routes a seeded mixed trace per call
+/// through the online estimator + hysteresis plane and reports realized
+/// vs predicted seconds — for one `--policy`, or (default) comparing
+/// `auto` against both static policies on the same trace.
+fn run_dispatch(args: &DispatchArgs) {
+    let system = dispatch_system(args);
+    let spec = dispatch_spec(args);
+    if let Some(ck) = args.checkpoint.clone() {
+        run_dispatch_checkpointed(args, &system, &spec, &ck);
+        return;
+    }
+    let trace_calls = mixed_trace(&spec);
+    let results = match args.policy {
+        Some(policy) => vec![run_trace(
+            &system,
+            &trace_calls,
+            policy,
+            Hysteresis::default(),
+        )],
+        None => compare_policies(&system, &trace_calls, Hysteresis::default()),
+    };
+    emit_dispatch(args, &results);
+}
+
+/// The `dispatch --checkpoint` path: one policy, persisted atomically
+/// after every dispatched call; `--resume` replays the recorded prefix
+/// (keyed by index, site, kernel, and route) so the finished run is
+/// bit-identical to an uninterrupted one.
+fn run_dispatch_checkpointed(
+    args: &DispatchArgs,
+    system: &blob_sim::SystemModel,
+    spec: &MixedTraceSpec,
+    path: &std::path::Path,
+) {
+    let Some(policy) = args.policy else {
+        // `parse_dispatch` refuses --checkpoint without --policy, so this
+        // only fires if a new call path constructs DispatchArgs by hand.
+        eprintln!("error: --checkpoint requires --policy auto|always-cpu|always-gpu");
+        std::process::exit(1);
+    };
+    if path.exists() && !args.resume {
+        eprintln!(
+            "error: checkpoint {} already exists; pass --resume to continue it",
+            path.display()
+        );
+        std::process::exit(1);
+    }
+    let resumed = if args.resume && path.exists() {
+        match DispatchCheckpoint::load(path) {
+            Ok(ck) => ck.records.len(),
+            Err(e) => {
+                eprintln!("error: cannot resume from {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    } else {
+        0
+    };
+    let result = match run_trace_checkpointed(system, spec, policy, Hysteresis::default(), path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: checkpointed dispatch failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    if resumed > 0 {
+        eprintln!(
+            "resumed {} of {} call(s) from {}",
+            resumed,
+            result.records.len(),
+            path.display()
+        );
+    }
+    emit_dispatch(args, &[result]);
+}
+
+/// Emits dispatch results: per-policy route CSVs (`--output`), one JSON
+/// document with the route per call (`--json`), or the summary table
+/// with a winner line in compare mode.
+fn emit_dispatch(args: &DispatchArgs, results: &[RunResult]) {
+    if let Some(dir) = &args.output {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("error: cannot create {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+        for r in results {
+            let slug: String = r
+                .backend_name
+                .chars()
+                .map(|c| {
+                    if c.is_ascii_alphanumeric() {
+                        c.to_ascii_lowercase()
+                    } else {
+                        '-'
+                    }
+                })
+                .collect();
+            let path = dir.join(format!("dispatch_{slug}_{}.csv", r.policy.id()));
+            if let Err(e) = blob_core::atomicio::write_atomic(&path, dispatch_csv(r).as_bytes()) {
+                eprintln!("error: cannot write CSV {}: {e}", path.display());
+                std::process::exit(1);
+            }
+            eprintln!("wrote {}", path.display());
+        }
+    }
+    if args.json {
+        let doc = Json::obj()
+            .field("system", results[0].backend_name.as_str())
+            .field("seed", args.seed)
+            .field("calls", args.calls as u64)
+            .field(
+                "runs",
+                Json::Arr(results.iter().map(dispatch_json).collect()),
+            )
+            .build();
+        println!("{}", doc.encode_pretty());
+        return;
+    }
+    println!(
+        "GPU-BLOB dispatch | system: {} | {} call(s) | seed {}",
+        results[0].backend_name, args.calls, args.seed
+    );
+    println!(
+        "{:<12} {:>5} {:>5} {:>6} {:>7} {:>14} {:>14}",
+        "policy", "cpu", "gpu", "flips", "faults", "realized (ms)", "predicted (ms)"
+    );
+    for r in results {
+        let s = &r.stats;
+        println!(
+            "{:<12} {:>5} {:>5} {:>6} {:>7} {:>14.4} {:>14.4}",
+            r.policy.id(),
+            s.cpu_calls,
+            s.gpu_calls,
+            s.flips,
+            s.fault_fallbacks,
+            s.realized_seconds * 1e3,
+            s.predicted_seconds * 1e3,
+        );
+    }
+    if results.len() == 3 {
+        let auto = &results[0].stats;
+        let cpu = &results[1].stats;
+        let gpu = &results[2].stats;
+        if auto.realized_seconds < cpu.realized_seconds
+            && auto.realized_seconds < gpu.realized_seconds
+        {
+            println!(
+                "\nauto wins: {:.4} ms vs always-cpu {:.4} ms ({:.2}x) \
+                 and always-gpu {:.4} ms ({:.2}x)",
+                auto.realized_seconds * 1e3,
+                cpu.realized_seconds * 1e3,
+                cpu.realized_seconds / auto.realized_seconds,
+                gpu.realized_seconds * 1e3,
+                gpu.realized_seconds / auto.realized_seconds,
+            );
+        } else {
+            println!("\nauto did NOT beat both static policies on this trace");
+        }
+    }
 }
 
 fn run(args: &Args) {

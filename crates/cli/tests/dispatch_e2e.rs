@@ -1,0 +1,194 @@
+//! End-to-end tests of `gpu-blob dispatch`: spawn the real binary and
+//! check the online dispatch plane works from the shell — policy
+//! comparison, per-call route JSON/CSV, checkpoint/resume merging, trace
+//! spans, and decision-fault degradation.
+
+use blob_core::wire::Json;
+use std::process::Command;
+
+fn run(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_gpu-blob"))
+        .args(args)
+        .output()
+        .expect("spawn gpu-blob");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+fn temp_path(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("blob_dispatch_e2e_{}_{name}", std::process::id()))
+}
+
+#[test]
+fn dispatch_help_prints_usage() {
+    let (stdout, _, ok) = run(&["dispatch", "--help"]);
+    assert!(ok);
+    assert!(stdout.contains("online per-call CPU/GPU routing"));
+    assert!(stdout.contains("--policy"));
+    assert!(stdout.contains("--checkpoint"));
+}
+
+#[test]
+fn compare_mode_reports_the_dispatcher_beating_both_static_policies() {
+    let (stdout, _, ok) = run(&["dispatch", "--calls", "60"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("GPU-BLOB dispatch | system: Isambard-AI"));
+    for policy in ["auto", "always-cpu", "always-gpu"] {
+        assert!(stdout.contains(policy), "missing {policy} row");
+    }
+    assert!(
+        stdout.contains("auto wins:"),
+        "dispatcher must beat both static policies: {stdout}"
+    );
+}
+
+#[test]
+fn dispatch_host_is_rejected() {
+    let (_, stderr, ok) = run(&["dispatch", "--system", "host"]);
+    assert!(!ok);
+    assert!(stderr.contains("modelled GPU route"));
+}
+
+#[test]
+fn json_mode_carries_the_route_per_call() {
+    let (stdout, _, ok) = run(&["dispatch", "--calls", "20", "--gemv-every", "5", "--json"]);
+    assert!(ok);
+    let doc = Json::parse(&stdout).expect("stdout parses as JSON");
+    let runs = doc.get("runs").and_then(Json::as_arr).expect("runs");
+    assert_eq!(runs.len(), 3, "compare mode runs all three policies");
+    let auto = &runs[0];
+    assert_eq!(auto.get("policy").and_then(Json::as_str), Some("auto"));
+    let calls = auto.get("calls").and_then(Json::as_arr).expect("calls");
+    assert_eq!(calls.len(), 20);
+    let mut cpu = 0;
+    let mut gpu = 0;
+    for c in calls {
+        match c.get("route").and_then(Json::as_str) {
+            Some("cpu") => cpu += 1,
+            Some("gpu") => gpu += 1,
+            other => panic!("bad route {other:?}"),
+        }
+        assert!(c.get("realized_seconds").and_then(Json::as_f64).is_some());
+        assert!(c
+            .get("predicted_cpu_seconds")
+            .and_then(Json::as_f64)
+            .is_some());
+    }
+    assert!(cpu > 0 && gpu > 0, "mixed trace should split routes");
+}
+
+#[test]
+fn route_csvs_land_on_disk_per_policy() {
+    let dir = temp_path("csv");
+    let (_, stderr, ok) = run(&[
+        "dispatch",
+        "--calls",
+        "12",
+        "--output",
+        dir.to_str().unwrap(),
+    ]);
+    assert!(ok, "{stderr}");
+    for policy in ["auto", "always-cpu", "always-gpu"] {
+        let path = dir.join(format!("dispatch_isambard-ai_{policy}.csv"));
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing {}: {e}", path.display()));
+        assert!(text.starts_with("# system=Isambard-AI policy="));
+        assert!(text.contains("index,site,routine,m,n,k,route,verdict"));
+        assert_eq!(text.lines().count(), 2 + 12);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn checkpointed_run_resumes_to_bit_identical_json() {
+    let ck = temp_path("ck.json");
+    let _ = std::fs::remove_file(&ck);
+    let base = &[
+        "dispatch", "--calls", "24", "--policy", "auto", "--seed", "7", "--json",
+    ];
+    let (plain, _, ok) = run(base);
+    assert!(ok);
+
+    let mut with_ck: Vec<&str> = base.to_vec();
+    with_ck.extend(["--checkpoint", ck.to_str().unwrap()]);
+    let (first, _, ok) = run(&with_ck);
+    assert!(ok);
+    assert_eq!(
+        plain, first,
+        "checkpointed run must match the plain run byte for byte"
+    );
+
+    // without --resume an existing checkpoint refuses to be overwritten
+    let (_, stderr, ok) = run(&with_ck);
+    assert!(!ok);
+    assert!(stderr.contains("--resume"), "{stderr}");
+
+    // resuming the complete run replays all 24 records, redispatching none
+    let mut resumed: Vec<&str> = with_ck.clone();
+    resumed.push("--resume");
+    let (second, stderr, ok) = run(&resumed);
+    assert!(ok, "{stderr}");
+    assert!(stderr.contains("resumed 24 of 24"), "{stderr}");
+    assert_eq!(plain, second, "resumed run must be bit-identical");
+    let _ = std::fs::remove_file(&ck);
+}
+
+#[test]
+fn traced_dispatch_writes_decide_and_route_spans() {
+    let path = temp_path("trace.json");
+    let _ = std::fs::remove_file(&path);
+    let (_, stderr, ok) = run(&[
+        "dispatch",
+        "--calls",
+        "8",
+        "--policy",
+        "auto",
+        "--trace",
+        path.to_str().unwrap(),
+    ]);
+    assert!(ok, "{stderr}");
+    let text = std::fs::read_to_string(&path).expect("trace file written");
+    let doc = Json::parse(&text).expect("trace file is valid JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents")
+        .to_vec();
+    for expected in ["dispatch.decide", "dispatch.route"] {
+        assert!(
+            events
+                .iter()
+                .any(|e| e.get("name").and_then(Json::as_str) == Some(expected)),
+            "missing {expected} span"
+        );
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn decision_faults_degrade_to_the_prior_not_a_failure() {
+    let (stdout, stderr, ok) = run(&[
+        "dispatch",
+        "--calls",
+        "16",
+        "--policy",
+        "auto",
+        "--json",
+        "--fault-plan",
+        "dispatch.decide:error@1x4",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stderr.contains("chaos mode"));
+    let doc = Json::parse(&stdout).expect("stdout parses as JSON");
+    let runs = doc.get("runs").and_then(Json::as_arr).expect("runs");
+    let stats = runs[0].get("stats").expect("stats");
+    assert_eq!(
+        stats.get("fault_fallbacks").and_then(Json::as_u64),
+        Some(4),
+        "all four injected decision faults must fall back"
+    );
+    assert_eq!(stats.get("calls").and_then(Json::as_u64), Some(16));
+}

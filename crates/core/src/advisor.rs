@@ -20,8 +20,11 @@ pub enum Verdict {
     Offload,
     /// The GPU wins, but modestly — weigh the porting effort (1.05–2×).
     Marginal,
-    /// Within noise of a tie (0.95–1.05×); measure on the real machine.
-    TossUp,
+    /// Within noise of a tie (0.95–1.05×): an explicit near-threshold
+    /// band. Offline, the advice is to measure on the real machine; the
+    /// online dispatch plane's hysteresis consumes this verdict by
+    /// holding whatever route it is already on.
+    Borderline,
     /// The CPU wins; porting would be wasted effort.
     StayOnCpu,
     /// The backend cannot time a GPU (CPU-only configuration).
@@ -35,9 +38,23 @@ impl Verdict {
         match self {
             Verdict::Offload => "offload",
             Verdict::Marginal => "marginal",
-            Verdict::TossUp => "toss-up",
+            Verdict::Borderline => "borderline",
             Verdict::StayOnCpu => "stay-on-cpu",
             Verdict::NoGpu => "no-gpu",
+        }
+    }
+
+    /// Parses a wire identifier back into a verdict. Accepts the legacy
+    /// `"toss-up"` spelling as an alias for [`Verdict::Borderline`]
+    /// (pre-dispatch-plane clients and CSVs used it).
+    pub fn from_id(id: &str) -> Option<Self> {
+        match id {
+            "offload" => Some(Verdict::Offload),
+            "marginal" => Some(Verdict::Marginal),
+            "borderline" | "toss-up" => Some(Verdict::Borderline),
+            "stay-on-cpu" => Some(Verdict::StayOnCpu),
+            "no-gpu" => Some(Verdict::NoGpu),
+            _ => None,
         }
     }
 }
@@ -71,7 +88,7 @@ impl Advice {
                 match v {
                     Verdict::Offload => "offload — clear win",
                     Verdict::Marginal => "offload, but weigh the porting effort",
-                    Verdict::TossUp => "toss-up: profile on the real machine",
+                    Verdict::Borderline => "borderline: profile on the real machine",
                     Verdict::StayOnCpu => "stay on the CPU",
                     Verdict::NoGpu => unreachable!(),
                 },
@@ -92,7 +109,7 @@ pub fn advise(backend: &dyn Backend, call: &BlasCall, iterations: u32, offload: 
         None => Verdict::NoGpu,
         Some(s) if s >= 2.0 => Verdict::Offload,
         Some(s) if s > 1.05 => Verdict::Marginal,
-        Some(s) if s > 0.95 => Verdict::TossUp,
+        Some(s) if s > 0.95 => Verdict::Borderline,
         Some(_) => Verdict::StayOnCpu,
     };
     Advice {
@@ -152,7 +169,7 @@ mod tests {
         for sys in presets::evaluation_systems() {
             let a = advise(&sys, &call, 64, Offload::TransferAlways);
             assert!(
-                matches!(a.verdict, Verdict::StayOnCpu | Verdict::TossUp),
+                matches!(a.verdict, Verdict::StayOnCpu | Verdict::Borderline),
                 "{}: {:?}",
                 sys.name,
                 a.verdict
@@ -201,13 +218,13 @@ mod tests {
         let v = |cpu: f64| advise(&Fixed(cpu), &call, 1, Offload::TransferOnce).verdict;
         assert_eq!(v(3.0), Verdict::Offload);
         assert_eq!(v(1.5), Verdict::Marginal);
-        assert_eq!(v(1.0), Verdict::TossUp);
+        assert_eq!(v(1.0), Verdict::Borderline);
         assert_eq!(v(0.5), Verdict::StayOnCpu);
     }
 
     #[test]
     fn verdict_bucket_edges_land_as_documented() {
-        // The documented buckets are: StayOnCpu < 0.95 ≤ TossUp ≤ 1.05 <
+        // The documented buckets are: StayOnCpu < 0.95 ≤ Borderline ≤ 1.05 <
         // Marginal < 2.0 ≤ Offload. With gpu_seconds fixed at 1.0 the CPU
         // time *is* the speedup, so each edge can be hit exactly.
         struct Fixed(f64);
@@ -227,13 +244,13 @@ mod tests {
         // exactly 2.0 is already a clear win
         assert_eq!(v(2.0), Verdict::Offload);
         assert_eq!(v(1.9999999), Verdict::Marginal);
-        // exactly 1.05 is still within the toss-up band (Marginal is an
-        // open interval at its lower edge)
-        assert_eq!(v(1.05), Verdict::TossUp);
+        // exactly 1.05 is still within the borderline band (Marginal is
+        // an open interval at its lower edge)
+        assert_eq!(v(1.05), Verdict::Borderline);
         assert_eq!(v(1.0500001), Verdict::Marginal);
-        // exactly 0.95 has left the toss-up band (TossUp is open below)
+        // exactly 0.95 has left the borderline band (which is open below)
         assert_eq!(v(0.95), Verdict::StayOnCpu);
-        assert_eq!(v(0.9500001), Verdict::TossUp);
+        assert_eq!(v(0.9500001), Verdict::Borderline);
     }
 
     #[test]
@@ -241,7 +258,7 @@ mod tests {
         let ids: Vec<&str> = [
             Verdict::Offload,
             Verdict::Marginal,
-            Verdict::TossUp,
+            Verdict::Borderline,
             Verdict::StayOnCpu,
             Verdict::NoGpu,
         ]
@@ -250,7 +267,7 @@ mod tests {
         .collect();
         assert_eq!(
             ids,
-            vec!["offload", "marginal", "toss-up", "stay-on-cpu", "no-gpu"]
+            vec!["offload", "marginal", "borderline", "stay-on-cpu", "no-gpu"]
         );
     }
 

@@ -64,9 +64,12 @@ pub mod sites {
     pub const CSV_WRITE: &str = "csv.write";
     /// Sweep checkpoint-file write.
     pub const CHECKPOINT_WRITE: &str = "checkpoint.write";
+    /// Dispatch-plane routing decision (error ⇒ fall back to the static
+    /// advisor prior for this call).
+    pub const DISPATCH_DECIDE: &str = "dispatch.decide";
 
     /// Every site name, for validation and documentation.
-    pub const ALL: [&str; 9] = [
+    pub const ALL: [&str; 10] = [
         SERVE_ACCEPT,
         SERVE_WORKER,
         SERVE_HANDLE,
@@ -76,6 +79,7 @@ pub mod sites {
         RUNNER_SIZE,
         CSV_WRITE,
         CHECKPOINT_WRITE,
+        DISPATCH_DECIDE,
     ];
 }
 

@@ -50,6 +50,10 @@ pub mod names {
     pub const CHECKPOINT_SAVE: &str = "checkpoint.save";
     /// One HTTP request handled by `blob-serve`.
     pub const SERVE_REQUEST: &str = "serve.request";
+    /// One dispatch-plane routing decision (estimator + hysteresis).
+    pub const DISPATCH_DECIDE: &str = "dispatch.decide";
+    /// One dispatched call executing on its chosen route.
+    pub const DISPATCH_ROUTE: &str = "dispatch.route";
 }
 
 /// Span categories used by the harness layers.
@@ -60,6 +64,8 @@ pub mod cats {
     pub const CHECKPOINT: &str = "checkpoint";
     /// HTTP-service spans.
     pub const SERVE: &str = "serve";
+    /// Online-dispatch-plane spans.
+    pub const DISPATCH: &str = "dispatch";
 }
 
 /// One completed span.

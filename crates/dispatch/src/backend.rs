@@ -1,0 +1,168 @@
+//! The timing surface a dispatcher routes against.
+//!
+//! [`DispatchBackend`] separates *priors* (what the static model expects
+//! a route to cost, used for planning) from *realized* times (what the
+//! route actually cost once taken, fed back into the online estimator).
+//! For the calibrated [`SystemModel`]s the realized times are themselves
+//! modelled — with the system's deterministic measurement noise applied,
+//! when configured — while the priors are always noise-free, so the
+//! estimator has something genuine to learn.
+
+use blob_sim::firsttouch::{FirstTouchModel, DEFAULT_FAULT_US, DEFAULT_PAGE_BYTES};
+use blob_sim::{BlasCall, SystemModel};
+
+/// Default device-memory budget for residency tracking when the backend
+/// does not model capacity explicitly (matches the smaller HBM parts in
+/// the paper's Table II: tens of GB).
+pub const DEFAULT_DEVICE_CAPACITY_BYTES: f64 = 32e9;
+
+/// Default fixed per-call cost of *routing* a call to the GPU beyond the
+/// device-side launch already priced in the kernel time: dispatch
+/// bookkeeping, kernel submission, and the blocking synchronization a
+/// drop-in BLAS front must do before returning control to the caller.
+/// The automatic-offload literature (arXiv 2404.13195) measures this
+/// per-call overhead in the microseconds even on NVLink-C2C — it is what
+/// keeps tiny calls on the CPU no matter how fast the device is.
+pub const DEFAULT_SYNC_OVERHEAD_US: f64 = 6.0;
+
+/// A timing source the dispatch plane can route against.
+pub trait DispatchBackend {
+    /// Human-readable backend name (system name for models).
+    fn name(&self) -> String;
+
+    /// Static-model prior for one CPU execution of `call`, seconds.
+    fn prior_cpu_seconds(&self, call: &BlasCall) -> f64;
+
+    /// Static-model prior for one device-side GPU kernel execution of
+    /// `call` (no data movement), or `None` for CPU-only backends.
+    fn prior_gpu_kernel_seconds(&self, call: &BlasCall) -> Option<f64>;
+
+    /// Realized seconds for one CPU execution of `call`.
+    fn realize_cpu_seconds(&self, call: &BlasCall) -> f64;
+
+    /// Realized device-side kernel seconds for one GPU execution of
+    /// `call`, or `None` for CPU-only backends.
+    fn realize_gpu_kernel_seconds(&self, call: &BlasCall) -> Option<f64>;
+
+    /// First-touch page-migration behaviour for the GPU route, or `None`
+    /// for CPU-only backends.
+    fn first_touch(&self) -> Option<FirstTouchModel>;
+
+    /// Device-memory budget for residency tracking, bytes.
+    fn device_capacity_bytes(&self) -> f64 {
+        DEFAULT_DEVICE_CAPACITY_BYTES
+    }
+
+    /// Fixed per-call seconds charged on every GPU-routed call, warm or
+    /// cold (see [`DEFAULT_SYNC_OVERHEAD_US`]). Deterministic and
+    /// route-constant, so it is added outside the estimator blend.
+    fn offload_overhead_seconds(&self) -> f64 {
+        DEFAULT_SYNC_OVERHEAD_US * 1e-6
+    }
+}
+
+impl DispatchBackend for SystemModel {
+    fn name(&self) -> String {
+        self.name.to_string()
+    }
+
+    fn prior_cpu_seconds(&self, call: &BlasCall) -> f64 {
+        match self.noise {
+            None => self.cpu_seconds(call, 1),
+            Some(_) => {
+                let mut clean = self.clone();
+                clean.noise = None;
+                clean.cpu_seconds(call, 1)
+            }
+        }
+    }
+
+    fn prior_gpu_kernel_seconds(&self, call: &BlasCall) -> Option<f64> {
+        match self.noise {
+            None => self.gpu_kernel_seconds(call),
+            Some(_) => {
+                let mut clean = self.clone();
+                clean.noise = None;
+                clean.gpu_kernel_seconds(call)
+            }
+        }
+    }
+
+    fn realize_cpu_seconds(&self, call: &BlasCall) -> f64 {
+        self.cpu_seconds(call, 1)
+    }
+
+    fn realize_gpu_kernel_seconds(&self, call: &BlasCall) -> Option<f64> {
+        self.gpu_kernel_seconds(call)
+    }
+
+    fn offload_overhead_seconds(&self) -> f64 {
+        // Submission + blocking sync cross the link both ways, on top of
+        // the runtime's own dispatch bookkeeping.
+        let link_us = self.link.as_ref().map_or(0.0, |l| 2.0 * l.latency_us);
+        (link_us + DEFAULT_SYNC_OVERHEAD_US) * 1e-6
+    }
+
+    fn first_touch(&self) -> Option<FirstTouchModel> {
+        if !self.has_gpu() {
+            return None;
+        }
+        // USM systems get the calibrated first-touch derivation; systems
+        // without USM still move pages over the link, so price migration
+        // at the link's DMA bandwidths instead.
+        self.first_touch_model().or_else(|| {
+            self.link.as_ref().map(|link| FirstTouchModel {
+                page_bytes: DEFAULT_PAGE_BYTES,
+                fault_us: DEFAULT_FAULT_US,
+                migration_gbs: link.h2d_gbs,
+                writeback_gbs: link.d2h_gbs,
+                per_iter_penalty: 0.0,
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blob_sim::{presets, Precision};
+
+    #[test]
+    fn priors_strip_noise_realized_keeps_it() {
+        let noisy = presets::isambard_ai().with_noise(11, 0.1);
+        let clean = presets::isambard_ai();
+        let call = BlasCall::gemm(Precision::F32, 300, 300, 300);
+        assert_eq!(
+            noisy.prior_cpu_seconds(&call),
+            clean.cpu_seconds(&call, 1),
+            "prior must be the noise-free model"
+        );
+        assert_ne!(
+            noisy.realize_cpu_seconds(&call),
+            noisy.prior_cpu_seconds(&call),
+            "realized must carry the configured noise"
+        );
+        assert_eq!(
+            noisy.prior_gpu_kernel_seconds(&call),
+            clean.gpu_kernel_seconds(&call)
+        );
+    }
+
+    #[test]
+    fn cpu_only_backend_has_no_gpu_surface() {
+        let sys = presets::isambard_ai_armpl();
+        let call = BlasCall::gemm(Precision::F32, 64, 64, 64);
+        assert!(sys.prior_gpu_kernel_seconds(&call).is_none());
+        assert!(sys.realize_gpu_kernel_seconds(&call).is_none());
+        assert!(sys.first_touch().is_none());
+    }
+
+    #[test]
+    fn gpu_backend_always_has_a_first_touch_model() {
+        for sys in blob_sim::presets::evaluation_systems() {
+            if sys.has_gpu() {
+                assert!(sys.first_touch().is_some(), "{}", sys.name);
+            }
+        }
+    }
+}

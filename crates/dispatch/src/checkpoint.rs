@@ -1,0 +1,583 @@
+//! Crash-safe dispatch runs: per-call checkpointing for `--resume`.
+//!
+//! A dispatch trace is stateful in a way a sweep is not: every decision
+//! depends on the history table and device residency left behind by the
+//! calls before it. Resuming therefore cannot just skip finished calls —
+//! it must *replay* their recorded outcomes into a fresh dispatcher
+//! (route, observed compute seconds, residency effects) so the first
+//! live call sees exactly the state it would have seen uninterrupted.
+//! That is why each record's key includes the **route**: merging a
+//! resumed run is exactly-once per (index, site, kernel, route).
+//!
+//! Realized/predicted seconds are persisted as exact `f64` bit patterns
+//! (hex), like [`blob_core::checkpoint`], so a killed-and-resumed run is
+//! byte-identical to an uninterrupted one. Files are written atomically
+//! after every dispatched call, through the `checkpoint.write` fault
+//! point and under a `checkpoint.save` trace span.
+
+use crate::backend::DispatchBackend;
+use crate::dispatcher::{Decision, Dispatcher, Policy, Route};
+use crate::hysteresis::Hysteresis;
+use crate::run::{CallRecord, RunResult};
+use crate::workload::{mixed_trace, MixedTraceSpec, TraceCall};
+use blob_core::advisor::Verdict;
+use blob_core::atomicio::write_atomic;
+use blob_core::wire::{parse_precision, precision_key, Json};
+use blob_core::{fault, trace};
+use blob_sim::Kernel;
+use std::path::Path;
+
+/// Current dispatch-checkpoint format version.
+pub const VERSION: u64 = 1;
+
+/// Error from loading, parsing, or keying a dispatch checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// The file could not be read or written.
+    Io(String),
+    /// The file was not a valid dispatch checkpoint.
+    Parse(String),
+    /// The checkpoint belongs to a different run (system, policy, or
+    /// trace spec), or its records disagree with the regenerated trace.
+    Mismatch(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "dispatch checkpoint i/o: {e}"),
+            CheckpointError::Parse(e) => write!(f, "dispatch checkpoint parse: {e}"),
+            CheckpointError::Mismatch(e) => write!(f, "dispatch checkpoint mismatch: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// One persisted dispatched call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointRecord {
+    /// Position in the trace.
+    pub index: usize,
+    /// Call-site name.
+    pub site: String,
+    /// Kernel and dimensions.
+    pub kernel: Kernel,
+    /// The route taken — part of the exactly-once merge key.
+    pub route: Route,
+    /// Advisor verdict at decision time.
+    pub verdict: Verdict,
+    /// Predicted CPU seconds, bit-exact.
+    pub predicted_cpu: f64,
+    /// Predicted GPU seconds, bit-exact (`None` without a GPU).
+    pub predicted_gpu: Option<f64>,
+    /// Realized seconds on the chosen route, bit-exact.
+    pub realized: f64,
+    /// Compute-only seconds fed to the estimator, bit-exact (what replay
+    /// re-feeds).
+    pub observed: f64,
+    /// Whether the route flipped on this call.
+    pub flipped: bool,
+    /// Whether the decision degraded to the static prior under fault.
+    pub fault_fallback: bool,
+}
+
+/// A dispatch-run checkpoint: the identifying key (system, policy, and
+/// the full trace spec) plus every call dispatched so far, in order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DispatchCheckpoint {
+    /// Backend (system) name.
+    pub system: String,
+    /// Routing policy of the run.
+    pub policy: Policy,
+    /// The trace spec — with `seed`, enough to regenerate the exact trace.
+    pub spec: MixedTraceSpec,
+    /// True once the whole trace has been dispatched.
+    pub complete: bool,
+    /// Calls dispatched so far, a prefix of the trace.
+    pub records: Vec<CheckpointRecord>,
+}
+
+fn bits(v: f64) -> Json {
+    Json::Str(format!("{:016x}", v.to_bits()))
+}
+
+fn from_bits(j: Option<&Json>, what: &str) -> Result<f64, CheckpointError> {
+    let s = j
+        .and_then(Json::as_str)
+        .ok_or_else(|| CheckpointError::Parse(format!("{what}: expected hex-bits string")))?;
+    let raw = u64::from_str_radix(s, 16)
+        .map_err(|_| CheckpointError::Parse(format!("{what}: bad hex bits {s:?}")))?;
+    Ok(f64::from_bits(raw))
+}
+
+fn get_u64(doc: &Json, field: &str) -> Result<u64, CheckpointError> {
+    doc.get(field)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| CheckpointError::Parse(format!("missing or non-integer `{field}`")))
+}
+
+fn get_str<'a>(doc: &'a Json, field: &str) -> Result<&'a str, CheckpointError> {
+    doc.get(field)
+        .and_then(Json::as_str)
+        .ok_or_else(|| CheckpointError::Parse(format!("missing or non-string `{field}`")))
+}
+
+fn kernel_to_json(k: &Kernel) -> Json {
+    match *k {
+        Kernel::Gemm { m, n, k } => Json::obj()
+            .field("kind", "gemm")
+            .field("m", m as u64)
+            .field("n", n as u64)
+            .field("k", k as u64)
+            .build(),
+        Kernel::Gemv { m, n } => Json::obj()
+            .field("kind", "gemv")
+            .field("m", m as u64)
+            .field("n", n as u64)
+            .build(),
+    }
+}
+
+fn kernel_from_json(j: &Json) -> Result<Kernel, CheckpointError> {
+    let kind = get_str(j, "kind")?;
+    let m = get_u64(j, "m")? as usize;
+    let n = get_u64(j, "n")? as usize;
+    match kind {
+        "gemm" => Ok(Kernel::Gemm {
+            m,
+            n,
+            k: get_u64(j, "k")? as usize,
+        }),
+        "gemv" => Ok(Kernel::Gemv { m, n }),
+        other => Err(CheckpointError::Parse(format!(
+            "unknown kernel kind {other:?}"
+        ))),
+    }
+}
+
+fn record_to_json(r: &CheckpointRecord) -> Json {
+    Json::obj()
+        .field("index", r.index as u64)
+        .field("site", r.site.as_str())
+        .field("kernel", kernel_to_json(&r.kernel))
+        .field("route", r.route.id())
+        .field("verdict", r.verdict.id())
+        .field("predicted_cpu_bits", bits(r.predicted_cpu))
+        .field(
+            "predicted_gpu_bits",
+            match r.predicted_gpu {
+                Some(g) => bits(g),
+                None => Json::Null,
+            },
+        )
+        .field("realized_bits", bits(r.realized))
+        .field("observed_bits", bits(r.observed))
+        .field("flip", r.flipped)
+        .field("fault_fallback", r.fault_fallback)
+        .build()
+}
+
+fn record_from_json(j: &Json) -> Result<CheckpointRecord, CheckpointError> {
+    let route_id = get_str(j, "route")?;
+    let route = Route::from_id(route_id)
+        .ok_or_else(|| CheckpointError::Parse(format!("unknown route {route_id:?}")))?;
+    let verdict_id = get_str(j, "verdict")?;
+    let verdict = Verdict::from_id(verdict_id)
+        .ok_or_else(|| CheckpointError::Parse(format!("unknown verdict {verdict_id:?}")))?;
+    let predicted_gpu = match j.get("predicted_gpu_bits") {
+        None | Some(Json::Null) => None,
+        some => Some(from_bits(some, "predicted gpu")?),
+    };
+    Ok(CheckpointRecord {
+        index: get_u64(j, "index")? as usize,
+        site: get_str(j, "site")?.to_string(),
+        kernel: kernel_from_json(
+            j.get("kernel")
+                .ok_or_else(|| CheckpointError::Parse("record missing `kernel`".to_string()))?,
+        )?,
+        route,
+        verdict,
+        predicted_cpu: from_bits(j.get("predicted_cpu_bits"), "predicted cpu")?,
+        predicted_gpu,
+        realized: from_bits(j.get("realized_bits"), "realized")?,
+        observed: from_bits(j.get("observed_bits"), "observed")?,
+        flipped: j.get("flip").and_then(Json::as_bool).unwrap_or(false),
+        fault_fallback: j
+            .get("fault_fallback")
+            .and_then(Json::as_bool)
+            .unwrap_or(false),
+    })
+}
+
+impl DispatchCheckpoint {
+    /// An empty checkpoint keyed to one run.
+    pub fn new(system: &str, policy: Policy, spec: &MixedTraceSpec) -> Self {
+        Self {
+            system: system.to_string(),
+            policy,
+            spec: *spec,
+            complete: false,
+            records: Vec::new(),
+        }
+    }
+
+    /// Whether this checkpoint belongs to the given run.
+    pub fn matches(&self, system: &str, policy: Policy, spec: &MixedTraceSpec) -> bool {
+        self.system == system && self.policy == policy && self.spec == *spec
+    }
+
+    /// Serialises the checkpoint to its JSON document.
+    pub fn to_json_string(&self) -> String {
+        let records: Vec<Json> = self.records.iter().map(record_to_json).collect();
+        Json::obj()
+            .field("version", VERSION)
+            .field("system", self.system.as_str())
+            .field("policy", self.policy.id())
+            .field("seed", self.spec.seed)
+            .field("calls", self.spec.calls as u64)
+            .field("small_min", self.spec.small.0 as u64)
+            .field("small_max", self.spec.small.1 as u64)
+            .field("large_min", self.spec.large.0 as u64)
+            .field("large_max", self.spec.large.1 as u64)
+            .field("precision", precision_key(self.spec.precision))
+            .field("gemv_every", self.spec.gemv_every as u64)
+            .field("complete", self.complete)
+            .field("records", Json::Arr(records))
+            .build()
+            .encode_pretty()
+            + "\n"
+    }
+
+    /// Parses a checkpoint document.
+    pub fn parse(text: &str) -> Result<Self, CheckpointError> {
+        let doc = Json::parse(text).map_err(|e| CheckpointError::Parse(format!("{e:?}")))?;
+        let version = get_u64(&doc, "version")?;
+        if version != VERSION {
+            return Err(CheckpointError::Parse(format!(
+                "unsupported dispatch checkpoint version {version}"
+            )));
+        }
+        let policy_id = get_str(&doc, "policy")?;
+        let policy = Policy::from_id(policy_id)
+            .ok_or_else(|| CheckpointError::Parse(format!("unknown policy {policy_id:?}")))?;
+        let precision_id = get_str(&doc, "precision")?;
+        let precision = parse_precision(precision_id)
+            .ok_or_else(|| CheckpointError::Parse(format!("unknown precision {precision_id:?}")))?;
+        let record_items = doc
+            .get("records")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| CheckpointError::Parse("missing `records` array".to_string()))?;
+        let mut records = Vec::with_capacity(record_items.len());
+        for r in record_items {
+            records.push(record_from_json(r)?);
+        }
+        Ok(Self {
+            system: get_str(&doc, "system")?.to_string(),
+            policy,
+            spec: MixedTraceSpec {
+                seed: get_u64(&doc, "seed")?,
+                calls: get_u64(&doc, "calls")? as usize,
+                small: (
+                    get_u64(&doc, "small_min")? as usize,
+                    get_u64(&doc, "small_max")? as usize,
+                ),
+                large: (
+                    get_u64(&doc, "large_min")? as usize,
+                    get_u64(&doc, "large_max")? as usize,
+                ),
+                precision,
+                gemv_every: get_u64(&doc, "gemv_every")? as usize,
+            },
+            complete: doc.get("complete").and_then(Json::as_bool).unwrap_or(false),
+            records,
+        })
+    }
+
+    /// Writes the checkpoint atomically (via [`blob_core::atomicio`]),
+    /// through the `checkpoint.write` fault point and under a
+    /// `checkpoint.save` trace span.
+    pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
+        let _span = trace::span(trace::names::CHECKPOINT_SAVE, trace::cats::CHECKPOINT);
+        fault::point(fault::sites::CHECKPOINT_WRITE)
+            .map_err(|e| CheckpointError::Io(e.to_string()))?;
+        write_atomic(path, self.to_json_string().as_bytes())
+            .map_err(|e| CheckpointError::Io(e.to_string()))
+    }
+
+    /// Loads and parses a checkpoint file.
+    pub fn load(path: &Path) -> Result<Self, CheckpointError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| CheckpointError::Io(format!("{}: {e}", path.display())))?;
+        Self::parse(&text)
+    }
+}
+
+fn checkpoint_record(index: usize, tc: &TraceCall, d: &Decision) -> CheckpointRecord {
+    CheckpointRecord {
+        index,
+        site: tc.site.clone(),
+        kernel: tc.call.kernel,
+        route: d.route,
+        verdict: d.verdict,
+        predicted_cpu: d.predicted_cpu,
+        predicted_gpu: d.predicted_gpu,
+        realized: d.realized,
+        observed: d.observed,
+        flipped: d.flipped,
+        fault_fallback: d.fault_fallback,
+    }
+}
+
+fn record_decision(r: &CheckpointRecord) -> Decision {
+    Decision {
+        route: r.route,
+        verdict: r.verdict,
+        predicted_cpu: r.predicted_cpu,
+        predicted_gpu: r.predicted_gpu,
+        realized: r.realized,
+        observed: r.observed,
+        flipped: r.flipped,
+        fault_fallback: r.fault_fallback,
+    }
+}
+
+/// Runs the trace described by `spec` with per-call checkpointing.
+///
+/// If `path` holds a checkpoint for this exact run, its records are
+/// verified against the regenerated trace prefix (site and kernel must
+/// agree at every index — a tampered or mismatched file refuses to
+/// resume) and replayed into a fresh dispatcher; dispatching then
+/// continues from the first unrecorded call. The checkpoint is saved
+/// atomically after every dispatched call and marked complete at the
+/// end, so a resumed run merges its records exactly once and the final
+/// result is bit-identical to an uninterrupted run.
+pub fn run_trace_checkpointed(
+    backend: &dyn DispatchBackend,
+    spec: &MixedTraceSpec,
+    policy: Policy,
+    hysteresis: Hysteresis,
+    path: &Path,
+) -> Result<RunResult, CheckpointError> {
+    let trace_calls = mixed_trace(spec);
+    let system = backend.name();
+    let mut ck = if path.exists() {
+        let loaded = DispatchCheckpoint::load(path)?;
+        if !loaded.matches(&system, policy, spec) {
+            return Err(CheckpointError::Mismatch(format!(
+                "checkpoint at {} is for system={} policy={}, not system={} policy={}",
+                path.display(),
+                loaded.system,
+                loaded.policy.id(),
+                system,
+                policy.id()
+            )));
+        }
+        loaded
+    } else {
+        DispatchCheckpoint::new(&system, policy, spec)
+    };
+    if ck.records.len() > trace_calls.len() {
+        return Err(CheckpointError::Mismatch(format!(
+            "checkpoint has {} records but the trace has only {} calls",
+            ck.records.len(),
+            trace_calls.len()
+        )));
+    }
+
+    // Replay the saved prefix: verify each record against the regenerated
+    // trace, then rebuild dispatcher state without re-timing anything.
+    let mut dispatcher = Dispatcher::new(hysteresis);
+    let mut records: Vec<CallRecord> = Vec::with_capacity(trace_calls.len());
+    for (i, r) in ck.records.iter().enumerate() {
+        let tc = &trace_calls[i];
+        if r.index != i || r.site != tc.site || r.kernel != tc.call.kernel {
+            return Err(CheckpointError::Mismatch(format!(
+                "record {i} ({} {:?}) does not match the regenerated trace ({} {:?})",
+                r.site, r.kernel, tc.site, tc.call.kernel
+            )));
+        }
+        let predicted = match r.route {
+            Route::Cpu => r.predicted_cpu,
+            Route::Gpu => r.predicted_gpu.unwrap_or(r.predicted_cpu),
+        };
+        dispatcher.replay(
+            backend, &r.site, &tc.call, r.route, r.observed, r.realized, predicted,
+        );
+        records.push(CallRecord {
+            index: i,
+            site: r.site.clone(),
+            call: tc.call,
+            decision: record_decision(r),
+        });
+    }
+
+    // Continue live from the first unrecorded call.
+    for (i, tc) in trace_calls.iter().enumerate().skip(ck.records.len()) {
+        let decision = dispatcher.dispatch_with_policy(backend, &tc.site, &tc.call, policy);
+        ck.records.push(checkpoint_record(i, tc, &decision));
+        ck.complete = ck.records.len() == trace_calls.len();
+        ck.save(path)?;
+        records.push(CallRecord {
+            index: i,
+            site: tc.site.clone(),
+            call: tc.call,
+            decision,
+        });
+    }
+    if !ck.complete {
+        ck.complete = true;
+        ck.save(path)?;
+    }
+
+    Ok(RunResult {
+        policy,
+        backend_name: system,
+        records,
+        stats: dispatcher.stats(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run::{dispatch_csv, run_trace};
+    use blob_sim::presets;
+
+    fn spec() -> MixedTraceSpec {
+        MixedTraceSpec {
+            calls: 24,
+            gemv_every: 6,
+            ..MixedTraceSpec::default()
+        }
+    }
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("blob_dispatch_ck_tests");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        dir.join(name)
+    }
+
+    #[test]
+    fn round_trip_is_bit_exact() {
+        let sys = presets::isambard_ai();
+        let path = temp_path("roundtrip.json");
+        std::fs::remove_file(&path).ok();
+        run_trace_checkpointed(&sys, &spec(), Policy::Auto, Hysteresis::default(), &path)
+            .expect("run");
+        let ck = DispatchCheckpoint::load(&path).expect("load");
+        assert!(ck.complete);
+        assert_eq!(ck.records.len(), spec().calls);
+        let parsed = DispatchCheckpoint::parse(&ck.to_json_string()).expect("reparse");
+        assert_eq!(parsed, ck);
+        for (a, b) in parsed.records.iter().zip(&ck.records) {
+            assert_eq!(a.realized.to_bits(), b.realized.to_bits());
+            assert_eq!(a.observed.to_bits(), b.observed.to_bits());
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn interrupted_and_resumed_equals_uninterrupted() {
+        let sys = presets::isambard_ai();
+        let spec = spec();
+        let path = temp_path("resume.json");
+        std::fs::remove_file(&path).ok();
+
+        // Uninterrupted reference run (no checkpoint involved).
+        let trace = mixed_trace(&spec);
+        let reference = run_trace(&sys, &trace, Policy::Auto, Hysteresis::default());
+
+        // "Crash" halfway: run checkpointed, then truncate the file to a
+        // half-length prefix, as if the process died mid-trace.
+        run_trace_checkpointed(&sys, &spec, Policy::Auto, Hysteresis::default(), &path)
+            .expect("first run");
+        let mut ck = DispatchCheckpoint::load(&path).expect("load");
+        ck.records.truncate(spec.calls / 2);
+        ck.complete = false;
+        ck.save(&path).expect("truncate");
+
+        // Resume and compare: route sequence, realized totals, and the
+        // rendered CSV must all be bit-identical to the reference.
+        let resumed =
+            run_trace_checkpointed(&sys, &spec, Policy::Auto, Hysteresis::default(), &path)
+                .expect("resume");
+        assert_eq!(resumed, reference);
+        assert_eq!(dispatch_csv(&resumed), dispatch_csv(&reference));
+        assert_eq!(
+            resumed.stats.realized_seconds.to_bits(),
+            reference.stats.realized_seconds.to_bits()
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn completed_checkpoint_resumes_without_redispatching() {
+        let sys = presets::isambard_ai();
+        let path = temp_path("complete.json");
+        std::fs::remove_file(&path).ok();
+        let first =
+            run_trace_checkpointed(&sys, &spec(), Policy::Auto, Hysteresis::default(), &path)
+                .expect("first");
+        let again =
+            run_trace_checkpointed(&sys, &spec(), Policy::Auto, Hysteresis::default(), &path)
+                .expect("again");
+        assert_eq!(first, again, "records merge exactly once");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mismatched_key_refuses_to_resume() {
+        let sys = presets::isambard_ai();
+        let path = temp_path("mismatch.json");
+        std::fs::remove_file(&path).ok();
+        run_trace_checkpointed(&sys, &spec(), Policy::Auto, Hysteresis::default(), &path)
+            .expect("seed run");
+        // different policy
+        let err = run_trace_checkpointed(
+            &sys,
+            &spec(),
+            Policy::AlwaysCpu,
+            Hysteresis::default(),
+            &path,
+        )
+        .expect_err("policy mismatch");
+        assert!(matches!(err, CheckpointError::Mismatch(_)), "{err}");
+        // different trace spec
+        let other = MixedTraceSpec { seed: 7, ..spec() };
+        let err = run_trace_checkpointed(&sys, &other, Policy::Auto, Hysteresis::default(), &path)
+            .expect_err("spec mismatch");
+        assert!(matches!(err, CheckpointError::Mismatch(_)), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn tampered_records_refuse_to_resume() {
+        let sys = presets::isambard_ai();
+        let path = temp_path("tampered.json");
+        std::fs::remove_file(&path).ok();
+        run_trace_checkpointed(&sys, &spec(), Policy::Auto, Hysteresis::default(), &path)
+            .expect("seed run");
+        let mut ck = DispatchCheckpoint::load(&path).expect("load");
+        ck.records.truncate(4);
+        ck.records[2].site = "someone.else".to_string();
+        ck.complete = false;
+        ck.save(&path).expect("tamper");
+        let err = run_trace_checkpointed(&sys, &spec(), Policy::Auto, Hysteresis::default(), &path)
+            .expect_err("tampered prefix");
+        assert!(matches!(err, CheckpointError::Mismatch(_)), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(matches!(
+            DispatchCheckpoint::parse("not json"),
+            Err(CheckpointError::Parse(_))
+        ));
+        assert!(matches!(
+            DispatchCheckpoint::parse("{\"version\": 99}"),
+            Err(CheckpointError::Parse(_))
+        ));
+    }
+}

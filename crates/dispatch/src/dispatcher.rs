@@ -1,0 +1,787 @@
+//! The dispatch front: price both routes, decide, execute, learn.
+//!
+//! [`Dispatcher::dispatch`] is the cblas-style interception point: one
+//! call comes in with its call-site name, both routes are priced —
+//! compute from the [`Estimator`][crate::estimator::Estimator]'s blend
+//! of static prior and observed history, data movement from the
+//! first-touch [`Residency`] state — the [`Hysteresis`] band picks the
+//! route, the call is "executed" on that route (realized times from the
+//! backend, residency mutated), and the realized compute time is fed
+//! back into the history table.
+//!
+//! Every decision opens a `dispatch.decide` trace span and passes the
+//! `dispatch.decide` fault point; an injected fault degrades the
+//! decision to the static advisor prior (no estimator, no hysteresis)
+//! but never fails the call. The routed execution opens a
+//! `dispatch.route` span annotated with the route and moved bytes.
+
+use crate::backend::DispatchBackend;
+use crate::estimator::{site_hash, Estimator, ShapeBucket};
+use crate::hysteresis::Hysteresis;
+use blob_core::advisor::Verdict;
+use blob_core::{fault, trace};
+use blob_sim::firsttouch::Residency;
+use blob_sim::BlasCall;
+use std::collections::HashMap;
+
+/// Where one call executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Route {
+    /// The host BLAS.
+    Cpu,
+    /// The (modelled) device BLAS.
+    Gpu,
+}
+
+impl Route {
+    /// Stable wire/CSV identifier.
+    pub fn id(&self) -> &'static str {
+        match self {
+            Route::Cpu => "cpu",
+            Route::Gpu => "gpu",
+        }
+    }
+
+    /// Parses a wire identifier.
+    pub fn from_id(id: &str) -> Option<Self> {
+        match id {
+            "cpu" => Some(Route::Cpu),
+            "gpu" => Some(Route::Gpu),
+            _ => None,
+        }
+    }
+}
+
+/// The routing policy a trace runs under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// The online dispatcher decides per call.
+    Auto,
+    /// Every call runs on the CPU (static baseline).
+    AlwaysCpu,
+    /// Every call runs on the modelled GPU (static baseline).
+    AlwaysGpu,
+}
+
+impl Policy {
+    /// Stable wire/CSV identifier.
+    pub fn id(&self) -> &'static str {
+        match self {
+            Policy::Auto => "auto",
+            Policy::AlwaysCpu => "always-cpu",
+            Policy::AlwaysGpu => "always-gpu",
+        }
+    }
+
+    /// Parses a wire identifier.
+    pub fn from_id(id: &str) -> Option<Self> {
+        match id {
+            "auto" => Some(Policy::Auto),
+            "always-cpu" => Some(Policy::AlwaysCpu),
+            "always-gpu" => Some(Policy::AlwaysGpu),
+            _ => None,
+        }
+    }
+
+    /// All policies, in comparison order.
+    pub const ALL: [Policy; 3] = [Policy::Auto, Policy::AlwaysCpu, Policy::AlwaysGpu];
+}
+
+/// The outcome of dispatching one call.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Decision {
+    /// Where the call executed.
+    pub route: Route,
+    /// The advisor classification of the predicted speedup.
+    pub verdict: Verdict,
+    /// Predicted seconds had the call run on the CPU (compute blend +
+    /// write-back of device-resident operands).
+    pub predicted_cpu: f64,
+    /// Predicted seconds had the call run on the GPU (kernel blend +
+    /// first-touch migration of cold pages, amortised over the site's
+    /// visit count — migration is a one-time toll a reused site expects
+    /// to recoup), `None` without a GPU.
+    pub predicted_gpu: Option<f64>,
+    /// Realized seconds on the chosen route, data movement included.
+    pub realized: f64,
+    /// The realized compute-only component fed to the estimator (CPU
+    /// execution, or fault-taxed GPU kernel) — what a checkpoint replay
+    /// must re-feed to reproduce this dispatcher state.
+    pub observed: f64,
+    /// True when this (site, bucket) changed route relative to its
+    /// previous call.
+    pub flipped: bool,
+    /// True when the `dispatch.decide` fault point fired and the
+    /// decision fell back to the static advisor prior.
+    pub fault_fallback: bool,
+}
+
+/// Aggregate counters over a dispatcher's lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DispatchStats {
+    /// Calls dispatched.
+    pub calls: u64,
+    /// Calls routed to the CPU.
+    pub cpu_calls: u64,
+    /// Calls routed to the GPU.
+    pub gpu_calls: u64,
+    /// Route changes on a (site, bucket) with history.
+    pub flips: u64,
+    /// Decisions degraded to the static prior by an injected fault.
+    pub fault_fallbacks: u64,
+    /// Sum of realized seconds.
+    pub realized_seconds: f64,
+    /// Sum of predicted seconds on the routes actually taken.
+    pub predicted_seconds: f64,
+}
+
+/// Classifies a predicted speedup with the advisor's bands (the
+/// dispatcher's ratio is advisor speedup: predicted CPU over GPU).
+pub fn verdict_for_speedup(speedup: f64) -> Verdict {
+    match speedup {
+        s if s >= 2.0 => Verdict::Offload,
+        s if s > 1.05 => Verdict::Marginal,
+        s if s > 0.95 => Verdict::Borderline,
+        _ => Verdict::StayOnCpu,
+    }
+}
+
+/// The online dispatch front. One dispatcher owns the full decision
+/// state for a stream of calls: history table, device residency, and
+/// per-(site, bucket) current routes.
+#[derive(Debug, Clone)]
+pub struct Dispatcher {
+    estimator: Estimator,
+    hysteresis: Hysteresis,
+    residency: Option<Residency>,
+    last_route: HashMap<(u64, ShapeBucket), Route>,
+    visits: HashMap<(u64, ShapeBucket), u64>,
+    stats: DispatchStats,
+}
+
+impl Dispatcher {
+    /// A fresh dispatcher (empty history, nothing device-resident).
+    pub fn new(hysteresis: Hysteresis) -> Self {
+        Self {
+            estimator: Estimator::new(),
+            hysteresis,
+            residency: None,
+            last_route: HashMap::new(),
+            visits: HashMap::new(),
+            stats: DispatchStats::default(),
+        }
+    }
+
+    /// Aggregate counters so far.
+    pub fn stats(&self) -> DispatchStats {
+        self.stats
+    }
+
+    /// Read access to the history table (serve/debug surfaces).
+    pub fn estimator(&self) -> &Estimator {
+        &self.estimator
+    }
+
+    /// Drops history, residency, and route memory.
+    pub fn reset(&mut self) {
+        self.estimator = Estimator::new();
+        self.residency = None;
+        self.last_route.clear();
+        self.visits.clear();
+        self.stats = DispatchStats::default();
+    }
+
+    /// Records one more visit of `(site, bucket)` and returns the total
+    /// including this one (so a first sighting returns 1).
+    fn note_visit(&mut self, skey: u64, bucket: ShapeBucket) -> u64 {
+        let v = self.visits.entry((skey, bucket)).or_insert(0);
+        *v += 1;
+        *v
+    }
+
+    /// Dispatches one call under [`Policy::Auto`].
+    pub fn dispatch(
+        &mut self,
+        backend: &dyn DispatchBackend,
+        site: &str,
+        call: &BlasCall,
+    ) -> Decision {
+        self.dispatch_with_policy(backend, site, call, Policy::Auto)
+    }
+
+    /// Dispatches one call under an explicit policy. The static policies
+    /// use identical pricing and residency accounting — only the route
+    /// choice is forced — so their totals are directly comparable.
+    pub fn dispatch_with_policy(
+        &mut self,
+        backend: &dyn DispatchBackend,
+        site: &str,
+        call: &BlasCall,
+        policy: Policy,
+    ) -> Decision {
+        let skey = site_hash(site);
+        let bucket = ShapeBucket::of(call);
+        let (m, n, k) = call.kernel.dims();
+        let visits = self.note_visit(skey, bucket);
+
+        // --- decide ---------------------------------------------------
+        let span = trace::span(trace::names::DISPATCH_DECIDE, trace::cats::DISPATCH);
+        span.annotate("m", m as u64);
+        span.annotate("n", n as u64);
+        span.annotate("k", k as u64);
+
+        let prior_cpu = backend.prior_cpu_seconds(call);
+        let gpu_surface = backend
+            .prior_gpu_kernel_seconds(call)
+            .zip(backend.first_touch());
+
+        let operands = operand_keys(skey, call);
+        let (decision_route, verdict, predicted_cpu, predicted_gpu, fault_fallback) =
+            match &gpu_surface {
+                None => (Route::Cpu, Verdict::NoGpu, prior_cpu, None, false),
+                Some((prior_kernel, ft)) => {
+                    let residency = self
+                        .residency
+                        .get_or_insert_with(|| Residency::new(backend.device_capacity_bytes()));
+                    let cold: f64 = operands
+                        .iter()
+                        .map(|&(key, bytes)| residency.peek_cold(key, bytes))
+                        .sum();
+                    let resident: f64 = operands
+                        .iter()
+                        .map(|&(key, _)| residency.peek_resident(key))
+                        .sum();
+                    // An injected decision fault degrades to the static
+                    // advisor prior: no estimator blend, no hysteresis.
+                    let fault_fallback = fault::point(fault::sites::DISPATCH_DECIDE).is_err();
+                    let (cpu_compute, gpu_kernel) = if fault_fallback {
+                        (prior_cpu, ft.taxed_kernel_seconds(*prior_kernel))
+                    } else {
+                        (
+                            self.estimator.predict(skey, bucket, Route::Cpu, prior_cpu),
+                            self.estimator.predict(
+                                skey,
+                                bucket,
+                                Route::Gpu,
+                                ft.taxed_kernel_seconds(*prior_kernel),
+                            ),
+                        )
+                    };
+                    let predicted_cpu = cpu_compute + ft.writeback_seconds(resident);
+                    // Migration is a one-time toll: a site seen `visits`
+                    // times can expect to reuse the pages it pays to
+                    // migrate, so the *predicted* cost amortises over the
+                    // observed reuse (the realized cost below does not —
+                    // cold pages are paid for in full when actually
+                    // routed). Without this, a site whose calls keep
+                    // landing on the CPU re-charges the full migration on
+                    // every peek and can never discover that one paid
+                    // migration would make the GPU route cheaper forever
+                    // after. A first sighting (visits == 1) still prices
+                    // the full toll. The fault path above stays at the
+                    // static prior, un-amortised.
+                    let migration = if fault_fallback {
+                        ft.to_device_seconds(cold)
+                    } else {
+                        ft.to_device_seconds(cold) / visits as f64
+                    };
+                    let predicted_gpu = gpu_kernel + migration + backend.offload_overhead_seconds();
+                    let speedup = predicted_cpu / predicted_gpu;
+                    let verdict = verdict_for_speedup(speedup);
+                    let route = if fault_fallback {
+                        if speedup > 1.0 {
+                            Route::Gpu
+                        } else {
+                            Route::Cpu
+                        }
+                    } else {
+                        self.hysteresis.decide(
+                            speedup,
+                            verdict,
+                            self.last_route.get(&(skey, bucket)).copied(),
+                        )
+                    };
+                    (
+                        route,
+                        verdict,
+                        predicted_cpu,
+                        Some(predicted_gpu),
+                        fault_fallback,
+                    )
+                }
+            };
+        let route = match (policy, gpu_surface.is_some()) {
+            (Policy::Auto, _) | (_, false) => decision_route,
+            (Policy::AlwaysCpu, true) => Route::Cpu,
+            (Policy::AlwaysGpu, true) => Route::Gpu,
+        };
+        drop(span);
+
+        // --- execute --------------------------------------------------
+        let span = trace::span(trace::names::DISPATCH_ROUTE, trace::cats::DISPATCH);
+        span.annotate("gpu", matches!(route, Route::Gpu) as u64);
+        let (realized, observed) = match (route, &gpu_surface) {
+            (Route::Gpu, Some((_, ft))) => {
+                let residency = self
+                    .residency
+                    .get_or_insert_with(|| Residency::new(backend.device_capacity_bytes()));
+                let cold: f64 = operands
+                    .iter()
+                    .map(|&(key, bytes)| residency.touch_device(key, bytes))
+                    .sum();
+                span.annotate("cold_bytes", cold as u64);
+                // The GPU surface exists, so the backend must realize a
+                // kernel time; fall back to the prior only if a custom
+                // backend is inconsistent about it.
+                let kernel = backend
+                    .realize_gpu_kernel_seconds(call)
+                    .unwrap_or_else(|| backend.prior_cpu_seconds(call));
+                let taxed = ft.taxed_kernel_seconds(kernel);
+                (
+                    backend.offload_overhead_seconds() + ft.to_device_seconds(cold) + taxed,
+                    taxed,
+                )
+            }
+            (Route::Cpu, Some((_, ft))) => {
+                let residency = self
+                    .residency
+                    .get_or_insert_with(|| Residency::new(backend.device_capacity_bytes()));
+                let back: f64 = operands
+                    .iter()
+                    .map(|&(key, _)| residency.touch_host(key))
+                    .sum();
+                span.annotate("writeback_bytes", back as u64);
+                let compute = backend.realize_cpu_seconds(call);
+                (ft.writeback_seconds(back) + compute, compute)
+            }
+            (_, None) => {
+                let compute = backend.realize_cpu_seconds(call);
+                (compute, compute)
+            }
+        };
+        drop(span);
+
+        // --- learn ----------------------------------------------------
+        self.estimator.observe(skey, bucket, route, observed);
+        let flipped = self.note_route(skey, bucket, route);
+        self.stats.calls += 1;
+        match route {
+            Route::Cpu => self.stats.cpu_calls += 1,
+            Route::Gpu => self.stats.gpu_calls += 1,
+        }
+        self.stats.realized_seconds += realized;
+        self.stats.predicted_seconds += match route {
+            Route::Cpu => predicted_cpu,
+            Route::Gpu => predicted_gpu.unwrap_or(predicted_cpu),
+        };
+        if fault_fallback {
+            self.stats.fault_fallbacks += 1;
+        }
+
+        Decision {
+            route,
+            verdict,
+            predicted_cpu,
+            predicted_gpu,
+            realized,
+            observed,
+            flipped,
+            fault_fallback,
+        }
+    }
+
+    /// Rebuilds the state effects of one already-executed call from a
+    /// checkpoint record: residency mutation, history observation, and
+    /// route memory — without timing anything. After replaying a saved
+    /// prefix, continuing the trace produces bit-identical decisions to
+    /// an uninterrupted run.
+    pub fn replay(
+        &mut self,
+        backend: &dyn DispatchBackend,
+        site: &str,
+        call: &BlasCall,
+        route: Route,
+        observed: f64,
+        realized: f64,
+        predicted: f64,
+    ) {
+        let skey = site_hash(site);
+        let bucket = ShapeBucket::of(call);
+        self.note_visit(skey, bucket);
+        let operands = operand_keys(skey, call);
+        if backend.first_touch().is_some() {
+            let residency = self
+                .residency
+                .get_or_insert_with(|| Residency::new(backend.device_capacity_bytes()));
+            match route {
+                Route::Gpu => {
+                    for &(key, bytes) in &operands {
+                        residency.touch_device(key, bytes);
+                    }
+                }
+                Route::Cpu => {
+                    for &(key, _) in &operands {
+                        residency.touch_host(key);
+                    }
+                }
+            }
+        }
+        self.estimator.observe(skey, bucket, route, observed);
+        self.note_route(skey, bucket, route);
+        self.stats.calls += 1;
+        match route {
+            Route::Cpu => self.stats.cpu_calls += 1,
+            Route::Gpu => self.stats.gpu_calls += 1,
+        }
+        self.stats.realized_seconds += realized;
+        self.stats.predicted_seconds += predicted;
+    }
+
+    /// Feeds an externally-observed host kernel execution (from the
+    /// `blob_blas::dispatchhook` seam) into the CPU history for `site`.
+    pub fn absorb(&mut self, site: &str, sample: &blob_blas::dispatchhook::Sample) {
+        let Some(call) = sample_call(sample) else {
+            return;
+        };
+        self.estimator.observe(
+            site_hash(site),
+            ShapeBucket::of(&call),
+            Route::Cpu,
+            sample.seconds,
+        );
+    }
+
+    /// Records the route taken; returns whether it flipped.
+    fn note_route(&mut self, skey: u64, bucket: ShapeBucket, route: Route) -> bool {
+        let flipped = match self.last_route.insert((skey, bucket), route) {
+            Some(prev) => prev != route,
+            None => false,
+        };
+        if flipped {
+            self.stats.flips += 1;
+        }
+        flipped
+    }
+}
+
+/// `(buffer key, bytes)` for each operand of a call at a site. Keys mix
+/// the site hash, the operand slot, and the exact dimensions, so the
+/// same shape at the same site re-touches the same modelled buffers
+/// (that is what makes warmth real) while different sites never alias.
+fn operand_keys(site: u64, call: &BlasCall) -> [(u64, f64); 3] {
+    let es = call.elem_bytes() as f64;
+    let (m, n, k) = call.kernel.dims();
+    let mix = |slot: u64, a: usize, b: usize| -> u64 {
+        site.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(slot.wrapping_mul(0xff51_afd7_ed55_8ccd))
+            .wrapping_add((a as u64).wrapping_mul(0xc4ce_b9fe_1a85_ec53))
+            .wrapping_add(
+                (b as u64)
+                    .rotate_left(32)
+                    .wrapping_mul(0x94d0_49bb_1331_11eb),
+            )
+    };
+    match call.kernel {
+        blob_sim::Kernel::Gemm { m, n, k } => [
+            (mix(1, m, k), (m * k) as f64 * es),
+            (mix(2, k, n), (k * n) as f64 * es),
+            (mix(3, m, n), (m * n) as f64 * es),
+        ],
+        blob_sim::Kernel::Gemv { .. } => [
+            (mix(1, m, n), (m * n) as f64 * es),
+            (mix(2, n, 1), n as f64 * es),
+            (mix(3, m, 1), (m * k) as f64 * es),
+        ],
+    }
+}
+
+/// Reconstructs a [`BlasCall`] from a hook sample (None when the element
+/// size maps to no modelled precision).
+fn sample_call(sample: &blob_blas::dispatchhook::Sample) -> Option<BlasCall> {
+    use blob_blas::dispatchhook::ObservedKind;
+    let precision = match sample.elem_bytes {
+        4 => blob_sim::Precision::F32,
+        8 => blob_sim::Precision::F64,
+        _ => return None,
+    };
+    if sample.m == 0 || sample.n == 0 || sample.k == 0 {
+        return None;
+    }
+    Some(match sample.kind {
+        ObservedKind::Gemm => BlasCall::gemm(precision, sample.m, sample.n, sample.k),
+        ObservedKind::Gemv => BlasCall::gemv(precision, sample.m, sample.n),
+    })
+}
+
+/// Collects `blob_blas::dispatchhook` samples so a dispatcher can fold
+/// real host kernel executions into its history between decisions.
+///
+/// The hook is process-global while a collector's closure is installed;
+/// [`SampleCollector::install`] arms it and returns a guard-free handle
+/// (tests serialise on their own locks, the CLI installs exactly one).
+#[derive(Debug, Clone, Default)]
+pub struct SampleCollector {
+    inner: std::sync::Arc<std::sync::Mutex<Vec<blob_blas::dispatchhook::Sample>>>,
+}
+
+impl SampleCollector {
+    /// An empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Installs this collector as the process-global kernel observer and
+    /// arms the observation points.
+    pub fn install(&self) {
+        let sink = self.inner.clone();
+        blob_blas::dispatchhook::set_observer(move |sample| {
+            sink.lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .push(sample);
+        });
+        blob_blas::dispatchhook::set_active(true);
+    }
+
+    /// Disarms the process-global observation points.
+    pub fn deactivate() {
+        blob_blas::dispatchhook::set_active(false);
+    }
+
+    /// Takes everything collected so far.
+    pub fn drain(&self) -> Vec<blob_blas::dispatchhook::Sample> {
+        std::mem::take(
+            &mut self
+                .inner
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blob_sim::firsttouch::FirstTouchModel;
+    use blob_sim::{presets, Precision};
+
+    /// A backend with fixed CPU/GPU times, for exercising routing edges.
+    struct Fixed {
+        cpu: f64,
+        gpu_kernel: Option<f64>,
+    }
+
+    impl DispatchBackend for Fixed {
+        fn name(&self) -> String {
+            "fixed".into()
+        }
+        fn prior_cpu_seconds(&self, _: &BlasCall) -> f64 {
+            self.cpu
+        }
+        fn prior_gpu_kernel_seconds(&self, _: &BlasCall) -> Option<f64> {
+            self.gpu_kernel
+        }
+        fn realize_cpu_seconds(&self, call: &BlasCall) -> f64 {
+            self.prior_cpu_seconds(call)
+        }
+        fn realize_gpu_kernel_seconds(&self, call: &BlasCall) -> Option<f64> {
+            self.prior_gpu_kernel_seconds(call)
+        }
+        fn first_touch(&self) -> Option<FirstTouchModel> {
+            self.gpu_kernel.map(|_| FirstTouchModel {
+                page_bytes: 2.0 * 1024.0 * 1024.0,
+                fault_us: 2.0,
+                migration_gbs: 100.0,
+                writeback_gbs: 100.0,
+                per_iter_penalty: 0.0,
+            })
+        }
+    }
+
+    #[test]
+    fn small_calls_stay_on_cpu_large_calls_offload() {
+        let sys = presets::isambard_ai();
+        let mut d = Dispatcher::new(Hysteresis::default());
+        let small = BlasCall::gemm(Precision::F32, 64, 64, 64);
+        let large = BlasCall::gemm(Precision::F32, 1024, 1024, 1024);
+        assert_eq!(d.dispatch(&sys, "s", &small).route, Route::Cpu);
+        assert_eq!(d.dispatch(&sys, "l", &large).route, Route::Gpu);
+        let stats = d.stats();
+        assert_eq!((stats.calls, stats.cpu_calls, stats.gpu_calls), (2, 1, 1));
+    }
+
+    #[test]
+    fn warm_repeats_get_cheaper_on_the_gpu_route() {
+        let sys = presets::isambard_ai();
+        let mut d = Dispatcher::new(Hysteresis::default());
+        let large = BlasCall::gemm(Precision::F64, 1024, 1024, 1024);
+        let first = d.dispatch(&sys, "l", &large);
+        let second = d.dispatch(&sys, "l", &large);
+        assert_eq!(first.route, Route::Gpu);
+        assert_eq!(second.route, Route::Gpu);
+        assert!(
+            second.realized < first.realized,
+            "warm pages skip migration: {} !< {}",
+            second.realized,
+            first.realized
+        );
+    }
+
+    #[test]
+    fn cpu_only_backend_routes_cpu_with_no_gpu_verdict() {
+        let b = Fixed {
+            cpu: 1e-3,
+            gpu_kernel: None,
+        };
+        let mut d = Dispatcher::new(Hysteresis::default());
+        let call = BlasCall::gemm(Precision::F32, 64, 64, 64);
+        let dec = d.dispatch(&b, "s", &call);
+        assert_eq!(dec.route, Route::Cpu);
+        assert_eq!(dec.verdict, Verdict::NoGpu);
+        assert!(dec.predicted_gpu.is_none());
+        // forced-GPU policy cannot conjure a device
+        let dec = d.dispatch_with_policy(&b, "s", &call, Policy::AlwaysGpu);
+        assert_eq!(dec.route, Route::Cpu);
+    }
+
+    #[test]
+    fn static_policies_force_the_route() {
+        let sys = presets::isambard_ai();
+        let mut d = Dispatcher::new(Hysteresis::default());
+        let small = BlasCall::gemm(Precision::F32, 48, 48, 48);
+        let dec = d.dispatch_with_policy(&sys, "s", &small, Policy::AlwaysGpu);
+        assert_eq!(dec.route, Route::Gpu, "forced onto the losing route");
+        let large = BlasCall::gemm(Precision::F32, 1024, 1024, 1024);
+        let dec = d.dispatch_with_policy(&sys, "l", &large, Policy::AlwaysCpu);
+        assert_eq!(dec.route, Route::Cpu);
+    }
+
+    #[test]
+    fn estimator_learns_and_overrides_a_wrong_prior() {
+        // Prior says CPU is 4x slower than the GPU kernel, but realized
+        // CPU times come in 10x *faster* than the prior: the estimator
+        // must learn this and flip routing back to the CPU.
+        struct Lying;
+        impl DispatchBackend for Lying {
+            fn name(&self) -> String {
+                "lying".into()
+            }
+            fn prior_cpu_seconds(&self, _: &BlasCall) -> f64 {
+                4e-3
+            }
+            fn prior_gpu_kernel_seconds(&self, _: &BlasCall) -> Option<f64> {
+                Some(1e-3)
+            }
+            fn realize_cpu_seconds(&self, _: &BlasCall) -> f64 {
+                4e-4 // reality: CPU is fast
+            }
+            fn realize_gpu_kernel_seconds(&self, _: &BlasCall) -> Option<f64> {
+                Some(1e-3)
+            }
+            fn first_touch(&self) -> Option<FirstTouchModel> {
+                Some(FirstTouchModel {
+                    page_bytes: 2.0 * 1024.0 * 1024.0,
+                    fault_us: 0.0,
+                    migration_gbs: 1e6, // transfers ~free: isolate compute
+                    writeback_gbs: 1e6,
+                    per_iter_penalty: 0.0,
+                })
+            }
+        }
+        let mut d = Dispatcher::new(Hysteresis::default());
+        let call = BlasCall::gemm(Precision::F32, 256, 256, 256);
+        let first = d.dispatch(&Lying, "site", &call);
+        assert_eq!(first.route, Route::Gpu, "prior sends it to the GPU");
+        // ... but the CPU history never accumulates while GPU-routed; to
+        // learn CPU reality the dispatcher needs CPU executions. Force a
+        // few (an application phase change, or the AlwaysCpu baseline):
+        for _ in 0..32 {
+            d.dispatch_with_policy(&Lying, "site", &call, Policy::AlwaysCpu);
+        }
+        let after = d.dispatch(&Lying, "site", &call);
+        assert_eq!(
+            after.route,
+            Route::Cpu,
+            "blended CPU estimate {} must now beat the GPU kernel",
+            after.predicted_cpu
+        );
+    }
+
+    #[test]
+    fn absorbed_hook_samples_populate_the_history() {
+        use blob_blas::dispatchhook::{ObservedKind, Sample};
+        let mut d = Dispatcher::new(Hysteresis::default());
+        d.absorb(
+            "app.hot",
+            &Sample {
+                kind: ObservedKind::Gemm,
+                m: 128,
+                n: 128,
+                k: 128,
+                elem_bytes: 4,
+                seconds: 3e-4,
+            },
+        );
+        assert_eq!(d.estimator().cells(), 1);
+        // unknown element size is ignored, not mis-bucketed
+        d.absorb(
+            "app.hot",
+            &Sample {
+                kind: ObservedKind::Gemm,
+                m: 128,
+                n: 128,
+                k: 128,
+                elem_bytes: 2,
+                seconds: 3e-4,
+            },
+        );
+        assert_eq!(d.estimator().cells(), 1);
+    }
+
+    #[test]
+    fn reset_forgets_everything() {
+        let sys = presets::isambard_ai();
+        let mut d = Dispatcher::new(Hysteresis::default());
+        d.dispatch(&sys, "s", &BlasCall::gemm(Precision::F32, 512, 512, 512));
+        assert!(d.stats().calls > 0);
+        d.reset();
+        assert_eq!(d.stats(), DispatchStats::default());
+        assert_eq!(d.estimator().cells(), 0);
+    }
+
+    #[test]
+    fn decide_and_route_spans_are_recorded() {
+        let _guard = trace::TRACE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        trace::clear();
+        trace::enable();
+        let sys = presets::isambard_ai();
+        let mut d = Dispatcher::new(Hysteresis::default());
+        d.dispatch(&sys, "s", &BlasCall::gemm(Precision::F32, 512, 512, 512));
+        trace::disable();
+        let spans = trace::take();
+        let names: Vec<&str> = spans.iter().map(|s| s.name).collect();
+        assert!(names.contains(&trace::names::DISPATCH_DECIDE), "{names:?}");
+        assert!(names.contains(&trace::names::DISPATCH_ROUTE), "{names:?}");
+        assert!(spans
+            .iter()
+            .all(|s| s.name != trace::names::DISPATCH_DECIDE || s.cat == trace::cats::DISPATCH));
+    }
+
+    #[test]
+    fn decision_fault_degrades_to_the_static_prior() {
+        let _guard = fault::CHAOS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let plan = fault::Plan::parse("dispatch.decide:error@1").expect("valid plan");
+        fault::install(&plan);
+        let sys = presets::isambard_ai();
+        let mut d = Dispatcher::new(Hysteresis::default());
+        let small = BlasCall::gemm(Precision::F32, 64, 64, 64);
+        let large = BlasCall::gemm(Precision::F32, 1024, 1024, 1024);
+        let a = d.dispatch(&sys, "s", &small);
+        let b = d.dispatch(&sys, "l", &large);
+        fault::clear();
+        assert!(a.fault_fallback && b.fault_fallback);
+        // the static prior still routes sanely — degraded, not broken
+        assert_eq!(a.route, Route::Cpu);
+        assert_eq!(b.route, Route::Gpu);
+        assert_eq!(d.stats().fault_fallbacks, 2);
+    }
+}

@@ -1,0 +1,205 @@
+//! The per-call-site history table and online time estimator.
+//!
+//! Each (call site, shape bucket, route) triple owns one EWMA cell of
+//! realized execution times. Prediction blends the static model prior
+//! with the cell as pseudo-count Bayesian shrinkage: with no history the
+//! prediction *is* the prior, and as observations accumulate the
+//! estimate moves to the exponentially-weighted observed mean. Shapes
+//! are bucketed by `⌊log2⌋` per dimension (the 2404.13195 dispatch layer
+//! uses the same trick) so one cell generalises over a neighbourhood of
+//! sizes without conflating the small and large regimes.
+
+use crate::dispatcher::Route;
+use blob_sim::{BlasCall, KernelKind, Precision};
+use std::collections::HashMap;
+
+/// EWMA smoothing factor: one observation moves the mean 25 % of the way.
+pub const EWMA_ALPHA: f64 = 0.25;
+
+/// How many observations the static prior is worth in the blend.
+pub const PRIOR_WEIGHT: f64 = 4.0;
+
+/// Cap on the effective observation count, so very long runs can still
+/// adapt if the regime shifts (the prior never fully vanishes either).
+pub const WEIGHT_CAP: f64 = 64.0;
+
+/// FNV-1a hash of a call-site name — the stable 64-bit key the history
+/// table and residency tracker both use.
+pub fn site_hash(site: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in site.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A `⌊log2⌋`-per-dimension shape bucket: the generalisation unit of the
+/// history table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ShapeBucket {
+    /// Kernel family.
+    pub kind: KernelKind,
+    /// Element precision.
+    pub precision: Precision,
+    /// `⌊log2 m⌋`.
+    pub log2_m: u8,
+    /// `⌊log2 n⌋`.
+    pub log2_n: u8,
+    /// `⌊log2 k⌋` (0 for GEMV).
+    pub log2_k: u8,
+}
+
+impl ShapeBucket {
+    /// The bucket a call falls into.
+    pub fn of(call: &BlasCall) -> Self {
+        let (m, n, k) = call.kernel.dims();
+        Self {
+            kind: call.kernel.kind(),
+            precision: call.precision,
+            log2_m: m.max(1).ilog2() as u8,
+            log2_n: n.max(1).ilog2() as u8,
+            log2_k: k.max(1).ilog2() as u8,
+        }
+    }
+}
+
+/// One EWMA cell: the observed mean and its (capped) effective count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Cell {
+    mean: f64,
+    weight: f64,
+}
+
+/// The online estimator: a history table of EWMA cells, one per
+/// (site, bucket, route).
+#[derive(Debug, Clone, Default)]
+pub struct Estimator {
+    table: HashMap<(u64, ShapeBucket, Route), Cell>,
+}
+
+impl Estimator {
+    /// An empty history table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of populated (site, bucket, route) cells.
+    pub fn cells(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Effective observation count in one cell (0 when empty).
+    pub fn weight(&self, site: u64, bucket: ShapeBucket, route: Route) -> f64 {
+        self.table
+            .get(&(site, bucket, route))
+            .map_or(0.0, |c| c.weight)
+    }
+
+    /// Predicted seconds for `route`: the static `prior` shrunk towards
+    /// the observed EWMA mean by effective observation count.
+    pub fn predict(&self, site: u64, bucket: ShapeBucket, route: Route, prior: f64) -> f64 {
+        match self.table.get(&(site, bucket, route)) {
+            None => prior,
+            Some(c) => (PRIOR_WEIGHT * prior + c.weight * c.mean) / (PRIOR_WEIGHT + c.weight),
+        }
+    }
+
+    /// Feeds one realized time into the history table.
+    pub fn observe(&mut self, site: u64, bucket: ShapeBucket, route: Route, seconds: f64) {
+        if !seconds.is_finite() || seconds < 0.0 {
+            return;
+        }
+        let cell = self.table.entry((site, bucket, route)).or_insert(Cell {
+            mean: seconds,
+            weight: 0.0,
+        });
+        cell.mean = EWMA_ALPHA * seconds + (1.0 - EWMA_ALPHA) * cell.mean;
+        cell.weight = (cell.weight + 1.0).min(WEIGHT_CAP);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bucket() -> ShapeBucket {
+        ShapeBucket::of(&BlasCall::gemm(Precision::F32, 100, 100, 100))
+    }
+
+    #[test]
+    fn site_hash_is_stable_and_distinct() {
+        assert_eq!(site_hash("solver.a"), site_hash("solver.a"));
+        assert_ne!(site_hash("solver.a"), site_hash("solver.b"));
+        assert_ne!(site_hash(""), site_hash("x"));
+    }
+
+    #[test]
+    fn buckets_group_log2_neighbourhoods() {
+        let a = ShapeBucket::of(&BlasCall::gemm(Precision::F32, 65, 65, 65));
+        let b = ShapeBucket::of(&BlasCall::gemm(Precision::F32, 127, 127, 127));
+        let c = ShapeBucket::of(&BlasCall::gemm(Precision::F32, 128, 128, 128));
+        assert_eq!(a, b, "65..127 share the log2=6 bucket");
+        assert_ne!(b, c, "128 starts the log2=7 bucket");
+        let v = ShapeBucket::of(&BlasCall::gemv(Precision::F32, 65, 65));
+        assert_ne!(a, v, "kernel kind separates buckets");
+        let d = ShapeBucket::of(&BlasCall::gemm(Precision::F64, 65, 65, 65));
+        assert_ne!(a, d, "precision separates buckets");
+    }
+
+    #[test]
+    fn empty_cell_predicts_the_prior() {
+        let e = Estimator::new();
+        assert_eq!(e.predict(1, bucket(), Route::Cpu, 0.5), 0.5);
+    }
+
+    #[test]
+    fn observations_pull_the_prediction_towards_the_mean() {
+        let mut e = Estimator::new();
+        let s = site_hash("solver");
+        let b = bucket();
+        // prior says 1.0 s, reality says 2.0 s
+        for _ in 0..32 {
+            e.observe(s, b, Route::Cpu, 2.0);
+        }
+        let p = e.predict(s, b, Route::Cpu, 1.0);
+        assert!(
+            p > 1.7,
+            "after 32 observations the blend is mostly data: {p}"
+        );
+        assert!(p < 2.0, "the prior never fully vanishes: {p}");
+        // a different site is unaffected
+        assert_eq!(e.predict(site_hash("other"), b, Route::Cpu, 1.0), 1.0);
+        // and the other route is unaffected
+        assert_eq!(e.predict(s, b, Route::Gpu, 1.0), 1.0);
+    }
+
+    #[test]
+    fn weight_caps_so_the_estimator_can_still_adapt() {
+        let mut e = Estimator::new();
+        let s = site_hash("s");
+        let b = bucket();
+        for _ in 0..1000 {
+            e.observe(s, b, Route::Gpu, 1.0);
+        }
+        assert_eq!(e.weight(s, b, Route::Gpu), WEIGHT_CAP);
+        // regime shift: times double; the EWMA follows within a few calls
+        for _ in 0..16 {
+            e.observe(s, b, Route::Gpu, 2.0);
+        }
+        let p = e.predict(s, b, Route::Gpu, 1.0);
+        assert!(p > 1.7, "estimator tracked the shift: {p}");
+    }
+
+    #[test]
+    fn non_finite_and_negative_samples_are_dropped() {
+        let mut e = Estimator::new();
+        let s = site_hash("s");
+        let b = bucket();
+        e.observe(s, b, Route::Cpu, f64::NAN);
+        e.observe(s, b, Route::Cpu, f64::INFINITY);
+        e.observe(s, b, Route::Cpu, -1.0);
+        assert_eq!(e.cells(), 0);
+        assert_eq!(e.predict(s, b, Route::Cpu, 3.0), 3.0);
+    }
+}

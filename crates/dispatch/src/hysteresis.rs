@@ -1,0 +1,198 @@
+//! Hysteresis bands around the CPU/GPU crossover.
+//!
+//! A call whose predicted speedup sits near 1.0 would flap between
+//! routes on adjacent calls if routed by a bare comparison — and under
+//! first-touch unified memory every flap pays page migration *both*
+//! ways. The band makes switching sticky: a call only leaves its current
+//! route when the predicted speedup exits `[exit_gpu, enter_gpu]`, and
+//! the advisor's explicit [`Verdict::Borderline`] (the 0.95–1.05 band)
+//! always holds the current route regardless of the band edges.
+
+use crate::dispatcher::Route;
+use blob_core::advisor::Verdict;
+
+/// Default speedup a CPU-routed site must predict before switching to
+/// the GPU (must clear the advisor's 1.05 borderline edge with margin).
+pub const DEFAULT_ENTER_GPU: f64 = 1.15;
+
+/// Default speedup floor below which a GPU-routed site returns to the
+/// CPU (mirror of [`DEFAULT_ENTER_GPU`] below the 0.95 borderline edge).
+pub const DEFAULT_EXIT_GPU: f64 = 0.87;
+
+/// Why a hysteresis band was rejected.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BandError {
+    /// `enter_gpu` must be ≥ 1 ≥ `exit_gpu` and both finite and positive.
+    InvalidBand {
+        /// The offending `enter_gpu` value.
+        enter_gpu: f64,
+        /// The offending `exit_gpu` value.
+        exit_gpu: f64,
+    },
+}
+
+impl std::fmt::Display for BandError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BandError::InvalidBand {
+                enter_gpu,
+                exit_gpu,
+            } => write!(
+                f,
+                "hysteresis band requires 0 < exit_gpu <= 1 <= enter_gpu \
+                 (got exit={exit_gpu}, enter={enter_gpu})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BandError {}
+
+/// The sticky routing rule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Hysteresis {
+    /// Predicted speedup needed to move CPU → GPU.
+    pub enter_gpu: f64,
+    /// Predicted speedup below which GPU → CPU.
+    pub exit_gpu: f64,
+}
+
+impl Default for Hysteresis {
+    fn default() -> Self {
+        Self {
+            enter_gpu: DEFAULT_ENTER_GPU,
+            exit_gpu: DEFAULT_EXIT_GPU,
+        }
+    }
+}
+
+impl Hysteresis {
+    /// A validated band: `0 < exit_gpu ≤ 1 ≤ enter_gpu`, both finite.
+    pub fn new(enter_gpu: f64, exit_gpu: f64) -> Result<Self, BandError> {
+        let ok = enter_gpu.is_finite()
+            && exit_gpu.is_finite()
+            && exit_gpu > 0.0
+            && exit_gpu <= 1.0
+            && enter_gpu >= 1.0;
+        if !ok {
+            return Err(BandError::InvalidBand {
+                enter_gpu,
+                exit_gpu,
+            });
+        }
+        Ok(Self {
+            enter_gpu,
+            exit_gpu,
+        })
+    }
+
+    /// Routes one call. `speedup` is predicted CPU-seconds over predicted
+    /// GPU-seconds (> 1 means the GPU looks faster); `verdict` is the
+    /// advisor's classification of that same ratio; `current` is the
+    /// route this (site, bucket) took last time, if any.
+    ///
+    /// A [`Verdict::Borderline`] call with history always holds its
+    /// current route — that is the dispatcher consuming the advisor's
+    /// explicit near-threshold band. Otherwise the band applies: leave
+    /// the current route only when the ratio clears the far edge.
+    pub fn decide(&self, speedup: f64, verdict: Verdict, current: Option<Route>) -> Route {
+        match current {
+            None => {
+                // First sighting of this (site, bucket): no flip cost to
+                // avoid yet, so take the better predicted side.
+                if speedup > 1.0 {
+                    Route::Gpu
+                } else {
+                    Route::Cpu
+                }
+            }
+            Some(cur) => {
+                if verdict == Verdict::Borderline {
+                    return cur;
+                }
+                match cur {
+                    Route::Gpu if speedup < self.exit_gpu => Route::Cpu,
+                    Route::Cpu if speedup > self.enter_gpu => Route::Gpu,
+                    _ => cur,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn verdict_for(speedup: f64) -> Verdict {
+        match speedup {
+            s if s >= 2.0 => Verdict::Offload,
+            s if s > 1.05 => Verdict::Marginal,
+            s if s > 0.95 => Verdict::Borderline,
+            _ => Verdict::StayOnCpu,
+        }
+    }
+
+    #[test]
+    fn default_band_brackets_the_borderline_band() {
+        let h = Hysteresis::default();
+        assert!(h.exit_gpu < 0.95 && h.enter_gpu > 1.05);
+    }
+
+    #[test]
+    fn invalid_bands_are_rejected() {
+        assert!(Hysteresis::new(0.9, 0.8).is_err(), "enter below 1");
+        assert!(Hysteresis::new(1.2, 1.1).is_err(), "exit above 1");
+        assert!(Hysteresis::new(1.2, 0.0).is_err(), "exit not positive");
+        assert!(Hysteresis::new(f64::NAN, 0.9).is_err(), "non-finite");
+        assert!(
+            Hysteresis::new(1.0, 1.0).is_ok(),
+            "degenerate band is legal"
+        );
+    }
+
+    #[test]
+    fn first_sighting_takes_the_better_side() {
+        let h = Hysteresis::default();
+        assert_eq!(h.decide(1.01, verdict_for(1.01), None), Route::Gpu);
+        assert_eq!(h.decide(0.99, verdict_for(0.99), None), Route::Cpu);
+    }
+
+    #[test]
+    fn inside_the_band_the_current_route_holds() {
+        let h = Hysteresis::default();
+        for &r in &[Route::Cpu, Route::Gpu] {
+            for &s in &[0.9, 0.96, 1.0, 1.04, 1.1] {
+                assert_eq!(h.decide(s, verdict_for(s), Some(r)), r, "s={s} r={r:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn clearing_the_far_edge_switches() {
+        let h = Hysteresis::default();
+        assert_eq!(
+            h.decide(1.2, verdict_for(1.2), Some(Route::Cpu)),
+            Route::Gpu
+        );
+        assert_eq!(
+            h.decide(0.8, verdict_for(0.8), Some(Route::Gpu)),
+            Route::Cpu
+        );
+    }
+
+    #[test]
+    fn borderline_verdict_holds_even_with_a_degenerate_band() {
+        // with enter == exit == 1.0 the band alone would flap; the
+        // explicit Borderline hold must still pin the route
+        let h = Hysteresis::new(1.0, 1.0).expect("degenerate band");
+        assert_eq!(
+            h.decide(1.04, Verdict::Borderline, Some(Route::Cpu)),
+            Route::Cpu
+        );
+        assert_eq!(
+            h.decide(0.96, Verdict::Borderline, Some(Route::Gpu)),
+            Route::Gpu
+        );
+    }
+}

@@ -1,0 +1,65 @@
+//! # blob-dispatch — the online per-call auto-offload dispatch plane
+//!
+//! The paper computes offload thresholds *offline*; the TACC line of work
+//! on automatic BLAS offloading (arXiv 2404.13195 and its first-touch
+//! follow-up 2501.00279) shows the real win is a *per-call* dispatch layer
+//! that routes each GEMM/GEMV to CPU or GPU at runtime. This crate turns
+//! the workspace's offline advisor into that live decision plane:
+//!
+//! - [`estimator`] — a per-call-site history table (keyed by caller +
+//!   shape bucket) feeding an online estimator that blends the static
+//!   model prior with an EWMA of observed realized times,
+//! - [`hysteresis`] — bands around the CPU/GPU crossover so routing does
+//!   not flap between backends on adjacent near-threshold calls, and an
+//!   explicit hold on the advisor's `Borderline` verdict,
+//! - [`dispatcher`] — the cblas-style front: every call is priced on both
+//!   routes (compute from the estimator, data movement from the
+//!   first-touch residency model in `blob_sim::firsttouch`), routed, and
+//!   its realized time fed back into the history table,
+//! - [`workload`] — seeded mixed small/large call-trace generation,
+//! - [`run`] — whole-trace execution under a policy (`auto`,
+//!   `always-cpu`, `always-gpu`), CSV/JSON encodings with the chosen
+//!   route per call, and
+//! - [`checkpoint`] — crash-safe dispatch runs whose record keys include
+//!   the route, so resumed runs merge exactly-once.
+//!
+//! The "GPU" here is modelled (this workspace has no device), so the GPU
+//! route charges the calibrated kernel time plus first-touch migration of
+//! whatever operand pages are cold — and the CPU route pays write-back
+//! for operands a previous GPU-routed call left device-resident. That
+//! ping-pong cost is exactly why the hysteresis band earns its keep.
+//!
+//! Decisions are traced (`dispatch.decide` / `dispatch.route` spans on
+//! `blob_core::trace`) and fault-injectable (`dispatch.decide` site): an
+//! injected decision fault degrades to the static advisor prior for that
+//! call, never fails it.
+//!
+//! ```
+//! use blob_dispatch::{Dispatcher, Hysteresis};
+//! use blob_sim::{presets, BlasCall, Precision};
+//!
+//! let system = presets::isambard_ai();
+//! let mut d = Dispatcher::new(Hysteresis::default());
+//! let small = BlasCall::gemm(Precision::F32, 64, 64, 64);
+//! let large = BlasCall::gemm(Precision::F32, 1024, 1024, 1024);
+//! let a = d.dispatch(&system, "solver.small", &small);
+//! let b = d.dispatch(&system, "solver.large", &large);
+//! assert_eq!(a.route.id(), "cpu");
+//! assert_eq!(b.route.id(), "gpu");
+//! ```
+
+pub mod backend;
+pub mod checkpoint;
+pub mod dispatcher;
+pub mod estimator;
+pub mod hysteresis;
+pub mod run;
+pub mod workload;
+
+pub use backend::DispatchBackend;
+pub use checkpoint::{run_trace_checkpointed, CheckpointError, DispatchCheckpoint};
+pub use dispatcher::{Decision, DispatchStats, Dispatcher, Policy, Route, SampleCollector};
+pub use estimator::{site_hash, Estimator, ShapeBucket};
+pub use hysteresis::Hysteresis;
+pub use run::{compare_policies, dispatch_csv, dispatch_json, run_trace, CallRecord, RunResult};
+pub use workload::{mixed_trace, MixedTraceSpec, TraceCall};

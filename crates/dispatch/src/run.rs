@@ -1,0 +1,258 @@
+//! Whole-trace execution under a routing policy, and its encodings.
+//!
+//! [`run_trace`] drives one [`Dispatcher`] over a trace; `compare_policies`
+//! runs the same trace under `auto`, `always-cpu`, and `always-gpu` with a
+//! fresh dispatcher (and fresh device residency) each, which is the
+//! experiment the `dispatch_gate` bench and the CLI `dispatch` mode both
+//! report: the online dispatcher must beat both static policies on a mixed
+//! trace. [`dispatch_csv`] and [`dispatch_json`] carry the chosen route and
+//! the predicted/realized seconds for every call.
+
+use crate::backend::DispatchBackend;
+use crate::dispatcher::{Decision, DispatchStats, Dispatcher, Policy};
+use crate::hysteresis::Hysteresis;
+use crate::workload::TraceCall;
+use blob_core::wire::{call_json, Json};
+
+/// One dispatched call and its outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CallRecord {
+    /// Position in the trace.
+    pub index: usize,
+    /// Call-site name.
+    pub site: String,
+    /// The call.
+    pub call: blob_sim::BlasCall,
+    /// What the dispatcher decided and what it cost.
+    pub decision: Decision,
+}
+
+/// A whole trace executed under one policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunResult {
+    /// The policy the trace ran under.
+    pub policy: Policy,
+    /// Backend (system) name.
+    pub backend_name: String,
+    /// Per-call outcomes, in trace order.
+    pub records: Vec<CallRecord>,
+    /// Aggregate counters.
+    pub stats: DispatchStats,
+}
+
+/// Runs `trace` through a fresh dispatcher under `policy`.
+pub fn run_trace(
+    backend: &dyn DispatchBackend,
+    trace: &[TraceCall],
+    policy: Policy,
+    hysteresis: Hysteresis,
+) -> RunResult {
+    let mut dispatcher = Dispatcher::new(hysteresis);
+    let records = trace
+        .iter()
+        .enumerate()
+        .map(|(index, tc)| CallRecord {
+            index,
+            site: tc.site.clone(),
+            call: tc.call,
+            decision: dispatcher.dispatch_with_policy(backend, &tc.site, &tc.call, policy),
+        })
+        .collect();
+    RunResult {
+        policy,
+        backend_name: backend.name(),
+        records,
+        stats: dispatcher.stats(),
+    }
+}
+
+/// Runs the same trace under every [`Policy`], each with a fresh
+/// dispatcher and fresh residency, in [`Policy::ALL`] order
+/// (`auto`, `always-cpu`, `always-gpu`).
+pub fn compare_policies(
+    backend: &dyn DispatchBackend,
+    trace: &[TraceCall],
+    hysteresis: Hysteresis,
+) -> Vec<RunResult> {
+    Policy::ALL
+        .iter()
+        .map(|&policy| run_trace(backend, trace, policy, hysteresis))
+        .collect()
+}
+
+/// CSV header for [`dispatch_csv`].
+pub const CSV_HEADER: &str = "index,site,routine,m,n,k,route,verdict,\
+predicted_cpu_s,predicted_gpu_s,realized_s,flip,fault_fallback";
+
+/// Renders one run as CSV: one row per call with the chosen route and
+/// the realized-vs-predicted seconds.
+pub fn dispatch_csv(result: &RunResult) -> String {
+    let mut out = String::with_capacity(64 * (result.records.len() + 2));
+    out.push_str(&format!(
+        "# system={} policy={}\n",
+        result.backend_name,
+        result.policy.id()
+    ));
+    out.push_str(CSV_HEADER);
+    out.push('\n');
+    for r in &result.records {
+        let d = &r.decision;
+        let (m, n, k) = r.call.kernel.dims();
+        let pg = d.predicted_gpu.map_or(String::new(), |g| format!("{g:.9}"));
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{},{},{:.9},{},{:.9},{},{}\n",
+            r.index,
+            r.site,
+            r.call.routine(),
+            m,
+            n,
+            k,
+            d.route.id(),
+            d.verdict.id(),
+            d.predicted_cpu,
+            pg,
+            d.realized,
+            u8::from(d.flipped),
+            u8::from(d.fault_fallback),
+        ));
+    }
+    out
+}
+
+/// Encodes one call record (route included) for `--json` and the
+/// `/v1/dispatch` response.
+pub fn record_json(r: &CallRecord) -> Json {
+    Json::obj()
+        .field("index", r.index)
+        .field("site", r.site.as_str())
+        .field("call", call_json(&r.call))
+        .field("route", r.decision.route.id())
+        .field("verdict", r.decision.verdict.id())
+        .field("predicted_cpu_seconds", r.decision.predicted_cpu)
+        .field("predicted_gpu_seconds", r.decision.predicted_gpu)
+        .field("realized_seconds", r.decision.realized)
+        .field("flip", r.decision.flipped)
+        .field("fault_fallback", r.decision.fault_fallback)
+        .build()
+}
+
+/// Encodes aggregate counters.
+pub fn stats_json(stats: &DispatchStats) -> Json {
+    Json::obj()
+        .field("calls", stats.calls)
+        .field("cpu_calls", stats.cpu_calls)
+        .field("gpu_calls", stats.gpu_calls)
+        .field("flips", stats.flips)
+        .field("fault_fallbacks", stats.fault_fallbacks)
+        .field("realized_seconds", stats.realized_seconds)
+        .field("predicted_seconds", stats.predicted_seconds)
+        .build()
+}
+
+/// Encodes one whole run, per-call routes included.
+pub fn dispatch_json(result: &RunResult) -> Json {
+    Json::obj()
+        .field("system", result.backend_name.as_str())
+        .field("policy", result.policy.id())
+        .field("stats", stats_json(&result.stats))
+        .field(
+            "calls",
+            Json::Arr(result.records.iter().map(record_json).collect()),
+        )
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{mixed_trace, MixedTraceSpec};
+    use blob_sim::presets;
+
+    fn small_spec() -> MixedTraceSpec {
+        MixedTraceSpec {
+            calls: 60,
+            ..MixedTraceSpec::default()
+        }
+    }
+
+    #[test]
+    fn auto_beats_both_static_policies_on_a_mixed_trace() {
+        let sys = presets::isambard_ai();
+        let trace = mixed_trace(&small_spec());
+        let results = compare_policies(&sys, &trace, Hysteresis::default());
+        assert_eq!(results.len(), 3);
+        let auto = &results[0];
+        let cpu = &results[1];
+        let gpu = &results[2];
+        assert_eq!(auto.policy, Policy::Auto);
+        assert!(
+            auto.stats.realized_seconds < cpu.stats.realized_seconds,
+            "auto {} !< always-cpu {}",
+            auto.stats.realized_seconds,
+            cpu.stats.realized_seconds
+        );
+        assert!(
+            auto.stats.realized_seconds < gpu.stats.realized_seconds,
+            "auto {} !< always-gpu {}",
+            auto.stats.realized_seconds,
+            gpu.stats.realized_seconds
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic_for_a_fixed_seed() {
+        let sys = presets::isambard_ai();
+        let trace = mixed_trace(&small_spec());
+        let a = run_trace(&sys, &trace, Policy::Auto, Hysteresis::default());
+        let b = run_trace(&sys, &trace, Policy::Auto, Hysteresis::default());
+        assert_eq!(a, b, "same seed, same trace, same decisions");
+        assert_eq!(dispatch_csv(&a), dispatch_csv(&b));
+    }
+
+    #[test]
+    fn csv_has_header_and_one_row_per_call() {
+        let sys = presets::isambard_ai();
+        let trace = mixed_trace(&MixedTraceSpec {
+            calls: 10,
+            gemv_every: 5,
+            ..MixedTraceSpec::default()
+        });
+        let result = run_trace(&sys, &trace, Policy::Auto, Hysteresis::default());
+        let csv = dispatch_csv(&result);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2 + trace.len());
+        assert!(lines[0].starts_with("# system=Isambard-AI"));
+        assert_eq!(lines[1], CSV_HEADER);
+        assert!(lines[2].contains(",cpu,") || lines[2].contains(",gpu,"));
+    }
+
+    #[test]
+    fn json_carries_route_per_call_and_stats() {
+        let sys = presets::isambard_ai();
+        let trace = mixed_trace(&MixedTraceSpec {
+            calls: 6,
+            ..MixedTraceSpec::default()
+        });
+        let result = run_trace(&sys, &trace, Policy::Auto, Hysteresis::default());
+        let doc = dispatch_json(&result);
+        let encoded = doc.encode();
+        let parsed = Json::parse(&encoded).expect("round-trips");
+        let calls = parsed.get("calls").and_then(Json::as_arr).expect("calls");
+        assert_eq!(calls.len(), 6);
+        for c in calls {
+            let route = c.get("route").and_then(Json::as_str).expect("route");
+            assert!(route == "cpu" || route == "gpu");
+            assert!(c.get("realized_seconds").and_then(Json::as_f64).is_some());
+        }
+        assert!(parsed.get("stats").and_then(|s| s.get("calls")).is_some());
+    }
+
+    #[test]
+    fn cpu_only_system_runs_whole_trace_on_cpu() {
+        let sys = presets::isambard_ai_armpl();
+        let trace = mixed_trace(&small_spec());
+        let result = run_trace(&sys, &trace, Policy::Auto, Hysteresis::default());
+        assert_eq!(result.stats.gpu_calls, 0);
+        assert_eq!(result.stats.cpu_calls, trace.len() as u64);
+    }
+}

@@ -1,0 +1,164 @@
+//! Seeded mixed-regime call traces for exercising the dispatch plane.
+//!
+//! The dispatcher's value proposition only shows on a workload that
+//! *interleaves* regimes: small GEMMs the CPU wins outright and large
+//! GEMMs worth the page-migration toll. [`mixed_trace`] builds exactly
+//! that — a deterministic interleaving drawn from a small palette of
+//! repeated shapes (repeats are what make residency warmth and call-site
+//! history meaningful) so the same seed always reproduces the same trace
+//! byte for byte.
+
+use blob_core::rng::XorShift64;
+use blob_sim::{BlasCall, Precision};
+
+/// One call in a trace, tagged with its originating call site.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceCall {
+    /// Call-site name (the dispatcher's history key, with the shape).
+    pub site: String,
+    /// The BLAS call itself.
+    pub call: BlasCall,
+}
+
+/// Parameters of a [`mixed_trace`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MixedTraceSpec {
+    /// RNG seed; equal seeds give byte-identical traces.
+    pub seed: u64,
+    /// Number of calls to generate.
+    pub calls: usize,
+    /// Inclusive dimension range for the small (CPU-favoured) regime.
+    pub small: (usize, usize),
+    /// Inclusive dimension range for the large (GPU-favoured) regime.
+    pub large: (usize, usize),
+    /// Element precision of every call.
+    pub precision: Precision,
+    /// Every `gemv_every`-th call is a GEMV instead of a GEMM (0 = none).
+    pub gemv_every: usize,
+}
+
+impl Default for MixedTraceSpec {
+    fn default() -> Self {
+        Self {
+            seed: 42,
+            calls: 200,
+            small: (32, 128),
+            large: (512, 1024),
+            precision: Precision::F32,
+            gemv_every: 0,
+        }
+    }
+}
+
+/// How many distinct shapes each regime's palette holds. Small enough
+/// that shapes repeat often (history and warmth accumulate), large
+/// enough that the trace is not one call repeated.
+const PALETTE: usize = 3;
+
+/// Generates the mixed small/large trace described by `spec`.
+///
+/// Calls alternate regimes by index parity (even = small, odd = large),
+/// each drawing a shape from its regime's seeded palette. Sites are
+/// named `small.N` / `large.N` / `gemv.N` after the palette slot, so a
+/// site always re-issues the same shape — like a call site in a real
+/// application would.
+pub fn mixed_trace(spec: &MixedTraceSpec) -> Vec<TraceCall> {
+    let mut rng = XorShift64::new(spec.seed);
+    let draw = |rng: &mut XorShift64, (lo, hi): (usize, usize)| -> [usize; 3] {
+        let hi = hi.max(lo);
+        [
+            rng.range_usize(lo, hi + 1),
+            rng.range_usize(lo, hi + 1),
+            rng.range_usize(lo, hi + 1),
+        ]
+    };
+    let small: Vec<[usize; 3]> = (0..PALETTE).map(|_| draw(&mut rng, spec.small)).collect();
+    let large: Vec<[usize; 3]> = (0..PALETTE).map(|_| draw(&mut rng, spec.large)).collect();
+
+    let mut trace = Vec::with_capacity(spec.calls);
+    for i in 0..spec.calls {
+        if spec.gemv_every > 0 && i % spec.gemv_every == spec.gemv_every - 1 {
+            let slot = (i / spec.gemv_every) % PALETTE;
+            let [m, n, _] = large[slot];
+            trace.push(TraceCall {
+                site: format!("gemv.{slot}"),
+                call: BlasCall::gemv(spec.precision, m, n),
+            });
+            continue;
+        }
+        let slot = (i / 2) % PALETTE;
+        let (name, [m, n, k]) = if i % 2 == 0 {
+            ("small", small[slot])
+        } else {
+            ("large", large[slot])
+        };
+        trace.push(TraceCall {
+            site: format!("{name}.{slot}"),
+            call: BlasCall::gemm(spec.precision, m, n, k),
+        });
+    }
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blob_sim::Kernel;
+
+    #[test]
+    fn same_seed_same_trace() {
+        let spec = MixedTraceSpec::default();
+        assert_eq!(mixed_trace(&spec), mixed_trace(&spec));
+        let other = MixedTraceSpec { seed: 43, ..spec };
+        assert_ne!(mixed_trace(&spec), mixed_trace(&other));
+    }
+
+    #[test]
+    fn regimes_interleave_and_respect_ranges() {
+        let spec = MixedTraceSpec {
+            calls: 40,
+            ..MixedTraceSpec::default()
+        };
+        let trace = mixed_trace(&spec);
+        assert_eq!(trace.len(), 40);
+        for (i, tc) in trace.iter().enumerate() {
+            let (m, n, k) = tc.call.kernel.dims();
+            let (lo, hi) = if i % 2 == 0 { spec.small } else { spec.large };
+            for d in [m, n, k] {
+                assert!(d >= lo && d <= hi, "call {i}: dim {d} outside [{lo},{hi}]");
+            }
+            let prefix = if i % 2 == 0 { "small." } else { "large." };
+            assert!(tc.site.starts_with(prefix), "call {i}: site {}", tc.site);
+        }
+    }
+
+    #[test]
+    fn shapes_repeat_within_each_site() {
+        let trace = mixed_trace(&MixedTraceSpec::default());
+        let mut by_site: std::collections::HashMap<&str, &BlasCall> =
+            std::collections::HashMap::new();
+        for tc in &trace {
+            let prev = by_site.insert(tc.site.as_str(), &tc.call);
+            if let Some(prev) = prev {
+                assert_eq!(prev, &tc.call, "site {} changed shape", tc.site);
+            }
+        }
+        assert!(by_site.len() >= 2 * PALETTE, "palette too narrow");
+    }
+
+    #[test]
+    fn gemv_every_inserts_gemvs() {
+        let spec = MixedTraceSpec {
+            gemv_every: 5,
+            calls: 25,
+            ..MixedTraceSpec::default()
+        };
+        let trace = mixed_trace(&spec);
+        let gemvs = trace
+            .iter()
+            .filter(|tc| matches!(tc.call.kernel, Kernel::Gemv { .. }))
+            .count();
+        assert_eq!(gemvs, 5);
+        assert!(trace[4].site.starts_with("gemv."));
+    }
+}

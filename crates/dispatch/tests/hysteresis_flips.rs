@@ -1,0 +1,149 @@
+//! Satellite acceptance tests for the hysteresis band: a trace that sits
+//! right at the CPU/GPU crossover must not flap routes call to call, and
+//! dispatch runs must be deterministic for a fixed seed.
+
+use blob_dispatch::{
+    mixed_trace, run_trace, DispatchBackend, Dispatcher, Hysteresis, MixedTraceSpec, Policy, Route,
+    TraceCall,
+};
+use blob_sim::firsttouch::FirstTouchModel;
+use blob_sim::{presets, BlasCall, Precision};
+
+/// A backend engineered to sit at the crossover: with the default 6 µs
+/// offload overhead, the GPU route prices within ±10 % of the CPU route,
+/// and realized CPU times alternate above/below the prior depending on
+/// which of two same-bucket shapes is executing — so the EWMA (and with
+/// it the predicted speedup) wobbles around 1.0 on every call.
+struct Crossover;
+
+impl DispatchBackend for Crossover {
+    fn name(&self) -> String {
+        "crossover".into()
+    }
+    fn prior_cpu_seconds(&self, _: &BlasCall) -> f64 {
+        10e-6
+    }
+    fn prior_gpu_kernel_seconds(&self, _: &BlasCall) -> Option<f64> {
+        Some(4e-6) // + 6 µs default overhead ⇒ ~10 µs GPU route
+    }
+    fn realize_cpu_seconds(&self, call: &BlasCall) -> f64 {
+        let (m, _, _) = call.kernel.dims();
+        // 200³ runs fast, 250³ runs slow — same ⌊log2⌋ = 7 bucket.
+        if m == 200 {
+            9e-6
+        } else {
+            11e-6
+        }
+    }
+    fn realize_gpu_kernel_seconds(&self, call: &BlasCall) -> Option<f64> {
+        self.prior_gpu_kernel_seconds(call)
+    }
+    fn first_touch(&self) -> Option<FirstTouchModel> {
+        Some(FirstTouchModel {
+            page_bytes: 2.0 * 1024.0 * 1024.0,
+            fault_us: 0.0,
+            migration_gbs: 1e6, // transfers ~free: keep pricing pinned at 1.0
+            writeback_gbs: 1e6,
+            per_iter_penalty: 0.0,
+        })
+    }
+}
+
+fn crossover_trace(calls: usize) -> Vec<TraceCall> {
+    (0..calls)
+        .map(|i| {
+            let dim = if i % 2 == 0 { 200 } else { 250 };
+            TraceCall {
+                site: "hot.loop".to_string(),
+                call: BlasCall::gemm(Precision::F32, dim, dim, dim),
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn at_most_one_flip_per_hundred_calls_at_the_crossover() {
+    let trace = crossover_trace(100);
+    let result = run_trace(&Crossover, &trace, Policy::Auto, Hysteresis::default());
+    assert!(
+        result.stats.flips <= 1,
+        "crossover trace flapped {} times in {} calls",
+        result.stats.flips,
+        trace.len()
+    );
+    // and the route it settled on is held to the end of the trace
+    let settled = result.records.last().expect("records").decision.route;
+    let tail_flips = result.records[10..]
+        .iter()
+        .filter(|r| r.decision.route != settled)
+        .count();
+    assert_eq!(tail_flips, 0, "route still wandering after warm-up");
+}
+
+#[test]
+fn a_degenerate_band_without_the_borderline_hold_would_flap() {
+    // Control experiment: drive the same wobbling speedup sequence
+    // through a bare comparison (enter == exit == 1.0, verdict ignored)
+    // and count how often it switches sides. This is the flapping the
+    // band + Borderline hold exist to suppress.
+    let band = Hysteresis::new(1.0, 1.0).expect("degenerate band");
+    let mut route = Route::Cpu;
+    let mut flips = 0;
+    for i in 0..100 {
+        let speedup = if i % 2 == 0 { 1.04 } else { 0.96 };
+        // feed a non-borderline verdict so nothing holds the route
+        let next = band.decide(speedup, blob_core::advisor::Verdict::Marginal, Some(route));
+        if next != route {
+            flips += 1;
+        }
+        route = next;
+    }
+    assert!(
+        flips > 40,
+        "bare comparison should flap nearly every call, got {flips}"
+    );
+}
+
+#[test]
+fn fixed_seed_dispatch_runs_are_bit_deterministic() {
+    let sys = presets::isambard_ai().with_noise(17, 0.08);
+    let spec = MixedTraceSpec {
+        seed: 99,
+        calls: 80,
+        gemv_every: 7,
+        ..MixedTraceSpec::default()
+    };
+    let trace_a = mixed_trace(&spec);
+    let trace_b = mixed_trace(&spec);
+    assert_eq!(trace_a, trace_b);
+    let a = run_trace(&sys, &trace_a, Policy::Auto, Hysteresis::default());
+    let b = run_trace(&sys, &trace_b, Policy::Auto, Hysteresis::default());
+    assert_eq!(a, b, "same seed must reproduce every decision bit-exactly");
+    for (ra, rb) in a.records.iter().zip(&b.records) {
+        assert_eq!(
+            ra.decision.realized.to_bits(),
+            rb.decision.realized.to_bits()
+        );
+    }
+}
+
+#[test]
+fn borderline_verdict_is_what_the_dispatcher_consumes_at_the_crossover() {
+    // On the crossover backend most steady-state decisions should land in
+    // the advisor's explicit Borderline band — the satellite contract is
+    // that the dispatcher consumes that verdict rather than re-deriving
+    // its own notion of "near the threshold".
+    let trace = crossover_trace(40);
+    let mut d = Dispatcher::new(Hysteresis::default());
+    let mut borderline = 0;
+    for tc in &trace {
+        let dec = d.dispatch(&Crossover, &tc.site, &tc.call);
+        if dec.verdict == blob_core::advisor::Verdict::Borderline {
+            borderline += 1;
+        }
+    }
+    assert!(
+        borderline > 20,
+        "expected mostly Borderline verdicts at the crossover, got {borderline}/40"
+    );
+}

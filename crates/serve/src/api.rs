@@ -13,6 +13,7 @@
 //! |-------|--------|------|
 //! | `/v1/advise` | POST | BLAS call + iterations + offload → verdict |
 //! | `/v1/threshold` | POST | problem + system + sweep config → cached threshold table |
+//! | `/v1/dispatch` | POST | BLAS call + site → online route (cpu/gpu) + predicted/realized seconds |
 //! | `/v1/systems` | GET | — |
 //! | `/v1/healthz` | GET | — |
 //! | `/v1/metrics` | GET | — |
@@ -40,7 +41,9 @@ use blob_core::schema::{
 use blob_core::trace;
 use blob_core::wire::Json;
 use blob_core::{advise, Offload, Precision};
+use blob_dispatch::{Dispatcher, Hysteresis, Policy};
 use blob_sim::{presets, Kernel, SystemModel};
+use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
@@ -106,6 +109,10 @@ pub struct App {
     deadline: Duration,
     /// Seeded jitter stream for retry backoff.
     jitter: Mutex<XorShift64>,
+    /// One online dispatcher per system id: `/v1/dispatch` history and
+    /// device residency persist across requests, so repeated calls from
+    /// the same site warm up exactly as an in-process dispatcher would.
+    dispatchers: Mutex<HashMap<String, Dispatcher>>,
 }
 
 /// A handler failure: an HTTP status, a stable envelope code, and a
@@ -157,6 +164,7 @@ impl App {
             sweep_pool: ThreadPool::with_default_parallelism(),
             deadline: DEFAULT_DEADLINE,
             jitter: Mutex::new(XorShift64::new(JITTER_SEED)),
+            dispatchers: Mutex::new(HashMap::new()),
         }
     }
 
@@ -250,9 +258,13 @@ impl App {
                     "threshold",
                     self.threshold_endpoint(&req.body, started).map(json_ok),
                 ),
+                ("POST", "/dispatch") => (
+                    "dispatch",
+                    self.dispatch_endpoint(&req.body, started).map(json_ok),
+                ),
                 ("POST", "/shutdown") => ("shutdown", self.shutdown_endpoint().map(json_ok)),
                 (_, "/healthz" | "/systems" | "/metrics" | "/trace")
-                | (_, "/advise" | "/threshold") => (
+                | (_, "/advise" | "/threshold" | "/dispatch") => (
                     "other",
                     Err(ApiError::new(
                         405,
@@ -413,6 +425,76 @@ impl App {
         };
         fields.insert(0, ("system".to_string(), system.name.to_string().into()));
         Ok(Json::Obj(fields))
+    }
+
+    /// `POST /v1/dispatch`: one online routing decision. The request
+    /// names a system, a call, and (optionally) a call-site label; the
+    /// response reports the route the per-system dispatcher took for it,
+    /// the predicted seconds for both routes, and the realized seconds on
+    /// the chosen route. Dispatcher state (history table, device
+    /// residency, hysteresis memory) persists across requests per system;
+    /// `"reset": true` starts that system's dispatcher fresh first.
+    fn dispatch_endpoint(&self, body: &[u8], started: Instant) -> ApiResult {
+        let doc = schema::parse_body(body)?;
+        let system_id = schema::require_str(&doc, "system")?;
+        let system = self.system(system_id).ok_or_else(|| {
+            ApiError::bad_request(
+                codes::UNKNOWN_SYSTEM,
+                format!("unknown system `{system_id}`"),
+            )
+        })?;
+        let call = schema::parse_call(&doc, MAX_SWEEP_DIM * 16)?;
+        let site = match doc.get("site") {
+            None => "api",
+            Some(v) => v.as_str().ok_or_else(|| {
+                ApiError::bad_request(codes::INVALID_FIELD, "site must be a string")
+            })?,
+        };
+        let policy = match doc.get("policy") {
+            None => Policy::Auto,
+            Some(v) => v.as_str().and_then(Policy::from_id).ok_or_else(|| {
+                ApiError::bad_request(
+                    codes::INVALID_FIELD,
+                    "policy must be one of auto|always-cpu|always-gpu",
+                )
+            })?,
+        };
+        let reset = match doc.get("reset") {
+            None => false,
+            Some(v) => v.as_bool().ok_or_else(|| {
+                ApiError::bad_request(codes::INVALID_FIELD, "reset must be a boolean")
+            })?,
+        };
+        let (decision, calls_so_far) = {
+            let mut dispatchers = self
+                .dispatchers
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            let dispatcher = dispatchers
+                .entry(system.name.to_string())
+                .or_insert_with(|| Dispatcher::new(Hysteresis::default()));
+            if reset {
+                dispatcher.reset();
+            }
+            let decision = dispatcher.dispatch_with_policy(system, site, &call, policy);
+            (decision, dispatcher.stats().calls)
+        };
+        self.check_deadline(started)?;
+        Ok(Json::obj()
+            .field("system", system.name.to_string())
+            .field("site", site)
+            .field("policy", policy.id())
+            .field("call", kernel_json(&call.kernel))
+            .field("precision", precision_key(call.precision))
+            .field("route", decision.route.id())
+            .field("verdict", decision.verdict.id())
+            .field("predicted_cpu_seconds", decision.predicted_cpu)
+            .field("predicted_gpu_seconds", decision.predicted_gpu)
+            .field("realized_seconds", decision.realized)
+            .field("flip", decision.flipped)
+            .field("fault_fallback", decision.fault_fallback)
+            .field("calls", calls_so_far)
+            .build())
     }
 
     fn threshold_endpoint(&self, body: &[u8], started: Instant) -> ApiResult {
@@ -934,5 +1016,104 @@ mod tests {
         let (r, _) = open.handle(&post("/shutdown", ""));
         assert_eq!(r.status, 200);
         assert!(open.shutdown_requested());
+    }
+
+    #[test]
+    fn dispatch_routes_small_to_cpu_and_large_to_gpu() {
+        let a = app();
+        let small = r#"{"system":"isambard-ai","site":"t.small","op":"gemm","m":64,"n":64,"k":64,"precision":"f32"}"#;
+        let (r, label) = a.handle(&post("/v1/dispatch", small));
+        assert_eq!((r.status, label), (200, "dispatch"));
+        let j = body_json(&r);
+        assert_eq!(j.get("route").and_then(Json::as_str), Some("cpu"));
+        assert!(j
+            .get("predicted_cpu_seconds")
+            .and_then(Json::as_f64)
+            .is_some());
+        assert!(j
+            .get("predicted_gpu_seconds")
+            .and_then(Json::as_f64)
+            .is_some());
+        assert!(j.get("realized_seconds").and_then(Json::as_f64).is_some());
+        assert!(r.header(envelope::TRACE_HEADER).is_some());
+
+        let large = r#"{"system":"isambard-ai","site":"t.large","op":"gemm","m":1024,"n":1024,"k":1024,"precision":"f32"}"#;
+        let (r, _) = a.handle(&post("/v1/dispatch", large));
+        let j = body_json(&r);
+        assert_eq!(j.get("route").and_then(Json::as_str), Some("gpu"));
+        assert_eq!(j.get("calls").and_then(Json::as_u64), Some(2));
+    }
+
+    #[test]
+    fn dispatch_state_persists_across_requests_and_reset_clears_it() {
+        let a = app();
+        let body = r#"{"system":"isambard-ai","site":"warm","op":"gemm","m":1024,"n":1024,"k":1024,"precision":"f64"}"#;
+        let (r1, _) = a.handle(&post("/v1/dispatch", body));
+        let (r2, _) = a.handle(&post("/v1/dispatch", body));
+        let t1 = body_json(&r1)
+            .get("realized_seconds")
+            .and_then(Json::as_f64)
+            .unwrap();
+        let t2 = body_json(&r2)
+            .get("realized_seconds")
+            .and_then(Json::as_f64)
+            .unwrap();
+        assert!(t2 < t1, "warm pages must skip migration: {t2} !< {t1}");
+        // reset starts the dispatcher fresh: cold again, counter back to 1
+        let reset = r#"{"system":"isambard-ai","site":"warm","op":"gemm","m":1024,"n":1024,"k":1024,"precision":"f64","reset":true}"#;
+        let (r3, _) = a.handle(&post("/v1/dispatch", reset));
+        let j = body_json(&r3);
+        let t3 = j.get("realized_seconds").and_then(Json::as_f64).unwrap();
+        assert_eq!(j.get("calls").and_then(Json::as_u64), Some(1));
+        assert_eq!(t3.to_bits(), t1.to_bits(), "reset reproduces the cold run");
+    }
+
+    #[test]
+    fn dispatch_cpu_only_system_and_forced_policy() {
+        let a = app();
+        let body = r#"{"system":"isambard-ai-armpl","site":"x","op":"gemm","m":1024,"n":1024,"k":1024,"precision":"f32"}"#;
+        let (r, _) = a.handle(&post("/v1/dispatch", body));
+        let j = body_json(&r);
+        assert_eq!(j.get("route").and_then(Json::as_str), Some("cpu"));
+        assert_eq!(j.get("verdict").and_then(Json::as_str), Some("no-gpu"));
+        assert!(j.get("predicted_gpu_seconds").unwrap().is_null());
+
+        let forced = r#"{"system":"isambard-ai","site":"x","op":"gemm","m":64,"n":64,"k":64,"precision":"f32","policy":"always-gpu"}"#;
+        let (r, _) = a.handle(&post("/v1/dispatch", forced));
+        let j = body_json(&r);
+        assert_eq!(j.get("route").and_then(Json::as_str), Some("gpu"));
+        assert_eq!(j.get("policy").and_then(Json::as_str), Some("always-gpu"));
+    }
+
+    #[test]
+    fn dispatch_rejects_bad_requests_with_the_envelope() {
+        let a = app();
+        // unknown system
+        let (r, _) = a.handle(&post(
+            "/v1/dispatch",
+            r#"{"system":"nope","op":"gemm","m":8,"n":8,"k":8,"precision":"f32"}"#,
+        ));
+        assert_eq!(r.status, 400);
+        assert_eq!(
+            error_obj(&r).get("code").and_then(Json::as_str),
+            Some("unknown_system")
+        );
+        // bad policy
+        let (r, _) = a.handle(&post(
+            "/v1/dispatch",
+            r#"{"system":"dawn","op":"gemm","m":8,"n":8,"k":8,"precision":"f32","policy":"sometimes"}"#,
+        ));
+        assert_eq!(r.status, 400);
+        assert_eq!(
+            error_obj(&r).get("code").and_then(Json::as_str),
+            Some("invalid_field")
+        );
+        assert!(error_obj(&r)
+            .get("trace_id")
+            .and_then(Json::as_str)
+            .is_some());
+        // wrong method
+        let (r, _) = a.handle(&get("/v1/dispatch"));
+        assert_eq!(r.status, 405);
     }
 }

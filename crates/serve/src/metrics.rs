@@ -206,9 +206,10 @@ pub struct Metrics {
 
 /// The endpoint labels the registry tracks; unknown routes fall into
 /// `"other"` so the cardinality is fixed.
-pub const ENDPOINTS: [&str; 8] = [
+pub const ENDPOINTS: [&str; 9] = [
     "advise",
     "threshold",
+    "dispatch",
     "systems",
     "healthz",
     "metrics",

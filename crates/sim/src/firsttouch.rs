@@ -1,0 +1,332 @@
+//! First-touch / page-migration cost model and device residency tracking.
+//!
+//! The TACC follow-up work on automatic BLAS offloading (arXiv 2501.00279)
+//! refines the flat USM accounting of [`crate::usm`]: under first-touch
+//! unified memory, a GPU-routed call pays migration only for the pages of
+//! its operands that are *not already resident* on the device, plus a
+//! per-page fault-handling cost. Pages stay resident until capacity
+//! pressure evicts them or the host touches them again (which forces a
+//! write-back). A dispatch layer that routes calls per-shape therefore
+//! sees *warm* repeats of a shape run at near-kernel speed, while
+//! ping-ponging a buffer between CPU and GPU routes pays the migration
+//! both ways — exactly the cost structure that makes hysteresis worth
+//! having.
+//!
+//! [`FirstTouchModel`] prices the page movement; [`Residency`] tracks
+//! which buffers are device-resident (LRU under a capacity budget) so the
+//! caller can ask "how many of these bytes are cold right now?".
+
+use crate::usm::UsmModel;
+
+/// Prices page-granular data movement under first-touch unified memory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FirstTouchModel {
+    /// Migration granularity in bytes (vendor drivers typically migrate
+    /// 2 MiB huge pages).
+    pub page_bytes: f64,
+    /// Fault-handling cost per migrated page, µs (trap + driver +
+    /// TLB shootdown).
+    pub fault_us: f64,
+    /// Effective host→device page-migration bandwidth, GB/s.
+    pub migration_gbs: f64,
+    /// Effective device→host write-back bandwidth, GB/s.
+    pub writeback_gbs: f64,
+    /// Fractional slowdown on every kernel execution from residual fault
+    /// handling / address-translation traffic (mirrors
+    /// [`UsmModel::per_iter_penalty`]).
+    pub per_iter_penalty: f64,
+}
+
+/// Default migration granularity: 2 MiB huge pages.
+pub const DEFAULT_PAGE_BYTES: f64 = 2.0 * 1024.0 * 1024.0;
+
+/// Default per-page fault-handling cost, µs.
+pub const DEFAULT_FAULT_US: f64 = 2.0;
+
+impl FirstTouchModel {
+    /// Derives a first-touch model from a vendor's flat USM behaviour:
+    /// the bandwidths and per-iteration penalty carry over, and the flat
+    /// per-problem `setup_us` is replaced by per-page fault costs at the
+    /// default 2 MiB / 2 µs granularity.
+    pub fn from_usm(usm: &UsmModel) -> Self {
+        Self {
+            page_bytes: DEFAULT_PAGE_BYTES,
+            fault_us: DEFAULT_FAULT_US,
+            migration_gbs: usm.migration_gbs,
+            writeback_gbs: usm.writeback_gbs,
+            per_iter_penalty: usm.per_iter_penalty,
+        }
+    }
+
+    /// Number of pages covering `bytes` (ceiling; 0 for 0 bytes).
+    pub fn pages(&self, bytes: f64) -> f64 {
+        (bytes / self.page_bytes).ceil()
+    }
+
+    /// Seconds to fault `cold_bytes` host→device: per-page fault handling
+    /// plus the migration itself. Warm (already-resident) bytes cost 0.
+    pub fn to_device_seconds(&self, cold_bytes: f64) -> f64 {
+        self.pages(cold_bytes) * self.fault_us * 1e-6 + cold_bytes / (self.migration_gbs * 1e9)
+    }
+
+    /// Seconds to write `bytes` back device→host when the host touches a
+    /// device-resident buffer again.
+    pub fn writeback_seconds(&self, bytes: f64) -> f64 {
+        self.pages(bytes) * self.fault_us * 1e-6 + bytes / (self.writeback_gbs * 1e9)
+    }
+
+    /// Seconds of GPU kernel execution after the residual-fault tax.
+    pub fn taxed_kernel_seconds(&self, kernel_seconds: f64) -> f64 {
+        kernel_seconds * (1.0 + self.per_iter_penalty)
+    }
+}
+
+/// Tracks which buffers are resident on the device.
+///
+/// Buffers are identified by an opaque `u64` key chosen by the caller
+/// (typically a hash of call-site and operand). Eviction is LRU under a
+/// byte-capacity budget; the tracker is purely deterministic, so replaying
+/// the same touch sequence reproduces the same residency states.
+#[derive(Debug, Clone)]
+pub struct Residency {
+    capacity_bytes: f64,
+    /// `(key, bytes, last-touch stamp)`, unordered; scanned linearly (a
+    /// dispatch trace touches at most a few live buffers per site).
+    resident: Vec<(u64, f64, u64)>,
+    clock: u64,
+    migrated_in: f64,
+    written_back: f64,
+    evicted: f64,
+}
+
+impl Residency {
+    /// An empty tracker with the given device-memory budget in bytes.
+    pub fn new(capacity_bytes: f64) -> Self {
+        Self {
+            capacity_bytes,
+            resident: Vec::new(),
+            clock: 0,
+            migrated_in: 0.0,
+            written_back: 0.0,
+            evicted: 0.0,
+        }
+    }
+
+    /// Total bytes currently resident on the device.
+    pub fn resident_bytes(&self) -> f64 {
+        self.resident.iter().map(|&(_, b, _)| b).sum()
+    }
+
+    /// Cumulative bytes migrated host→device by [`Self::touch_device`].
+    pub fn migrated_in_bytes(&self) -> f64 {
+        self.migrated_in
+    }
+
+    /// Cumulative bytes written back device→host by [`Self::touch_host`].
+    pub fn written_back_bytes(&self) -> f64 {
+        self.written_back
+    }
+
+    /// Cumulative bytes silently evicted under capacity pressure.
+    pub fn evicted_bytes(&self) -> f64 {
+        self.evicted
+    }
+
+    /// Bytes of `(key, bytes)` that would be cold on a device touch right
+    /// now, without changing any state — the planning-side peek.
+    pub fn peek_cold(&self, key: u64, bytes: f64) -> f64 {
+        match self.resident.iter().find(|&&(k, _, _)| k == key) {
+            Some(&(_, have, _)) => (bytes - have).max(0.0),
+            None => bytes,
+        }
+    }
+
+    /// Bytes of `key` currently device-resident (0 when absent) — the
+    /// planning-side peek for a host touch.
+    pub fn peek_resident(&self, key: u64) -> f64 {
+        self.resident
+            .iter()
+            .find(|&&(k, _, _)| k == key)
+            .map_or(0.0, |&(_, b, _)| b)
+    }
+
+    /// The device touches buffer `key` of size `bytes`: returns the cold
+    /// bytes that must migrate in, makes the buffer resident, and evicts
+    /// least-recently-used buffers if the capacity budget is exceeded.
+    pub fn touch_device(&mut self, key: u64, bytes: f64) -> f64 {
+        self.clock += 1;
+        let stamp = self.clock;
+        let cold = match self.resident.iter_mut().find(|(k, _, _)| *k == key) {
+            Some(entry) => {
+                let cold = (bytes - entry.1).max(0.0);
+                entry.1 = entry.1.max(bytes);
+                entry.2 = stamp;
+                cold
+            }
+            None => {
+                self.resident.push((key, bytes, stamp));
+                bytes
+            }
+        };
+        self.migrated_in += cold;
+        self.evict_over_capacity(key);
+        cold
+    }
+
+    /// The host touches buffer `key`: returns the bytes that must write
+    /// back (0 when the buffer was not device-resident) and drops the
+    /// buffer's residency.
+    pub fn touch_host(&mut self, key: u64) -> f64 {
+        match self.resident.iter().position(|&(k, _, _)| k == key) {
+            Some(i) => {
+                let (_, bytes, _) = self.resident.swap_remove(i);
+                self.written_back += bytes;
+                bytes
+            }
+            None => 0.0,
+        }
+    }
+
+    /// Drops all residency state (e.g. at the start of a fresh run).
+    pub fn clear(&mut self) {
+        self.resident.clear();
+    }
+
+    /// Evicts LRU buffers (never `just_touched`) until within capacity.
+    fn evict_over_capacity(&mut self, just_touched: u64) {
+        while self.resident_bytes() > self.capacity_bytes && self.resident.len() > 1 {
+            let victim = self
+                .resident
+                .iter()
+                .enumerate()
+                .filter(|(_, &(k, _, _))| k != just_touched)
+                .min_by_key(|(_, &(_, _, stamp))| stamp)
+                .map(|(i, _)| i);
+            match victim {
+                Some(i) => {
+                    let (_, bytes, _) = self.resident.swap_remove(i);
+                    self.evicted += bytes;
+                }
+                None => break,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> FirstTouchModel {
+        FirstTouchModel {
+            page_bytes: 1024.0,
+            fault_us: 2.0,
+            migration_gbs: 10.0,
+            writeback_gbs: 5.0,
+            per_iter_penalty: 0.1,
+        }
+    }
+
+    #[test]
+    fn page_counts_round_up() {
+        let m = model();
+        assert_eq!(m.pages(0.0), 0.0);
+        assert_eq!(m.pages(1.0), 1.0);
+        assert_eq!(m.pages(1024.0), 1.0);
+        assert_eq!(m.pages(1025.0), 2.0);
+    }
+
+    #[test]
+    fn cold_bytes_priced_warm_bytes_free() {
+        let m = model();
+        assert_eq!(m.to_device_seconds(0.0), 0.0);
+        // 2048 B = 2 pages: 2 * 2 µs fault + 2048 / 10 GB/s
+        let t = m.to_device_seconds(2048.0);
+        assert!((t - (4e-6 + 2048.0 / 10e9)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn writeback_uses_writeback_bandwidth() {
+        let m = model();
+        let t = m.writeback_seconds(1024.0);
+        assert!((t - (2e-6 + 1024.0 / 5e9)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn from_usm_carries_bandwidths_and_penalty() {
+        let usm = UsmModel {
+            setup_us: 50.0,
+            migration_gbs: 20.0,
+            writeback_gbs: 15.0,
+            per_iter_penalty: 0.07,
+        };
+        let m = FirstTouchModel::from_usm(&usm);
+        assert_eq!(m.migration_gbs, 20.0);
+        assert_eq!(m.writeback_gbs, 15.0);
+        assert_eq!(m.per_iter_penalty, 0.07);
+        assert_eq!(m.page_bytes, DEFAULT_PAGE_BYTES);
+    }
+
+    #[test]
+    fn second_touch_is_warm() {
+        let mut r = Residency::new(1e9);
+        assert_eq!(r.touch_device(1, 4096.0), 4096.0);
+        assert_eq!(r.touch_device(1, 4096.0), 0.0);
+        assert_eq!(r.peek_cold(1, 4096.0), 0.0);
+        assert_eq!(r.peek_cold(2, 100.0), 100.0);
+        assert_eq!(r.resident_bytes(), 4096.0);
+        assert_eq!(r.migrated_in_bytes(), 4096.0);
+    }
+
+    #[test]
+    fn growth_pays_only_the_delta() {
+        let mut r = Residency::new(1e9);
+        r.touch_device(1, 1000.0);
+        assert_eq!(r.touch_device(1, 1500.0), 500.0);
+        assert_eq!(r.resident_bytes(), 1500.0);
+    }
+
+    #[test]
+    fn host_touch_forces_writeback_and_drops_residency() {
+        let mut r = Residency::new(1e9);
+        r.touch_device(1, 2048.0);
+        assert_eq!(r.touch_host(1), 2048.0);
+        assert_eq!(r.written_back_bytes(), 2048.0);
+        // no longer resident: next device touch is cold again (ping-pong)
+        assert_eq!(r.touch_device(1, 2048.0), 2048.0);
+        // host touch of a never-resident buffer is free
+        assert_eq!(r.touch_host(99), 0.0);
+    }
+
+    #[test]
+    fn lru_eviction_under_capacity_pressure() {
+        let mut r = Residency::new(3000.0);
+        r.touch_device(1, 1000.0);
+        r.touch_device(2, 1000.0);
+        r.touch_device(3, 1000.0);
+        r.touch_device(2, 1000.0); // refresh 2
+        r.touch_device(4, 1000.0); // evicts 1 (LRU)
+        assert_eq!(r.peek_resident(1), 0.0);
+        assert_eq!(r.peek_resident(2), 1000.0);
+        assert_eq!(r.evicted_bytes(), 1000.0);
+        assert!(r.resident_bytes() <= 3000.0);
+    }
+
+    #[test]
+    fn oversized_buffer_never_evicts_itself() {
+        let mut r = Residency::new(1000.0);
+        assert_eq!(r.touch_device(1, 5000.0), 5000.0);
+        // the just-touched buffer stays resident even though it exceeds
+        // capacity on its own
+        assert_eq!(r.peek_resident(1), 5000.0);
+    }
+
+    #[test]
+    fn clear_drops_all_state() {
+        let mut r = Residency::new(1e9);
+        r.touch_device(1, 100.0);
+        r.clear();
+        assert_eq!(r.resident_bytes(), 0.0);
+        assert_eq!(r.peek_cold(1, 100.0), 100.0);
+    }
+}

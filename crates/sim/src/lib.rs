@@ -37,6 +37,7 @@ pub mod call;
 pub mod cpu;
 pub mod energy;
 pub mod engine;
+pub mod firsttouch;
 pub mod gpu;
 pub mod hybrid;
 pub mod link;
@@ -54,6 +55,7 @@ pub use call::{BlasCall, BlasCallBuilder, CallError, Kernel, KernelKind};
 pub use cpu::{CpuLibrary, CpuModel};
 pub use energy::{cpu_energy_joules, energy_gemm_threshold, gpu_energy_joules, PowerModel};
 pub use engine::{with_matrix_engine, MatrixEngine};
+pub use firsttouch::{FirstTouchModel, Residency};
 pub use gpu::{GpuLibrary, GpuModel};
 pub use hybrid::{best_split, hybrid_seconds, HybridPlan};
 pub use link::LinkModel;

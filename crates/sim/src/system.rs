@@ -4,6 +4,7 @@
 
 use crate::call::BlasCall;
 use crate::cpu::{cpu_seconds, CpuLibrary, CpuModel};
+use crate::firsttouch::FirstTouchModel;
 use crate::gpu::{gpu_kernel_seconds, GpuLibrary, GpuModel};
 use crate::link::LinkModel;
 use crate::offload::Offload;
@@ -117,6 +118,26 @@ impl SystemModel {
     pub fn gpu_gflops(&self, call: &BlasCall, iters: u32, offload: Offload) -> Option<f64> {
         let t = self.gpu_seconds(call, iters, offload)?;
         Some(iters as f64 * call.paper_flops() / t / 1e9)
+    }
+
+    /// Pure device-side kernel seconds for one execution of `call` —
+    /// no transfer, no migration — or `None` for CPU-only
+    /// configurations. This is the quantity the dispatch plane combines
+    /// with its own first-touch accounting.
+    pub fn gpu_kernel_seconds(&self, call: &BlasCall) -> Option<f64> {
+        let gpu = self.gpu.as_ref()?;
+        let lib = self.gpu_lib.as_ref()?;
+        let t = gpu_kernel_seconds(gpu, lib, call);
+        Some(match self.noise {
+            Some(n) => t * n.factor(call, 0xFA57_0DE),
+            None => t,
+        })
+    }
+
+    /// First-touch page-migration behaviour derived from this system's
+    /// USM model, or `None` when the vendor has no USM support.
+    pub fn first_touch_model(&self) -> Option<FirstTouchModel> {
+        self.usm.as_ref().map(FirstTouchModel::from_usm)
     }
 
     /// True when this configuration can time GPU runs.
